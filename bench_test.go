@@ -1,0 +1,264 @@
+package nasd_test
+
+// One benchmark per table and figure in the paper's evaluation (each
+// regenerates the experiment through internal/experiments), plus
+// microbenchmarks of the functional hot paths: keyed digests,
+// capability validation, codec, object store, and the full RPC drive
+// path. Run with: go test -bench=. -benchmem
+//
+// Ablations at the bottom quantify the design choices DESIGN.md calls
+// out: security on versus off (the paper ran with security disabled),
+// and DCE-class versus lean RPC cost models.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/capability"
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/experiments"
+	"nasd/internal/mining"
+	"nasd/internal/object"
+	"nasd/internal/rpc"
+)
+
+// --- Table/figure regeneration benchmarks ---------------------------------
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B)        { benchExperiment(b, "fig4") }
+func BenchmarkTable1(b *testing.B)      { benchExperiment(b, "table1") }
+func BenchmarkFig6(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)        { benchExperiment(b, "fig7") }
+func BenchmarkFig9(b *testing.B)        { benchExperiment(b, "fig9") }
+func BenchmarkAndrew(b *testing.B)      { benchExperiment(b, "andrew") }
+func BenchmarkActiveDisks(b *testing.B) { benchExperiment(b, "active") }
+
+// --- Functional microbenchmarks --------------------------------------------
+
+func BenchmarkMACVerify(b *testing.B) {
+	key := crypt.NewRandomKey()
+	msg := make([]byte, 256)
+	d := crypt.MAC(key, msg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !crypt.Verify(key, msg, d) {
+			b.Fatal("verify failed")
+		}
+	}
+}
+
+func BenchmarkCapabilityValidate(b *testing.B) {
+	h := crypt.NewHierarchy(crypt.NewRandomKey())
+	if err := h.AddPartition(1); err != nil {
+		b.Fatal(err)
+	}
+	kid, key, _ := h.CurrentWorkingKey(1)
+	pub := capability.Public{
+		DriveID: 1, Partition: 1, Object: 42, ObjVer: 1,
+		Rights: capability.Read, Expiry: time.Now().Add(time.Hour).UnixNano(), Key: kid,
+	}
+	cap := capability.Mint(pub, key)
+	body := make([]byte, 128)
+	dig := cap.SignRequest(body)
+	chk := capability.Check{DriveID: 1, Part: 1, Object: 42, ObjVer: 1, Op: capability.Read, Now: time.Now()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := capability.Validate(pub, body, dig, chk, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRequestCodec(b *testing.B) {
+	req := &rpc.Request{
+		Proc: 1, Cap: make([]byte, 59), Args: make([]byte, 26),
+		Data: make([]byte, 8192), Nonce: crypt.Nonce{Client: 1, Counter: 7},
+	}
+	b.SetBytes(8192)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wire := rpc.EncodeRequest(req)
+		if _, err := rpc.DecodeMessage(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func newBenchStore(b *testing.B) *object.Store {
+	b.Helper()
+	dev := blockdev.NewMemDisk(4096, 1<<16)
+	st, err := object.Format(dev, object.Config{CacheBlocks: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.CreatePartition(1, 0); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+func BenchmarkObjectWrite64K(b *testing.B) {
+	st := newBenchStore(b)
+	id, _ := st.Create(1)
+	data := make([]byte, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := uint64(i%64) * (64 << 10)
+		if err := st.Write(1, id, off, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObjectRead64K(b *testing.B) {
+	st := newBenchStore(b)
+	id, _ := st.Create(1)
+	if err := st.Write(1, id, 0, make([]byte, 4<<20)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(64 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := uint64(i%64) * (64 << 10)
+		if _, err := st.Read(1, id, off, 64<<10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObjectSnapshot(b *testing.B) {
+	st := newBenchStore(b)
+	id, _ := st.Create(1)
+	if err := st.Write(1, id, 0, make([]byte, 1<<20)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := st.VersionObject(1, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := st.Remove(1, snap); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+// driveRig serves a drive over the in-process transport for end-to-end
+// RPC benchmarks.
+func driveRig(b *testing.B, secure bool) (*client.Drive, capability.Capability, uint64) {
+	b.Helper()
+	master := crypt.NewRandomKey()
+	dev := blockdev.NewMemDisk(4096, 1<<16)
+	drv, err := drive.NewFormat(dev, drive.Config{ID: 1, Master: master, Secure: secure})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l := rpc.NewInProcListener("bench")
+	srv := drv.Serve(l)
+	b.Cleanup(srv.Close)
+	if err := drv.Store().CreatePartition(1, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := drv.Keys().AddPartition(1); err != nil {
+		b.Fatal(err)
+	}
+	obj, err := drv.Store().Create(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := drv.Store().Write(1, obj, 0, make([]byte, 4<<20)); err != nil {
+		b.Fatal(err)
+	}
+	conn, err := l.Dial()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli := client.New(conn, 1, 99, secure)
+	b.Cleanup(func() { cli.Close() })
+	kid, key, _ := drv.Keys().CurrentWorkingKey(1)
+	cap := capability.Mint(capability.Public{
+		DriveID: 1, Partition: 1, Object: obj, ObjVer: 1,
+		Rights: capability.Read | capability.Write,
+		Expiry: time.Now().Add(time.Hour).UnixNano(), Key: kid,
+	}, key)
+	return cli, cap, obj
+}
+
+func benchDriveRead(b *testing.B, secure bool, size int) {
+	cli, cap, obj := driveRig(b, secure)
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := uint64(i%32) * uint64(size)
+		if _, err := cli.Read(&cap, 1, obj, off, size); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the full NASD request path with and without the security
+// protocol, at the paper's two interesting sizes. The delta is the cost
+// of the capability architecture in software — the quantity the paper
+// argues belongs in drive ASIC hardware.
+func BenchmarkDriveReadSecure8K(b *testing.B)     { benchDriveRead(b, true, 8<<10) }
+func BenchmarkDriveReadInsecure8K(b *testing.B)   { benchDriveRead(b, false, 8<<10) }
+func BenchmarkDriveReadSecure512K(b *testing.B)   { benchDriveRead(b, true, 512<<10) }
+func BenchmarkDriveReadInsecure512K(b *testing.B) { benchDriveRead(b, false, 512<<10) }
+
+func BenchmarkMiningPass1(b *testing.B) {
+	data := mining.Generate(mining.GenConfig{CatalogSize: 1000, TotalBytes: 4 << 20, Seed: 1})
+	counts := make([]uint32, 1000)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mining.CountItems(data, counts)
+	}
+}
+
+// Ablation: DCE-class vs lean RPC instruction costs across request
+// sizes — the paper's "workstation-class implementations of
+// communications certainly are [too expensive]" argument in numbers.
+func BenchmarkRPCCostModels(b *testing.B) {
+	for _, size := range []int{1, 8 << 10, 64 << 10, 512 << 10} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				c := drive.CostModel(drive.OpReadObject, size, false)
+				sink += c.Total()
+			}
+			c := drive.CostModel(drive.OpReadObject, size, false)
+			b.ReportMetric(float64(c.Total()), "DCE-instr")
+			// The lean stack the paper anticipates for commodity drives.
+			lean := 5000 + 0.4*float64(size)
+			b.ReportMetric(lean, "lean-instr")
+			_ = sink
+		})
+	}
+}

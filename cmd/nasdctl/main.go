@@ -1,0 +1,289 @@
+// Command nasdctl is a CLI client for a NASD drive daemon. It plays
+// both roles of the architecture from one process: the administrator /
+// file manager role (it holds the master key and mints capabilities)
+// and the client role (it uses those capabilities against the drive).
+//
+// Usage:
+//
+//	nasdctl genkey
+//	nasdctl -addr HOST:PORT -id DRIVEID -master HEXKEY <command> [args]
+//
+// Commands:
+//
+//	mkpart PART [QUOTA_BLOCKS]      create a partition
+//	rmpart PART                     remove an empty partition
+//	partinfo PART                   show partition usage
+//	create PART                     create an object, print its ID
+//	remove PART OBJ                 remove an object
+//	list PART                       list object IDs
+//	write PART OBJ OFF              write stdin at offset
+//	read PART OBJ OFF LEN           read to stdout
+//	attr PART OBJ                   show object attributes
+//	version PART OBJ                copy-on-write snapshot, print new ID
+//	revoke PART OBJ                 bump version (revoke capabilities)
+//	flush                           force write-behind data to media
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"nasd/internal/capability"
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+	"nasd/internal/rpc"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "drive address")
+	driveID := flag.Uint64("id", 1, "drive identity")
+	masterHex := flag.String("master", "", "master key (64 hex chars)")
+	insecure := flag.Bool("insecure", false, "talk to an insecure drive")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if args[0] == "genkey" {
+		k := crypt.NewRandomKey()
+		fmt.Println(hex.EncodeToString(k[:]))
+		return
+	}
+
+	var master crypt.Key
+	if !*insecure {
+		raw, err := hex.DecodeString(*masterHex)
+		if err != nil {
+			log.Fatalf("nasdctl: bad -master: %v", err)
+		}
+		master, err = crypt.KeyFromBytes(raw)
+		if err != nil {
+			log.Fatalf("nasdctl: bad -master: %v", err)
+		}
+	}
+	conn, err := rpc.DialTCP(*addr)
+	if err != nil {
+		log.Fatalf("nasdctl: dial: %v", err)
+	}
+	cli := client.New(conn, *driveID, uint64(os.Getpid())<<32|uint64(time.Now().UnixNano()&0xffffffff), !*insecure)
+	defer cli.Close()
+
+	c := ctl{cli: cli, driveID: *driveID, master: master, keys: crypt.NewHierarchy(master), secure: !*insecure}
+	if err := c.run(args); err != nil {
+		log.Fatalf("nasdctl: %v", err)
+	}
+}
+
+type ctl struct {
+	cli     *client.Drive
+	driveID uint64
+	master  crypt.Key
+	keys    *crypt.Hierarchy
+	secure  bool
+}
+
+func (c *ctl) masterID() crypt.KeyID { return crypt.KeyID{Type: crypt.MasterKey} }
+
+// mint issues a capability for the command being run. Partition keys
+// are derived deterministically from the master key, matching the
+// drive's own hierarchy.
+func (c *ctl) mint(part uint16, obj, ver uint64, rights capability.Rights) (capability.Capability, error) {
+	if err := c.keys.AddPartition(part); err != nil {
+		// Already added in this process: fine.
+		_ = err
+	}
+	kid, key, err := c.keys.CurrentWorkingKey(part)
+	if err != nil {
+		return capability.Capability{}, err
+	}
+	return capability.Mint(capability.Public{
+		DriveID: c.driveID, Partition: part, Object: obj, ObjVer: ver,
+		Rights: rights, Expiry: time.Now().Add(10 * time.Minute).UnixNano(), Key: kid,
+	}, key), nil
+}
+
+func (c *ctl) objCap(part uint16, obj uint64, rights capability.Rights) (*capability.Capability, error) {
+	if !c.secure {
+		return nil, nil
+	}
+	// Fetch the current version with a partition-scope capability.
+	wc, err := c.mint(part, 0, 0, capability.GetAttr)
+	if err != nil {
+		return nil, err
+	}
+	attrs, err := c.cli.GetAttr(&wc, part, obj)
+	if err != nil {
+		return nil, err
+	}
+	cp, err := c.mint(part, obj, attrs.Version, rights)
+	if err != nil {
+		return nil, err
+	}
+	return &cp, nil
+}
+
+func parseU(s string) uint64 {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		log.Fatalf("nasdctl: bad number %q", s)
+	}
+	return v
+}
+
+func (c *ctl) run(args []string) error {
+	cmd := args[0]
+	rest := args[1:]
+	need := func(n int) {
+		if len(rest) < n {
+			log.Fatalf("nasdctl: %s needs %d arguments", cmd, n)
+		}
+	}
+	switch cmd {
+	case "mkpart":
+		need(1)
+		var quota int64
+		if len(rest) > 1 {
+			quota = int64(parseU(rest[1]))
+		}
+		return c.cli.CreatePartition(c.masterID(), c.master, uint16(parseU(rest[0])), quota)
+	case "rmpart":
+		need(1)
+		return c.cli.RemovePartition(c.masterID(), c.master, uint16(parseU(rest[0])))
+	case "partinfo":
+		need(1)
+		p, err := c.cli.GetPartition(c.masterID(), c.master, uint16(parseU(rest[0])))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("partition %d: quota %d blocks, used %d blocks, %d objects\n",
+			p.ID, p.QuotaBlocks, p.UsedBlocks, p.ObjectCount)
+		return nil
+	case "create":
+		need(1)
+		part := uint16(parseU(rest[0]))
+		var cp *capability.Capability
+		if c.secure {
+			mc, err := c.mint(part, 0, 0, capability.CreateObj)
+			if err != nil {
+				return err
+			}
+			cp = &mc
+		}
+		id, err := c.cli.Create(cp, part)
+		if err != nil {
+			return err
+		}
+		fmt.Println(id)
+		return nil
+	case "remove":
+		need(2)
+		part := uint16(parseU(rest[0]))
+		obj := parseU(rest[1])
+		cp, err := c.objCap(part, obj, capability.Remove)
+		if err != nil {
+			return err
+		}
+		return c.cli.Remove(cp, part, obj)
+	case "list":
+		need(1)
+		part := uint16(parseU(rest[0]))
+		var cp *capability.Capability
+		if c.secure {
+			mc, err := c.mint(part, 0, 0, capability.Read)
+			if err != nil {
+				return err
+			}
+			cp = &mc
+		}
+		ids, err := c.cli.List(cp, part)
+		if err != nil {
+			return err
+		}
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return nil
+	case "write":
+		need(3)
+		part := uint16(parseU(rest[0]))
+		obj := parseU(rest[1])
+		off := parseU(rest[2])
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		cp, err := c.objCap(part, obj, capability.Write)
+		if err != nil {
+			return err
+		}
+		return c.cli.Write(cp, part, obj, off, data)
+	case "read":
+		need(4)
+		part := uint16(parseU(rest[0]))
+		obj := parseU(rest[1])
+		cp, err := c.objCap(part, obj, capability.Read)
+		if err != nil {
+			return err
+		}
+		data, err := c.cli.Read(cp, part, obj, parseU(rest[2]), int(parseU(rest[3])))
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	case "attr":
+		need(2)
+		part := uint16(parseU(rest[0]))
+		obj := parseU(rest[1])
+		cp, err := c.objCap(part, obj, capability.GetAttr)
+		if err != nil {
+			return err
+		}
+		a, err := c.cli.GetAttr(cp, part, obj)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("size %d  version %d  created %s  modified %s\n",
+			a.Size, a.Version, a.CreateTime.Format(time.RFC3339), a.ModTime.Format(time.RFC3339))
+		return nil
+	case "version":
+		need(2)
+		part := uint16(parseU(rest[0]))
+		obj := parseU(rest[1])
+		cp, err := c.objCap(part, obj, capability.Version)
+		if err != nil {
+			return err
+		}
+		id, err := c.cli.VersionObject(cp, part, obj)
+		if err != nil {
+			return err
+		}
+		fmt.Println(id)
+		return nil
+	case "revoke":
+		need(2)
+		part := uint16(parseU(rest[0]))
+		obj := parseU(rest[1])
+		cp, err := c.objCap(part, obj, capability.SetAttr)
+		if err != nil {
+			return err
+		}
+		v, err := c.cli.BumpVersion(cp, part, obj)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("new version %d\n", v)
+		return nil
+	case "flush":
+		return c.cli.Flush()
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

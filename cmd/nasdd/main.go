@@ -1,0 +1,112 @@
+// Command nasdd runs a NASD drive daemon: an object store served over
+// TCP with cryptographic capability enforcement.
+//
+// Usage:
+//
+//	nasdd -listen 127.0.0.1:7070 -id 1 -master <hex key> [-blocks 65536] [-insecure]
+//
+// The master key (64 hex characters) is the root of the drive's key
+// hierarchy; the file manager that manages this drive must hold the
+// same key. Generate one with: nasdctl genkey
+//
+// With -path the store is backed by a file on disk and survives
+// restarts (the drive formats the file on first use and reopens it
+// thereafter); without it, the store lives in memory.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/rpc"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7070", "TCP listen address")
+	id := flag.Uint64("id", 1, "drive identity (baked into capabilities)")
+	masterHex := flag.String("master", "", "master key, 64 hex chars (required unless -insecure)")
+	blocks := flag.Int64("blocks", 65536, "device size in 4 KB blocks")
+	path := flag.String("path", "", "backing file for durable storage (empty = in-memory)")
+	insecure := flag.Bool("insecure", false, "disable capability enforcement (the paper's measurement mode)")
+	flag.Parse()
+
+	var master crypt.Key
+	if *masterHex == "" {
+		if !*insecure {
+			fmt.Fprintln(os.Stderr, "nasdd: -master required (or pass -insecure); generate with: nasdctl genkey")
+			os.Exit(2)
+		}
+		master = crypt.NewRandomKey()
+	} else {
+		raw, err := hex.DecodeString(*masterHex)
+		if err != nil {
+			log.Fatalf("nasdd: bad -master: %v", err)
+		}
+		master, err = crypt.KeyFromBytes(raw)
+		if err != nil {
+			log.Fatalf("nasdd: bad -master: %v", err)
+		}
+	}
+
+	var dev blockdev.Device
+	fresh := true
+	if *path == "" {
+		dev = blockdev.NewMemDisk(4096, *blocks)
+	} else if _, statErr := os.Stat(*path); statErr == nil {
+		fd, err := blockdev.OpenFileDisk(*path)
+		if err != nil {
+			log.Fatalf("nasdd: %v", err)
+		}
+		dev = fd
+		fresh = false
+	} else {
+		fd, err := blockdev.CreateFileDisk(*path, 4096, *blocks)
+		if err != nil {
+			log.Fatalf("nasdd: %v", err)
+		}
+		dev = fd
+	}
+
+	var drv *drive.Drive
+	var err error
+	if fresh {
+		drv, err = drive.NewFormat(dev, drive.Config{ID: *id, Master: master, Secure: !*insecure})
+	} else {
+		drv, err = drive.Open(dev, drive.Config{ID: *id, Master: master, Secure: !*insecure})
+	}
+	if err != nil {
+		log.Fatalf("nasdd: attach: %v", err)
+	}
+	l, err := rpc.ListenTCP(*listen)
+	if err != nil {
+		log.Fatalf("nasdd: listen: %v", err)
+	}
+	mode := "secure"
+	if *insecure {
+		mode = "INSECURE"
+	}
+	log.Printf("nasdd: drive %d serving %d x 4KB blocks on %s (%s)", *id, *blocks, l.Addr(), mode)
+	srv := rpc.NewServer(drv)
+
+	// Flush write-behind data on SIGINT/SIGTERM before exiting.
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigs
+		log.Printf("nasdd: flushing and shutting down")
+		if err := drv.Store().Flush(); err != nil {
+			log.Printf("nasdd: flush: %v", err)
+		}
+		srv.Close()
+		os.Exit(0)
+	}()
+	srv.Serve(l)
+}

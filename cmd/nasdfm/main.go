@@ -1,0 +1,108 @@
+// Command nasdfm runs a NASD file manager daemon: it manages a set of
+// nasdd drives (namespace, access control, capability issuance) and
+// serves the file-manager protocol over TCP.
+//
+// Usage:
+//
+//	nasdfm -listen 127.0.0.1:7000 \
+//	       -drive 1=127.0.0.1:7070=<hexkey> \
+//	       -drive 2=127.0.0.1:7071=<hexkey> \
+//	       [-mount]
+//
+// Each -drive flag is ID=ADDR=MASTERKEY. By default the filesystem is
+// formatted (partitions created, root directory written); pass -mount
+// to attach to drives already carrying the filesystem.
+//
+// The file-manager channel carries capability private portions, so
+// deployments must protect it (run it on a trusted segment or tunnel) —
+// it is the "secure and private protocol external to NASD" of the
+// paper.
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+	"nasd/internal/filemgr"
+	"nasd/internal/fmrpc"
+	"nasd/internal/rpc"
+)
+
+type driveFlag struct {
+	id     uint64
+	addr   string
+	master crypt.Key
+}
+
+type driveFlags []driveFlag
+
+func (d *driveFlags) String() string { return fmt.Sprintf("%d drives", len(*d)) }
+
+func (d *driveFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 3)
+	if len(parts) != 3 {
+		return fmt.Errorf("want ID=ADDR=MASTERKEY, got %q", v)
+	}
+	id, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad drive ID %q: %v", parts[0], err)
+	}
+	raw, err := hex.DecodeString(parts[2])
+	if err != nil {
+		return fmt.Errorf("bad master key: %v", err)
+	}
+	key, err := crypt.KeyFromBytes(raw)
+	if err != nil {
+		return err
+	}
+	*d = append(*d, driveFlag{id: id, addr: parts[1], master: key})
+	return nil
+}
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7000", "TCP listen address for the file-manager protocol")
+	mount := flag.Bool("mount", false, "attach to an existing filesystem instead of formatting")
+	var drives driveFlags
+	flag.Var(&drives, "drive", "drive spec ID=ADDR=MASTERKEY (repeatable)")
+	flag.Parse()
+
+	if len(drives) == 0 {
+		fmt.Fprintln(os.Stderr, "nasdfm: at least one -drive required")
+		os.Exit(2)
+	}
+	var targets []filemgr.DriveTarget
+	for i, d := range drives {
+		conn, err := rpc.DialTCP(d.addr)
+		if err != nil {
+			log.Fatalf("nasdfm: dialing drive %d at %s: %v", d.id, d.addr, err)
+		}
+		cli := client.New(conn, d.id, uint64(os.Getpid())<<16|uint64(i), true)
+		targets = append(targets, filemgr.DriveTarget{Client: cli, DriveID: d.id, Master: d.master})
+	}
+
+	var fm *filemgr.FM
+	var err error
+	if *mount {
+		fm, err = filemgr.Mount(filemgr.Config{Drives: targets})
+	} else {
+		fm, err = filemgr.Format(filemgr.Config{Drives: targets})
+	}
+	if err != nil {
+		log.Fatalf("nasdfm: %v", err)
+	}
+
+	l, err := rpc.ListenTCP(*listen)
+	if err != nil {
+		log.Fatalf("nasdfm: listen: %v", err)
+	}
+	log.Printf("nasdfm: managing %d drives, serving on %s", len(drives), l.Addr())
+	srv := rpc.NewServer(fmrpc.NewServer(fm))
+	srv.Serve(l)
+}

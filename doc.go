@@ -1,0 +1,13 @@
+// Package nasd is a from-scratch Go reproduction of "A Cost-Effective,
+// High-Bandwidth Storage Architecture" (Gibson et al., ASPLOS 1998) —
+// the Network-Attached Secure Disks (NASD) paper.
+//
+// The repository contains the complete system the paper describes: a
+// NASD drive (object store, cryptographic capabilities, RPC interface),
+// a file manager with NFS and AFS ports, the Cheops storage manager
+// and NASD PFS parallel filesystem, the Apriori data-mining workload,
+// Active Disks, and a deterministic discrete-event simulation of the
+// paper's 1998 hardware that regenerates every table and figure in its
+// evaluation. See README.md for a tour and DESIGN.md for the system
+// inventory.
+package nasd

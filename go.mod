@@ -1,0 +1,3 @@
+module nasd
+
+go 1.22

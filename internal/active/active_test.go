@@ -1,0 +1,134 @@
+package active
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/capability"
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/mining"
+	"nasd/internal/rpc"
+)
+
+var clientSeq atomic.Uint64
+
+// newDrive builds a secure drive with the kernel registered, loads one
+// object with data, and returns a Target for scanning.
+func newDrive(t *testing.T, id uint64, data []byte) Target {
+	t.Helper()
+	master := crypt.NewRandomKey()
+	dev := blockdev.NewMemDisk(4096, 16384)
+	drv, err := drive.NewFormat(dev, drive.Config{ID: id, Master: master, Secure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Register(drv)
+	if err := drv.Store().CreatePartition(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.Keys().AddPartition(1); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := drv.Store().Create(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.Store().Write(1, obj, 0, data); err != nil {
+		t.Fatal(err)
+	}
+
+	l := rpc.NewInProcListener("d")
+	srv := drv.Serve(l)
+	t.Cleanup(srv.Close)
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := client.New(conn, id, clientSeq.Add(1)+900, true)
+	t.Cleanup(func() { cli.Close() })
+
+	kid, key, err := drv.Keys().CurrentWorkingKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := capability.Mint(capability.Public{
+		DriveID: id, Partition: 1, Object: obj, ObjVer: 1,
+		Rights: capability.Read | capability.GetAttr,
+		Expiry: time.Now().Add(time.Hour).UnixNano(), Key: kid,
+	}, key)
+	return Target{Drive: cli, Cap: cap, Partition: 1, Object: obj}
+}
+
+func TestOnDriveCountMatchesClientSide(t *testing.T) {
+	data := mining.Generate(mining.GenConfig{CatalogSize: 128, TotalBytes: 2*mining.ChunkSize + 4096, Seed: 21})
+	want := make([]uint32, 128)
+	mining.CountItems(data, want)
+
+	tgt := newDrive(t, 1, data)
+	got, err := Scan([]Target{tgt}, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("on-drive counts differ from client-side scan")
+	}
+}
+
+func TestScanMergesAcrossDrives(t *testing.T) {
+	d1 := mining.Generate(mining.GenConfig{CatalogSize: 64, TotalBytes: mining.ChunkSize, Seed: 22})
+	d2 := mining.Generate(mining.GenConfig{CatalogSize: 64, TotalBytes: mining.ChunkSize, Seed: 23})
+	want := make([]uint32, 64)
+	mining.CountItems(d1, want)
+	mining.CountItems(d2, want)
+
+	got, err := Scan([]Target{newDrive(t, 1, d1), newDrive(t, 2, d2)}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("merged counts wrong")
+	}
+}
+
+func TestResultIsSmall(t *testing.T) {
+	// The entire point of Active Disks: a multi-megabyte scan returns a
+	// result proportional to the catalog, not the data.
+	data := mining.Generate(mining.GenConfig{CatalogSize: 32, TotalBytes: 4 * mining.ChunkSize, Seed: 24})
+	tgt := newDrive(t, 1, data)
+	raw, err := tgt.Drive.Execute(&tgt.Cap, tgt.Partition, tgt.Object, KernelName, encodeParams(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 32*4 {
+		t.Fatalf("result = %d bytes, want %d", len(raw), 32*4)
+	}
+}
+
+func TestScanRequiresReadRights(t *testing.T) {
+	data := mining.Generate(mining.GenConfig{CatalogSize: 16, TotalBytes: 4096, Seed: 25})
+	tgt := newDrive(t, 1, data)
+	// Clobber the capability's private portion: execution must fail.
+	tgt.Cap.Private[0] ^= 1
+	if _, err := Scan([]Target{tgt}, 16); err == nil {
+		t.Fatal("kernel ran with a forged capability")
+	}
+}
+
+func TestDecodeCountsRejectsBadLength(t *testing.T) {
+	if _, err := DecodeCounts([]byte{1, 2, 3}); err == nil {
+		t.Fatal("bad length accepted")
+	}
+}
+
+func TestBadParamsRejected(t *testing.T) {
+	data := mining.Generate(mining.GenConfig{CatalogSize: 16, TotalBytes: 4096, Seed: 26})
+	tgt := newDrive(t, 1, data)
+	if _, err := tgt.Drive.Execute(&tgt.Cap, tgt.Partition, tgt.Object, KernelName, []byte{1}); err == nil {
+		t.Fatal("truncated params accepted")
+	}
+}

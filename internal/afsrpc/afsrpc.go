@@ -1,0 +1,551 @@
+// Package afsrpc puts the AFS manager behind the network, callbacks
+// included. AFS's consistency story needs the *server* to notify
+// clients ("breaking callbacks"), so unlike the request/reply fmrpc
+// channel, each AFS client keeps two connections:
+//
+//   - a control connection for the explicit capability RPCs the paper's
+//     AFS port added (acquire read/write, relinquish);
+//   - a callback connection the client registers once and then listens
+//     on; the server pushes break notifications down it the moment a
+//     write capability is issued elsewhere.
+//
+// Like fmrpc, this channel carries capability private portions and must
+// be deployed over a protected transport.
+package afsrpc
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"nasd/internal/capability"
+	"nasd/internal/crypt"
+	"nasd/internal/filemgr"
+	"nasd/internal/nasdafs"
+	"nasd/internal/rpc"
+)
+
+// Procedure numbers.
+const (
+	opRegister uint16 = iota + 1 // callback-connection handshake
+	opAcquireRead
+	opTryAcquireRead
+	opAcquireWrite
+	opRelinquish
+	opTruncate
+	opCreate
+	// opBreak is pushed server->client on the callback connection.
+	opBreak
+)
+
+// --- shared wire helpers ------------------------------------------------------
+
+func encodeIdentity(e *rpc.Encoder, id filemgr.Identity) {
+	e.U32(id.UID)
+	e.U32(uint32(len(id.GIDs)))
+	for _, g := range id.GIDs {
+		e.U32(g)
+	}
+}
+
+func decodeIdentity(d *rpc.Decoder) filemgr.Identity {
+	id := filemgr.Identity{UID: d.U32()}
+	n := int(d.U32())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		id.GIDs = append(id.GIDs, d.U32())
+	}
+	return id
+}
+
+func encodeHandle(e *rpc.Encoder, h filemgr.Handle) {
+	e.U32(uint32(h.Drive))
+	e.U64(h.DriveID)
+	e.U16(h.Partition)
+	e.U64(h.Object)
+	if h.IsDir {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+func decodeHandle(d *rpc.Decoder) filemgr.Handle {
+	return filemgr.Handle{
+		Drive:     int(d.U32()),
+		DriveID:   d.U64(),
+		Partition: d.U16(),
+		Object:    d.U64(),
+		IsDir:     d.U8() == 1,
+	}
+}
+
+func encodeCapability(e *rpc.Encoder, c capability.Capability) {
+	e.Bytes32(c.Public.Encode())
+	e.Raw(c.Private[:])
+}
+
+func decodeCapability(d *rpc.Decoder) (capability.Capability, error) {
+	var c capability.Capability
+	pubRaw := d.Bytes32()
+	priv := d.Raw(crypt.KeySize)
+	if err := d.Err(); err != nil {
+		return c, err
+	}
+	pub, err := capability.DecodePublic(pubRaw)
+	if err != nil {
+		return c, err
+	}
+	c.Public = pub
+	copy(c.Private[:], priv)
+	return c, nil
+}
+
+func statusFor(err error) (rpc.Status, string) {
+	switch {
+	case errors.Is(err, nasdafs.ErrWriteLocked):
+		return rpc.StatusError, "write-locked"
+	case errors.Is(err, nasdafs.ErrQuota):
+		return rpc.StatusQuota, "quota"
+	case errors.Is(err, filemgr.ErrNotFound):
+		return rpc.StatusNoObject, "not-found"
+	case errors.Is(err, filemgr.ErrPerm):
+		return rpc.StatusAuthFailure, "perm"
+	case errors.Is(err, filemgr.ErrExists):
+		return rpc.StatusBadRequest, "exists"
+	default:
+		return rpc.StatusError, "error"
+	}
+}
+
+func errorFor(kind, detail string) error {
+	switch kind {
+	case "write-locked":
+		return fmt.Errorf("%w (%s)", nasdafs.ErrWriteLocked, detail)
+	case "quota":
+		return fmt.Errorf("%w (%s)", nasdafs.ErrQuota, detail)
+	case "not-found":
+		return fmt.Errorf("%w (%s)", filemgr.ErrNotFound, detail)
+	case "perm":
+		return fmt.Errorf("%w (%s)", filemgr.ErrPerm, detail)
+	case "exists":
+		return fmt.Errorf("%w (%s)", filemgr.ErrExists, detail)
+	default:
+		return fmt.Errorf("afsrpc: %s", detail)
+	}
+}
+
+// --- server ---------------------------------------------------------------------
+
+// remoteReceiver pushes callback breaks to one registered client over
+// its callback connection.
+type remoteReceiver struct {
+	token uint64
+	mu    sync.Mutex
+	conn  rpc.Conn
+}
+
+// BreakCallback implements nasdafs.CallbackReceiver: it ships the break
+// to the remote client. Delivery is best effort, like AFS: a client
+// that misses a break rediscovers truth on its next acquire (its
+// capability no longer matches).
+func (r *remoteReceiver) BreakCallback(path string) {
+	var e rpc.Encoder
+	e.String(path)
+	msg := rpc.EncodeRequest(&rpc.Request{Proc: opBreak, Args: e.Bytes()})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_ = r.conn.Send(msg)
+}
+
+// Server serves the AFS manager protocol.
+type Server struct {
+	mgr *nasdafs.Manager
+
+	mu        sync.Mutex
+	receivers map[uint64]*remoteReceiver
+	closed    bool
+	lns       []rpc.Listener
+	conns     map[rpc.Conn]bool
+	wg        sync.WaitGroup
+}
+
+// NewServer wraps mgr.
+func NewServer(mgr *nasdafs.Manager) *Server {
+	return &Server{
+		mgr:       mgr,
+		receivers: make(map[uint64]*remoteReceiver),
+		conns:     make(map[rpc.Conn]bool),
+	}
+}
+
+// Serve accepts control and callback connections from l. It blocks; run
+// it on its own goroutine and call Close to stop.
+func (s *Server) Serve(l rpc.Listener) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return
+	}
+	s.lns = append(s.lns, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops all listeners and connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	lns := s.lns
+	s.lns = nil
+	conns := make([]rpc.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range lns {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// receiverFor resolves (or lazily creates a stub for) a client token.
+// Tokens without a registered callback connection still work — their
+// breaks just have nowhere to go, matching an AFS client that lost its
+// callback channel.
+func (s *Server) receiverFor(token uint64) *remoteReceiver {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.receivers[token]
+	if !ok {
+		r = &remoteReceiver{token: token}
+		s.receivers[token] = r
+	}
+	return r
+}
+
+func (s *Server) serveConn(conn rpc.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		msg, err := rpc.DecodeMessage(raw)
+		if err != nil {
+			return
+		}
+		req, ok := msg.(*rpc.Request)
+		if !ok {
+			return
+		}
+		if req.Proc == opRegister {
+			d := rpc.NewDecoder(req.Args)
+			token := d.U64()
+			if d.Err() != nil {
+				return
+			}
+			r := s.receiverFor(token)
+			r.mu.Lock()
+			r.conn = conn
+			r.mu.Unlock()
+			reply := &rpc.Reply{MsgID: req.MsgID, Status: rpc.StatusOK}
+			if err := conn.Send(rpc.EncodeReply(reply)); err != nil {
+				return
+			}
+			// The connection now belongs to the push channel; keep
+			// reading (acks/garbage) until it dies so closure is noticed.
+			continue
+		}
+		reply := s.handle(req)
+		reply.MsgID = req.MsgID
+		if err := conn.Send(rpc.EncodeReply(reply)); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *rpc.Request) *rpc.Reply {
+	d := rpc.NewDecoder(req.Args)
+	token := d.U64()
+	rcv := s.receiverFor(token)
+	fail := func(err error) *rpc.Reply {
+		st, kind := statusFor(err)
+		return rpc.Errorf(req.MsgID, st, "%s: %v", kind, err)
+	}
+	acquireReply := func(h filemgr.Handle, cap capability.Capability) *rpc.Reply {
+		var e rpc.Encoder
+		encodeHandle(&e, h)
+		encodeCapability(&e, cap)
+		return &rpc.Reply{Status: rpc.StatusOK, Args: e.Bytes()}
+	}
+	switch req.Proc {
+	case opAcquireRead, opTryAcquireRead:
+		id := decodeIdentity(d)
+		path := d.String()
+		if d.Err() != nil {
+			return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "bad-args: %v", d.Err())
+		}
+		var h filemgr.Handle
+		var cap capability.Capability
+		var err error
+		if req.Proc == opAcquireRead {
+			h, cap, err = s.mgr.AcquireRead(rcv, id, path)
+		} else {
+			h, cap, err = s.mgr.TryAcquireRead(rcv, id, path)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return acquireReply(h, cap)
+	case opAcquireWrite:
+		id := decodeIdentity(d)
+		path := d.String()
+		escrow := d.U64()
+		if d.Err() != nil {
+			return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "bad-args: %v", d.Err())
+		}
+		h, cap, err := s.mgr.AcquireWrite(rcv, id, path, escrow)
+		if err != nil {
+			return fail(err)
+		}
+		return acquireReply(h, cap)
+	case opRelinquish:
+		path := d.String()
+		if d.Err() != nil {
+			return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "bad-args: %v", d.Err())
+		}
+		if err := s.mgr.Relinquish(rcv, path); err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	case opTruncate:
+		h := decodeHandle(d)
+		size := d.U64()
+		if d.Err() != nil {
+			return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "bad-args: %v", d.Err())
+		}
+		if err := s.mgr.Truncate(h, size); err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	case opCreate:
+		id := decodeIdentity(d)
+		path := d.String()
+		mode := d.U32()
+		if d.Err() != nil {
+			return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "bad-args: %v", d.Err())
+		}
+		if err := s.mgr.CreateFile(id, path, mode); err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	default:
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "bad-args: unknown proc %d", req.Proc)
+	}
+}
+
+// --- client ---------------------------------------------------------------------
+
+// Client is a remote AFS manager handle implementing nasdafs.ManagerAPI.
+// Callback breaks pushed by the server are delivered to the receiver
+// passed to the acquire calls (one nasdafs.Client per afsrpc.Client).
+type Client struct {
+	ctl   *rpc.Client
+	token uint64
+
+	mu       sync.Mutex
+	cbConn   rpc.Conn
+	receiver nasdafs.CallbackReceiver
+}
+
+// Dial establishes the control and callback connections. token must be
+// unique among this manager's clients.
+func Dial(dial func() (rpc.Conn, error), token uint64) (*Client, error) {
+	ctlConn, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	cbConn, err := dial()
+	if err != nil {
+		ctlConn.Close()
+		return nil, err
+	}
+	c := &Client{ctl: rpc.NewClient(ctlConn), token: token, cbConn: cbConn}
+
+	// Register the callback channel.
+	var e rpc.Encoder
+	e.U64(token)
+	if err := cbConn.Send(rpc.EncodeRequest(&rpc.Request{MsgID: 1, Proc: opRegister, Args: e.Bytes()})); err != nil {
+		c.Close()
+		return nil, err
+	}
+	raw, err := cbConn.Recv()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	msg, err := rpc.DecodeMessage(raw)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	if rep, ok := msg.(*rpc.Reply); !ok || rep.Status != rpc.StatusOK {
+		c.Close()
+		return nil, fmt.Errorf("afsrpc: callback registration rejected")
+	}
+	go c.listenBreaks()
+	return c, nil
+}
+
+// SetReceiver directs pushed breaks to rcv (normally the nasdafs.Client
+// built on top of this connection).
+func (c *Client) SetReceiver(rcv nasdafs.CallbackReceiver) {
+	c.mu.Lock()
+	c.receiver = rcv
+	c.mu.Unlock()
+}
+
+func (c *Client) listenBreaks() {
+	for {
+		raw, err := c.cbConn.Recv()
+		if err != nil {
+			return
+		}
+		msg, err := rpc.DecodeMessage(raw)
+		if err != nil {
+			return
+		}
+		req, ok := msg.(*rpc.Request)
+		if !ok || req.Proc != opBreak {
+			continue
+		}
+		d := rpc.NewDecoder(req.Args)
+		path := d.String()
+		if d.Err() != nil {
+			continue
+		}
+		c.mu.Lock()
+		rcv := c.receiver
+		c.mu.Unlock()
+		if rcv != nil {
+			rcv.BreakCallback(path)
+		}
+	}
+}
+
+// Close tears down both connections.
+func (c *Client) Close() error {
+	c.cbConn.Close()
+	return c.ctl.Close()
+}
+
+func (c *Client) call(proc uint16, args []byte) (*rpc.Reply, error) {
+	rep, err := c.ctl.Call(&rpc.Request{Proc: proc, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Status != rpc.StatusOK {
+		kind, detail, _ := strings.Cut(rep.Msg, ": ")
+		return nil, errorFor(kind, detail)
+	}
+	return rep, nil
+}
+
+func (c *Client) acquire(proc uint16, id filemgr.Identity, path string, escrow uint64) (filemgr.Handle, capability.Capability, error) {
+	var e rpc.Encoder
+	e.U64(c.token)
+	encodeIdentity(&e, id)
+	e.String(path)
+	if proc == opAcquireWrite {
+		e.U64(escrow)
+	}
+	rep, err := c.call(proc, e.Bytes())
+	if err != nil {
+		return filemgr.Handle{}, capability.Capability{}, err
+	}
+	d := rpc.NewDecoder(rep.Args)
+	h := decodeHandle(d)
+	cap, cerr := decodeCapability(d)
+	if cerr != nil {
+		return filemgr.Handle{}, capability.Capability{}, cerr
+	}
+	return h, cap, d.Err()
+}
+
+// AcquireRead implements nasdafs.ManagerAPI.
+func (c *Client) AcquireRead(rcv nasdafs.CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error) {
+	c.SetReceiver(rcv)
+	return c.acquire(opAcquireRead, id, path, 0)
+}
+
+// TryAcquireRead implements nasdafs.ManagerAPI.
+func (c *Client) TryAcquireRead(rcv nasdafs.CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error) {
+	c.SetReceiver(rcv)
+	return c.acquire(opTryAcquireRead, id, path, 0)
+}
+
+// AcquireWrite implements nasdafs.ManagerAPI.
+func (c *Client) AcquireWrite(rcv nasdafs.CallbackReceiver, id filemgr.Identity, path string, escrowLen uint64) (filemgr.Handle, capability.Capability, error) {
+	c.SetReceiver(rcv)
+	return c.acquire(opAcquireWrite, id, path, escrowLen)
+}
+
+// Relinquish implements nasdafs.ManagerAPI.
+func (c *Client) Relinquish(_ nasdafs.CallbackReceiver, path string) error {
+	var e rpc.Encoder
+	e.U64(c.token)
+	e.String(path)
+	_, err := c.call(opRelinquish, e.Bytes())
+	return err
+}
+
+// Truncate implements nasdafs.ManagerAPI.
+func (c *Client) Truncate(h filemgr.Handle, size uint64) error {
+	var e rpc.Encoder
+	e.U64(c.token)
+	encodeHandle(&e, h)
+	e.U64(size)
+	_, err := c.call(opTruncate, e.Bytes())
+	return err
+}
+
+// CreateFile implements nasdafs.ManagerAPI.
+func (c *Client) CreateFile(id filemgr.Identity, path string, mode uint32) error {
+	var e rpc.Encoder
+	e.U64(c.token)
+	encodeIdentity(&e, id)
+	e.String(path)
+	e.U32(mode)
+	_, err := c.call(opCreate, e.Bytes())
+	return err
+}
+
+var _ nasdafs.ManagerAPI = (*Client)(nil)

@@ -1,0 +1,195 @@
+package afsrpc
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/filemgr"
+	"nasd/internal/nasdafs"
+	"nasd/internal/rpc"
+)
+
+var seq atomic.Uint64
+
+// env: one drive, a local AFS manager served over TCP, and a dialer for
+// remote AFS clients (each gets its own drive connection + afsrpc pair).
+type env struct {
+	t        *testing.T
+	addr     string
+	driveLn  *rpc.InProcListener
+	tokenSeq atomic.Uint64
+}
+
+func newEnv(t *testing.T, quota uint64) *env {
+	t.Helper()
+	master := crypt.NewRandomKey()
+	dev := blockdev.NewMemDisk(4096, 8192)
+	drv, err := drive.NewFormat(dev, drive.Config{ID: 1, Master: master, Secure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := rpc.NewInProcListener("d")
+	dsrv := drv.Serve(dl)
+	t.Cleanup(dsrv.Close)
+	dial := func() *client.Drive {
+		conn, err := dl.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := client.New(conn, 1, 80_000+seq.Add(1), true)
+		t.Cleanup(func() { c.Close() })
+		return c
+	}
+	fm, err := filemgr.Format(filemgr.Config{
+		Drives: []filemgr.DriveTarget{{Client: dial(), DriveID: 1, Master: master}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := nasdafs.NewManager(fm, quota, []*client.Drive{dial()})
+	srv := NewServer(mgr)
+	l, err := rpc.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	t.Cleanup(srv.Close)
+	return &env{t: t, addr: l.Addr(), driveLn: dl}
+}
+
+// newRemoteClient builds a whole-file-caching AFS client whose manager
+// is across the TCP connection.
+func (e *env) newRemoteClient(id filemgr.Identity) *nasdafs.Client {
+	e.t.Helper()
+	rm, err := Dial(func() (rpc.Conn, error) { return rpc.DialTCP(e.addr) }, e.tokenSeq.Add(1))
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	e.t.Cleanup(func() { rm.Close() })
+	conn, err := e.driveLn.Dial()
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	dc := client.New(conn, 1, 90_000+seq.Add(1), true)
+	e.t.Cleanup(func() { dc.Close() })
+	c := nasdafs.NewClient(rm, []*client.Drive{dc}, id)
+	rm.SetReceiver(c)
+	return c
+}
+
+var alice = filemgr.Identity{UID: 10}
+var bob = filemgr.Identity{UID: 20}
+
+func TestRemoteFetchStoreRoundTrip(t *testing.T) {
+	e := newEnv(t, 0)
+	c := e.newRemoteClient(alice)
+	if err := c.Create("/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("remote-afs"), 3000)
+	if err := c.StoreData("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.FetchData("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("fetch: %v", err)
+	}
+	if !c.Cached("/f") {
+		t.Fatal("not cached")
+	}
+}
+
+func TestCallbackBreakCrossesNetwork(t *testing.T) {
+	e := newEnv(t, 0)
+	writer := e.newRemoteClient(alice)
+	reader := e.newRemoteClient(bob)
+	if err := writer.Create("/shared", 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.StoreData("/shared", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.FetchData("/shared"); err != nil {
+		t.Fatal(err)
+	}
+	if !reader.Cached("/shared") {
+		t.Fatal("reader did not cache")
+	}
+	// Writer stores again: issuing the write capability must push a
+	// break down the reader's callback connection.
+	if err := writer.StoreData("/shared", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for reader.Cached("/shared") {
+		if time.Now().After(deadline) {
+			t.Fatal("callback break never arrived over the network")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	got, err := reader.FetchData("/shared")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("refetch = %q, %v", got, err)
+	}
+}
+
+func TestRemoteWriteLockAndQuota(t *testing.T) {
+	e := newEnv(t, 50_000)
+	w := e.newRemoteClient(alice)
+	r := e.newRemoteClient(bob)
+	if err := w.Create("/q", 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.StoreData("/q", make([]byte, 30_000)); err != nil {
+		t.Fatal(err)
+	}
+	// Oversized escrow rejected with a typed error across the wire.
+	err := w.StoreData("/q", make([]byte, 100_000))
+	if !errors.Is(err, nasdafs.ErrQuota) {
+		t.Fatalf("quota breach: %v", err)
+	}
+	// Reads still work afterwards (no stuck lock).
+	if _, err := r.FetchData("/q"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteStoreShrinks(t *testing.T) {
+	e := newEnv(t, 0)
+	c := e.newRemoteClient(alice)
+	if err := c.Create("/s", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreData("/s", bytes.Repeat([]byte{1}, 20_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreData("/s", []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	size, err := c.FetchStatus("/s")
+	if err != nil || size != 5 {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+}
+
+func TestPermErrorsCrossWire(t *testing.T) {
+	e := newEnv(t, 0)
+	w := e.newRemoteClient(alice)
+	if err := w.Create("/private", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.StoreData("/private", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	intruder := e.newRemoteClient(bob)
+	if _, err := intruder.FetchData("/private"); !errors.Is(err, filemgr.ErrPerm) {
+		t.Fatalf("perm error lost on the wire: %v", err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package andrew implements an Andrew-benchmark-style workload
+// [Howard88], the comparison the paper uses for its NFS port: "we found
+// that NASD-NFS and NFS had benchmark times within 5% of each other for
+// configurations with 1 drive/1 client and 8 drives/8 clients".
+//
+// The five classic phases: MakeDir (create a directory tree), Copy
+// (copy a source tree into it), ScanDir (stat every file), ReadAll
+// (read every file), and Make (a compile-like phase that reads sources
+// and writes objects).
+package andrew
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FS is the filesystem interface the workload drives; both the
+// NASD-NFS client and the traditional NFS client satisfy it via thin
+// adapters.
+type FS interface {
+	Mkdir(path string) error
+	Create(path string) error
+	Write(path string, off uint64, data []byte) error
+	Read(path string, off uint64, n int) ([]byte, error)
+	Stat(path string) (size uint64, err error)
+	ReadDir(path string) ([]string, error)
+}
+
+// Config shapes the synthetic source tree.
+type Config struct {
+	Dirs        int // directories in the tree
+	FilesPerDir int
+	FileSize    int // bytes per file (Andrew sources are small)
+	Seed        int64
+}
+
+func (c *Config) fill() {
+	if c.Dirs <= 0 {
+		c.Dirs = 5
+	}
+	if c.FilesPerDir <= 0 {
+		c.FilesPerDir = 10
+	}
+	if c.FileSize <= 0 {
+		c.FileSize = 16 << 10
+	}
+}
+
+// Counts tallies the operations and bytes each phase performed, the
+// input to performance models.
+type Counts struct {
+	Mkdirs  int
+	Creates int
+	Writes  int
+	Reads   int
+	Stats   int
+	Dirs    int
+	BytesR  int64
+	BytesW  int64
+}
+
+// Total returns the total operation count.
+func (c Counts) Total() int {
+	return c.Mkdirs + c.Creates + c.Writes + c.Reads + c.Stats + c.Dirs
+}
+
+// Add accumulates other into c.
+func (c *Counts) Add(other Counts) {
+	c.Mkdirs += other.Mkdirs
+	c.Creates += other.Creates
+	c.Writes += other.Writes
+	c.Reads += other.Reads
+	c.Stats += other.Stats
+	c.Dirs += other.Dirs
+	c.BytesR += other.BytesR
+	c.BytesW += other.BytesW
+}
+
+// Phases runs the five phases under root (which must exist) and
+// returns per-phase operation counts in order: MakeDir, Copy, ScanDir,
+// ReadAll, Make.
+func Phases(fs FS, root string, cfg Config) ([]Counts, error) {
+	cfg.fill()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	data := make([]byte, cfg.FileSize)
+	rng.Read(data)
+	var phases []Counts
+
+	dir := func(i int) string { return fmt.Sprintf("%s/dir%02d", root, i) }
+	file := func(i, j int) string { return fmt.Sprintf("%s/f%02d.c", dir(i), j) }
+
+	// Phase 1: MakeDir.
+	var p1 Counts
+	if err := fs.Mkdir(root + "/src"); err != nil {
+		return nil, fmt.Errorf("andrew mkdir: %w", err)
+	}
+	p1.Mkdirs++
+	for i := 0; i < cfg.Dirs; i++ {
+		if err := fs.Mkdir(dir(i)); err != nil {
+			return nil, fmt.Errorf("andrew mkdir: %w", err)
+		}
+		p1.Mkdirs++
+	}
+	phases = append(phases, p1)
+
+	// Phase 2: Copy (create + write every file).
+	var p2 Counts
+	for i := 0; i < cfg.Dirs; i++ {
+		for j := 0; j < cfg.FilesPerDir; j++ {
+			if err := fs.Create(file(i, j)); err != nil {
+				return nil, fmt.Errorf("andrew create: %w", err)
+			}
+			p2.Creates++
+			if err := fs.Write(file(i, j), 0, data); err != nil {
+				return nil, fmt.Errorf("andrew write: %w", err)
+			}
+			p2.Writes++
+			p2.BytesW += int64(len(data))
+		}
+	}
+	phases = append(phases, p2)
+
+	// Phase 3: ScanDir (readdir + stat everything).
+	var p3 Counts
+	for i := 0; i < cfg.Dirs; i++ {
+		names, err := fs.ReadDir(dir(i))
+		if err != nil {
+			return nil, fmt.Errorf("andrew readdir: %w", err)
+		}
+		p3.Dirs++
+		for range names {
+		}
+		for j := 0; j < cfg.FilesPerDir; j++ {
+			size, err := fs.Stat(file(i, j))
+			if err != nil {
+				return nil, fmt.Errorf("andrew stat: %w", err)
+			}
+			if size != uint64(cfg.FileSize) {
+				return nil, fmt.Errorf("andrew stat: %s size %d, want %d", file(i, j), size, cfg.FileSize)
+			}
+			p3.Stats++
+		}
+	}
+	phases = append(phases, p3)
+
+	// Phase 4: ReadAll.
+	var p4 Counts
+	for i := 0; i < cfg.Dirs; i++ {
+		for j := 0; j < cfg.FilesPerDir; j++ {
+			got, err := fs.Read(file(i, j), 0, cfg.FileSize)
+			if err != nil {
+				return nil, fmt.Errorf("andrew read: %w", err)
+			}
+			if len(got) != cfg.FileSize {
+				return nil, fmt.Errorf("andrew read: %s returned %d bytes", file(i, j), len(got))
+			}
+			p4.Reads++
+			p4.BytesR += int64(len(got))
+		}
+	}
+	phases = append(phases, p4)
+
+	// Phase 5: Make (read each source, write an object ~60% its size).
+	var p5 Counts
+	obj := data[:cfg.FileSize*6/10]
+	for i := 0; i < cfg.Dirs; i++ {
+		for j := 0; j < cfg.FilesPerDir; j++ {
+			if _, err := fs.Read(file(i, j), 0, cfg.FileSize); err != nil {
+				return nil, fmt.Errorf("andrew make read: %w", err)
+			}
+			p5.Reads++
+			p5.BytesR += int64(cfg.FileSize)
+			out := fmt.Sprintf("%s/f%02d.o", dir(i), j)
+			if err := fs.Create(out); err != nil {
+				return nil, fmt.Errorf("andrew make create: %w", err)
+			}
+			p5.Creates++
+			if err := fs.Write(out, 0, obj); err != nil {
+				return nil, fmt.Errorf("andrew make write: %w", err)
+			}
+			p5.Writes++
+			p5.BytesW += int64(len(obj))
+		}
+	}
+	phases = append(phases, p5)
+	return phases, nil
+}
+
+// PhaseNames returns the canonical phase names.
+func PhaseNames() []string {
+	return []string{"MakeDir", "Copy", "ScanDir", "ReadAll", "Make"}
+}

@@ -1,0 +1,189 @@
+package andrew
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// memFS is a trivial in-memory FS for exercising the workload driver.
+type memFS struct {
+	mu    sync.Mutex
+	dirs  map[string]bool
+	files map[string][]byte
+}
+
+func newMemFS() *memFS {
+	return &memFS{dirs: map[string]bool{"/": true, "/bench": true}, files: map[string][]byte{}}
+}
+
+func parent(path string) string {
+	i := strings.LastIndex(path, "/")
+	if i <= 0 {
+		return "/"
+	}
+	return path[:i]
+}
+
+func (m *memFS) Mkdir(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[parent(path)] {
+		return errors.New("no parent")
+	}
+	if m.dirs[path] {
+		return errors.New("exists")
+	}
+	m.dirs[path] = true
+	return nil
+}
+
+func (m *memFS) Create(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[parent(path)] {
+		return errors.New("no parent")
+	}
+	m.files[path] = nil
+	return nil
+}
+
+func (m *memFS) Write(path string, off uint64, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return errors.New("no file")
+	}
+	end := int(off) + len(data)
+	if end > len(f) {
+		f = append(f, make([]byte, end-len(f))...)
+	}
+	copy(f[off:], data)
+	m.files[path] = f
+	return nil
+}
+
+func (m *memFS) Read(path string, off uint64, n int) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, errors.New("no file")
+	}
+	if int(off) >= len(f) {
+		return nil, nil
+	}
+	end := int(off) + n
+	if end > len(f) {
+		end = len(f)
+	}
+	return f[off:end], nil
+}
+
+func (m *memFS) Stat(path string) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return 0, errors.New("no file")
+	}
+	return uint64(len(f)), nil
+}
+
+func (m *memFS) ReadDir(path string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[path] {
+		return nil, errors.New("no dir")
+	}
+	var out []string
+	prefix := path + "/"
+	for p := range m.files {
+		if strings.HasPrefix(p, prefix) && !strings.Contains(p[len(prefix):], "/") {
+			out = append(out, p[len(prefix):])
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func TestPhasesCountsAndContent(t *testing.T) {
+	fs := newMemFS()
+	cfg := Config{Dirs: 3, FilesPerDir: 4, FileSize: 1024, Seed: 1}
+	phases, err := Phases(fs, "/bench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 5 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	// MakeDir: /bench/src + 3 dirs.
+	if phases[0].Mkdirs != 4 {
+		t.Fatalf("mkdirs = %d", phases[0].Mkdirs)
+	}
+	// Copy: 12 creates, 12 writes of 1024 bytes.
+	if phases[1].Creates != 12 || phases[1].Writes != 12 || phases[1].BytesW != 12*1024 {
+		t.Fatalf("copy = %+v", phases[1])
+	}
+	// ScanDir: 3 readdirs, 12 stats.
+	if phases[2].Dirs != 3 || phases[2].Stats != 12 {
+		t.Fatalf("scan = %+v", phases[2])
+	}
+	// ReadAll: 12 reads of full size.
+	if phases[3].Reads != 12 || phases[3].BytesR != 12*1024 {
+		t.Fatalf("readall = %+v", phases[3])
+	}
+	// Make: 12 reads + 12 creates + 12 writes of 60%.
+	if phases[4].Reads != 12 || phases[4].Creates != 12 || phases[4].BytesW != 12*614 {
+		t.Fatalf("make = %+v", phases[4])
+	}
+	// Objects exist.
+	if _, err := fs.Stat("/bench/dir00/f00.o"); err != nil {
+		t.Fatal("object file missing")
+	}
+}
+
+func TestPhasesDetectsCorruption(t *testing.T) {
+	fs := newMemFS()
+	cfg := Config{Dirs: 1, FilesPerDir: 1, FileSize: 100, Seed: 1}
+	// Break Stat by pre-truncating after copy: wrap the FS.
+	if _, err := Phases(brokenStat{fs}, "/bench", cfg); err == nil {
+		t.Fatal("size mismatch not detected")
+	}
+}
+
+type brokenStat struct{ *memFS }
+
+func (b brokenStat) Stat(path string) (uint64, error) { return 1, nil }
+
+func TestCountsAddTotal(t *testing.T) {
+	var c Counts
+	c.Add(Counts{Mkdirs: 1, Creates: 2, Writes: 3, Reads: 4, Stats: 5, Dirs: 6, BytesR: 7, BytesW: 8})
+	c.Add(Counts{Mkdirs: 1})
+	if c.Total() != 22 || c.BytesR != 7 || c.Mkdirs != 2 {
+		t.Fatalf("counts = %+v total %d", c, c.Total())
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	names := PhaseNames()
+	if len(names) != 5 || names[0] != "MakeDir" || names[4] != "Make" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestDefaultsFilled(t *testing.T) {
+	fs := newMemFS()
+	if _, err := Phases(fs, "/bench", Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Default tree: 5 dirs x 10 files.
+	names, err := fs.ReadDir(fmt.Sprintf("/bench/dir%02d", 4))
+	if err != nil || len(names) != 20 { // 10 .c + 10 .o
+		t.Fatalf("dir listing = %v, %v", names, err)
+	}
+}

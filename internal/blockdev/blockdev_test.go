@@ -1,0 +1,262 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemDiskReadWriteRoundTrip(t *testing.T) {
+	d := NewMemDisk(512, 100)
+	data := bytes.Repeat([]byte{0xAB}, 512)
+	if err := d.WriteBlock(7, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	if err := d.ReadBlock(7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("read != written")
+	}
+}
+
+func TestMemDiskUnwrittenReadsZero(t *testing.T) {
+	d := NewMemDisk(512, 10)
+	buf := bytes.Repeat([]byte{0xFF}, 512)
+	if err := d.ReadBlock(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range buf {
+		if b != 0 {
+			t.Fatal("unwritten block not zero")
+		}
+	}
+}
+
+func TestMemDiskBounds(t *testing.T) {
+	d := NewMemDisk(512, 10)
+	buf := make([]byte, 512)
+	if err := d.ReadBlock(10, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read past end: %v", err)
+	}
+	if err := d.ReadBlock(-1, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative read: %v", err)
+	}
+	if err := d.WriteBlock(11, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("write past end: %v", err)
+	}
+	if err := d.ReadBlock(0, make([]byte, 100)); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("short buffer: %v", err)
+	}
+}
+
+func TestMemDiskWriteDoesNotAliasCaller(t *testing.T) {
+	d := NewMemDisk(4, 4)
+	data := []byte{1, 2, 3, 4}
+	if err := d.WriteBlock(0, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 99
+	buf := make([]byte, 4)
+	if err := d.ReadBlock(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 1 {
+		t.Fatal("device aliased caller buffer")
+	}
+}
+
+func TestMemDiskFailAndHeal(t *testing.T) {
+	d := NewMemDisk(512, 10)
+	d.Fail()
+	buf := make([]byte, 512)
+	if err := d.ReadBlock(0, buf); !errors.Is(err, ErrFailed) {
+		t.Fatalf("read on failed disk: %v", err)
+	}
+	if err := d.WriteBlock(0, buf); !errors.Is(err, ErrFailed) {
+		t.Fatalf("write on failed disk: %v", err)
+	}
+	if err := d.Flush(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("flush on failed disk: %v", err)
+	}
+	d.Heal()
+	if err := d.ReadBlock(0, buf); err != nil {
+		t.Fatalf("read after heal: %v", err)
+	}
+}
+
+func TestMemDiskCorruptionAndHealByRewrite(t *testing.T) {
+	d := NewMemDisk(512, 10)
+	data := bytes.Repeat([]byte{1}, 512)
+	if err := d.WriteBlock(5, data); err != nil {
+		t.Fatal(err)
+	}
+	d.CorruptBlock(5)
+	buf := make([]byte, 512)
+	if err := d.ReadBlock(5, buf); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupt read: %v", err)
+	}
+	if err := d.WriteBlock(5, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadBlock(5, buf); err != nil {
+		t.Fatalf("read after rewrite: %v", err)
+	}
+}
+
+func TestMemDiskFailNext(t *testing.T) {
+	d := NewMemDisk(512, 10)
+	injected := errors.New("transient")
+	d.FailNext(2, injected)
+	buf := make([]byte, 512)
+	if err := d.ReadBlock(2, buf); !errors.Is(err, injected) {
+		t.Fatalf("injected error not returned: %v", err)
+	}
+	if err := d.ReadBlock(2, buf); err != nil {
+		t.Fatalf("error persisted: %v", err)
+	}
+}
+
+func TestMemDiskStats(t *testing.T) {
+	d := NewMemDisk(512, 10)
+	buf := make([]byte, 512)
+	_ = d.WriteBlock(0, buf)
+	_ = d.WriteBlock(1, buf)
+	_ = d.ReadBlock(0, buf)
+	r, w := d.Stats()
+	if r != 1 || w != 2 {
+		t.Fatalf("stats = %d reads %d writes", r, w)
+	}
+	if d.AllocatedBlocks() != 2 {
+		t.Fatalf("allocated = %d", d.AllocatedBlocks())
+	}
+}
+
+func TestStripeGeometry(t *testing.T) {
+	a := NewMemDisk(512, 100)
+	b := NewMemDisk(512, 120)
+	s, err := NewStripe([]Device{a, b}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Blocks() != 200 { // limited by smaller device
+		t.Fatalf("blocks = %d", s.Blocks())
+	}
+	if s.BlockSize() != 512 {
+		t.Fatalf("block size = %d", s.BlockSize())
+	}
+}
+
+func TestStripeRejectsBadConfig(t *testing.T) {
+	if _, err := NewStripe(nil, 8); err == nil {
+		t.Fatal("empty device list accepted")
+	}
+	a := NewMemDisk(512, 10)
+	b := NewMemDisk(1024, 10)
+	if _, err := NewStripe([]Device{a, b}, 8); err == nil {
+		t.Fatal("mismatched block sizes accepted")
+	}
+	if _, err := NewStripe([]Device{a}, 0); err == nil {
+		t.Fatal("zero stripe unit accepted")
+	}
+}
+
+func TestStripeLocateBijection(t *testing.T) {
+	devs := []Device{NewMemDisk(512, 64), NewMemDisk(512, 64), NewMemDisk(512, 64)}
+	s, err := NewStripe(devs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[[2]int64]int64)
+	for i := int64(0); i < s.Blocks(); i++ {
+		dev, phys := s.Locate(i)
+		key := [2]int64{int64(dev), phys}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("blocks %d and %d both map to dev %d phys %d", prev, i, dev, phys)
+		}
+		seen[key] = i
+		if phys < 0 || phys >= 64 {
+			t.Fatalf("block %d maps to out-of-range phys %d", i, phys)
+		}
+	}
+}
+
+func TestStripeAlternatesDevices(t *testing.T) {
+	devs := []Device{NewMemDisk(512, 64), NewMemDisk(512, 64)}
+	s, _ := NewStripe(devs, 4)
+	// Blocks 0-3 on dev 0, 4-7 on dev 1, 8-11 on dev 0, ...
+	for i := int64(0); i < 16; i++ {
+		dev, _ := s.Locate(i)
+		want := int(i/4) % 2
+		if dev != want {
+			t.Fatalf("block %d on dev %d, want %d", i, dev, want)
+		}
+	}
+}
+
+func TestStripeReadWriteThrough(t *testing.T) {
+	devs := []Device{NewMemDisk(512, 64), NewMemDisk(512, 64)}
+	s, _ := NewStripe(devs, 1)
+	data := bytes.Repeat([]byte{7}, 512)
+	if err := s.WriteBlock(3, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	if err := s.ReadBlock(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("stripe round trip failed")
+	}
+	// Block 3 with unit 1 lands on dev 1 phys 1.
+	if err := devs[1].ReadBlock(1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("data not on expected underlying device")
+	}
+}
+
+func TestStripeBounds(t *testing.T) {
+	s, _ := NewStripe([]Device{NewMemDisk(512, 4)}, 1)
+	buf := make([]byte, 512)
+	if err := s.ReadBlock(4, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read past end: %v", err)
+	}
+	if err := s.WriteBlock(-1, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative write: %v", err)
+	}
+}
+
+func TestStripeFlushPropagatesFailure(t *testing.T) {
+	a := NewMemDisk(512, 4)
+	b := NewMemDisk(512, 4)
+	s, _ := NewStripe([]Device{a, b}, 1)
+	b.Fail()
+	if err := s.Flush(); !errors.Is(err, ErrFailed) {
+		t.Fatalf("flush: %v", err)
+	}
+}
+
+// Property: for random geometry, writing random data to random blocks
+// and reading it back always matches (read-after-write).
+func TestMemDiskReadAfterWriteProperty(t *testing.T) {
+	d := NewMemDisk(64, 32)
+	f := func(block uint8, fill byte) bool {
+		i := int64(block % 32)
+		data := bytes.Repeat([]byte{fill}, 64)
+		if err := d.WriteBlock(i, data); err != nil {
+			return false
+		}
+		buf := make([]byte, 64)
+		if err := d.ReadBlock(i, buf); err != nil {
+			return false
+		}
+		return bytes.Equal(buf, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package blockdev
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileDiskRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	d, err := CreateFileDisk(path, 512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.BlockSize() != 512 || d.Blocks() != 64 {
+		t.Fatalf("geometry = %dx%d", d.BlockSize(), d.Blocks())
+	}
+	data := bytes.Repeat([]byte{0xAB}, 512)
+	if err := d.WriteBlock(7, data); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 512)
+	if err := d.ReadBlock(7, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("round trip failed")
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileDiskPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	d, err := CreateFileDisk(path, 4096, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("durable!"), 512)
+	if err := d.WriteBlock(3, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.BlockSize() != 4096 || d2.Blocks() != 32 {
+		t.Fatalf("geometry lost: %dx%d", d2.BlockSize(), d2.Blocks())
+	}
+	buf := make([]byte, 4096)
+	if err := d2.ReadBlock(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data) {
+		t.Fatal("data lost across reopen")
+	}
+}
+
+func TestFileDiskBounds(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	d, err := CreateFileDisk(path, 512, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	buf := make([]byte, 512)
+	if err := d.ReadBlock(8, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("read past end: %v", err)
+	}
+	if err := d.WriteBlock(-1, buf); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("negative write: %v", err)
+	}
+	if err := d.ReadBlock(0, make([]byte, 100)); !errors.Is(err, ErrBadSize) {
+		t.Fatalf("short buffer: %v", err)
+	}
+}
+
+func TestOpenFileDiskRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-disk")
+	if err := os.WriteFile(path, bytes.Repeat([]byte{1}, 8192), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFileDisk(path); err == nil {
+		t.Fatal("garbage file accepted")
+	}
+	if _, err := OpenFileDisk(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCreateFileDiskRejectsBadGeometry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "disk.img")
+	if _, err := CreateFileDisk(path, 0, 8); err == nil {
+		t.Fatal("zero block size accepted")
+	}
+	if _, err := CreateFileDisk(path, 512, 0); err == nil {
+		t.Fatal("zero blocks accepted")
+	}
+}

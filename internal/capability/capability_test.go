@@ -1,0 +1,285 @@
+package capability
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nasd/internal/crypt"
+)
+
+func testHierarchy(t *testing.T) (*crypt.Hierarchy, crypt.KeyID, crypt.Key) {
+	t.Helper()
+	h := crypt.NewHierarchy(crypt.NewRandomKey())
+	if err := h.AddPartition(1); err != nil {
+		t.Fatal(err)
+	}
+	id, k, err := h.CurrentWorkingKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, id, k
+}
+
+func basePublic(keyID crypt.KeyID) Public {
+	return Public{
+		DriveID:   77,
+		Partition: 1,
+		Object:    42,
+		ObjVer:    3,
+		Rights:    Read | GetAttr,
+		Offset:    0,
+		Length:    1 << 20,
+		Expiry:    time.Now().Add(time.Hour).UnixNano(),
+		Key:       keyID,
+	}
+}
+
+func baseCheck() Check {
+	return Check{
+		DriveID: 77, Part: 1, Object: 42, ObjVer: 3,
+		Op: Read, Offset: 0, Length: 4096, Now: time.Now(),
+	}
+}
+
+func TestMintAndValidate(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	cap := Mint(basePublic(id), k)
+	body := []byte("READ obj=42 off=0 len=4096 nonce=1")
+	if err := Validate(cap.Public, body, cap.SignRequest(body), baseCheck(), h); err != nil {
+		t.Fatalf("valid capability rejected: %v", err)
+	}
+}
+
+func TestPublicEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(drive, obj, over, off, length uint64, part uint16, rights uint32, exp int64, kt uint8, kp uint16, kv uint32) bool {
+		p := Public{
+			DriveID: drive, Partition: part, Object: obj, ObjVer: over,
+			Rights: Rights(rights), Offset: off, Length: length, Expiry: exp,
+			Key: crypt.KeyID{Type: crypt.KeyType(kt % 4), Partition: kp, Version: kv},
+		}
+		got, err := DecodePublic(p.Encode())
+		return err == nil && reflect.DeepEqual(got, p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodePublicBadLength(t *testing.T) {
+	if _, err := DecodePublic(make([]byte, 10)); err == nil {
+		t.Fatal("short encoding accepted")
+	}
+}
+
+func TestForgedPrivateRejected(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	cap := Mint(basePublic(id), k)
+	forged := cap
+	forged.Private[0] ^= 1
+	body := []byte("READ")
+	err := Validate(cap.Public, body, forged.SignRequest(body), baseCheck(), h)
+	if err != ErrBadDigest {
+		t.Fatalf("forged private accepted: %v", err)
+	}
+}
+
+func TestEscalatedRightsRejected(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	cap := Mint(basePublic(id), k) // read-only
+	// Client edits the public portion to claim write rights and re-signs
+	// with its (now mismatched) private portion.
+	escalated := cap.Public
+	escalated.Rights |= Write
+	body := []byte("WRITE")
+	chk := baseCheck()
+	chk.Op = Write
+	err := Validate(escalated, body, cap.SignRequest(body), chk, h)
+	if err != ErrBadDigest {
+		t.Fatalf("escalated capability accepted: %v", err)
+	}
+}
+
+func TestRightsEnforced(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	cap := Mint(basePublic(id), k)
+	body := []byte("WRITE")
+	chk := baseCheck()
+	chk.Op = Write
+	if err := Validate(cap.Public, body, cap.SignRequest(body), chk, h); err != ErrRights {
+		t.Fatalf("write with read-only capability: %v", err)
+	}
+}
+
+func TestByteRegionEnforced(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	pub := basePublic(id)
+	pub.Offset = 4096
+	pub.Length = 8192
+	cap := Mint(pub, k)
+	body := []byte("READ")
+
+	for _, tc := range []struct {
+		off, n uint64
+		want   error
+	}{
+		{4096, 8192, nil},
+		{4096, 4096, nil},
+		{8192, 4096, nil},
+		{0, 4096, ErrRegion},       // before region
+		{4096, 8193, ErrRegion},    // past region end
+		{12288, 1, ErrRegion},      // starts at end
+		{^uint64(0), 2, ErrRegion}, // overflow attempt
+	} {
+		chk := baseCheck()
+		chk.Offset, chk.Length = tc.off, tc.n
+		err := Validate(cap.Public, body, cap.SignRequest(body), chk, h)
+		if err != tc.want {
+			t.Errorf("region (%d,%d): got %v want %v", tc.off, tc.n, err, tc.want)
+		}
+	}
+}
+
+func TestUnboundedRegion(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	pub := basePublic(id)
+	pub.Offset = 0
+	pub.Length = 0 // unbounded
+	cap := Mint(pub, k)
+	body := []byte("READ")
+	chk := baseCheck()
+	chk.Offset, chk.Length = 1<<40, 1<<20
+	if err := Validate(cap.Public, body, cap.SignRequest(body), chk, h); err != nil {
+		t.Fatalf("unbounded region rejected: %v", err)
+	}
+}
+
+func TestExpiryEnforced(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	pub := basePublic(id)
+	pub.Expiry = time.Now().Add(-time.Second).UnixNano()
+	cap := Mint(pub, k)
+	body := []byte("READ")
+	if err := Validate(cap.Public, body, cap.SignRequest(body), baseCheck(), h); err != ErrExpired {
+		t.Fatalf("expired capability: %v", err)
+	}
+	// Expiry 0 = never expires.
+	pub.Expiry = 0
+	cap = Mint(pub, k)
+	if err := Validate(cap.Public, body, cap.SignRequest(body), baseCheck(), h); err != nil {
+		t.Fatalf("never-expiring capability rejected: %v", err)
+	}
+}
+
+func TestVersionRevocation(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	cap := Mint(basePublic(id), k)
+	body := []byte("READ")
+	chk := baseCheck()
+	chk.ObjVer = 4 // file manager bumped the object's logical version
+	if err := Validate(cap.Public, body, cap.SignRequest(body), chk, h); err != ErrStaleVersion {
+		t.Fatalf("stale version accepted: %v", err)
+	}
+}
+
+func TestWorkingKeyRotationRevokes(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	cap := Mint(basePublic(id), k)
+	if _, err := h.RotateWorkingKey(1); err != nil {
+		t.Fatal(err)
+	}
+	body := []byte("READ")
+	if err := Validate(cap.Public, body, cap.SignRequest(body), baseCheck(), h); err != ErrNoKey {
+		t.Fatalf("capability under rotated key: %v", err)
+	}
+}
+
+func TestWrongDriveAndObject(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	cap := Mint(basePublic(id), k)
+	body := []byte("READ")
+
+	chk := baseCheck()
+	chk.DriveID = 78
+	if err := Validate(cap.Public, body, cap.SignRequest(body), chk, h); err != ErrWrongDrive {
+		t.Fatalf("wrong drive: %v", err)
+	}
+	chk = baseCheck()
+	chk.Object = 43
+	if err := Validate(cap.Public, body, cap.SignRequest(body), chk, h); err != ErrWrongObject {
+		t.Fatalf("wrong object: %v", err)
+	}
+}
+
+func TestPartitionScopeCapability(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	pub := basePublic(id)
+	pub.Object = 0 // partition scope: any object in partition 1
+	pub.Rights = CreateObj | Read
+	cap := Mint(pub, k)
+	body := []byte("CREATE")
+	chk := baseCheck()
+	chk.Object = 999
+	chk.Op = CreateObj
+	chk.Length = 0
+	if err := Validate(cap.Public, body, cap.SignRequest(body), chk, h); err != nil {
+		t.Fatalf("partition-scope capability rejected: %v", err)
+	}
+}
+
+func TestTamperedBodyRejected(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	cap := Mint(basePublic(id), k)
+	body := []byte("READ obj=42 off=0 len=4096")
+	sig := cap.SignRequest(body)
+	tampered := []byte("READ obj=42 off=0 len=9999")
+	if err := Validate(cap.Public, tampered, sig, baseCheck(), h); err != ErrBadDigest {
+		t.Fatalf("tampered body accepted: %v", err)
+	}
+}
+
+func TestRightsString(t *testing.T) {
+	if got := (Read | Write).String(); got != "read|write" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := Rights(0).String(); got != "none" {
+		t.Errorf("zero String() = %q", got)
+	}
+}
+
+func TestRightsHas(t *testing.T) {
+	r := Read | GetAttr
+	if !r.Has(Read) || !r.Has(Read|GetAttr) {
+		t.Fatal("Has false negative")
+	}
+	if r.Has(Write) || r.Has(Read|Write) {
+		t.Fatal("Has false positive")
+	}
+}
+
+// Property: random bit flips anywhere in the public portion always fail
+// validation (the drive recomputes the private portion from the mutated
+// fields, which no longer matches the client's request digest).
+func TestPublicTamperProperty(t *testing.T) {
+	h, id, k := testHierarchy(t)
+	cap := Mint(basePublic(id), k)
+	body := []byte("READ")
+	sig := cap.SignRequest(body)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		enc := cap.Public.Encode()
+		enc[rng.Intn(len(enc))] ^= 1 << rng.Intn(8)
+		mut, err := DecodePublic(enc)
+		if err != nil {
+			continue
+		}
+		if mut == cap.Public {
+			continue
+		}
+		if err := Validate(mut, body, sig, baseCheck(), h); err == nil {
+			t.Fatalf("mutated public portion accepted: %+v", mut)
+		}
+	}
+}

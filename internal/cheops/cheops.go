@@ -1,0 +1,455 @@
+// Package cheops implements the paper's storage manager (Section 5.2):
+// a second level of objects layered on the NASD interface. A Cheops
+// logical object maps onto component objects spread across NASD drives;
+// the manager "replaces the file manager's capability with a set of
+// capabilities for the objects that actually make up the high-level
+// striped object", and clients then access drives directly. Striping
+// and redundancy are computed over object offsets, never physical disk
+// addresses, so untrusted clients can only touch what their component
+// capabilities name.
+//
+// Cheops deliberately uses client processing power (the xor for parity,
+// the fan-out of striped transfers) rather than scaling a storage
+// controller, which is the difference from Swift/TickerTAIP/Petal the
+// paper calls out.
+package cheops
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nasd/internal/capability"
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+)
+
+// Pattern selects the redundancy scheme of a logical object.
+type Pattern uint8
+
+// Supported layouts.
+const (
+	// Stripe0 is plain striping (RAID 0): maximum bandwidth, no
+	// redundancy. The paper's Figure 9 experiments use this.
+	Stripe0 Pattern = iota
+	// Mirror1 replicates the object on every component (RAID 1).
+	Mirror1
+	// RAID5 rotates parity across components.
+	RAID5
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Stripe0:
+		return "stripe"
+	case Mirror1:
+		return "mirror"
+	case RAID5:
+		return "raid5"
+	}
+	return fmt.Sprintf("pattern(%d)", uint8(p))
+}
+
+// Component names one component object of a logical object.
+type Component struct {
+	Drive   int // index into the manager's drive table
+	DriveID uint64
+	Object  uint64
+}
+
+// Descriptor is the layout of one logical object.
+type Descriptor struct {
+	Logical    uint64
+	Pattern    Pattern
+	StripeUnit int64
+	Components []Component
+	Size       uint64
+}
+
+// Width returns the number of components.
+func (d *Descriptor) Width() int { return len(d.Components) }
+
+// DataWidth returns the number of data-bearing lanes per stripe.
+func (d *Descriptor) DataWidth() int {
+	switch d.Pattern {
+	case RAID5:
+		return len(d.Components) - 1
+	case Mirror1:
+		return 1
+	default:
+		return len(d.Components)
+	}
+}
+
+// Errors.
+var (
+	ErrNoObject  = errors.New("cheops: no such logical object")
+	ErrBadLayout = errors.New("cheops: invalid layout")
+	ErrDegraded  = errors.New("cheops: too many failed components")
+	ErrLockHeld  = errors.New("cheops: stripe lock held")
+)
+
+// DriveRef is one drive under Cheops management.
+type DriveRef struct {
+	Client  *client.Drive
+	DriveID uint64
+	Master  crypt.Key
+}
+
+// Manager is the Cheops storage manager: it owns layout mappings and
+// trades logical capabilities for component capability sets. It may be
+// co-located with a file manager.
+type Manager struct {
+	mu      sync.Mutex
+	drives  []DriveRef
+	keys    []*crypt.Hierarchy
+	part    uint16
+	expiry  time.Duration
+	clock   func() time.Time
+	objects map[uint64]*Descriptor
+	next    uint64
+	dirObj  uint64 // directory object on drive 0 (persistence)
+	locks   map[stripeKey]bool
+	lockC   *sync.Cond
+}
+
+type stripeKey struct {
+	logical uint64
+	stripe  int64
+}
+
+// ManagerConfig configures a Cheops manager.
+type ManagerConfig struct {
+	Drives []DriveRef
+	// Partition on each drive used for component objects (created by
+	// Format).
+	Partition uint16
+	// CapExpiry bounds component capability lifetime.
+	CapExpiry time.Duration
+	Clock     func() time.Time
+}
+
+// NewManager builds a manager. With format true it creates its
+// partition on every drive plus the directory object that persists
+// layout mappings; with format false it mounts an existing Cheops
+// deployment, recovering every logical object from the directory.
+func NewManager(cfg ManagerConfig, format bool) (*Manager, error) {
+	if len(cfg.Drives) == 0 {
+		return nil, errors.New("cheops: no drives")
+	}
+	if cfg.Partition == 0 {
+		cfg.Partition = 2
+	}
+	if cfg.CapExpiry == 0 {
+		cfg.CapExpiry = 10 * time.Minute
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	m := &Manager{
+		drives:  cfg.Drives,
+		part:    cfg.Partition,
+		expiry:  cfg.CapExpiry,
+		clock:   cfg.Clock,
+		objects: make(map[uint64]*Descriptor),
+		next:    1,
+		locks:   make(map[stripeKey]bool),
+	}
+	m.lockC = sync.NewCond(&m.mu)
+	for _, d := range cfg.Drives {
+		keys := crypt.NewHierarchy(d.Master)
+		if format {
+			if err := d.Client.CreatePartition(crypt.KeyID{Type: crypt.MasterKey}, d.Master, m.part, 0); err != nil {
+				return nil, fmt.Errorf("cheops: partition on drive %d: %w", d.DriveID, err)
+			}
+		}
+		if err := keys.AddPartition(m.part); err != nil {
+			return nil, err
+		}
+		m.keys = append(m.keys, keys)
+	}
+	if format {
+		if err := m.initDirectory(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := m.loadDirectory(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Partition returns the partition Cheops uses on each drive.
+func (m *Manager) Partition() uint16 { return m.part }
+
+// Create allocates a logical object striped over width drives starting
+// at drive index startDrive (round-robin placement across calls is the
+// caller's choice).
+func (m *Manager) Create(pattern Pattern, stripeUnit int64, width int, startDrive int) (uint64, error) {
+	if stripeUnit <= 0 || width < 1 || width > len(m.drives) {
+		return 0, ErrBadLayout
+	}
+	if pattern == RAID5 && width < 3 {
+		return 0, fmt.Errorf("%w: RAID5 needs >= 3 components", ErrBadLayout)
+	}
+	comps := make([]Component, 0, width)
+	for i := 0; i < width; i++ {
+		di := (startDrive + i) % len(m.drives)
+		cap := m.mintWildcard(di, capability.CreateObj)
+		obj, err := m.drives[di].Client.Create(&cap, m.part)
+		if err != nil {
+			return 0, fmt.Errorf("cheops: creating component on drive %d: %w", di, err)
+		}
+		comps = append(comps, Component{Drive: di, DriveID: m.drives[di].DriveID, Object: obj})
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.next
+	m.next++
+	m.objects[id] = &Descriptor{
+		Logical: id, Pattern: pattern, StripeUnit: stripeUnit, Components: comps,
+	}
+	m.mu.Unlock()
+	err := m.save()
+	m.mu.Lock()
+	if err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Open returns the descriptor and the set of component capabilities —
+// the capability exchange of Section 5.2 ("this costs an additional
+// control message but once equipped with these capabilities, clients
+// again access storage objects directly").
+func (m *Manager) Open(logical uint64, rights capability.Rights) (Descriptor, []capability.Capability, error) {
+	m.mu.Lock()
+	desc, ok := m.objects[logical]
+	if !ok {
+		m.mu.Unlock()
+		return Descriptor{}, nil, ErrNoObject
+	}
+	d := *desc
+	d.Components = append([]Component(nil), desc.Components...)
+	m.mu.Unlock()
+
+	caps := make([]capability.Capability, len(d.Components))
+	for i, comp := range d.Components {
+		kid, key, err := m.keys[comp.Drive].CurrentWorkingKey(m.part)
+		if err != nil {
+			return Descriptor{}, nil, err
+		}
+		pub := capability.Public{
+			DriveID:   comp.DriveID,
+			Partition: m.part,
+			Object:    comp.Object,
+			ObjVer:    1,
+			Rights:    rights | capability.GetAttr,
+			Expiry:    m.clock().Add(m.expiry).UnixNano(),
+			Key:       kid,
+		}
+		caps[i] = capability.Mint(pub, key)
+	}
+	return d, caps, nil
+}
+
+// Remove deletes a logical object and its components.
+func (m *Manager) Remove(logical uint64) error {
+	m.mu.Lock()
+	desc, ok := m.objects[logical]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNoObject
+	}
+	delete(m.objects, logical)
+	m.mu.Unlock()
+	firstErr := m.save()
+	for _, comp := range desc.Components {
+		cap := m.mintWildcard(comp.Drive, capability.Remove)
+		if err := m.drives[comp.Drive].Client.Remove(&cap, m.part, comp.Object); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// UpdateSize records a logical object's new size (a control message
+// clients send after extending writes).
+func (m *Manager) UpdateSize(logical uint64, size uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	desc, ok := m.objects[logical]
+	if !ok {
+		return ErrNoObject
+	}
+	changed := size > desc.Size
+	if changed {
+		desc.Size = size
+	}
+	m.mu.Unlock()
+	defer m.mu.Lock()
+	if changed {
+		return m.save()
+	}
+	return nil
+}
+
+// Stat returns the descriptor.
+func (m *Manager) Stat(logical uint64) (Descriptor, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	desc, ok := m.objects[logical]
+	if !ok {
+		return Descriptor{}, ErrNoObject
+	}
+	d := *desc
+	d.Components = append([]Component(nil), desc.Components...)
+	return d, nil
+}
+
+// LockStripe serializes read-modify-write parity updates on one stripe
+// (the manager "supports concurrency control for multi-disk accesses").
+// It blocks until the lock is granted.
+func (m *Manager) LockStripe(logical uint64, stripe int64) {
+	k := stripeKey{logical, stripe}
+	m.mu.Lock()
+	for m.locks[k] {
+		m.lockC.Wait()
+	}
+	m.locks[k] = true
+	m.mu.Unlock()
+}
+
+// UnlockStripe releases a stripe lock.
+func (m *Manager) UnlockStripe(logical uint64, stripe int64) {
+	k := stripeKey{logical, stripe}
+	m.mu.Lock()
+	delete(m.locks, k)
+	m.lockC.Broadcast()
+	m.mu.Unlock()
+}
+
+// mintWildcard issues a partition-scope capability for manager-internal
+// operations on a drive.
+func (m *Manager) mintWildcard(driveIdx int, rights capability.Rights) capability.Capability {
+	kid, key, err := m.keys[driveIdx].CurrentWorkingKey(m.part)
+	if err != nil {
+		panic("cheops: no partition key: " + err.Error())
+	}
+	pub := capability.Public{
+		DriveID:   m.drives[driveIdx].DriveID,
+		Partition: m.part,
+		Rights:    rights,
+		Expiry:    m.clock().Add(m.expiry).UnixNano(),
+		Key:       kid,
+	}
+	return capability.Mint(pub, key)
+}
+
+// ReplaceComponent swaps a failed component for a fresh object on
+// another drive and reconstructs its contents from the survivors
+// (mirror copy or RAID5 xor). The logical object must be redundant.
+func (m *Manager) ReplaceComponent(logical uint64, failedIdx int, newDrive int) error {
+	m.mu.Lock()
+	desc, ok := m.objects[logical]
+	if !ok {
+		m.mu.Unlock()
+		return ErrNoObject
+	}
+	d := *desc
+	d.Components = append([]Component(nil), desc.Components...)
+	m.mu.Unlock()
+	if failedIdx < 0 || failedIdx >= len(d.Components) {
+		return ErrBadLayout
+	}
+	if d.Pattern == Stripe0 {
+		return fmt.Errorf("%w: stripe0 has no redundancy", ErrDegraded)
+	}
+
+	// Create the replacement object.
+	cc := m.mintWildcard(newDrive, capability.CreateObj)
+	newObj, err := m.drives[newDrive].Client.Create(&cc, m.part)
+	if err != nil {
+		return err
+	}
+	repl := Component{Drive: newDrive, DriveID: m.drives[newDrive].DriveID, Object: newObj}
+
+	// Reconstruct contents component-offset by component-offset.
+	length, err := m.componentLength(&d, failedIdx)
+	if err != nil {
+		return err
+	}
+	const chunk = 1 << 16
+	wc := m.mintWildcard(newDrive, capability.Write)
+	for off := uint64(0); off < length; off += chunk {
+		n := int(length - off)
+		if n > chunk {
+			n = chunk
+		}
+		var data []byte
+		switch d.Pattern {
+		case Mirror1:
+			src := (failedIdx + 1) % len(d.Components)
+			rc := m.mintWildcard(d.Components[src].Drive, capability.Read)
+			data, err = m.drives[d.Components[src].Drive].Client.Read(&rc, m.part, d.Components[src].Object, off, n)
+			if err != nil {
+				return err
+			}
+		case RAID5:
+			acc := make([]byte, n)
+			for i, comp := range d.Components {
+				if i == failedIdx {
+					continue
+				}
+				rc := m.mintWildcard(comp.Drive, capability.Read)
+				part, err := m.drives[comp.Drive].Client.Read(&rc, m.part, comp.Object, off, n)
+				if err != nil {
+					return err
+				}
+				for j := range part {
+					acc[j] ^= part[j]
+				}
+			}
+			data = acc
+		}
+		if len(data) == 0 {
+			break
+		}
+		if err := m.drives[newDrive].Client.Write(&wc, m.part, newObj, off, data); err != nil {
+			return err
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	desc, ok = m.objects[logical]
+	if !ok {
+		return ErrNoObject
+	}
+	desc.Components[failedIdx] = repl
+	m.mu.Unlock()
+	defer m.mu.Lock()
+	return m.save()
+}
+
+// componentLength computes how many bytes component idx must hold given
+// the logical size.
+func (m *Manager) componentLength(d *Descriptor, idx int) (uint64, error) {
+	switch d.Pattern {
+	case Mirror1:
+		return d.Size, nil
+	case RAID5, Stripe0:
+		// Upper bound: ceil(size / dataWidth) rounded up to a stripe unit.
+		dw := uint64(d.DataWidth())
+		if dw == 0 {
+			return 0, ErrBadLayout
+		}
+		perLane := (d.Size + dw - 1) / dw
+		unit := uint64(d.StripeUnit)
+		return (perLane + unit - 1) / unit * unit, nil
+	}
+	return 0, ErrBadLayout
+}

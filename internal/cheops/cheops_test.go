@@ -1,0 +1,409 @@
+package cheops
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/capability"
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/rpc"
+)
+
+var clientSeq atomic.Uint64
+
+type rig struct {
+	mgr    *Manager
+	drives []*client.Drive
+	srvs   []*rpc.Server
+	lns    []*rpc.InProcListener
+	raw    []*drive.Drive
+}
+
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	r := &rig{}
+	var refs []DriveRef
+	for i := 0; i < n; i++ {
+		master := crypt.NewRandomKey()
+		dev := blockdev.NewMemDisk(4096, 8192)
+		drv, err := drive.NewFormat(dev, drive.Config{ID: uint64(1 + i), Master: master, Secure: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.raw = append(r.raw, drv)
+		l := rpc.NewInProcListener("d")
+		srv := drv.Serve(l)
+		r.srvs = append(r.srvs, srv)
+		r.lns = append(r.lns, l)
+		t.Cleanup(srv.Close)
+		dial := func() *client.Drive {
+			conn, err := l.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := client.New(conn, uint64(1+i), clientSeq.Add(1)+100, true)
+			t.Cleanup(func() { c.Close() })
+			return c
+		}
+		refs = append(refs, DriveRef{Client: dial(), DriveID: uint64(1 + i), Master: master})
+		r.drives = append(r.drives, dial())
+	}
+	mgr, err := NewManager(ManagerConfig{Drives: refs}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mgr = mgr
+	return r
+}
+
+func TestStripe0RoundTrip(t *testing.T) {
+	r := newRig(t, 4)
+	id, err := r.mgr.Create(Stripe0, 32<<10, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 300<<10) // spans several stripes
+	rng.Read(data)
+	if err := obj.WriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obj.ReadAt(0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	// Unaligned window.
+	got, err = obj.ReadAt(33000, 70000)
+	if err != nil || !bytes.Equal(got, data[33000:33000+70000]) {
+		t.Fatalf("unaligned read failed: %v", err)
+	}
+	// All four drives hold data.
+	for i, d := range r.raw {
+		ids, err := d.Store().List(r.mgr.Partition())
+		if err != nil || len(ids) == 0 {
+			t.Fatalf("drive %d has no component: %v", i, err)
+		}
+	}
+}
+
+func TestStripe0SpreadsBytes(t *testing.T) {
+	r := newRig(t, 4)
+	id, _ := r.mgr.Create(Stripe0, 8<<10, 4, 0)
+	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
+	if err := obj.WriteAt(0, make([]byte, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	desc := obj.Desc()
+	for i, comp := range desc.Components {
+		a, err := r.raw[comp.Drive].Store().GetAttr(r.mgr.Partition(), comp.Object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Size != 16<<10 { // 64K over 4 lanes
+			t.Fatalf("component %d holds %d bytes, want 16K", i, a.Size)
+		}
+	}
+}
+
+func TestLocateBijectionStripe0(t *testing.T) {
+	r := newRig(t, 3)
+	id, _ := r.mgr.Create(Stripe0, 4<<10, 3, 0)
+	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read)
+	seen := map[[2]int64]int64{}
+	for off := int64(0); off < 256<<10; off += 4 << 10 {
+		comp, compOff, _, _ := obj.locate(off)
+		key := [2]int64{int64(comp), compOff}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("offsets %d and %d map to same location", prev, off)
+		}
+		seen[key] = off
+	}
+}
+
+func TestMirrorRoundTripAndFailover(t *testing.T) {
+	r := newRig(t, 3)
+	id, err := r.mgr.Create(Mirror1, 32<<10, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("mirror"), 10000)
+	if err := obj.WriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Both replicas hold the full object.
+	for _, comp := range obj.Desc().Components {
+		a, err := r.raw[comp.Drive].Store().GetAttr(r.mgr.Partition(), comp.Object)
+		if err != nil || a.Size != uint64(len(data)) {
+			t.Fatalf("replica size = %d, %v", a.Size, err)
+		}
+	}
+	// Kill replica 0's connection: reads fail over to replica 1.
+	r.drives[obj.Desc().Components[0].Drive].Close()
+	got, err := obj.ReadAt(0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("failover read: %v", err)
+	}
+}
+
+func TestRAID5RoundTrip(t *testing.T) {
+	r := newRig(t, 4)
+	id, err := r.mgr.Create(RAID5, 16<<10, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, 200<<10)
+	rng.Read(data)
+	if err := obj.WriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := obj.ReadAt(0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("raid5 round trip: %v", err)
+	}
+	// Overwrite in the middle keeps parity consistent.
+	patch := bytes.Repeat([]byte{0xEE}, 40<<10)
+	if err := obj.WriteAt(50<<10, patch); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[50<<10:], patch)
+	got, err = obj.ReadAt(0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("raid5 after overwrite: %v", err)
+	}
+}
+
+func TestRAID5DegradedRead(t *testing.T) {
+	r := newRig(t, 4)
+	id, _ := r.mgr.Create(RAID5, 16<<10, 4, 0)
+	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 150<<10)
+	rng.Read(data)
+	if err := obj.WriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Kill one component's drive connection.
+	dead := obj.Desc().Components[1].Drive
+	r.drives[dead].Close()
+	got, err := obj.ReadAt(0, len(data))
+	if err != nil {
+		t.Fatalf("degraded read failed: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded read returned wrong data")
+	}
+}
+
+func TestRAID5ParityProperty(t *testing.T) {
+	// Property: after arbitrary writes, for every stripe the xor of all
+	// components is zero.
+	r := newRig(t, 4)
+	unit := int64(4 << 10)
+	id, _ := r.mgr.Create(RAID5, unit, 4, 0)
+	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 20; i++ {
+		off := uint64(rng.Intn(100 << 10))
+		n := rng.Intn(20<<10) + 1
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if err := obj.WriteAt(off, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	desc := obj.Desc()
+	// Longest component length.
+	var maxLen uint64
+	for _, comp := range desc.Components {
+		a, err := r.raw[comp.Drive].Store().GetAttr(r.mgr.Partition(), comp.Object)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Size > maxLen {
+			maxLen = a.Size
+		}
+	}
+	acc := make([]byte, maxLen)
+	for _, comp := range desc.Components {
+		data, err := r.raw[comp.Drive].Store().Read(r.mgr.Partition(), comp.Object, 0, int(maxLen))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range data {
+			acc[j] ^= data[j]
+		}
+	}
+	for j, b := range acc {
+		if b != 0 {
+			t.Fatalf("parity violated at component offset %d", j)
+		}
+	}
+}
+
+func TestReplaceComponentRAID5(t *testing.T) {
+	r := newRig(t, 5)
+	id, _ := r.mgr.Create(RAID5, 8<<10, 4, 0)
+	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 100<<10)
+	rng.Read(data)
+	if err := obj.WriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild component 2 onto drive 4.
+	if err := r.mgr.ReplaceComponent(id, 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	desc, _ := r.mgr.Stat(id)
+	if desc.Components[2].Drive != 4 {
+		t.Fatalf("component not moved: %+v", desc.Components[2])
+	}
+	// Fresh open reads identical data through the rebuilt component.
+	obj2, err := OpenObject(r.mgr, r.drives, id, capability.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := obj2.ReadAt(0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after rebuild: %v", err)
+	}
+}
+
+func TestReplaceComponentMirror(t *testing.T) {
+	r := newRig(t, 3)
+	id, _ := r.mgr.Create(Mirror1, 32<<10, 2, 0)
+	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
+	data := bytes.Repeat([]byte{5}, 50<<10)
+	if err := obj.WriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.ReplaceComponent(id, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	obj2, _ := OpenObject(r.mgr, r.drives, id, capability.Read)
+	got, err := obj2.ReadAt(0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("mirror rebuild read: %v", err)
+	}
+}
+
+func TestManagerValidation(t *testing.T) {
+	r := newRig(t, 2)
+	if _, err := r.mgr.Create(Stripe0, 0, 2, 0); !errors.Is(err, ErrBadLayout) {
+		t.Fatalf("zero stripe unit: %v", err)
+	}
+	if _, err := r.mgr.Create(Stripe0, 4096, 3, 0); !errors.Is(err, ErrBadLayout) {
+		t.Fatalf("width beyond drives: %v", err)
+	}
+	if _, err := r.mgr.Create(RAID5, 4096, 2, 0); !errors.Is(err, ErrBadLayout) {
+		t.Fatalf("raid5 width 2: %v", err)
+	}
+	if _, _, err := r.mgr.Open(99, capability.Read); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("open missing: %v", err)
+	}
+	if err := r.mgr.Remove(99); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("remove missing: %v", err)
+	}
+}
+
+func TestRemoveDeletesComponents(t *testing.T) {
+	r := newRig(t, 2)
+	id, _ := r.mgr.Create(Stripe0, 4096, 2, 0)
+	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Write)
+	if err := obj.WriteAt(0, make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range r.raw {
+		ids, err := d.Store().List(r.mgr.Partition())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drive 0 retains exactly the manager's directory object.
+		want := 0
+		if i == 0 {
+			want = 1
+		}
+		if len(ids) != want {
+			t.Fatalf("drive %d still holds %v", i, ids)
+		}
+	}
+}
+
+func TestCapabilitiesAreComponentScoped(t *testing.T) {
+	r := newRig(t, 2)
+	id, _ := r.mgr.Create(Stripe0, 4096, 2, 0)
+	id2, _ := r.mgr.Create(Stripe0, 4096, 2, 0)
+	_, caps, err := r.mgr.Open(id, capability.Read|capability.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc2, _ := r.mgr.Stat(id2)
+	// A capability for object id's component must not authorize access
+	// to object id2's components.
+	err = r.drives[desc2.Components[0].Drive].Write(&caps[0], r.mgr.Partition(),
+		desc2.Components[0].Object, 0, []byte("cross"))
+	if !errors.Is(err, client.ErrAuth) {
+		t.Fatalf("cross-object access: %v", err)
+	}
+}
+
+func TestUpdateSizeAndStat(t *testing.T) {
+	r := newRig(t, 2)
+	id, _ := r.mgr.Create(Stripe0, 4096, 2, 0)
+	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
+	if err := obj.WriteAt(0, make([]byte, 10000)); err != nil {
+		t.Fatal(err)
+	}
+	desc, err := r.mgr.Stat(id)
+	if err != nil || desc.Size != 10000 {
+		t.Fatalf("size = %d, %v", desc.Size, err)
+	}
+	// Re-open sees the size.
+	obj2, _ := OpenObject(r.mgr, r.drives, id, capability.Read)
+	if obj2.Size() != 10000 {
+		t.Fatalf("reopened size = %d", obj2.Size())
+	}
+}
+
+func TestStripeLocks(t *testing.T) {
+	r := newRig(t, 3)
+	r.mgr.LockStripe(1, 0)
+	locked := make(chan struct{})
+	go func() {
+		r.mgr.LockStripe(1, 0)
+		close(locked)
+		r.mgr.UnlockStripe(1, 0)
+	}()
+	select {
+	case <-locked:
+		t.Fatal("second lock acquired while held")
+	default:
+	}
+	// Different stripe is independent.
+	r.mgr.LockStripe(1, 1)
+	r.mgr.UnlockStripe(1, 1)
+	r.mgr.UnlockStripe(1, 0)
+	<-locked
+}

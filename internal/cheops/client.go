@@ -1,0 +1,315 @@
+package cheops
+
+import (
+	"fmt"
+	"sync"
+
+	"nasd/internal/capability"
+	"nasd/internal/client"
+)
+
+// Object is a client-side handle on an open Cheops logical object: the
+// descriptor plus the component capability set. All data movement
+// happens here, on the client, drive-direct.
+type Object struct {
+	mgr    *Manager
+	drives []*client.Drive // indexed like the manager's drive table
+	desc   Descriptor
+	caps   []capability.Capability
+}
+
+// OpenObject opens a logical object for I/O. drives must be the
+// caller's own connections, indexed like the manager's drive table.
+func OpenObject(mgr *Manager, drives []*client.Drive, logical uint64, rights capability.Rights) (*Object, error) {
+	desc, caps, err := mgr.Open(logical, rights)
+	if err != nil {
+		return nil, err
+	}
+	return &Object{mgr: mgr, drives: drives, desc: desc, caps: caps}, nil
+}
+
+// Desc returns the layout descriptor.
+func (o *Object) Desc() Descriptor { return o.desc }
+
+// Size returns the logical size known to the manager at open time.
+func (o *Object) Size() uint64 { return o.desc.Size }
+
+// locate maps a logical byte offset to (component index, component
+// offset, bytes until the lane changes, stripe number).
+func (o *Object) locate(off int64) (comp int, compOff int64, runLen int64, stripe int64) {
+	unit := o.desc.StripeUnit
+	switch o.desc.Pattern {
+	case Mirror1:
+		return 0, off, 1 << 62, 0
+	case Stripe0:
+		u := off / unit
+		within := off % unit
+		w := int64(o.desc.Width())
+		comp = int(u % w)
+		compOff = (u/w)*unit + within
+		return comp, compOff, unit - within, u / w
+	case RAID5:
+		dw := int64(o.desc.DataWidth())
+		u := off / unit
+		within := off % unit
+		stripe = u / dw
+		lane := u % dw
+		parity := o.parityIndex(stripe)
+		comp = int(lane)
+		if comp >= parity {
+			comp++
+		}
+		compOff = stripe*unit + within
+		return comp, compOff, unit - within, stripe
+	}
+	panic("cheops: unknown pattern")
+}
+
+// parityIndex returns the component holding parity for a stripe
+// (rotating right-asymmetric layout).
+func (o *Object) parityIndex(stripe int64) int {
+	return int(stripe % int64(o.desc.Width()))
+}
+
+type ioResult struct {
+	err error
+}
+
+// ReadAt reads n bytes at logical offset off. For redundant layouts it
+// reconstructs around a single failed component (degraded read).
+func (o *Object) ReadAt(off uint64, n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]byte, n)
+	type span struct {
+		comp    int
+		compOff int64
+		outOff  int
+		n       int
+		stripe  int64
+	}
+	var spans []span
+	for done := 0; done < n; {
+		comp, compOff, run, stripe := o.locate(int64(off) + int64(done))
+		chunk := n - done
+		if int64(chunk) > run {
+			chunk = int(run)
+		}
+		spans = append(spans, span{comp, compOff, done, chunk, stripe})
+		done += chunk
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(spans))
+	for i, sp := range spans {
+		wg.Add(1)
+		go func(i int, sp span) {
+			defer wg.Done()
+			data, err := o.readComponent(sp.comp, uint64(sp.compOff), sp.n, sp.stripe)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			copy(out[sp.outOff:sp.outOff+sp.n], data)
+		}(i, sp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// readComponent reads from one component, falling back to
+// reconstruction when the component fails and the layout is redundant.
+func (o *Object) readComponent(comp int, off uint64, n int, stripe int64) ([]byte, error) {
+	data, err := o.drives[o.desc.Components[comp].Drive].Read(
+		&o.caps[comp], o.mgr.part, o.desc.Components[comp].Object, off, n)
+	if err == nil {
+		return pad(data, n), nil
+	}
+	switch o.desc.Pattern {
+	case Mirror1:
+		for alt := range o.desc.Components {
+			if alt == comp {
+				continue
+			}
+			data, aerr := o.drives[o.desc.Components[alt].Drive].Read(
+				&o.caps[alt], o.mgr.part, o.desc.Components[alt].Object, off, n)
+			if aerr == nil {
+				return pad(data, n), nil
+			}
+		}
+		return nil, fmt.Errorf("%w: all mirrors failed: %v", ErrDegraded, err)
+	case RAID5:
+		// Reconstruct: xor of every other component at the same offsets.
+		acc := make([]byte, n)
+		for i, c := range o.desc.Components {
+			if i == comp {
+				continue
+			}
+			part, rerr := o.drives[c.Drive].Read(&o.caps[i], o.mgr.part, c.Object, off, n)
+			if rerr != nil {
+				return nil, fmt.Errorf("%w: second failure during reconstruction: %v (first: %v)", ErrDegraded, rerr, err)
+			}
+			part = pad(part, n)
+			for j := range part {
+				acc[j] ^= part[j]
+			}
+		}
+		return acc, nil
+	default:
+		return nil, err
+	}
+}
+
+func pad(b []byte, n int) []byte {
+	if len(b) >= n {
+		return b[:n]
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// WriteAt writes data at logical offset off and reports the new size to
+// the manager.
+func (o *Object) WriteAt(off uint64, data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var err error
+	switch o.desc.Pattern {
+	case Mirror1:
+		err = o.writeMirror(off, data)
+	case Stripe0:
+		err = o.writeStripe0(off, data)
+	case RAID5:
+		err = o.writeRAID5(off, data)
+	default:
+		err = ErrBadLayout
+	}
+	if err != nil {
+		return err
+	}
+	end := off + uint64(len(data))
+	if end > o.desc.Size {
+		o.desc.Size = end
+		return o.mgr.UpdateSize(o.desc.Logical, end)
+	}
+	return nil
+}
+
+func (o *Object) writeMirror(off uint64, data []byte) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(o.desc.Components))
+	for i, c := range o.desc.Components {
+		wg.Add(1)
+		go func(i int, c Component) {
+			defer wg.Done()
+			errs[i] = o.drives[c.Drive].Write(&o.caps[i], o.mgr.part, c.Object, off, data)
+		}(i, c)
+	}
+	wg.Wait()
+	ok := 0
+	var firstErr error
+	for _, e := range errs {
+		if e == nil {
+			ok++
+		} else if firstErr == nil {
+			firstErr = e
+		}
+	}
+	if ok == 0 {
+		return fmt.Errorf("%w: every mirror write failed: %v", ErrDegraded, firstErr)
+	}
+	return nil
+}
+
+func (o *Object) writeStripe0(off uint64, data []byte) error {
+	type span struct {
+		comp    int
+		compOff int64
+		start   int
+		n       int
+	}
+	var spans []span
+	for done := 0; done < len(data); {
+		comp, compOff, run, _ := o.locate(int64(off) + int64(done))
+		chunk := len(data) - done
+		if int64(chunk) > run {
+			chunk = int(run)
+		}
+		spans = append(spans, span{comp, compOff, done, chunk})
+		done += chunk
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(spans))
+	for i, sp := range spans {
+		wg.Add(1)
+		go func(i int, sp span) {
+			defer wg.Done()
+			c := o.desc.Components[sp.comp]
+			errs[i] = o.drives[c.Drive].Write(&o.caps[sp.comp], o.mgr.part, c.Object,
+				uint64(sp.compOff), data[sp.start:sp.start+sp.n])
+		}(i, sp)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// writeRAID5 performs parity-consistent writes one stripe unit at a
+// time using read-modify-write (small-write) updates, serialized per
+// stripe through the manager's lock service.
+func (o *Object) writeRAID5(off uint64, data []byte) error {
+	for done := 0; done < len(data); {
+		comp, compOff, run, stripe := o.locate(int64(off) + int64(done))
+		chunk := len(data) - done
+		if int64(chunk) > run {
+			chunk = int(run)
+		}
+		if err := o.rmwRAID5(comp, uint64(compOff), stripe, data[done:done+chunk]); err != nil {
+			return err
+		}
+		done += chunk
+	}
+	return nil
+}
+
+func (o *Object) rmwRAID5(comp int, compOff uint64, stripe int64, chunk []byte) error {
+	o.mgr.LockStripe(o.desc.Logical, stripe)
+	defer o.mgr.UnlockStripe(o.desc.Logical, stripe)
+
+	parity := o.parityIndex(stripe)
+	dataComp := o.desc.Components[comp]
+	parComp := o.desc.Components[parity]
+	n := len(chunk)
+
+	// Read old data and old parity (missing regions read as zeros).
+	oldData, err := o.drives[dataComp.Drive].Read(&o.caps[comp], o.mgr.part, dataComp.Object, compOff, n)
+	if err != nil {
+		return err
+	}
+	oldData = pad(oldData, n)
+	oldPar, err := o.drives[parComp.Drive].Read(&o.caps[parity], o.mgr.part, parComp.Object, compOff, n)
+	if err != nil {
+		return err
+	}
+	oldPar = pad(oldPar, n)
+
+	newPar := make([]byte, n)
+	for i := 0; i < n; i++ {
+		newPar[i] = oldPar[i] ^ oldData[i] ^ chunk[i]
+	}
+	if err := o.drives[dataComp.Drive].Write(&o.caps[comp], o.mgr.part, dataComp.Object, compOff, chunk); err != nil {
+		return err
+	}
+	return o.drives[parComp.Drive].Write(&o.caps[parity], o.mgr.part, parComp.Object, compOff, newPar)
+}

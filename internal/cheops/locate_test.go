@@ -1,0 +1,85 @@
+package cheops
+
+import (
+	"testing"
+
+	"nasd/internal/capability"
+)
+
+// Property tests on the striping geometry: every logical offset maps to
+// exactly one (component, offset) pair, no two logical stripe units
+// collide, and RAID5 data never lands on its stripe's parity component.
+
+func TestLocatePropertyRAID5(t *testing.T) {
+	r := newRig(t, 5)
+	unit := int64(4 << 10)
+	id, err := r.mgr.Create(RAID5, unit, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := OpenObject(r.mgr, r.drives, id, capability.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type key struct {
+		comp int
+		off  int64
+	}
+	seen := map[key]int64{}
+	for u := int64(0); u < 2000; u++ {
+		off := u * unit
+		comp, compOff, run, stripe := obj.locate(off)
+		if run != unit {
+			t.Fatalf("offset %d: run %d != unit", off, run)
+		}
+		if comp == obj.parityIndex(stripe) {
+			t.Fatalf("offset %d: data placed on parity component %d of stripe %d", off, comp, stripe)
+		}
+		k := key{comp, compOff}
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("offsets %d and %d collide at component %d off %d", prev, off, comp, compOff)
+		}
+		seen[k] = off
+	}
+}
+
+func TestLocateWithinUnitContiguity(t *testing.T) {
+	r := newRig(t, 4)
+	unit := int64(16 << 10)
+	for _, pat := range []Pattern{Stripe0, RAID5} {
+		width := 4
+		id, err := r.mgr.Create(pat, unit, width, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, err := OpenObject(r.mgr, r.drives, id, capability.Read)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Offsets within one stripe unit stay on one component, at
+		// consecutive component offsets.
+		baseComp, baseOff, _, _ := obj.locate(unit * 7)
+		for delta := int64(1); delta < unit; delta += 997 {
+			comp, off, run, _ := obj.locate(unit*7 + delta)
+			if comp != baseComp || off != baseOff+delta {
+				t.Fatalf("%v: offset %d broke contiguity", pat, unit*7+delta)
+			}
+			if run != unit-delta {
+				t.Fatalf("%v: run length %d, want %d", pat, run, unit-delta)
+			}
+		}
+	}
+}
+
+func TestParityRotates(t *testing.T) {
+	r := newRig(t, 4)
+	id, _ := r.mgr.Create(RAID5, 4096, 4, 0)
+	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read)
+	seen := map[int]bool{}
+	for s := int64(0); s < 4; s++ {
+		seen[obj.parityIndex(s)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("parity used only %d of 4 components", len(seen))
+	}
+}

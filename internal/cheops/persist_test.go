@@ -1,0 +1,99 @@
+package cheops
+
+import (
+	"bytes"
+	"testing"
+
+	"nasd/internal/capability"
+)
+
+// TestManagerStateSurvivesRemount verifies that a rebuilt manager (new
+// process, same drives) recovers every logical object from the
+// directory object and serves identical data.
+func TestManagerStateSurvivesRemount(t *testing.T) {
+	r := newRig(t, 4)
+	idStripe, err := r.mgr.Create(Stripe0, 32<<10, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idRaid, err := r.mgr.Create(RAID5, 16<<10, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := OpenObject(r.mgr, r.drives, idStripe, capability.Read|capability.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("persist"), 20_000)
+	if err := obj.WriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	robj, err := OpenObject(r.mgr, r.drives, idRaid, capability.Read|capability.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := robj.WriteAt(0, data[:50_000]); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart" the manager: same drive connections, format=false.
+	refs := make([]DriveRef, len(r.mgr.drives))
+	copy(refs, r.mgr.drives)
+	mgr2, err := NewManager(ManagerConfig{Drives: refs, Partition: r.mgr.part}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc, err := mgr2.Stat(idStripe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if desc.Pattern != Stripe0 || desc.Width() != 4 || desc.Size != uint64(len(data)) {
+		t.Fatalf("recovered descriptor = %+v", desc)
+	}
+	obj2, err := OpenObject(mgr2, r.drives, idStripe, capability.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := obj2.ReadAt(0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("data after remount: %v", err)
+	}
+	robj2, err := OpenObject(mgr2, r.drives, idRaid, capability.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = robj2.ReadAt(0, 50_000)
+	if err != nil || !bytes.Equal(got, data[:50_000]) {
+		t.Fatalf("raid data after remount: %v", err)
+	}
+
+	// New objects on the remounted manager do not collide with old IDs.
+	id3, err := mgr2.Create(Stripe0, 32<<10, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == idStripe || id3 == idRaid {
+		t.Fatalf("logical ID reused: %d", id3)
+	}
+}
+
+// TestRemovePersisted verifies deletions survive remount.
+func TestRemovePersisted(t *testing.T) {
+	r := newRig(t, 2)
+	id, err := r.mgr.Create(Stripe0, 4096, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.Remove(id); err != nil {
+		t.Fatal(err)
+	}
+	refs := make([]DriveRef, len(r.mgr.drives))
+	copy(refs, r.mgr.drives)
+	mgr2, err := NewManager(ManagerConfig{Drives: refs, Partition: r.mgr.part}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr2.Stat(id); err == nil {
+		t.Fatal("removed object resurrected after remount")
+	}
+}

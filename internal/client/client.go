@@ -1,0 +1,275 @@
+// Package client provides the client-side NASD drive API: typed stubs
+// over the RPC layer that attach capabilities, nonces, and request
+// digests to every call (the client half of Figure 5).
+//
+// A client never holds drive secrets: it proves possession of a
+// capability's private portion by keying each request digest with it.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"nasd/internal/capability"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/object"
+	"nasd/internal/rpc"
+)
+
+// Errors surfaced by drive calls.
+var (
+	// ErrAuth means the drive rejected the capability or digest; the
+	// caller should return to the file manager for a fresh capability.
+	ErrAuth = errors.New("client: authorization rejected; revisit file manager")
+	// ErrReplay means the drive saw a stale nonce.
+	ErrReplay = errors.New("client: request rejected as replay")
+)
+
+// RemoteError carries a drive-reported failure.
+type RemoteError struct {
+	Status rpc.Status
+	Msg    string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("client: drive returned %v: %s", e.Status, e.Msg)
+}
+
+// Drive is a connection to one NASD drive.
+type Drive struct {
+	cli      *rpc.Client
+	driveID  uint64
+	clientID uint64
+	counter  atomic.Uint64
+	secure   bool
+}
+
+// New wraps an RPC connection to a drive. clientID identifies this
+// client in nonces; secure must match the drive's configuration.
+func New(conn rpc.Conn, driveID, clientID uint64, secure bool) *Drive {
+	return &Drive{cli: rpc.NewClient(conn), driveID: driveID, clientID: clientID, secure: secure}
+}
+
+// Close releases the connection.
+func (d *Drive) Close() error { return d.cli.Close() }
+
+// DriveID returns the drive identity this client targets.
+func (d *Drive) DriveID() uint64 { return d.driveID }
+
+// call assembles, signs, and issues one request.
+func (d *Drive) call(op drive.Op, cap *capability.Capability, args, data []byte) (*rpc.Reply, error) {
+	req := &rpc.Request{
+		Proc: uint16(op),
+		Args: args,
+		Data: data,
+		Nonce: crypt.Nonce{
+			Client:  d.clientID,
+			Counter: d.counter.Add(1),
+		},
+	}
+	if d.secure {
+		req.SecOpts = rpc.SecIntegrity
+		if cap != nil {
+			req.Cap = cap.Public.Encode()
+			req.ReqDig = cap.SignRequest(req.SigningBody())
+		}
+	}
+	rep, err := d.cli.Call(req)
+	if err != nil {
+		return nil, err
+	}
+	switch rep.Status {
+	case rpc.StatusOK:
+		return rep, nil
+	case rpc.StatusAuthFailure:
+		return nil, fmt.Errorf("%w: %s", ErrAuth, rep.Msg)
+	case rpc.StatusReplay:
+		return nil, fmt.Errorf("%w: %s", ErrReplay, rep.Msg)
+	default:
+		return nil, &RemoteError{Status: rep.Status, Msg: rep.Msg}
+	}
+}
+
+// callAdmin signs a management request directly under key (master or
+// drive key held by an administrator or file manager).
+func (d *Drive) callAdmin(op drive.Op, key crypt.Key, args, data []byte) (*rpc.Reply, error) {
+	req := &rpc.Request{
+		Proc: uint16(op),
+		Args: args,
+		Data: data,
+		Nonce: crypt.Nonce{
+			Client:  d.clientID,
+			Counter: d.counter.Add(1),
+		},
+	}
+	if d.secure {
+		req.SecOpts = rpc.SecIntegrity
+		req.ReqDig = crypt.MAC(key, req.SigningBody())
+	}
+	rep, err := d.cli.Call(req)
+	if err != nil {
+		return nil, err
+	}
+	switch rep.Status {
+	case rpc.StatusOK:
+		return rep, nil
+	case rpc.StatusAuthFailure:
+		return nil, fmt.Errorf("%w: %s", ErrAuth, rep.Msg)
+	case rpc.StatusReplay:
+		return nil, fmt.Errorf("%w: %s", ErrReplay, rep.Msg)
+	default:
+		return nil, &RemoteError{Status: rep.Status, Msg: rep.Msg}
+	}
+}
+
+// Read fetches object bytes [off, off+n).
+func (d *Drive) Read(cap *capability.Capability, part uint16, obj, off uint64, n int) ([]byte, error) {
+	args := (&drive.ReadArgs{Partition: part, Object: obj, Offset: off, Length: uint64(n)}).Encode()
+	rep, err := d.call(drive.OpReadObject, cap, args, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// Write stores data at off.
+func (d *Drive) Write(cap *capability.Capability, part uint16, obj, off uint64, data []byte) error {
+	args := (&drive.WriteArgs{Partition: part, Object: obj, Offset: off}).Encode()
+	_, err := d.call(drive.OpWriteObject, cap, args, data)
+	return err
+}
+
+// GetAttr fetches object attributes.
+func (d *Drive) GetAttr(cap *capability.Capability, part uint16, obj uint64) (object.Attributes, error) {
+	args := (&drive.ObjArgs{Partition: part, Object: obj}).Encode()
+	rep, err := d.call(drive.OpGetAttr, cap, args, nil)
+	if err != nil {
+		return object.Attributes{}, err
+	}
+	return drive.DecodeAttrsReply(rep.Args)
+}
+
+// SetAttr updates attributes selected by mask.
+func (d *Drive) SetAttr(cap *capability.Capability, part uint16, obj uint64, attrs object.Attributes, mask object.SetAttrMask) error {
+	args := (&drive.SetAttrArgs{Partition: part, Object: obj, Mask: uint32(mask), Attrs: attrs}).Encode()
+	_, err := d.call(drive.OpSetAttr, cap, args, nil)
+	return err
+}
+
+// Create makes a new object in part, returning its ID. The capability
+// must be partition-scope with CreateObj rights.
+func (d *Drive) Create(cap *capability.Capability, part uint16) (uint64, error) {
+	args := (&drive.ObjArgs{Partition: part}).Encode()
+	rep, err := d.call(drive.OpCreateObject, cap, args, nil)
+	if err != nil {
+		return 0, err
+	}
+	return drive.DecodeIDReply(rep.Args)
+}
+
+// Remove deletes an object.
+func (d *Drive) Remove(cap *capability.Capability, part uint16, obj uint64) error {
+	args := (&drive.ObjArgs{Partition: part, Object: obj}).Encode()
+	_, err := d.call(drive.OpRemoveObject, cap, args, nil)
+	return err
+}
+
+// VersionObject snapshots an object copy-on-write, returning the new ID.
+func (d *Drive) VersionObject(cap *capability.Capability, part uint16, obj uint64) (uint64, error) {
+	args := (&drive.ObjArgs{Partition: part, Object: obj}).Encode()
+	rep, err := d.call(drive.OpVersionObject, cap, args, nil)
+	if err != nil {
+		return 0, err
+	}
+	return drive.DecodeIDReply(rep.Args)
+}
+
+// BumpVersion increments an object's logical version (revoking extant
+// capabilities) and returns the new version.
+func (d *Drive) BumpVersion(cap *capability.Capability, part uint16, obj uint64) (uint64, error) {
+	args := (&drive.ObjArgs{Partition: part, Object: obj}).Encode()
+	rep, err := d.call(drive.OpBumpVersion, cap, args, nil)
+	if err != nil {
+		return 0, err
+	}
+	return drive.DecodeIDReply(rep.Args)
+}
+
+// List returns the IDs of the objects in a partition.
+func (d *Drive) List(cap *capability.Capability, part uint16) ([]uint64, error) {
+	args := (&drive.ObjArgs{Partition: part}).Encode()
+	rep, err := d.call(drive.OpListObjects, cap, args, nil)
+	if err != nil {
+		return nil, err
+	}
+	return drive.DecodeIDListReply(rep.Args)
+}
+
+// Execute runs a registered Active Disk kernel against an object and
+// returns its (small) result.
+func (d *Drive) Execute(cap *capability.Capability, part uint16, obj uint64, kernel string, params []byte) ([]byte, error) {
+	args := (&drive.ExecuteArgs{Partition: part, Object: obj, Kernel: kernel, Params: params}).Encode()
+	rep, err := d.call(drive.OpExecute, cap, args, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// Flush forces drive write-behind data to stable storage.
+func (d *Drive) Flush() error {
+	_, err := d.call(drive.OpFlush, nil, nil, nil)
+	return err
+}
+
+// --- Management operations (signed under drive keys) ---------------------
+
+func keyRef(id crypt.KeyID) drive.KeyRef {
+	return drive.KeyRef{Type: uint8(id.Type), Partition: id.Partition, Version: id.Version}
+}
+
+// CreatePartition creates a partition; authKey must be the master or
+// drive key named by authID.
+func (d *Drive) CreatePartition(authID crypt.KeyID, authKey crypt.Key, part uint16, quota int64) error {
+	args := (&drive.PartArgs{Partition: part, Quota: quota, AuthKey: keyRef(authID)}).Encode()
+	_, err := d.callAdmin(drive.OpCreatePartition, authKey, args, nil)
+	return err
+}
+
+// ResizePartition changes a partition quota.
+func (d *Drive) ResizePartition(authID crypt.KeyID, authKey crypt.Key, part uint16, quota int64) error {
+	args := (&drive.PartArgs{Partition: part, Quota: quota, AuthKey: keyRef(authID)}).Encode()
+	_, err := d.callAdmin(drive.OpResizePartition, authKey, args, nil)
+	return err
+}
+
+// RemovePartition deletes an empty partition.
+func (d *Drive) RemovePartition(authID crypt.KeyID, authKey crypt.Key, part uint16) error {
+	args := (&drive.PartArgs{Partition: part, AuthKey: keyRef(authID)}).Encode()
+	_, err := d.callAdmin(drive.OpRemovePartition, authKey, args, nil)
+	return err
+}
+
+// GetPartition fetches partition metadata.
+func (d *Drive) GetPartition(authID crypt.KeyID, authKey crypt.Key, part uint16) (object.Partition, error) {
+	args := (&drive.PartArgs{Partition: part, AuthKey: keyRef(authID)}).Encode()
+	rep, err := d.callAdmin(drive.OpGetPartition, authKey, args, nil)
+	if err != nil {
+		return object.Partition{}, err
+	}
+	return drive.DecodePartReply(rep.Args)
+}
+
+// SetKey installs a key on the drive (the set-security-key request).
+func (d *Drive) SetKey(authID crypt.KeyID, authKey crypt.Key, target crypt.KeyID, key crypt.Key) error {
+	args := (&drive.SetKeyArgs{
+		Target:  keyRef(target),
+		Key:     key[:],
+		AuthKey: keyRef(authID),
+	}).Encode()
+	_, err := d.callAdmin(drive.OpSetKey, authKey, args, nil)
+	return err
+}

@@ -1,0 +1,159 @@
+// Package costmodel implements Figure 4 of the paper: the analytic cost
+// model for traditional server architectures, estimating the server
+// cost overhead (machine + network interfaces + disk interfaces,
+// divided by raw disk cost) at maximum storage bandwidth.
+//
+// The model reproduces the paper's anchor points: a high-end server
+// starts at ~1,300% overhead for one attached disk and saturates at 14
+// disks with ~115% overhead; a low-cost server starts at ~380% and
+// reaches ~80% at its six-disk saturation point.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// ServerConfig describes one server architecture from Figure 4.
+type ServerConfig struct {
+	Name string
+	// MachineCost is the base cost of the processor unit and memory.
+	MachineCost float64
+	// MemoryMBps is the memory system bandwidth. The paper assumes
+	// every byte moves into and out of memory once, so usable storage
+	// bandwidth is half of this.
+	MemoryMBps float64
+	// NICCost and NICMBps describe one network interface.
+	NICCost float64
+	NICMBps float64
+	// DiskIFCost and DiskIFMBps describe one disk (SCSI) interface.
+	DiskIFCost float64
+	DiskIFMBps float64
+	// DiskCost and DiskMBps describe one disk.
+	DiskCost float64
+	DiskMBps float64
+}
+
+// The two configurations of Figure 4 (1998 prices from Pricewatch).
+var (
+	// LowCost is the high-volume-component server: $1000 machine with a
+	// 32-bit PCI / 133 MB/s memory system, $50 Fast Ethernet NICs,
+	// $100 Ultra SCSI interfaces, and $300 Seagate Medallists (10 MB/s).
+	LowCost = ServerConfig{
+		Name:        "low-cost",
+		MachineCost: 1000, MemoryMBps: 133,
+		NICCost: 50, NICMBps: 100.0 / 8,
+		DiskIFCost: 100, DiskIFMBps: 40,
+		DiskCost: 300, DiskMBps: 10,
+	}
+	// HighEnd is the mid-range/enterprise server: $7000 machine with
+	// dual 64-bit PCI / 532 MB/s memory, $650 Gigabit Ethernet NICs,
+	// $400 Ultra2 SCSI interfaces, and $600 Seagate Cheetahs (18 MB/s).
+	HighEnd = ServerConfig{
+		Name:        "high-end",
+		MachineCost: 7000, MemoryMBps: 532,
+		NICCost: 650, NICMBps: 1000.0 / 8,
+		DiskIFCost: 400, DiskIFMBps: 80,
+		DiskCost: 600, DiskMBps: 18,
+	}
+)
+
+// Point is one row of the Figure 4 analysis.
+type Point struct {
+	Disks           int
+	BandwidthMBps   float64 // aggregate disk bandwidth served
+	NICs            int
+	DiskInterfaces  int
+	ServerCost      float64 // machine + interfaces
+	DiskCost        float64
+	OverheadPercent float64 // server cost / disk cost * 100
+	Saturated       bool    // memory system can no longer keep up
+}
+
+// SaturationDisks returns the number of disks at which the server's
+// memory system saturates (every byte crosses memory twice).
+func (c ServerConfig) SaturationDisks() int {
+	usable := c.MemoryMBps / 2
+	return int(usable / c.DiskMBps)
+}
+
+// At evaluates the model for n attached disks. Interface provisioning
+// follows the paper's arithmetic: enough disk interfaces to carry the
+// aggregate bandwidth (rounded up), and network interfaces rounded to
+// the nearest whole card (the paper equips its saturated high-end
+// server with 2 Gigabit NICs for 252 MB/s, tolerating a ~1% shortfall).
+func (c ServerConfig) At(n int) Point {
+	bw := float64(n) * c.DiskMBps
+	sat := float64(n) > float64(c.SaturationDisks())
+	served := bw
+	if sat {
+		served = c.MemoryMBps / 2
+	}
+	nics := int(math.Round(served / c.NICMBps))
+	if nics < 1 {
+		nics = 1
+	}
+	ifs := int(math.Ceil(served / c.DiskIFMBps))
+	if ifs < 1 {
+		ifs = 1
+	}
+	server := c.MachineCost + float64(nics)*c.NICCost + float64(ifs)*c.DiskIFCost
+	disks := float64(n) * c.DiskCost
+	return Point{
+		Disks:           n,
+		BandwidthMBps:   served,
+		NICs:            nics,
+		DiskInterfaces:  ifs,
+		ServerCost:      server,
+		DiskCost:        disks,
+		OverheadPercent: 100 * server / disks,
+		Saturated:       sat,
+	}
+}
+
+// Sweep evaluates 1..maxDisks.
+func (c ServerConfig) Sweep(maxDisks int) []Point {
+	out := make([]Point, 0, maxDisks)
+	for n := 1; n <= maxDisks; n++ {
+		out = append(out, c.At(n))
+	}
+	return out
+}
+
+// NASDComparison is Section 3's bottom line: if NASD adds ~10% to disk
+// cost, total system cost for the same bandwidth drops by the server
+// overhead minus the NASD premium.
+type NASDComparison struct {
+	Disks              int
+	ServerSystemCost   float64 // traditional server + disks
+	NASDSystemCost     float64 // NASD disks (disk cost * (1 + premium))
+	SavingsPercent     float64
+	ServerOverheadPct  float64
+	NASDPremiumPercent float64
+}
+
+// CompareNASD computes the Section 3 cost comparison for n disks with a
+// NASD per-drive premium (the paper assumes 10%).
+func (c ServerConfig) CompareNASD(n int, premium float64) NASDComparison {
+	p := c.At(n)
+	serverSystem := p.ServerCost + p.DiskCost
+	nasdSystem := p.DiskCost * (1 + premium)
+	return NASDComparison{
+		Disks:              n,
+		ServerSystemCost:   serverSystem,
+		NASDSystemCost:     nasdSystem,
+		SavingsPercent:     100 * (serverSystem - nasdSystem) / serverSystem,
+		ServerOverheadPct:  p.OverheadPercent,
+		NASDPremiumPercent: 100 * premium,
+	}
+}
+
+// String formats a point as a table row.
+func (p Point) String() string {
+	sat := ""
+	if p.Saturated {
+		sat = " (saturated)"
+	}
+	return fmt.Sprintf("%3d disks  %6.1f MB/s  %d NICs  %d disk IFs  $%6.0f server / $%6.0f disks  overhead %6.0f%%%s",
+		p.Disks, p.BandwidthMBps, p.NICs, p.DiskInterfaces, p.ServerCost, p.DiskCost, p.OverheadPercent, sat)
+}

@@ -1,0 +1,110 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// The paper's Figure 4 / Section 3 anchor points.
+
+func TestHighEndOneDiskOverhead(t *testing.T) {
+	p := HighEnd.At(1)
+	// "Servers built from high-end components have an overhead that
+	// starts at 1,300% for one server-attached disk!"
+	if p.OverheadPercent < 1290 || p.OverheadPercent > 1400 {
+		t.Fatalf("overhead = %.0f%%, paper ~1300%%", p.OverheadPercent)
+	}
+	if p.NICs != 1 || p.DiskInterfaces != 1 {
+		t.Fatalf("interfaces = %d NICs, %d IFs", p.NICs, p.DiskInterfaces)
+	}
+}
+
+func TestHighEndSaturation(t *testing.T) {
+	// "the high-end server saturates with 14 disks, 2 network
+	// interfaces, and 4 disk interfaces with a 115% overhead cost."
+	if got := HighEnd.SaturationDisks(); got != 14 {
+		t.Fatalf("saturation = %d disks, paper 14", got)
+	}
+	p := HighEnd.At(14)
+	if p.NICs != 2 {
+		t.Fatalf("NICs = %d, paper 2", p.NICs)
+	}
+	if p.DiskInterfaces != 4 {
+		t.Fatalf("disk interfaces = %d, paper 4", p.DiskInterfaces)
+	}
+	if math.Abs(p.OverheadPercent-115) > 5 {
+		t.Fatalf("overhead = %.1f%%, paper 115%%", p.OverheadPercent)
+	}
+}
+
+func TestLowCostOneDiskOverhead(t *testing.T) {
+	p := LowCost.At(1)
+	// "One disk suffers a 380% cost overhead"
+	if math.Abs(p.OverheadPercent-380) > 5 {
+		t.Fatalf("overhead = %.1f%%, paper 380%%", p.OverheadPercent)
+	}
+}
+
+func TestLowCostSixDiskOverhead(t *testing.T) {
+	// "with a 32bit PCI bus limit, a six disk system still suffers an
+	// 80% cost overhead."
+	if got := LowCost.SaturationDisks(); got != 6 {
+		t.Fatalf("saturation = %d disks, paper 6", got)
+	}
+	p := LowCost.At(6)
+	if math.Abs(p.OverheadPercent-80) > 3 {
+		t.Fatalf("overhead = %.1f%%, paper 80%%", p.OverheadPercent)
+	}
+}
+
+func TestOverheadDecreasesUntilSaturation(t *testing.T) {
+	for _, cfg := range []ServerConfig{LowCost, HighEnd} {
+		pts := cfg.Sweep(cfg.SaturationDisks())
+		for i := 1; i < len(pts); i++ {
+			if pts[i].OverheadPercent >= pts[i-1].OverheadPercent {
+				t.Errorf("%s: overhead not decreasing at %d disks (%.0f%% -> %.0f%%)",
+					cfg.Name, pts[i].Disks, pts[i-1].OverheadPercent, pts[i].OverheadPercent)
+			}
+		}
+	}
+}
+
+func TestSaturationCapsBandwidth(t *testing.T) {
+	p := HighEnd.At(20)
+	if !p.Saturated {
+		t.Fatal("20 disks not marked saturated")
+	}
+	if p.BandwidthMBps != HighEnd.MemoryMBps/2 {
+		t.Fatalf("served bandwidth = %.0f, want memory limit %.0f", p.BandwidthMBps, HighEnd.MemoryMBps/2)
+	}
+	// Served bandwidth never exceeds the memory system limit, however
+	// many disks are attached.
+	for n := 15; n <= 40; n++ {
+		if bw := HighEnd.At(n).BandwidthMBps; bw > HighEnd.MemoryMBps/2 {
+			t.Fatalf("%d disks served %.0f MB/s, beyond memory limit", n, bw)
+		}
+	}
+}
+
+// "This bound would mean a reduction in server overhead costs of at
+// least a factor of 10 and in total storage system cost (neglecting the
+// network infrastructure) of over 50%."
+func TestNASDComparisonSectionThree(t *testing.T) {
+	cmp := HighEnd.CompareNASD(14, 0.10)
+	// The paper rounds its 49.5% computed savings up to "over 50%".
+	if cmp.SavingsPercent < 49 {
+		t.Fatalf("NASD system savings = %.1f%%, paper ~50%%", cmp.SavingsPercent)
+	}
+	// Overhead reduction factor: server overhead (115%) vs NASD premium (10%).
+	factor := cmp.ServerOverheadPct / cmp.NASDPremiumPercent
+	if factor < 10 {
+		t.Fatalf("overhead reduction factor = %.1f, paper >=10", factor)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	s := HighEnd.At(14).String()
+	if s == "" {
+		t.Fatal("empty row")
+	}
+}

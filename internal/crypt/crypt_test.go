@@ -1,0 +1,285 @@
+package crypt
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMACDeterministicAndKeyed(t *testing.T) {
+	k1 := DeriveKey(Key{}, "test", 1)
+	k2 := DeriveKey(Key{}, "test", 2)
+	msg := []byte("read object 42")
+	d1 := MAC(k1, msg)
+	if d1 != MAC(k1, msg) {
+		t.Fatal("MAC not deterministic")
+	}
+	if d1 == MAC(k2, msg) {
+		t.Fatal("different keys produced identical digests")
+	}
+	if d1 == MAC(k1, []byte("read object 43")) {
+		t.Fatal("different messages produced identical digests")
+	}
+}
+
+func TestMAC2MatchesConcat(t *testing.T) {
+	k := NewRandomKey()
+	f := func(a, b []byte) bool {
+		return MAC2(k, a, b) == MAC(k, append(append([]byte{}, a...), b...))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerify(t *testing.T) {
+	k := NewRandomKey()
+	msg := []byte("hello")
+	d := MAC(k, msg)
+	if !Verify(k, msg, d) {
+		t.Fatal("valid digest rejected")
+	}
+	d[0] ^= 1
+	if Verify(k, msg, d) {
+		t.Fatal("tampered digest accepted")
+	}
+	if Verify(NewRandomKey(), msg, MAC(k, msg)) {
+		t.Fatal("wrong key accepted")
+	}
+}
+
+func TestKeyFromBytes(t *testing.T) {
+	if _, err := KeyFromBytes(make([]byte, KeySize-1)); err == nil {
+		t.Fatal("short key accepted")
+	}
+	b := make([]byte, KeySize)
+	b[3] = 9
+	k, err := KeyFromBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k[3] != 9 {
+		t.Fatal("bytes not copied")
+	}
+}
+
+func TestDeriveKeyIndependence(t *testing.T) {
+	root := NewRandomKey()
+	a := DeriveKey(root, "x", 1)
+	b := DeriveKey(root, "x", 2)
+	c := DeriveKey(root, "y", 1)
+	if a == b || a == c || b == c {
+		t.Fatal("derived keys collide")
+	}
+	if a == root {
+		t.Fatal("derived key equals parent")
+	}
+}
+
+func TestHierarchyPartitionLifecycle(t *testing.T) {
+	h := NewHierarchy(NewRandomKey())
+	if err := h.AddPartition(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddPartition(1); err == nil {
+		t.Fatal("duplicate AddPartition accepted")
+	}
+	id, k, err := h.CurrentWorkingKey(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != (KeyID{WorkingKey, 1, 1}) {
+		t.Fatalf("id = %v", id)
+	}
+	got, err := h.Lookup(id)
+	if err != nil || got != k {
+		t.Fatalf("lookup mismatch: %v", err)
+	}
+	pid, _, err := h.CurrentPartitionKey(1)
+	if err != nil || pid != (KeyID{PartitionKey, 1, 1}) {
+		t.Fatalf("partition key id = %v err = %v", pid, err)
+	}
+	h.RemovePartition(1)
+	if _, _, err := h.CurrentWorkingKey(1); err == nil {
+		t.Fatal("keys survived RemovePartition")
+	}
+}
+
+func TestWorkingKeyRotationInvalidatesOld(t *testing.T) {
+	h := NewHierarchy(NewRandomKey())
+	if err := h.AddPartition(7); err != nil {
+		t.Fatal(err)
+	}
+	oldID, oldKey, _ := h.CurrentWorkingKey(7)
+	newID, err := h.RotateWorkingKey(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newID.Version != oldID.Version+1 {
+		t.Fatalf("new version = %d", newID.Version)
+	}
+	if _, err := h.Lookup(oldID); err == nil {
+		t.Fatal("old working key still resolves after rotation")
+	}
+	newKey, err := h.Lookup(newID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newKey == oldKey {
+		t.Fatal("rotation did not change the key")
+	}
+}
+
+func TestRotateUnknownPartition(t *testing.T) {
+	h := NewHierarchy(NewRandomKey())
+	if _, err := h.RotateWorkingKey(99); err == nil {
+		t.Fatal("rotation on unknown partition succeeded")
+	}
+}
+
+func TestSetKeyVersionDiscipline(t *testing.T) {
+	h := NewHierarchy(NewRandomKey())
+	if err := h.AddPartition(1); err != nil {
+		t.Fatal(err)
+	}
+	k := NewRandomKey()
+	if err := h.SetKey(KeyID{WorkingKey, 1, 3}, k); err == nil {
+		t.Fatal("version skip accepted")
+	}
+	if err := h.SetKey(KeyID{WorkingKey, 1, 2}, k); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Lookup(KeyID{WorkingKey, 1, 2})
+	if err != nil || got != k {
+		t.Fatal("explicit key not installed")
+	}
+}
+
+func TestSetMasterKeyRederivesNothingAutomatically(t *testing.T) {
+	h := NewHierarchy(NewRandomKey())
+	if err := h.AddPartition(1); err != nil {
+		t.Fatal(err)
+	}
+	_, before, _ := h.CurrentWorkingKey(1)
+	if err := h.SetKey(KeyID{MasterKey, 0, 0}, NewRandomKey()); err != nil {
+		t.Fatal(err)
+	}
+	_, after, _ := h.CurrentWorkingKey(1)
+	if before != after {
+		t.Fatal("master key change silently changed partition keys")
+	}
+}
+
+func TestLookupMalformedIDs(t *testing.T) {
+	h := NewHierarchy(NewRandomKey())
+	if _, err := h.Lookup(KeyID{MasterKey, 1, 0}); err == nil {
+		t.Fatal("master key with partition accepted")
+	}
+	if _, err := h.Lookup(KeyID{DriveKey, 0, 2}); err == nil {
+		t.Fatal("drive key with version accepted")
+	}
+	if _, err := h.Lookup(KeyID{WorkingKey, 5, 1}); err == nil {
+		t.Fatal("unknown partition working key resolved")
+	}
+}
+
+func TestKeyTypeString(t *testing.T) {
+	for typ, want := range map[KeyType]string{
+		MasterKey: "master", DriveKey: "drive",
+		PartitionKey: "partition", WorkingKey: "working",
+	} {
+		if typ.String() != want {
+			t.Errorf("%d.String() = %q", typ, typ.String())
+		}
+	}
+}
+
+func TestNonceMonotonicAccepted(t *testing.T) {
+	w := NewNonceWindow(8, 10)
+	for i := uint64(1); i <= 100; i++ {
+		if err := w.Check(Nonce{Client: 1, Counter: i}); err != nil {
+			t.Fatalf("counter %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestNonceReplayRejected(t *testing.T) {
+	w := NewNonceWindow(8, 10)
+	n := Nonce{Client: 1, Counter: 5}
+	if err := w.Check(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(n); err != ErrReplay {
+		t.Fatalf("replay accepted: %v", err)
+	}
+}
+
+func TestNonceReorderingWithinWindow(t *testing.T) {
+	w := NewNonceWindow(8, 10)
+	for _, c := range []uint64{10, 12, 11, 15, 13} {
+		if err := w.Check(Nonce{Client: 2, Counter: c}); err != nil {
+			t.Fatalf("counter %d rejected: %v", c, err)
+		}
+	}
+	// 12 replayed
+	if err := w.Check(Nonce{Client: 2, Counter: 12}); err != ErrReplay {
+		t.Fatal("replay within window accepted")
+	}
+}
+
+func TestNonceBehindWindowRejected(t *testing.T) {
+	w := NewNonceWindow(8, 10)
+	if err := w.Check(Nonce{Client: 3, Counter: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(Nonce{Client: 3, Counter: 900}); err != ErrReplay {
+		t.Fatal("ancient nonce accepted")
+	}
+}
+
+func TestNonceClientsIndependent(t *testing.T) {
+	w := NewNonceWindow(8, 10)
+	if err := w.Check(Nonce{Client: 1, Counter: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(Nonce{Client: 2, Counter: 5}); err != nil {
+		t.Fatal("same counter on different client rejected")
+	}
+}
+
+func TestNonceClientEviction(t *testing.T) {
+	w := NewNonceWindow(8, 4)
+	for c := uint64(1); c <= 10; c++ {
+		if err := w.Check(Nonce{Client: c, Counter: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Clients() > 4 {
+		t.Fatalf("clients = %d, want <= 4", w.Clients())
+	}
+}
+
+func TestNonceWindowDefaults(t *testing.T) {
+	w := NewNonceWindow(0, 0)
+	if err := w.Check(Nonce{Client: 1, Counter: 1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMACPropertyTamperDetection(t *testing.T) {
+	k := NewRandomKey()
+	f := func(msg []byte, flip uint16) bool {
+		if len(msg) == 0 {
+			return true
+		}
+		d := MAC(k, msg)
+		mutated := append([]byte{}, msg...)
+		mutated[int(flip)%len(mutated)] ^= 1 << (flip % 8)
+		if string(mutated) == string(msg) {
+			return true // flip of zero bits can't happen: 1<<x is never 0, so unreachable
+		}
+		return !Verify(k, mutated, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package crypt
+
+import (
+	"errors"
+	"sync"
+)
+
+// A Nonce accompanies every authenticated NASD request (Figure 5:
+// "protects against replayed and delayed requests"). It is a per-client
+// monotonically increasing counter; the drive keeps only a small
+// high-water mark per client rather than per-capability state, in
+// keeping with the paper's stateless-validation design.
+type Nonce struct {
+	Client  uint64 // client identity chosen at session setup
+	Counter uint64 // strictly increasing per client
+}
+
+// ErrReplay is returned for a nonce at or below the client's high-water
+// mark.
+var ErrReplay = errors.New("crypt: replayed or delayed request rejected")
+
+// NonceWindow validates nonces. It remembers, per client, the highest
+// counter seen plus a small window of recently seen counters below it so
+// modest reordering is tolerated while replays are rejected. It is safe
+// for concurrent use: a drive checks nonces from many connections.
+type NonceWindow struct {
+	mu         sync.Mutex
+	window     uint64
+	high       map[uint64]uint64
+	seen       map[uint64]map[uint64]bool
+	maxClients int
+}
+
+// NewNonceWindow returns a window tolerating reordering of up to window
+// positions and tracking at most maxClients clients (oldest are evicted
+// arbitrarily beyond that; a drive would bound this table in SRAM).
+func NewNonceWindow(window uint64, maxClients int) *NonceWindow {
+	if window == 0 {
+		window = 64
+	}
+	if maxClients <= 0 {
+		maxClients = 4096
+	}
+	return &NonceWindow{
+		window:     window,
+		high:       make(map[uint64]uint64),
+		seen:       make(map[uint64]map[uint64]bool),
+		maxClients: maxClients,
+	}
+}
+
+// Check validates n and records it. It returns ErrReplay if the nonce
+// was already used or fell behind the window.
+func (w *NonceWindow) Check(n Nonce) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	h, ok := w.high[n.Client]
+	if !ok {
+		if len(w.high) >= w.maxClients {
+			w.evictOne()
+		}
+		w.high[n.Client] = n.Counter
+		w.seen[n.Client] = map[uint64]bool{n.Counter: true}
+		return nil
+	}
+	switch {
+	case n.Counter > h:
+		w.high[n.Client] = n.Counter
+		s := w.seen[n.Client]
+		s[n.Counter] = true
+		for c := range s {
+			if c+w.window < n.Counter {
+				delete(s, c)
+			}
+		}
+		return nil
+	case n.Counter+w.window < h:
+		return ErrReplay
+	default:
+		s := w.seen[n.Client]
+		if s[n.Counter] {
+			return ErrReplay
+		}
+		s[n.Counter] = true
+		return nil
+	}
+}
+
+func (w *NonceWindow) evictOne() {
+	for c := range w.high {
+		delete(w.high, c)
+		delete(w.seen, c)
+		return
+	}
+}
+
+// Clients returns the number of tracked clients.
+func (w *NonceWindow) Clients() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.high)
+}

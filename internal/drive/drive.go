@@ -1,0 +1,546 @@
+package drive
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/capability"
+	"nasd/internal/crypt"
+	"nasd/internal/object"
+	"nasd/internal/rpc"
+)
+
+// Kernel is an Active Disk extension function (Section 6): it consumes
+// an object's data as a stream of chunks and returns a small result.
+// Kernels run entirely on the drive; only the result crosses the
+// network.
+type Kernel func(params []byte, data func(off uint64, n int) ([]byte, error), size uint64) ([]byte, error)
+
+// Config configures a drive.
+type Config struct {
+	// ID is the drive's identity, baked into every capability.
+	ID uint64
+	// Master is the root of the drive's key hierarchy. The file manager
+	// holds the same master key (exchanged out of band) and derives the
+	// same hierarchy, so capabilities verify with no per-capability
+	// state exchange.
+	Master crypt.Key
+	// Secure enables capability and digest enforcement. The paper's
+	// measurements ran with security disabled ("we disabled these
+	// security protocols because our prototype does not currently
+	// support such hardware"); functional deployments enable it.
+	Secure bool
+	// Clock supplies the drive's notion of time for expiry checks.
+	Clock func() time.Time
+	// Store carries object-system tuning.
+	Store object.Config
+}
+
+// Drive is a NASD drive: object store + keys + request handler.
+// It implements rpc.Handler, so it can be served over any transport.
+type Drive struct {
+	id     uint64
+	store  *object.Store
+	keys   *crypt.Hierarchy
+	nonces *crypt.NonceWindow
+	secure bool
+	clock  func() time.Time
+	acct   *Accounting
+
+	mu      sync.Mutex
+	kernels map[string]Kernel
+}
+
+// NewFormat formats dev and returns a fresh drive.
+func NewFormat(dev blockdev.Device, cfg Config) (*Drive, error) {
+	st, err := object.Format(dev, cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	return fromStore(st, cfg), nil
+}
+
+// Open attaches to an existing formatted device.
+func Open(dev blockdev.Device, cfg Config) (*Drive, error) {
+	st, err := object.Open(dev, cfg.Store)
+	if err != nil {
+		return nil, err
+	}
+	d := fromStore(st, cfg)
+	// Rebuild key state for existing partitions.
+	for _, p := range st.Partitions() {
+		if err := d.keys.AddPartition(p.ID); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func fromStore(st *object.Store, cfg Config) *Drive {
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Drive{
+		id:      cfg.ID,
+		store:   st,
+		keys:    crypt.NewHierarchy(cfg.Master),
+		nonces:  crypt.NewNonceWindow(256, 4096),
+		secure:  cfg.Secure,
+		clock:   clock,
+		acct:    NewAccounting(),
+		kernels: make(map[string]Kernel),
+	}
+}
+
+// ID returns the drive identity.
+func (d *Drive) ID() uint64 { return d.id }
+
+// Store exposes the underlying object store (for co-located components
+// such as simulations and tests; remote clients go through RPC).
+func (d *Drive) Store() *object.Store { return d.store }
+
+// Keys exposes the key hierarchy (for co-located file managers in
+// tests; a real file manager derives its own from the shared master).
+func (d *Drive) Keys() *crypt.Hierarchy { return d.keys }
+
+// Accounting returns the drive's instruction accounting.
+func (d *Drive) Accounting() *Accounting { return d.acct }
+
+// RegisterKernel installs an Active Disk kernel under a name.
+func (d *Drive) RegisterKernel(name string, k Kernel) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.kernels[name] = k
+}
+
+// --- Authorization -------------------------------------------------------
+
+// authorize performs the complete drive-side admission check for a
+// capability-bearing request: nonce freshness, then stateless
+// capability validation (Section 4.1). It returns a non-nil reply on
+// rejection. curVer is the object's current logical version (0 for
+// partition-scope operations).
+func (d *Drive) authorize(req *rpc.Request, part uint16, obj uint64, curVer uint64, op capability.Rights, off, length uint64) *rpc.Reply {
+	if !d.secure {
+		return nil
+	}
+	if err := d.nonces.Check(req.Nonce); err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusReplay, "%v", err)
+	}
+	pub, err := capability.DecodePublic(req.Cap)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusAuthFailure, "capability: %v", err)
+	}
+	chk := capability.Check{
+		DriveID: d.id, Part: part, Object: obj, ObjVer: curVer,
+		Op: op, Offset: off, Length: length, Now: d.clock(),
+	}
+	if err := capability.Validate(pub, req.SigningBody(), req.ReqDig, chk, d.keys); err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusAuthFailure, "%v", err)
+	}
+	return nil
+}
+
+// authorizeAdmin checks a management request signed directly under a
+// named drive key (master or drive key) rather than a capability.
+func (d *Drive) authorizeAdmin(req *rpc.Request, ref KeyRef) *rpc.Reply {
+	if !d.secure {
+		return nil
+	}
+	if err := d.nonces.Check(req.Nonce); err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusReplay, "%v", err)
+	}
+	id := crypt.KeyID{Type: crypt.KeyType(ref.Type), Partition: ref.Partition, Version: ref.Version}
+	if id.Type != crypt.MasterKey && id.Type != crypt.DriveKey {
+		return rpc.Errorf(req.MsgID, rpc.StatusAuthFailure, "management requires master or drive key")
+	}
+	key, err := d.keys.Lookup(id)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusAuthFailure, "unknown key %v", id)
+	}
+	if !crypt.Verify(key, req.SigningBody(), req.ReqDig) {
+		return rpc.Errorf(req.MsgID, rpc.StatusAuthFailure, "bad management digest")
+	}
+	return nil
+}
+
+// objVersion fetches an object's current logical version number.
+func (d *Drive) objVersion(part uint16, obj uint64) (uint64, error) {
+	a, err := d.store.GetAttr(part, obj)
+	if err != nil {
+		return 0, err
+	}
+	return a.Version, nil
+}
+
+// statusFor maps object-store errors to RPC statuses.
+func statusFor(err error) rpc.Status {
+	switch {
+	case errors.Is(err, object.ErrNoObject):
+		return rpc.StatusNoObject
+	case errors.Is(err, object.ErrNoPartition):
+		return rpc.StatusNoPartition
+	case errors.Is(err, object.ErrQuota):
+		return rpc.StatusQuota
+	case errors.Is(err, object.ErrBadRange):
+		return rpc.StatusBadRequest
+	default:
+		return rpc.StatusError
+	}
+}
+
+func errReply(id uint64, err error) *rpc.Reply {
+	return rpc.Errorf(id, statusFor(err), "%v", err)
+}
+
+// Handle implements rpc.Handler: it decodes, authorizes, executes, and
+// charges instruction accounting for one request.
+func (d *Drive) Handle(req *rpc.Request) *rpc.Reply {
+	op := Op(req.Proc)
+	rep := d.dispatch(op, req)
+	nIn, nOut := len(req.Data), 0
+	if rep != nil {
+		nOut = len(rep.Data)
+	}
+	cold := false // refined by the caller-visible cache stats when needed
+	n := nIn
+	if nOut > n {
+		n = nOut
+	}
+	d.acct.Charge(op, CostModel(op, n, cold), nIn, nOut)
+	return rep
+}
+
+func (d *Drive) dispatch(op Op, req *rpc.Request) *rpc.Reply {
+	switch op {
+	case OpReadObject:
+		return d.handleRead(req)
+	case OpWriteObject:
+		return d.handleWrite(req)
+	case OpGetAttr:
+		return d.handleGetAttr(req)
+	case OpSetAttr:
+		return d.handleSetAttr(req)
+	case OpCreateObject:
+		return d.handleCreate(req)
+	case OpRemoveObject:
+		return d.handleRemove(req)
+	case OpVersionObject:
+		return d.handleVersion(req)
+	case OpCreatePartition:
+		return d.handleCreatePartition(req)
+	case OpResizePartition:
+		return d.handleResizePartition(req)
+	case OpRemovePartition:
+		return d.handleRemovePartition(req)
+	case OpGetPartition:
+		return d.handleGetPartition(req)
+	case OpListObjects:
+		return d.handleList(req)
+	case OpSetKey:
+		return d.handleSetKey(req)
+	case OpBumpVersion:
+		return d.handleBumpVersion(req)
+	case OpFlush:
+		if err := d.store.Flush(); err != nil {
+			return errReply(req.MsgID, err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	case OpExecute:
+		return d.handleExecute(req)
+	default:
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "unknown op %d", req.Proc)
+	}
+}
+
+func (d *Drive) handleRead(req *rpc.Request) *rpc.Reply {
+	a, err := DecodeReadArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	ver, err := d.objVersion(a.Partition, a.Object)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	if rep := d.authorize(req, a.Partition, a.Object, ver, capability.Read, a.Offset, a.Length); rep != nil {
+		return rep
+	}
+	data, err := d.store.Read(a.Partition, a.Object, a.Offset, int(a.Length))
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK, Data: data}
+}
+
+func (d *Drive) handleWrite(req *rpc.Request) *rpc.Reply {
+	a, err := DecodeWriteArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	ver, err := d.objVersion(a.Partition, a.Object)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	if rep := d.authorize(req, a.Partition, a.Object, ver, capability.Write, a.Offset, uint64(len(req.Data))); rep != nil {
+		return rep
+	}
+	if err := d.store.Write(a.Partition, a.Object, a.Offset, req.Data); err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK}
+}
+
+func (d *Drive) handleGetAttr(req *rpc.Request) *rpc.Reply {
+	a, err := DecodeObjArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	at, err := d.store.GetAttr(a.Partition, a.Object)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	if rep := d.authorize(req, a.Partition, a.Object, at.Version, capability.GetAttr, 0, 0); rep != nil {
+		return rep
+	}
+	return &rpc.Reply{Status: rpc.StatusOK, Args: EncodeAttrsReply(&at)}
+}
+
+func (d *Drive) handleSetAttr(req *rpc.Request) *rpc.Reply {
+	a, err := DecodeSetAttrArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	ver, err := d.objVersion(a.Partition, a.Object)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	if rep := d.authorize(req, a.Partition, a.Object, ver, capability.SetAttr, 0, 0); rep != nil {
+		return rep
+	}
+	if err := d.store.SetAttr(a.Partition, a.Object, a.Attrs, object.SetAttrMask(a.Mask)); err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK}
+}
+
+func (d *Drive) handleCreate(req *rpc.Request) *rpc.Reply {
+	a, err := DecodeObjArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	// Creation uses a partition-scope capability (Object 0, version 0).
+	if rep := d.authorize(req, a.Partition, 0, 0, capability.CreateObj, 0, 0); rep != nil {
+		return rep
+	}
+	id, err := d.store.Create(a.Partition)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK, Args: EncodeIDReply(id)}
+}
+
+func (d *Drive) handleRemove(req *rpc.Request) *rpc.Reply {
+	a, err := DecodeObjArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	ver, err := d.objVersion(a.Partition, a.Object)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	if rep := d.authorize(req, a.Partition, a.Object, ver, capability.Remove, 0, 0); rep != nil {
+		return rep
+	}
+	if err := d.store.Remove(a.Partition, a.Object); err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK}
+}
+
+func (d *Drive) handleVersion(req *rpc.Request) *rpc.Reply {
+	a, err := DecodeObjArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	ver, err := d.objVersion(a.Partition, a.Object)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	if rep := d.authorize(req, a.Partition, a.Object, ver, capability.Version, 0, 0); rep != nil {
+		return rep
+	}
+	id, err := d.store.VersionObject(a.Partition, a.Object)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK, Args: EncodeIDReply(id)}
+}
+
+func (d *Drive) handleCreatePartition(req *rpc.Request) *rpc.Reply {
+	a, err := DecodePartArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	if rep := d.authorizeAdmin(req, a.AuthKey); rep != nil {
+		return rep
+	}
+	if err := d.store.CreatePartition(a.Partition, a.Quota); err != nil {
+		return errReply(req.MsgID, err)
+	}
+	if err := d.keys.AddPartition(a.Partition); err != nil {
+		return errReply(req.MsgID, err)
+	}
+	// Partition management is rare and must survive power loss.
+	if err := d.store.Flush(); err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK}
+}
+
+func (d *Drive) handleResizePartition(req *rpc.Request) *rpc.Reply {
+	a, err := DecodePartArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	if rep := d.authorizeAdmin(req, a.AuthKey); rep != nil {
+		return rep
+	}
+	if err := d.store.ResizePartition(a.Partition, a.Quota); err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK}
+}
+
+func (d *Drive) handleRemovePartition(req *rpc.Request) *rpc.Reply {
+	a, err := DecodePartArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	if rep := d.authorizeAdmin(req, a.AuthKey); rep != nil {
+		return rep
+	}
+	if err := d.store.RemovePartition(a.Partition); err != nil {
+		return errReply(req.MsgID, err)
+	}
+	d.keys.RemovePartition(a.Partition)
+	if err := d.store.Flush(); err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK}
+}
+
+func (d *Drive) handleGetPartition(req *rpc.Request) *rpc.Reply {
+	a, err := DecodePartArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	if rep := d.authorizeAdmin(req, a.AuthKey); rep != nil {
+		return rep
+	}
+	p, err := d.store.GetPartition(a.Partition)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK, Args: EncodePartReply(p)}
+}
+
+func (d *Drive) handleList(req *rpc.Request) *rpc.Reply {
+	a, err := DecodeObjArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	// Listing is the well-known object-list object: partition-scope read.
+	if rep := d.authorize(req, a.Partition, 0, 0, capability.Read, 0, 0); rep != nil {
+		return rep
+	}
+	ids, err := d.store.List(a.Partition)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK, Args: EncodeIDListReply(ids)}
+}
+
+func (d *Drive) handleSetKey(req *rpc.Request) *rpc.Reply {
+	a, err := DecodeSetKeyArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	if rep := d.authorizeAdmin(req, a.AuthKey); rep != nil {
+		return rep
+	}
+	key, err := crypt.KeyFromBytes(a.Key)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	id := crypt.KeyID{Type: crypt.KeyType(a.Target.Type), Partition: a.Target.Partition, Version: a.Target.Version}
+	if err := d.keys.SetKey(id, key); err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK}
+}
+
+func (d *Drive) handleBumpVersion(req *rpc.Request) *rpc.Reply {
+	a, err := DecodeObjArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	ver, err := d.objVersion(a.Partition, a.Object)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	// Version bumps are the revocation path: they require SetAttr rights.
+	if rep := d.authorize(req, a.Partition, a.Object, ver, capability.SetAttr, 0, 0); rep != nil {
+		return rep
+	}
+	v, err := d.store.BumpVersion(a.Partition, a.Object)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK, Args: EncodeIDReply(v)}
+}
+
+func (d *Drive) handleExecute(req *rpc.Request) *rpc.Reply {
+	a, err := DecodeExecuteArgs(req.Args)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
+	}
+	at, err := d.store.GetAttr(a.Partition, a.Object)
+	if err != nil {
+		return errReply(req.MsgID, err)
+	}
+	// Executing a kernel reads the object: Read rights required.
+	if rep := d.authorize(req, a.Partition, a.Object, at.Version, capability.Read, 0, 0); rep != nil {
+		return rep
+	}
+	d.mu.Lock()
+	k, ok := d.kernels[a.Kernel]
+	d.mu.Unlock()
+	if !ok {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "unknown kernel %q", a.Kernel)
+	}
+	result, err := k(a.Params, func(off uint64, n int) ([]byte, error) {
+		return d.store.Read(a.Partition, a.Object, off, n)
+	}, at.Size)
+	if err != nil {
+		return rpc.Errorf(req.MsgID, rpc.StatusError, "kernel: %v", err)
+	}
+	return &rpc.Reply{Status: rpc.StatusOK, Data: result}
+}
+
+// Serve is a convenience that wraps the drive in an RPC server on l.
+// It blocks; run on its own goroutine and close the returned server to
+// stop.
+func (d *Drive) Serve(l rpc.Listener) *rpc.Server {
+	srv := rpc.NewServer(d)
+	go srv.Serve(l)
+	return srv
+}
+
+var _ rpc.Handler = (*Drive)(nil)
+
+// String describes the drive.
+func (d *Drive) String() string { return fmt.Sprintf("nasd-drive-%d", d.id) }

@@ -1,0 +1,122 @@
+package drive
+
+import (
+	"errors"
+	"testing"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/crypt"
+	"nasd/internal/rpc"
+)
+
+// Failure injection at the media layer: the drive must surface storage
+// errors as RPC error replies, never panics or silent corruption.
+
+func failureRig(t *testing.T) (*Drive, *blockdev.MemDisk, uint64) {
+	t.Helper()
+	dev := blockdev.NewMemDisk(4096, 4096)
+	d, err := NewFormat(dev, Config{ID: 1, Master: crypt.NewRandomKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store().CreatePartition(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := d.Store().Create(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Store().Write(1, obj, 0, make([]byte, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	// Push the data to the media so reads must touch the device.
+	if err := d.Store().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return d, dev, obj
+}
+
+// readReq builds a read request for the insecure drive.
+func readReq(obj uint64, off, n uint64) *rpc.Request {
+	return &rpc.Request{
+		Proc: uint16(OpReadObject),
+		Args: (&ReadArgs{Partition: 1, Object: obj, Offset: off, Length: n}).Encode(),
+	}
+}
+
+func TestCorruptBlockSurfacesAsError(t *testing.T) {
+	_, dev, obj := failureRig(t)
+	// Reopen through a fresh drive so its cache is cold and reads must
+	// touch the (corrupted) media.
+	d2, err := Open(dev, Config{ID: 1, Master: crypt.NewRandomKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a swath of the data region.
+	sb := int64(64) // past metadata for a 4096-block volume
+	for b := sb; b < sb+64; b++ {
+		dev.CorruptBlock(b)
+	}
+	rep := d2.Handle(readReq(obj, 0, 64<<10))
+	if rep.Status == rpc.StatusOK {
+		// The corrupted range may have missed the object's blocks —
+		// corrupt everything to be sure.
+		for b := int64(0); b < 4096; b++ {
+			dev.CorruptBlock(b)
+		}
+		rep = d2.Handle(readReq(obj, 0, 64<<10))
+	}
+	if rep.Status != rpc.StatusError {
+		t.Fatalf("corrupt media read status = %v", rep.Status)
+	}
+}
+
+func TestTransientErrorThenRecovery(t *testing.T) {
+	_, dev, obj := failureRig(t)
+	d2, err := Open(dev, Config{ID: 1, Master: crypt.NewRandomKey()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the first block the object read actually touches by
+	// injecting transient errors until one fires.
+	var hit int64 = -1
+	for b := int64(1); b < 4096; b++ {
+		dev.FailNext(b, errors.New("transient"))
+	}
+	rep := d2.Handle(readReq(obj, 0, 4096))
+	if rep.Status == rpc.StatusError {
+		hit = 1
+	}
+	if hit < 0 {
+		t.Skip("read served fully from cache; transient injection not observable")
+	}
+	// All injected errors are one-shot, but each attempt may consume
+	// only the first one it trips over; bounded retries must converge.
+	for attempt := 0; attempt < 16; attempt++ {
+		rep = d2.Handle(readReq(obj, 0, 4096))
+		if rep.Status == rpc.StatusOK {
+			return
+		}
+	}
+	t.Fatalf("reads never recovered from transient errors: %v (%s)", rep.Status, rep.Msg)
+}
+
+func TestDeadDeviceFailsCleanly(t *testing.T) {
+	d, dev, obj := failureRig(t)
+	dev.Fail()
+	// Reads may still be served from the drive's cache; writes that
+	// must allocate/flush will eventually fail, and nothing panics.
+	rep := d.Handle(&rpc.Request{
+		Proc: uint16(OpWriteObject),
+		Args: (&WriteArgs{Partition: 1, Object: obj, Offset: 1 << 20}).Encode(),
+		Data: make([]byte, 1<<20),
+	})
+	flush := d.Handle(&rpc.Request{Proc: uint16(OpFlush)})
+	if rep.Status == rpc.StatusOK && flush.Status == rpc.StatusOK {
+		t.Fatal("dead device never surfaced an error")
+	}
+	dev.Heal()
+	if rep := d.Handle(readReq(obj, 0, 4096)); rep.Status != rpc.StatusOK {
+		t.Fatalf("read after heal: %v", rep.Status)
+	}
+}

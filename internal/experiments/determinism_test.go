@@ -1,0 +1,25 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSimulationsDeterministic: every simulated experiment must produce
+// bit-identical results across runs (seeded, single event loop). This
+// is what makes the EXPERIMENTS.md numbers reproducible anywhere.
+func TestSimulationsDeterministic(t *testing.T) {
+	for _, id := range []string{"fig6", "fig7", "active", "ablation-rpc"} {
+		a, err := Run(id, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(id, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Rows, b.Rows) {
+			t.Errorf("%s: two runs produced different rows", id)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation: Figure 4 (server cost model), Figure 6 (drive bandwidth
+// vs request size), Figure 7 (cached-read scaling), Table 1 (per-request
+// instruction costs), Figure 9 (parallel data mining scaling), the
+// Section 5.1 Andrew-benchmark comparison, and the Section 6 Active
+// Disks result.
+//
+// Analytic experiments (Figure 4, Table 1) evaluate closed-form models;
+// the rest run deterministic discrete-event simulations assembled from
+// the hardware models in internal/hw with the paper's 1998 parameters.
+// Measured numbers therefore reproduce the paper's *shapes* — who wins,
+// slopes, plateaus, crossover points — rather than matching the authors'
+// testbed digit for digit. EXPERIMENTS.md records paper-vs-measured for
+// every row.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Row is one reported data point: an X value (request size, client
+// count, disks...), the paper's value, and our measured/modelled value.
+type Row struct {
+	Series string
+	X      string
+	Paper  float64 // 0 when the paper reports no number for this point
+	Got    float64
+	Unit   string
+	Note   string
+}
+
+// Result is one experiment's full output.
+type Result struct {
+	ID      string // "fig4", "table1", ...
+	Title   string
+	Rows    []Row
+	Summary string
+}
+
+// Deviation returns |got-paper|/paper for rows with a paper value.
+func (r Row) Deviation() float64 {
+	if r.Paper == 0 {
+		return 0
+	}
+	d := (r.Got - r.Paper) / r.Paper
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// Print renders the result as an aligned table.
+func (res *Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", res.ID, res.Title)
+	series := ""
+	for _, row := range res.Rows {
+		if row.Series != series {
+			series = row.Series
+			fmt.Fprintf(w, "-- %s --\n", series)
+		}
+		if row.Paper != 0 {
+			fmt.Fprintf(w, "  %-24s paper %9.2f  measured %9.2f %-6s (%+.0f%%)",
+				row.X, row.Paper, row.Got, row.Unit, 100*(row.Got-row.Paper)/row.Paper)
+		} else {
+			fmt.Fprintf(w, "  %-24s                 measured %9.2f %-6s", row.X, row.Got, row.Unit)
+		}
+		if row.Note != "" {
+			fmt.Fprintf(w, "  [%s]", row.Note)
+		}
+		fmt.Fprintln(w)
+	}
+	if res.Summary != "" {
+		fmt.Fprintf(w, "  => %s\n", res.Summary)
+	}
+}
+
+// Runner produces one experiment's result. quick trades precision for
+// speed (shorter simulations, fewer points) so the full suite stays
+// fast under `go test`.
+type Runner func(quick bool) (*Result, error)
+
+// registry of experiments by ID.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// IDs returns the registered experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, quick bool) (*Result, error) {
+	r, ok := registry[strings.ToLower(id)]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(quick)
+}
+
+// RunAll executes every experiment in ID order.
+func RunAll(quick bool) ([]*Result, error) {
+	var out []*Result
+	for _, id := range IDs() {
+		res, err := Run(id, quick)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", id, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

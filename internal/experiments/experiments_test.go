@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// These tests assert the paper's *shapes*: orderings, slopes, plateaus,
+// crossovers. Absolute values are checked loosely where the paper
+// provides anchors (tight tolerances live in the underlying packages'
+// own tests, e.g. the Table 1 cost-model fit).
+
+func rows(t *testing.T, res *Result, series string) []Row {
+	t.Helper()
+	var out []Row
+	for _, r := range res.Rows {
+		if strings.HasPrefix(r.Series, series) {
+			out = append(out, r)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("no rows for series %q in %s", series, res.ID)
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"ablation-rpc", "ablation-security", "active", "andrew", "fig4", "fig6", "fig7", "fig9", "table1"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("experiments = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("experiments = %v, want %v", got, want)
+		}
+	}
+	if _, err := Run("nope", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFig4Anchors(t *testing.T) {
+	res, err := Run("fig4", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.Paper != 0 && r.Deviation() > 0.05 {
+			t.Errorf("fig4 %s/%s: %.1f vs paper %.1f (%.0f%% off)",
+				r.Series, r.X, r.Got, r.Paper, 100*r.Deviation())
+		}
+	}
+}
+
+func TestTable1Anchors(t *testing.T) {
+	res, err := Run("table1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		tol := 0.20
+		if strings.Contains(r.Series, "communications") {
+			tol = 0.12
+		}
+		if r.Paper != 0 && r.Deviation() > tol {
+			t.Errorf("table1 %s/%s: %.2f vs paper %.2f (%.0f%% off)",
+				r.Series, r.X, r.Got, r.Paper, 100*r.Deviation())
+		}
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	res, err := Run("fig6", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(series, x string) float64 {
+		for _, r := range res.Rows {
+			if r.Series == series && r.X == x {
+				return r.Got
+			}
+		}
+		t.Fatalf("missing %s/%s", series, x)
+		return 0
+	}
+	// Cache hits: FFS beats NASD (one fewer copy) and both are far
+	// above disk speeds.
+	for _, x := range []string{"64KB", "512KB"} {
+		ffs, nasd := get("FFS read hit", x), get("NASD read hit", x)
+		if ffs <= nasd {
+			t.Errorf("at %s: FFS hit (%.1f) not above NASD hit (%.1f)", x, ffs, nasd)
+		}
+		if nasd < 15 {
+			t.Errorf("at %s: NASD hit %.1f MB/s implausibly low", x, nasd)
+		}
+	}
+	// L2 overflow: 512KB hits are slower than 128KB hits.
+	if get("NASD read hit", "512KB") >= get("NASD read hit", "128KB") {
+		t.Error("NASD hit shows no L2 overflow degradation")
+	}
+	// Cache misses: the winner flips — NASD's layout roughly doubles FFS.
+	fm, nm := get("FFS read miss", "512KB"), get("NASD read miss", "512KB")
+	if nm < 1.6*fm {
+		t.Errorf("NASD miss (%.2f) not ~2x FFS miss (%.2f)", nm, fm)
+	}
+	// FFS write-behind cliff at 64KB.
+	if get("FFS write (<=64K behind)", "64KB") < 3*get("FFS write (<=64K behind)", "128KB") {
+		t.Error("FFS write-behind acknowledgement cliff missing")
+	}
+	// Raw write (write-behind) appears faster than raw read, as measured.
+	if get("raw write", "512KB") <= get("raw read", "512KB")*0.9 {
+		t.Error("raw write not benefiting from write-behind")
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	res, err := Run("fig7", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := rows(t, res, "aggregate bandwidth")
+	// Linear scaling: per-client rate stays within 15% of the 1-client
+	// rate across the sweep.
+	per1 := agg[0].Got
+	for i, r := range agg {
+		per := r.Got / float64(i+1)
+		if per < 0.85*per1 || per > 1.15*per1 {
+			t.Errorf("%s: per-client %.2f deviates from %.2f", r.X, per, per1)
+		}
+	}
+	// Per-client rate under the 10 MB/s DCE ceiling, near the figure's
+	// ~6.5 slope.
+	if per1 > 10 || per1 < 4.5 {
+		t.Errorf("per-client rate %.2f outside [4.5, 10]", per1)
+	}
+	// Drives loaf, clients are the limit.
+	idle := rows(t, res, "cpu idle")
+	last := idle[len(idle)-1]
+	if last.Got > 50 {
+		t.Errorf("client idle %.0f%%: clients not the bottleneck", last.Got)
+	}
+	if !strings.Contains(last.Note, "drive idle") {
+		t.Fatalf("missing drive idle note")
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	res, err := Run("fig9", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nasd := rows(t, res, "NASD")
+	// NASD scales: 8 drives at least 4.5x the 1-drive rate, and the
+	// 8-drive aggregate lands within 25% of the paper's 45 MB/s.
+	if nasd[7].Got < 4.5*nasd[0].Got {
+		t.Errorf("NASD not scaling: %.1f at 1 vs %.1f at 8", nasd[0].Got, nasd[7].Got)
+	}
+	if nasd[7].Deviation() > 0.25 {
+		t.Errorf("NASD at 8 drives: %.1f vs paper %.1f", nasd[7].Got, nasd[7].Paper)
+	}
+	// NFS plateaus: adding disks past ~6 yields <10% gain, and the
+	// plateau sits far below NASD at 8 drives.
+	nfs := rows(t, res, "NFS (single file")
+	if nfs[7].Got > 1.1*nfs[5].Got {
+		t.Errorf("NFS did not plateau: %.1f at 6 disks vs %.1f at 8", nfs[5].Got, nfs[7].Got)
+	}
+	if nfs[7].Got > 0.7*nasd[7].Got {
+		t.Errorf("NFS (%.1f) not clearly below NASD (%.1f)", nfs[7].Got, nasd[7].Got)
+	}
+	// NFS-parallel beats NFS single-file but still plateaus in the low 20s.
+	par := rows(t, res, "NFS-parallel")
+	if par[7].Got < nfs[7].Got {
+		t.Errorf("NFS-parallel (%.1f) below NFS (%.1f)", par[7].Got, nfs[7].Got)
+	}
+	if par[7].Deviation() > 0.20 {
+		t.Errorf("NFS-parallel at 8: %.1f vs paper %.1f", par[7].Got, par[7].Paper)
+	}
+}
+
+func TestAndrewWithinBound(t *testing.T) {
+	res, err := Run("andrew", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		if r.X == "difference" && r.Got > 5 {
+			t.Errorf("%s: NASD-NFS vs NFS differ by %.1f%%, paper bound 5%%", r.Series, r.Got)
+		}
+	}
+}
+
+func TestActiveDisksShapes(t *testing.T) {
+	res, err := Run("active", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := rows(t, res, "effective scan rate")
+	// Scales with drives.
+	if scan[len(scan)-1].Got < 4*scan[0].Got {
+		t.Errorf("active disks not scaling: %v", scan)
+	}
+	// The 6-drive anchor is within 20% of 45 MB/s.
+	for _, r := range scan {
+		if r.Paper != 0 && r.Deviation() > 0.20 {
+			t.Errorf("%s: %.1f vs paper %.1f", r.X, r.Got, r.Paper)
+		}
+	}
+	// Network traffic stays tiny (that is the whole point).
+	for _, r := range scan {
+		if !strings.Contains(r.Note, "KB crossed") {
+			t.Fatalf("missing network note: %+v", r)
+		}
+	}
+}
+
+func TestAblationRPCOrdering(t *testing.T) {
+	res, err := Run("ablation-rpc", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows(t, res, "per-client cached-read bandwidth")
+	if len(r) != 3 {
+		t.Fatalf("rows = %d", len(r))
+	}
+	// Lean > UDP-class > DCE, and lean at least 1.8x DCE.
+	if !(r[2].Got > r[1].Got && r[1].Got > r[0].Got) {
+		t.Fatalf("ordering wrong: %v %v %v", r[0].Got, r[1].Got, r[2].Got)
+	}
+	if r[2].Got < 1.8*r[0].Got {
+		t.Fatalf("lean stack (%.1f) not well above DCE (%.1f)", r[2].Got, r[0].Got)
+	}
+}
+
+func TestAblationSecurityOrdering(t *testing.T) {
+	res, err := Run("ablation-security", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows(t, res, "512 KB warm read")
+	if len(r) != 3 {
+		t.Fatalf("rows = %d", len(r))
+	}
+	off, sw, hwd := r[0].Got, r[1].Got, r[2].Got
+	if sw < 2*off {
+		t.Fatalf("software MAC (%.1f ms) not >= 2x baseline (%.1f ms)", sw, off)
+	}
+	// Hardware MAC within 1% of security-off.
+	if hwd > off*1.01 {
+		t.Fatalf("hardware MAC (%.2f ms) not near baseline (%.2f ms)", hwd, off)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in non-short mode only")
+	}
+	results, err := RunAll(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("results = %d", len(results))
+	}
+	var sb strings.Builder
+	for _, res := range results {
+		res.Print(&sb)
+	}
+	if !strings.Contains(sb.String(), "== fig9") {
+		t.Fatal("print output incomplete")
+	}
+}

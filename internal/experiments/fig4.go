@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nasd/internal/costmodel"
+)
+
+func init() { register("fig4", runFig4) }
+
+// runFig4 reproduces Figure 4 / Section 3: server cost overhead as a
+// function of attached disks for the low-cost and high-end
+// configurations, plus the Section 3 NASD comparison.
+func runFig4(quick bool) (*Result, error) {
+	res := &Result{
+		ID:    "fig4",
+		Title: "Cost model for the traditional server architecture (server overhead % vs disks)",
+	}
+
+	// Anchor points the paper states in prose.
+	anchors := []struct {
+		cfg   costmodel.ServerConfig
+		disks int
+		paper float64
+	}{
+		{costmodel.HighEnd, 1, 1300},
+		{costmodel.HighEnd, 14, 115},
+		{costmodel.LowCost, 1, 380},
+		{costmodel.LowCost, 6, 80},
+	}
+	for _, a := range anchors {
+		p := a.cfg.At(a.disks)
+		res.Rows = append(res.Rows, Row{
+			Series: a.cfg.Name + " anchors",
+			X:      fmt.Sprintf("%d disks", a.disks),
+			Paper:  a.paper,
+			Got:    p.OverheadPercent,
+			Unit:   "%ovh",
+		})
+	}
+
+	// Full sweep for the curve shape.
+	for _, cfg := range []costmodel.ServerConfig{costmodel.LowCost, costmodel.HighEnd} {
+		max := cfg.SaturationDisks() + 2
+		for n := 1; n <= max; n++ {
+			p := cfg.At(n)
+			note := ""
+			if p.Saturated {
+				note = "saturated"
+			}
+			res.Rows = append(res.Rows, Row{
+				Series: cfg.Name + " sweep",
+				X:      fmt.Sprintf("%d disks", n),
+				Got:    p.OverheadPercent,
+				Unit:   "%ovh",
+				Note:   note,
+			})
+		}
+	}
+
+	cmp := costmodel.HighEnd.CompareNASD(14, 0.10)
+	res.Rows = append(res.Rows, Row{
+		Series: "NASD comparison (10% drive premium, 14 disks high-end)",
+		X:      "total system savings",
+		Paper:  50,
+		Got:    cmp.SavingsPercent,
+		Unit:   "%",
+	})
+	res.Summary = fmt.Sprintf(
+		"server overhead: high-end %d disks -> %.0f%%; NASD premium cuts system cost %.1f%%",
+		costmodel.HighEnd.SaturationDisks(), costmodel.HighEnd.At(14).OverheadPercent, cmp.SavingsPercent)
+	return res, nil
+}

@@ -1,0 +1,330 @@
+package ffs
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"nasd/internal/blockdev"
+)
+
+func newTestFS(t *testing.T) (*FS, *blockdev.MemDisk) {
+	t.Helper()
+	dev := blockdev.NewMemDisk(4096, 8192)
+	fs, err := Format(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, dev
+}
+
+func TestCreateWriteRead(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if err := fs.Create("/hello.txt"); err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("fast file system")
+	if err := fs.Write("/hello.txt", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("/hello.txt", 0, 100)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+	size, isDir, err := fs.Stat("/hello.txt")
+	if err != nil || size != uint64(len(data)) || isDir {
+		t.Fatalf("stat = %d, %v, %v", size, isDir, err)
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if err := fs.Mkdir("/usr"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/usr/local"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/usr/local/conf"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := fs.ReadDir("/usr/local")
+	if err != nil || len(names) != 1 || names[0] != "conf" {
+		t.Fatalf("readdir = %v, %v", names, err)
+	}
+	if _, _, err := fs.Stat("/usr/local/conf"); err != nil {
+		t.Fatal(err)
+	}
+	// Walk through a file fails.
+	if _, _, err := fs.Stat("/usr/local/conf/x"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("walk through file: %v", err)
+	}
+	// Path validation.
+	if err := fs.Create("relative"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("relative path: %v", err)
+	}
+	if err := fs.Create("/a/../b"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("dotdot: %v", err)
+	}
+}
+
+func TestNamespaceErrors(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if err := fs.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/f"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if _, err := fs.Read("/missing", 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing read: %v", err)
+	}
+	if err := fs.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Read("/d", 0, 1); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("read dir: %v", err)
+	}
+	if err := fs.Create("/d/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("remove non-empty: %v", err)
+	}
+}
+
+func TestRemoveFreesBlocks(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if err := fs.Create("/big"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/big", 0, make([]byte, 200<<10)); err != nil {
+		t.Fatal(err)
+	}
+	free := fs.lay.FreeBlocks()
+	if err := fs.Remove("/big"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.lay.FreeBlocks() <= free {
+		t.Fatal("remove freed nothing")
+	}
+	if _, _, err := fs.Stat("/big"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("file survives remove")
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if err := fs.Create("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/a", 0, []byte("move me")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Rename("/a", "/sub/b"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("/sub/b", 0, 7)
+	if err != nil || string(got) != "move me" {
+		t.Fatalf("after rename: %q, %v", got, err)
+	}
+	if _, _, err := fs.Stat("/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("old name survives")
+	}
+	// Same-directory rename.
+	if err := fs.Rename("/sub/b", "/sub/c"); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := fs.ReadDir("/sub")
+	if len(names) != 1 || names[0] != "c" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestTruncateAndRegrow(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if err := fs.Create("/t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/t", 0, bytes.Repeat([]byte{9}, 50_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Truncate("/t", 100); err != nil {
+		t.Fatal(err)
+	}
+	size, _, _ := fs.Stat("/t")
+	if size != 100 {
+		t.Fatalf("size = %d", size)
+	}
+	got, _ := fs.Read("/t", 0, 1000)
+	if len(got) != 100 {
+		t.Fatalf("read %d bytes after truncate", len(got))
+	}
+}
+
+func TestWriteBehindVsSyncAck(t *testing.T) {
+	fs, dev := newTestFS(t)
+	if err := fs.Create("/small"); err != nil {
+		t.Fatal(err)
+	}
+	_, w0 := dev.Stats()
+	// Small write: acknowledged from cache, data blocks stay dirty (the
+	// inode itself is written through).
+	if err := fs.Write("/small", 0, make([]byte, 16<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if fs.CacheStats().WriteBacks != 0 {
+		t.Fatal("small write forced a flush")
+	}
+	// Large write: flushed before returning.
+	if err := fs.Create("/large"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/large", 0, make([]byte, 128<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if fs.CacheStats().WriteBacks == 0 {
+		t.Fatal("large write not flushed")
+	}
+	_, w1 := dev.Stats()
+	if w1 <= w0 {
+		t.Fatal("no device writes at all")
+	}
+}
+
+func TestPersistenceAcrossMount(t *testing.T) {
+	dev := blockdev.NewMemDisk(4096, 8192)
+	fs, err := Format(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Mkdir("/etc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/etc/passwd"); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("root:x:0:0")
+	if err := fs.Write("/etc/passwd", 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.Read("/etc/passwd", 0, 100)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("after remount: %q, %v", got, err)
+	}
+	names, err := fs2.ReadDir("/")
+	if err != nil || len(names) != 1 || names[0] != "etc" {
+		t.Fatalf("root listing = %v, %v", names, err)
+	}
+}
+
+func TestSparseFiles(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if err := fs.Create("/sparse"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("/sparse", 100_000, []byte("end")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Read("/sparse", 0, 16)
+	if err != nil || !bytes.Equal(got, make([]byte, 16)) {
+		t.Fatalf("hole = %v, %v", got, err)
+	}
+	got, _ = fs.Read("/sparse", 100_000, 3)
+	if string(got) != "end" {
+		t.Fatalf("tail = %q", got)
+	}
+}
+
+// Property: random writes mirrored against an in-memory model always
+// read back identically, including across a sync + remount.
+func TestRandomOpsEquivalence(t *testing.T) {
+	dev := blockdev.NewMemDisk(4096, 16384)
+	fs, err := Format(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/rand"); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	model := []byte{}
+	for i := 0; i < 60; i++ {
+		off := uint64(rng.Intn(150_000))
+		n := rng.Intn(30_000) + 1
+		data := make([]byte, n)
+		rng.Read(data)
+		if err := fs.Write("/rand", off, data); err != nil {
+			t.Fatal(err)
+		}
+		if int(off)+n > len(model) {
+			model = append(model, make([]byte, int(off)+n-len(model))...)
+		}
+		copy(model[off:], data)
+	}
+	got, err := fs.Read("/rand", 0, len(model))
+	if err != nil || !bytes.Equal(got, model) {
+		t.Fatalf("pre-sync mismatch: %v", err)
+	}
+	if err := fs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Open(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = fs2.Read("/rand", 0, len(model))
+	if err != nil || !bytes.Equal(got, model) {
+		t.Fatalf("post-remount mismatch: %v", err)
+	}
+}
+
+func TestManyFiles(t *testing.T) {
+	fs, _ := newTestFS(t)
+	if err := fs.Mkdir("/many"); err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for i := 0; i < 50; i++ {
+		name := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if err := fs.Create("/many/" + name); err != nil {
+			t.Fatal(err)
+		}
+		if err := fs.Write("/many/"+name, 0, []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, name)
+	}
+	names, err := fs.ReadDir("/many")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	sort.Strings(want)
+	if len(names) != len(want) {
+		t.Fatalf("%d names, want %d", len(names), len(want))
+	}
+	for i := range names {
+		if names[i] != want[i] {
+			t.Fatalf("names[%d] = %s, want %s", i, names[i], want[i])
+		}
+	}
+	// Spot-check contents.
+	got, err := fs.Read("/many/"+want[7], 0, 10)
+	if err != nil || string(got) != want[7] {
+		t.Fatalf("content = %q, %v", got, err)
+	}
+}

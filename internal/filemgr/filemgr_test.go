@@ -1,0 +1,319 @@
+package filemgr
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/capability"
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/rpc"
+)
+
+// newFS builds a secure file manager over n in-process drives and
+// returns it with per-drive clients for direct data access.
+func newFS(t *testing.T, n int) (*FM, []DriveTarget) {
+	t.Helper()
+	var targets []DriveTarget
+	for i := 0; i < n; i++ {
+		master := crypt.NewRandomKey()
+		dev := blockdev.NewMemDisk(4096, 8192)
+		drv, err := drive.NewFormat(dev, drive.Config{ID: uint64(100 + i), Master: master, Secure: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := rpc.NewInProcListener("d")
+		srv := drv.Serve(l)
+		t.Cleanup(srv.Close)
+		conn, err := l.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli := client.New(conn, uint64(100+i), uint64(9000+i), true)
+		t.Cleanup(func() { cli.Close() })
+		targets = append(targets, DriveTarget{Client: cli, DriveID: uint64(100 + i), Master: master})
+	}
+	fm, err := Format(Config{Drives: targets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fm, targets
+}
+
+var alice = Identity{UID: 10, GIDs: []uint32{100}}
+var bob = Identity{UID: 20, GIDs: []uint32{200}}
+
+func TestCreateLookupReadWriteDirect(t *testing.T) {
+	fm, targets := newFS(t, 2)
+	h, cap, err := fm.Create(alice, "/report.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The client writes directly to the drive with the capability — the
+	// file manager is no longer in the path.
+	cli := targets[h.Drive].Client
+	data := []byte("direct to the drive")
+	if err := cli.Write(&cap, h.Partition, h.Object, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// A second client looks the file up and reads directly.
+	h2, info, rcap, err := fm.Lookup(alice, "/report.txt", capability.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Fatalf("lookup handle %+v != create handle %+v", h2, h)
+	}
+	if info.Size != uint64(len(data)) {
+		t.Fatalf("size = %d", info.Size)
+	}
+	got, err := targets[h2.Drive].Client.Read(&rcap, h2.Partition, h2.Object, 0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("direct read = %q, %v", got, err)
+	}
+}
+
+func TestAccessControl(t *testing.T) {
+	fm, _ := newFS(t, 1)
+	if _, _, err := fm.Create(alice, "/private.txt", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Bob cannot obtain a read capability.
+	if _, _, _, err := fm.Lookup(bob, "/private.txt", capability.Read); !errors.Is(err, ErrPerm) {
+		t.Fatalf("bob read: %v", err)
+	}
+	// Alice can.
+	if _, _, _, err := fm.Lookup(alice, "/private.txt", capability.Read); err != nil {
+		t.Fatal(err)
+	}
+	// Group access: 0640 lets group members read but not write.
+	if _, _, err := fm.Create(alice, "/group.txt", 0o640); err != nil {
+		t.Fatal(err)
+	}
+	carol := Identity{UID: 30, GIDs: []uint32{100}} // alice's group
+	if _, _, _, err := fm.Lookup(carol, "/group.txt", capability.Read); err != nil {
+		t.Fatalf("group read: %v", err)
+	}
+	if _, _, _, err := fm.Lookup(carol, "/group.txt", capability.Write); !errors.Is(err, ErrPerm) {
+		t.Fatalf("group write: %v", err)
+	}
+	// Root bypasses.
+	if _, _, _, err := fm.Lookup(Root, "/private.txt", capability.Read|capability.Write); err != nil {
+		t.Fatalf("root: %v", err)
+	}
+}
+
+func TestMkdirWalkAndReadDir(t *testing.T) {
+	fm, _ := newFS(t, 1)
+	if _, err := fm.Mkdir(alice, "/docs", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm.Mkdir(alice, "/docs/2026", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fm.Create(alice, "/docs/2026/notes.txt", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fm.ReadDir(alice, "/docs/2026")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name != "notes.txt" {
+		t.Fatalf("entries = %+v", ents)
+	}
+	info, err := fm.Stat(alice, "/docs/2026/notes.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode&0o777 != 0o644 || info.UID != 10 {
+		t.Fatalf("info = %+v", info)
+	}
+	// Paths must be absolute and .. is rejected.
+	if _, err := fm.Stat(alice, "docs"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("relative path: %v", err)
+	}
+	if _, err := fm.Stat(alice, "/docs/../etc"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("dotdot path: %v", err)
+	}
+}
+
+func TestCreateCollision(t *testing.T) {
+	fm, _ := newFS(t, 1)
+	if _, _, err := fm.Create(alice, "/x", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fm.Create(alice, "/x", 0o644); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if _, err := fm.Mkdir(alice, "/x", 0o755); !errors.Is(err, ErrExists) {
+		t.Fatalf("mkdir over file: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fm, _ := newFS(t, 1)
+	if _, _, err := fm.Create(alice, "/trash", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Remove(alice, "/trash"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm.Stat(alice, "/trash"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("stat after remove: %v", err)
+	}
+	// Non-empty directory removal fails.
+	if _, err := fm.Mkdir(alice, "/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fm.Create(alice, "/dir/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Remove(alice, "/dir"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("remove non-empty: %v", err)
+	}
+	if err := fm.Remove(alice, "/dir/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Remove(alice, "/dir"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fm, _ := newFS(t, 2)
+	if _, _, err := fm.Create(alice, "/a", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm.Mkdir(alice, "/sub", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Same-directory rename.
+	if err := fm.Rename(alice, "/a", "/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm.Stat(alice, "/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("old name survives")
+	}
+	// Cross-directory rename.
+	if err := fm.Rename(alice, "/b", "/sub/c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm.Stat(alice, "/sub/c"); err != nil {
+		t.Fatal(err)
+	}
+	// Rename onto existing target fails.
+	if _, _, err := fm.Create(alice, "/d", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Rename(alice, "/d", "/sub/c"); !errors.Is(err, ErrExists) {
+		t.Fatalf("rename onto existing: %v", err)
+	}
+}
+
+func TestChmod(t *testing.T) {
+	fm, _ := newFS(t, 1)
+	if _, _, err := fm.Create(alice, "/f", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Chmod(bob, "/f", 0o666); !errors.Is(err, ErrPerm) {
+		t.Fatalf("chmod by non-owner: %v", err)
+	}
+	if err := fm.Chmod(alice, "/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := fm.Lookup(bob, "/f", capability.Read); err != nil {
+		t.Fatalf("bob read after chmod: %v", err)
+	}
+}
+
+func TestRevokeInvalidatesOutstandingCapability(t *testing.T) {
+	fm, targets := newFS(t, 1)
+	h, cap, err := fm.Create(alice, "/secret", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := targets[h.Drive].Client
+	if err := cli.Write(&cap, h.Partition, h.Object, 0, []byte("live")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Revoke(alice, "/secret"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Read(&cap, h.Partition, h.Object, 0, 4); !errors.Is(err, client.ErrAuth) {
+		t.Fatalf("revoked capability still works: %v", err)
+	}
+	// A fresh lookup re-arms the client.
+	h2, _, fresh, err := fm.Lookup(alice, "/secret", capability.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Read(&fresh, h2.Partition, h2.Object, 0, 4)
+	if err != nil || string(got) != "live" {
+		t.Fatalf("fresh read = %q, %v", got, err)
+	}
+}
+
+func TestFilesSpreadAcrossDrives(t *testing.T) {
+	fm, _ := newFS(t, 3)
+	used := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		h, _, err := fm.Create(alice, "/f"+string(rune('a'+i)), 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used[h.Drive] = true
+	}
+	if len(used) != 3 {
+		t.Fatalf("files placed on %d of 3 drives", len(used))
+	}
+}
+
+func TestMountExistingFilesystem(t *testing.T) {
+	fm, targets := newFS(t, 2)
+	if _, _, err := fm.Create(alice, "/persist", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fm2, err := Mount(Config{Drives: targets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm2.Stat(alice, "/persist"); err != nil {
+		t.Fatalf("file invisible after remount: %v", err)
+	}
+}
+
+func TestMintRange(t *testing.T) {
+	fm, targets := newFS(t, 1)
+	h, _, err := fm.Create(alice, "/escrow", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Escrow capability: allows writing only the first 8 KB.
+	ranged, err := fm.MintRange(h, 1, capability.Write, 0, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := targets[h.Drive].Client
+	if err := cli.Write(&ranged, h.Partition, h.Object, 0, make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Write(&ranged, h.Partition, h.Object, 8192, []byte("x")); !errors.Is(err, client.ErrAuth) {
+		t.Fatalf("write past escrow range: %v", err)
+	}
+}
+
+func TestLookupParentPermissionEnforced(t *testing.T) {
+	fm, _ := newFS(t, 1)
+	if _, err := fm.Mkdir(alice, "/locked", 0o700); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fm.Create(alice, "/locked/inner", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fm.Stat(bob, "/locked/inner"); !errors.Is(err, ErrPerm) {
+		t.Fatalf("walk through 0700 dir: %v", err)
+	}
+}

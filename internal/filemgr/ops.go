@@ -1,0 +1,329 @@
+package filemgr
+
+import (
+	"nasd/internal/capability"
+	"nasd/internal/object"
+)
+
+// This file holds the file manager's public operations: the policy path
+// clients consult before going drive-direct for data.
+
+// Lookup resolves a path and, when the identity's mode bits allow,
+// returns a capability carrying the requested rights — the capability
+// piggybacking of the NFS port ("capabilities are piggybacked on the
+// file manager's response to lookup operations").
+func (fm *FM) Lookup(id Identity, path string, want capability.Rights) (Handle, FileInfo, capability.Capability, error) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	h, err := fm.walk(id, path)
+	if err != nil {
+		return Handle{}, FileInfo{}, capability.Capability{}, err
+	}
+	pol, attrs, err := fm.readPolicy(h)
+	if err != nil {
+		return Handle{}, FileInfo{}, capability.Capability{}, err
+	}
+	var need uint32
+	if want.Has(capability.Read) || want.Has(capability.GetAttr) {
+		need |= 4
+	}
+	if want.Has(capability.Write) {
+		need |= 2
+	}
+	if err := checkAccess(id, pol, need); err != nil {
+		return Handle{}, FileInfo{}, capability.Capability{}, err
+	}
+	info := fm.fileInfo(h, pol, attrs)
+	var cap capability.Capability
+	if want != 0 {
+		cap, err = fm.Mint(h, attrs.Version, want)
+		if err != nil {
+			return Handle{}, FileInfo{}, capability.Capability{}, err
+		}
+	}
+	return h, info, cap, nil
+}
+
+// Stat returns file metadata without issuing a capability.
+func (fm *FM) Stat(id Identity, path string) (FileInfo, error) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	h, err := fm.walk(id, path)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	pol, attrs, err := fm.readPolicy(h)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return fm.fileInfo(h, pol, attrs), nil
+}
+
+func (fm *FM) fileInfo(h Handle, pol policy, attrs object.Attributes) FileInfo {
+	return FileInfo{
+		Handle: h, Size: attrs.Size, Mode: pol.Mode, UID: pol.UID, GID: pol.GID,
+		ModTime: attrs.ModTime,
+	}
+}
+
+// Create makes a new file at path owned by id with the given mode and
+// returns a read/write capability for it. Placement is round-robin
+// across drives.
+func (fm *FM) Create(id Identity, path string, mode uint32) (Handle, capability.Capability, error) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	return fm.createLocked(id, path, mode&0o777, false)
+}
+
+// Mkdir makes a directory.
+func (fm *FM) Mkdir(id Identity, path string, mode uint32) (Handle, error) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	h, _, err := fm.createLocked(id, path, ModeDir|(mode&0o777), true)
+	if err != nil {
+		return Handle{}, err
+	}
+	if err := fm.writeDir(h, nil); err != nil {
+		return Handle{}, err
+	}
+	return h, nil
+}
+
+func (fm *FM) createLocked(id Identity, path string, mode uint32, isDir bool) (Handle, capability.Capability, error) {
+	parent, name, err := fm.walkParent(id, path)
+	if err != nil {
+		return Handle{}, capability.Capability{}, err
+	}
+	ppol, _, err := fm.readPolicy(parent)
+	if err != nil {
+		return Handle{}, capability.Capability{}, err
+	}
+	if err := checkAccess(id, ppol, 2); err != nil { // write in parent
+		return Handle{}, capability.Capability{}, err
+	}
+	entries, err := fm.readDir(parent)
+	if err != nil {
+		return Handle{}, capability.Capability{}, err
+	}
+	for _, ent := range entries {
+		if ent.name == name {
+			return Handle{}, capability.Capability{}, ErrExists
+		}
+	}
+	// Place the object: directories co-locate with metadata on drive 0;
+	// files round-robin for bandwidth.
+	driveIdx := 0
+	if !isDir {
+		driveIdx = fm.next % len(fm.drives)
+		fm.next++
+	}
+	cc := fm.mintPartition(driveIdx, capability.CreateObj)
+	obj, err := fm.drives[driveIdx].target.Client.Create(&cc, fm.part)
+	if err != nil {
+		return Handle{}, capability.Capability{}, err
+	}
+	h := Handle{Drive: driveIdx, DriveID: fm.drives[driveIdx].target.DriveID, Partition: fm.part, Object: obj, IsDir: isDir}
+	gid := uint32(0)
+	if len(id.GIDs) > 0 {
+		gid = id.GIDs[0]
+	}
+	if err := fm.writePolicy(h, mode, id.UID, gid); err != nil {
+		return Handle{}, capability.Capability{}, err
+	}
+	entries = append(entries, dirEntryRec{name: name, drive: uint32(driveIdx), obj: obj, isDir: isDir})
+	if err := fm.writeDir(parent, entries); err != nil {
+		return Handle{}, capability.Capability{}, err
+	}
+	cap, err := fm.Mint(h, 1, capability.Read|capability.Write|capability.GetAttr)
+	if err != nil {
+		return Handle{}, capability.Capability{}, err
+	}
+	return h, cap, nil
+}
+
+// Remove deletes a file or empty directory.
+func (fm *FM) Remove(id Identity, path string) error {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	parent, name, err := fm.walkParent(id, path)
+	if err != nil {
+		return err
+	}
+	ppol, _, err := fm.readPolicy(parent)
+	if err != nil {
+		return err
+	}
+	if err := checkAccess(id, ppol, 2); err != nil {
+		return err
+	}
+	entries, err := fm.readDir(parent)
+	if err != nil {
+		return err
+	}
+	idx := -1
+	var target dirEntryRec
+	for i, ent := range entries {
+		if ent.name == name {
+			idx, target = i, ent
+			break
+		}
+	}
+	if idx < 0 {
+		return ErrNotFound
+	}
+	h := fm.entryHandle(target)
+	if target.isDir {
+		children, err := fm.readDir(h)
+		if err != nil {
+			return err
+		}
+		if len(children) > 0 {
+			return ErrNotEmpty
+		}
+	}
+	a, err := fm.getAttr(h)
+	if err != nil {
+		return err
+	}
+	rc := fm.mintSelf(h, a.Version, capability.Remove)
+	if err := fm.cli(h).Remove(&rc, h.Partition, h.Object); err != nil {
+		return err
+	}
+	entries = append(entries[:idx], entries[idx+1:]...)
+	return fm.writeDir(parent, entries)
+}
+
+// Rename moves a file or directory within the namespace. Both parents'
+// write permission is required.
+func (fm *FM) Rename(id Identity, oldPath, newPath string) error {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	oldParent, oldName, err := fm.walkParent(id, oldPath)
+	if err != nil {
+		return err
+	}
+	newParent, newName, err := fm.walkParent(id, newPath)
+	if err != nil {
+		return err
+	}
+	for _, p := range []Handle{oldParent, newParent} {
+		pol, _, err := fm.readPolicy(p)
+		if err != nil {
+			return err
+		}
+		if err := checkAccess(id, pol, 2); err != nil {
+			return err
+		}
+	}
+	oldEntries, err := fm.readDir(oldParent)
+	if err != nil {
+		return err
+	}
+	idx := -1
+	var moving dirEntryRec
+	for i, ent := range oldEntries {
+		if ent.name == oldName {
+			idx, moving = i, ent
+			break
+		}
+	}
+	if idx < 0 {
+		return ErrNotFound
+	}
+	samePtr := oldParent.Object == newParent.Object && oldParent.Drive == newParent.Drive
+	var newEntries []dirEntryRec
+	if samePtr {
+		newEntries = oldEntries
+	} else {
+		newEntries, err = fm.readDir(newParent)
+		if err != nil {
+			return err
+		}
+	}
+	for _, ent := range newEntries {
+		if ent.name == newName {
+			return ErrExists
+		}
+	}
+	moving.name = newName
+	if samePtr {
+		oldEntries[idx] = moving
+		return fm.writeDir(oldParent, oldEntries)
+	}
+	oldEntries = append(oldEntries[:idx], oldEntries[idx+1:]...)
+	newEntries = append(newEntries, moving)
+	if err := fm.writeDir(oldParent, oldEntries); err != nil {
+		return err
+	}
+	return fm.writeDir(newParent, newEntries)
+}
+
+// ReadDir lists a directory.
+func (fm *FM) ReadDir(id Identity, path string) ([]DirEntry, error) {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	h, err := fm.walk(id, path)
+	if err != nil {
+		return nil, err
+	}
+	if !h.IsDir {
+		return nil, ErrNotDir
+	}
+	pol, _, err := fm.readPolicy(h)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkAccess(id, pol, 4); err != nil {
+		return nil, err
+	}
+	entries, err := fm.readDir(h)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DirEntry, 0, len(entries))
+	for _, ent := range entries {
+		out = append(out, DirEntry{Name: ent.name, Handle: fm.entryHandle(ent)})
+	}
+	return out, nil
+}
+
+// Chmod changes a file's mode bits (owner or root only).
+func (fm *FM) Chmod(id Identity, path string, mode uint32) error {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	h, err := fm.walk(id, path)
+	if err != nil {
+		return err
+	}
+	pol, _, err := fm.readPolicy(h)
+	if err != nil {
+		return err
+	}
+	if id.UID != 0 && id.UID != pol.UID {
+		return ErrPerm
+	}
+	keep := pol.Mode &^ uint32(0o777)
+	return fm.writePolicy(h, keep|(mode&0o777), pol.UID, pol.GID)
+}
+
+// Revoke immediately invalidates all outstanding capabilities for a
+// file by bumping its logical version number (Section 4.1's revocation
+// mechanism). Owner or root only.
+func (fm *FM) Revoke(id Identity, path string) error {
+	fm.mu.Lock()
+	defer fm.mu.Unlock()
+	h, err := fm.walk(id, path)
+	if err != nil {
+		return err
+	}
+	pol, attrs, err := fm.readPolicy(h)
+	if err != nil {
+		return err
+	}
+	if id.UID != 0 && id.UID != pol.UID {
+		return ErrPerm
+	}
+	bc := fm.mintSelf(h, attrs.Version, capability.SetAttr)
+	_, err = fm.cli(h).BumpVersion(&bc, h.Partition, h.Object)
+	return err
+}

@@ -1,0 +1,164 @@
+package fmrpc
+
+import (
+	"strings"
+
+	"nasd/internal/capability"
+	"nasd/internal/filemgr"
+	"nasd/internal/rpc"
+)
+
+// Client is a remote file manager handle. It implements the same
+// method set as *filemgr.FM (and therefore nasdnfs.FileManager), so
+// filesystem clients work identically with a local or remote file
+// manager.
+type Client struct {
+	cli *rpc.Client
+}
+
+// NewClient wraps a connection to a file manager server.
+func NewClient(conn rpc.Conn) *Client { return &Client{cli: rpc.NewClient(conn)} }
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.cli.Close() }
+
+func (c *Client) call(proc uint16, args []byte) (*rpc.Reply, error) {
+	rep, err := c.cli.Call(&rpc.Request{Proc: proc, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Status != rpc.StatusOK {
+		kind, detail, _ := strings.Cut(rep.Msg, ": ")
+		return nil, errorFor(kind, detail)
+	}
+	return rep, nil
+}
+
+// Lookup resolves a path and returns the piggybacked capability.
+func (c *Client) Lookup(id filemgr.Identity, path string, want capability.Rights) (filemgr.Handle, filemgr.FileInfo, capability.Capability, error) {
+	var e rpc.Encoder
+	encodeIdentity(&e, id)
+	e.String(path)
+	e.U32(uint32(want))
+	rep, err := c.call(opLookup, e.Bytes())
+	if err != nil {
+		return filemgr.Handle{}, filemgr.FileInfo{}, capability.Capability{}, err
+	}
+	d := rpc.NewDecoder(rep.Args)
+	h := decodeHandle(d)
+	info := decodeInfo(d)
+	cap, cerr := decodeCapability(d)
+	if cerr != nil {
+		return filemgr.Handle{}, filemgr.FileInfo{}, capability.Capability{}, cerr
+	}
+	return h, info, cap, d.Err()
+}
+
+// Stat returns file metadata.
+func (c *Client) Stat(id filemgr.Identity, path string) (filemgr.FileInfo, error) {
+	var e rpc.Encoder
+	encodeIdentity(&e, id)
+	e.String(path)
+	rep, err := c.call(opStat, e.Bytes())
+	if err != nil {
+		return filemgr.FileInfo{}, err
+	}
+	d := rpc.NewDecoder(rep.Args)
+	info := decodeInfo(d)
+	return info, d.Err()
+}
+
+// Create makes a file and returns its handle and a read/write capability.
+func (c *Client) Create(id filemgr.Identity, path string, mode uint32) (filemgr.Handle, capability.Capability, error) {
+	var e rpc.Encoder
+	encodeIdentity(&e, id)
+	e.String(path)
+	e.U32(mode)
+	rep, err := c.call(opCreate, e.Bytes())
+	if err != nil {
+		return filemgr.Handle{}, capability.Capability{}, err
+	}
+	d := rpc.NewDecoder(rep.Args)
+	h := decodeHandle(d)
+	cap, cerr := decodeCapability(d)
+	if cerr != nil {
+		return filemgr.Handle{}, capability.Capability{}, cerr
+	}
+	return h, cap, d.Err()
+}
+
+// Mkdir makes a directory.
+func (c *Client) Mkdir(id filemgr.Identity, path string, mode uint32) (filemgr.Handle, error) {
+	var e rpc.Encoder
+	encodeIdentity(&e, id)
+	e.String(path)
+	e.U32(mode)
+	rep, err := c.call(opMkdir, e.Bytes())
+	if err != nil {
+		return filemgr.Handle{}, err
+	}
+	d := rpc.NewDecoder(rep.Args)
+	h := decodeHandle(d)
+	return h, d.Err()
+}
+
+// Remove unlinks a file or empty directory.
+func (c *Client) Remove(id filemgr.Identity, path string) error {
+	var e rpc.Encoder
+	encodeIdentity(&e, id)
+	e.String(path)
+	_, err := c.call(opRemove, e.Bytes())
+	return err
+}
+
+// Rename moves an entry.
+func (c *Client) Rename(id filemgr.Identity, oldPath, newPath string) error {
+	var e rpc.Encoder
+	encodeIdentity(&e, id)
+	e.String(oldPath)
+	e.String(newPath)
+	_, err := c.call(opRename, e.Bytes())
+	return err
+}
+
+// ReadDir lists a directory.
+func (c *Client) ReadDir(id filemgr.Identity, path string) ([]filemgr.DirEntry, error) {
+	var e rpc.Encoder
+	encodeIdentity(&e, id)
+	e.String(path)
+	rep, err := c.call(opReadDir, e.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	d := rpc.NewDecoder(rep.Args)
+	n := int(d.U32())
+	out := make([]filemgr.DirEntry, 0, n)
+	for i := 0; i < n; i++ {
+		name := d.String()
+		h := decodeHandle(d)
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		out = append(out, filemgr.DirEntry{Name: name, Handle: h})
+	}
+	return out, nil
+}
+
+// Chmod changes mode bits.
+func (c *Client) Chmod(id filemgr.Identity, path string, mode uint32) error {
+	var e rpc.Encoder
+	encodeIdentity(&e, id)
+	e.String(path)
+	e.U32(mode)
+	_, err := c.call(opChmod, e.Bytes())
+	return err
+}
+
+// Revoke invalidates all outstanding capabilities for a file.
+func (c *Client) Revoke(id filemgr.Identity, path string) error {
+	var e rpc.Encoder
+	encodeIdentity(&e, id)
+	e.String(path)
+	_, err := c.call(opRevoke, e.Bytes())
+	return err
+}

@@ -1,0 +1,165 @@
+// Package fmrpc puts the file manager behind the network: the "secure
+// and private protocol external to NASD" by which clients obtain
+// capabilities (Section 4.1). Unlike the NASD drive interface — whose
+// security model assumes untrusted clients and networks — this channel
+// carries capability *private portions*, so a deployment must protect
+// it (the paper points at Kerberos; we note the requirement and leave
+// transport security to the deployment, e.g. a TLS tunnel or trusted
+// network segment).
+//
+// Identity is asserted by the client on each request, as NFS's
+// AUTH_UNIX did; the server may wrap a stricter authenticator around
+// the transport.
+package fmrpc
+
+import (
+	"errors"
+	"fmt"
+
+	"nasd/internal/capability"
+	"nasd/internal/crypt"
+	"nasd/internal/filemgr"
+	"nasd/internal/rpc"
+)
+
+// Procedure numbers.
+const (
+	opLookup uint16 = iota + 1
+	opStat
+	opCreate
+	opMkdir
+	opRemove
+	opRename
+	opReadDir
+	opChmod
+	opRevoke
+)
+
+// --- wire helpers -----------------------------------------------------------
+
+func encodeIdentity(e *rpc.Encoder, id filemgr.Identity) {
+	e.U32(id.UID)
+	e.U32(uint32(len(id.GIDs)))
+	for _, g := range id.GIDs {
+		e.U32(g)
+	}
+}
+
+func decodeIdentity(d *rpc.Decoder) filemgr.Identity {
+	id := filemgr.Identity{UID: d.U32()}
+	n := int(d.U32())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		id.GIDs = append(id.GIDs, d.U32())
+	}
+	return id
+}
+
+func encodeHandle(e *rpc.Encoder, h filemgr.Handle) {
+	e.U32(uint32(h.Drive))
+	e.U64(h.DriveID)
+	e.U16(h.Partition)
+	e.U64(h.Object)
+	if h.IsDir {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+func decodeHandle(d *rpc.Decoder) filemgr.Handle {
+	return filemgr.Handle{
+		Drive:     int(d.U32()),
+		DriveID:   d.U64(),
+		Partition: d.U16(),
+		Object:    d.U64(),
+		IsDir:     d.U8() == 1,
+	}
+}
+
+func encodeInfo(e *rpc.Encoder, info filemgr.FileInfo) {
+	encodeHandle(e, info.Handle)
+	e.U64(info.Size)
+	e.U32(info.Mode)
+	e.U32(info.UID)
+	e.U32(info.GID)
+	e.I64(info.ModTime.Unix())
+}
+
+func decodeInfo(d *rpc.Decoder) filemgr.FileInfo {
+	info := filemgr.FileInfo{Handle: decodeHandle(d)}
+	info.Size = d.U64()
+	info.Mode = d.U32()
+	info.UID = d.U32()
+	info.GID = d.U32()
+	info.ModTime = unixTime(d.I64())
+	return info
+}
+
+// encodeCapability serializes public portion + private portion. The
+// private portion crossing this channel is exactly why the file-manager
+// protocol must be private.
+func encodeCapability(e *rpc.Encoder, c capability.Capability) {
+	e.Bytes32(c.Public.Encode())
+	e.Raw(c.Private[:])
+}
+
+func decodeCapability(d *rpc.Decoder) (capability.Capability, error) {
+	var c capability.Capability
+	pubRaw := d.Bytes32()
+	priv := d.Raw(crypt.KeySize)
+	if err := d.Err(); err != nil {
+		return c, err
+	}
+	pub, err := capability.DecodePublic(pubRaw)
+	if err != nil {
+		return c, err
+	}
+	c.Public = pub
+	copy(c.Private[:], priv)
+	return c, nil
+}
+
+// statusFor maps file manager errors onto RPC statuses so clients can
+// recover typed errors.
+func statusFor(err error) (rpc.Status, string) {
+	switch {
+	case errors.Is(err, filemgr.ErrNotFound):
+		return rpc.StatusNoObject, "not-found"
+	case errors.Is(err, filemgr.ErrPerm):
+		return rpc.StatusAuthFailure, "perm"
+	case errors.Is(err, filemgr.ErrExists):
+		return rpc.StatusBadRequest, "exists"
+	case errors.Is(err, filemgr.ErrNotDir):
+		return rpc.StatusBadRequest, "not-dir"
+	case errors.Is(err, filemgr.ErrIsDir):
+		return rpc.StatusBadRequest, "is-dir"
+	case errors.Is(err, filemgr.ErrNotEmpty):
+		return rpc.StatusBadRequest, "not-empty"
+	case errors.Is(err, filemgr.ErrBadPath):
+		return rpc.StatusBadRequest, "bad-path"
+	default:
+		return rpc.StatusError, "error"
+	}
+}
+
+// errorFor reverses statusFor on the client side.
+func errorFor(msgKind string, detail string) error {
+	switch msgKind {
+	case "not-found":
+		return fmt.Errorf("%w (%s)", filemgr.ErrNotFound, detail)
+	case "perm":
+		return fmt.Errorf("%w (%s)", filemgr.ErrPerm, detail)
+	case "exists":
+		return fmt.Errorf("%w (%s)", filemgr.ErrExists, detail)
+	case "not-dir":
+		return fmt.Errorf("%w (%s)", filemgr.ErrNotDir, detail)
+	case "is-dir":
+		return fmt.Errorf("%w (%s)", filemgr.ErrIsDir, detail)
+	case "not-empty":
+		return fmt.Errorf("%w (%s)", filemgr.ErrNotEmpty, detail)
+	case "bad-path":
+		return fmt.Errorf("%w (%s)", filemgr.ErrBadPath, detail)
+	default:
+		return fmt.Errorf("fmrpc: %s", detail)
+	}
+}

@@ -1,0 +1,186 @@
+package fmrpc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/capability"
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/filemgr"
+	"nasd/internal/nasdnfs"
+	"nasd/internal/rpc"
+)
+
+var clientSeq uint64 = 60_000
+
+// newRemoteFM builds drives + a local FM, serves the FM over TCP, and
+// returns a remote FM client plus fresh drive connections.
+func newRemoteFM(t *testing.T, nDrives int) (*Client, []*client.Drive) {
+	t.Helper()
+	var targets []filemgr.DriveTarget
+	var drives []*client.Drive
+	for i := 0; i < nDrives; i++ {
+		master := crypt.NewRandomKey()
+		dev := blockdev.NewMemDisk(4096, 16384)
+		drv, err := drive.NewFormat(dev, drive.Config{ID: uint64(1 + i), Master: master, Secure: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := rpc.NewInProcListener("d")
+		srv := drv.Serve(l)
+		t.Cleanup(srv.Close)
+		dial := func() *client.Drive {
+			conn, err := l.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			clientSeq++
+			c := client.New(conn, uint64(1+i), clientSeq, true)
+			t.Cleanup(func() { c.Close() })
+			return c
+		}
+		targets = append(targets, filemgr.DriveTarget{Client: dial(), DriveID: uint64(1 + i), Master: master})
+		drives = append(drives, dial())
+	}
+	fm, err := filemgr.Format(filemgr.Config{Drives: targets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serve the FM over real TCP.
+	l, err := rpc.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmSrv := NewServer(fm).Serve(l)
+	t.Cleanup(fmSrv.Close)
+	conn, err := rpc.DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn)
+	t.Cleanup(func() { cli.Close() })
+	return cli, drives
+}
+
+var alice = filemgr.Identity{UID: 10, GIDs: []uint32{100}}
+var bob = filemgr.Identity{UID: 20}
+
+func TestRemoteLookupCapabilityWorksAtDrive(t *testing.T) {
+	fm, drives := newRemoteFM(t, 2)
+	h, cap, err := fm.Create(alice, "/remote.txt", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The capability that crossed the FM channel authorizes direct
+	// drive access.
+	payload := bytes.Repeat([]byte("fmrpc"), 2000)
+	if err := drives[h.Drive].Write(&cap, h.Partition, h.Object, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	h2, info, rcap, err := fm.Lookup(alice, "/remote.txt", capability.Read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h || info.Size != uint64(len(payload)) {
+		t.Fatalf("lookup = %+v, %+v", h2, info)
+	}
+	got, err := drives[h2.Drive].Read(&rcap, h2.Partition, h2.Object, 0, len(payload))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("drive-direct read via remote capability: %v", err)
+	}
+}
+
+func TestTypedErrorsCrossTheWire(t *testing.T) {
+	fm, _ := newRemoteFM(t, 1)
+	if _, err := fm.Stat(alice, "/missing"); !errors.Is(err, filemgr.ErrNotFound) {
+		t.Fatalf("not-found: %v", err)
+	}
+	if _, _, err := fm.Create(alice, "/x", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fm.Create(alice, "/x", 0o600); !errors.Is(err, filemgr.ErrExists) {
+		t.Fatalf("exists: %v", err)
+	}
+	if _, _, _, err := fm.Lookup(bob, "/x", capability.Read); !errors.Is(err, filemgr.ErrPerm) {
+		t.Fatalf("perm: %v", err)
+	}
+	if _, err := fm.Stat(alice, "nope"); !errors.Is(err, filemgr.ErrBadPath) {
+		t.Fatalf("bad-path: %v", err)
+	}
+}
+
+func TestNamespaceOpsOverWire(t *testing.T) {
+	fm, _ := newRemoteFM(t, 2)
+	if _, err := fm.Mkdir(alice, "/dir", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fm.Create(alice, "/dir/a", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Rename(alice, "/dir/a", "/dir/b"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fm.ReadDir(alice, "/dir")
+	if err != nil || len(ents) != 1 || ents[0].Name != "b" {
+		t.Fatalf("readdir = %+v, %v", ents, err)
+	}
+	if err := fm.Chmod(alice, "/dir/b", 0o600); err != nil {
+		t.Fatal(err)
+	}
+	info, err := fm.Stat(alice, "/dir/b")
+	if err != nil || info.Mode&0o777 != 0o600 {
+		t.Fatalf("chmod lost: %+v, %v", info, err)
+	}
+	if err := fm.Remove(alice, "/dir/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Remove(alice, "/dir"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRevokeOverWire(t *testing.T) {
+	fm, drives := newRemoteFM(t, 1)
+	h, cap, err := fm.Create(alice, "/seal", 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := drives[h.Drive].Write(&cap, h.Partition, h.Object, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fm.Revoke(alice, "/seal"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drives[h.Drive].Read(&cap, h.Partition, h.Object, 0, 1); !errors.Is(err, client.ErrAuth) {
+		t.Fatalf("capability survived remote revoke: %v", err)
+	}
+}
+
+// TestNFSPortOverRemoteFM runs the NFS port with the file manager
+// across the network — the fully distributed deployment.
+func TestNFSPortOverRemoteFM(t *testing.T) {
+	fm, drives := newRemoteFM(t, 2)
+	cli := nasdnfs.New(fm, drives, alice)
+	if err := cli.Mkdir("/home", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Create("/home/doc", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{7}, 60_000)
+	if err := cli.Write("/home/doc", 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.Read("/home/doc", 0, len(payload))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("remote-FM NFS round trip: %v", err)
+	}
+	a, err := cli.GetAttr("/home/doc")
+	if err != nil || a.Size != uint64(len(payload)) {
+		t.Fatalf("getattr: %+v, %v", a, err)
+	}
+}

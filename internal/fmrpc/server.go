@@ -1,0 +1,153 @@
+package fmrpc
+
+import (
+	"time"
+
+	"nasd/internal/capability"
+	"nasd/internal/filemgr"
+	"nasd/internal/rpc"
+)
+
+func unixTime(sec int64) time.Time { return time.Unix(sec, 0).UTC() }
+
+// Server exposes a file manager over the RPC substrate.
+type Server struct {
+	fm *filemgr.FM
+}
+
+// NewServer wraps fm.
+func NewServer(fm *filemgr.FM) *Server { return &Server{fm: fm} }
+
+// Handle implements rpc.Handler.
+func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
+	d := rpc.NewDecoder(req.Args)
+	id := decodeIdentity(d)
+	fail := func(err error) *rpc.Reply {
+		st, kind := statusFor(err)
+		return rpc.Errorf(req.MsgID, st, "%s: %v", kind, err)
+	}
+	bad := func() *rpc.Reply {
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "bad-args: truncated request")
+	}
+	switch req.Proc {
+	case opLookup:
+		path := d.String()
+		rights := capability.Rights(d.U32())
+		if d.Err() != nil {
+			return bad()
+		}
+		h, info, cap, err := s.fm.Lookup(id, path, rights)
+		if err != nil {
+			return fail(err)
+		}
+		var e rpc.Encoder
+		encodeHandle(&e, h)
+		encodeInfo(&e, info)
+		encodeCapability(&e, cap)
+		return &rpc.Reply{Status: rpc.StatusOK, Args: e.Bytes()}
+	case opStat:
+		path := d.String()
+		if d.Err() != nil {
+			return bad()
+		}
+		info, err := s.fm.Stat(id, path)
+		if err != nil {
+			return fail(err)
+		}
+		var e rpc.Encoder
+		encodeInfo(&e, info)
+		return &rpc.Reply{Status: rpc.StatusOK, Args: e.Bytes()}
+	case opCreate:
+		path := d.String()
+		mode := d.U32()
+		if d.Err() != nil {
+			return bad()
+		}
+		h, cap, err := s.fm.Create(id, path, mode)
+		if err != nil {
+			return fail(err)
+		}
+		var e rpc.Encoder
+		encodeHandle(&e, h)
+		encodeCapability(&e, cap)
+		return &rpc.Reply{Status: rpc.StatusOK, Args: e.Bytes()}
+	case opMkdir:
+		path := d.String()
+		mode := d.U32()
+		if d.Err() != nil {
+			return bad()
+		}
+		h, err := s.fm.Mkdir(id, path, mode)
+		if err != nil {
+			return fail(err)
+		}
+		var e rpc.Encoder
+		encodeHandle(&e, h)
+		return &rpc.Reply{Status: rpc.StatusOK, Args: e.Bytes()}
+	case opRemove:
+		path := d.String()
+		if d.Err() != nil {
+			return bad()
+		}
+		if err := s.fm.Remove(id, path); err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	case opRename:
+		oldPath := d.String()
+		newPath := d.String()
+		if d.Err() != nil {
+			return bad()
+		}
+		if err := s.fm.Rename(id, oldPath, newPath); err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	case opReadDir:
+		path := d.String()
+		if d.Err() != nil {
+			return bad()
+		}
+		ents, err := s.fm.ReadDir(id, path)
+		if err != nil {
+			return fail(err)
+		}
+		var e rpc.Encoder
+		e.U32(uint32(len(ents)))
+		for _, ent := range ents {
+			e.String(ent.Name)
+			encodeHandle(&e, ent.Handle)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK, Args: e.Bytes()}
+	case opChmod:
+		path := d.String()
+		mode := d.U32()
+		if d.Err() != nil {
+			return bad()
+		}
+		if err := s.fm.Chmod(id, path, mode); err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	case opRevoke:
+		path := d.String()
+		if d.Err() != nil {
+			return bad()
+		}
+		if err := s.fm.Revoke(id, path); err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	default:
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "bad-args: unknown proc %d", req.Proc)
+	}
+}
+
+var _ rpc.Handler = (*Server)(nil)
+
+// Serve wraps the server in an RPC server on l and starts it.
+func (s *Server) Serve(l rpc.Listener) *rpc.Server {
+	srv := rpc.NewServer(s)
+	go srv.Serve(l)
+	return srv
+}

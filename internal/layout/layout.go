@@ -1,0 +1,888 @@
+// Package layout implements the NASD object system's on-disk layout:
+// a superblock, a reference-counted block allocator (reference counts,
+// rather than a plain bitmap, make copy-on-write object versions cheap),
+// a table of onodes (object nodes, loosely modelled on FFS inodes as the
+// paper's interface is "based loosely on the inode interface of a UNIX
+// filesystem"), and direct/indirect block maps.
+//
+// The paper's prototype object system implemented "its own internal
+// object access, cache, and disk space management modules"; this package
+// is the disk space management module.
+package layout
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"nasd/internal/blockdev"
+)
+
+// Geometry constants.
+const (
+	// Magic identifies a formatted NASD volume.
+	Magic = 0x4E415344 // "NASD"
+	// FormatVersion is the layout version written by this package.
+	FormatVersion = 1
+	// OnodeSize is the on-disk size of one onode.
+	OnodeSize = 512
+	// NumDirect is the number of direct block pointers per onode.
+	NumDirect = 20
+	// UninterpSize is the size of the uninterpreted filesystem-specific
+	// attribute block each object carries (Section 4.1: "an uninterpreted
+	// block of attribute space is available to the file manager").
+	UninterpSize = 256
+	// MaxPartitions bounds the partition table in the superblock.
+	MaxPartitions = 64
+)
+
+// Layout errors.
+var (
+	ErrNotFormatted = errors.New("layout: device not formatted")
+	ErrNoSpace      = errors.New("layout: out of space")
+	ErrNoOnodes     = errors.New("layout: onode table full")
+	ErrBadOnode     = errors.New("layout: onode index out of range")
+	ErrTooBig       = errors.New("layout: offset beyond maximum object size")
+)
+
+// Superblock describes the volume.
+type Superblock struct {
+	Magic        uint32
+	Version      uint32
+	BlockSize    uint32
+	TotalBlocks  int64
+	RefStart     int64 // first block of the refcount region
+	RefBlocks    int64
+	OnodeStart   int64 // first block of the onode table
+	OnodeBlocks  int64
+	DataStart    int64 // first data block
+	OnodeCount   int64
+	NextObjectID uint64
+}
+
+// Onode is an object node: per-object metadata plus the block map.
+type Onode struct {
+	ObjectID   uint64 // 0 means the slot is free
+	Partition  uint16
+	Flags      uint16
+	Version    uint64 // logical version number (capability revocation)
+	Size       uint64 // object size in bytes
+	CreateSec  int64
+	ModSec     int64
+	AttrModSec int64
+	Prealloc   uint64 // reserved capacity in bytes
+	Cluster    uint64 // object this one should be clustered near
+	Uninterp   [UninterpSize]byte
+	Direct     [NumDirect]int64
+	Indirect   int64 // single-indirect block (block of block pointers)
+	Indirect2  int64 // double-indirect block
+}
+
+// Allocated reports whether the onode holds a live object.
+func (o *Onode) Allocated() bool { return o.ObjectID != 0 }
+
+// BlockIO is the interface layout uses to move data-block contents
+// during copy-on-write copies. By default it is the device itself; the
+// object layer points it at its buffer cache so COW copies observe
+// write-behind data that has not reached the device yet.
+type BlockIO interface {
+	ReadBlock(i int64, buf []byte) error
+	WriteBlock(i int64, data []byte) error
+}
+
+// Store is an open volume. All methods are safe for concurrent use.
+type Store struct {
+	mu     sync.Mutex
+	dev    blockdev.Device
+	dataIO BlockIO
+	sb     Superblock
+
+	ref       []uint16 // in-memory refcounts, persisted to RefStart region
+	refDirty  map[int64]bool
+	freeCount int64
+	sbDirty   bool
+
+	onodeIndex map[uint64]int64 // object ID -> onode slot
+	freeOnodes []int64
+	allocHint  int64
+
+	ptrsPerBlock int64
+}
+
+// FormatOptions controls Format.
+type FormatOptions struct {
+	// OnodeCount is the number of onode slots (default: one per 64
+	// data blocks, min 128).
+	OnodeCount int64
+}
+
+// Format writes a fresh, empty layout to dev and returns the open store.
+func Format(dev blockdev.Device, opts FormatOptions) (*Store, error) {
+	bs := int64(dev.BlockSize())
+	if bs < 512 || bs%512 != 0 {
+		return nil, fmt.Errorf("layout: unsupported block size %d", bs)
+	}
+	total := dev.Blocks()
+	refPerBlock := bs / 2
+	refBlocks := (total + refPerBlock - 1) / refPerBlock
+	onodeCount := opts.OnodeCount
+	if onodeCount <= 0 {
+		onodeCount = total / 64
+		if onodeCount < 128 {
+			onodeCount = 128
+		}
+	}
+	onodesPerBlock := bs / OnodeSize
+	onodeBlocks := (onodeCount + onodesPerBlock - 1) / onodesPerBlock
+	dataStart := 1 + refBlocks + onodeBlocks
+	if dataStart >= total {
+		return nil, fmt.Errorf("layout: device too small (%d blocks, %d needed for metadata)", total, dataStart)
+	}
+	sb := Superblock{
+		Magic:        Magic,
+		Version:      FormatVersion,
+		BlockSize:    uint32(bs),
+		TotalBlocks:  total,
+		RefStart:     1,
+		RefBlocks:    refBlocks,
+		OnodeStart:   1 + refBlocks,
+		OnodeBlocks:  onodeBlocks,
+		DataStart:    dataStart,
+		OnodeCount:   onodeCount,
+		NextObjectID: 1,
+	}
+	s := &Store{
+		dev:          dev,
+		dataIO:       dev,
+		sb:           sb,
+		ref:          make([]uint16, total),
+		refDirty:     make(map[int64]bool),
+		freeCount:    total - dataStart,
+		onodeIndex:   make(map[uint64]int64),
+		ptrsPerBlock: bs / 8,
+		allocHint:    dataStart,
+	}
+	// Metadata blocks are permanently referenced.
+	for i := int64(0); i < dataStart; i++ {
+		s.ref[i] = 1
+		s.refDirty[i/refPerBlock] = true
+	}
+	// Zero the onode table.
+	zero := make([]byte, bs)
+	for i := int64(0); i < onodeBlocks; i++ {
+		if err := dev.WriteBlock(sb.OnodeStart+i, zero); err != nil {
+			return nil, err
+		}
+	}
+	for i := onodeCount - 1; i >= 0; i-- {
+		s.freeOnodes = append(s.freeOnodes, i)
+	}
+	s.sbDirty = true
+	if err := s.Sync(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open reads an existing layout from dev.
+func Open(dev blockdev.Device) (*Store, error) {
+	bs := int64(dev.BlockSize())
+	buf := make([]byte, bs)
+	if err := dev.ReadBlock(0, buf); err != nil {
+		return nil, err
+	}
+	sb, err := decodeSuperblock(buf)
+	if err != nil {
+		return nil, err
+	}
+	if int64(sb.BlockSize) != bs {
+		return nil, fmt.Errorf("layout: superblock block size %d != device %d", sb.BlockSize, bs)
+	}
+	s := &Store{
+		dev:          dev,
+		dataIO:       dev,
+		sb:           sb,
+		ref:          make([]uint16, sb.TotalBlocks),
+		refDirty:     make(map[int64]bool),
+		onodeIndex:   make(map[uint64]int64),
+		ptrsPerBlock: bs / 8,
+		allocHint:    sb.DataStart,
+	}
+	// Load refcounts.
+	refPerBlock := bs / 2
+	for i := int64(0); i < sb.RefBlocks; i++ {
+		if err := dev.ReadBlock(sb.RefStart+i, buf); err != nil {
+			return nil, err
+		}
+		base := i * refPerBlock
+		for j := int64(0); j < refPerBlock && base+j < sb.TotalBlocks; j++ {
+			s.ref[base+j] = binary.LittleEndian.Uint16(buf[j*2:])
+		}
+	}
+	for i := sb.DataStart; i < sb.TotalBlocks; i++ {
+		if s.ref[i] == 0 {
+			s.freeCount++
+		}
+	}
+	// Scan onode table to build the index and free list.
+	onodesPerBlock := bs / OnodeSize
+	for blk := int64(0); blk < sb.OnodeBlocks; blk++ {
+		if err := dev.ReadBlock(sb.OnodeStart+blk, buf); err != nil {
+			return nil, err
+		}
+		for j := int64(0); j < onodesPerBlock; j++ {
+			idx := blk*onodesPerBlock + j
+			if idx >= sb.OnodeCount {
+				break
+			}
+			o := decodeOnode(buf[j*OnodeSize : (j+1)*OnodeSize])
+			if o.Allocated() {
+				s.onodeIndex[o.ObjectID] = idx
+			} else {
+				s.freeOnodes = append(s.freeOnodes, idx)
+			}
+		}
+	}
+	// Free list pops from the end; reverse so low indexes allocate first.
+	for i, j := 0, len(s.freeOnodes)-1; i < j; i, j = i+1, j-1 {
+		s.freeOnodes[i], s.freeOnodes[j] = s.freeOnodes[j], s.freeOnodes[i]
+	}
+	return s, nil
+}
+
+// BlockSize returns the volume block size in bytes.
+func (s *Store) BlockSize() int64 { return int64(s.sb.BlockSize) }
+
+// DataBlocks returns the number of blocks available for data.
+func (s *Store) DataBlocks() int64 { return s.sb.TotalBlocks - s.sb.DataStart }
+
+// FreeBlocks returns the number of currently unreferenced data blocks.
+func (s *Store) FreeBlocks() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.freeCount
+}
+
+// SetDataIO routes data-block copy-on-write copies through io instead of
+// the raw device. Pass the object layer's buffer cache so COW copies see
+// write-behind data. Pointer (indirect) blocks always use the raw device
+// because the block-map code reads them directly from it.
+func (s *Store) SetDataIO(io BlockIO) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dataIO = io
+}
+
+// Superblock returns a copy of the superblock.
+func (s *Store) Superblock() Superblock {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sb
+}
+
+// NextObjectID atomically returns and increments the volume's object ID
+// counter.
+func (s *Store) NextObjectID() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.sb.NextObjectID
+	s.sb.NextObjectID++
+	s.sbDirty = true
+	return id
+}
+
+// ReserveObjectIDs raises the object ID counter to at least min so IDs
+// below min can be used as well-known objects.
+func (s *Store) ReserveObjectIDs(min uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sb.NextObjectID < min {
+		s.sb.NextObjectID = min
+		s.sbDirty = true
+	}
+}
+
+// MaxObjectSize returns the largest object size the block map supports.
+func (s *Store) MaxObjectSize() uint64 {
+	bs := uint64(s.sb.BlockSize)
+	p := uint64(s.ptrsPerBlock)
+	return bs * (NumDirect + p + p*p)
+}
+
+// --- Block allocation -------------------------------------------------
+
+// Alloc allocates n data blocks, preferring a contiguous run starting at
+// or after hint (pass 0 for no preference). Contiguity is what lets the
+// drive schedule efficient sequential transfers (the paper's NASD is
+// "better tuned for disk access" than FFS).
+func (s *Store) Alloc(n int, hint int64) ([]int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n <= 0 {
+		return nil, nil
+	}
+	start := hint
+	if start < s.sb.DataStart || start >= s.sb.TotalBlocks {
+		start = s.allocHint
+	}
+	blocks := make([]int64, 0, n)
+	// First pass: scan from start; second pass: from the data region start.
+	for pass := 0; pass < 2 && len(blocks) < n; pass++ {
+		var lo, hi int64
+		if pass == 0 {
+			lo, hi = start, s.sb.TotalBlocks
+		} else {
+			lo, hi = s.sb.DataStart, start
+		}
+		for i := lo; i < hi && len(blocks) < n; i++ {
+			if s.ref[i] == 0 {
+				blocks = append(blocks, i)
+			}
+		}
+	}
+	if len(blocks) < n {
+		return nil, ErrNoSpace
+	}
+	for _, b := range blocks {
+		s.setRef(b, 1)
+	}
+	s.allocHint = blocks[len(blocks)-1] + 1
+	if s.allocHint >= s.sb.TotalBlocks {
+		s.allocHint = s.sb.DataStart
+	}
+	return blocks, nil
+}
+
+// IncRef increments a block's reference count (copy-on-write sharing).
+func (s *Store) IncRef(blk int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if blk < s.sb.DataStart || blk >= s.sb.TotalBlocks {
+		return fmt.Errorf("layout: IncRef(%d) outside data region", blk)
+	}
+	if s.ref[blk] == 0 {
+		return fmt.Errorf("layout: IncRef(%d) on free block", blk)
+	}
+	s.setRef(blk, s.ref[blk]+1)
+	return nil
+}
+
+// Free decrements a block's reference count, freeing it at zero.
+func (s *Store) Free(blk int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if blk < s.sb.DataStart || blk >= s.sb.TotalBlocks {
+		return fmt.Errorf("layout: Free(%d) outside data region", blk)
+	}
+	if s.ref[blk] == 0 {
+		return fmt.Errorf("layout: double free of block %d", blk)
+	}
+	s.setRef(blk, s.ref[blk]-1)
+	return nil
+}
+
+// RefCount returns a block's reference count.
+func (s *Store) RefCount(blk int64) uint16 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if blk < 0 || blk >= s.sb.TotalBlocks {
+		return 0
+	}
+	return s.ref[blk]
+}
+
+// setRef must be called with mu held.
+func (s *Store) setRef(blk int64, v uint16) {
+	old := s.ref[blk]
+	if blk >= s.sb.DataStart {
+		if old == 0 && v > 0 {
+			s.freeCount--
+		} else if old > 0 && v == 0 {
+			s.freeCount++
+		}
+	}
+	s.ref[blk] = v
+	refPerBlock := int64(s.sb.BlockSize) / 2
+	s.refDirty[blk/refPerBlock] = true
+}
+
+// --- Onode management -------------------------------------------------
+
+// AllocOnode claims a free onode slot and returns its index.
+func (s *Store) AllocOnode() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.freeOnodes) == 0 {
+		return 0, ErrNoOnodes
+	}
+	idx := s.freeOnodes[len(s.freeOnodes)-1]
+	s.freeOnodes = s.freeOnodes[:len(s.freeOnodes)-1]
+	return idx, nil
+}
+
+// ReadOnode loads the onode at idx.
+func (s *Store) ReadOnode(idx int64) (Onode, error) {
+	if idx < 0 || idx >= s.sb.OnodeCount {
+		return Onode{}, ErrBadOnode
+	}
+	bs := int64(s.sb.BlockSize)
+	per := bs / OnodeSize
+	buf := make([]byte, bs)
+	if err := s.dev.ReadBlock(s.sb.OnodeStart+idx/per, buf); err != nil {
+		return Onode{}, err
+	}
+	off := (idx % per) * OnodeSize
+	return decodeOnode(buf[off : off+OnodeSize]), nil
+}
+
+// WriteOnode stores o at idx (write-through) and maintains the object ID
+// index. Writing a zero ObjectID releases the slot.
+func (s *Store) WriteOnode(idx int64, o *Onode) error {
+	if idx < 0 || idx >= s.sb.OnodeCount {
+		return ErrBadOnode
+	}
+	bs := int64(s.sb.BlockSize)
+	per := bs / OnodeSize
+	blk := s.sb.OnodeStart + idx/per
+	buf := make([]byte, bs)
+	if err := s.dev.ReadBlock(blk, buf); err != nil {
+		return err
+	}
+	off := (idx % per) * OnodeSize
+	prev := decodeOnode(buf[off : off+OnodeSize])
+	encodeOnode(buf[off:off+OnodeSize], o)
+	if err := s.dev.WriteBlock(blk, buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev.Allocated() && (prev.ObjectID != o.ObjectID) {
+		delete(s.onodeIndex, prev.ObjectID)
+	}
+	if o.Allocated() {
+		s.onodeIndex[o.ObjectID] = idx
+	} else if prev.Allocated() {
+		s.freeOnodes = append(s.freeOnodes, idx)
+	}
+	return nil
+}
+
+// FindOnode returns the onode slot holding objectID.
+func (s *Store) FindOnode(objectID uint64) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, ok := s.onodeIndex[objectID]
+	return idx, ok
+}
+
+// ObjectIDs returns the IDs of all allocated objects, optionally
+// filtered by partition (0 = all). Order is unspecified.
+func (s *Store) ObjectIDs(partition uint16) []uint64 {
+	s.mu.Lock()
+	idxs := make([]int64, 0, len(s.onodeIndex))
+	ids := make([]uint64, 0, len(s.onodeIndex))
+	for id, idx := range s.onodeIndex {
+		ids = append(ids, id)
+		idxs = append(idxs, idx)
+	}
+	s.mu.Unlock()
+	if partition == 0 {
+		return ids
+	}
+	out := ids[:0]
+	for i, idx := range idxs {
+		o, err := s.ReadOnode(idx)
+		if err == nil && o.Partition == partition {
+			out = append(out, ids[i])
+		}
+	}
+	return out
+}
+
+// --- Block map --------------------------------------------------------
+
+// BMap resolves an object-relative block number to a physical block.
+// It returns 0 for holes (unallocated regions read as zeros).
+func (s *Store) BMap(o *Onode, fileBlock int64) (int64, error) {
+	p := s.ptrsPerBlock
+	switch {
+	case fileBlock < 0:
+		return 0, fmt.Errorf("layout: negative file block %d", fileBlock)
+	case fileBlock < NumDirect:
+		return o.Direct[fileBlock], nil
+	case fileBlock < NumDirect+p:
+		if o.Indirect == 0 {
+			return 0, nil
+		}
+		return s.readPtr(o.Indirect, fileBlock-NumDirect)
+	case fileBlock < NumDirect+p+p*p:
+		if o.Indirect2 == 0 {
+			return 0, nil
+		}
+		rel := fileBlock - NumDirect - p
+		l1, err := s.readPtr(o.Indirect2, rel/p)
+		if err != nil || l1 == 0 {
+			return 0, err
+		}
+		return s.readPtr(l1, rel%p)
+	default:
+		return 0, ErrTooBig
+	}
+}
+
+// BMapAlloc resolves like BMap but allocates missing blocks and breaks
+// copy-on-write sharing along the path: any block (data or indirect)
+// with a reference count above one is replaced by a private copy before
+// it can be written. The onode is updated in memory; callers persist it
+// with WriteOnode. The returned physical block is safe to overwrite.
+func (s *Store) BMapAlloc(o *Onode, fileBlock int64, hint int64) (int64, error) {
+	p := s.ptrsPerBlock
+	switch {
+	case fileBlock < 0:
+		return 0, fmt.Errorf("layout: negative file block %d", fileBlock)
+	case fileBlock < NumDirect:
+		blk, err := s.allocOrUnshare(o.Direct[fileBlock], hint, s.dataIO)
+		if err != nil {
+			return 0, err
+		}
+		o.Direct[fileBlock] = blk
+		return blk, nil
+	case fileBlock < NumDirect+p:
+		ind, err := s.ensurePtrBlock(&o.Indirect, hint)
+		if err != nil {
+			return 0, err
+		}
+		return s.allocThroughPtr(ind, fileBlock-NumDirect, hint)
+	case fileBlock < NumDirect+p+p*p:
+		rel := fileBlock - NumDirect - p
+		ind2, err := s.ensurePtrBlock(&o.Indirect2, hint)
+		if err != nil {
+			return 0, err
+		}
+		l1, err := s.readPtr(ind2, rel/p)
+		if err != nil {
+			return 0, err
+		}
+		newL1, err := s.ensurePtrBlockAt(ind2, rel/p, l1, hint)
+		if err != nil {
+			return 0, err
+		}
+		return s.allocThroughPtr(newL1, rel%p, hint)
+	default:
+		return 0, ErrTooBig
+	}
+}
+
+// allocOrUnshare returns cur if it is exclusively owned, otherwise a
+// fresh block (copying cur's contents through io when it was shared).
+func (s *Store) allocOrUnshare(cur int64, hint int64, io BlockIO) (int64, error) {
+	if cur != 0 && s.RefCount(cur) == 1 {
+		return cur, nil
+	}
+	blks, err := s.Alloc(1, hint)
+	if err != nil {
+		return 0, err
+	}
+	nb := blks[0]
+	if cur != 0 {
+		// Shared: copy old contents, drop our reference to the old block.
+		buf := make([]byte, s.sb.BlockSize)
+		if err := io.ReadBlock(cur, buf); err != nil {
+			_ = s.Free(nb)
+			return 0, err
+		}
+		if err := io.WriteBlock(nb, buf); err != nil {
+			_ = s.Free(nb)
+			return 0, err
+		}
+		if err := s.Free(cur); err != nil {
+			return 0, err
+		}
+	}
+	return nb, nil
+}
+
+// ensurePtrBlock makes *slot point to an exclusively-owned pointer
+// block, allocating or copying as needed. Pointer blocks move through
+// the raw device, never the data IO path.
+func (s *Store) ensurePtrBlock(slot *int64, hint int64) (int64, error) {
+	cur := *slot
+	if cur != 0 && s.RefCount(cur) == 1 {
+		return cur, nil
+	}
+	nb, err := s.allocOrUnshare(cur, hint, s.dev)
+	if err != nil {
+		return 0, err
+	}
+	if cur == 0 {
+		// Fresh pointer block must start zeroed.
+		if err := s.dev.WriteBlock(nb, make([]byte, s.sb.BlockSize)); err != nil {
+			_ = s.Free(nb)
+			return 0, err
+		}
+	}
+	*slot = nb
+	return nb, nil
+}
+
+// ensurePtrBlockAt is ensurePtrBlock for a slot stored inside pointer
+// block parent at index idx.
+func (s *Store) ensurePtrBlockAt(parent int64, idx int64, cur int64, hint int64) (int64, error) {
+	slot := cur
+	nb, err := s.ensurePtrBlock(&slot, hint)
+	if err != nil {
+		return 0, err
+	}
+	if nb != cur {
+		if err := s.writePtr(parent, idx, nb); err != nil {
+			return 0, err
+		}
+	}
+	return nb, nil
+}
+
+// allocThroughPtr ensures the data block at index idx of pointer block
+// ptrBlk exists and is exclusively owned.
+func (s *Store) allocThroughPtr(ptrBlk int64, idx int64, hint int64) (int64, error) {
+	cur, err := s.readPtr(ptrBlk, idx)
+	if err != nil {
+		return 0, err
+	}
+	nb, err := s.allocOrUnshare(cur, hint, s.dataIO)
+	if err != nil {
+		return 0, err
+	}
+	if nb != cur {
+		if err := s.writePtr(ptrBlk, idx, nb); err != nil {
+			return 0, err
+		}
+	}
+	return nb, nil
+}
+
+// UnmapBlock drops the mapping for an object-relative block: the data
+// block loses one reference and the pointer slot is zeroed. Shared
+// pointer blocks along the path are unshared first so a copy-on-write
+// sibling's mapping is untouched. It reports the physical block that
+// was unmapped (0 if the block was a hole). Truncation uses this.
+func (s *Store) UnmapBlock(o *Onode, fileBlock int64) (int64, error) {
+	p := s.ptrsPerBlock
+	switch {
+	case fileBlock < 0:
+		return 0, fmt.Errorf("layout: negative file block %d", fileBlock)
+	case fileBlock < NumDirect:
+		cur := o.Direct[fileBlock]
+		if cur == 0 {
+			return 0, nil
+		}
+		if err := s.Free(cur); err != nil {
+			return 0, err
+		}
+		o.Direct[fileBlock] = 0
+		return cur, nil
+	case fileBlock < NumDirect+p:
+		if o.Indirect == 0 {
+			return 0, nil
+		}
+		idx := fileBlock - NumDirect
+		cur, err := s.readPtr(o.Indirect, idx)
+		if err != nil || cur == 0 {
+			return 0, err
+		}
+		ind, err := s.ensurePtrBlock(&o.Indirect, 0)
+		if err != nil {
+			return 0, err
+		}
+		if err := s.Free(cur); err != nil {
+			return 0, err
+		}
+		if err := s.writePtr(ind, idx, 0); err != nil {
+			return 0, err
+		}
+		return cur, nil
+	case fileBlock < NumDirect+p+p*p:
+		if o.Indirect2 == 0 {
+			return 0, nil
+		}
+		rel := fileBlock - NumDirect - p
+		l1, err := s.readPtr(o.Indirect2, rel/p)
+		if err != nil || l1 == 0 {
+			return 0, err
+		}
+		cur, err := s.readPtr(l1, rel%p)
+		if err != nil || cur == 0 {
+			return 0, err
+		}
+		ind2, err := s.ensurePtrBlock(&o.Indirect2, 0)
+		if err != nil {
+			return 0, err
+		}
+		newL1, err := s.ensurePtrBlockAt(ind2, rel/p, l1, 0)
+		if err != nil {
+			return 0, err
+		}
+		if err := s.Free(cur); err != nil {
+			return 0, err
+		}
+		if err := s.writePtr(newL1, rel%p, 0); err != nil {
+			return 0, err
+		}
+		return cur, nil
+	default:
+		return 0, ErrTooBig
+	}
+}
+
+func (s *Store) readPtr(blk int64, idx int64) (int64, error) {
+	buf := make([]byte, s.sb.BlockSize)
+	if err := s.dev.ReadBlock(blk, buf); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(buf[idx*8:])), nil
+}
+
+func (s *Store) writePtr(blk int64, idx int64, v int64) error {
+	buf := make([]byte, s.sb.BlockSize)
+	if err := s.dev.ReadBlock(blk, buf); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(buf[idx*8:], uint64(v))
+	return s.dev.WriteBlock(blk, buf)
+}
+
+// ForEachBlock calls fn for every physical block reachable from o,
+// including indirect blocks themselves (kind "data" or "ptr"). It is
+// the traversal used to free or clone an object.
+func (s *Store) ForEachBlock(o *Onode, fn func(phys int64, isPtr bool) error) error {
+	for _, b := range o.Direct {
+		if b != 0 {
+			if err := fn(b, false); err != nil {
+				return err
+			}
+		}
+	}
+	p := s.ptrsPerBlock
+	if o.Indirect != 0 {
+		if err := fn(o.Indirect, true); err != nil {
+			return err
+		}
+		for i := int64(0); i < p; i++ {
+			b, err := s.readPtr(o.Indirect, i)
+			if err != nil {
+				return err
+			}
+			if b != 0 {
+				if err := fn(b, false); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if o.Indirect2 != 0 {
+		if err := fn(o.Indirect2, true); err != nil {
+			return err
+		}
+		for i := int64(0); i < p; i++ {
+			l1, err := s.readPtr(o.Indirect2, i)
+			if err != nil {
+				return err
+			}
+			if l1 == 0 {
+				continue
+			}
+			if err := fn(l1, true); err != nil {
+				return err
+			}
+			for j := int64(0); j < p; j++ {
+				b, err := s.readPtr(l1, j)
+				if err != nil {
+					return err
+				}
+				if b != 0 {
+					if err := fn(b, false); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FreeObjectBlocks drops one reference from every block reachable from
+// o (data and indirect), the destructor half of copy-on-write.
+func (s *Store) FreeObjectBlocks(o *Onode) error {
+	return s.ForEachBlock(o, func(phys int64, _ bool) error {
+		return s.Free(phys)
+	})
+}
+
+// CloneOnodeBlocks increments the reference count of every block
+// reachable from o; the caller then copies the onode itself. This is
+// the constructor half of copy-on-write versioning.
+func (s *Store) CloneOnodeBlocks(o *Onode) error {
+	return s.ForEachBlock(o, func(phys int64, _ bool) error {
+		return s.IncRef(phys)
+	})
+}
+
+// --- Data block IO ----------------------------------------------------
+
+// ReadDataBlock reads physical block blk into buf; blk 0 (a hole) fills
+// buf with zeros.
+func (s *Store) ReadDataBlock(blk int64, buf []byte) error {
+	if blk == 0 {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	return s.dev.ReadBlock(blk, buf)
+}
+
+// WriteDataBlock writes buf to physical block blk.
+func (s *Store) WriteDataBlock(blk int64, buf []byte) error {
+	return s.dev.WriteBlock(blk, buf)
+}
+
+// --- Persistence ------------------------------------------------------
+
+// Sync flushes dirty refcount regions and the superblock to the device.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	bs := int64(s.sb.BlockSize)
+	refPerBlock := bs / 2
+	buf := make([]byte, bs)
+	for rb := range s.refDirty {
+		base := rb * refPerBlock
+		for j := int64(0); j < refPerBlock; j++ {
+			var v uint16
+			if base+j < s.sb.TotalBlocks {
+				v = s.ref[base+j]
+			}
+			binary.LittleEndian.PutUint16(buf[j*2:], v)
+		}
+		if err := s.dev.WriteBlock(s.sb.RefStart+rb, buf); err != nil {
+			return err
+		}
+	}
+	s.refDirty = make(map[int64]bool)
+	if s.sbDirty {
+		sbuf := make([]byte, bs)
+		encodeSuperblock(sbuf, &s.sb)
+		if err := s.dev.WriteBlock(0, sbuf); err != nil {
+			return err
+		}
+		s.sbDirty = false
+	}
+	return s.dev.Flush()
+}
+
+// MarkSuperblockDirty schedules the superblock for rewrite on next Sync.
+func (s *Store) MarkSuperblockDirty() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sbDirty = true
+}

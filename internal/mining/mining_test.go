@@ -1,0 +1,216 @@
+package mining
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+)
+
+func TestGenerateDeterministicAndSized(t *testing.T) {
+	cfg := GenConfig{CatalogSize: 100, MeanItems: 5, TotalBytes: 1 << 20, Seed: 1}
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("generation not deterministic")
+	}
+	if len(a) != 1<<20 {
+		t.Fatalf("size = %d", len(a))
+	}
+	c := Generate(GenConfig{CatalogSize: 100, MeanItems: 5, TotalBytes: 1 << 20, Seed: 2})
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestRecordsNeverStraddleChunks(t *testing.T) {
+	data := Generate(GenConfig{CatalogSize: 50, MeanItems: 10, TotalBytes: 5 * ChunkSize, Seed: 3})
+	// Parse each chunk independently; every record must be complete.
+	for chunk := 0; chunk < 5; chunk++ {
+		seg := data[chunk*ChunkSize : (chunk+1)*ChunkSize]
+		off := 0
+		for off+2 <= len(seg) {
+			n := int(binary.LittleEndian.Uint16(seg[off:]))
+			if n == 0 {
+				break
+			}
+			if off+2+2*n > len(seg) {
+				t.Fatalf("chunk %d: record at %d overruns boundary", chunk, off)
+			}
+			off += 2 + 2*n
+		}
+	}
+}
+
+func TestCountItemsMatchesForEachRecord(t *testing.T) {
+	data := Generate(GenConfig{CatalogSize: 64, TotalBytes: 256 << 10, Seed: 4})
+	counts := make([]uint32, 64)
+	CountItems(data, counts)
+	var manual [64]uint32
+	ForEachRecord(data, func(items []uint16) {
+		for _, it := range items {
+			manual[it]++
+		}
+	})
+	for i := range manual {
+		if counts[i] != manual[i] {
+			t.Fatalf("item %d: %d vs %d", i, counts[i], manual[i])
+		}
+	}
+	var total uint32
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no items counted")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	data := Generate(GenConfig{CatalogSize: 500, TotalBytes: 1 << 20, Seed: 5})
+	counts := make([]uint32, 500)
+	CountItems(data, counts)
+	// Item popularity is skewed: item 0 beats item 400 comfortably.
+	if counts[0] < counts[400]*4 {
+		t.Fatalf("no skew: counts[0]=%d counts[400]=%d", counts[0], counts[400])
+	}
+}
+
+// hand-built transactions for exact Apriori verification.
+func buildTransactions(t *testing.T, txs [][]uint16) []byte {
+	t.Helper()
+	var out []byte
+	for _, tx := range txs {
+		rec := make([]byte, 2+2*len(tx))
+		binary.LittleEndian.PutUint16(rec, uint16(len(tx)))
+		for i, it := range tx {
+			binary.LittleEndian.PutUint16(rec[2+2*i:], it)
+		}
+		out = append(out, rec...)
+	}
+	return out
+}
+
+func scanOf(data []byte) func(func([]byte)) error {
+	return func(emit func([]byte)) error {
+		emit(data)
+		return nil
+	}
+}
+
+func TestAprioriExact(t *testing.T) {
+	// Classic example: milk(0), bread(1), eggs(2), beer(3).
+	data := buildTransactions(t, [][]uint16{
+		{0, 1, 2},
+		{0, 1},
+		{0, 2},
+		{1, 2},
+		{0, 1, 2},
+		{3},
+	})
+	passes, err := Apriori(scanOf(data), 3, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) < 2 {
+		t.Fatalf("passes = %d", len(passes))
+	}
+	// 1-itemsets: 0 (x4? actually 0 appears in tx 1,2,3,5 = 4), 1 (4), 2 (4). 3 appears once: below support.
+	f1 := passes[0]
+	if len(f1.Sets) != 3 {
+		t.Fatalf("frequent items = %v", f1.Sets)
+	}
+	if f1.Support(ItemSet{3}) != 0 {
+		t.Fatal("infrequent item reported")
+	}
+	if f1.Support(ItemSet{0}) != 4 {
+		t.Fatalf("support(0) = %d", f1.Support(ItemSet{0}))
+	}
+	// 2-itemsets with support >= 3: {0,1} (3), {0,2} (3), {1,2} (3).
+	f2 := passes[1]
+	if len(f2.Sets) != 3 {
+		t.Fatalf("frequent pairs = %v", f2.Sets)
+	}
+	if f2.Support(ItemSet{0, 1}) != 3 || f2.Support(ItemSet{0, 2}) != 3 || f2.Support(ItemSet{1, 2}) != 3 {
+		t.Fatalf("pair supports wrong: %v", f2.Counts)
+	}
+	// 3-itemsets: {0,1,2} appears twice — below support, so no pass 3.
+	if len(passes) > 2 {
+		t.Fatalf("unexpected pass 3: %v", passes[2].Sets)
+	}
+}
+
+func TestAprioriFindsTriple(t *testing.T) {
+	var txs [][]uint16
+	for i := 0; i < 10; i++ {
+		txs = append(txs, []uint16{1, 2, 3})
+	}
+	txs = append(txs, []uint16{4, 5})
+	data := buildTransactions(t, txs)
+	passes, err := Apriori(scanOf(data), 5, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 3 {
+		t.Fatalf("passes = %d", len(passes))
+	}
+	f3 := passes[2]
+	if len(f3.Sets) != 1 || f3.Support(ItemSet{1, 2, 3}) != 10 {
+		t.Fatalf("triple = %v", f3.Sets)
+	}
+}
+
+func TestParallelCountMatchesSerial(t *testing.T) {
+	data := Generate(GenConfig{CatalogSize: 200, TotalBytes: 9*ChunkSize + 12345, Seed: 6})
+	serial := make([]uint32, 200)
+	CountItems(data, serial)
+
+	for _, nClients := range []int{1, 2, 3, 5} {
+		sources := make([]Source, nClients)
+		for i := range sources {
+			sources[i] = BufferSource(data)
+		}
+		got, err := ParallelCount(sources, uint64(len(data)), ParallelConfig{Catalog: 200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("%d clients: parallel counts differ from serial", nClients)
+		}
+	}
+}
+
+func TestParallelCountSmallRequests(t *testing.T) {
+	// Requests smaller than records' chunk require reassembly before
+	// parsing; verify correctness with a 64 KB request size.
+	data := Generate(GenConfig{CatalogSize: 100, TotalBytes: 3 * ChunkSize, Seed: 7})
+	serial := make([]uint32, 100)
+	CountItems(data, serial)
+	got, err := ParallelCount([]Source{BufferSource(data), BufferSource(data)},
+		uint64(len(data)), ParallelConfig{Catalog: 100, RequestSize: 64 << 10, Producers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, serial) {
+		t.Fatal("reassembled counts differ")
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	var got []ItemSet
+	combinations([]uint16{1, 2, 3, 4}, 2, func(s ItemSet) {
+		got = append(got, append(ItemSet(nil), s...))
+	})
+	if len(got) != 6 {
+		t.Fatalf("C(4,2) = %d", len(got))
+	}
+}
+
+func TestBufferSourceBounds(t *testing.T) {
+	b := BufferSource([]byte{1, 2, 3})
+	if d, err := b.ReadAt(5, 2); err != nil || d != nil {
+		t.Fatalf("past end: %v %v", d, err)
+	}
+	if d, _ := b.ReadAt(2, 5); len(d) != 1 {
+		t.Fatalf("clip: %v", d)
+	}
+}

@@ -1,0 +1,179 @@
+package mining
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Source is anything a mining client can read transaction bytes from —
+// a PFS file, an NFS client, or a local buffer.
+type Source interface {
+	ReadAt(off uint64, n int) ([]byte, error)
+}
+
+// ParallelConfig tunes the parallel pass-1 harness to match the paper:
+// "each client is implemented as four producer threads and a single
+// consumer. Producer threads read data in 512 KB requests (which is
+// the stripe unit for Cheops objects in this configuration) and the
+// consumer thread performs the frequent sets computation".
+type ParallelConfig struct {
+	Producers   int // per client (default 4)
+	RequestSize int // default 512 KB
+	Catalog     int // item ID space
+}
+
+func (c *ParallelConfig) fill() {
+	if c.Producers <= 0 {
+		c.Producers = 4
+	}
+	if c.RequestSize <= 0 {
+		c.RequestSize = 512 << 10
+	}
+	if c.Catalog <= 0 {
+		c.Catalog = 1000
+	}
+}
+
+// ParallelCount runs the pass-1 (1-itemset) scan across one source per
+// client, assigning 2 MB chunks round-robin, and returns the merged
+// item counts. Each client's counts are computed independently and
+// combined at a single master, as in the paper.
+func ParallelCount(sources []Source, fileSize uint64, cfg ParallelConfig) ([]uint32, error) {
+	cfg.fill()
+	nClients := len(sources)
+	if nClients == 0 {
+		return nil, fmt.Errorf("mining: no clients")
+	}
+	perClient := make([][]uint32, nClients)
+	errs := make([]error, nClients)
+	var wg sync.WaitGroup
+	for ci := range sources {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			perClient[ci], errs[ci] = clientCount(sources[ci], fileSize, ci, nClients, cfg)
+		}(ci)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Master merge.
+	merged := make([]uint32, cfg.Catalog)
+	for _, counts := range perClient {
+		for i, c := range counts {
+			merged[i] += c
+		}
+	}
+	return merged, nil
+}
+
+// clientCount is one mining client: producers fetch this client's
+// chunks in RequestSize requests; the consumer counts.
+func clientCount(src Source, fileSize uint64, clientIdx, nClients int, cfg ParallelConfig) ([]uint32, error) {
+	type piece struct {
+		chunk int64
+		off   int
+		data  []byte
+	}
+	nChunks := int64((fileSize + ChunkSize - 1) / ChunkSize)
+
+	// Work queue of this client's chunk indexes (round-robin share).
+	var myChunks []int64
+	for c := int64(clientIdx); c < nChunks; c += int64(nClients) {
+		myChunks = append(myChunks, c)
+	}
+
+	work := make(chan int64, len(myChunks))
+	for _, c := range myChunks {
+		work <- c
+	}
+	close(work)
+
+	pieces := make(chan piece, cfg.Producers*2)
+	errCh := make(chan error, cfg.Producers)
+	var producers sync.WaitGroup
+	for p := 0; p < cfg.Producers; p++ {
+		producers.Add(1)
+		go func() {
+			defer producers.Done()
+			for c := range work {
+				base := uint64(c) * ChunkSize
+				limit := uint64(ChunkSize)
+				if base+limit > fileSize {
+					limit = fileSize - base
+				}
+				for off := uint64(0); off < limit; off += uint64(cfg.RequestSize) {
+					n := uint64(cfg.RequestSize)
+					if off+n > limit {
+						n = limit - off
+					}
+					data, err := src.ReadAt(base+off, int(n))
+					if err != nil {
+						errCh <- err
+						return
+					}
+					pieces <- piece{chunk: c, off: int(off), data: data}
+				}
+			}
+		}()
+	}
+	go func() {
+		producers.Wait()
+		close(pieces)
+	}()
+
+	// Consumer: reassemble each chunk (records never straddle chunks,
+	// but they may straddle request boundaries within a chunk, so
+	// counting happens per fully-assembled chunk).
+	counts := make([]uint32, cfg.Catalog)
+	assembling := make(map[int64][]byte)
+	got := make(map[int64]int)
+	chunkLen := func(c int64) int {
+		base := uint64(c) * ChunkSize
+		if base+ChunkSize > fileSize {
+			return int(fileSize - base)
+		}
+		return ChunkSize
+	}
+	for pc := range pieces {
+		buf, ok := assembling[pc.chunk]
+		if !ok {
+			buf = make([]byte, chunkLen(pc.chunk))
+			assembling[pc.chunk] = buf
+		}
+		copy(buf[pc.off:], pc.data)
+		got[pc.chunk] += len(pc.data)
+		if got[pc.chunk] >= len(buf) {
+			CountItems(buf, counts)
+			delete(assembling, pc.chunk)
+			delete(got, pc.chunk)
+		}
+	}
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+	if len(assembling) > 0 {
+		return nil, fmt.Errorf("mining: %d chunks incomplete", len(assembling))
+	}
+	return counts, nil
+}
+
+// BufferSource adapts an in-memory byte slice to Source.
+type BufferSource []byte
+
+// ReadAt implements Source.
+func (b BufferSource) ReadAt(off uint64, n int) ([]byte, error) {
+	if off >= uint64(len(b)) {
+		return nil, nil
+	}
+	end := off + uint64(n)
+	if end > uint64(len(b)) {
+		end = uint64(len(b))
+	}
+	return b[off:end], nil
+}

@@ -1,0 +1,247 @@
+package nasdafs
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/filemgr"
+	"nasd/internal/rpc"
+)
+
+var clientIDs atomic.Uint64
+
+func newEnv(t *testing.T, quota uint64) (*Manager, []*client.Drive, func() []*client.Drive) {
+	t.Helper()
+	master := crypt.NewRandomKey()
+	dev := blockdev.NewMemDisk(4096, 8192)
+	drv, err := drive.NewFormat(dev, drive.Config{ID: 1, Master: master, Secure: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := rpc.NewInProcListener("d")
+	srv := drv.Serve(l)
+	t.Cleanup(srv.Close)
+	mk := func() []*client.Drive {
+		conn, err := l.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := client.New(conn, 1, 7000+clientIDs.Add(1), true)
+		t.Cleanup(func() { c.Close() })
+		return []*client.Drive{c}
+	}
+	fm, err := filemgr.Format(filemgr.Config{
+		Drives: []filemgr.DriveTarget{{Client: mk()[0], DriveID: 1, Master: master}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewManager(fm, quota, mk()), mk(), mk
+}
+
+var alice = filemgr.Identity{UID: 10}
+var bob = filemgr.Identity{UID: 20}
+
+func TestFetchStoreRoundTrip(t *testing.T) {
+	mgr, drives, _ := newEnv(t, 0)
+	c := NewClient(mgr, drives, alice)
+	if err := c.Create("/vol/..", 0); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	if err := c.Create("/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("afs"), 5000)
+	if err := c.StoreData("/f", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.FetchData("/f")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("fetch: %v", err)
+	}
+}
+
+func TestWholeFileCachingServesLocally(t *testing.T) {
+	mgr, drives, _ := newEnv(t, 0)
+	c := NewClient(mgr, drives, alice)
+	if err := c.Create("/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreData("/f", []byte("cached")); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Cached("/f") {
+		t.Fatal("file not cached after store")
+	}
+	// Fetch is served from cache: no new callback registration needed.
+	before := mgr.CallbackHolders("/f")
+	if _, err := c.FetchData("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.CallbackHolders("/f") != before {
+		t.Fatal("cache hit registered a new callback")
+	}
+}
+
+func TestCallbackBreakOnWriteCapability(t *testing.T) {
+	mgr, drives, mk := newEnv(t, 0)
+	writer := NewClient(mgr, drives, alice)
+	reader := NewClient(mgr, mk(), bob)
+	if err := writer.Create("/shared", 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.StoreData("/shared", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reader.FetchData("/shared"); err != nil {
+		t.Fatal(err)
+	}
+	if !reader.Cached("/shared") {
+		t.Fatal("reader did not cache")
+	}
+	// Writer stores again: the *issuance* of the write capability must
+	// break the reader's callback, before any data actually moves.
+	if err := writer.StoreData("/shared", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if reader.Cached("/shared") {
+		t.Fatal("reader cache still valid after write capability issued")
+	}
+	if reader.CallbackBreaks() == 0 {
+		t.Fatal("no callback break delivered")
+	}
+	// Reader refetches and sees v2 (sequential consistency).
+	got, err := reader.FetchData("/shared")
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("refetch = %q, %v", got, err)
+	}
+}
+
+func TestNewCallbacksBlockedDuringOutstandingWrite(t *testing.T) {
+	mgr, drives, mk := newEnv(t, 0)
+	writer := NewClient(mgr, drives, alice)
+	reader := NewClient(mgr, mk(), bob)
+	if err := writer.Create("/busy", 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.StoreData("/busy", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Acquire a write capability and hold it.
+	if _, _, err := mgr.AcquireWrite(writer, alice, "/busy", 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mgr.TryAcquireRead(reader, bob, "/busy"); !errors.Is(err, ErrWriteLocked) {
+		t.Fatalf("read callback issued during outstanding write: %v", err)
+	}
+	// Relinquish unblocks.
+	if err := mgr.Relinquish(writer, "/busy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mgr.TryAcquireRead(reader, bob, "/busy"); err != nil {
+		t.Fatalf("read after relinquish: %v", err)
+	}
+}
+
+func TestQuotaEscrowSettledOnRelinquish(t *testing.T) {
+	mgr, drives, _ := newEnv(t, 100_000)
+	c := NewClient(mgr, drives, alice)
+	if err := c.Create("/q", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreData("/q", make([]byte, 40_000)); err != nil {
+		t.Fatal(err)
+	}
+	if used := mgr.VolumeUsed(); used != 40_000 {
+		t.Fatalf("settled usage = %d, want 40000", used)
+	}
+	// Escrow beyond remaining quota is refused up front.
+	if _, _, err := mgr.AcquireWrite(c, alice, "/q", 200_000); !errors.Is(err, ErrQuota) {
+		t.Fatalf("oversized escrow: %v", err)
+	}
+	// Shrinking settles downward.
+	if err := c.StoreData("/q", make([]byte, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	if used := mgr.VolumeUsed(); used != 10_000 {
+		t.Fatalf("usage after shrink = %d, want 10000", used)
+	}
+}
+
+func TestEscrowRangeEnforcedByDrive(t *testing.T) {
+	mgr, drives, _ := newEnv(t, 0)
+	c := NewClient(mgr, drives, alice)
+	if err := c.Create("/r", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h, cap, err := mgr.AcquireWrite(c, alice, "/r", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within escrow: fine.
+	if err := drives[h.Drive].Write(&cap, h.Partition, h.Object, 0, make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	// Beyond escrow: the drive itself rejects (quota enforced without
+	// the file manager seeing the write).
+	if err := drives[h.Drive].Write(&cap, h.Partition, h.Object, 8192, []byte("x")); !errors.Is(err, client.ErrAuth) {
+		t.Fatalf("write beyond escrow: %v", err)
+	}
+	if err := mgr.Relinquish(c, "/r"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpiredWriteCapabilityUnblocksReaders(t *testing.T) {
+	mgr, drives, mk := newEnv(t, 0)
+	mgr.clock = func() time.Time { return time.Now() }
+	writer := NewClient(mgr, drives, alice)
+	reader := NewClient(mgr, mk(), bob)
+	if err := writer.Create("/exp", 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.StoreData("/exp", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mgr.AcquireWrite(writer, alice, "/exp", 100); err != nil {
+		t.Fatal(err)
+	}
+	// Force the outstanding capability to look expired.
+	mgr.mu.Lock()
+	mgr.writes["/exp"].expiry = time.Now().Add(-time.Second)
+	mgr.mu.Unlock()
+	// The reader is admitted because the expiry bounds the wait.
+	if _, _, err := mgr.TryAcquireRead(reader, bob, "/exp"); err != nil {
+		t.Fatalf("read blocked by expired write capability: %v", err)
+	}
+}
+
+func TestStoreDataShrinksFile(t *testing.T) {
+	mgr, drives, _ := newEnv(t, 0)
+	c := NewClient(mgr, drives, alice)
+	if err := c.Create("/shrink", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreData("/shrink", bytes.Repeat([]byte{1}, 10_000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.StoreData("/shrink", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	size, err := c.FetchStatus("/shrink")
+	if err != nil || size != 4 {
+		t.Fatalf("size = %d, %v", size, err)
+	}
+	// A cold client sees exactly the new content.
+	mgrView, err := c.FetchData("/shrink")
+	if err != nil || string(mgrView) != "tiny" {
+		t.Fatalf("content = %q, %v", mgrView, err)
+	}
+}

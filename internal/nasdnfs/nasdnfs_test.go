@@ -1,0 +1,205 @@
+package nasdnfs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/filemgr"
+	"nasd/internal/rpc"
+)
+
+func newEnv(t *testing.T, nDrives int, expiry time.Duration) (*filemgr.FM, []*client.Drive) {
+	t.Helper()
+	var targets []filemgr.DriveTarget
+	var clis []*client.Drive
+	for i := 0; i < nDrives; i++ {
+		master := crypt.NewRandomKey()
+		dev := blockdev.NewMemDisk(4096, 8192)
+		drv, err := drive.NewFormat(dev, drive.Config{ID: uint64(1 + i), Master: master, Secure: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := rpc.NewInProcListener("d")
+		srv := drv.Serve(l)
+		t.Cleanup(srv.Close)
+		mk := func() *client.Drive {
+			conn, err := l.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every connection gets a distinct client identity: nonce
+			// counters are per client, so sharing an ID across
+			// connections would look like replays to the drive.
+			nextClientID++
+			c := client.New(conn, uint64(1+i), nextClientID, true)
+			t.Cleanup(func() { c.Close() })
+			return c
+		}
+		targets = append(targets, filemgr.DriveTarget{Client: mk(), DriveID: uint64(1 + i), Master: master})
+		clis = append(clis, mk())
+	}
+	fm, err := filemgr.Format(filemgr.Config{Drives: targets, CapExpiry: expiry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fm, clis
+}
+
+var alice = filemgr.Identity{UID: 10, GIDs: []uint32{100}}
+
+var nextClientID uint64 = 5000
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	fm, drives := newEnv(t, 2, 0)
+	c := New(fm, drives, alice)
+	if err := c.Create("/data.bin", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("nfs"), 10000)
+	if err := c.Write("/data.bin", 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read("/data.bin", 0, len(payload))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip failed: %v", err)
+	}
+	// Partial read at offset.
+	got, err = c.Read("/data.bin", 3, 3)
+	if err != nil || string(got) != "nfs" {
+		t.Fatalf("offset read = %q, %v", got, err)
+	}
+}
+
+func TestGetAttrGoesDriveDirect(t *testing.T) {
+	fm, drives := newEnv(t, 1, 0)
+	c := New(fm, drives, alice)
+	if err := c.Create("/f", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write("/f", 0, []byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.GetAttr("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Size != 5 {
+		t.Fatalf("size = %d", a.Size)
+	}
+}
+
+func TestCapabilityCachingAvoidsFileManager(t *testing.T) {
+	fm, drives := newEnv(t, 1, 0)
+	c := New(fm, drives, alice)
+	if err := c.Create("/hot", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write("/hot", 0, make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Read("/hot", 0, 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Create registers its capability under four rights keys; repeated
+	// reads reuse the cached entry instead of minting new ones.
+	if n := c.CachedCapabilities(); n < 1 || n > 4 {
+		t.Fatalf("cached capabilities = %d", n)
+	}
+}
+
+func TestExpiredCapabilityTransparentlyRefreshed(t *testing.T) {
+	// Short expiry: cached capabilities go stale between operations and
+	// the client must refresh from the file manager without surfacing
+	// an error.
+	fm, drives := newEnv(t, 1, 30*time.Millisecond)
+	c := New(fm, drives, alice)
+	if err := c.Create("/flaky", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write("/flaky", 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(60 * time.Millisecond) // let the cached capability expire
+	if err := c.Write("/flaky", 0, []byte("y")); err != nil {
+		t.Fatalf("write after expiry not refreshed: %v", err)
+	}
+	got, err := c.Read("/flaky", 0, 1)
+	if err != nil || string(got) != "y" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}
+
+func TestRevocationRefresh(t *testing.T) {
+	fm, drives := newEnv(t, 1, 0)
+	c := New(fm, drives, alice)
+	if err := c.Create("/doc", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write("/doc", 0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read("/doc", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// The file manager revokes all capabilities (version bump); the
+	// client's cached capability is now dead but the next read
+	// re-acquires transparently.
+	if err := fm.Revoke(alice, "/doc"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read("/doc", 0, 2)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read after revocation = %q, %v", got, err)
+	}
+}
+
+func TestNamespaceOperations(t *testing.T) {
+	fm, drives := newEnv(t, 2, 0)
+	c := New(fm, drives, alice)
+	if err := c.Mkdir("/proj", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("/proj/a", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rename("/proj/a", "/proj/b"); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := c.ReadDir("/proj")
+	if err != nil || len(ents) != 1 || ents[0].Name != "b" {
+		t.Fatalf("readdir = %+v, %v", ents, err)
+	}
+	if err := c.Remove("/proj/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Remove("/proj"); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Stat("/")
+	if err != nil || info.Mode&filemgr.ModeDir == 0 {
+		t.Fatalf("stat / = %+v, %v", info, err)
+	}
+}
+
+func TestTwoClientsShareData(t *testing.T) {
+	fm, drives := newEnv(t, 2, 0)
+	writer := New(fm, drives, alice)
+	reader := New(fm, drives, filemgr.Identity{UID: 11})
+	if err := writer.Create("/shared", 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Write("/shared", 0, []byte("broadcast")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := reader.Read("/shared", 0, 9)
+	if err != nil || string(got) != "broadcast" {
+		t.Fatalf("second client read = %q, %v", got, err)
+	}
+}

@@ -1,0 +1,199 @@
+package object
+
+import (
+	"errors"
+	"testing"
+)
+
+// Tests for the two attribute-driven placement/accounting features of
+// Section 4.1: capacity reservation (Prealloc) and clustering.
+
+func TestPreallocChargesQuotaUpFront(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.CreatePartition(5, 60); err != nil { // 60 blocks = 240 KB
+		t.Fatal(err)
+	}
+	id, _ := s.Create(5)
+	// Reserve 40 blocks (160 KB).
+	if err := s.SetAttr(5, id, Attributes{Prealloc: 160 << 10}, SetPrealloc); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.GetPartition(5)
+	if p.UsedBlocks != 40 {
+		t.Fatalf("used after reservation = %d, want 40", p.UsedBlocks)
+	}
+	// A second object cannot reserve past the quota.
+	id2, _ := s.Create(5)
+	if err := s.SetAttr(5, id2, Attributes{Prealloc: 100 << 10}, SetPrealloc); !errors.Is(err, ErrQuota) {
+		t.Fatalf("over-reservation: %v", err)
+	}
+	// Writes within the reservation never fail on quota and do not
+	// grow the charge.
+	if err := s.Write(5, id, 0, make([]byte, 150<<10)); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = s.GetPartition(5)
+	if p.UsedBlocks != 40 {
+		t.Fatalf("used after covered write = %d, want 40", p.UsedBlocks)
+	}
+	// Growing beyond the reservation charges the difference.
+	if err := s.Write(5, id, 150<<10, make([]byte, 40<<10)); err != nil {
+		t.Fatal(err)
+	}
+	p, _ = s.GetPartition(5)
+	if p.UsedBlocks <= 40 {
+		t.Fatalf("used after overflow write = %d, want > 40", p.UsedBlocks)
+	}
+}
+
+func TestPreallocReleasedOnRemove(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.CreatePartition(5, 100); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Create(5)
+	if err := s.SetAttr(5, id, Attributes{Prealloc: 200 << 10}, SetPrealloc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(5, id); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.GetPartition(5)
+	if p.UsedBlocks != 0 {
+		t.Fatalf("used after remove = %d", p.UsedBlocks)
+	}
+}
+
+func TestPreallocShrinkRefunds(t *testing.T) {
+	s := newTestStore(t)
+	if err := s.CreatePartition(5, 100); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := s.Create(5)
+	if err := s.SetAttr(5, id, Attributes{Prealloc: 200 << 10}, SetPrealloc); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetAttr(5, id, Attributes{Prealloc: 40 << 10}, SetPrealloc); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := s.GetPartition(5)
+	if p.UsedBlocks != 10 {
+		t.Fatalf("used after shrink = %d, want 10", p.UsedBlocks)
+	}
+	a, _ := s.GetAttr(5, id)
+	if a.Prealloc != 40<<10 {
+		t.Fatalf("prealloc attr = %d", a.Prealloc)
+	}
+}
+
+func TestClusteringPlacesNeighborsTogether(t *testing.T) {
+	s := newTestStore(t)
+	base, _ := s.Create(1)
+	if err := s.Write(1, base, 0, make([]byte, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the region right after base, park the allocator cursor
+	// far away, then free the adjacent region: a hole next to base.
+	tmp, _ := s.Create(1)
+	if err := s.Write(1, tmp, 0, make([]byte, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	noise, _ := s.Create(1)
+	if err := s.Write(1, noise, 0, make([]byte, 256<<10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(1, tmp); err != nil {
+		t.Fatal(err)
+	}
+
+	// An unclustered object allocates at the cursor (after noise); a
+	// clustered one scans from base's extent and lands in the hole.
+	unclustered, _ := s.Create(1)
+	if err := s.Write(1, unclustered, 0, make([]byte, 16<<10)); err != nil {
+		t.Fatal(err)
+	}
+	clustered, _ := s.Create(1)
+	if err := s.SetAttr(1, clustered, Attributes{Cluster: base}, SetCluster); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(1, clustered, 0, make([]byte, 16<<10)); err != nil {
+		t.Fatal(err)
+	}
+
+	clusteredGap := blockGap(t, s, base, clustered)
+	unclusteredGap := blockGap(t, s, base, unclustered)
+	if clusteredGap > 8 {
+		t.Fatalf("clustered object placed %d blocks away from target", clusteredGap)
+	}
+	if unclusteredGap <= clusteredGap {
+		t.Fatalf("clustering made no difference: %d vs %d blocks away",
+			clusteredGap, unclusteredGap)
+	}
+}
+
+// blockGap returns the distance between the end of object a's extent
+// and the start of object b's extent.
+func blockGap(t *testing.T, s *Store, a, b uint64) int64 {
+	t.Helper()
+	amax := maxBlock(t, s, a)
+	bmin := minBlock(t, s, b)
+	if bmin < amax {
+		return amax - bmin
+	}
+	return bmin - amax
+}
+
+func maxBlock(t *testing.T, s *Store, id uint64) int64 {
+	t.Helper()
+	idx, ok := s.lay.FindOnode(id)
+	if !ok {
+		t.Fatal("object missing")
+	}
+	o, err := s.lay.ReadOnode(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var max int64
+	_ = s.lay.ForEachBlock(&o, func(phys int64, isPtr bool) error {
+		if phys > max {
+			max = phys
+		}
+		return nil
+	})
+	return max
+}
+
+func minBlock(t *testing.T, s *Store, id uint64) int64 {
+	t.Helper()
+	idx, ok := s.lay.FindOnode(id)
+	if !ok {
+		t.Fatal("object missing")
+	}
+	o, err := s.lay.ReadOnode(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min := int64(1 << 62)
+	_ = s.lay.ForEachBlock(&o, func(phys int64, isPtr bool) error {
+		if phys < min {
+			min = phys
+		}
+		return nil
+	})
+	return min
+}
+
+func TestClusterToMissingObjectIsHarmless(t *testing.T) {
+	s := newTestStore(t)
+	id, _ := s.Create(1)
+	if err := s.SetAttr(1, id, Attributes{Cluster: 99999}, SetCluster); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(1, id, 0, []byte("still works")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(1, id, 0, 11)
+	if err != nil || string(got) != "still works" {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}

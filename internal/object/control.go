@@ -1,0 +1,148 @@
+package object
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"nasd/internal/layout"
+)
+
+// The partition table is persisted in the drive's well-known control
+// object (ControlObject, partition 0), so a reopened drive recovers its
+// partitions, quotas, and usage accounting without rescanning.
+
+const partitionRecordSize = 2 + 8 + 8 + 8
+
+func encodePartitions(parts map[uint16]*Partition) []byte {
+	b := make([]byte, 4+len(parts)*partitionRecordSize)
+	le := binary.LittleEndian
+	le.PutUint32(b, uint32(len(parts)))
+	off := 4
+	for _, p := range parts {
+		le.PutUint16(b[off:], p.ID)
+		le.PutUint64(b[off+2:], uint64(p.QuotaBlocks))
+		le.PutUint64(b[off+10:], uint64(p.UsedBlocks))
+		le.PutUint64(b[off+18:], uint64(p.ObjectCount))
+		off += partitionRecordSize
+	}
+	return b
+}
+
+func decodePartitions(b []byte) (map[uint16]*Partition, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("object: control object too short (%d bytes)", len(b))
+	}
+	le := binary.LittleEndian
+	n := int(le.Uint32(b))
+	if len(b) < 4+n*partitionRecordSize {
+		return nil, fmt.Errorf("object: control object truncated (%d partitions, %d bytes)", n, len(b))
+	}
+	parts := make(map[uint16]*Partition, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		p := &Partition{
+			ID:          le.Uint16(b[off:]),
+			QuotaBlocks: int64(le.Uint64(b[off+2:])),
+			UsedBlocks:  int64(le.Uint64(b[off+10:])),
+			ObjectCount: int64(le.Uint64(b[off+18:])),
+		}
+		parts[p.ID] = p
+		off += partitionRecordSize
+	}
+	return parts, nil
+}
+
+// savePartitionsLocked persists the partition table to the control
+// object. Caller holds mu.
+func (s *Store) savePartitionsLocked() error {
+	data := encodePartitions(s.parts)
+	idx, ok := s.lay.FindOnode(ControlObject)
+	var o layout.Onode
+	if ok {
+		var err error
+		o, err = s.lay.ReadOnode(idx)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		idx, err = s.lay.AllocOnode()
+		if err != nil {
+			return err
+		}
+		o = layout.Onode{ObjectID: ControlObject, Partition: 0, Version: 1}
+	}
+	if err := s.writeRawLocked(&o, data); err != nil {
+		return err
+	}
+	return s.lay.WriteOnode(idx, &o)
+}
+
+// loadPartitions reads the partition table from the control object.
+func (s *Store) loadPartitions() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, ok := s.lay.FindOnode(ControlObject)
+	if !ok {
+		return fmt.Errorf("object: control object missing; not an object store")
+	}
+	o, err := s.lay.ReadOnode(idx)
+	if err != nil {
+		return err
+	}
+	data, err := s.readRawLocked(&o)
+	if err != nil {
+		return err
+	}
+	parts, err := decodePartitions(data)
+	if err != nil {
+		return err
+	}
+	s.parts = parts
+	return nil
+}
+
+// writeRawLocked replaces an onode's data with data, bypassing
+// partition/quota logic (used only for the control object).
+func (s *Store) writeRawLocked(o *layout.Onode, data []byte) error {
+	bs := int(s.lay.BlockSize())
+	buf := make([]byte, bs)
+	for done := 0; done < len(data); done += bs {
+		fb := int64(done / bs)
+		phys, err := s.lay.BMapAlloc(o, fb, 0)
+		if err != nil {
+			return err
+		}
+		n := copy(buf, data[done:])
+		for i := n; i < bs; i++ {
+			buf[i] = 0
+		}
+		if err := s.cache.WriteBlock(phys, buf); err != nil {
+			return err
+		}
+	}
+	o.Size = uint64(len(data))
+	return nil
+}
+
+// readRawLocked reads an onode's full contents.
+func (s *Store) readRawLocked(o *layout.Onode) ([]byte, error) {
+	bs := int(s.lay.BlockSize())
+	out := make([]byte, o.Size)
+	buf := make([]byte, bs)
+	for done := 0; done < len(out); done += bs {
+		fb := int64(done / bs)
+		phys, err := s.lay.BMap(o, fb)
+		if err != nil {
+			return nil, err
+		}
+		if phys == 0 {
+			continue
+		}
+		if err := s.cache.ReadBlock(phys, buf); err != nil {
+			return nil, err
+		}
+		copy(out[done:], buf)
+	}
+	return out, nil
+}

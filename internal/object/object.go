@@ -1,0 +1,796 @@
+// Package object implements the NASD object system (Section 4.1): a
+// flat namespace of variable-length objects grouped into soft,
+// resizable partitions, with per-object attributes, copy-on-write
+// versions, capacity quotas, and well-known objects for bootstrap.
+//
+// This is the paper's core storage abstraction: "drives export variable
+// length objects instead of fixed-size blocks", moving data layout
+// management into the device. The package composes the layout engine
+// (disk space management), the buffer cache (with write-behind and
+// sequential readahead), and partition/attribute logic. The drive layer
+// (internal/drive) adds capability enforcement and RPC on top.
+package object
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/cache"
+	"nasd/internal/layout"
+)
+
+// Well-known object identifiers (Section 4.1: "objects with well-known
+// names and structures allow configuration and bootstrap of drives and
+// partitions").
+const (
+	// ControlObject holds the drive's partition table. It lives in
+	// partition 0 (the drive's own partition) and is created at format.
+	ControlObject uint64 = 1
+	// FirstUserObject is the first identifier handed to user objects.
+	FirstUserObject uint64 = 16
+)
+
+// Object system errors.
+var (
+	ErrNoPartition     = errors.New("object: no such partition")
+	ErrPartitionExists = errors.New("object: partition already exists")
+	ErrPartitionBusy   = errors.New("object: partition not empty")
+	ErrNoObject        = errors.New("object: no such object")
+	ErrQuota           = errors.New("object: partition quota exceeded")
+	ErrBadRange        = errors.New("object: invalid byte range")
+)
+
+// Attributes are the externally visible per-object attributes
+// (timestamps, size, logical version, preallocation/clustering hints and
+// the uninterpreted filesystem-specific block).
+type Attributes struct {
+	Size        uint64
+	Version     uint64 // logical version number; bumping revokes capabilities
+	CreateTime  time.Time
+	ModTime     time.Time
+	AttrModTime time.Time
+	Prealloc    uint64 // reserved capacity in bytes
+	Cluster     uint64 // object to cluster near
+	Uninterp    [layout.UninterpSize]byte
+}
+
+// SetAttrMask selects which attributes SetAttr changes.
+type SetAttrMask uint32
+
+// Mask bits for SetAttr.
+const (
+	SetVersion SetAttrMask = 1 << iota
+	SetPrealloc
+	SetCluster
+	SetUninterp
+	SetModTime
+	SetSize // truncate/extend to Size
+)
+
+// Partition describes one soft partition. Partitions are groupings of
+// objects with a capacity quota, "not physical regions of disk media",
+// so resizing is a metadata operation.
+type Partition struct {
+	ID          uint16
+	QuotaBlocks int64 // 0 = unlimited
+	UsedBlocks  int64 // block references charged to this partition
+	ObjectCount int64
+}
+
+// Config controls store creation.
+type Config struct {
+	// CacheBlocks is the buffer cache capacity in blocks (default 1024).
+	CacheBlocks int
+	// ReadaheadBlocks is how many blocks are prefetched past a detected
+	// sequential read (default 16; 0 disables readahead).
+	ReadaheadBlocks int
+	// Clock supplies timestamps (default time.Now). Experiments inject
+	// simulated clocks.
+	Clock func() time.Time
+	// WriteThrough disables write-behind in the data cache.
+	WriteThrough bool
+}
+
+func (c *Config) fill() {
+	if c.CacheBlocks <= 0 {
+		c.CacheBlocks = 1024
+	}
+	if c.ReadaheadBlocks < 0 {
+		c.ReadaheadBlocks = 0
+	} else if c.ReadaheadBlocks == 0 {
+		c.ReadaheadBlocks = 16
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+}
+
+type seqTracker struct {
+	nextOff uint64 // offset one past the previous read
+	streak  int    // consecutive sequential reads observed
+}
+
+// Store is a NASD object store on a block device.
+type Store struct {
+	mu    sync.Mutex
+	lay   *layout.Store
+	cache *cache.BlockCache
+	cfg   Config
+	parts map[uint16]*Partition
+	seq   map[uint64]*seqTracker
+}
+
+// Format initializes dev as an empty object store.
+func Format(dev blockdev.Device, cfg Config) (*Store, error) {
+	cfg.fill()
+	lay, err := layout.Format(dev, layout.FormatOptions{})
+	if err != nil {
+		return nil, err
+	}
+	s := newStore(lay, dev, cfg)
+	lay.ReserveObjectIDs(FirstUserObject)
+	s.mu.Lock()
+	err = s.savePartitionsLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open loads an existing object store from dev.
+func Open(dev blockdev.Device, cfg Config) (*Store, error) {
+	cfg.fill()
+	lay, err := layout.Open(dev)
+	if err != nil {
+		return nil, err
+	}
+	s := newStore(lay, dev, cfg)
+	if err := s.loadPartitions(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func newStore(lay *layout.Store, dev blockdev.Device, cfg Config) *Store {
+	c := cache.New(dev, cfg.CacheBlocks)
+	c.SetWriteThrough(cfg.WriteThrough)
+	lay.SetDataIO(c)
+	return &Store{
+		lay:   lay,
+		cache: c,
+		cfg:   cfg,
+		parts: make(map[uint16]*Partition),
+		seq:   make(map[uint64]*seqTracker),
+	}
+}
+
+// BlockSize returns the store's block size in bytes.
+func (s *Store) BlockSize() int64 { return s.lay.BlockSize() }
+
+// MaxObjectSize returns the largest supported object size.
+func (s *Store) MaxObjectSize() uint64 { return s.lay.MaxObjectSize() }
+
+// FreeBlocks returns the number of free data blocks.
+func (s *Store) FreeBlocks() int64 { return s.lay.FreeBlocks() }
+
+// CacheStats exposes buffer cache counters (hits, misses, prefetches).
+func (s *Store) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// --- Partition management ----------------------------------------------
+
+// CreatePartition creates partition id with a quota of quotaBlocks
+// blocks (0 = unlimited). Partition 0 is reserved for the drive.
+func (s *Store) CreatePartition(id uint16, quotaBlocks int64) error {
+	if id == 0 {
+		return fmt.Errorf("object: partition 0 is reserved")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.parts[id]; ok {
+		return ErrPartitionExists
+	}
+	s.parts[id] = &Partition{ID: id, QuotaBlocks: quotaBlocks}
+	return s.savePartitionsLocked()
+}
+
+// ResizePartition changes a partition's quota. Shrinking below current
+// usage fails.
+func (s *Store) ResizePartition(id uint16, quotaBlocks int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.parts[id]
+	if !ok {
+		return ErrNoPartition
+	}
+	if quotaBlocks != 0 && quotaBlocks < p.UsedBlocks {
+		return fmt.Errorf("%w: quota %d below usage %d", ErrQuota, quotaBlocks, p.UsedBlocks)
+	}
+	p.QuotaBlocks = quotaBlocks
+	return s.savePartitionsLocked()
+}
+
+// RemovePartition deletes an empty partition.
+func (s *Store) RemovePartition(id uint16) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.parts[id]
+	if !ok {
+		return ErrNoPartition
+	}
+	if p.ObjectCount > 0 {
+		return ErrPartitionBusy
+	}
+	delete(s.parts, id)
+	return s.savePartitionsLocked()
+}
+
+// GetPartition returns a snapshot of partition id.
+func (s *Store) GetPartition(id uint16) (Partition, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.parts[id]
+	if !ok {
+		return Partition{}, ErrNoPartition
+	}
+	return *p, nil
+}
+
+// Partitions returns snapshots of every partition, unordered.
+func (s *Store) Partitions() []Partition {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Partition, 0, len(s.parts))
+	for _, p := range s.parts {
+		out = append(out, *p)
+	}
+	return out
+}
+
+// --- Object lifecycle ---------------------------------------------------
+
+// Create allocates a new object in partition part and returns its ID.
+func (s *Store) Create(part uint16) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.parts[part]
+	if !ok {
+		return 0, ErrNoPartition
+	}
+	idx, err := s.lay.AllocOnode()
+	if err != nil {
+		return 0, err
+	}
+	id := s.lay.NextObjectID()
+	now := s.cfg.Clock().Unix()
+	o := layout.Onode{
+		ObjectID:   id,
+		Partition:  part,
+		Version:    1,
+		CreateSec:  now,
+		ModSec:     now,
+		AttrModSec: now,
+	}
+	if err := s.lay.WriteOnode(idx, &o); err != nil {
+		return 0, err
+	}
+	p.ObjectCount++
+	if err := s.savePartitionsLocked(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Remove deletes an object and releases its blocks.
+func (s *Store) Remove(part uint16, obj uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, o, err := s.lookupLocked(part, obj)
+	if err != nil {
+		return err
+	}
+	charge := s.chargeOf(&o)
+	// Invalidate cache entries for blocks about to become free so a
+	// later reallocation cannot observe stale contents.
+	if err := s.lay.ForEachBlock(&o, func(phys int64, isPtr bool) error {
+		if !isPtr && s.lay.RefCount(phys) == 1 {
+			s.cache.Invalidate(phys)
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	if err := s.lay.FreeObjectBlocks(&o); err != nil {
+		return err
+	}
+	if err := s.lay.WriteOnode(idx, &layout.Onode{}); err != nil {
+		return err
+	}
+	p := s.parts[part]
+	p.ObjectCount--
+	p.UsedBlocks -= charge
+	delete(s.seq, obj)
+	return s.savePartitionsLocked()
+}
+
+// List returns the IDs of all objects in a partition — the contents of
+// the partition's well-known object-list object.
+func (s *Store) List(part uint16) ([]uint64, error) {
+	s.mu.Lock()
+	if _, ok := s.parts[part]; !ok {
+		s.mu.Unlock()
+		return nil, ErrNoPartition
+	}
+	s.mu.Unlock()
+	return s.lay.ObjectIDs(part), nil
+}
+
+// lookupLocked resolves (part, obj) to its onode. Caller holds mu.
+func (s *Store) lookupLocked(part uint16, obj uint64) (int64, layout.Onode, error) {
+	if _, ok := s.parts[part]; !ok && part != 0 {
+		return 0, layout.Onode{}, ErrNoPartition
+	}
+	idx, ok := s.lay.FindOnode(obj)
+	if !ok {
+		return 0, layout.Onode{}, ErrNoObject
+	}
+	o, err := s.lay.ReadOnode(idx)
+	if err != nil {
+		return 0, layout.Onode{}, err
+	}
+	if o.Partition != part {
+		return 0, layout.Onode{}, ErrNoObject
+	}
+	return idx, o, nil
+}
+
+// footprint counts the block references owned by an object (data plus
+// indirect blocks).
+func (s *Store) footprint(o *layout.Onode) int64 {
+	var n int64
+	_ = s.lay.ForEachBlock(o, func(int64, bool) error { n++; return nil })
+	return n
+}
+
+// chargeOf is what quotas charge for an object: its footprint or its
+// capacity reservation (Prealloc), whichever is larger. Reserved space
+// is charged up front so preallocated writes can never fail on quota.
+func (s *Store) chargeOf(o *layout.Onode) int64 {
+	fp := s.footprint(o)
+	bs := uint64(s.lay.BlockSize())
+	res := int64((o.Prealloc + bs - 1) / bs)
+	if res > fp {
+		return res
+	}
+	return fp
+}
+
+// reserveLocked updates an object's capacity reservation, charging or
+// refunding the partition. Caller holds mu and persists the onode.
+func (s *Store) reserveLocked(o *layout.Onode, prealloc uint64) error {
+	p := s.parts[o.Partition]
+	before := s.chargeOf(o)
+	old := o.Prealloc
+	o.Prealloc = prealloc
+	after := s.chargeOf(o)
+	delta := after - before
+	if p != nil {
+		if p.QuotaBlocks != 0 && delta > 0 && p.UsedBlocks+delta > p.QuotaBlocks {
+			o.Prealloc = old
+			return fmt.Errorf("%w: reservation needs %d blocks, %d of %d used",
+				ErrQuota, delta, p.UsedBlocks, p.QuotaBlocks)
+		}
+		p.UsedBlocks += delta
+	}
+	return nil
+}
+
+// clusterHint returns an allocation hint near the object this one is
+// linked to (the clustering attribute of Section 4.1), or 0.
+func (s *Store) clusterHint(o *layout.Onode) int64 {
+	if o.Cluster == 0 {
+		return 0
+	}
+	idx, ok := s.lay.FindOnode(o.Cluster)
+	if !ok {
+		return 0
+	}
+	t, err := s.lay.ReadOnode(idx)
+	if err != nil {
+		return 0
+	}
+	var hint int64
+	_ = s.lay.ForEachBlock(&t, func(phys int64, isPtr bool) error {
+		if !isPtr && phys+1 > hint {
+			hint = phys + 1
+		}
+		return nil
+	})
+	return hint
+}
+
+// --- Attributes ----------------------------------------------------------
+
+// GetAttr returns an object's attributes.
+func (s *Store) GetAttr(part uint16, obj uint64) (Attributes, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, o, err := s.lookupLocked(part, obj)
+	if err != nil {
+		return Attributes{}, err
+	}
+	return attrsFromOnode(&o), nil
+}
+
+func attrsFromOnode(o *layout.Onode) Attributes {
+	return Attributes{
+		Size:        o.Size,
+		Version:     o.Version,
+		CreateTime:  time.Unix(o.CreateSec, 0).UTC(),
+		ModTime:     time.Unix(o.ModSec, 0).UTC(),
+		AttrModTime: time.Unix(o.AttrModSec, 0).UTC(),
+		Prealloc:    o.Prealloc,
+		Cluster:     o.Cluster,
+		Uninterp:    o.Uninterp,
+	}
+}
+
+// SetAttr updates the attributes selected by mask. Setting SetVersion
+// changes the logical version number, immediately revoking capabilities
+// minted against the old version (Section 4.1). Setting SetSize
+// truncates or extends the object.
+func (s *Store) SetAttr(part uint16, obj uint64, a Attributes, mask SetAttrMask) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, o, err := s.lookupLocked(part, obj)
+	if err != nil {
+		return err
+	}
+	if mask&SetSize != 0 && a.Size != o.Size {
+		if err := s.truncateLocked(&o, a.Size); err != nil {
+			return err
+		}
+		o.ModSec = s.cfg.Clock().Unix()
+	}
+	if mask&SetVersion != 0 {
+		o.Version = a.Version
+	}
+	if mask&SetPrealloc != 0 {
+		// Capacity reservation (Section 4.1: "allow capacity to be
+		// reserved"): charge the partition for the reserved blocks now
+		// so later writes cannot fail on quota, and refuse reservations
+		// the quota cannot cover.
+		if err := s.reserveLocked(&o, a.Prealloc); err != nil {
+			return err
+		}
+	}
+	if mask&SetCluster != 0 {
+		o.Cluster = a.Cluster
+	}
+	if mask&SetUninterp != 0 {
+		o.Uninterp = a.Uninterp
+	}
+	if mask&SetModTime != 0 {
+		o.ModSec = a.ModTime.Unix()
+	}
+	o.AttrModSec = s.cfg.Clock().Unix()
+	return s.lay.WriteOnode(idx, &o)
+}
+
+// truncateLocked resizes o in place, freeing or leaving holes. Caller
+// holds mu and persists the onode afterwards.
+func (s *Store) truncateLocked(o *layout.Onode, newSize uint64) error {
+	bs := uint64(s.lay.BlockSize())
+	if newSize > s.lay.MaxObjectSize() {
+		return layout.ErrTooBig
+	}
+	part := s.parts[o.Partition]
+	before := s.chargeOf(o)
+	if newSize < o.Size {
+		first := (newSize + bs - 1) / bs // first block to drop
+		last := (o.Size + bs - 1) / bs
+		for fb := first; fb < last; fb++ {
+			phys, err := s.lay.BMap(o, int64(fb))
+			if err != nil {
+				return err
+			}
+			if phys != 0 && s.lay.RefCount(phys) == 1 {
+				s.cache.Invalidate(phys)
+			}
+			if _, err := s.lay.UnmapBlock(o, int64(fb)); err != nil {
+				return err
+			}
+		}
+		// Zero the tail of the new last block so growth re-reads zeros.
+		if newSize%bs != 0 {
+			phys, err := s.lay.BMap(o, int64(newSize/bs))
+			if err != nil {
+				return err
+			}
+			if phys != 0 {
+				buf := make([]byte, bs)
+				if err := s.cache.ReadBlock(phys, buf); err != nil {
+					return err
+				}
+				for i := newSize % bs; i < bs; i++ {
+					buf[i] = 0
+				}
+				// Shared blocks must be unshared before zeroing.
+				np, err := s.lay.BMapAlloc(o, int64(newSize/bs), phys)
+				if err != nil {
+					return err
+				}
+				if err := s.cache.WriteBlock(np, buf); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	o.Size = newSize
+	if part != nil {
+		part.UsedBlocks += s.chargeOf(o) - before
+	}
+	return nil
+}
+
+// BumpVersion increments an object's logical version number and returns
+// the new value. This is the capability-revocation primitive: all
+// capabilities minted against the old version stop validating.
+func (s *Store) BumpVersion(part uint16, obj uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, o, err := s.lookupLocked(part, obj)
+	if err != nil {
+		return 0, err
+	}
+	o.Version++
+	o.AttrModSec = s.cfg.Clock().Unix()
+	if err := s.lay.WriteOnode(idx, &o); err != nil {
+		return 0, err
+	}
+	return o.Version, nil
+}
+
+// --- Data access ---------------------------------------------------------
+
+// Read returns up to n bytes of object data starting at off, clipped to
+// the object size. Sequential access triggers readahead into the cache.
+func (s *Store) Read(part uint16, obj uint64, off uint64, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, ErrBadRange
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, o, err := s.lookupLocked(part, obj)
+	if err != nil {
+		return nil, err
+	}
+	if off >= o.Size {
+		return nil, nil
+	}
+	if max := o.Size - off; uint64(n) > max {
+		n = int(max)
+	}
+	bs := uint64(s.lay.BlockSize())
+	out := make([]byte, n)
+	buf := make([]byte, bs)
+	for done := 0; done < n; {
+		cur := off + uint64(done)
+		fb := int64(cur / bs)
+		within := cur % bs
+		chunk := int(bs - within)
+		if chunk > n-done {
+			chunk = n - done
+		}
+		phys, err := s.lay.BMap(&o, fb)
+		if err != nil {
+			return nil, err
+		}
+		if phys == 0 {
+			for i := 0; i < chunk; i++ {
+				out[done+i] = 0
+			}
+		} else {
+			if err := s.cache.ReadBlock(phys, buf); err != nil {
+				return nil, err
+			}
+			copy(out[done:done+chunk], buf[within:])
+		}
+		done += chunk
+	}
+	s.readaheadLocked(&o, obj, off, uint64(n))
+	return out, nil
+}
+
+// readaheadLocked detects sequential access and prefetches ahead.
+func (s *Store) readaheadLocked(o *layout.Onode, obj uint64, off, n uint64) {
+	if s.cfg.ReadaheadBlocks == 0 {
+		return
+	}
+	st := s.seq[obj]
+	if st == nil {
+		st = &seqTracker{}
+		s.seq[obj] = st
+	}
+	if off == st.nextOff && off != 0 {
+		st.streak++
+	} else if off != 0 {
+		st.streak = 0
+	}
+	st.nextOff = off + n
+	if off != 0 && st.streak == 0 {
+		return
+	}
+	bs := uint64(s.lay.BlockSize())
+	startFB := int64((off + n + bs - 1) / bs)
+	var blocks []int64
+	for i := 0; i < s.cfg.ReadaheadBlocks; i++ {
+		fb := startFB + int64(i)
+		if uint64(fb)*bs >= o.Size {
+			break
+		}
+		phys, err := s.lay.BMap(o, fb)
+		if err != nil || phys == 0 {
+			continue
+		}
+		blocks = append(blocks, phys)
+	}
+	s.cache.Prefetch(blocks)
+}
+
+// Write stores data at off, extending the object as needed and charging
+// the partition quota. Writes are write-behind unless the store was
+// configured write-through.
+func (s *Store) Write(part uint16, obj uint64, off uint64, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, o, err := s.lookupLocked(part, obj)
+	if err != nil {
+		return err
+	}
+	end := off + uint64(len(data))
+	if end < off || end > s.lay.MaxObjectSize() {
+		return ErrBadRange
+	}
+	p := s.parts[part]
+	bs := uint64(s.lay.BlockSize())
+
+	// Quota pre-check: count file blocks in the range that are holes,
+	// net of the object's capacity reservation (reserved space was
+	// charged up front, so preallocated writes always pass).
+	chargeBefore := s.chargeOf(&o)
+	if p != nil && p.QuotaBlocks != 0 {
+		var holes int64 = 3 // worst-case new indirect blocks
+		for fb := off / bs; fb*bs < end; fb++ {
+			phys, err := s.lay.BMap(&o, int64(fb))
+			if err != nil {
+				return err
+			}
+			if phys == 0 {
+				holes++
+			}
+		}
+		estFootAfter := s.footprint(&o) + holes
+		estChargeAfter := estFootAfter
+		if res := int64((o.Prealloc + bs - 1) / bs); res > estChargeAfter {
+			estChargeAfter = res
+		}
+		if need := estChargeAfter - chargeBefore; need > 0 && p.UsedBlocks+need > p.QuotaBlocks {
+			return ErrQuota
+		}
+	}
+
+	// Clustering: when this object has no blocks yet and is linked to
+	// another object, allocate near it.
+	clusterHint := int64(0)
+	if o.Cluster != 0 {
+		clusterHint = s.clusterHint(&o)
+	}
+	buf := make([]byte, bs)
+	for done := 0; done < len(data); {
+		cur := off + uint64(done)
+		fb := int64(cur / bs)
+		within := cur % bs
+		chunk := int(bs - within)
+		if chunk > len(data)-done {
+			chunk = len(data) - done
+		}
+		hint := clusterHint
+		if fb > 0 {
+			if prev, err := s.lay.BMap(&o, fb-1); err == nil && prev != 0 {
+				hint = prev + 1
+			}
+		}
+		prevPhys, err := s.lay.BMap(&o, fb)
+		if err != nil {
+			return err
+		}
+		phys, err := s.lay.BMapAlloc(&o, fb, hint)
+		if err != nil {
+			return err
+		}
+		if within == 0 && chunk == int(bs) {
+			copy(buf, data[done:done+chunk])
+		} else {
+			// Partial block: read-modify-write. A block that was a hole
+			// before this write contains whatever a previous owner left
+			// there, so zero-fill it instead of reading.
+			if prevPhys == 0 {
+				for i := range buf {
+					buf[i] = 0
+				}
+			} else if err := s.cache.ReadBlock(phys, buf); err != nil {
+				return err
+			}
+			copy(buf[within:], data[done:done+chunk])
+		}
+		if err := s.cache.WriteBlock(phys, buf); err != nil {
+			return err
+		}
+		done += chunk
+	}
+	if end > o.Size {
+		o.Size = end
+	}
+	o.ModSec = s.cfg.Clock().Unix()
+	if p != nil {
+		p.UsedBlocks += s.chargeOf(&o) - chargeBefore
+	}
+	return s.lay.WriteOnode(idx, &o)
+}
+
+// VersionObject creates a copy-on-write version (snapshot) of an object
+// and returns the new object's ID (the NASD interface's "construct a
+// copy-on-write object version" request). The snapshot shares all data
+// blocks with the original until either side writes.
+func (s *Store) VersionObject(part uint16, obj uint64) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, o, err := s.lookupLocked(part, obj)
+	if err != nil {
+		return 0, err
+	}
+	p := s.parts[part]
+	fp := s.chargeOf(&o)
+	if p != nil && p.QuotaBlocks != 0 && p.UsedBlocks+fp > p.QuotaBlocks {
+		return 0, ErrQuota
+	}
+	idx, err := s.lay.AllocOnode()
+	if err != nil {
+		return 0, err
+	}
+	if err := s.lay.CloneOnodeBlocks(&o); err != nil {
+		return 0, err
+	}
+	clone := o
+	clone.ObjectID = s.lay.NextObjectID()
+	clone.Version = 1
+	clone.CreateSec = s.cfg.Clock().Unix()
+	if err := s.lay.WriteOnode(idx, &clone); err != nil {
+		return 0, err
+	}
+	p.ObjectCount++
+	p.UsedBlocks += fp
+	if err := s.savePartitionsLocked(); err != nil {
+		return 0, err
+	}
+	return clone.ObjectID, nil
+}
+
+// Flush forces write-behind data and metadata — including the partition
+// table with its usage accounting — to the device.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	err := s.savePartitionsLocked()
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.cache.Flush(); err != nil {
+		return err
+	}
+	return s.lay.Sync()
+}

@@ -1,0 +1,235 @@
+package pfs
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/capability"
+	"nasd/internal/cheops"
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/mining"
+	"nasd/internal/rpc"
+)
+
+var clientSeq atomic.Uint64
+
+type cluster struct {
+	mgr  *cheops.Manager
+	dial func() []*client.Drive
+}
+
+func newCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	var refs []cheops.DriveRef
+	var lns []*rpc.InProcListener
+	for i := 0; i < n; i++ {
+		master := crypt.NewRandomKey()
+		dev := blockdev.NewMemDisk(4096, 16384)
+		drv, err := drive.NewFormat(dev, drive.Config{ID: uint64(1 + i), Master: master, Secure: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := rpc.NewInProcListener("d")
+		srv := drv.Serve(l)
+		t.Cleanup(srv.Close)
+		lns = append(lns, l)
+		conn, err := l.Dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := client.New(conn, uint64(1+i), clientSeq.Add(1)+500, true)
+		t.Cleanup(func() { c.Close() })
+		refs = append(refs, cheops.DriveRef{Client: c, DriveID: uint64(1 + i), Master: master})
+	}
+	mgr, err := cheops.NewManager(cheops.ManagerConfig{Drives: refs}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dial := func() []*client.Drive {
+		var out []*client.Drive
+		for i, l := range lns {
+			conn, err := l.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := client.New(conn, uint64(1+i), clientSeq.Add(1)+500, true)
+			t.Cleanup(func() { c.Close() })
+			out = append(out, c)
+		}
+		return out
+	}
+	return &cluster{mgr: mgr, dial: dial}
+}
+
+func TestCreateOpenReadWrite(t *testing.T) {
+	cl := newCluster(t, 4)
+	fs := NewFS(cl.mgr, Config{StripeUnit: 64 << 10, Width: 4})
+	if err := fs.Create("/data", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/data", 0); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	f, err := fs.Open("/data", cl.dial(), capability.Read|capability.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("pfs!"), 100_000) // 400 KB across stripes
+	if err := f.WriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.ReadAt(0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %v", err)
+	}
+	size, err := f.Stat()
+	if err != nil || size != uint64(len(data)) {
+		t.Fatalf("stat = %d, %v", size, err)
+	}
+}
+
+func TestParallelClientsShareFile(t *testing.T) {
+	cl := newCluster(t, 4)
+	fs := NewFS(cl.mgr, Config{StripeUnit: 32 << 10, Width: 4})
+	if err := fs.Create("/shared", 0); err != nil {
+		t.Fatal(err)
+	}
+	writer, err := fs.Open("/shared", cl.dial(), capability.Read|capability.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xAB}, 256<<10)
+	if err := writer.WriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Four independent clients each read a quarter in parallel.
+	quarter := len(data) / 4
+	results := make([][]byte, 4)
+	errs := make([]error, 4)
+	done := make(chan int, 4)
+	for i := 0; i < 4; i++ {
+		go func(i int) {
+			f, err := fs.Open("/shared", cl.dial(), capability.Read)
+			if err != nil {
+				errs[i] = err
+				done <- i
+				return
+			}
+			results[i], errs[i] = f.ReadAt(uint64(i*quarter), quarter)
+			done <- i
+		}(i)
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	for i := 0; i < 4; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(results[i], data[i*quarter:(i+1)*quarter]) {
+			t.Fatalf("client %d read wrong data", i)
+		}
+	}
+}
+
+func TestListIO(t *testing.T) {
+	cl := newCluster(t, 2)
+	fs := NewFS(cl.mgr, Config{StripeUnit: 16 << 10, Width: 2})
+	if err := fs.Create("/batch", 0); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Open("/batch", cl.dial(), capability.Read|capability.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("0123456789"), 10_000)
+	if err := f.WriteAt(0, data); err != nil {
+		t.Fatal(err)
+	}
+	outs, err := f.ListIO([]uint64{0, 50_000, 99_990}, []int{10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range [][]byte{data[:10], data[50_000:50_010], data[99_990:100_000]} {
+		if !bytes.Equal(outs[i], want) {
+			t.Fatalf("listio[%d] = %q want %q", i, outs[i], want)
+		}
+	}
+	if _, err := f.ListIO([]uint64{0}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched ListIO accepted")
+	}
+}
+
+func TestRemoveAndList(t *testing.T) {
+	cl := newCluster(t, 2)
+	fs := NewFS(cl.mgr, Config{Width: 2})
+	if err := fs.Create("/a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/b", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := fs.List(); len(got) != 2 {
+		t.Fatalf("list = %v", got)
+	}
+	if err := fs.Remove("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if _, err := fs.Open("/a", cl.dial(), capability.Read); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("open removed: %v", err)
+	}
+}
+
+// TestMiningOverPFS runs the full parallel pass-1 scan over a striped
+// PFS file — the Figure 9 functional pipeline end to end.
+func TestMiningOverPFS(t *testing.T) {
+	cl := newCluster(t, 4)
+	fs := NewFS(cl.mgr, Config{StripeUnit: 512 << 10, Width: 4})
+	data := mining.Generate(mining.GenConfig{CatalogSize: 300, TotalBytes: 4 * mining.ChunkSize, Seed: 11})
+	if err := fs.Create("/sales", 0); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := fs.Open("/sales", cl.dial(), capability.Read|capability.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load in 1 MB writes.
+	for off := 0; off < len(data); off += 1 << 20 {
+		end := off + 1<<20
+		if end > len(data) {
+			end = len(data)
+		}
+		if err := loader.WriteAt(uint64(off), data[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want := make([]uint32, 300)
+	mining.CountItems(data, want)
+
+	// Three parallel mining clients, each with its own connections.
+	var sources []mining.Source
+	for i := 0; i < 3; i++ {
+		f, err := fs.Open("/sales", cl.dial(), capability.Read)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources = append(sources, f)
+	}
+	got, err := mining.ParallelCount(sources, uint64(len(data)), mining.ParallelConfig{Catalog: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("mining counts over PFS differ from direct scan")
+	}
+}

@@ -1,0 +1,215 @@
+package rpc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Handler processes one request and returns a reply. Implementations
+// must set the reply's MsgID from the request.
+type Handler interface {
+	Handle(req *Request) *Reply
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req *Request) *Reply
+
+// Handle calls f(req).
+func (f HandlerFunc) Handle(req *Request) *Reply { return f(req) }
+
+// Server serves NASD RPC requests from any number of connections.
+type Server struct {
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	lns     []Listener
+	conns   map[Conn]bool
+	closed  bool
+}
+
+// NewServer returns a server dispatching to handler.
+func NewServer(handler Handler) *Server {
+	return &Server{handler: handler, conns: make(map[Conn]bool)}
+}
+
+// Serve accepts connections from l until the listener is closed. It
+// blocks; run it on its own goroutine.
+func (s *Server) Serve(l Listener) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return
+	}
+	s.lns = append(s.lns, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		raw, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		msg, err := DecodeMessage(raw)
+		if err != nil {
+			// Malformed traffic: drop the connection.
+			return
+		}
+		req, ok := msg.(*Request)
+		if !ok {
+			return
+		}
+		reply := s.handler.Handle(req)
+		if reply == nil {
+			reply = Errorf(req.MsgID, StatusError, "handler returned no reply")
+		}
+		reply.MsgID = req.MsgID
+		if err := conn.Send(EncodeReply(reply)); err != nil {
+			return
+		}
+	}
+}
+
+// Close closes all listeners and open connections, then waits for
+// connection goroutines to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	lns := s.lns
+	s.lns = nil
+	conns := make([]Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, l := range lns {
+		l.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+// Client multiplexes concurrent calls over one connection.
+type Client struct {
+	conn    Conn
+	nextID  atomic.Uint64
+	mu      sync.Mutex
+	pending map[uint64]chan *Reply
+	closed  bool
+	readErr error
+}
+
+// NewClient wraps conn and starts the demultiplexing loop.
+func NewClient(conn Conn) *Client {
+	c := &Client{conn: conn, pending: make(map[uint64]chan *Reply)}
+	go c.recvLoop()
+	return c
+}
+
+func (c *Client) recvLoop() {
+	for {
+		raw, err := c.conn.Recv()
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		msg, err := DecodeMessage(raw)
+		if err != nil {
+			c.failAll(err)
+			return
+		}
+		reply, ok := msg.(*Reply)
+		if !ok {
+			c.failAll(fmt.Errorf("rpc: server sent a request"))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[reply.MsgID]
+		if ok {
+			delete(c.pending, reply.MsgID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- reply
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	c.readErr = err
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+}
+
+// Call sends req and blocks for its reply. Concurrent calls are
+// multiplexed by message ID.
+func (c *Client) Call(req *Request) (*Reply, error) {
+	req.MsgID = c.nextID.Add(1)
+	ch := make(chan *Reply, 1)
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	c.pending[req.MsgID] = ch
+	c.mu.Unlock()
+
+	if err := c.conn.Send(EncodeRequest(req)); err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.MsgID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	reply, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+	return reply, nil
+}
+
+// Close tears down the connection; in-flight calls fail.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,65 @@
+package rpc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: DecodeMessage never panics and never fabricates a valid
+// message from random bytes that lack the magic.
+func TestDecodeMessageRobustness(t *testing.T) {
+	f := func(b []byte) bool {
+		msg, err := DecodeMessage(b)
+		if err != nil {
+			return msg == nil
+		}
+		// Anything accepted must round-trip to identical bytes when
+		// re-encoded (canonical encoding).
+		switch m := msg.(type) {
+		case *Request:
+			re, err2 := DecodeMessage(EncodeRequest(m))
+			return err2 == nil && re != nil
+		case *Reply:
+			re, err2 := DecodeMessage(EncodeReply(m))
+			return err2 == nil && re != nil
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: truncating a valid encoded request at any byte boundary
+// either fails to decode or decodes without panicking — never a crash.
+func TestTruncationRobustness(t *testing.T) {
+	req := &Request{
+		Proc: 3,
+		Cap:  make([]byte, 59),
+		Args: make([]byte, 40),
+		Data: make([]byte, 300),
+	}
+	wire := EncodeRequest(req)
+	for n := 0; n <= len(wire); n++ {
+		_, _ = DecodeMessage(wire[:n]) // must not panic
+	}
+	rep := &Reply{Status: StatusOK, Msg: "fine", Args: make([]byte, 10), Data: make([]byte, 99)}
+	wire = EncodeReply(rep)
+	for n := 0; n <= len(wire); n++ {
+		_, _ = DecodeMessage(wire[:n])
+	}
+}
+
+// Property: random bit flips in a valid message never panic the
+// decoder.
+func TestBitFlipRobustness(t *testing.T) {
+	req := &Request{Proc: 1, Args: []byte("args"), Data: make([]byte, 128)}
+	wire := EncodeRequest(req)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		mut := append([]byte(nil), wire...)
+		mut[rng.Intn(len(mut))] ^= 1 << rng.Intn(8)
+		_, _ = DecodeMessage(mut)
+	}
+}

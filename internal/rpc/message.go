@@ -1,0 +1,190 @@
+package rpc
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"nasd/internal/crypt"
+)
+
+// Magic identifies NASD RPC messages on the wire.
+const Magic uint32 = 0x4E52_5043 // "NRPC"
+
+// Message kinds.
+const (
+	kindRequest uint8 = 1
+	kindReply   uint8 = 2
+)
+
+// Security option flags carried in the security header (Figure 5:
+// "indicates key and security options to use when handling request").
+const (
+	// SecNone disables integrity checks (the configuration the paper's
+	// measurements ran, since its prototype lacked MAC hardware).
+	SecNone uint8 = 0
+	// SecIntegrity enables request/overall digests.
+	SecIntegrity uint8 = 1
+)
+
+// Status codes carried in replies.
+type Status uint16
+
+// Reply status values.
+const (
+	StatusOK Status = iota
+	StatusError
+	StatusAuthFailure // capability or digest rejected: revisit file manager
+	StatusReplay
+	StatusNoObject
+	StatusNoPartition
+	StatusQuota
+	StatusBadRequest
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusError:
+		return "error"
+	case StatusAuthFailure:
+		return "auth-failure"
+	case StatusReplay:
+		return "replay"
+	case StatusNoObject:
+		return "no-object"
+	case StatusNoPartition:
+		return "no-partition"
+	case StatusQuota:
+		return "quota"
+	case StatusBadRequest:
+		return "bad-request"
+	}
+	return fmt.Sprintf("status(%d)", uint16(s))
+}
+
+// Request is one NASD RPC request, mirroring Figure 5's layering.
+type Request struct {
+	MsgID   uint64
+	Proc    uint16
+	SecOpts uint8
+	Cap     []byte // encoded capability public portion (nil if none)
+	Args    []byte
+	Data    []byte // bulk payload (write data)
+	Nonce   crypt.Nonce
+	ReqDig  crypt.Digest // keyed by the capability's private portion
+	AllDig  crypt.Digest // covers the bulk data too
+}
+
+// SigningBody returns the byte string the request digest covers: the
+// procedure, capability, args, nonce, and a hash of the bulk data (so
+// data tampering is caught without digesting the data twice).
+func (r *Request) SigningBody() []byte {
+	var e Encoder
+	e.U16(r.Proc)
+	e.Bytes32(r.Cap)
+	e.Bytes32(r.Args)
+	e.U64(r.Nonce.Client)
+	e.U64(r.Nonce.Counter)
+	sum := sha256.Sum256(r.Data)
+	e.Raw(sum[:])
+	return e.Bytes()
+}
+
+// Reply is one NASD RPC reply.
+type Reply struct {
+	MsgID  uint64
+	Status Status
+	Msg    string // human-readable error detail (empty on success)
+	Args   []byte
+	Data   []byte // bulk payload (read data)
+}
+
+// Errorf builds an error reply.
+func Errorf(id uint64, st Status, format string, args ...any) *Reply {
+	return &Reply{MsgID: id, Status: st, Msg: fmt.Sprintf(format, args...)}
+}
+
+// EncodeRequest serializes a request (without transport framing).
+func EncodeRequest(r *Request) []byte {
+	var e Encoder
+	e.U32(Magic)
+	e.U8(kindRequest)
+	e.U64(r.MsgID)
+	e.U16(r.Proc)
+	e.U8(r.SecOpts)
+	e.Bytes32(r.Cap)
+	e.Bytes32(r.Args)
+	e.Bytes32(r.Data)
+	e.U64(r.Nonce.Client)
+	e.U64(r.Nonce.Counter)
+	e.Raw(r.ReqDig[:])
+	e.Raw(r.AllDig[:])
+	return e.Bytes()
+}
+
+// EncodeReply serializes a reply (without transport framing).
+func EncodeReply(r *Reply) []byte {
+	var e Encoder
+	e.U32(Magic)
+	e.U8(kindReply)
+	e.U64(r.MsgID)
+	e.U16(uint16(r.Status))
+	e.String(r.Msg)
+	e.Bytes32(r.Args)
+	e.Bytes32(r.Data)
+	return e.Bytes()
+}
+
+// Decode errors.
+var (
+	ErrBadMagic = errors.New("rpc: bad magic")
+	ErrBadKind  = errors.New("rpc: unexpected message kind")
+)
+
+// DecodeMessage parses a wire message into either a *Request or *Reply.
+func DecodeMessage(b []byte) (any, error) {
+	d := NewDecoder(b)
+	if d.U32() != Magic {
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return nil, ErrBadMagic
+	}
+	switch kind := d.U8(); kind {
+	case kindRequest:
+		r := &Request{}
+		r.MsgID = d.U64()
+		r.Proc = d.U16()
+		r.SecOpts = d.U8()
+		r.Cap = d.Bytes32()
+		r.Args = d.Bytes32()
+		r.Data = d.Bytes32()
+		r.Nonce.Client = d.U64()
+		r.Nonce.Counter = d.U64()
+		copy(r.ReqDig[:], d.Raw(crypt.DigestSize))
+		copy(r.AllDig[:], d.Raw(crypt.DigestSize))
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case kindReply:
+		r := &Reply{}
+		r.MsgID = d.U64()
+		r.Status = Status(d.U16())
+		r.Msg = d.String()
+		r.Args = d.Bytes32()
+		r.Data = d.Bytes32()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	default:
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return nil, fmt.Errorf("%w: %d", ErrBadKind, kind)
+	}
+}

@@ -1,0 +1,239 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Conn is a reliable, message-oriented connection (the "SAN" of the
+// paper: the same interface runs over in-process channels for tests and
+// simulations, or TCP for real deployments).
+type Conn interface {
+	// Send transmits one message.
+	Send(msg []byte) error
+	// Recv blocks for the next message.
+	Recv() ([]byte, error)
+	// Close tears down the connection; pending Recv calls fail.
+	Close() error
+}
+
+// Listener accepts connections.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// ErrClosed is returned by operations on closed connections/listeners.
+var ErrClosed = errors.New("rpc: connection closed")
+
+// --- In-process transport ------------------------------------------------
+
+type inprocConn struct {
+	out  chan []byte
+	in   chan []byte
+	once sync.Once
+	done chan struct{}
+	peer *inprocConn
+}
+
+// Pipe returns a connected pair of in-process connections.
+func Pipe() (Conn, Conn) {
+	a2b := make(chan []byte, 64)
+	b2a := make(chan []byte, 64)
+	a := &inprocConn{out: a2b, in: b2a, done: make(chan struct{})}
+	b := &inprocConn{out: b2a, in: a2b, done: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+func (c *inprocConn) Send(msg []byte) error {
+	// Deterministically fail when either side already closed; without
+	// this pre-check, a buffered-channel send could race the closure.
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-c.peer.done:
+		return ErrClosed
+	default:
+	}
+	cp := make([]byte, len(msg))
+	copy(cp, msg)
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-c.peer.done:
+		return ErrClosed
+	case c.out <- cp:
+		return nil
+	}
+}
+
+func (c *inprocConn) Recv() ([]byte, error) {
+	select {
+	case <-c.done:
+		return nil, ErrClosed
+	case msg, ok := <-c.in:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return msg, nil
+	case <-c.peer.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case msg := <-c.in:
+			return msg, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *inprocConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// InProcListener is an in-process listener: servers Accept from it and
+// clients Dial it directly, with no global registry.
+type InProcListener struct {
+	mu     sync.Mutex
+	queue  chan Conn
+	closed bool
+	name   string
+}
+
+// NewInProcListener returns a listener with the given display name.
+func NewInProcListener(name string) *InProcListener {
+	return &InProcListener{queue: make(chan Conn, 16), name: name}
+}
+
+// Dial connects to the listener, returning the client side.
+func (l *InProcListener) Dial() (Conn, error) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrClosed
+	}
+	l.mu.Unlock()
+	client, server := Pipe()
+	select {
+	case l.queue <- server:
+		return client, nil
+	default:
+		client.Close()
+		server.Close()
+		return nil, fmt.Errorf("rpc: listener %s backlog full", l.name)
+	}
+}
+
+// Accept implements Listener.
+func (l *InProcListener) Accept() (Conn, error) {
+	c, ok := <-l.queue
+	if !ok {
+		return nil, ErrClosed
+	}
+	return c, nil
+}
+
+// Close implements Listener.
+func (l *InProcListener) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.queue)
+	}
+	return nil
+}
+
+// Addr implements Listener.
+func (l *InProcListener) Addr() string { return "inproc://" + l.name }
+
+// --- TCP transport ---------------------------------------------------------
+
+// maxFrame bounds a single message (16 MB covers the largest experiment
+// transfers with room to spare and prevents hostile length prefixes from
+// allocating unbounded memory).
+const maxFrame = 16 << 20
+
+type tcpConn struct {
+	c       net.Conn
+	sendMu  sync.Mutex
+	recvMu  sync.Mutex
+	lenBuf  [4]byte
+	recvLen [4]byte
+}
+
+// NewTCPConn wraps a net.Conn with 4-byte length framing.
+func NewTCPConn(c net.Conn) Conn { return &tcpConn{c: c} }
+
+// DialTCP connects to a NASD TCP endpoint.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPConn(c), nil
+}
+
+func (t *tcpConn) Send(msg []byte) error {
+	if len(msg) > maxFrame {
+		return fmt.Errorf("rpc: frame too large (%d bytes)", len(msg))
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	binary.BigEndian.PutUint32(t.lenBuf[:], uint32(len(msg)))
+	if _, err := t.c.Write(t.lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := t.c.Write(msg)
+	return err
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	if _, err := io.ReadFull(t.c, t.recvLen[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(t.recvLen[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("rpc: oversized frame (%d bytes)", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(t.c, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+type tcpListener struct {
+	l net.Listener
+}
+
+// ListenTCP starts a TCP listener on addr (e.g. "127.0.0.1:0").
+func ListenTCP(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewTCPConn(c), nil
+}
+
+func (t *tcpListener) Close() error { return t.l.Close() }
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }

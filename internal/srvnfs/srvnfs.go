@@ -1,0 +1,487 @@
+// Package srvnfs is the traditional distributed-filesystem baseline the
+// paper compares against: a store-and-forward NFS-style server that
+// owns its disks and copies every byte of client data through itself
+// (organization 2 of Figure 2). Clients never talk to storage; the
+// server machine's CPU, memory system, and network links sit on the
+// data path, which is exactly the bottleneck NASD removes.
+//
+// The server runs over the same RPC substrate as NASD drives so the
+// functional comparison (e.g. the Andrew-style benchmark) exercises
+// identical transports.
+package srvnfs
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/object"
+	"nasd/internal/rpc"
+)
+
+// Procedure numbers (a compact NFS-flavoured protocol).
+const (
+	opLookup uint16 = iota + 1
+	opRead
+	opWrite
+	opGetAttr
+	opCreate
+	opRemove
+	opMkdir
+	opReadDir
+	opRename
+)
+
+// Errors.
+var (
+	ErrNotFound = errors.New("srvnfs: no such file or directory")
+	ErrExists   = errors.New("srvnfs: already exists")
+	ErrNotDir   = errors.New("srvnfs: not a directory")
+	ErrNotEmpty = errors.New("srvnfs: directory not empty")
+	ErrBadPath  = errors.New("srvnfs: invalid path")
+)
+
+// node is one namespace entry. The server keeps the namespace in
+// memory (its role here is a performance and semantics baseline, not a
+// durability study); file bytes live in per-disk object stores.
+type node struct {
+	isDir    bool
+	children map[string]*node // directories
+	store    int              // files: which disk's object store
+	obj      uint64           // files: object ID
+}
+
+// Server is a store-and-forward NFS server over a set of disks.
+type Server struct {
+	mu     sync.Mutex
+	stores []*object.Store
+	root   *node
+	next   int
+}
+
+// NewServer formats the given devices and serves files striped across
+// them one-file-per-disk (the paper's NFS-parallel configuration reads
+// one file per disk; the single-file case places one file on one disk).
+func NewServer(devs []blockdev.Device) (*Server, error) {
+	if len(devs) == 0 {
+		return nil, errors.New("srvnfs: no disks")
+	}
+	s := &Server{root: &node{isDir: true, children: map[string]*node{}}}
+	for _, dev := range devs {
+		st, err := object.Format(dev, object.Config{})
+		if err != nil {
+			return nil, err
+		}
+		if err := st.CreatePartition(1, 0); err != nil {
+			return nil, err
+		}
+		s.stores = append(s.stores, st)
+	}
+	return s, nil
+}
+
+func splitPath(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, ErrBadPath
+	}
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		switch p {
+		case "", ".":
+		case "..":
+			return nil, ErrBadPath
+		default:
+			parts = append(parts, p)
+		}
+	}
+	return parts, nil
+}
+
+// walk resolves a path; caller holds mu.
+func (s *Server) walk(path string) (*node, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := s.root
+	for _, name := range parts {
+		if !cur.isDir {
+			return nil, ErrNotDir
+		}
+		next, ok := cur.children[name]
+		if !ok {
+			return nil, ErrNotFound
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+func (s *Server) walkParent(path string) (*node, string, error) {
+	parts, err := splitPath(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", ErrBadPath
+	}
+	cur := s.root
+	for _, name := range parts[:len(parts)-1] {
+		next, ok := cur.children[name]
+		if !ok || !next.isDir {
+			return nil, "", ErrNotFound
+		}
+		cur = next
+	}
+	return cur, parts[len(parts)-1], nil
+}
+
+// --- direct (in-process) API ------------------------------------------------
+
+// Create makes a file, placing it on the next disk round-robin.
+func (s *Server) Create(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent, name, err := s.walkParent(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := parent.children[name]; ok {
+		return ErrExists
+	}
+	idx := s.next % len(s.stores)
+	s.next++
+	obj, err := s.stores[idx].Create(1)
+	if err != nil {
+		return err
+	}
+	parent.children[name] = &node{store: idx, obj: obj}
+	return nil
+}
+
+// Mkdir makes a directory.
+func (s *Server) Mkdir(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent, name, err := s.walkParent(path)
+	if err != nil {
+		return err
+	}
+	if _, ok := parent.children[name]; ok {
+		return ErrExists
+	}
+	parent.children[name] = &node{isDir: true, children: map[string]*node{}}
+	return nil
+}
+
+// Remove unlinks a file or empty directory.
+func (s *Server) Remove(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parent, name, err := s.walkParent(path)
+	if err != nil {
+		return err
+	}
+	n, ok := parent.children[name]
+	if !ok {
+		return ErrNotFound
+	}
+	if n.isDir {
+		if len(n.children) > 0 {
+			return ErrNotEmpty
+		}
+	} else if err := s.stores[n.store].Remove(1, n.obj); err != nil {
+		return err
+	}
+	delete(parent.children, name)
+	return nil
+}
+
+// Rename moves an entry.
+func (s *Server) Rename(oldPath, newPath string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op, oldName, err := s.walkParent(oldPath)
+	if err != nil {
+		return err
+	}
+	np, newName, err := s.walkParent(newPath)
+	if err != nil {
+		return err
+	}
+	n, ok := op.children[oldName]
+	if !ok {
+		return ErrNotFound
+	}
+	if _, ok := np.children[newName]; ok {
+		return ErrExists
+	}
+	delete(op.children, oldName)
+	np.children[newName] = n
+	return nil
+}
+
+// Read returns file bytes — through the server, by definition.
+func (s *Server) Read(path string, off uint64, n int) ([]byte, error) {
+	s.mu.Lock()
+	nd, err := s.walk(path)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if nd.isDir {
+		return nil, ErrNotDir
+	}
+	return s.stores[nd.store].Read(1, nd.obj, off, n)
+}
+
+// Write stores file bytes through the server.
+func (s *Server) Write(path string, off uint64, data []byte) error {
+	s.mu.Lock()
+	nd, err := s.walk(path)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if nd.isDir {
+		return ErrNotDir
+	}
+	return s.stores[nd.store].Write(1, nd.obj, off, data)
+}
+
+// GetAttr returns file attributes through the server.
+func (s *Server) GetAttr(path string) (object.Attributes, error) {
+	s.mu.Lock()
+	nd, err := s.walk(path)
+	s.mu.Unlock()
+	if err != nil {
+		return object.Attributes{}, err
+	}
+	if nd.isDir {
+		return object.Attributes{}, ErrNotDir
+	}
+	return s.stores[nd.store].GetAttr(1, nd.obj)
+}
+
+// ReadDir lists a directory.
+func (s *Server) ReadDir(path string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nd, err := s.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if !nd.isDir {
+		return nil, ErrNotDir
+	}
+	out := make([]string, 0, len(nd.children))
+	for name := range nd.children {
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// --- RPC service --------------------------------------------------------------
+
+func statusFor(err error) rpc.Status {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return rpc.StatusNoObject
+	case errors.Is(err, ErrExists), errors.Is(err, ErrNotDir),
+		errors.Is(err, ErrNotEmpty), errors.Is(err, ErrBadPath):
+		return rpc.StatusBadRequest
+	default:
+		return rpc.StatusError
+	}
+}
+
+// Handle implements rpc.Handler so the baseline serves the same
+// transports as NASD drives.
+func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
+	d := rpc.NewDecoder(req.Args)
+	fail := func(err error) *rpc.Reply {
+		return rpc.Errorf(req.MsgID, statusFor(err), "%v", err)
+	}
+	switch req.Proc {
+	case opRead:
+		path := d.String()
+		off := d.U64()
+		n := d.U32()
+		if d.Err() != nil {
+			return fail(d.Err())
+		}
+		data, err := s.Read(path, off, int(n))
+		if err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK, Data: data}
+	case opWrite:
+		path := d.String()
+		off := d.U64()
+		if d.Err() != nil {
+			return fail(d.Err())
+		}
+		if err := s.Write(path, off, req.Data); err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	case opGetAttr:
+		path := d.String()
+		if d.Err() != nil {
+			return fail(d.Err())
+		}
+		a, err := s.GetAttr(path)
+		if err != nil {
+			return fail(err)
+		}
+		var e rpc.Encoder
+		e.U64(a.Size)
+		e.I64(a.ModTime.Unix())
+		return &rpc.Reply{Status: rpc.StatusOK, Args: e.Bytes()}
+	case opCreate:
+		if err := s.Create(d.String()); err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	case opMkdir:
+		if err := s.Mkdir(d.String()); err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	case opRemove:
+		if err := s.Remove(d.String()); err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	case opRename:
+		oldP := d.String()
+		newP := d.String()
+		if err := s.Rename(oldP, newP); err != nil {
+			return fail(err)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK}
+	case opReadDir:
+		names, err := s.ReadDir(d.String())
+		if err != nil {
+			return fail(err)
+		}
+		var e rpc.Encoder
+		e.U32(uint32(len(names)))
+		for _, n := range names {
+			e.String(n)
+		}
+		return &rpc.Reply{Status: rpc.StatusOK, Args: e.Bytes()}
+	default:
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "unknown proc %d", req.Proc)
+	}
+}
+
+var _ rpc.Handler = (*Server)(nil)
+
+// Client is an NFS client of the store-and-forward server.
+type Client struct {
+	cli *rpc.Client
+}
+
+// NewClient wraps a connection to the server.
+func NewClient(conn rpc.Conn) *Client { return &Client{cli: rpc.NewClient(conn)} }
+
+// Close releases the connection.
+func (c *Client) Close() error { return c.cli.Close() }
+
+func (c *Client) call(proc uint16, args, data []byte) (*rpc.Reply, error) {
+	rep, err := c.cli.Call(&rpc.Request{Proc: proc, Args: args, Data: data})
+	if err != nil {
+		return nil, err
+	}
+	if rep.Status != rpc.StatusOK {
+		return nil, fmt.Errorf("srvnfs: %v: %s", rep.Status, rep.Msg)
+	}
+	return rep, nil
+}
+
+// Read fetches file bytes via the server.
+func (c *Client) Read(path string, off uint64, n int) ([]byte, error) {
+	var e rpc.Encoder
+	e.String(path)
+	e.U64(off)
+	e.U32(uint32(n))
+	rep, err := c.call(opRead, e.Bytes(), nil)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Data, nil
+}
+
+// Write stores file bytes via the server.
+func (c *Client) Write(path string, off uint64, data []byte) error {
+	var e rpc.Encoder
+	e.String(path)
+	e.U64(off)
+	_, err := c.call(opWrite, e.Bytes(), data)
+	return err
+}
+
+// GetAttr fetches size and mtime via the server.
+func (c *Client) GetAttr(path string) (size uint64, mtimeUnix int64, err error) {
+	var e rpc.Encoder
+	e.String(path)
+	rep, err := c.call(opGetAttr, e.Bytes(), nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	d := rpc.NewDecoder(rep.Args)
+	return d.U64(), d.I64(), d.Err()
+}
+
+// Create makes a file.
+func (c *Client) Create(path string) error {
+	var e rpc.Encoder
+	e.String(path)
+	_, err := c.call(opCreate, e.Bytes(), nil)
+	return err
+}
+
+// Mkdir makes a directory.
+func (c *Client) Mkdir(path string) error {
+	var e rpc.Encoder
+	e.String(path)
+	_, err := c.call(opMkdir, e.Bytes(), nil)
+	return err
+}
+
+// Remove unlinks.
+func (c *Client) Remove(path string) error {
+	var e rpc.Encoder
+	e.String(path)
+	_, err := c.call(opRemove, e.Bytes(), nil)
+	return err
+}
+
+// Rename moves.
+func (c *Client) Rename(oldPath, newPath string) error {
+	var e rpc.Encoder
+	e.String(oldPath)
+	e.String(newPath)
+	_, err := c.call(opRename, e.Bytes(), nil)
+	return err
+}
+
+// ReadDir lists.
+func (c *Client) ReadDir(path string) ([]string, error) {
+	var e rpc.Encoder
+	e.String(path)
+	rep, err := c.call(opReadDir, e.Bytes(), nil)
+	if err != nil {
+		return nil, err
+	}
+	d := rpc.NewDecoder(rep.Args)
+	n := int(d.U32())
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, d.String())
+	}
+	return out, d.Err()
+}

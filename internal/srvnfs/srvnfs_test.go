@@ -1,0 +1,146 @@
+package srvnfs
+
+import (
+	"bytes"
+	"errors"
+	"sort"
+	"testing"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/rpc"
+)
+
+func newServer(t *testing.T, nDisks int) *Server {
+	t.Helper()
+	var devs []blockdev.Device
+	for i := 0; i < nDisks; i++ {
+		devs = append(devs, blockdev.NewMemDisk(4096, 4096))
+	}
+	s, err := NewServer(devs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDirectAPIRoundTrip(t *testing.T) {
+	s := newServer(t, 2)
+	if err := s.Mkdir("/dir"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("/dir/file"); err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{7}, 20000)
+	if err := s.Write("/dir/file", 0, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read("/dir/file", 0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("round trip: %v", err)
+	}
+	a, err := s.GetAttr("/dir/file")
+	if err != nil || a.Size != uint64(len(data)) {
+		t.Fatalf("attr = %+v, %v", a, err)
+	}
+}
+
+func TestNamespaceSemantics(t *testing.T) {
+	s := newServer(t, 1)
+	if err := s.Create("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("/f"); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if err := s.Remove("/missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("remove missing: %v", err)
+	}
+	if err := s.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("/d/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("remove non-empty: %v", err)
+	}
+	if err := s.Rename("/d/x", "/y"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read("/y/z", 0, 1); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("walk through file: %v", err)
+	}
+}
+
+func TestFilesSpreadRoundRobin(t *testing.T) {
+	s := newServer(t, 3)
+	for _, name := range []string{"/a", "/b", "/c"} {
+		if err := s.Create(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	used := map[int]bool{}
+	s.mu.Lock()
+	for _, n := range s.root.children {
+		used[n.store] = true
+	}
+	s.mu.Unlock()
+	if len(used) != 3 {
+		t.Fatalf("files on %d of 3 disks", len(used))
+	}
+}
+
+func TestRPCClientServer(t *testing.T) {
+	s := newServer(t, 2)
+	l := rpc.NewInProcListener("nfs")
+	srv := rpc.NewServer(s)
+	go srv.Serve(l)
+	t.Cleanup(srv.Close)
+
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn)
+	t.Cleanup(func() { c.Close() })
+
+	if err := c.Mkdir("/home"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Create("/home/notes"); err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("srv"), 5000)
+	if err := c.Write("/home/notes", 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Read("/home/notes", 0, len(payload))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("rpc round trip: %v", err)
+	}
+	size, _, err := c.GetAttr("/home/notes")
+	if err != nil || size != uint64(len(payload)) {
+		t.Fatalf("attr: %d, %v", size, err)
+	}
+	if err := c.Rename("/home/notes", "/home/log"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.ReadDir("/home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	if len(names) != 1 || names[0] != "log" {
+		t.Fatalf("readdir = %v", names)
+	}
+	if err := c.Remove("/home/log"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read("/home/log", 0, 1); err == nil {
+		t.Fatal("read of removed file succeeded")
+	}
+}
