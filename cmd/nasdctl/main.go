@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -45,6 +46,7 @@ func main() {
 	driveID := flag.Uint64("id", 1, "drive identity")
 	masterHex := flag.String("master", "", "master key (64 hex chars)")
 	insecure := flag.Bool("insecure", false, "talk to an insecure drive")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-command deadline (0 = none)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -72,16 +74,24 @@ func main() {
 	if err != nil {
 		log.Fatalf("nasdctl: dial: %v", err)
 	}
-	cli := client.New(conn, *driveID, uint64(os.Getpid())<<32|uint64(time.Now().UnixNano()&0xffffffff), !*insecure)
+	cli := client.New(conn, *driveID, uint64(os.Getpid())<<32|uint64(time.Now().UnixNano()&0xffffffff),
+		client.WithSecurity(!*insecure))
 	defer cli.Close()
 
-	c := ctl{cli: cli, driveID: *driveID, master: master, keys: crypt.NewHierarchy(master), secure: !*insecure}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	c := ctl{ctx: ctx, cli: cli, driveID: *driveID, master: master, keys: crypt.NewHierarchy(master), secure: !*insecure}
 	if err := c.run(args); err != nil {
 		log.Fatalf("nasdctl: %v", err)
 	}
 }
 
 type ctl struct {
+	ctx     context.Context
 	cli     *client.Drive
 	driveID uint64
 	master  crypt.Key
@@ -118,7 +128,7 @@ func (c *ctl) objCap(part uint16, obj uint64, rights capability.Rights) (*capabi
 	if err != nil {
 		return nil, err
 	}
-	attrs, err := c.cli.GetAttr(&wc, part, obj)
+	attrs, err := c.cli.GetAttr(c.ctx, &wc, part, obj)
 	if err != nil {
 		return nil, err
 	}
@@ -152,13 +162,13 @@ func (c *ctl) run(args []string) error {
 		if len(rest) > 1 {
 			quota = int64(parseU(rest[1]))
 		}
-		return c.cli.CreatePartition(c.masterID(), c.master, uint16(parseU(rest[0])), quota)
+		return c.cli.CreatePartition(c.ctx, c.masterID(), c.master, uint16(parseU(rest[0])), quota)
 	case "rmpart":
 		need(1)
-		return c.cli.RemovePartition(c.masterID(), c.master, uint16(parseU(rest[0])))
+		return c.cli.RemovePartition(c.ctx, c.masterID(), c.master, uint16(parseU(rest[0])))
 	case "partinfo":
 		need(1)
-		p, err := c.cli.GetPartition(c.masterID(), c.master, uint16(parseU(rest[0])))
+		p, err := c.cli.GetPartition(c.ctx, c.masterID(), c.master, uint16(parseU(rest[0])))
 		if err != nil {
 			return err
 		}
@@ -176,7 +186,7 @@ func (c *ctl) run(args []string) error {
 			}
 			cp = &mc
 		}
-		id, err := c.cli.Create(cp, part)
+		id, err := c.cli.Create(c.ctx, cp, part)
 		if err != nil {
 			return err
 		}
@@ -190,7 +200,7 @@ func (c *ctl) run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return c.cli.Remove(cp, part, obj)
+		return c.cli.Remove(c.ctx, cp, part, obj)
 	case "list":
 		need(1)
 		part := uint16(parseU(rest[0]))
@@ -202,7 +212,7 @@ func (c *ctl) run(args []string) error {
 			}
 			cp = &mc
 		}
-		ids, err := c.cli.List(cp, part)
+		ids, err := c.cli.List(c.ctx, cp, part)
 		if err != nil {
 			return err
 		}
@@ -223,7 +233,7 @@ func (c *ctl) run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return c.cli.Write(cp, part, obj, off, data)
+		return c.cli.WritePipelined(c.ctx, cp, part, obj, off, data)
 	case "read":
 		need(4)
 		part := uint16(parseU(rest[0]))
@@ -232,7 +242,7 @@ func (c *ctl) run(args []string) error {
 		if err != nil {
 			return err
 		}
-		data, err := c.cli.Read(cp, part, obj, parseU(rest[2]), int(parseU(rest[3])))
+		data, err := c.cli.ReadPipelined(c.ctx, cp, part, obj, parseU(rest[2]), int(parseU(rest[3])))
 		if err != nil {
 			return err
 		}
@@ -246,7 +256,7 @@ func (c *ctl) run(args []string) error {
 		if err != nil {
 			return err
 		}
-		a, err := c.cli.GetAttr(cp, part, obj)
+		a, err := c.cli.GetAttr(c.ctx, cp, part, obj)
 		if err != nil {
 			return err
 		}
@@ -261,7 +271,7 @@ func (c *ctl) run(args []string) error {
 		if err != nil {
 			return err
 		}
-		id, err := c.cli.VersionObject(cp, part, obj)
+		id, err := c.cli.VersionObject(c.ctx, cp, part, obj)
 		if err != nil {
 			return err
 		}
@@ -275,14 +285,14 @@ func (c *ctl) run(args []string) error {
 		if err != nil {
 			return err
 		}
-		v, err := c.cli.BumpVersion(cp, part, obj)
+		v, err := c.cli.BumpVersion(c.ctx, cp, part, obj)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("new version %d\n", v)
 		return nil
 	case "flush":
-		return c.cli.Flush()
+		return c.cli.Flush(c.ctx)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

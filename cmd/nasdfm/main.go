@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -83,16 +84,17 @@ func main() {
 		if err != nil {
 			log.Fatalf("nasdfm: dialing drive %d at %s: %v", d.id, d.addr, err)
 		}
-		cli := client.New(conn, d.id, uint64(os.Getpid())<<16|uint64(i), true)
+		cli := client.New(conn, d.id, uint64(os.Getpid())<<16|uint64(i))
 		targets = append(targets, filemgr.DriveTarget{Client: cli, DriveID: d.id, Master: d.master})
 	}
 
+	ctx := context.Background()
 	var fm *filemgr.FM
 	var err error
 	if *mount {
-		fm, err = filemgr.Mount(filemgr.Config{Drives: targets})
+		fm, err = filemgr.Mount(ctx, filemgr.Config{Drives: targets})
 	} else {
-		fm, err = filemgr.Format(filemgr.Config{Drives: targets})
+		fm, err = filemgr.Format(ctx, filemgr.Config{Drives: targets})
 	}
 	if err != nil {
 		log.Fatalf("nasdfm: %v", err)

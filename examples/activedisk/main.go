@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"reflect"
@@ -32,6 +33,7 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
 	var targets []active.Target
 	var clis []*client.Drive
 	var shares [][]byte
@@ -74,7 +76,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cli := client.New(conn, uint64(1+i), uint64(50+i), true)
+		cli := client.New(conn, uint64(1+i), uint64(50+i))
 		clis = append(clis, cli)
 
 		kid, key, err := drv.Keys().CurrentWorkingKey(1)
@@ -101,7 +103,7 @@ func main() {
 			if off+uint64(n) > uint64(len(shares[i])) {
 				n = int(uint64(len(shares[i])) - off)
 			}
-			chunk, err := clis[i].Read(&tgt.Cap, 1, tgt.Object, off, n)
+			chunk, err := clis[i].ReadPipelined(ctx, &tgt.Cap, 1, tgt.Object, off, n)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -113,7 +115,7 @@ func main() {
 
 	// Active Disks way: ship the kernel, pull only count vectors.
 	start = time.Now()
-	driveCounts, err := active.Scan(targets, catalog)
+	driveCounts, err := active.Scan(ctx, targets, catalog)
 	if err != nil {
 		log.Fatal(err)
 	}

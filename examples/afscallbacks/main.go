@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -24,6 +25,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// --- server side: drive + file manager + AFS manager ------------------
 	master := crypt.NewRandomKey()
 	dev := blockdev.NewMemDisk(4096, 16384)
@@ -45,9 +48,9 @@ func main() {
 			log.Fatal(err)
 		}
 		clientSeq++
-		return client.New(conn, 1, clientSeq, true)
+		return client.New(conn, 1, clientSeq)
 	}
-	fm, err := filemgr.Format(filemgr.Config{
+	fm, err := filemgr.Format(ctx, filemgr.Config{
 		Drives: []filemgr.DriveTarget{{Client: dialDrive(), DriveID: 1, Master: master}},
 	})
 	if err != nil {
@@ -77,13 +80,13 @@ func main() {
 	writer := newClient(filemgr.Identity{UID: 10}, 1)
 	reader := newClient(filemgr.Identity{UID: 20}, 2)
 
-	if err := writer.Create("/report", 0o666); err != nil {
+	if err := writer.Create(ctx, "/report", 0o666); err != nil {
 		log.Fatal(err)
 	}
-	if err := writer.StoreData("/report", []byte("draft 1")); err != nil {
+	if err := writer.StoreData(ctx, "/report", []byte("draft 1")); err != nil {
 		log.Fatal(err)
 	}
-	data, err := reader.FetchData("/report")
+	data, err := reader.FetchData(ctx, "/report")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,7 +94,7 @@ func main() {
 		data, reader.Cached("/report"))
 
 	// A second fetch is served locally — zero network traffic.
-	if _, err := reader.FetchData("/report"); err != nil {
+	if _, err := reader.FetchData(ctx, "/report"); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("second fetch served from the whole-file cache")
@@ -99,7 +102,7 @@ func main() {
 	// The writer updates the file. Issuing the write capability breaks
 	// the reader's callback over its push connection before any data
 	// moves.
-	if err := writer.StoreData("/report", []byte("draft 2")); err != nil {
+	if err := writer.StoreData(ctx, "/report", []byte("draft 2")); err != nil {
 		log.Fatal(err)
 	}
 	for i := 0; reader.Cached("/report") && i < 200; i++ {
@@ -108,7 +111,7 @@ func main() {
 	fmt.Printf("after writer's store: reader cached=%v (callback broken, %d breaks received)\n",
 		reader.Cached("/report"), reader.CallbackBreaks())
 
-	data, err = reader.FetchData("/report")
+	data, err = reader.FetchData(ctx, "/report")
 	if err != nil {
 		log.Fatal(err)
 	}

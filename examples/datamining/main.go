@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -31,6 +32,8 @@ const (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// Cluster: four secure drives behind in-process transports.
 	var refs []cheops.DriveRef
 	var listeners []*rpc.InProcListener
@@ -48,9 +51,9 @@ func main() {
 		listeners = append(listeners, l)
 		conn, _ := l.Dial()
 		seq++
-		refs = append(refs, cheops.DriveRef{Client: client.New(conn, uint64(1+i), seq, true), DriveID: uint64(1 + i), Master: master})
+		refs = append(refs, cheops.DriveRef{Client: client.New(conn, uint64(1+i), seq), DriveID: uint64(1 + i), Master: master})
 	}
-	mgr, err := cheops.NewManager(cheops.ManagerConfig{Drives: refs}, true)
+	mgr, err := cheops.NewManager(ctx, cheops.ManagerConfig{Drives: refs}, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +66,7 @@ func main() {
 				log.Fatal(err)
 			}
 			seq++
-			out[i] = client.New(conn, uint64(1+i), seq, true)
+			out[i] = client.New(conn, uint64(1+i), seq)
 		}
 		return out
 	}
@@ -71,7 +74,7 @@ func main() {
 	// Generate and load the transaction file.
 	fmt.Printf("generating %d MB of sales transactions (catalog %d items)...\n", fileMB, catalog)
 	data := mining.Generate(mining.GenConfig{CatalogSize: catalog, MeanItems: 8, TotalBytes: fileMB << 20, Seed: 7})
-	if err := fs.Create("/sales", nDrives); err != nil {
+	if err := fs.Create(ctx, "/sales", nDrives); err != nil {
 		log.Fatal(err)
 	}
 	loader, err := fs.Open("/sales", dialAll(), capability.Read|capability.Write)
@@ -83,7 +86,7 @@ func main() {
 		if end > len(data) {
 			end = len(data)
 		}
-		if err := loader.WriteAt(uint64(off), data[off:end]); err != nil {
+		if err := loader.WriteAt(ctx, uint64(off), data[off:end]); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -100,7 +103,7 @@ func main() {
 		}
 		sources = append(sources, f)
 	}
-	counts, err := mining.ParallelCount(sources, uint64(len(data)), mining.ParallelConfig{Catalog: catalog})
+	counts, err := mining.ParallelCount(ctx, sources, uint64(len(data)), mining.ParallelConfig{Catalog: catalog})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -130,7 +133,7 @@ func main() {
 			if off+n > uint64(len(data)) {
 				n = uint64(len(data)) - off
 			}
-			chunk, err := reader.ReadAt(off, int(n))
+			chunk, err := reader.ReadAt(ctx, off, int(n))
 			if err != nil {
 				return err
 			}

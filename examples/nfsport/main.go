@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -79,17 +80,18 @@ func runNASD(cfg andrew.Config) []andrew.Counts {
 				log.Fatal(err)
 			}
 			seq++
-			return client.New(conn, uint64(1+i), seq, true)
+			return client.New(conn, uint64(1+i), seq)
 		}
 		targets = append(targets, filemgr.DriveTarget{Client: dial(), DriveID: uint64(1 + i), Master: master})
 		drives = append(drives, dial())
 	}
-	fm, err := filemgr.Format(filemgr.Config{Drives: targets})
+	ctx := context.Background()
+	fm, err := filemgr.Format(ctx, filemgr.Config{Drives: targets})
 	if err != nil {
 		log.Fatal(err)
 	}
 	cli := nasdnfs.New(fm, drives, filemgr.Identity{UID: 10})
-	if err := cli.Mkdir("/bench", 0o755); err != nil {
+	if err := cli.Mkdir(ctx, "/bench", 0o755); err != nil {
 		log.Fatal(err)
 	}
 	phases, err := andrew.Phases(nasdAdapter{cli}, "/bench", cfg)
@@ -98,16 +100,16 @@ func runNASD(cfg andrew.Config) []andrew.Counts {
 	}
 
 	// Demonstrate transparent revocation recovery mid-stream.
-	if err := cli.Create("/bench/revoked", 0o644); err != nil {
+	if err := cli.Create(ctx, "/bench/revoked", 0o644); err != nil {
 		log.Fatal(err)
 	}
-	if err := cli.Write("/bench/revoked", 0, []byte("before")); err != nil {
+	if err := cli.Write(ctx, "/bench/revoked", 0, []byte("before")); err != nil {
 		log.Fatal(err)
 	}
-	if err := fm.Revoke(filemgr.Identity{UID: 10}, "/bench/revoked"); err != nil {
+	if err := fm.Revoke(ctx, filemgr.Identity{UID: 10}, "/bench/revoked"); err != nil {
 		log.Fatal(err)
 	}
-	if got, err := cli.Read("/bench/revoked", 0, 6); err != nil || string(got) != "before" {
+	if got, err := cli.Read(ctx, "/bench/revoked", 0, 6); err != nil || string(got) != "before" {
 		log.Fatalf("revocation recovery failed: %q %v", got, err)
 	}
 	fmt.Println("  (revocation mid-stream recovered transparently via re-lookup)")
@@ -142,20 +144,20 @@ func runNFS(cfg andrew.Config) []andrew.Counts {
 
 type nasdAdapter struct{ c *nasdnfs.Client }
 
-func (a nasdAdapter) Mkdir(path string) error  { return a.c.Mkdir(path, 0o755) }
-func (a nasdAdapter) Create(path string) error { return a.c.Create(path, 0o644) }
+func (a nasdAdapter) Mkdir(path string) error  { return a.c.Mkdir(context.Background(), path, 0o755) }
+func (a nasdAdapter) Create(path string) error { return a.c.Create(context.Background(), path, 0o644) }
 func (a nasdAdapter) Write(path string, off uint64, data []byte) error {
-	return a.c.Write(path, off, data)
+	return a.c.Write(context.Background(), path, off, data)
 }
 func (a nasdAdapter) Read(path string, off uint64, n int) ([]byte, error) {
-	return a.c.Read(path, off, n)
+	return a.c.Read(context.Background(), path, off, n)
 }
 func (a nasdAdapter) Stat(path string) (uint64, error) {
-	attrs, err := a.c.GetAttr(path)
+	attrs, err := a.c.GetAttr(context.Background(), path)
 	return attrs.Size, err
 }
 func (a nasdAdapter) ReadDir(path string) ([]string, error) {
-	ents, err := a.c.ReadDir(path)
+	ents, err := a.c.ReadDir(context.Background(), path)
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -24,6 +25,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// --- Drive side -----------------------------------------------------
 	// A NASD drive is an object store plus a key hierarchy behind an
 	// RPC interface. The master key is shared with the file manager
@@ -49,9 +52,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	admin := client.New(adminConn, 42, 1, true)
+	admin := client.New(adminConn, 42, 1)
 	defer admin.Close()
-	if err := admin.CreatePartition(crypt.KeyID{Type: crypt.MasterKey}, master, 1, 0); err != nil {
+	if err := admin.CreatePartition(ctx, crypt.KeyID{Type: crypt.MasterKey}, master, 1, 0); err != nil {
 		log.Fatal(err)
 	}
 	if err := fmKeys.AddPartition(1); err != nil {
@@ -77,11 +80,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	cli := client.New(clientConn, 42, 2, true)
+	cli := client.New(clientConn, 42, 2)
 	defer cli.Close()
 
 	createCap := mint(0, 0, capability.CreateObj)
-	obj, err := cli.Create(&createCap, 1)
+	obj, err := cli.Create(ctx, &createCap, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,16 +92,16 @@ func main() {
 
 	rw := mint(obj, 1, capability.Read|capability.Write|capability.GetAttr)
 	payload := []byte("data moves drive<->client; the file manager only grants rights")
-	if err := cli.Write(&rw, 1, obj, 0, payload); err != nil {
+	if err := cli.Write(ctx, &rw, 1, obj, 0, payload); err != nil {
 		log.Fatal(err)
 	}
-	got, err := cli.Read(&rw, 1, obj, 0, len(payload))
+	got, err := cli.Read(ctx, &rw, 1, obj, 0, len(payload))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("read back: %q\n", got)
 
-	attrs, err := cli.GetAttr(&rw, 1, obj)
+	attrs, err := cli.GetAttr(ctx, &rw, 1, obj)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -108,15 +111,15 @@ func main() {
 	// The file manager invalidates every outstanding capability for the
 	// object by changing its logical version number.
 	fmCap := mint(obj, 1, capability.SetAttr)
-	newVer, err := cli.BumpVersion(&fmCap, 1, obj)
+	newVer, err := cli.BumpVersion(ctx, &fmCap, 1, obj)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := cli.Read(&rw, 1, obj, 0, 4); err != nil {
+	if _, err := cli.Read(ctx, &rw, 1, obj, 0, 4); err != nil {
 		fmt.Println("old capability after version bump:", err)
 	}
 	fresh := mint(obj, newVer, capability.Read)
-	if _, err := cli.Read(&fresh, 1, obj, 0, 4); err != nil {
+	if _, err := cli.Read(ctx, &fresh, 1, obj, 0, 4); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("fresh capability against version", newVer, "works")
@@ -129,14 +132,14 @@ func main() {
 		log.Fatal(err)
 	}
 	newKey, _ := fmKeys.Lookup(newKeyID)
-	if err := admin.SetKey(crypt.KeyID{Type: crypt.MasterKey}, master, newKeyID, newKey); err != nil {
+	if err := admin.SetKey(ctx, crypt.KeyID{Type: crypt.MasterKey}, master, newKeyID, newKey); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := cli.Read(&fresh, 1, obj, 0, 4); err != nil {
+	if _, err := cli.Read(ctx, &fresh, 1, obj, 0, 4); err != nil {
 		fmt.Println("capability after key rotation:", err)
 	}
 	rearmed := mint(obj, newVer, capability.Read)
-	data, err := cli.Read(&rearmed, 1, obj, 0, len(payload))
+	data, err := cli.Read(ctx, &rearmed, 1, obj, 0, len(payload))
 	if err != nil {
 		log.Fatal(err)
 	}

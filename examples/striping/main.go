@@ -11,6 +11,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const nDrives = 5
 	var refs []cheops.DriveRef
 	var listeners []*rpc.InProcListener
@@ -35,7 +37,7 @@ func main() {
 			log.Fatal(err)
 		}
 		clientSeq++
-		return client.New(conn, uint64(1+i), clientSeq, true)
+		return client.New(conn, uint64(1+i), clientSeq)
 	}
 
 	for i := 0; i < nDrives; i++ {
@@ -55,12 +57,12 @@ func main() {
 		}
 		clientSeq++
 		refs = append(refs, cheops.DriveRef{
-			Client:  client.New(conn, uint64(1+i), clientSeq, true),
+			Client:  client.New(conn, uint64(1+i), clientSeq),
 			DriveID: uint64(1 + i),
 			Master:  master,
 		})
 	}
-	mgr, err := cheops.NewManager(cheops.ManagerConfig{Drives: refs}, true)
+	mgr, err := cheops.NewManager(ctx, cheops.ManagerConfig{Drives: refs}, true)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func main() {
 	}
 
 	// --- RAID-0 stripe ----------------------------------------------------
-	stripeID, err := mgr.Create(cheops.Stripe0, 64<<10, 4, 0)
+	stripeID, err := mgr.Create(ctx, cheops.Stripe0, 64<<10, 4, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,17 +94,17 @@ func main() {
 	rng := rand.New(rand.NewSource(1))
 	data := make([]byte, 1<<20)
 	rng.Read(data)
-	if err := obj.WriteAt(0, data); err != nil {
+	if err := obj.WriteAt(ctx, 0, data); err != nil {
 		log.Fatal(err)
 	}
-	got, err := obj.ReadAt(0, len(data))
+	got, err := obj.ReadAt(ctx, 0, len(data))
 	if err != nil || !bytes.Equal(got, data) {
 		log.Fatalf("stripe round trip failed: %v", err)
 	}
 	fmt.Println("wrote and read 1 MB across 4 drives (RAID 0)")
 
 	// --- RAID-5 with failure ------------------------------------------------
-	raidID, err := mgr.Create(cheops.RAID5, 32<<10, 4, 0)
+	raidID, err := mgr.Create(ctx, cheops.RAID5, 32<<10, 4, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,7 +113,7 @@ func main() {
 		log.Fatal(err)
 	}
 	rng.Read(data)
-	if err := robj.WriteAt(0, data); err != nil {
+	if err := robj.WriteAt(ctx, 0, data); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("wrote 1 MB to a RAID-5 object (rotating parity)")
@@ -121,7 +123,7 @@ func main() {
 	myDrives[victim].Close()
 	fmt.Printf("drive %d connection severed\n", victim+1)
 
-	got, err = robj.ReadAt(0, len(data))
+	got, err = robj.ReadAt(ctx, 0, len(data))
 	if err != nil {
 		log.Fatalf("degraded read failed: %v", err)
 	}
@@ -131,7 +133,7 @@ func main() {
 	fmt.Println("degraded read reconstructed the data from parity")
 
 	// Rebuild onto the spare drive (index 4).
-	if err := mgr.ReplaceComponent(raidID, 1, 4); err != nil {
+	if err := mgr.ReplaceComponent(ctx, raidID, 1, 4); err != nil {
 		log.Fatal(err)
 	}
 	nd, _ := mgr.Stat(raidID)
@@ -143,7 +145,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	got, err = robj2.ReadAt(0, len(data))
+	got, err = robj2.ReadAt(ctx, 0, len(data))
 	if err != nil || !bytes.Equal(got, data) {
 		log.Fatalf("post-rebuild read failed: %v", err)
 	}

@@ -8,6 +8,7 @@
 package active
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sync"
@@ -102,7 +103,7 @@ type Target struct {
 // Scan executes the kernel on every target in parallel and merges the
 // counts at the client — the Active Disks version of the Figure 9
 // workload. Only the per-drive count vectors cross the network.
-func Scan(targets []Target, catalog int) ([]uint32, error) {
+func Scan(ctx context.Context, targets []Target, catalog int) ([]uint32, error) {
 	params := encodeParams(catalog)
 	results := make([][]uint32, len(targets))
 	errs := make([]error, len(targets))
@@ -111,7 +112,7 @@ func Scan(targets []Target, catalog int) ([]uint32, error) {
 		wg.Add(1)
 		go func(i int, tgt Target) {
 			defer wg.Done()
-			raw, err := tgt.Drive.Execute(&tgt.Cap, tgt.Partition, tgt.Object, KernelName, params)
+			raw, err := tgt.Drive.Execute(ctx, &tgt.Cap, tgt.Partition, tgt.Object, KernelName, params)
 			if err != nil {
 				errs[i] = err
 				return

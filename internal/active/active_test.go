@@ -1,6 +1,7 @@
 package active
 
 import (
+	"context"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -16,6 +17,8 @@ import (
 )
 
 var clientSeq atomic.Uint64
+
+var testCtx = context.Background()
 
 // newDrive builds a secure drive with the kernel registered, loads one
 // object with data, and returns a Target for scanning.
@@ -49,7 +52,7 @@ func newDrive(t *testing.T, id uint64, data []byte) Target {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cli := client.New(conn, id, clientSeq.Add(1)+900, true)
+	cli := client.New(conn, id, clientSeq.Add(1)+900)
 	t.Cleanup(func() { cli.Close() })
 
 	kid, key, err := drv.Keys().CurrentWorkingKey(1)
@@ -70,7 +73,7 @@ func TestOnDriveCountMatchesClientSide(t *testing.T) {
 	mining.CountItems(data, want)
 
 	tgt := newDrive(t, 1, data)
-	got, err := Scan([]Target{tgt}, 128)
+	got, err := Scan(testCtx, []Target{tgt}, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +89,7 @@ func TestScanMergesAcrossDrives(t *testing.T) {
 	mining.CountItems(d1, want)
 	mining.CountItems(d2, want)
 
-	got, err := Scan([]Target{newDrive(t, 1, d1), newDrive(t, 2, d2)}, 64)
+	got, err := Scan(testCtx, []Target{newDrive(t, 1, d1), newDrive(t, 2, d2)}, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +103,7 @@ func TestResultIsSmall(t *testing.T) {
 	// result proportional to the catalog, not the data.
 	data := mining.Generate(mining.GenConfig{CatalogSize: 32, TotalBytes: 4 * mining.ChunkSize, Seed: 24})
 	tgt := newDrive(t, 1, data)
-	raw, err := tgt.Drive.Execute(&tgt.Cap, tgt.Partition, tgt.Object, KernelName, encodeParams(32))
+	raw, err := tgt.Drive.Execute(testCtx, &tgt.Cap, tgt.Partition, tgt.Object, KernelName, encodeParams(32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +117,7 @@ func TestScanRequiresReadRights(t *testing.T) {
 	tgt := newDrive(t, 1, data)
 	// Clobber the capability's private portion: execution must fail.
 	tgt.Cap.Private[0] ^= 1
-	if _, err := Scan([]Target{tgt}, 16); err == nil {
+	if _, err := Scan(testCtx, []Target{tgt}, 16); err == nil {
 		t.Fatal("kernel ran with a forged capability")
 	}
 }
@@ -128,7 +131,7 @@ func TestDecodeCountsRejectsBadLength(t *testing.T) {
 func TestBadParamsRejected(t *testing.T) {
 	data := mining.Generate(mining.GenConfig{CatalogSize: 16, TotalBytes: 4096, Seed: 26})
 	tgt := newDrive(t, 1, data)
-	if _, err := tgt.Drive.Execute(&tgt.Cap, tgt.Partition, tgt.Object, KernelName, []byte{1}); err == nil {
+	if _, err := tgt.Drive.Execute(testCtx, &tgt.Cap, tgt.Partition, tgt.Object, KernelName, []byte{1}); err == nil {
 		t.Fatal("truncated params accepted")
 	}
 }

@@ -14,12 +14,14 @@
 package afsrpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 
 	"nasd/internal/capability"
+	"nasd/internal/client"
 	"nasd/internal/crypt"
 	"nasd/internal/filemgr"
 	"nasd/internal/nasdafs"
@@ -293,6 +295,7 @@ func (s *Server) serveConn(conn rpc.Conn) {
 }
 
 func (s *Server) handle(req *rpc.Request) *rpc.Reply {
+	ctx := context.Background()
 	d := rpc.NewDecoder(req.Args)
 	token := d.U64()
 	rcv := s.receiverFor(token)
@@ -317,9 +320,9 @@ func (s *Server) handle(req *rpc.Request) *rpc.Reply {
 		var cap capability.Capability
 		var err error
 		if req.Proc == opAcquireRead {
-			h, cap, err = s.mgr.AcquireRead(rcv, id, path)
+			h, cap, err = s.mgr.AcquireRead(ctx, rcv, id, path)
 		} else {
-			h, cap, err = s.mgr.TryAcquireRead(rcv, id, path)
+			h, cap, err = s.mgr.TryAcquireRead(ctx, rcv, id, path)
 		}
 		if err != nil {
 			return fail(err)
@@ -332,7 +335,7 @@ func (s *Server) handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "bad-args: %v", d.Err())
 		}
-		h, cap, err := s.mgr.AcquireWrite(rcv, id, path, escrow)
+		h, cap, err := s.mgr.AcquireWrite(ctx, rcv, id, path, escrow)
 		if err != nil {
 			return fail(err)
 		}
@@ -342,7 +345,7 @@ func (s *Server) handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "bad-args: %v", d.Err())
 		}
-		if err := s.mgr.Relinquish(rcv, path); err != nil {
+		if err := s.mgr.Relinquish(ctx, rcv, path); err != nil {
 			return fail(err)
 		}
 		return &rpc.Reply{Status: rpc.StatusOK}
@@ -352,7 +355,7 @@ func (s *Server) handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "bad-args: %v", d.Err())
 		}
-		if err := s.mgr.Truncate(h, size); err != nil {
+		if err := s.mgr.Truncate(ctx, h, size); err != nil {
 			return fail(err)
 		}
 		return &rpc.Reply{Status: rpc.StatusOK}
@@ -363,7 +366,7 @@ func (s *Server) handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "bad-args: %v", d.Err())
 		}
-		if err := s.mgr.CreateFile(id, path, mode); err != nil {
+		if err := s.mgr.CreateFile(ctx, id, path, mode); err != nil {
 			return fail(err)
 		}
 		return &rpc.Reply{Status: rpc.StatusOK}
@@ -467,19 +470,21 @@ func (c *Client) Close() error {
 	return c.ctl.Close()
 }
 
-func (c *Client) call(proc uint16, args []byte) (*rpc.Reply, error) {
-	rep, err := c.ctl.Call(&rpc.Request{Proc: proc, Args: args})
+func (c *Client) call(ctx context.Context, proc uint16, args []byte) (*rpc.Reply, error) {
+	rep, err := c.ctl.Call(ctx, &rpc.Request{Proc: proc, Args: args})
 	if err != nil {
 		return nil, err
 	}
 	if rep.Status != rpc.StatusOK {
+		// Unified remote-error shape: errors.Is matches both the mapped
+		// nasdafs/filemgr sentinel and the client status sentinels.
 		kind, detail, _ := strings.Cut(rep.Msg, ": ")
-		return nil, errorFor(kind, detail)
+		return nil, &client.RemoteError{Status: rep.Status, Msg: rep.Msg, Err: errorFor(kind, detail)}
 	}
 	return rep, nil
 }
 
-func (c *Client) acquire(proc uint16, id filemgr.Identity, path string, escrow uint64) (filemgr.Handle, capability.Capability, error) {
+func (c *Client) acquire(ctx context.Context, proc uint16, id filemgr.Identity, path string, escrow uint64) (filemgr.Handle, capability.Capability, error) {
 	var e rpc.Encoder
 	e.U64(c.token)
 	encodeIdentity(&e, id)
@@ -487,7 +492,7 @@ func (c *Client) acquire(proc uint16, id filemgr.Identity, path string, escrow u
 	if proc == opAcquireWrite {
 		e.U64(escrow)
 	}
-	rep, err := c.call(proc, e.Bytes())
+	rep, err := c.call(ctx, proc, e.Bytes())
 	if err != nil {
 		return filemgr.Handle{}, capability.Capability{}, err
 	}
@@ -501,50 +506,50 @@ func (c *Client) acquire(proc uint16, id filemgr.Identity, path string, escrow u
 }
 
 // AcquireRead implements nasdafs.ManagerAPI.
-func (c *Client) AcquireRead(rcv nasdafs.CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error) {
+func (c *Client) AcquireRead(ctx context.Context, rcv nasdafs.CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error) {
 	c.SetReceiver(rcv)
-	return c.acquire(opAcquireRead, id, path, 0)
+	return c.acquire(ctx, opAcquireRead, id, path, 0)
 }
 
 // TryAcquireRead implements nasdafs.ManagerAPI.
-func (c *Client) TryAcquireRead(rcv nasdafs.CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error) {
+func (c *Client) TryAcquireRead(ctx context.Context, rcv nasdafs.CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error) {
 	c.SetReceiver(rcv)
-	return c.acquire(opTryAcquireRead, id, path, 0)
+	return c.acquire(ctx, opTryAcquireRead, id, path, 0)
 }
 
 // AcquireWrite implements nasdafs.ManagerAPI.
-func (c *Client) AcquireWrite(rcv nasdafs.CallbackReceiver, id filemgr.Identity, path string, escrowLen uint64) (filemgr.Handle, capability.Capability, error) {
+func (c *Client) AcquireWrite(ctx context.Context, rcv nasdafs.CallbackReceiver, id filemgr.Identity, path string, escrowLen uint64) (filemgr.Handle, capability.Capability, error) {
 	c.SetReceiver(rcv)
-	return c.acquire(opAcquireWrite, id, path, escrowLen)
+	return c.acquire(ctx, opAcquireWrite, id, path, escrowLen)
 }
 
 // Relinquish implements nasdafs.ManagerAPI.
-func (c *Client) Relinquish(_ nasdafs.CallbackReceiver, path string) error {
+func (c *Client) Relinquish(ctx context.Context, _ nasdafs.CallbackReceiver, path string) error {
 	var e rpc.Encoder
 	e.U64(c.token)
 	e.String(path)
-	_, err := c.call(opRelinquish, e.Bytes())
+	_, err := c.call(ctx, opRelinquish, e.Bytes())
 	return err
 }
 
 // Truncate implements nasdafs.ManagerAPI.
-func (c *Client) Truncate(h filemgr.Handle, size uint64) error {
+func (c *Client) Truncate(ctx context.Context, h filemgr.Handle, size uint64) error {
 	var e rpc.Encoder
 	e.U64(c.token)
 	encodeHandle(&e, h)
 	e.U64(size)
-	_, err := c.call(opTruncate, e.Bytes())
+	_, err := c.call(ctx, opTruncate, e.Bytes())
 	return err
 }
 
 // CreateFile implements nasdafs.ManagerAPI.
-func (c *Client) CreateFile(id filemgr.Identity, path string, mode uint32) error {
+func (c *Client) CreateFile(ctx context.Context, id filemgr.Identity, path string, mode uint32) error {
 	var e rpc.Encoder
 	e.U64(c.token)
 	encodeIdentity(&e, id)
 	e.String(path)
 	e.U32(mode)
-	_, err := c.call(opCreate, e.Bytes())
+	_, err := c.call(ctx, opCreate, e.Bytes())
 	return err
 }
 

@@ -2,6 +2,7 @@ package afsrpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -17,6 +18,8 @@ import (
 )
 
 var seq atomic.Uint64
+
+var testCtx = context.Background()
 
 // env: one drive, a local AFS manager served over TCP, and a dialer for
 // remote AFS clients (each gets its own drive connection + afsrpc pair).
@@ -43,11 +46,11 @@ func newEnv(t *testing.T, quota uint64) *env {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c := client.New(conn, 1, 80_000+seq.Add(1), true)
+		c := client.New(conn, 1, 80_000+seq.Add(1))
 		t.Cleanup(func() { c.Close() })
 		return c
 	}
-	fm, err := filemgr.Format(filemgr.Config{
+	fm, err := filemgr.Format(testCtx, filemgr.Config{
 		Drives: []filemgr.DriveTarget{{Client: dial(), DriveID: 1, Master: master}},
 	})
 	if err != nil {
@@ -77,7 +80,7 @@ func (e *env) newRemoteClient(id filemgr.Identity) *nasdafs.Client {
 	if err != nil {
 		e.t.Fatal(err)
 	}
-	dc := client.New(conn, 1, 90_000+seq.Add(1), true)
+	dc := client.New(conn, 1, 90_000+seq.Add(1))
 	e.t.Cleanup(func() { dc.Close() })
 	c := nasdafs.NewClient(rm, []*client.Drive{dc}, id)
 	rm.SetReceiver(c)
@@ -90,14 +93,14 @@ var bob = filemgr.Identity{UID: 20}
 func TestRemoteFetchStoreRoundTrip(t *testing.T) {
 	e := newEnv(t, 0)
 	c := e.newRemoteClient(alice)
-	if err := c.Create("/f", 0o644); err != nil {
+	if err := c.Create(testCtx, "/f", 0o644); err != nil {
 		t.Fatal(err)
 	}
 	data := bytes.Repeat([]byte("remote-afs"), 3000)
-	if err := c.StoreData("/f", data); err != nil {
+	if err := c.StoreData(testCtx, "/f", data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.FetchData("/f")
+	got, err := c.FetchData(testCtx, "/f")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("fetch: %v", err)
 	}
@@ -110,13 +113,13 @@ func TestCallbackBreakCrossesNetwork(t *testing.T) {
 	e := newEnv(t, 0)
 	writer := e.newRemoteClient(alice)
 	reader := e.newRemoteClient(bob)
-	if err := writer.Create("/shared", 0o666); err != nil {
+	if err := writer.Create(testCtx, "/shared", 0o666); err != nil {
 		t.Fatal(err)
 	}
-	if err := writer.StoreData("/shared", []byte("v1")); err != nil {
+	if err := writer.StoreData(testCtx, "/shared", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reader.FetchData("/shared"); err != nil {
+	if _, err := reader.FetchData(testCtx, "/shared"); err != nil {
 		t.Fatal(err)
 	}
 	if !reader.Cached("/shared") {
@@ -124,7 +127,7 @@ func TestCallbackBreakCrossesNetwork(t *testing.T) {
 	}
 	// Writer stores again: issuing the write capability must push a
 	// break down the reader's callback connection.
-	if err := writer.StoreData("/shared", []byte("v2")); err != nil {
+	if err := writer.StoreData(testCtx, "/shared", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(2 * time.Second)
@@ -134,7 +137,7 @@ func TestCallbackBreakCrossesNetwork(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	got, err := reader.FetchData("/shared")
+	got, err := reader.FetchData(testCtx, "/shared")
 	if err != nil || string(got) != "v2" {
 		t.Fatalf("refetch = %q, %v", got, err)
 	}
@@ -144,19 +147,19 @@ func TestRemoteWriteLockAndQuota(t *testing.T) {
 	e := newEnv(t, 50_000)
 	w := e.newRemoteClient(alice)
 	r := e.newRemoteClient(bob)
-	if err := w.Create("/q", 0o666); err != nil {
+	if err := w.Create(testCtx, "/q", 0o666); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.StoreData("/q", make([]byte, 30_000)); err != nil {
+	if err := w.StoreData(testCtx, "/q", make([]byte, 30_000)); err != nil {
 		t.Fatal(err)
 	}
 	// Oversized escrow rejected with a typed error across the wire.
-	err := w.StoreData("/q", make([]byte, 100_000))
+	err := w.StoreData(testCtx, "/q", make([]byte, 100_000))
 	if !errors.Is(err, nasdafs.ErrQuota) {
 		t.Fatalf("quota breach: %v", err)
 	}
 	// Reads still work afterwards (no stuck lock).
-	if _, err := r.FetchData("/q"); err != nil {
+	if _, err := r.FetchData(testCtx, "/q"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -164,16 +167,16 @@ func TestRemoteWriteLockAndQuota(t *testing.T) {
 func TestRemoteStoreShrinks(t *testing.T) {
 	e := newEnv(t, 0)
 	c := e.newRemoteClient(alice)
-	if err := c.Create("/s", 0o644); err != nil {
+	if err := c.Create(testCtx, "/s", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.StoreData("/s", bytes.Repeat([]byte{1}, 20_000)); err != nil {
+	if err := c.StoreData(testCtx, "/s", bytes.Repeat([]byte{1}, 20_000)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.StoreData("/s", []byte("small")); err != nil {
+	if err := c.StoreData(testCtx, "/s", []byte("small")); err != nil {
 		t.Fatal(err)
 	}
-	size, err := c.FetchStatus("/s")
+	size, err := c.FetchStatus(testCtx, "/s")
 	if err != nil || size != 5 {
 		t.Fatalf("size = %d, %v", size, err)
 	}
@@ -182,14 +185,14 @@ func TestRemoteStoreShrinks(t *testing.T) {
 func TestPermErrorsCrossWire(t *testing.T) {
 	e := newEnv(t, 0)
 	w := e.newRemoteClient(alice)
-	if err := w.Create("/private", 0o600); err != nil {
+	if err := w.Create(testCtx, "/private", 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.StoreData("/private", []byte("x")); err != nil {
+	if err := w.StoreData(testCtx, "/private", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	intruder := e.newRemoteClient(bob)
-	if _, err := intruder.FetchData("/private"); !errors.Is(err, filemgr.ErrPerm) {
+	if _, err := intruder.FetchData(testCtx, "/private"); !errors.Is(err, filemgr.ErrPerm) {
 		t.Fatalf("perm error lost on the wire: %v", err)
 	}
 }

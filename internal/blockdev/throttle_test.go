@@ -1,0 +1,54 @@
+package blockdev
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestThrottlePassesDataThrough(t *testing.T) {
+	mem := NewMemDisk(512, 64)
+	dev := NewThrottle(mem, 0, 0) // unlimited: pure pass-through
+	want := bytes.Repeat([]byte{0xAB}, 512)
+	if err := dev.WriteBlock(3, want); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 512)
+	if err := dev.ReadBlock(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("throttle corrupted data")
+	}
+	if dev.BlockSize() != 512 || dev.Blocks() != 64 {
+		t.Fatal("throttle changed geometry")
+	}
+	if err := dev.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThrottlePacesTransfers(t *testing.T) {
+	mem := NewMemDisk(4096, 256)
+	// 1 MB/s: 64 blocks of 4 KB is 256 KB, the model says 250 ms.
+	dev := NewThrottle(mem, 1<<20, 0)
+	buf := make([]byte, 4096)
+	start := time.Now()
+	for i := int64(0); i < 64; i++ {
+		if err := dev.ReadBlock(i, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el < 200*time.Millisecond {
+		t.Fatalf("256 KB at 1 MB/s took only %v", el)
+	}
+}
+
+func TestThrottlePropagatesErrors(t *testing.T) {
+	mem := NewMemDisk(512, 8)
+	dev := NewThrottle(mem, 0, 0)
+	mem.Fail()
+	if err := dev.ReadBlock(0, make([]byte, 512)); err == nil {
+		t.Fatal("throttle swallowed device failure")
+	}
+}

@@ -15,6 +15,7 @@
 package cheops
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -135,7 +136,8 @@ type ManagerConfig struct {
 // partition on every drive plus the directory object that persists
 // layout mappings; with format false it mounts an existing Cheops
 // deployment, recovering every logical object from the directory.
-func NewManager(cfg ManagerConfig, format bool) (*Manager, error) {
+// Partition creation fans out to all drives concurrently.
+func NewManager(ctx context.Context, cfg ManagerConfig, format bool) (*Manager, error) {
 	if len(cfg.Drives) == 0 {
 		return nil, errors.New("cheops: no drives")
 	}
@@ -160,26 +162,52 @@ func NewManager(cfg ManagerConfig, format bool) (*Manager, error) {
 	m.lockC = sync.NewCond(&m.mu)
 	for _, d := range cfg.Drives {
 		keys := crypt.NewHierarchy(d.Master)
-		if format {
-			if err := d.Client.CreatePartition(crypt.KeyID{Type: crypt.MasterKey}, d.Master, m.part, 0); err != nil {
-				return nil, fmt.Errorf("cheops: partition on drive %d: %w", d.DriveID, err)
-			}
-		}
 		if err := keys.AddPartition(m.part); err != nil {
 			return nil, err
 		}
 		m.keys = append(m.keys, keys)
 	}
 	if format {
-		if err := m.initDirectory(); err != nil {
+		if err := eachDrive(len(m.drives), func(i int) error {
+			d := m.drives[i]
+			if err := d.Client.CreatePartition(ctx, crypt.KeyID{Type: crypt.MasterKey}, d.Master, m.part, 0); err != nil {
+				return fmt.Errorf("cheops: partition on drive %d: %w", d.DriveID, err)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		if err := m.initDirectory(ctx); err != nil {
 			return nil, err
 		}
 	} else {
-		if err := m.loadDirectory(); err != nil {
+		if err := m.loadDirectory(ctx); err != nil {
 			return nil, err
 		}
 	}
 	return m, nil
+}
+
+// eachDrive runs fn(i) for i in [0, n) concurrently — the manager-side
+// fan-out that keeps multi-drive control operations from paying one
+// round trip per drive — and returns the first error.
+func eachDrive(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Partition returns the partition Cheops uses on each drive.
@@ -187,35 +215,36 @@ func (m *Manager) Partition() uint16 { return m.part }
 
 // Create allocates a logical object striped over width drives starting
 // at drive index startDrive (round-robin placement across calls is the
-// caller's choice).
-func (m *Manager) Create(pattern Pattern, stripeUnit int64, width int, startDrive int) (uint64, error) {
+// caller's choice). Component creation fans out to all target drives
+// concurrently.
+func (m *Manager) Create(ctx context.Context, pattern Pattern, stripeUnit int64, width int, startDrive int) (uint64, error) {
 	if stripeUnit <= 0 || width < 1 || width > len(m.drives) {
 		return 0, ErrBadLayout
 	}
 	if pattern == RAID5 && width < 3 {
 		return 0, fmt.Errorf("%w: RAID5 needs >= 3 components", ErrBadLayout)
 	}
-	comps := make([]Component, 0, width)
-	for i := 0; i < width; i++ {
+	comps := make([]Component, width)
+	if err := eachDrive(width, func(i int) error {
 		di := (startDrive + i) % len(m.drives)
 		cap := m.mintWildcard(di, capability.CreateObj)
-		obj, err := m.drives[di].Client.Create(&cap, m.part)
+		obj, err := m.drives[di].Client.Create(ctx, &cap, m.part)
 		if err != nil {
-			return 0, fmt.Errorf("cheops: creating component on drive %d: %w", di, err)
+			return fmt.Errorf("cheops: creating component on drive %d: %w", di, err)
 		}
-		comps = append(comps, Component{Drive: di, DriveID: m.drives[di].DriveID, Object: obj})
+		comps[i] = Component{Drive: di, DriveID: m.drives[di].DriveID, Object: obj}
+		return nil
+	}); err != nil {
+		return 0, err
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	id := m.next
 	m.next++
 	m.objects[id] = &Descriptor{
 		Logical: id, Pattern: pattern, StripeUnit: stripeUnit, Components: comps,
 	}
 	m.mu.Unlock()
-	err := m.save()
-	m.mu.Lock()
-	if err != nil {
+	if err := m.save(ctx); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -256,8 +285,9 @@ func (m *Manager) Open(logical uint64, rights capability.Rights) (Descriptor, []
 	return d, caps, nil
 }
 
-// Remove deletes a logical object and its components.
-func (m *Manager) Remove(logical uint64) error {
+// Remove deletes a logical object and its components, issuing the
+// per-drive removals concurrently.
+func (m *Manager) Remove(ctx context.Context, logical uint64) error {
 	m.mu.Lock()
 	desc, ok := m.objects[logical]
 	if !ok {
@@ -266,23 +296,24 @@ func (m *Manager) Remove(logical uint64) error {
 	}
 	delete(m.objects, logical)
 	m.mu.Unlock()
-	firstErr := m.save()
-	for _, comp := range desc.Components {
+	firstErr := m.save(ctx)
+	if err := eachDrive(len(desc.Components), func(i int) error {
+		comp := desc.Components[i]
 		cap := m.mintWildcard(comp.Drive, capability.Remove)
-		if err := m.drives[comp.Drive].Client.Remove(&cap, m.part, comp.Object); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		return m.drives[comp.Drive].Client.Remove(ctx, &cap, m.part, comp.Object)
+	}); err != nil && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }
 
 // UpdateSize records a logical object's new size (a control message
 // clients send after extending writes).
-func (m *Manager) UpdateSize(logical uint64, size uint64) error {
+func (m *Manager) UpdateSize(ctx context.Context, logical uint64, size uint64) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	desc, ok := m.objects[logical]
 	if !ok {
+		m.mu.Unlock()
 		return ErrNoObject
 	}
 	changed := size > desc.Size
@@ -290,9 +321,8 @@ func (m *Manager) UpdateSize(logical uint64, size uint64) error {
 		desc.Size = size
 	}
 	m.mu.Unlock()
-	defer m.mu.Lock()
 	if changed {
-		return m.save()
+		return m.save(ctx)
 	}
 	return nil
 }
@@ -352,7 +382,9 @@ func (m *Manager) mintWildcard(driveIdx int, rights capability.Rights) capabilit
 // ReplaceComponent swaps a failed component for a fresh object on
 // another drive and reconstructs its contents from the survivors
 // (mirror copy or RAID5 xor). The logical object must be redundant.
-func (m *Manager) ReplaceComponent(logical uint64, failedIdx int, newDrive int) error {
+// Survivor reads within each reconstruction chunk fan out to all
+// drives concurrently.
+func (m *Manager) ReplaceComponent(ctx context.Context, logical uint64, failedIdx int, newDrive int) error {
 	m.mu.Lock()
 	desc, ok := m.objects[logical]
 	if !ok {
@@ -371,7 +403,7 @@ func (m *Manager) ReplaceComponent(logical uint64, failedIdx int, newDrive int) 
 
 	// Create the replacement object.
 	cc := m.mintWildcard(newDrive, capability.CreateObj)
-	newObj, err := m.drives[newDrive].Client.Create(&cc, m.part)
+	newObj, err := m.drives[newDrive].Client.Create(ctx, &cc, m.part)
 	if err != nil {
 		return err
 	}
@@ -394,23 +426,31 @@ func (m *Manager) ReplaceComponent(logical uint64, failedIdx int, newDrive int) 
 		case Mirror1:
 			src := (failedIdx + 1) % len(d.Components)
 			rc := m.mintWildcard(d.Components[src].Drive, capability.Read)
-			data, err = m.drives[d.Components[src].Drive].Client.Read(&rc, m.part, d.Components[src].Object, off, n)
+			data, err = m.drives[d.Components[src].Drive].Client.ReadPipelined(ctx, &rc, m.part, d.Components[src].Object, off, n)
 			if err != nil {
 				return err
 			}
 		case RAID5:
 			acc := make([]byte, n)
-			for i, comp := range d.Components {
+			parts := make([][]byte, len(d.Components))
+			if err := eachDrive(len(d.Components), func(i int) error {
 				if i == failedIdx {
-					continue
+					return nil
 				}
+				comp := d.Components[i]
 				rc := m.mintWildcard(comp.Drive, capability.Read)
-				part, err := m.drives[comp.Drive].Client.Read(&rc, m.part, comp.Object, off, n)
+				p, err := m.drives[comp.Drive].Client.Read(ctx, &rc, m.part, comp.Object, off, n)
 				if err != nil {
 					return err
 				}
-				for j := range part {
-					acc[j] ^= part[j]
+				parts[i] = p
+				return nil
+			}); err != nil {
+				return err
+			}
+			for _, p := range parts {
+				for j := range p {
+					acc[j] ^= p[j]
 				}
 			}
 			data = acc
@@ -418,21 +458,20 @@ func (m *Manager) ReplaceComponent(logical uint64, failedIdx int, newDrive int) 
 		if len(data) == 0 {
 			break
 		}
-		if err := m.drives[newDrive].Client.Write(&wc, m.part, newObj, off, data); err != nil {
+		if err := m.drives[newDrive].Client.WritePipelined(ctx, &wc, m.part, newObj, off, data); err != nil {
 			return err
 		}
 	}
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	desc, ok = m.objects[logical]
 	if !ok {
+		m.mu.Unlock()
 		return ErrNoObject
 	}
 	desc.Components[failedIdx] = repl
 	m.mu.Unlock()
-	defer m.mu.Lock()
-	return m.save()
+	return m.save(ctx)
 }
 
 // componentLength computes how many bytes component idx must hold given

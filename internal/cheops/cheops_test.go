@@ -2,6 +2,7 @@ package cheops
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"sync/atomic"
@@ -16,6 +17,8 @@ import (
 )
 
 var clientSeq atomic.Uint64
+
+var testCtx = context.Background()
 
 type rig struct {
 	mgr    *Manager
@@ -47,14 +50,14 @@ func newRig(t *testing.T, n int) *rig {
 			if err != nil {
 				t.Fatal(err)
 			}
-			c := client.New(conn, uint64(1+i), clientSeq.Add(1)+100, true)
+			c := client.New(conn, uint64(1+i), clientSeq.Add(1)+100)
 			t.Cleanup(func() { c.Close() })
 			return c
 		}
 		refs = append(refs, DriveRef{Client: dial(), DriveID: uint64(1 + i), Master: master})
 		r.drives = append(r.drives, dial())
 	}
-	mgr, err := NewManager(ManagerConfig{Drives: refs}, true)
+	mgr, err := NewManager(testCtx, ManagerConfig{Drives: refs}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +67,7 @@ func newRig(t *testing.T, n int) *rig {
 
 func TestStripe0RoundTrip(t *testing.T) {
 	r := newRig(t, 4)
-	id, err := r.mgr.Create(Stripe0, 32<<10, 4, 0)
+	id, err := r.mgr.Create(testCtx, Stripe0, 32<<10, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,15 +78,15 @@ func TestStripe0RoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	data := make([]byte, 300<<10) // spans several stripes
 	rng.Read(data)
-	if err := obj.WriteAt(0, data); err != nil {
+	if err := obj.WriteAt(testCtx, 0, data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := obj.ReadAt(0, len(data))
+	got, err := obj.ReadAt(testCtx, 0, len(data))
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("round trip failed: %v", err)
 	}
 	// Unaligned window.
-	got, err = obj.ReadAt(33000, 70000)
+	got, err = obj.ReadAt(testCtx, 33000, 70000)
 	if err != nil || !bytes.Equal(got, data[33000:33000+70000]) {
 		t.Fatalf("unaligned read failed: %v", err)
 	}
@@ -98,9 +101,9 @@ func TestStripe0RoundTrip(t *testing.T) {
 
 func TestStripe0SpreadsBytes(t *testing.T) {
 	r := newRig(t, 4)
-	id, _ := r.mgr.Create(Stripe0, 8<<10, 4, 0)
+	id, _ := r.mgr.Create(testCtx, Stripe0, 8<<10, 4, 0)
 	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
-	if err := obj.WriteAt(0, make([]byte, 64<<10)); err != nil {
+	if err := obj.WriteAt(testCtx, 0, make([]byte, 64<<10)); err != nil {
 		t.Fatal(err)
 	}
 	desc := obj.Desc()
@@ -117,7 +120,7 @@ func TestStripe0SpreadsBytes(t *testing.T) {
 
 func TestLocateBijectionStripe0(t *testing.T) {
 	r := newRig(t, 3)
-	id, _ := r.mgr.Create(Stripe0, 4<<10, 3, 0)
+	id, _ := r.mgr.Create(testCtx, Stripe0, 4<<10, 3, 0)
 	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read)
 	seen := map[[2]int64]int64{}
 	for off := int64(0); off < 256<<10; off += 4 << 10 {
@@ -132,7 +135,7 @@ func TestLocateBijectionStripe0(t *testing.T) {
 
 func TestMirrorRoundTripAndFailover(t *testing.T) {
 	r := newRig(t, 3)
-	id, err := r.mgr.Create(Mirror1, 32<<10, 2, 0)
+	id, err := r.mgr.Create(testCtx, Mirror1, 32<<10, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +144,7 @@ func TestMirrorRoundTripAndFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := bytes.Repeat([]byte("mirror"), 10000)
-	if err := obj.WriteAt(0, data); err != nil {
+	if err := obj.WriteAt(testCtx, 0, data); err != nil {
 		t.Fatal(err)
 	}
 	// Both replicas hold the full object.
@@ -153,7 +156,7 @@ func TestMirrorRoundTripAndFailover(t *testing.T) {
 	}
 	// Kill replica 0's connection: reads fail over to replica 1.
 	r.drives[obj.Desc().Components[0].Drive].Close()
-	got, err := obj.ReadAt(0, len(data))
+	got, err := obj.ReadAt(testCtx, 0, len(data))
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("failover read: %v", err)
 	}
@@ -161,7 +164,7 @@ func TestMirrorRoundTripAndFailover(t *testing.T) {
 
 func TestRAID5RoundTrip(t *testing.T) {
 	r := newRig(t, 4)
-	id, err := r.mgr.Create(RAID5, 16<<10, 4, 0)
+	id, err := r.mgr.Create(testCtx, RAID5, 16<<10, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,20 +175,20 @@ func TestRAID5RoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	data := make([]byte, 200<<10)
 	rng.Read(data)
-	if err := obj.WriteAt(0, data); err != nil {
+	if err := obj.WriteAt(testCtx, 0, data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := obj.ReadAt(0, len(data))
+	got, err := obj.ReadAt(testCtx, 0, len(data))
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("raid5 round trip: %v", err)
 	}
 	// Overwrite in the middle keeps parity consistent.
 	patch := bytes.Repeat([]byte{0xEE}, 40<<10)
-	if err := obj.WriteAt(50<<10, patch); err != nil {
+	if err := obj.WriteAt(testCtx, 50<<10, patch); err != nil {
 		t.Fatal(err)
 	}
 	copy(data[50<<10:], patch)
-	got, err = obj.ReadAt(0, len(data))
+	got, err = obj.ReadAt(testCtx, 0, len(data))
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("raid5 after overwrite: %v", err)
 	}
@@ -193,18 +196,18 @@ func TestRAID5RoundTrip(t *testing.T) {
 
 func TestRAID5DegradedRead(t *testing.T) {
 	r := newRig(t, 4)
-	id, _ := r.mgr.Create(RAID5, 16<<10, 4, 0)
+	id, _ := r.mgr.Create(testCtx, RAID5, 16<<10, 4, 0)
 	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
 	rng := rand.New(rand.NewSource(7))
 	data := make([]byte, 150<<10)
 	rng.Read(data)
-	if err := obj.WriteAt(0, data); err != nil {
+	if err := obj.WriteAt(testCtx, 0, data); err != nil {
 		t.Fatal(err)
 	}
 	// Kill one component's drive connection.
 	dead := obj.Desc().Components[1].Drive
 	r.drives[dead].Close()
-	got, err := obj.ReadAt(0, len(data))
+	got, err := obj.ReadAt(testCtx, 0, len(data))
 	if err != nil {
 		t.Fatalf("degraded read failed: %v", err)
 	}
@@ -218,7 +221,7 @@ func TestRAID5ParityProperty(t *testing.T) {
 	// components is zero.
 	r := newRig(t, 4)
 	unit := int64(4 << 10)
-	id, _ := r.mgr.Create(RAID5, unit, 4, 0)
+	id, _ := r.mgr.Create(testCtx, RAID5, unit, 4, 0)
 	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
 	rng := rand.New(rand.NewSource(8))
 	for i := 0; i < 20; i++ {
@@ -226,7 +229,7 @@ func TestRAID5ParityProperty(t *testing.T) {
 		n := rng.Intn(20<<10) + 1
 		buf := make([]byte, n)
 		rng.Read(buf)
-		if err := obj.WriteAt(off, buf); err != nil {
+		if err := obj.WriteAt(testCtx, off, buf); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -261,16 +264,16 @@ func TestRAID5ParityProperty(t *testing.T) {
 
 func TestReplaceComponentRAID5(t *testing.T) {
 	r := newRig(t, 5)
-	id, _ := r.mgr.Create(RAID5, 8<<10, 4, 0)
+	id, _ := r.mgr.Create(testCtx, RAID5, 8<<10, 4, 0)
 	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
 	rng := rand.New(rand.NewSource(9))
 	data := make([]byte, 100<<10)
 	rng.Read(data)
-	if err := obj.WriteAt(0, data); err != nil {
+	if err := obj.WriteAt(testCtx, 0, data); err != nil {
 		t.Fatal(err)
 	}
 	// Rebuild component 2 onto drive 4.
-	if err := r.mgr.ReplaceComponent(id, 2, 4); err != nil {
+	if err := r.mgr.ReplaceComponent(testCtx, id, 2, 4); err != nil {
 		t.Fatal(err)
 	}
 	desc, _ := r.mgr.Stat(id)
@@ -282,7 +285,7 @@ func TestReplaceComponentRAID5(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := obj2.ReadAt(0, len(data))
+	got, err := obj2.ReadAt(testCtx, 0, len(data))
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("read after rebuild: %v", err)
 	}
@@ -290,17 +293,17 @@ func TestReplaceComponentRAID5(t *testing.T) {
 
 func TestReplaceComponentMirror(t *testing.T) {
 	r := newRig(t, 3)
-	id, _ := r.mgr.Create(Mirror1, 32<<10, 2, 0)
+	id, _ := r.mgr.Create(testCtx, Mirror1, 32<<10, 2, 0)
 	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
 	data := bytes.Repeat([]byte{5}, 50<<10)
-	if err := obj.WriteAt(0, data); err != nil {
+	if err := obj.WriteAt(testCtx, 0, data); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.mgr.ReplaceComponent(id, 0, 2); err != nil {
+	if err := r.mgr.ReplaceComponent(testCtx, id, 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	obj2, _ := OpenObject(r.mgr, r.drives, id, capability.Read)
-	got, err := obj2.ReadAt(0, len(data))
+	got, err := obj2.ReadAt(testCtx, 0, len(data))
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("mirror rebuild read: %v", err)
 	}
@@ -308,31 +311,31 @@ func TestReplaceComponentMirror(t *testing.T) {
 
 func TestManagerValidation(t *testing.T) {
 	r := newRig(t, 2)
-	if _, err := r.mgr.Create(Stripe0, 0, 2, 0); !errors.Is(err, ErrBadLayout) {
+	if _, err := r.mgr.Create(testCtx, Stripe0, 0, 2, 0); !errors.Is(err, ErrBadLayout) {
 		t.Fatalf("zero stripe unit: %v", err)
 	}
-	if _, err := r.mgr.Create(Stripe0, 4096, 3, 0); !errors.Is(err, ErrBadLayout) {
+	if _, err := r.mgr.Create(testCtx, Stripe0, 4096, 3, 0); !errors.Is(err, ErrBadLayout) {
 		t.Fatalf("width beyond drives: %v", err)
 	}
-	if _, err := r.mgr.Create(RAID5, 4096, 2, 0); !errors.Is(err, ErrBadLayout) {
+	if _, err := r.mgr.Create(testCtx, RAID5, 4096, 2, 0); !errors.Is(err, ErrBadLayout) {
 		t.Fatalf("raid5 width 2: %v", err)
 	}
 	if _, _, err := r.mgr.Open(99, capability.Read); !errors.Is(err, ErrNoObject) {
 		t.Fatalf("open missing: %v", err)
 	}
-	if err := r.mgr.Remove(99); !errors.Is(err, ErrNoObject) {
+	if err := r.mgr.Remove(testCtx, 99); !errors.Is(err, ErrNoObject) {
 		t.Fatalf("remove missing: %v", err)
 	}
 }
 
 func TestRemoveDeletesComponents(t *testing.T) {
 	r := newRig(t, 2)
-	id, _ := r.mgr.Create(Stripe0, 4096, 2, 0)
+	id, _ := r.mgr.Create(testCtx, Stripe0, 4096, 2, 0)
 	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Write)
-	if err := obj.WriteAt(0, make([]byte, 8192)); err != nil {
+	if err := obj.WriteAt(testCtx, 0, make([]byte, 8192)); err != nil {
 		t.Fatal(err)
 	}
-	if err := r.mgr.Remove(id); err != nil {
+	if err := r.mgr.Remove(testCtx, id); err != nil {
 		t.Fatal(err)
 	}
 	for i, d := range r.raw {
@@ -353,8 +356,8 @@ func TestRemoveDeletesComponents(t *testing.T) {
 
 func TestCapabilitiesAreComponentScoped(t *testing.T) {
 	r := newRig(t, 2)
-	id, _ := r.mgr.Create(Stripe0, 4096, 2, 0)
-	id2, _ := r.mgr.Create(Stripe0, 4096, 2, 0)
+	id, _ := r.mgr.Create(testCtx, Stripe0, 4096, 2, 0)
+	id2, _ := r.mgr.Create(testCtx, Stripe0, 4096, 2, 0)
 	_, caps, err := r.mgr.Open(id, capability.Read|capability.Write)
 	if err != nil {
 		t.Fatal(err)
@@ -362,7 +365,7 @@ func TestCapabilitiesAreComponentScoped(t *testing.T) {
 	desc2, _ := r.mgr.Stat(id2)
 	// A capability for object id's component must not authorize access
 	// to object id2's components.
-	err = r.drives[desc2.Components[0].Drive].Write(&caps[0], r.mgr.Partition(),
+	err = r.drives[desc2.Components[0].Drive].Write(testCtx, &caps[0], r.mgr.Partition(),
 		desc2.Components[0].Object, 0, []byte("cross"))
 	if !errors.Is(err, client.ErrAuth) {
 		t.Fatalf("cross-object access: %v", err)
@@ -371,9 +374,9 @@ func TestCapabilitiesAreComponentScoped(t *testing.T) {
 
 func TestUpdateSizeAndStat(t *testing.T) {
 	r := newRig(t, 2)
-	id, _ := r.mgr.Create(Stripe0, 4096, 2, 0)
+	id, _ := r.mgr.Create(testCtx, Stripe0, 4096, 2, 0)
 	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
-	if err := obj.WriteAt(0, make([]byte, 10000)); err != nil {
+	if err := obj.WriteAt(testCtx, 0, make([]byte, 10000)); err != nil {
 		t.Fatal(err)
 	}
 	desc, err := r.mgr.Stat(id)

@@ -13,7 +13,7 @@ import (
 func TestLocatePropertyRAID5(t *testing.T) {
 	r := newRig(t, 5)
 	unit := int64(4 << 10)
-	id, err := r.mgr.Create(RAID5, unit, 5, 0)
+	id, err := r.mgr.Create(testCtx, RAID5, unit, 5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +48,7 @@ func TestLocateWithinUnitContiguity(t *testing.T) {
 	unit := int64(16 << 10)
 	for _, pat := range []Pattern{Stripe0, RAID5} {
 		width := 4
-		id, err := r.mgr.Create(pat, unit, width, 0)
+		id, err := r.mgr.Create(testCtx, pat, unit, width, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,7 +73,7 @@ func TestLocateWithinUnitContiguity(t *testing.T) {
 
 func TestParityRotates(t *testing.T) {
 	r := newRig(t, 4)
-	id, _ := r.mgr.Create(RAID5, 4096, 4, 0)
+	id, _ := r.mgr.Create(testCtx, RAID5, 4096, 4, 0)
 	obj, _ := OpenObject(r.mgr, r.drives, id, capability.Read)
 	seen := map[int]bool{}
 	for s := int64(0); s < 4; s++ {

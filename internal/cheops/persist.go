@@ -1,6 +1,7 @@
 package cheops
 
 import (
+	"context"
 	"fmt"
 
 	"nasd/internal/capability"
@@ -81,49 +82,49 @@ func (m *Manager) decodeState(b []byte) error {
 
 // save persists the directory object (best effort ordering: callers
 // hold no lock).
-func (m *Manager) save() error {
+func (m *Manager) save(ctx context.Context) error {
 	if m.dirObj == 0 {
 		return nil // persistence disabled (not formatted/mounted)
 	}
 	data := m.encodeState()
 	wc := m.mintWildcard(0, capability.Write|capability.SetAttr)
 	cli := m.drives[0].Client
-	if err := cli.Write(&wc, m.part, m.dirObj, 0, data); err != nil {
+	if err := cli.WritePipelined(ctx, &wc, m.part, m.dirObj, 0, data); err != nil {
 		return fmt.Errorf("cheops: persisting directory: %w", err)
 	}
 	// Shrink if the directory got smaller.
-	return cli.SetAttr(&wc, m.part, m.dirObj,
+	return cli.SetAttr(ctx, &wc, m.part, m.dirObj,
 		object.Attributes{Size: uint64(len(data))}, object.SetSize)
 }
 
 // initDirectory creates the directory object at format time.
-func (m *Manager) initDirectory() error {
+func (m *Manager) initDirectory(ctx context.Context) error {
 	cc := m.mintWildcard(0, capability.CreateObj)
-	obj, err := m.drives[0].Client.Create(&cc, m.part)
+	obj, err := m.drives[0].Client.Create(ctx, &cc, m.part)
 	if err != nil {
 		return fmt.Errorf("cheops: creating directory object: %w", err)
 	}
 	m.dirObj = obj
-	return m.save()
+	return m.save(ctx)
 }
 
 // loadDirectory finds and reads the directory object at mount time.
-func (m *Manager) loadDirectory() error {
+func (m *Manager) loadDirectory(ctx context.Context) error {
 	rc := m.mintWildcard(0, capability.Read|capability.GetAttr)
 	cli := m.drives[0].Client
-	ids, err := cli.List(&rc, m.part)
+	ids, err := cli.List(ctx, &rc, m.part)
 	if err != nil {
 		return fmt.Errorf("cheops: listing drive 0: %w", err)
 	}
 	for _, id := range ids {
-		attrs, err := cli.GetAttr(&rc, m.part, id)
+		attrs, err := cli.GetAttr(ctx, &rc, m.part, id)
 		if err != nil {
 			continue
 		}
 		if attrs.Size < 4 {
 			continue
 		}
-		head, err := cli.Read(&rc, m.part, id, 0, 4)
+		head, err := cli.Read(ctx, &rc, m.part, id, 0, 4)
 		if err != nil || len(head) < 4 {
 			continue
 		}
@@ -131,7 +132,7 @@ func (m *Manager) loadDirectory() error {
 		if d.U32() != dirMagic {
 			continue
 		}
-		data, err := cli.Read(&rc, m.part, id, 0, int(attrs.Size))
+		data, err := cli.ReadPipelined(ctx, &rc, m.part, id, 0, int(attrs.Size))
 		if err != nil {
 			return err
 		}

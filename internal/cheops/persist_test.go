@@ -12,11 +12,11 @@ import (
 // directory object and serves identical data.
 func TestManagerStateSurvivesRemount(t *testing.T) {
 	r := newRig(t, 4)
-	idStripe, err := r.mgr.Create(Stripe0, 32<<10, 4, 0)
+	idStripe, err := r.mgr.Create(testCtx, Stripe0, 32<<10, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	idRaid, err := r.mgr.Create(RAID5, 16<<10, 4, 0)
+	idRaid, err := r.mgr.Create(testCtx, RAID5, 16<<10, 4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,21 +25,21 @@ func TestManagerStateSurvivesRemount(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := bytes.Repeat([]byte("persist"), 20_000)
-	if err := obj.WriteAt(0, data); err != nil {
+	if err := obj.WriteAt(testCtx, 0, data); err != nil {
 		t.Fatal(err)
 	}
 	robj, err := OpenObject(r.mgr, r.drives, idRaid, capability.Read|capability.Write)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := robj.WriteAt(0, data[:50_000]); err != nil {
+	if err := robj.WriteAt(testCtx, 0, data[:50_000]); err != nil {
 		t.Fatal(err)
 	}
 
 	// "Restart" the manager: same drive connections, format=false.
 	refs := make([]DriveRef, len(r.mgr.drives))
 	copy(refs, r.mgr.drives)
-	mgr2, err := NewManager(ManagerConfig{Drives: refs, Partition: r.mgr.part}, false)
+	mgr2, err := NewManager(testCtx, ManagerConfig{Drives: refs, Partition: r.mgr.part}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestManagerStateSurvivesRemount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := obj2.ReadAt(0, len(data))
+	got, err := obj2.ReadAt(testCtx, 0, len(data))
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("data after remount: %v", err)
 	}
@@ -62,13 +62,13 @@ func TestManagerStateSurvivesRemount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err = robj2.ReadAt(0, 50_000)
+	got, err = robj2.ReadAt(testCtx, 0, 50_000)
 	if err != nil || !bytes.Equal(got, data[:50_000]) {
 		t.Fatalf("raid data after remount: %v", err)
 	}
 
 	// New objects on the remounted manager do not collide with old IDs.
-	id3, err := mgr2.Create(Stripe0, 32<<10, 2, 0)
+	id3, err := mgr2.Create(testCtx, Stripe0, 32<<10, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,16 +80,16 @@ func TestManagerStateSurvivesRemount(t *testing.T) {
 // TestRemovePersisted verifies deletions survive remount.
 func TestRemovePersisted(t *testing.T) {
 	r := newRig(t, 2)
-	id, err := r.mgr.Create(Stripe0, 4096, 2, 0)
+	id, err := r.mgr.Create(testCtx, Stripe0, 4096, 2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.mgr.Remove(id); err != nil {
+	if err := r.mgr.Remove(testCtx, id); err != nil {
 		t.Fatal(err)
 	}
 	refs := make([]DriveRef, len(r.mgr.drives))
 	copy(refs, r.mgr.drives)
-	mgr2, err := NewManager(ManagerConfig{Drives: refs, Partition: r.mgr.part}, false)
+	mgr2, err := NewManager(testCtx, ManagerConfig{Drives: refs, Partition: r.mgr.part}, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,11 +2,18 @@
 // over the RPC layer that attach capabilities, nonces, and request
 // digests to every call (the client half of Figure 5).
 //
+// Every call takes a context.Context: cancellation fails the pending
+// call immediately, and deadlines are mapped onto transport timeouts by
+// the RPC layer. Large transfers can be split into windows of in-flight
+// fragments with ReadPipelined/WritePipelined, which is how striped
+// clients keep every drive busy (Section 5.2).
+//
 // A client never holds drive secrets: it proves possession of a
 // capability's private portion by keying each request digest with it.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -18,7 +25,9 @@ import (
 	"nasd/internal/rpc"
 )
 
-// Errors surfaced by drive calls.
+// Errors surfaced by drive calls. They are matched through errors.Is
+// against the *RemoteError carrying the drive's status, so the same
+// checks work across client, fmrpc, and afsrpc.
 var (
 	// ErrAuth means the drive rejected the capability or digest; the
 	// caller should return to the file manager for a fresh capability.
@@ -27,15 +36,74 @@ var (
 	ErrReplay = errors.New("client: request rejected as replay")
 )
 
-// RemoteError carries a drive-reported failure.
+// RemoteError carries a drive- or manager-reported failure. It is the
+// one remote error shape for the whole client plane: the RPC status is
+// preserved for programmatic checks, Err optionally wraps a mapped
+// domain error (fmrpc and afsrpc use this), and errors.Is recognizes
+// ErrAuth and ErrReplay from the status.
 type RemoteError struct {
 	Status rpc.Status
 	Msg    string
+	Err    error // optional domain error (e.g. filemgr.ErrPerm)
 }
 
 // Error implements error.
 func (e *RemoteError) Error() string {
-	return fmt.Sprintf("client: drive returned %v: %s", e.Status, e.Msg)
+	return fmt.Sprintf("client: remote returned %v: %s", e.Status, e.Msg)
+}
+
+// Unwrap exposes the mapped domain error, if any.
+func (e *RemoteError) Unwrap() error { return e.Err }
+
+// Is maps RPC statuses onto the package sentinels so callers can write
+// errors.Is(err, client.ErrAuth) regardless of which RPC surface
+// produced the failure.
+func (e *RemoteError) Is(target error) bool {
+	switch target {
+	case ErrAuth:
+		return e.Status == rpc.StatusAuthFailure
+	case ErrReplay:
+		return e.Status == rpc.StatusReplay
+	}
+	return false
+}
+
+// Default pipelining parameters: fragments big enough to amortize
+// per-request cost, a window deep enough to cover the bandwidth-delay
+// product of a switched SAN.
+const (
+	DefaultFragmentSize = 64 << 10
+	DefaultWindow       = 8
+)
+
+// Option configures a Drive connection.
+type Option func(*Drive)
+
+// WithSecurity sets whether requests carry the security header and
+// digests; it must match the drive's configuration. Connections are
+// secure by default.
+func WithSecurity(secure bool) Option {
+	return func(d *Drive) { d.secure = secure }
+}
+
+// WithFragmentSize sets the transfer fragment size used by
+// ReadPipelined and WritePipelined.
+func WithFragmentSize(n int) Option {
+	return func(d *Drive) {
+		if n > 0 {
+			d.fragSize = n
+		}
+	}
+}
+
+// WithWindow sets how many fragments may be in flight at once in
+// pipelined transfers.
+func WithWindow(n int) Option {
+	return func(d *Drive) {
+		if n > 0 {
+			d.window = n
+		}
+	}
 }
 
 // Drive is a connection to one NASD drive.
@@ -45,12 +113,28 @@ type Drive struct {
 	clientID uint64
 	counter  atomic.Uint64
 	secure   bool
+	fragSize int
+	window   int
+	retries  atomic.Uint64
 }
 
 // New wraps an RPC connection to a drive. clientID identifies this
-// client in nonces; secure must match the drive's configuration.
-func New(conn rpc.Conn, driveID, clientID uint64, secure bool) *Drive {
-	return &Drive{cli: rpc.NewClient(conn), driveID: driveID, clientID: clientID, secure: secure}
+// client in nonces. Connections default to secure with the default
+// pipelining parameters; see WithSecurity, WithFragmentSize, and
+// WithWindow.
+func New(conn rpc.Conn, driveID, clientID uint64, opts ...Option) *Drive {
+	d := &Drive{
+		cli:      rpc.NewClient(conn),
+		driveID:  driveID,
+		clientID: clientID,
+		secure:   true,
+		fragSize: DefaultFragmentSize,
+		window:   DefaultWindow,
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
 }
 
 // Close releases the connection.
@@ -59,8 +143,19 @@ func (d *Drive) Close() error { return d.cli.Close() }
 // DriveID returns the drive identity this client targets.
 func (d *Drive) DriveID() uint64 { return d.driveID }
 
-// call assembles, signs, and issues one request.
-func (d *Drive) call(op drive.Op, cap *capability.Capability, args, data []byte) (*rpc.Reply, error) {
+// Stats is a snapshot of this connection's observability counters.
+type Stats struct {
+	RPC     rpc.ClientStats
+	Retries uint64 // pipelined fragments re-issued after transient failures
+}
+
+// Stats returns the connection counters.
+func (d *Drive) Stats() Stats {
+	return Stats{RPC: d.cli.Stats(), Retries: d.retries.Load()}
+}
+
+// do assembles, signs (via sign, when secure), and issues one request.
+func (d *Drive) do(ctx context.Context, op drive.Op, sign func(*rpc.Request), args, data []byte) (*rpc.Reply, error) {
 	req := &rpc.Request{
 		Proc: uint16(op),
 		Args: args,
@@ -72,63 +167,40 @@ func (d *Drive) call(op drive.Op, cap *capability.Capability, args, data []byte)
 	}
 	if d.secure {
 		req.SecOpts = rpc.SecIntegrity
+		sign(req)
+	}
+	rep, err := d.cli.Call(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Status != rpc.StatusOK {
+		return nil, &RemoteError{Status: rep.Status, Msg: rep.Msg}
+	}
+	return rep, nil
+}
+
+// call issues a capability-authorized request.
+func (d *Drive) call(ctx context.Context, op drive.Op, cap *capability.Capability, args, data []byte) (*rpc.Reply, error) {
+	return d.do(ctx, op, func(req *rpc.Request) {
 		if cap != nil {
 			req.Cap = cap.Public.Encode()
 			req.ReqDig = cap.SignRequest(req.SigningBody())
 		}
-	}
-	rep, err := d.cli.Call(req)
-	if err != nil {
-		return nil, err
-	}
-	switch rep.Status {
-	case rpc.StatusOK:
-		return rep, nil
-	case rpc.StatusAuthFailure:
-		return nil, fmt.Errorf("%w: %s", ErrAuth, rep.Msg)
-	case rpc.StatusReplay:
-		return nil, fmt.Errorf("%w: %s", ErrReplay, rep.Msg)
-	default:
-		return nil, &RemoteError{Status: rep.Status, Msg: rep.Msg}
-	}
+	}, args, data)
 }
 
 // callAdmin signs a management request directly under key (master or
 // drive key held by an administrator or file manager).
-func (d *Drive) callAdmin(op drive.Op, key crypt.Key, args, data []byte) (*rpc.Reply, error) {
-	req := &rpc.Request{
-		Proc: uint16(op),
-		Args: args,
-		Data: data,
-		Nonce: crypt.Nonce{
-			Client:  d.clientID,
-			Counter: d.counter.Add(1),
-		},
-	}
-	if d.secure {
-		req.SecOpts = rpc.SecIntegrity
+func (d *Drive) callAdmin(ctx context.Context, op drive.Op, key crypt.Key, args, data []byte) (*rpc.Reply, error) {
+	return d.do(ctx, op, func(req *rpc.Request) {
 		req.ReqDig = crypt.MAC(key, req.SigningBody())
-	}
-	rep, err := d.cli.Call(req)
-	if err != nil {
-		return nil, err
-	}
-	switch rep.Status {
-	case rpc.StatusOK:
-		return rep, nil
-	case rpc.StatusAuthFailure:
-		return nil, fmt.Errorf("%w: %s", ErrAuth, rep.Msg)
-	case rpc.StatusReplay:
-		return nil, fmt.Errorf("%w: %s", ErrReplay, rep.Msg)
-	default:
-		return nil, &RemoteError{Status: rep.Status, Msg: rep.Msg}
-	}
+	}, args, data)
 }
 
 // Read fetches object bytes [off, off+n).
-func (d *Drive) Read(cap *capability.Capability, part uint16, obj, off uint64, n int) ([]byte, error) {
+func (d *Drive) Read(ctx context.Context, cap *capability.Capability, part uint16, obj, off uint64, n int) ([]byte, error) {
 	args := (&drive.ReadArgs{Partition: part, Object: obj, Offset: off, Length: uint64(n)}).Encode()
-	rep, err := d.call(drive.OpReadObject, cap, args, nil)
+	rep, err := d.call(ctx, drive.OpReadObject, cap, args, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -136,16 +208,16 @@ func (d *Drive) Read(cap *capability.Capability, part uint16, obj, off uint64, n
 }
 
 // Write stores data at off.
-func (d *Drive) Write(cap *capability.Capability, part uint16, obj, off uint64, data []byte) error {
+func (d *Drive) Write(ctx context.Context, cap *capability.Capability, part uint16, obj, off uint64, data []byte) error {
 	args := (&drive.WriteArgs{Partition: part, Object: obj, Offset: off}).Encode()
-	_, err := d.call(drive.OpWriteObject, cap, args, data)
+	_, err := d.call(ctx, drive.OpWriteObject, cap, args, data)
 	return err
 }
 
 // GetAttr fetches object attributes.
-func (d *Drive) GetAttr(cap *capability.Capability, part uint16, obj uint64) (object.Attributes, error) {
+func (d *Drive) GetAttr(ctx context.Context, cap *capability.Capability, part uint16, obj uint64) (object.Attributes, error) {
 	args := (&drive.ObjArgs{Partition: part, Object: obj}).Encode()
-	rep, err := d.call(drive.OpGetAttr, cap, args, nil)
+	rep, err := d.call(ctx, drive.OpGetAttr, cap, args, nil)
 	if err != nil {
 		return object.Attributes{}, err
 	}
@@ -153,17 +225,17 @@ func (d *Drive) GetAttr(cap *capability.Capability, part uint16, obj uint64) (ob
 }
 
 // SetAttr updates attributes selected by mask.
-func (d *Drive) SetAttr(cap *capability.Capability, part uint16, obj uint64, attrs object.Attributes, mask object.SetAttrMask) error {
+func (d *Drive) SetAttr(ctx context.Context, cap *capability.Capability, part uint16, obj uint64, attrs object.Attributes, mask object.SetAttrMask) error {
 	args := (&drive.SetAttrArgs{Partition: part, Object: obj, Mask: uint32(mask), Attrs: attrs}).Encode()
-	_, err := d.call(drive.OpSetAttr, cap, args, nil)
+	_, err := d.call(ctx, drive.OpSetAttr, cap, args, nil)
 	return err
 }
 
 // Create makes a new object in part, returning its ID. The capability
 // must be partition-scope with CreateObj rights.
-func (d *Drive) Create(cap *capability.Capability, part uint16) (uint64, error) {
+func (d *Drive) Create(ctx context.Context, cap *capability.Capability, part uint16) (uint64, error) {
 	args := (&drive.ObjArgs{Partition: part}).Encode()
-	rep, err := d.call(drive.OpCreateObject, cap, args, nil)
+	rep, err := d.call(ctx, drive.OpCreateObject, cap, args, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -171,16 +243,16 @@ func (d *Drive) Create(cap *capability.Capability, part uint16) (uint64, error) 
 }
 
 // Remove deletes an object.
-func (d *Drive) Remove(cap *capability.Capability, part uint16, obj uint64) error {
+func (d *Drive) Remove(ctx context.Context, cap *capability.Capability, part uint16, obj uint64) error {
 	args := (&drive.ObjArgs{Partition: part, Object: obj}).Encode()
-	_, err := d.call(drive.OpRemoveObject, cap, args, nil)
+	_, err := d.call(ctx, drive.OpRemoveObject, cap, args, nil)
 	return err
 }
 
 // VersionObject snapshots an object copy-on-write, returning the new ID.
-func (d *Drive) VersionObject(cap *capability.Capability, part uint16, obj uint64) (uint64, error) {
+func (d *Drive) VersionObject(ctx context.Context, cap *capability.Capability, part uint16, obj uint64) (uint64, error) {
 	args := (&drive.ObjArgs{Partition: part, Object: obj}).Encode()
-	rep, err := d.call(drive.OpVersionObject, cap, args, nil)
+	rep, err := d.call(ctx, drive.OpVersionObject, cap, args, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -189,9 +261,9 @@ func (d *Drive) VersionObject(cap *capability.Capability, part uint16, obj uint6
 
 // BumpVersion increments an object's logical version (revoking extant
 // capabilities) and returns the new version.
-func (d *Drive) BumpVersion(cap *capability.Capability, part uint16, obj uint64) (uint64, error) {
+func (d *Drive) BumpVersion(ctx context.Context, cap *capability.Capability, part uint16, obj uint64) (uint64, error) {
 	args := (&drive.ObjArgs{Partition: part, Object: obj}).Encode()
-	rep, err := d.call(drive.OpBumpVersion, cap, args, nil)
+	rep, err := d.call(ctx, drive.OpBumpVersion, cap, args, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -199,9 +271,9 @@ func (d *Drive) BumpVersion(cap *capability.Capability, part uint16, obj uint64)
 }
 
 // List returns the IDs of the objects in a partition.
-func (d *Drive) List(cap *capability.Capability, part uint16) ([]uint64, error) {
+func (d *Drive) List(ctx context.Context, cap *capability.Capability, part uint16) ([]uint64, error) {
 	args := (&drive.ObjArgs{Partition: part}).Encode()
-	rep, err := d.call(drive.OpListObjects, cap, args, nil)
+	rep, err := d.call(ctx, drive.OpListObjects, cap, args, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -210,9 +282,9 @@ func (d *Drive) List(cap *capability.Capability, part uint16) ([]uint64, error) 
 
 // Execute runs a registered Active Disk kernel against an object and
 // returns its (small) result.
-func (d *Drive) Execute(cap *capability.Capability, part uint16, obj uint64, kernel string, params []byte) ([]byte, error) {
+func (d *Drive) Execute(ctx context.Context, cap *capability.Capability, part uint16, obj uint64, kernel string, params []byte) ([]byte, error) {
 	args := (&drive.ExecuteArgs{Partition: part, Object: obj, Kernel: kernel, Params: params}).Encode()
-	rep, err := d.call(drive.OpExecute, cap, args, nil)
+	rep, err := d.call(ctx, drive.OpExecute, cap, args, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -220,8 +292,8 @@ func (d *Drive) Execute(cap *capability.Capability, part uint16, obj uint64, ker
 }
 
 // Flush forces drive write-behind data to stable storage.
-func (d *Drive) Flush() error {
-	_, err := d.call(drive.OpFlush, nil, nil, nil)
+func (d *Drive) Flush(ctx context.Context) error {
+	_, err := d.call(ctx, drive.OpFlush, nil, nil, nil)
 	return err
 }
 
@@ -233,30 +305,30 @@ func keyRef(id crypt.KeyID) drive.KeyRef {
 
 // CreatePartition creates a partition; authKey must be the master or
 // drive key named by authID.
-func (d *Drive) CreatePartition(authID crypt.KeyID, authKey crypt.Key, part uint16, quota int64) error {
+func (d *Drive) CreatePartition(ctx context.Context, authID crypt.KeyID, authKey crypt.Key, part uint16, quota int64) error {
 	args := (&drive.PartArgs{Partition: part, Quota: quota, AuthKey: keyRef(authID)}).Encode()
-	_, err := d.callAdmin(drive.OpCreatePartition, authKey, args, nil)
+	_, err := d.callAdmin(ctx, drive.OpCreatePartition, authKey, args, nil)
 	return err
 }
 
 // ResizePartition changes a partition quota.
-func (d *Drive) ResizePartition(authID crypt.KeyID, authKey crypt.Key, part uint16, quota int64) error {
+func (d *Drive) ResizePartition(ctx context.Context, authID crypt.KeyID, authKey crypt.Key, part uint16, quota int64) error {
 	args := (&drive.PartArgs{Partition: part, Quota: quota, AuthKey: keyRef(authID)}).Encode()
-	_, err := d.callAdmin(drive.OpResizePartition, authKey, args, nil)
+	_, err := d.callAdmin(ctx, drive.OpResizePartition, authKey, args, nil)
 	return err
 }
 
 // RemovePartition deletes an empty partition.
-func (d *Drive) RemovePartition(authID crypt.KeyID, authKey crypt.Key, part uint16) error {
+func (d *Drive) RemovePartition(ctx context.Context, authID crypt.KeyID, authKey crypt.Key, part uint16) error {
 	args := (&drive.PartArgs{Partition: part, AuthKey: keyRef(authID)}).Encode()
-	_, err := d.callAdmin(drive.OpRemovePartition, authKey, args, nil)
+	_, err := d.callAdmin(ctx, drive.OpRemovePartition, authKey, args, nil)
 	return err
 }
 
 // GetPartition fetches partition metadata.
-func (d *Drive) GetPartition(authID crypt.KeyID, authKey crypt.Key, part uint16) (object.Partition, error) {
+func (d *Drive) GetPartition(ctx context.Context, authID crypt.KeyID, authKey crypt.Key, part uint16) (object.Partition, error) {
 	args := (&drive.PartArgs{Partition: part, AuthKey: keyRef(authID)}).Encode()
-	rep, err := d.callAdmin(drive.OpGetPartition, authKey, args, nil)
+	rep, err := d.callAdmin(ctx, drive.OpGetPartition, authKey, args, nil)
 	if err != nil {
 		return object.Partition{}, err
 	}
@@ -264,12 +336,12 @@ func (d *Drive) GetPartition(authID crypt.KeyID, authKey crypt.Key, part uint16)
 }
 
 // SetKey installs a key on the drive (the set-security-key request).
-func (d *Drive) SetKey(authID crypt.KeyID, authKey crypt.Key, target crypt.KeyID, key crypt.Key) error {
+func (d *Drive) SetKey(ctx context.Context, authID crypt.KeyID, authKey crypt.Key, target crypt.KeyID, key crypt.Key) error {
 	args := (&drive.SetKeyArgs{
 		Target:  keyRef(target),
 		Key:     key[:],
 		AuthKey: keyRef(authID),
 	}).Encode()
-	_, err := d.callAdmin(drive.OpSetKey, authKey, args, nil)
+	_, err := d.callAdmin(ctx, drive.OpSetKey, authKey, args, nil)
 	return err
 }

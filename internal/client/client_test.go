@@ -2,6 +2,7 @@ package client
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -13,6 +14,9 @@ import (
 	"nasd/internal/object"
 	"nasd/internal/rpc"
 )
+
+// testCtx is the background context threaded through the package tests.
+var testCtx = context.Background()
 
 // testRig wires a secure drive to a client over an in-process transport
 // and plays the file manager's role of minting capabilities from the
@@ -41,7 +45,7 @@ func newRig(t *testing.T, secure bool) *testRig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cli := New(conn, 7, 1001, secure)
+	cli := New(conn, 7, 1001, WithSecurity(secure))
 	t.Cleanup(func() { cli.Close() })
 	return &testRig{drv: drv, cli: cli, srv: srv, listener: l,
 		fmKeys: crypt.NewHierarchy(master), master: master}
@@ -51,7 +55,7 @@ func newRig(t *testing.T, secure bool) *testRig {
 // the file manager's hierarchy.
 func (r *testRig) mkpart(t *testing.T, id uint16, quota int64) {
 	t.Helper()
-	if err := r.cli.CreatePartition(crypt.KeyID{Type: crypt.MasterKey}, r.master, id, quota); err != nil {
+	if err := r.cli.CreatePartition(testCtx, crypt.KeyID{Type: crypt.MasterKey}, r.master, id, quota); err != nil {
 		t.Fatal(err)
 	}
 	if err := r.fmKeys.AddPartition(id); err != nil {
@@ -83,24 +87,24 @@ func TestSecureEndToEnd(t *testing.T) {
 	r.mkpart(t, 1, 0)
 
 	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
-	id, err := r.cli.Create(&createCap, 1)
+	id, err := r.cli.Create(testCtx, &createCap, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	rwCap := r.mint(t, 1, id, 1, capability.Read|capability.Write|capability.GetAttr)
 	data := bytes.Repeat([]byte("nasd!"), 4000)
-	if err := r.cli.Write(&rwCap, 1, id, 0, data); err != nil {
+	if err := r.cli.Write(testCtx, &rwCap, 1, id, 0, data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := r.cli.Read(&rwCap, 1, id, 0, len(data))
+	got, err := r.cli.Read(testCtx, &rwCap, 1, id, 0, len(data))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("round trip mismatch")
 	}
-	at, err := r.cli.GetAttr(&rwCap, 1, id)
+	at, err := r.cli.GetAttr(testCtx, &rwCap, 1, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,14 +117,14 @@ func TestInsecureModeSkipsChecks(t *testing.T) {
 	r := newRig(t, false)
 	r.mkpart(t, 1, 0)
 	// No capability at all.
-	id, err := r.cli.Create(nil, 1)
+	id, err := r.cli.Create(testCtx, nil, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := r.cli.Write(nil, 1, id, 0, []byte("open season")); err != nil {
+	if err := r.cli.Write(testCtx, nil, 1, id, 0, []byte("open season")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := r.cli.Read(nil, 1, id, 0, 11)
+	got, err := r.cli.Read(testCtx, nil, 1, id, 0, 11)
 	if err != nil || string(got) != "open season" {
 		t.Fatalf("read = %q, %v", got, err)
 	}
@@ -129,7 +133,7 @@ func TestInsecureModeSkipsChecks(t *testing.T) {
 func TestMissingCapabilityRejected(t *testing.T) {
 	r := newRig(t, true)
 	r.mkpart(t, 1, 0)
-	if _, err := r.cli.Create(nil, 1); !errors.Is(err, ErrAuth) {
+	if _, err := r.cli.Create(testCtx, nil, 1); !errors.Is(err, ErrAuth) {
 		t.Fatalf("create without capability: %v", err)
 	}
 }
@@ -138,12 +142,12 @@ func TestInsufficientRightsRejected(t *testing.T) {
 	r := newRig(t, true)
 	r.mkpart(t, 1, 0)
 	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
-	id, err := r.cli.Create(&createCap, 1)
+	id, err := r.cli.Create(testCtx, &createCap, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	roCap := r.mint(t, 1, id, 1, capability.Read)
-	if err := r.cli.Write(&roCap, 1, id, 0, []byte("x")); !errors.Is(err, ErrAuth) {
+	if err := r.cli.Write(testCtx, &roCap, 1, id, 0, []byte("x")); !errors.Is(err, ErrAuth) {
 		t.Fatalf("write with read-only capability: %v", err)
 	}
 }
@@ -152,21 +156,21 @@ func TestVersionBumpRevokes(t *testing.T) {
 	r := newRig(t, true)
 	r.mkpart(t, 1, 0)
 	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
-	id, _ := r.cli.Create(&createCap, 1)
+	id, _ := r.cli.Create(testCtx, &createCap, 1)
 	rwCap := r.mint(t, 1, id, 1, capability.Read|capability.Write|capability.SetAttr)
-	if err := r.cli.Write(&rwCap, 1, id, 0, []byte("v1")); err != nil {
+	if err := r.cli.Write(testCtx, &rwCap, 1, id, 0, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	// File manager revokes by bumping the logical version.
-	if _, err := r.cli.BumpVersion(&rwCap, 1, id); err != nil {
+	if _, err := r.cli.BumpVersion(testCtx, &rwCap, 1, id); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.cli.Read(&rwCap, 1, id, 0, 2); !errors.Is(err, ErrAuth) {
+	if _, err := r.cli.Read(testCtx, &rwCap, 1, id, 0, 2); !errors.Is(err, ErrAuth) {
 		t.Fatalf("read with revoked capability: %v", err)
 	}
 	// A fresh capability against the new version works.
 	fresh := r.mint(t, 1, id, 2, capability.Read)
-	if got, err := r.cli.Read(&fresh, 1, id, 0, 2); err != nil || string(got) != "v1" {
+	if got, err := r.cli.Read(testCtx, &fresh, 1, id, 0, 2); err != nil || string(got) != "v1" {
 		t.Fatalf("read with fresh capability: %q, %v", got, err)
 	}
 }
@@ -175,9 +179,9 @@ func TestByteRangeRestriction(t *testing.T) {
 	r := newRig(t, true)
 	r.mkpart(t, 1, 0)
 	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
-	id, _ := r.cli.Create(&createCap, 1)
+	id, _ := r.cli.Create(testCtx, &createCap, 1)
 	w := r.mint(t, 1, id, 1, capability.Write)
-	if err := r.cli.Write(&w, 1, id, 0, make([]byte, 8192)); err != nil {
+	if err := r.cli.Write(testCtx, &w, 1, id, 0, make([]byte, 8192)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -188,10 +192,10 @@ func TestByteRangeRestriction(t *testing.T) {
 		Expiry: time.Now().Add(time.Hour).UnixNano(), Key: kid,
 	}
 	ranged := capability.Mint(pub, key)
-	if _, err := r.cli.Read(&ranged, 1, id, 0, 4096); err != nil {
+	if _, err := r.cli.Read(testCtx, &ranged, 1, id, 0, 4096); err != nil {
 		t.Fatalf("in-range read: %v", err)
 	}
-	if _, err := r.cli.Read(&ranged, 1, id, 4096, 4096); !errors.Is(err, ErrAuth) {
+	if _, err := r.cli.Read(testCtx, &ranged, 1, id, 4096, 4096); !errors.Is(err, ErrAuth) {
 		t.Fatalf("out-of-range read: %v", err)
 	}
 }
@@ -200,7 +204,7 @@ func TestWorkingKeyRotationViaSetKey(t *testing.T) {
 	r := newRig(t, true)
 	r.mkpart(t, 1, 0)
 	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
-	id, _ := r.cli.Create(&createCap, 1)
+	id, _ := r.cli.Create(testCtx, &createCap, 1)
 	oldCap := r.mint(t, 1, id, 1, capability.Read)
 
 	// File manager rotates the working key on both sides.
@@ -209,16 +213,16 @@ func TestWorkingKeyRotationViaSetKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	newKey, _ := r.fmKeys.Lookup(newID)
-	if err := r.cli.SetKey(crypt.KeyID{Type: crypt.MasterKey}, r.master, newID, newKey); err != nil {
+	if err := r.cli.SetKey(testCtx, crypt.KeyID{Type: crypt.MasterKey}, r.master, newID, newKey); err != nil {
 		t.Fatal(err)
 	}
 	// Old capabilities die wholesale.
-	if _, err := r.cli.Read(&oldCap, 1, id, 0, 1); !errors.Is(err, ErrAuth) {
+	if _, err := r.cli.Read(testCtx, &oldCap, 1, id, 0, 1); !errors.Is(err, ErrAuth) {
 		t.Fatalf("capability survived key rotation: %v", err)
 	}
 	// New ones verify.
 	fresh := r.mint(t, 1, id, 1, capability.Read)
-	if _, err := r.cli.Read(&fresh, 1, id, 0, 1); err != nil {
+	if _, err := r.cli.Read(testCtx, &fresh, 1, id, 0, 1); err != nil {
 		t.Fatalf("fresh capability after rotation: %v", err)
 	}
 }
@@ -226,14 +230,14 @@ func TestWorkingKeyRotationViaSetKey(t *testing.T) {
 func TestAdminRequiresDriveKey(t *testing.T) {
 	r := newRig(t, true)
 	wrong := crypt.NewRandomKey()
-	err := r.cli.CreatePartition(crypt.KeyID{Type: crypt.MasterKey}, wrong, 5, 0)
+	err := r.cli.CreatePartition(testCtx, crypt.KeyID{Type: crypt.MasterKey}, wrong, 5, 0)
 	if !errors.Is(err, ErrAuth) {
 		t.Fatalf("partition create with wrong key: %v", err)
 	}
 	// Working keys cannot authorize management.
 	r.mkpart(t, 1, 0)
 	kid, key, _ := r.fmKeys.CurrentWorkingKey(1)
-	err = r.cli.CreatePartition(kid, key, 6, 0)
+	err = r.cli.CreatePartition(testCtx, kid, key, 6, 0)
 	if !errors.Is(err, ErrAuth) {
 		t.Fatalf("partition create with working key: %v", err)
 	}
@@ -243,24 +247,24 @@ func TestPartitionManagementRoundTrip(t *testing.T) {
 	r := newRig(t, true)
 	auth := crypt.KeyID{Type: crypt.MasterKey}
 	r.mkpart(t, 2, 128)
-	p, err := r.cli.GetPartition(auth, r.master, 2)
+	p, err := r.cli.GetPartition(testCtx, auth, r.master, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p.QuotaBlocks != 128 {
 		t.Fatalf("quota = %d", p.QuotaBlocks)
 	}
-	if err := r.cli.ResizePartition(auth, r.master, 2, 256); err != nil {
+	if err := r.cli.ResizePartition(testCtx, auth, r.master, 2, 256); err != nil {
 		t.Fatal(err)
 	}
-	p, _ = r.cli.GetPartition(auth, r.master, 2)
+	p, _ = r.cli.GetPartition(testCtx, auth, r.master, 2)
 	if p.QuotaBlocks != 256 {
 		t.Fatalf("resized quota = %d", p.QuotaBlocks)
 	}
-	if err := r.cli.RemovePartition(auth, r.master, 2); err != nil {
+	if err := r.cli.RemovePartition(testCtx, auth, r.master, 2); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.cli.GetPartition(auth, r.master, 2); err == nil {
+	if _, err := r.cli.GetPartition(testCtx, auth, r.master, 2); err == nil {
 		t.Fatal("removed partition still present")
 	}
 }
@@ -269,23 +273,23 @@ func TestVersionObjectAndList(t *testing.T) {
 	r := newRig(t, true)
 	r.mkpart(t, 1, 0)
 	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
-	id, _ := r.cli.Create(&createCap, 1)
+	id, _ := r.cli.Create(testCtx, &createCap, 1)
 	rw := r.mint(t, 1, id, 1, capability.Read|capability.Write|capability.Version)
-	if err := r.cli.Write(&rw, 1, id, 0, []byte("snapshot me")); err != nil {
+	if err := r.cli.Write(testCtx, &rw, 1, id, 0, []byte("snapshot me")); err != nil {
 		t.Fatal(err)
 	}
-	snapID, err := r.cli.VersionObject(&rw, 1, id)
+	snapID, err := r.cli.VersionObject(testCtx, &rw, 1, id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	snapCap := r.mint(t, 1, snapID, 1, capability.Read)
-	got, err := r.cli.Read(&snapCap, 1, snapID, 0, 11)
+	got, err := r.cli.Read(testCtx, &snapCap, 1, snapID, 0, 11)
 	if err != nil || string(got) != "snapshot me" {
 		t.Fatalf("snapshot read = %q, %v", got, err)
 	}
 
 	listCap := r.mint(t, 1, 0, 0, capability.Read)
-	ids, err := r.cli.List(&listCap, 1)
+	ids, err := r.cli.List(testCtx, &listCap, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,14 +302,14 @@ func TestSetAttrUninterp(t *testing.T) {
 	r := newRig(t, true)
 	r.mkpart(t, 1, 0)
 	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
-	id, _ := r.cli.Create(&createCap, 1)
+	id, _ := r.cli.Create(testCtx, &createCap, 1)
 	sa := r.mint(t, 1, id, 1, capability.SetAttr|capability.GetAttr)
 	var attrs object.Attributes
 	copy(attrs.Uninterp[:], []byte("uid=3 gid=4 mode=0644"))
-	if err := r.cli.SetAttr(&sa, 1, id, attrs, object.SetUninterp); err != nil {
+	if err := r.cli.SetAttr(testCtx, &sa, 1, id, attrs, object.SetUninterp); err != nil {
 		t.Fatal(err)
 	}
-	got, err := r.cli.GetAttr(&sa, 1, id)
+	got, err := r.cli.GetAttr(testCtx, &sa, 1, id)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,7 +322,7 @@ func TestTamperedRequestRejected(t *testing.T) {
 	r := newRig(t, true)
 	r.mkpart(t, 1, 0)
 	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
-	id, _ := r.cli.Create(&createCap, 1)
+	id, _ := r.cli.Create(testCtx, &createCap, 1)
 	w := r.mint(t, 1, id, 1, capability.Write)
 
 	// Hand-build a request whose digest covers different data than it
@@ -343,7 +347,7 @@ func TestReplayRejected(t *testing.T) {
 	r := newRig(t, true)
 	r.mkpart(t, 1, 0)
 	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
-	id, _ := r.cli.Create(&createCap, 1)
+	id, _ := r.cli.Create(testCtx, &createCap, 1)
 	rd := r.mint(t, 1, id, 1, capability.Read)
 
 	args := (&drive.ReadArgs{Partition: 1, Object: id, Offset: 0, Length: 1}).Encode()
@@ -380,11 +384,11 @@ func TestTCPTransportEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cli := New(conn, 9, 2002, true)
+	cli := New(conn, 9, 2002)
 	defer cli.Close()
 
 	fm := crypt.NewHierarchy(master)
-	if err := cli.CreatePartition(crypt.KeyID{Type: crypt.MasterKey}, master, 1, 0); err != nil {
+	if err := cli.CreatePartition(testCtx, crypt.KeyID{Type: crypt.MasterKey}, master, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := fm.AddPartition(1); err != nil {
@@ -398,20 +402,20 @@ func TestTCPTransportEndToEnd(t *testing.T) {
 		}, key)
 	}
 	cc := mk(0, 0, capability.CreateObj)
-	id, err := cli.Create(&cc, 1)
+	id, err := cli.Create(testCtx, &cc, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	rw := mk(id, 1, capability.Read|capability.Write)
 	payload := bytes.Repeat([]byte{0xA5}, 1<<20)
-	if err := cli.Write(&rw, 1, id, 0, payload); err != nil {
+	if err := cli.Write(testCtx, &rw, 1, id, 0, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cli.Read(&rw, 1, id, 0, len(payload))
+	got, err := cli.Read(testCtx, &rw, 1, id, 0, len(payload))
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("TCP round trip failed: %v", err)
 	}
-	if err := cli.Flush(); err != nil {
+	if err := cli.Flush(testCtx); err != nil {
 		t.Fatal(err)
 	}
 
@@ -430,11 +434,11 @@ func TestTCPTransportEndToEnd(t *testing.T) {
 func TestAccountingCharged(t *testing.T) {
 	r := newRig(t, false)
 	r.mkpart(t, 1, 0)
-	id, _ := r.cli.Create(nil, 1)
-	if err := r.cli.Write(nil, 1, id, 0, make([]byte, 64*1024)); err != nil {
+	id, _ := r.cli.Create(testCtx, nil, 1)
+	if err := r.cli.Write(testCtx, nil, 1, id, 0, make([]byte, 64*1024)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.cli.Read(nil, 1, id, 0, 64*1024); err != nil {
+	if _, err := r.cli.Read(testCtx, nil, 1, id, 0, 64*1024); err != nil {
 		t.Fatal(err)
 	}
 	stats, in, out := r.drv.Accounting().Stats()

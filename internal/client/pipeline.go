@@ -1,0 +1,146 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"nasd/internal/capability"
+	"nasd/internal/rpc"
+)
+
+// This file implements striped-transfer pipelining over the multiplexed
+// RPC connection: a large read or write is split into fragments and up
+// to window fragments are kept in flight at once, so the drive's media
+// transfer overlaps the SAN transfer of neighbouring fragments (the
+// Zebra-style pipelined stripe access the paper's Figure 9 workload
+// depends on). Fragments that fail with a transient drive error are
+// re-issued once; re-issues are visible in Stats().Retries.
+
+// transient reports whether a fragment failure is worth one retry:
+// generic drive errors may be momentary (cache pressure, write-behind
+// stalls), while auth failures, replays, missing objects, and quota
+// rejections name permanent conditions.
+func transient(err error) bool {
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		return false // transport errors kill the connection; no retry
+	}
+	return re.Status == rpc.StatusError
+}
+
+// fragPlan describes one fragment of a pipelined transfer.
+type fragPlan struct {
+	index int
+	off   uint64 // object offset
+	start int    // offset into the caller's buffer
+	n     int
+}
+
+// planFragments splits [0, n) into fragSize pieces.
+func planFragments(off uint64, n, fragSize int) []fragPlan {
+	frags := make([]fragPlan, 0, (n+fragSize-1)/fragSize)
+	for start := 0; start < n; start += fragSize {
+		fn := n - start
+		if fn > fragSize {
+			fn = fragSize
+		}
+		frags = append(frags, fragPlan{index: len(frags), off: off + uint64(start), start: start, n: fn})
+	}
+	return frags
+}
+
+// runWindowed executes op over frags with at most window in flight,
+// canceling the remainder after the first failure. It returns the first
+// real (non-cancellation) error, or ctx's error if the caller canceled.
+func (d *Drive) runWindowed(ctx context.Context, frags []fragPlan, window int, op func(ctx context.Context, f fragPlan) error) error {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(frags))
+	sem := make(chan struct{}, window)
+	var wg sync.WaitGroup
+	for _, f := range frags {
+		if cctx.Err() != nil {
+			break
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(f fragPlan) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			err := op(cctx, f)
+			if err != nil && transient(err) && cctx.Err() == nil {
+				d.retries.Add(1)
+				err = op(cctx, f)
+			}
+			if err != nil {
+				errs[f.index] = err
+				cancel()
+			}
+		}(f)
+	}
+	wg.Wait()
+	var firstCancel error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if firstCancel == nil {
+				firstCancel = err
+			}
+			continue
+		}
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstCancel
+}
+
+// ReadPipelined fetches object bytes [off, off+n) as a window of
+// concurrent fragment reads. Short reads at end-of-object truncate the
+// result exactly as a single Read would: data is returned up to the
+// first fragment that came back short.
+func (d *Drive) ReadPipelined(ctx context.Context, cap *capability.Capability, part uint16, obj, off uint64, n int) ([]byte, error) {
+	if n <= d.fragSize {
+		return d.Read(ctx, cap, part, obj, off, n)
+	}
+	out := make([]byte, n)
+	frags := planFragments(off, n, d.fragSize)
+	got := make([]int, len(frags))
+	err := d.runWindowed(ctx, frags, d.window, func(cctx context.Context, f fragPlan) error {
+		data, err := d.Read(cctx, cap, part, obj, f.off, f.n)
+		if err != nil {
+			return err
+		}
+		got[f.index] = copy(out[f.start:f.start+f.n], data)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for i, f := range frags {
+		total += got[i]
+		if got[i] < f.n {
+			break
+		}
+	}
+	return out[:total], nil
+}
+
+// WritePipelined stores data at off as a window of concurrent fragment
+// writes. Fragments cover disjoint ranges, so completion order does not
+// affect the final contents; after an error the write may have landed
+// partially, exactly like a torn serial write.
+func (d *Drive) WritePipelined(ctx context.Context, cap *capability.Capability, part uint16, obj, off uint64, data []byte) error {
+	if len(data) <= d.fragSize {
+		return d.Write(ctx, cap, part, obj, off, data)
+	}
+	frags := planFragments(off, len(data), d.fragSize)
+	return d.runWindowed(ctx, frags, d.window, func(cctx context.Context, f fragPlan) error {
+		return d.Write(cctx, cap, part, obj, f.off, data[f.start:f.start+f.n])
+	})
+}

@@ -1,0 +1,213 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"nasd/internal/capability"
+)
+
+// pipeDrive dials a fresh connection on the rig's listener with small
+// pipelining fragments so tests exercise multi-fragment windows without
+// multi-megabyte payloads.
+func pipeDrive(t *testing.T, r *testRig, clientID uint64, opts ...Option) *Drive {
+	t.Helper()
+	conn, err := r.listener.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(conn, 7, clientID, append([]Option{WithFragmentSize(4 << 10), WithWindow(4)}, opts...)...)
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestReadPipelinedMatchesRead(t *testing.T) {
+	r := newRig(t, true)
+	r.mkpart(t, 1, 0)
+	d := pipeDrive(t, r, 4001)
+
+	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
+	id, err := d.Create(testCtx, &createCap, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := r.mint(t, 1, id, 1, capability.Read|capability.Write)
+	data := make([]byte, 100<<10) // 25 fragments at 4 KB
+	rand.New(rand.NewSource(31)).Read(data)
+	if err := d.WritePipelined(testCtx, &rw, 1, id, 0, data); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct{ off, n int }{
+		{0, len(data)},       // full object
+		{1000, 50<<10 + 17},  // unaligned interior window
+		{0, 4 << 10},         // exactly one fragment (serial fallback)
+		{90 << 10, 64 << 10}, // runs past EOF: truncates like Read
+		{len(data), 8 << 10}, // entirely past EOF
+	} {
+		want, err := d.Read(testCtx, &rw, 1, id, uint64(tc.off), tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.ReadPipelined(testCtx, &rw, 1, id, uint64(tc.off), tc.n)
+		if err != nil {
+			t.Fatalf("pipelined read off=%d n=%d: %v", tc.off, tc.n, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("pipelined read off=%d n=%d: %d bytes != serial %d bytes", tc.off, tc.n, len(got), len(want))
+		}
+	}
+}
+
+func TestWritePipelinedDisjointFragments(t *testing.T) {
+	r := newRig(t, true)
+	r.mkpart(t, 1, 0)
+	d := pipeDrive(t, r, 4002)
+
+	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
+	id, _ := d.Create(testCtx, &createCap, 1)
+	rw := r.mint(t, 1, id, 1, capability.Read|capability.Write)
+
+	// Overlapping pipelined writes at an unaligned offset: the final
+	// contents equal what serial writes would produce.
+	base := bytes.Repeat([]byte{0x11}, 60<<10)
+	if err := d.WritePipelined(testCtx, &rw, 1, id, 0, base); err != nil {
+		t.Fatal(err)
+	}
+	patch := bytes.Repeat([]byte{0x22}, 20<<10)
+	if err := d.WritePipelined(testCtx, &rw, 1, id, 12345, patch); err != nil {
+		t.Fatal(err)
+	}
+	copy(base[12345:], patch)
+	got, err := d.ReadPipelined(testCtx, &rw, 1, id, 0, len(base))
+	if err != nil || !bytes.Equal(got, base) {
+		t.Fatalf("contents after overlapping pipelined writes: %v", err)
+	}
+}
+
+// TestPipelinedMixedStress hammers ONE connection with concurrent
+// pipelined readers and writers on separate objects. Under -race this
+// exercises the mux, the fragment window, the nonce counter, and the
+// drive's replay window together.
+func TestPipelinedMixedStress(t *testing.T) {
+	r := newRig(t, true)
+	r.mkpart(t, 1, 0)
+	d := pipeDrive(t, r, 4003)
+
+	const nWorkers = 4
+	const rounds = 8
+	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
+	var wg sync.WaitGroup
+	errs := make([]error, nWorkers)
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = func() error {
+				id, err := d.Create(testCtx, &createCap, 1)
+				if err != nil {
+					return err
+				}
+				rw := r.mint(t, 1, id, 1, capability.Read|capability.Write)
+				payload := bytes.Repeat([]byte{byte(w + 1)}, 32<<10)
+				for i := 0; i < rounds; i++ {
+					if err := d.WritePipelined(testCtx, &rw, 1, id, 0, payload); err != nil {
+						return err
+					}
+					got, err := d.ReadPipelined(testCtx, &rw, 1, id, 0, len(payload))
+					if err != nil {
+						return err
+					}
+					if !bytes.Equal(got, payload) {
+						return errors.New("corrupted pipelined round trip")
+					}
+				}
+				return nil
+			}()
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", w, err)
+		}
+	}
+	if st := d.Stats(); st.RPC.InFlight != 0 {
+		t.Fatalf("in-flight after stress = %d", st.RPC.InFlight)
+	}
+}
+
+// TestCancellationMidStream cancels a context in the middle of a
+// pipelined read and verifies (a) the call fails with the context's
+// error, (b) the client mux drains to zero in-flight, and (c) the same
+// connection keeps working — the drive side cleaned up rather than
+// wedging the connection.
+func TestCancellationMidStream(t *testing.T) {
+	r := newRig(t, true)
+	r.mkpart(t, 1, 0)
+	d := pipeDrive(t, r, 4004, WithWindow(2))
+
+	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
+	id, _ := d.Create(testCtx, &createCap, 1)
+	rw := r.mint(t, 1, id, 1, capability.Read|capability.Write)
+	data := make([]byte, 256<<10) // 64 fragments: plenty of stream left to cancel
+	rand.New(rand.NewSource(32)).Read(data)
+	if err := d.WritePipelined(testCtx, &rw, 1, id, 0, data); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(2 * time.Millisecond) // land mid-stream
+		cancel()
+	}()
+	_, err := d.ReadPipelined(ctx, &rw, 1, id, 0, len(data))
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled read returned %v", err)
+	}
+	if err == nil {
+		t.Log("read finished before cancellation landed; cleanup assertions still apply")
+	}
+
+	// Drive-side cleanup: every abandoned fragment drains and the mux
+	// forgets it.
+	deadline := time.Now().Add(2 * time.Second)
+	for d.Stats().RPC.InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight stuck at %d after cancellation", d.Stats().RPC.InFlight)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The connection (and the drive's replay window) survive: a fresh
+	// pipelined read on the same connection returns full data.
+	got, err := d.ReadPipelined(testCtx, &rw, 1, id, 0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read after cancellation: %v", err)
+	}
+}
+
+// TestPipelinedRetriesSurfaceInStats: fragment retries show up in the
+// Retries counter (none expected on a healthy drive).
+func TestPipelinedStatsExposed(t *testing.T) {
+	r := newRig(t, true)
+	r.mkpart(t, 1, 0)
+	d := pipeDrive(t, r, 4005)
+	createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
+	id, _ := d.Create(testCtx, &createCap, 1)
+	rw := r.mint(t, 1, id, 1, capability.Read|capability.Write)
+	if err := d.WritePipelined(testCtx, &rw, 1, id, 0, make([]byte, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.RPC.Calls == 0 {
+		t.Fatal("no calls recorded")
+	}
+	if st.Retries != 0 {
+		t.Fatalf("unexpected retries on healthy drive: %d", st.Retries)
+	}
+}

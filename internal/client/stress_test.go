@@ -32,21 +32,21 @@ func TestConcurrentClientsOneDrive(t *testing.T) {
 				if err != nil {
 					return err
 				}
-				cli := New(conn, 7, uint64(3000+w), true)
+				cli := New(conn, 7, uint64(3000+w))
 				defer cli.Close()
 
 				createCap := r.mint(t, 1, 0, 0, capability.CreateObj)
 				payload := bytes.Repeat([]byte{byte(w)}, 8192)
 				for i := 0; i < opsPerWorker; i++ {
-					obj, err := cli.Create(&createCap, 1)
+					obj, err := cli.Create(testCtx, &createCap, 1)
 					if err != nil {
 						return fmt.Errorf("create: %w", err)
 					}
 					rw := r.mint(t, 1, obj, 1, capability.Read|capability.Write|capability.GetAttr|capability.Version|capability.Remove)
-					if err := cli.Write(&rw, 1, obj, 0, payload); err != nil {
+					if err := cli.Write(testCtx, &rw, 1, obj, 0, payload); err != nil {
 						return fmt.Errorf("write: %w", err)
 					}
-					got, err := cli.Read(&rw, 1, obj, 0, len(payload))
+					got, err := cli.Read(testCtx, &rw, 1, obj, 0, len(payload))
 					if err != nil {
 						return fmt.Errorf("read: %w", err)
 					}
@@ -54,21 +54,21 @@ func TestConcurrentClientsOneDrive(t *testing.T) {
 						return fmt.Errorf("worker %d object %d corrupted", w, obj)
 					}
 					if i%5 == 0 {
-						snap, err := cli.VersionObject(&rw, 1, obj)
+						snap, err := cli.VersionObject(testCtx, &rw, 1, obj)
 						if err != nil {
 							return fmt.Errorf("snapshot: %w", err)
 						}
 						sc := r.mint(t, 1, snap, 1, capability.Read|capability.Remove)
-						sg, err := cli.Read(&sc, 1, snap, 0, 16)
+						sg, err := cli.Read(testCtx, &sc, 1, snap, 0, 16)
 						if err != nil || !bytes.Equal(sg, payload[:16]) {
 							return fmt.Errorf("snapshot read: %w", err)
 						}
-						if err := cli.Remove(&sc, 1, snap); err != nil {
+						if err := cli.Remove(testCtx, &sc, 1, snap); err != nil {
 							return fmt.Errorf("snapshot remove: %w", err)
 						}
 					}
 					if i%3 == 0 {
-						if err := cli.Remove(&rw, 1, obj); err != nil {
+						if err := cli.Remove(testCtx, &rw, 1, obj); err != nil {
 							return fmt.Errorf("remove: %w", err)
 						}
 					}

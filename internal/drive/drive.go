@@ -533,9 +533,9 @@ func (d *Drive) handleExecute(req *rpc.Request) *rpc.Reply {
 
 // Serve is a convenience that wraps the drive in an RPC server on l.
 // It blocks; run on its own goroutine and close the returned server to
-// stop.
-func (d *Drive) Serve(l rpc.Listener) *rpc.Server {
-	srv := rpc.NewServer(d)
+// stop. Options (e.g. rpc.WithWorkers) tune per-connection dispatch.
+func (d *Drive) Serve(l rpc.Listener, opts ...rpc.ServerOption) *rpc.Server {
+	srv := rpc.NewServer(d, opts...)
 	go srv.Serve(l)
 	return srv
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -154,7 +155,7 @@ func runAndrewNASD(nDrives, nClients int, cfg andrew.Config) (andrew.Counts, err
 				return nil, err
 			}
 			clientID++
-			return client.New(conn, uint64(1+i), clientID, true), nil
+			return client.New(conn, uint64(1+i), clientID), nil
 		}
 		fmCli, err := dial()
 		if err != nil {
@@ -167,7 +168,7 @@ func runAndrewNASD(nDrives, nClients int, cfg andrew.Config) (andrew.Counts, err
 		targets = append(targets, filemgr.DriveTarget{Client: fmCli, DriveID: uint64(1 + i), Master: master})
 		drives = append(drives, dataCli)
 	}
-	fm, err := filemgr.Format(filemgr.Config{Drives: targets})
+	fm, err := filemgr.Format(context.Background(), filemgr.Config{Drives: targets})
 	if err != nil {
 		return andrew.Counts{}, err
 	}
@@ -177,7 +178,7 @@ func runAndrewNASD(nDrives, nClients int, cfg andrew.Config) (andrew.Counts, err
 		id := filemgr.Identity{UID: uint32(10 + c)}
 		nfsCli := nasdnfs.New(fm, drives, id)
 		root := fmt.Sprintf("/client%d", c)
-		if err := nfsCli.Mkdir(root, 0o755); err != nil {
+		if err := nfsCli.Mkdir(context.Background(), root, 0o755); err != nil {
 			return andrew.Counts{}, err
 		}
 		phases, err := andrew.Phases(&nasdFS{nfsCli}, root, cfg)
@@ -232,20 +233,20 @@ func runAndrewNFS(nDisks, nClients int, cfg andrew.Config) (andrew.Counts, error
 // nasdFS adapts nasdnfs.Client to andrew.FS.
 type nasdFS struct{ c *nasdnfs.Client }
 
-func (f *nasdFS) Mkdir(path string) error  { return f.c.Mkdir(path, 0o755) }
-func (f *nasdFS) Create(path string) error { return f.c.Create(path, 0o644) }
+func (f *nasdFS) Mkdir(path string) error  { return f.c.Mkdir(context.Background(), path, 0o755) }
+func (f *nasdFS) Create(path string) error { return f.c.Create(context.Background(), path, 0o644) }
 func (f *nasdFS) Write(path string, off uint64, data []byte) error {
-	return f.c.Write(path, off, data)
+	return f.c.Write(context.Background(), path, off, data)
 }
 func (f *nasdFS) Read(path string, off uint64, n int) ([]byte, error) {
-	return f.c.Read(path, off, n)
+	return f.c.Read(context.Background(), path, off, n)
 }
 func (f *nasdFS) Stat(path string) (uint64, error) {
-	a, err := f.c.GetAttr(path) // attribute read goes drive-direct
+	a, err := f.c.GetAttr(context.Background(), path) // attribute read goes drive-direct
 	return a.Size, err
 }
 func (f *nasdFS) ReadDir(path string) ([]string, error) {
-	ents, err := f.c.ReadDir(path)
+	ents, err := f.c.ReadDir(context.Background(), path)
 	if err != nil {
 		return nil, err
 	}

@@ -8,6 +8,7 @@
 package filemgr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -131,13 +132,13 @@ const rootObjectID = object.FirstUserObject
 
 // Format initializes the filesystem: creates the partition on every
 // drive and an empty root directory on drive 0.
-func Format(cfg Config) (*FM, error) {
+func Format(ctx context.Context, cfg Config) (*FM, error) {
 	fm, err := newFM(cfg)
 	if err != nil {
 		return nil, err
 	}
 	for i, d := range fm.drives {
-		err := d.target.Client.CreatePartition(crypt.KeyID{Type: crypt.MasterKey}, d.target.Master, fm.part, cfg.Quota)
+		err := d.target.Client.CreatePartition(ctx, crypt.KeyID{Type: crypt.MasterKey}, d.target.Master, fm.part, cfg.Quota)
 		if err != nil {
 			return nil, fmt.Errorf("filemgr: creating partition on drive %d: %w", i, err)
 		}
@@ -147,7 +148,7 @@ func Format(cfg Config) (*FM, error) {
 	}
 	// Root directory on drive 0.
 	cap := fm.mintPartition(0, capability.CreateObj)
-	rootObj, err := fm.drives[0].target.Client.Create(&cap, fm.part)
+	rootObj, err := fm.drives[0].target.Client.Create(ctx, &cap, fm.part)
 	if err != nil {
 		return nil, fmt.Errorf("filemgr: creating root: %w", err)
 	}
@@ -157,17 +158,17 @@ func Format(cfg Config) (*FM, error) {
 	fm.root = Handle{Drive: 0, DriveID: fm.drives[0].target.DriveID, Partition: fm.part, Object: rootObj, IsDir: true}
 	// The fresh root is world-writable so any identity can build its
 	// own subtree; administrators can Chmod it down afterwards.
-	if err := fm.writePolicy(fm.root, ModeDir|0o777, 0, 0); err != nil {
+	if err := fm.writePolicy(ctx, fm.root, ModeDir|0o777, 0, 0); err != nil {
 		return nil, err
 	}
-	if err := fm.writeDir(fm.root, nil); err != nil {
+	if err := fm.writeDir(ctx, fm.root, nil); err != nil {
 		return nil, err
 	}
 	return fm, nil
 }
 
 // Mount attaches to an already-formatted filesystem.
-func Mount(cfg Config) (*FM, error) {
+func Mount(ctx context.Context, cfg Config) (*FM, error) {
 	fm, err := newFM(cfg)
 	if err != nil {
 		return nil, err
@@ -179,7 +180,7 @@ func Mount(cfg Config) (*FM, error) {
 	}
 	fm.root = Handle{Drive: 0, DriveID: fm.drives[0].target.DriveID, Partition: fm.part, Object: rootObjectID, IsDir: true}
 	// Verify the root exists.
-	if _, err := fm.getAttr(fm.root); err != nil {
+	if _, err := fm.getAttr(ctx, fm.root); err != nil {
 		return nil, fmt.Errorf("filemgr: root directory missing: %w", err)
 	}
 	return fm, nil
@@ -295,7 +296,7 @@ func (fm *FM) mintSelf(h Handle, ver uint64, rights capability.Rights) capabilit
 
 func (fm *FM) cli(h Handle) *client.Drive { return fm.drives[h.Drive].target.Client }
 
-func (fm *FM) getAttr(h Handle) (object.Attributes, error) {
+func (fm *FM) getAttr(ctx context.Context, h Handle) (object.Attributes, error) {
 	// Version unknown before the call; use a GetAttr capability minted
 	// against each plausible version. The drive checks version equality,
 	// so the file manager keeps attribute reads simple by minting with
@@ -308,30 +309,30 @@ func (fm *FM) getAttr(h Handle) (object.Attributes, error) {
 	// capability (Object=0, version 0), which the drive accepts for any
 	// object in the partition.
 	cap := fm.mintPartition(h.Drive, capability.GetAttr)
-	return fm.cli(h).GetAttr(&cap, h.Partition, h.Object)
+	return fm.cli(h).GetAttr(ctx, &cap, h.Partition, h.Object)
 }
 
-func (fm *FM) readObject(h Handle, ver uint64) ([]byte, error) {
-	a, err := fm.getAttr(h)
+func (fm *FM) readObject(ctx context.Context, h Handle, ver uint64) ([]byte, error) {
+	a, err := fm.getAttr(ctx, h)
 	if err != nil {
 		return nil, err
 	}
 	cap := fm.mintSelf(h, a.Version, capability.Read)
-	return fm.cli(h).Read(&cap, h.Partition, h.Object, 0, int(a.Size))
+	return fm.cli(h).ReadPipelined(ctx, &cap, h.Partition, h.Object, 0, int(a.Size))
 }
 
-func (fm *FM) writeObject(h Handle, data []byte) error {
-	a, err := fm.getAttr(h)
+func (fm *FM) writeObject(ctx context.Context, h Handle, data []byte) error {
+	a, err := fm.getAttr(ctx, h)
 	if err != nil {
 		return err
 	}
 	cap := fm.mintSelf(h, a.Version, capability.Write|capability.SetAttr)
-	if err := fm.cli(h).Write(&cap, h.Partition, h.Object, 0, data); err != nil {
+	if err := fm.cli(h).WritePipelined(ctx, &cap, h.Partition, h.Object, 0, data); err != nil {
 		return err
 	}
 	// Truncate to the new length when shrinking.
 	if uint64(len(data)) < a.Size {
-		return fm.cli(h).SetAttr(&cap, h.Partition, h.Object,
+		return fm.cli(h).SetAttr(ctx, &cap, h.Partition, h.Object,
 			object.Attributes{Size: uint64(len(data))}, object.SetSize)
 	}
 	return nil
@@ -361,18 +362,18 @@ func decodePolicy(b [256]byte) policy {
 	return policy{Mode: d.U32(), UID: d.U32(), GID: d.U32()}
 }
 
-func (fm *FM) writePolicy(h Handle, mode, uid, gid uint32) error {
-	a, err := fm.getAttr(h)
+func (fm *FM) writePolicy(ctx context.Context, h Handle, mode, uid, gid uint32) error {
+	a, err := fm.getAttr(ctx, h)
 	if err != nil {
 		return err
 	}
 	cap := fm.mintSelf(h, a.Version, capability.SetAttr)
 	attrs := object.Attributes{Uninterp: encodePolicy(policy{Mode: mode, UID: uid, GID: gid})}
-	return fm.cli(h).SetAttr(&cap, h.Partition, h.Object, attrs, object.SetUninterp)
+	return fm.cli(h).SetAttr(ctx, &cap, h.Partition, h.Object, attrs, object.SetUninterp)
 }
 
-func (fm *FM) readPolicy(h Handle) (policy, object.Attributes, error) {
-	a, err := fm.getAttr(h)
+func (fm *FM) readPolicy(ctx context.Context, h Handle) (policy, object.Attributes, error) {
+	a, err := fm.getAttr(ctx, h)
 	if err != nil {
 		return policy{}, a, err
 	}
@@ -441,8 +442,8 @@ func decodeDir(b []byte) ([]dirEntryRec, error) {
 	return out, nil
 }
 
-func (fm *FM) readDir(h Handle) ([]dirEntryRec, error) {
-	data, err := fm.readObject(h, 0)
+func (fm *FM) readDir(ctx context.Context, h Handle) ([]dirEntryRec, error) {
+	data, err := fm.readObject(ctx, h, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -452,8 +453,8 @@ func (fm *FM) readDir(h Handle) ([]dirEntryRec, error) {
 	return decodeDir(data)
 }
 
-func (fm *FM) writeDir(h Handle, entries []dirEntryRec) error {
-	return fm.writeObject(h, encodeDir(entries))
+func (fm *FM) writeDir(ctx context.Context, h Handle, entries []dirEntryRec) error {
+	return fm.writeObject(ctx, h, encodeDir(entries))
 }
 
 // --- path walking -------------------------------------------------------------
@@ -477,7 +478,7 @@ func splitPath(path string) ([]string, error) {
 
 // walk resolves path to its handle, checking execute (search)
 // permission along the way. Caller holds mu.
-func (fm *FM) walk(id Identity, path string) (Handle, error) {
+func (fm *FM) walk(ctx context.Context, id Identity, path string) (Handle, error) {
 	parts, err := splitPath(path)
 	if err != nil {
 		return Handle{}, err
@@ -487,14 +488,14 @@ func (fm *FM) walk(id Identity, path string) (Handle, error) {
 		if !cur.IsDir {
 			return Handle{}, ErrNotDir
 		}
-		pol, _, err := fm.readPolicy(cur)
+		pol, _, err := fm.readPolicy(ctx, cur)
 		if err != nil {
 			return Handle{}, err
 		}
 		if err := checkAccess(id, pol, 1); err != nil { // search
 			return Handle{}, err
 		}
-		entries, err := fm.readDir(cur)
+		entries, err := fm.readDir(ctx, cur)
 		if err != nil {
 			return Handle{}, err
 		}
@@ -525,7 +526,7 @@ func (fm *FM) entryHandle(ent dirEntryRec) Handle {
 
 // walkParent resolves the parent directory of path and returns it with
 // the final name component.
-func (fm *FM) walkParent(id Identity, path string) (Handle, string, error) {
+func (fm *FM) walkParent(ctx context.Context, id Identity, path string) (Handle, string, error) {
 	parts, err := splitPath(path)
 	if err != nil {
 		return Handle{}, "", err
@@ -534,7 +535,7 @@ func (fm *FM) walkParent(id Identity, path string) (Handle, string, error) {
 		return Handle{}, "", ErrBadPath
 	}
 	dirPath := "/" + strings.Join(parts[:len(parts)-1], "/")
-	parent, err := fm.walk(id, dirPath)
+	parent, err := fm.walk(ctx, id, dirPath)
 	if err != nil {
 		return Handle{}, "", err
 	}

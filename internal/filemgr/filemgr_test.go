@@ -2,6 +2,7 @@ package filemgr
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -12,6 +13,8 @@ import (
 	"nasd/internal/drive"
 	"nasd/internal/rpc"
 )
+
+var testCtx = context.Background()
 
 // newFS builds a secure file manager over n in-process drives and
 // returns it with per-drive clients for direct data access.
@@ -32,11 +35,11 @@ func newFS(t *testing.T, n int) (*FM, []DriveTarget) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cli := client.New(conn, uint64(100+i), uint64(9000+i), true)
+		cli := client.New(conn, uint64(100+i), uint64(9000+i))
 		t.Cleanup(func() { cli.Close() })
 		targets = append(targets, DriveTarget{Client: cli, DriveID: uint64(100 + i), Master: master})
 	}
-	fm, err := Format(Config{Drives: targets})
+	fm, err := Format(testCtx, Config{Drives: targets})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +51,7 @@ var bob = Identity{UID: 20, GIDs: []uint32{200}}
 
 func TestCreateLookupReadWriteDirect(t *testing.T) {
 	fm, targets := newFS(t, 2)
-	h, cap, err := fm.Create(alice, "/report.txt", 0o644)
+	h, cap, err := fm.Create(testCtx, alice, "/report.txt", 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,11 +59,11 @@ func TestCreateLookupReadWriteDirect(t *testing.T) {
 	// file manager is no longer in the path.
 	cli := targets[h.Drive].Client
 	data := []byte("direct to the drive")
-	if err := cli.Write(&cap, h.Partition, h.Object, 0, data); err != nil {
+	if err := cli.Write(testCtx, &cap, h.Partition, h.Object, 0, data); err != nil {
 		t.Fatal(err)
 	}
 	// A second client looks the file up and reads directly.
-	h2, info, rcap, err := fm.Lookup(alice, "/report.txt", capability.Read)
+	h2, info, rcap, err := fm.Lookup(testCtx, alice, "/report.txt", capability.Read)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +73,7 @@ func TestCreateLookupReadWriteDirect(t *testing.T) {
 	if info.Size != uint64(len(data)) {
 		t.Fatalf("size = %d", info.Size)
 	}
-	got, err := targets[h2.Drive].Client.Read(&rcap, h2.Partition, h2.Object, 0, len(data))
+	got, err := targets[h2.Drive].Client.Read(testCtx, &rcap, h2.Partition, h2.Object, 0, len(data))
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("direct read = %q, %v", got, err)
 	}
@@ -78,53 +81,53 @@ func TestCreateLookupReadWriteDirect(t *testing.T) {
 
 func TestAccessControl(t *testing.T) {
 	fm, _ := newFS(t, 1)
-	if _, _, err := fm.Create(alice, "/private.txt", 0o600); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/private.txt", 0o600); err != nil {
 		t.Fatal(err)
 	}
 	// Bob cannot obtain a read capability.
-	if _, _, _, err := fm.Lookup(bob, "/private.txt", capability.Read); !errors.Is(err, ErrPerm) {
+	if _, _, _, err := fm.Lookup(testCtx, bob, "/private.txt", capability.Read); !errors.Is(err, ErrPerm) {
 		t.Fatalf("bob read: %v", err)
 	}
 	// Alice can.
-	if _, _, _, err := fm.Lookup(alice, "/private.txt", capability.Read); err != nil {
+	if _, _, _, err := fm.Lookup(testCtx, alice, "/private.txt", capability.Read); err != nil {
 		t.Fatal(err)
 	}
 	// Group access: 0640 lets group members read but not write.
-	if _, _, err := fm.Create(alice, "/group.txt", 0o640); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/group.txt", 0o640); err != nil {
 		t.Fatal(err)
 	}
 	carol := Identity{UID: 30, GIDs: []uint32{100}} // alice's group
-	if _, _, _, err := fm.Lookup(carol, "/group.txt", capability.Read); err != nil {
+	if _, _, _, err := fm.Lookup(testCtx, carol, "/group.txt", capability.Read); err != nil {
 		t.Fatalf("group read: %v", err)
 	}
-	if _, _, _, err := fm.Lookup(carol, "/group.txt", capability.Write); !errors.Is(err, ErrPerm) {
+	if _, _, _, err := fm.Lookup(testCtx, carol, "/group.txt", capability.Write); !errors.Is(err, ErrPerm) {
 		t.Fatalf("group write: %v", err)
 	}
 	// Root bypasses.
-	if _, _, _, err := fm.Lookup(Root, "/private.txt", capability.Read|capability.Write); err != nil {
+	if _, _, _, err := fm.Lookup(testCtx, Root, "/private.txt", capability.Read|capability.Write); err != nil {
 		t.Fatalf("root: %v", err)
 	}
 }
 
 func TestMkdirWalkAndReadDir(t *testing.T) {
 	fm, _ := newFS(t, 1)
-	if _, err := fm.Mkdir(alice, "/docs", 0o755); err != nil {
+	if _, err := fm.Mkdir(testCtx, alice, "/docs", 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fm.Mkdir(alice, "/docs/2026", 0o755); err != nil {
+	if _, err := fm.Mkdir(testCtx, alice, "/docs/2026", 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := fm.Create(alice, "/docs/2026/notes.txt", 0o644); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/docs/2026/notes.txt", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	ents, err := fm.ReadDir(alice, "/docs/2026")
+	ents, err := fm.ReadDir(testCtx, alice, "/docs/2026")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ents) != 1 || ents[0].Name != "notes.txt" {
 		t.Fatalf("entries = %+v", ents)
 	}
-	info, err := fm.Stat(alice, "/docs/2026/notes.txt")
+	info, err := fm.Stat(testCtx, alice, "/docs/2026/notes.txt")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,125 +135,125 @@ func TestMkdirWalkAndReadDir(t *testing.T) {
 		t.Fatalf("info = %+v", info)
 	}
 	// Paths must be absolute and .. is rejected.
-	if _, err := fm.Stat(alice, "docs"); !errors.Is(err, ErrBadPath) {
+	if _, err := fm.Stat(testCtx, alice, "docs"); !errors.Is(err, ErrBadPath) {
 		t.Fatalf("relative path: %v", err)
 	}
-	if _, err := fm.Stat(alice, "/docs/../etc"); !errors.Is(err, ErrBadPath) {
+	if _, err := fm.Stat(testCtx, alice, "/docs/../etc"); !errors.Is(err, ErrBadPath) {
 		t.Fatalf("dotdot path: %v", err)
 	}
 }
 
 func TestCreateCollision(t *testing.T) {
 	fm, _ := newFS(t, 1)
-	if _, _, err := fm.Create(alice, "/x", 0o644); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/x", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := fm.Create(alice, "/x", 0o644); !errors.Is(err, ErrExists) {
+	if _, _, err := fm.Create(testCtx, alice, "/x", 0o644); !errors.Is(err, ErrExists) {
 		t.Fatalf("duplicate create: %v", err)
 	}
-	if _, err := fm.Mkdir(alice, "/x", 0o755); !errors.Is(err, ErrExists) {
+	if _, err := fm.Mkdir(testCtx, alice, "/x", 0o755); !errors.Is(err, ErrExists) {
 		t.Fatalf("mkdir over file: %v", err)
 	}
 }
 
 func TestRemove(t *testing.T) {
 	fm, _ := newFS(t, 1)
-	if _, _, err := fm.Create(alice, "/trash", 0o644); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/trash", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := fm.Remove(alice, "/trash"); err != nil {
+	if err := fm.Remove(testCtx, alice, "/trash"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fm.Stat(alice, "/trash"); !errors.Is(err, ErrNotFound) {
+	if _, err := fm.Stat(testCtx, alice, "/trash"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("stat after remove: %v", err)
 	}
 	// Non-empty directory removal fails.
-	if _, err := fm.Mkdir(alice, "/dir", 0o755); err != nil {
+	if _, err := fm.Mkdir(testCtx, alice, "/dir", 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := fm.Create(alice, "/dir/f", 0o644); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/dir/f", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := fm.Remove(alice, "/dir"); !errors.Is(err, ErrNotEmpty) {
+	if err := fm.Remove(testCtx, alice, "/dir"); !errors.Is(err, ErrNotEmpty) {
 		t.Fatalf("remove non-empty: %v", err)
 	}
-	if err := fm.Remove(alice, "/dir/f"); err != nil {
+	if err := fm.Remove(testCtx, alice, "/dir/f"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fm.Remove(alice, "/dir"); err != nil {
+	if err := fm.Remove(testCtx, alice, "/dir"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRename(t *testing.T) {
 	fm, _ := newFS(t, 2)
-	if _, _, err := fm.Create(alice, "/a", 0o644); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/a", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fm.Mkdir(alice, "/sub", 0o755); err != nil {
+	if _, err := fm.Mkdir(testCtx, alice, "/sub", 0o755); err != nil {
 		t.Fatal(err)
 	}
 	// Same-directory rename.
-	if err := fm.Rename(alice, "/a", "/b"); err != nil {
+	if err := fm.Rename(testCtx, alice, "/a", "/b"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fm.Stat(alice, "/a"); !errors.Is(err, ErrNotFound) {
+	if _, err := fm.Stat(testCtx, alice, "/a"); !errors.Is(err, ErrNotFound) {
 		t.Fatal("old name survives")
 	}
 	// Cross-directory rename.
-	if err := fm.Rename(alice, "/b", "/sub/c"); err != nil {
+	if err := fm.Rename(testCtx, alice, "/b", "/sub/c"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fm.Stat(alice, "/sub/c"); err != nil {
+	if _, err := fm.Stat(testCtx, alice, "/sub/c"); err != nil {
 		t.Fatal(err)
 	}
 	// Rename onto existing target fails.
-	if _, _, err := fm.Create(alice, "/d", 0o644); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/d", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := fm.Rename(alice, "/d", "/sub/c"); !errors.Is(err, ErrExists) {
+	if err := fm.Rename(testCtx, alice, "/d", "/sub/c"); !errors.Is(err, ErrExists) {
 		t.Fatalf("rename onto existing: %v", err)
 	}
 }
 
 func TestChmod(t *testing.T) {
 	fm, _ := newFS(t, 1)
-	if _, _, err := fm.Create(alice, "/f", 0o600); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/f", 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if err := fm.Chmod(bob, "/f", 0o666); !errors.Is(err, ErrPerm) {
+	if err := fm.Chmod(testCtx, bob, "/f", 0o666); !errors.Is(err, ErrPerm) {
 		t.Fatalf("chmod by non-owner: %v", err)
 	}
-	if err := fm.Chmod(alice, "/f", 0o644); err != nil {
+	if err := fm.Chmod(testCtx, alice, "/f", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, _, err := fm.Lookup(bob, "/f", capability.Read); err != nil {
+	if _, _, _, err := fm.Lookup(testCtx, bob, "/f", capability.Read); err != nil {
 		t.Fatalf("bob read after chmod: %v", err)
 	}
 }
 
 func TestRevokeInvalidatesOutstandingCapability(t *testing.T) {
 	fm, targets := newFS(t, 1)
-	h, cap, err := fm.Create(alice, "/secret", 0o644)
+	h, cap, err := fm.Create(testCtx, alice, "/secret", 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cli := targets[h.Drive].Client
-	if err := cli.Write(&cap, h.Partition, h.Object, 0, []byte("live")); err != nil {
+	if err := cli.Write(testCtx, &cap, h.Partition, h.Object, 0, []byte("live")); err != nil {
 		t.Fatal(err)
 	}
-	if err := fm.Revoke(alice, "/secret"); err != nil {
+	if err := fm.Revoke(testCtx, alice, "/secret"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cli.Read(&cap, h.Partition, h.Object, 0, 4); !errors.Is(err, client.ErrAuth) {
+	if _, err := cli.Read(testCtx, &cap, h.Partition, h.Object, 0, 4); !errors.Is(err, client.ErrAuth) {
 		t.Fatalf("revoked capability still works: %v", err)
 	}
 	// A fresh lookup re-arms the client.
-	h2, _, fresh, err := fm.Lookup(alice, "/secret", capability.Read)
+	h2, _, fresh, err := fm.Lookup(testCtx, alice, "/secret", capability.Read)
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cli.Read(&fresh, h2.Partition, h2.Object, 0, 4)
+	got, err := cli.Read(testCtx, &fresh, h2.Partition, h2.Object, 0, 4)
 	if err != nil || string(got) != "live" {
 		t.Fatalf("fresh read = %q, %v", got, err)
 	}
@@ -260,7 +263,7 @@ func TestFilesSpreadAcrossDrives(t *testing.T) {
 	fm, _ := newFS(t, 3)
 	used := map[int]bool{}
 	for i := 0; i < 6; i++ {
-		h, _, err := fm.Create(alice, "/f"+string(rune('a'+i)), 0o644)
+		h, _, err := fm.Create(testCtx, alice, "/f"+string(rune('a'+i)), 0o644)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -273,21 +276,21 @@ func TestFilesSpreadAcrossDrives(t *testing.T) {
 
 func TestMountExistingFilesystem(t *testing.T) {
 	fm, targets := newFS(t, 2)
-	if _, _, err := fm.Create(alice, "/persist", 0o644); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/persist", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	fm2, err := Mount(Config{Drives: targets})
+	fm2, err := Mount(testCtx, Config{Drives: targets})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fm2.Stat(alice, "/persist"); err != nil {
+	if _, err := fm2.Stat(testCtx, alice, "/persist"); err != nil {
 		t.Fatalf("file invisible after remount: %v", err)
 	}
 }
 
 func TestMintRange(t *testing.T) {
 	fm, targets := newFS(t, 1)
-	h, _, err := fm.Create(alice, "/escrow", 0o644)
+	h, _, err := fm.Create(testCtx, alice, "/escrow", 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,23 +300,23 @@ func TestMintRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	cli := targets[h.Drive].Client
-	if err := cli.Write(&ranged, h.Partition, h.Object, 0, make([]byte, 8192)); err != nil {
+	if err := cli.Write(testCtx, &ranged, h.Partition, h.Object, 0, make([]byte, 8192)); err != nil {
 		t.Fatal(err)
 	}
-	if err := cli.Write(&ranged, h.Partition, h.Object, 8192, []byte("x")); !errors.Is(err, client.ErrAuth) {
+	if err := cli.Write(testCtx, &ranged, h.Partition, h.Object, 8192, []byte("x")); !errors.Is(err, client.ErrAuth) {
 		t.Fatalf("write past escrow range: %v", err)
 	}
 }
 
 func TestLookupParentPermissionEnforced(t *testing.T) {
 	fm, _ := newFS(t, 1)
-	if _, err := fm.Mkdir(alice, "/locked", 0o700); err != nil {
+	if _, err := fm.Mkdir(testCtx, alice, "/locked", 0o700); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := fm.Create(alice, "/locked/inner", 0o644); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/locked/inner", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := fm.Stat(bob, "/locked/inner"); !errors.Is(err, ErrPerm) {
+	if _, err := fm.Stat(testCtx, bob, "/locked/inner"); !errors.Is(err, ErrPerm) {
 		t.Fatalf("walk through 0700 dir: %v", err)
 	}
 }

@@ -1,6 +1,8 @@
 package filemgr
 
 import (
+	"context"
+
 	"nasd/internal/capability"
 	"nasd/internal/object"
 )
@@ -12,14 +14,14 @@ import (
 // returns a capability carrying the requested rights — the capability
 // piggybacking of the NFS port ("capabilities are piggybacked on the
 // file manager's response to lookup operations").
-func (fm *FM) Lookup(id Identity, path string, want capability.Rights) (Handle, FileInfo, capability.Capability, error) {
+func (fm *FM) Lookup(ctx context.Context, id Identity, path string, want capability.Rights) (Handle, FileInfo, capability.Capability, error) {
 	fm.mu.Lock()
 	defer fm.mu.Unlock()
-	h, err := fm.walk(id, path)
+	h, err := fm.walk(ctx, id, path)
 	if err != nil {
 		return Handle{}, FileInfo{}, capability.Capability{}, err
 	}
-	pol, attrs, err := fm.readPolicy(h)
+	pol, attrs, err := fm.readPolicy(ctx, h)
 	if err != nil {
 		return Handle{}, FileInfo{}, capability.Capability{}, err
 	}
@@ -45,14 +47,14 @@ func (fm *FM) Lookup(id Identity, path string, want capability.Rights) (Handle, 
 }
 
 // Stat returns file metadata without issuing a capability.
-func (fm *FM) Stat(id Identity, path string) (FileInfo, error) {
+func (fm *FM) Stat(ctx context.Context, id Identity, path string) (FileInfo, error) {
 	fm.mu.Lock()
 	defer fm.mu.Unlock()
-	h, err := fm.walk(id, path)
+	h, err := fm.walk(ctx, id, path)
 	if err != nil {
 		return FileInfo{}, err
 	}
-	pol, attrs, err := fm.readPolicy(h)
+	pol, attrs, err := fm.readPolicy(ctx, h)
 	if err != nil {
 		return FileInfo{}, err
 	}
@@ -69,39 +71,39 @@ func (fm *FM) fileInfo(h Handle, pol policy, attrs object.Attributes) FileInfo {
 // Create makes a new file at path owned by id with the given mode and
 // returns a read/write capability for it. Placement is round-robin
 // across drives.
-func (fm *FM) Create(id Identity, path string, mode uint32) (Handle, capability.Capability, error) {
+func (fm *FM) Create(ctx context.Context, id Identity, path string, mode uint32) (Handle, capability.Capability, error) {
 	fm.mu.Lock()
 	defer fm.mu.Unlock()
-	return fm.createLocked(id, path, mode&0o777, false)
+	return fm.createLocked(ctx, id, path, mode&0o777, false)
 }
 
 // Mkdir makes a directory.
-func (fm *FM) Mkdir(id Identity, path string, mode uint32) (Handle, error) {
+func (fm *FM) Mkdir(ctx context.Context, id Identity, path string, mode uint32) (Handle, error) {
 	fm.mu.Lock()
 	defer fm.mu.Unlock()
-	h, _, err := fm.createLocked(id, path, ModeDir|(mode&0o777), true)
+	h, _, err := fm.createLocked(ctx, id, path, ModeDir|(mode&0o777), true)
 	if err != nil {
 		return Handle{}, err
 	}
-	if err := fm.writeDir(h, nil); err != nil {
+	if err := fm.writeDir(ctx, h, nil); err != nil {
 		return Handle{}, err
 	}
 	return h, nil
 }
 
-func (fm *FM) createLocked(id Identity, path string, mode uint32, isDir bool) (Handle, capability.Capability, error) {
-	parent, name, err := fm.walkParent(id, path)
+func (fm *FM) createLocked(ctx context.Context, id Identity, path string, mode uint32, isDir bool) (Handle, capability.Capability, error) {
+	parent, name, err := fm.walkParent(ctx, id, path)
 	if err != nil {
 		return Handle{}, capability.Capability{}, err
 	}
-	ppol, _, err := fm.readPolicy(parent)
+	ppol, _, err := fm.readPolicy(ctx, parent)
 	if err != nil {
 		return Handle{}, capability.Capability{}, err
 	}
 	if err := checkAccess(id, ppol, 2); err != nil { // write in parent
 		return Handle{}, capability.Capability{}, err
 	}
-	entries, err := fm.readDir(parent)
+	entries, err := fm.readDir(ctx, parent)
 	if err != nil {
 		return Handle{}, capability.Capability{}, err
 	}
@@ -118,7 +120,7 @@ func (fm *FM) createLocked(id Identity, path string, mode uint32, isDir bool) (H
 		fm.next++
 	}
 	cc := fm.mintPartition(driveIdx, capability.CreateObj)
-	obj, err := fm.drives[driveIdx].target.Client.Create(&cc, fm.part)
+	obj, err := fm.drives[driveIdx].target.Client.Create(ctx, &cc, fm.part)
 	if err != nil {
 		return Handle{}, capability.Capability{}, err
 	}
@@ -127,11 +129,11 @@ func (fm *FM) createLocked(id Identity, path string, mode uint32, isDir bool) (H
 	if len(id.GIDs) > 0 {
 		gid = id.GIDs[0]
 	}
-	if err := fm.writePolicy(h, mode, id.UID, gid); err != nil {
+	if err := fm.writePolicy(ctx, h, mode, id.UID, gid); err != nil {
 		return Handle{}, capability.Capability{}, err
 	}
 	entries = append(entries, dirEntryRec{name: name, drive: uint32(driveIdx), obj: obj, isDir: isDir})
-	if err := fm.writeDir(parent, entries); err != nil {
+	if err := fm.writeDir(ctx, parent, entries); err != nil {
 		return Handle{}, capability.Capability{}, err
 	}
 	cap, err := fm.Mint(h, 1, capability.Read|capability.Write|capability.GetAttr)
@@ -142,21 +144,21 @@ func (fm *FM) createLocked(id Identity, path string, mode uint32, isDir bool) (H
 }
 
 // Remove deletes a file or empty directory.
-func (fm *FM) Remove(id Identity, path string) error {
+func (fm *FM) Remove(ctx context.Context, id Identity, path string) error {
 	fm.mu.Lock()
 	defer fm.mu.Unlock()
-	parent, name, err := fm.walkParent(id, path)
+	parent, name, err := fm.walkParent(ctx, id, path)
 	if err != nil {
 		return err
 	}
-	ppol, _, err := fm.readPolicy(parent)
+	ppol, _, err := fm.readPolicy(ctx, parent)
 	if err != nil {
 		return err
 	}
 	if err := checkAccess(id, ppol, 2); err != nil {
 		return err
 	}
-	entries, err := fm.readDir(parent)
+	entries, err := fm.readDir(ctx, parent)
 	if err != nil {
 		return err
 	}
@@ -173,7 +175,7 @@ func (fm *FM) Remove(id Identity, path string) error {
 	}
 	h := fm.entryHandle(target)
 	if target.isDir {
-		children, err := fm.readDir(h)
+		children, err := fm.readDir(ctx, h)
 		if err != nil {
 			return err
 		}
@@ -181,33 +183,33 @@ func (fm *FM) Remove(id Identity, path string) error {
 			return ErrNotEmpty
 		}
 	}
-	a, err := fm.getAttr(h)
+	a, err := fm.getAttr(ctx, h)
 	if err != nil {
 		return err
 	}
 	rc := fm.mintSelf(h, a.Version, capability.Remove)
-	if err := fm.cli(h).Remove(&rc, h.Partition, h.Object); err != nil {
+	if err := fm.cli(h).Remove(ctx, &rc, h.Partition, h.Object); err != nil {
 		return err
 	}
 	entries = append(entries[:idx], entries[idx+1:]...)
-	return fm.writeDir(parent, entries)
+	return fm.writeDir(ctx, parent, entries)
 }
 
 // Rename moves a file or directory within the namespace. Both parents'
 // write permission is required.
-func (fm *FM) Rename(id Identity, oldPath, newPath string) error {
+func (fm *FM) Rename(ctx context.Context, id Identity, oldPath, newPath string) error {
 	fm.mu.Lock()
 	defer fm.mu.Unlock()
-	oldParent, oldName, err := fm.walkParent(id, oldPath)
+	oldParent, oldName, err := fm.walkParent(ctx, id, oldPath)
 	if err != nil {
 		return err
 	}
-	newParent, newName, err := fm.walkParent(id, newPath)
+	newParent, newName, err := fm.walkParent(ctx, id, newPath)
 	if err != nil {
 		return err
 	}
 	for _, p := range []Handle{oldParent, newParent} {
-		pol, _, err := fm.readPolicy(p)
+		pol, _, err := fm.readPolicy(ctx, p)
 		if err != nil {
 			return err
 		}
@@ -215,7 +217,7 @@ func (fm *FM) Rename(id Identity, oldPath, newPath string) error {
 			return err
 		}
 	}
-	oldEntries, err := fm.readDir(oldParent)
+	oldEntries, err := fm.readDir(ctx, oldParent)
 	if err != nil {
 		return err
 	}
@@ -235,7 +237,7 @@ func (fm *FM) Rename(id Identity, oldPath, newPath string) error {
 	if samePtr {
 		newEntries = oldEntries
 	} else {
-		newEntries, err = fm.readDir(newParent)
+		newEntries, err = fm.readDir(ctx, newParent)
 		if err != nil {
 			return err
 		}
@@ -248,35 +250,35 @@ func (fm *FM) Rename(id Identity, oldPath, newPath string) error {
 	moving.name = newName
 	if samePtr {
 		oldEntries[idx] = moving
-		return fm.writeDir(oldParent, oldEntries)
+		return fm.writeDir(ctx, oldParent, oldEntries)
 	}
 	oldEntries = append(oldEntries[:idx], oldEntries[idx+1:]...)
 	newEntries = append(newEntries, moving)
-	if err := fm.writeDir(oldParent, oldEntries); err != nil {
+	if err := fm.writeDir(ctx, oldParent, oldEntries); err != nil {
 		return err
 	}
-	return fm.writeDir(newParent, newEntries)
+	return fm.writeDir(ctx, newParent, newEntries)
 }
 
 // ReadDir lists a directory.
-func (fm *FM) ReadDir(id Identity, path string) ([]DirEntry, error) {
+func (fm *FM) ReadDir(ctx context.Context, id Identity, path string) ([]DirEntry, error) {
 	fm.mu.Lock()
 	defer fm.mu.Unlock()
-	h, err := fm.walk(id, path)
+	h, err := fm.walk(ctx, id, path)
 	if err != nil {
 		return nil, err
 	}
 	if !h.IsDir {
 		return nil, ErrNotDir
 	}
-	pol, _, err := fm.readPolicy(h)
+	pol, _, err := fm.readPolicy(ctx, h)
 	if err != nil {
 		return nil, err
 	}
 	if err := checkAccess(id, pol, 4); err != nil {
 		return nil, err
 	}
-	entries, err := fm.readDir(h)
+	entries, err := fm.readDir(ctx, h)
 	if err != nil {
 		return nil, err
 	}
@@ -288,14 +290,14 @@ func (fm *FM) ReadDir(id Identity, path string) ([]DirEntry, error) {
 }
 
 // Chmod changes a file's mode bits (owner or root only).
-func (fm *FM) Chmod(id Identity, path string, mode uint32) error {
+func (fm *FM) Chmod(ctx context.Context, id Identity, path string, mode uint32) error {
 	fm.mu.Lock()
 	defer fm.mu.Unlock()
-	h, err := fm.walk(id, path)
+	h, err := fm.walk(ctx, id, path)
 	if err != nil {
 		return err
 	}
-	pol, _, err := fm.readPolicy(h)
+	pol, _, err := fm.readPolicy(ctx, h)
 	if err != nil {
 		return err
 	}
@@ -303,20 +305,20 @@ func (fm *FM) Chmod(id Identity, path string, mode uint32) error {
 		return ErrPerm
 	}
 	keep := pol.Mode &^ uint32(0o777)
-	return fm.writePolicy(h, keep|(mode&0o777), pol.UID, pol.GID)
+	return fm.writePolicy(ctx, h, keep|(mode&0o777), pol.UID, pol.GID)
 }
 
 // Revoke immediately invalidates all outstanding capabilities for a
 // file by bumping its logical version number (Section 4.1's revocation
 // mechanism). Owner or root only.
-func (fm *FM) Revoke(id Identity, path string) error {
+func (fm *FM) Revoke(ctx context.Context, id Identity, path string) error {
 	fm.mu.Lock()
 	defer fm.mu.Unlock()
-	h, err := fm.walk(id, path)
+	h, err := fm.walk(ctx, id, path)
 	if err != nil {
 		return err
 	}
-	pol, attrs, err := fm.readPolicy(h)
+	pol, attrs, err := fm.readPolicy(ctx, h)
 	if err != nil {
 		return err
 	}
@@ -324,6 +326,6 @@ func (fm *FM) Revoke(id Identity, path string) error {
 		return ErrPerm
 	}
 	bc := fm.mintSelf(h, attrs.Version, capability.SetAttr)
-	_, err = fm.cli(h).BumpVersion(&bc, h.Partition, h.Object)
+	_, err = fm.cli(h).BumpVersion(ctx, &bc, h.Partition, h.Object)
 	return err
 }

@@ -1,9 +1,11 @@
 package fmrpc
 
 import (
+	"context"
 	"strings"
 
 	"nasd/internal/capability"
+	"nasd/internal/client"
 	"nasd/internal/filemgr"
 	"nasd/internal/rpc"
 )
@@ -22,25 +24,27 @@ func NewClient(conn rpc.Conn) *Client { return &Client{cli: rpc.NewClient(conn)}
 // Close releases the connection.
 func (c *Client) Close() error { return c.cli.Close() }
 
-func (c *Client) call(proc uint16, args []byte) (*rpc.Reply, error) {
-	rep, err := c.cli.Call(&rpc.Request{Proc: proc, Args: args})
+func (c *Client) call(ctx context.Context, proc uint16, args []byte) (*rpc.Reply, error) {
+	rep, err := c.cli.Call(ctx, &rpc.Request{Proc: proc, Args: args})
 	if err != nil {
 		return nil, err
 	}
 	if rep.Status != rpc.StatusOK {
+		// Wrap in the unified remote-error shape: errors.Is sees both the
+		// mapped filemgr sentinel and the client-level status sentinels.
 		kind, detail, _ := strings.Cut(rep.Msg, ": ")
-		return nil, errorFor(kind, detail)
+		return nil, &client.RemoteError{Status: rep.Status, Msg: rep.Msg, Err: errorFor(kind, detail)}
 	}
 	return rep, nil
 }
 
 // Lookup resolves a path and returns the piggybacked capability.
-func (c *Client) Lookup(id filemgr.Identity, path string, want capability.Rights) (filemgr.Handle, filemgr.FileInfo, capability.Capability, error) {
+func (c *Client) Lookup(ctx context.Context, id filemgr.Identity, path string, want capability.Rights) (filemgr.Handle, filemgr.FileInfo, capability.Capability, error) {
 	var e rpc.Encoder
 	encodeIdentity(&e, id)
 	e.String(path)
 	e.U32(uint32(want))
-	rep, err := c.call(opLookup, e.Bytes())
+	rep, err := c.call(ctx, opLookup, e.Bytes())
 	if err != nil {
 		return filemgr.Handle{}, filemgr.FileInfo{}, capability.Capability{}, err
 	}
@@ -55,11 +59,11 @@ func (c *Client) Lookup(id filemgr.Identity, path string, want capability.Rights
 }
 
 // Stat returns file metadata.
-func (c *Client) Stat(id filemgr.Identity, path string) (filemgr.FileInfo, error) {
+func (c *Client) Stat(ctx context.Context, id filemgr.Identity, path string) (filemgr.FileInfo, error) {
 	var e rpc.Encoder
 	encodeIdentity(&e, id)
 	e.String(path)
-	rep, err := c.call(opStat, e.Bytes())
+	rep, err := c.call(ctx, opStat, e.Bytes())
 	if err != nil {
 		return filemgr.FileInfo{}, err
 	}
@@ -69,12 +73,12 @@ func (c *Client) Stat(id filemgr.Identity, path string) (filemgr.FileInfo, error
 }
 
 // Create makes a file and returns its handle and a read/write capability.
-func (c *Client) Create(id filemgr.Identity, path string, mode uint32) (filemgr.Handle, capability.Capability, error) {
+func (c *Client) Create(ctx context.Context, id filemgr.Identity, path string, mode uint32) (filemgr.Handle, capability.Capability, error) {
 	var e rpc.Encoder
 	encodeIdentity(&e, id)
 	e.String(path)
 	e.U32(mode)
-	rep, err := c.call(opCreate, e.Bytes())
+	rep, err := c.call(ctx, opCreate, e.Bytes())
 	if err != nil {
 		return filemgr.Handle{}, capability.Capability{}, err
 	}
@@ -88,12 +92,12 @@ func (c *Client) Create(id filemgr.Identity, path string, mode uint32) (filemgr.
 }
 
 // Mkdir makes a directory.
-func (c *Client) Mkdir(id filemgr.Identity, path string, mode uint32) (filemgr.Handle, error) {
+func (c *Client) Mkdir(ctx context.Context, id filemgr.Identity, path string, mode uint32) (filemgr.Handle, error) {
 	var e rpc.Encoder
 	encodeIdentity(&e, id)
 	e.String(path)
 	e.U32(mode)
-	rep, err := c.call(opMkdir, e.Bytes())
+	rep, err := c.call(ctx, opMkdir, e.Bytes())
 	if err != nil {
 		return filemgr.Handle{}, err
 	}
@@ -103,30 +107,30 @@ func (c *Client) Mkdir(id filemgr.Identity, path string, mode uint32) (filemgr.H
 }
 
 // Remove unlinks a file or empty directory.
-func (c *Client) Remove(id filemgr.Identity, path string) error {
+func (c *Client) Remove(ctx context.Context, id filemgr.Identity, path string) error {
 	var e rpc.Encoder
 	encodeIdentity(&e, id)
 	e.String(path)
-	_, err := c.call(opRemove, e.Bytes())
+	_, err := c.call(ctx, opRemove, e.Bytes())
 	return err
 }
 
 // Rename moves an entry.
-func (c *Client) Rename(id filemgr.Identity, oldPath, newPath string) error {
+func (c *Client) Rename(ctx context.Context, id filemgr.Identity, oldPath, newPath string) error {
 	var e rpc.Encoder
 	encodeIdentity(&e, id)
 	e.String(oldPath)
 	e.String(newPath)
-	_, err := c.call(opRename, e.Bytes())
+	_, err := c.call(ctx, opRename, e.Bytes())
 	return err
 }
 
 // ReadDir lists a directory.
-func (c *Client) ReadDir(id filemgr.Identity, path string) ([]filemgr.DirEntry, error) {
+func (c *Client) ReadDir(ctx context.Context, id filemgr.Identity, path string) ([]filemgr.DirEntry, error) {
 	var e rpc.Encoder
 	encodeIdentity(&e, id)
 	e.String(path)
-	rep, err := c.call(opReadDir, e.Bytes())
+	rep, err := c.call(ctx, opReadDir, e.Bytes())
 	if err != nil {
 		return nil, err
 	}
@@ -145,20 +149,20 @@ func (c *Client) ReadDir(id filemgr.Identity, path string) ([]filemgr.DirEntry, 
 }
 
 // Chmod changes mode bits.
-func (c *Client) Chmod(id filemgr.Identity, path string, mode uint32) error {
+func (c *Client) Chmod(ctx context.Context, id filemgr.Identity, path string, mode uint32) error {
 	var e rpc.Encoder
 	encodeIdentity(&e, id)
 	e.String(path)
 	e.U32(mode)
-	_, err := c.call(opChmod, e.Bytes())
+	_, err := c.call(ctx, opChmod, e.Bytes())
 	return err
 }
 
 // Revoke invalidates all outstanding capabilities for a file.
-func (c *Client) Revoke(id filemgr.Identity, path string) error {
+func (c *Client) Revoke(ctx context.Context, id filemgr.Identity, path string) error {
 	var e rpc.Encoder
 	encodeIdentity(&e, id)
 	e.String(path)
-	_, err := c.call(opRevoke, e.Bytes())
+	_, err := c.call(ctx, opRevoke, e.Bytes())
 	return err
 }

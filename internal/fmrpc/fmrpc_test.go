@@ -2,6 +2,7 @@ package fmrpc
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 
@@ -16,6 +17,8 @@ import (
 )
 
 var clientSeq uint64 = 60_000
+
+var testCtx = context.Background()
 
 // newRemoteFM builds drives + a local FM, serves the FM over TCP, and
 // returns a remote FM client plus fresh drive connections.
@@ -39,14 +42,14 @@ func newRemoteFM(t *testing.T, nDrives int) (*Client, []*client.Drive) {
 				t.Fatal(err)
 			}
 			clientSeq++
-			c := client.New(conn, uint64(1+i), clientSeq, true)
+			c := client.New(conn, uint64(1+i), clientSeq)
 			t.Cleanup(func() { c.Close() })
 			return c
 		}
 		targets = append(targets, filemgr.DriveTarget{Client: dial(), DriveID: uint64(1 + i), Master: master})
 		drives = append(drives, dial())
 	}
-	fm, err := filemgr.Format(filemgr.Config{Drives: targets})
+	fm, err := filemgr.Format(testCtx, filemgr.Config{Drives: targets})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,24 +74,24 @@ var bob = filemgr.Identity{UID: 20}
 
 func TestRemoteLookupCapabilityWorksAtDrive(t *testing.T) {
 	fm, drives := newRemoteFM(t, 2)
-	h, cap, err := fm.Create(alice, "/remote.txt", 0o644)
+	h, cap, err := fm.Create(testCtx, alice, "/remote.txt", 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The capability that crossed the FM channel authorizes direct
 	// drive access.
 	payload := bytes.Repeat([]byte("fmrpc"), 2000)
-	if err := drives[h.Drive].Write(&cap, h.Partition, h.Object, 0, payload); err != nil {
+	if err := drives[h.Drive].Write(testCtx, &cap, h.Partition, h.Object, 0, payload); err != nil {
 		t.Fatal(err)
 	}
-	h2, info, rcap, err := fm.Lookup(alice, "/remote.txt", capability.Read)
+	h2, info, rcap, err := fm.Lookup(testCtx, alice, "/remote.txt", capability.Read)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if h2 != h || info.Size != uint64(len(payload)) {
 		t.Fatalf("lookup = %+v, %+v", h2, info)
 	}
-	got, err := drives[h2.Drive].Read(&rcap, h2.Partition, h2.Object, 0, len(payload))
+	got, err := drives[h2.Drive].Read(testCtx, &rcap, h2.Partition, h2.Object, 0, len(payload))
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("drive-direct read via remote capability: %v", err)
 	}
@@ -96,66 +99,66 @@ func TestRemoteLookupCapabilityWorksAtDrive(t *testing.T) {
 
 func TestTypedErrorsCrossTheWire(t *testing.T) {
 	fm, _ := newRemoteFM(t, 1)
-	if _, err := fm.Stat(alice, "/missing"); !errors.Is(err, filemgr.ErrNotFound) {
+	if _, err := fm.Stat(testCtx, alice, "/missing"); !errors.Is(err, filemgr.ErrNotFound) {
 		t.Fatalf("not-found: %v", err)
 	}
-	if _, _, err := fm.Create(alice, "/x", 0o600); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/x", 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := fm.Create(alice, "/x", 0o600); !errors.Is(err, filemgr.ErrExists) {
+	if _, _, err := fm.Create(testCtx, alice, "/x", 0o600); !errors.Is(err, filemgr.ErrExists) {
 		t.Fatalf("exists: %v", err)
 	}
-	if _, _, _, err := fm.Lookup(bob, "/x", capability.Read); !errors.Is(err, filemgr.ErrPerm) {
+	if _, _, _, err := fm.Lookup(testCtx, bob, "/x", capability.Read); !errors.Is(err, filemgr.ErrPerm) {
 		t.Fatalf("perm: %v", err)
 	}
-	if _, err := fm.Stat(alice, "nope"); !errors.Is(err, filemgr.ErrBadPath) {
+	if _, err := fm.Stat(testCtx, alice, "nope"); !errors.Is(err, filemgr.ErrBadPath) {
 		t.Fatalf("bad-path: %v", err)
 	}
 }
 
 func TestNamespaceOpsOverWire(t *testing.T) {
 	fm, _ := newRemoteFM(t, 2)
-	if _, err := fm.Mkdir(alice, "/dir", 0o755); err != nil {
+	if _, err := fm.Mkdir(testCtx, alice, "/dir", 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := fm.Create(alice, "/dir/a", 0o644); err != nil {
+	if _, _, err := fm.Create(testCtx, alice, "/dir/a", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := fm.Rename(alice, "/dir/a", "/dir/b"); err != nil {
+	if err := fm.Rename(testCtx, alice, "/dir/a", "/dir/b"); err != nil {
 		t.Fatal(err)
 	}
-	ents, err := fm.ReadDir(alice, "/dir")
+	ents, err := fm.ReadDir(testCtx, alice, "/dir")
 	if err != nil || len(ents) != 1 || ents[0].Name != "b" {
 		t.Fatalf("readdir = %+v, %v", ents, err)
 	}
-	if err := fm.Chmod(alice, "/dir/b", 0o600); err != nil {
+	if err := fm.Chmod(testCtx, alice, "/dir/b", 0o600); err != nil {
 		t.Fatal(err)
 	}
-	info, err := fm.Stat(alice, "/dir/b")
+	info, err := fm.Stat(testCtx, alice, "/dir/b")
 	if err != nil || info.Mode&0o777 != 0o600 {
 		t.Fatalf("chmod lost: %+v, %v", info, err)
 	}
-	if err := fm.Remove(alice, "/dir/b"); err != nil {
+	if err := fm.Remove(testCtx, alice, "/dir/b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fm.Remove(alice, "/dir"); err != nil {
+	if err := fm.Remove(testCtx, alice, "/dir"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRevokeOverWire(t *testing.T) {
 	fm, drives := newRemoteFM(t, 1)
-	h, cap, err := fm.Create(alice, "/seal", 0o644)
+	h, cap, err := fm.Create(testCtx, alice, "/seal", 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := drives[h.Drive].Write(&cap, h.Partition, h.Object, 0, []byte("x")); err != nil {
+	if err := drives[h.Drive].Write(testCtx, &cap, h.Partition, h.Object, 0, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if err := fm.Revoke(alice, "/seal"); err != nil {
+	if err := fm.Revoke(testCtx, alice, "/seal"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := drives[h.Drive].Read(&cap, h.Partition, h.Object, 0, 1); !errors.Is(err, client.ErrAuth) {
+	if _, err := drives[h.Drive].Read(testCtx, &cap, h.Partition, h.Object, 0, 1); !errors.Is(err, client.ErrAuth) {
 		t.Fatalf("capability survived remote revoke: %v", err)
 	}
 }
@@ -165,21 +168,21 @@ func TestRevokeOverWire(t *testing.T) {
 func TestNFSPortOverRemoteFM(t *testing.T) {
 	fm, drives := newRemoteFM(t, 2)
 	cli := nasdnfs.New(fm, drives, alice)
-	if err := cli.Mkdir("/home", 0o755); err != nil {
+	if err := cli.Mkdir(testCtx, "/home", 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := cli.Create("/home/doc", 0o644); err != nil {
+	if err := cli.Create(testCtx, "/home/doc", 0o644); err != nil {
 		t.Fatal(err)
 	}
 	payload := bytes.Repeat([]byte{7}, 60_000)
-	if err := cli.Write("/home/doc", 0, payload); err != nil {
+	if err := cli.Write(testCtx, "/home/doc", 0, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cli.Read("/home/doc", 0, len(payload))
+	got, err := cli.Read(testCtx, "/home/doc", 0, len(payload))
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("remote-FM NFS round trip: %v", err)
 	}
-	a, err := cli.GetAttr("/home/doc")
+	a, err := cli.GetAttr(testCtx, "/home/doc")
 	if err != nil || a.Size != uint64(len(payload)) {
 		t.Fatalf("getattr: %+v, %v", a, err)
 	}

@@ -1,6 +1,7 @@
 package fmrpc
 
 import (
+	"context"
 	"time"
 
 	"nasd/internal/capability"
@@ -20,6 +21,9 @@ func NewServer(fm *filemgr.FM) *Server { return &Server{fm: fm} }
 
 // Handle implements rpc.Handler.
 func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
+	// The RPC plane carries no deadline metadata; server-side work is
+	// bounded by the file manager itself.
+	ctx := context.Background()
 	d := rpc.NewDecoder(req.Args)
 	id := decodeIdentity(d)
 	fail := func(err error) *rpc.Reply {
@@ -36,7 +40,7 @@ func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return bad()
 		}
-		h, info, cap, err := s.fm.Lookup(id, path, rights)
+		h, info, cap, err := s.fm.Lookup(ctx, id, path, rights)
 		if err != nil {
 			return fail(err)
 		}
@@ -50,7 +54,7 @@ func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return bad()
 		}
-		info, err := s.fm.Stat(id, path)
+		info, err := s.fm.Stat(ctx, id, path)
 		if err != nil {
 			return fail(err)
 		}
@@ -63,7 +67,7 @@ func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return bad()
 		}
-		h, cap, err := s.fm.Create(id, path, mode)
+		h, cap, err := s.fm.Create(ctx, id, path, mode)
 		if err != nil {
 			return fail(err)
 		}
@@ -77,7 +81,7 @@ func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return bad()
 		}
-		h, err := s.fm.Mkdir(id, path, mode)
+		h, err := s.fm.Mkdir(ctx, id, path, mode)
 		if err != nil {
 			return fail(err)
 		}
@@ -89,7 +93,7 @@ func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return bad()
 		}
-		if err := s.fm.Remove(id, path); err != nil {
+		if err := s.fm.Remove(ctx, id, path); err != nil {
 			return fail(err)
 		}
 		return &rpc.Reply{Status: rpc.StatusOK}
@@ -99,7 +103,7 @@ func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return bad()
 		}
-		if err := s.fm.Rename(id, oldPath, newPath); err != nil {
+		if err := s.fm.Rename(ctx, id, oldPath, newPath); err != nil {
 			return fail(err)
 		}
 		return &rpc.Reply{Status: rpc.StatusOK}
@@ -108,7 +112,7 @@ func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return bad()
 		}
-		ents, err := s.fm.ReadDir(id, path)
+		ents, err := s.fm.ReadDir(ctx, id, path)
 		if err != nil {
 			return fail(err)
 		}
@@ -125,7 +129,7 @@ func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return bad()
 		}
-		if err := s.fm.Chmod(id, path, mode); err != nil {
+		if err := s.fm.Chmod(ctx, id, path, mode); err != nil {
 			return fail(err)
 		}
 		return &rpc.Reply{Status: rpc.StatusOK}
@@ -134,7 +138,7 @@ func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
 		if d.Err() != nil {
 			return bad()
 		}
-		if err := s.fm.Revoke(id, path); err != nil {
+		if err := s.fm.Revoke(ctx, id, path); err != nil {
 			return fail(err)
 		}
 		return &rpc.Reply{Status: rpc.StatusOK}
@@ -146,8 +150,8 @@ func (s *Server) Handle(req *rpc.Request) *rpc.Reply {
 var _ rpc.Handler = (*Server)(nil)
 
 // Serve wraps the server in an RPC server on l and starts it.
-func (s *Server) Serve(l rpc.Listener) *rpc.Server {
-	srv := rpc.NewServer(s)
+func (s *Server) Serve(l rpc.Listener, opts ...rpc.ServerOption) *rpc.Server {
+	srv := rpc.NewServer(s, opts...)
 	go srv.Serve(l)
 	return srv
 }

@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"context"
 	"encoding/binary"
 	"reflect"
 	"testing"
@@ -169,7 +170,7 @@ func TestParallelCountMatchesSerial(t *testing.T) {
 		for i := range sources {
 			sources[i] = BufferSource(data)
 		}
-		got, err := ParallelCount(sources, uint64(len(data)), ParallelConfig{Catalog: 200})
+		got, err := ParallelCount(context.Background(), sources, uint64(len(data)), ParallelConfig{Catalog: 200})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -185,7 +186,7 @@ func TestParallelCountSmallRequests(t *testing.T) {
 	data := Generate(GenConfig{CatalogSize: 100, TotalBytes: 3 * ChunkSize, Seed: 7})
 	serial := make([]uint32, 100)
 	CountItems(data, serial)
-	got, err := ParallelCount([]Source{BufferSource(data), BufferSource(data)},
+	got, err := ParallelCount(context.Background(), []Source{BufferSource(data), BufferSource(data)},
 		uint64(len(data)), ParallelConfig{Catalog: 100, RequestSize: 64 << 10, Producers: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -207,10 +208,10 @@ func TestCombinations(t *testing.T) {
 
 func TestBufferSourceBounds(t *testing.T) {
 	b := BufferSource([]byte{1, 2, 3})
-	if d, err := b.ReadAt(5, 2); err != nil || d != nil {
+	if d, err := b.ReadAt(context.Background(), 5, 2); err != nil || d != nil {
 		t.Fatalf("past end: %v %v", d, err)
 	}
-	if d, _ := b.ReadAt(2, 5); len(d) != 1 {
+	if d, _ := b.ReadAt(context.Background(), 2, 5); len(d) != 1 {
 		t.Fatalf("clip: %v", d)
 	}
 }

@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -8,7 +9,7 @@ import (
 // Source is anything a mining client can read transaction bytes from —
 // a PFS file, an NFS client, or a local buffer.
 type Source interface {
-	ReadAt(off uint64, n int) ([]byte, error)
+	ReadAt(ctx context.Context, off uint64, n int) ([]byte, error)
 }
 
 // ParallelConfig tunes the parallel pass-1 harness to match the paper:
@@ -38,7 +39,7 @@ func (c *ParallelConfig) fill() {
 // client, assigning 2 MB chunks round-robin, and returns the merged
 // item counts. Each client's counts are computed independently and
 // combined at a single master, as in the paper.
-func ParallelCount(sources []Source, fileSize uint64, cfg ParallelConfig) ([]uint32, error) {
+func ParallelCount(ctx context.Context, sources []Source, fileSize uint64, cfg ParallelConfig) ([]uint32, error) {
 	cfg.fill()
 	nClients := len(sources)
 	if nClients == 0 {
@@ -51,7 +52,7 @@ func ParallelCount(sources []Source, fileSize uint64, cfg ParallelConfig) ([]uin
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			perClient[ci], errs[ci] = clientCount(sources[ci], fileSize, ci, nClients, cfg)
+			perClient[ci], errs[ci] = clientCount(ctx, sources[ci], fileSize, ci, nClients, cfg)
 		}(ci)
 	}
 	wg.Wait()
@@ -72,7 +73,7 @@ func ParallelCount(sources []Source, fileSize uint64, cfg ParallelConfig) ([]uin
 
 // clientCount is one mining client: producers fetch this client's
 // chunks in RequestSize requests; the consumer counts.
-func clientCount(src Source, fileSize uint64, clientIdx, nClients int, cfg ParallelConfig) ([]uint32, error) {
+func clientCount(ctx context.Context, src Source, fileSize uint64, clientIdx, nClients int, cfg ParallelConfig) ([]uint32, error) {
 	type piece struct {
 		chunk int64
 		off   int
@@ -110,7 +111,7 @@ func clientCount(src Source, fileSize uint64, clientIdx, nClients int, cfg Paral
 					if off+n > limit {
 						n = limit - off
 					}
-					data, err := src.ReadAt(base+off, int(n))
+					data, err := src.ReadAt(ctx, base+off, int(n))
 					if err != nil {
 						errCh <- err
 						return
@@ -167,7 +168,7 @@ func clientCount(src Source, fileSize uint64, clientIdx, nClients int, cfg Paral
 type BufferSource []byte
 
 // ReadAt implements Source.
-func (b BufferSource) ReadAt(off uint64, n int) ([]byte, error) {
+func (b BufferSource) ReadAt(_ context.Context, off uint64, n int) ([]byte, error) {
 	if off >= uint64(len(b)) {
 		return nil, nil
 	}

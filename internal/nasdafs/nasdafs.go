@@ -18,6 +18,7 @@
 package nasdafs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -55,12 +56,12 @@ type CallbackReceiver interface {
 // *Manager implements it in-process; afsrpc.Client implements it across
 // the network.
 type ManagerAPI interface {
-	AcquireRead(rcv CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error)
-	TryAcquireRead(rcv CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error)
-	AcquireWrite(rcv CallbackReceiver, id filemgr.Identity, path string, escrowLen uint64) (filemgr.Handle, capability.Capability, error)
-	Relinquish(rcv CallbackReceiver, path string) error
-	Truncate(h filemgr.Handle, size uint64) error
-	CreateFile(id filemgr.Identity, path string, mode uint32) error
+	AcquireRead(ctx context.Context, rcv CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error)
+	TryAcquireRead(ctx context.Context, rcv CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error)
+	AcquireWrite(ctx context.Context, rcv CallbackReceiver, id filemgr.Identity, path string, escrowLen uint64) (filemgr.Handle, capability.Capability, error)
+	Relinquish(ctx context.Context, rcv CallbackReceiver, path string) error
+	Truncate(ctx context.Context, h filemgr.Handle, size uint64) error
+	CreateFile(ctx context.Context, id filemgr.Identity, path string, mode uint32) error
 }
 
 // Manager is the AFS file manager personality: the filemgr plus
@@ -116,19 +117,19 @@ func (m *Manager) VolumeUsed() uint64 {
 // expiry bound is what keeps callback waiting finite ("expiration times
 // set by the file manager in every capability ... allow file managers
 // to bound the waiting time for a callback"). Caller holds mu.
-func (m *Manager) expireStale(path string) {
+func (m *Manager) expireStale(ctx context.Context, path string) {
 	es, ok := m.writes[path]
 	if ok && m.clock().After(es.expiry) {
-		m.settleLocked(path, es)
+		m.settleLocked(ctx, path, es)
 	}
 }
 
 // settleLocked finalizes an outstanding write: reads the object's real
 // size and charges the quota. Caller holds mu.
-func (m *Manager) settleLocked(path string, es *escrowState) {
+func (m *Manager) settleLocked(ctx context.Context, path string, es *escrowState) {
 	delete(m.writes, path)
 	m.escrowed -= es.escrow - es.prevSize
-	attrs, err := m.driveGetAttr(es.handle)
+	attrs, err := m.driveGetAttr(ctx, es.handle)
 	if err == nil {
 		if attrs.Size >= es.prevSize {
 			m.used += attrs.Size - es.prevSize
@@ -142,10 +143,10 @@ func (m *Manager) settleLocked(path string, es *escrowState) {
 // AcquireRead issues a read capability for path to c and registers a
 // callback promise: c will be notified before the file can change.
 // It blocks while a write capability is outstanding.
-func (m *Manager) AcquireRead(rcv CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error) {
+func (m *Manager) AcquireRead(ctx context.Context, rcv CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error) {
 	m.mu.Lock()
 	for {
-		m.expireStale(path)
+		m.expireStale(ctx, path)
 		if _, busy := m.writes[path]; !busy {
 			break
 		}
@@ -153,7 +154,7 @@ func (m *Manager) AcquireRead(rcv CallbackReceiver, id filemgr.Identity, path st
 	}
 	m.mu.Unlock()
 
-	h, _, cap, err := m.fm.Lookup(id, path, capability.Read|capability.GetAttr)
+	h, _, cap, err := m.fm.Lookup(ctx, id, path, capability.Read|capability.GetAttr)
 	if err != nil {
 		return filemgr.Handle{}, capability.Capability{}, err
 	}
@@ -168,23 +169,23 @@ func (m *Manager) AcquireRead(rcv CallbackReceiver, id filemgr.Identity, path st
 
 // TryAcquireRead is AcquireRead without blocking: it returns
 // ErrWriteLocked when a write capability is outstanding.
-func (m *Manager) TryAcquireRead(rcv CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error) {
+func (m *Manager) TryAcquireRead(ctx context.Context, rcv CallbackReceiver, id filemgr.Identity, path string) (filemgr.Handle, capability.Capability, error) {
 	m.mu.Lock()
-	m.expireStale(path)
+	m.expireStale(ctx, path)
 	if _, busy := m.writes[path]; busy {
 		m.mu.Unlock()
 		return filemgr.Handle{}, capability.Capability{}, ErrWriteLocked
 	}
 	m.mu.Unlock()
-	return m.AcquireRead(rcv, id, path)
+	return m.AcquireRead(ctx, rcv, id, path)
 }
 
 // AcquireWrite issues a write capability escrowing room for the file to
 // grow to escrowLen bytes. Callbacks on the file are broken first
 // (sequential consistency: holders of potentially stale copies are
 // notified as soon as a write *may* occur).
-func (m *Manager) AcquireWrite(rcv CallbackReceiver, id filemgr.Identity, path string, escrowLen uint64) (filemgr.Handle, capability.Capability, error) {
-	h, info, _, err := m.fm.Lookup(id, path, capability.Write)
+func (m *Manager) AcquireWrite(ctx context.Context, rcv CallbackReceiver, id filemgr.Identity, path string, escrowLen uint64) (filemgr.Handle, capability.Capability, error) {
+	h, info, _, err := m.fm.Lookup(ctx, id, path, capability.Write)
 	if err != nil {
 		return filemgr.Handle{}, capability.Capability{}, err
 	}
@@ -193,7 +194,7 @@ func (m *Manager) AcquireWrite(rcv CallbackReceiver, id filemgr.Identity, path s
 	}
 
 	m.mu.Lock()
-	m.expireStale(path)
+	m.expireStale(ctx, path)
 	if es, busy := m.writes[path]; busy && es.holder != rcv {
 		m.mu.Unlock()
 		return filemgr.Handle{}, capability.Capability{}, ErrWriteLocked
@@ -222,7 +223,7 @@ func (m *Manager) AcquireWrite(rcv CallbackReceiver, id filemgr.Identity, path s
 
 	// The capability's byte range is the escrow: the drive enforces that
 	// the file cannot grow beyond it.
-	cap, err := m.fm.MintRange(h, m.currentVersion(h), capability.Write|capability.GetAttr, 0, escrowLen)
+	cap, err := m.fm.MintRange(h, m.currentVersion(ctx, h), capability.Write|capability.GetAttr, 0, escrowLen)
 	if err != nil {
 		return filemgr.Handle{}, capability.Capability{}, err
 	}
@@ -231,8 +232,8 @@ func (m *Manager) AcquireWrite(rcv CallbackReceiver, id filemgr.Identity, path s
 
 func (m *Manager) capExpiry() time.Duration { return 5 * time.Minute }
 
-func (m *Manager) currentVersion(h filemgr.Handle) uint64 {
-	attrs, err := m.driveGetAttr(h)
+func (m *Manager) currentVersion(ctx context.Context, h filemgr.Handle) uint64 {
+	attrs, err := m.driveGetAttr(ctx, h)
 	if err != nil {
 		return 1
 	}
@@ -242,12 +243,12 @@ func (m *Manager) currentVersion(h filemgr.Handle) uint64 {
 // driveGetAttr reads size and version through the manager's own drive
 // connections (partition-scope capability: the current version is what
 // we are fetching).
-func (m *Manager) driveGetAttr(h filemgr.Handle) (attrs struct {
+func (m *Manager) driveGetAttr(ctx context.Context, h filemgr.Handle) (attrs struct {
 	Size    uint64
 	Version uint64
 }, err error) {
 	cap := m.fm.MintWildcard(h.Drive, capability.GetAttr)
-	a, err := m.drives[h.Drive].GetAttr(&cap, h.Partition, h.Object)
+	a, err := m.drives[h.Drive].GetAttr(ctx, &cap, h.Partition, h.Object)
 	if err != nil {
 		return attrs, err
 	}
@@ -257,8 +258,8 @@ func (m *Manager) driveGetAttr(h filemgr.Handle) (attrs struct {
 }
 
 // CreateFile makes a file through the underlying file manager.
-func (m *Manager) CreateFile(id filemgr.Identity, path string, mode uint32) error {
-	_, _, err := m.fm.Create(id, path, mode)
+func (m *Manager) CreateFile(ctx context.Context, id filemgr.Identity, path string, mode uint32) error {
+	_, _, err := m.fm.Create(ctx, id, path, mode)
 	return err
 }
 
@@ -266,21 +267,21 @@ func (m *Manager) CreateFile(id filemgr.Identity, path string, mode uint32) erro
 // object to settle the volume quota (Section 5.1: "the file manager
 // can examine the object to determine its new size and update the
 // quota data structures appropriately").
-func (m *Manager) Relinquish(rcv CallbackReceiver, path string) error {
+func (m *Manager) Relinquish(ctx context.Context, rcv CallbackReceiver, path string) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	es, ok := m.writes[path]
 	if !ok || es.holder != rcv {
 		return fmt.Errorf("nasdafs: no outstanding write capability for %s", path)
 	}
-	m.settleLocked(path, es)
+	m.settleLocked(ctx, path, es)
 	return nil
 }
 
 // Truncate shrinks (or extends) an object on a client's behalf during
 // StoreData. The manager uses its own authority: size is policy.
-func (m *Manager) Truncate(h filemgr.Handle, size uint64) error {
-	attrs, err := m.driveGetAttr(h)
+func (m *Manager) Truncate(ctx context.Context, h filemgr.Handle, size uint64) error {
+	attrs, err := m.driveGetAttr(ctx, h)
 	if err != nil {
 		return err
 	}
@@ -288,7 +289,7 @@ func (m *Manager) Truncate(h filemgr.Handle, size uint64) error {
 		return nil
 	}
 	cap := m.fm.MintWildcard(h.Drive, capability.SetAttr)
-	return m.drives[h.Drive].SetAttr(&cap, h.Partition, h.Object,
+	return m.drives[h.Drive].SetAttr(ctx, &cap, h.Partition, h.Object,
 		objectAttrsWithSize(size), objectSetSizeMask())
 }
 
@@ -352,7 +353,7 @@ func (c *Client) Cached(path string) bool {
 // FetchData returns the file's contents, serving from the local cache
 // when the callback promise is intact (the AFS fast path) and fetching
 // whole-file from the drive otherwise.
-func (c *Client) FetchData(path string) ([]byte, error) {
+func (c *Client) FetchData(ctx context.Context, path string) ([]byte, error) {
 	c.mu.Lock()
 	if c.valid[path] {
 		data := c.cache[path]
@@ -361,15 +362,15 @@ func (c *Client) FetchData(path string) ([]byte, error) {
 	}
 	c.mu.Unlock()
 
-	h, cap, err := c.mgr.AcquireRead(c, c.id, path)
+	h, cap, err := c.mgr.AcquireRead(ctx, c, c.id, path)
 	if err != nil {
 		return nil, err
 	}
-	attrs, err := c.drives[h.Drive].GetAttr(&cap, h.Partition, h.Object)
+	attrs, err := c.drives[h.Drive].GetAttr(ctx, &cap, h.Partition, h.Object)
 	if err != nil {
 		return nil, err
 	}
-	data, err := c.drives[h.Drive].Read(&cap, h.Partition, h.Object, 0, int(attrs.Size))
+	data, err := c.drives[h.Drive].ReadPipelined(ctx, &cap, h.Partition, h.Object, 0, int(attrs.Size))
 	if err != nil {
 		return nil, err
 	}
@@ -382,36 +383,36 @@ func (c *Client) FetchData(path string) ([]byte, error) {
 
 // StoreData replaces the file's contents: acquire a write capability
 // (breaking other clients' callbacks), write drive-direct, relinquish.
-func (c *Client) StoreData(path string, data []byte) error {
-	h, cap, err := c.mgr.AcquireWrite(c, c.id, path, uint64(len(data)))
+func (c *Client) StoreData(ctx context.Context, path string, data []byte) error {
+	h, cap, err := c.mgr.AcquireWrite(ctx, c, c.id, path, uint64(len(data)))
 	if err != nil {
 		return err
 	}
-	if err := c.drives[h.Drive].Write(&cap, h.Partition, h.Object, 0, data); err != nil {
-		_ = c.mgr.Relinquish(c, path)
+	if err := c.drives[h.Drive].WritePipelined(ctx, &cap, h.Partition, h.Object, 0, data); err != nil {
+		_ = c.mgr.Relinquish(ctx, c, path)
 		return err
 	}
 	// AFS StoreData replaces the whole file: shrink through the manager
 	// (truncation changes size, a policy-relevant attribute, so it is
 	// not granted to plain write capabilities).
-	if err := c.mgr.Truncate(h, uint64(len(data))); err != nil {
-		_ = c.mgr.Relinquish(c, path)
+	if err := c.mgr.Truncate(ctx, h, uint64(len(data))); err != nil {
+		_ = c.mgr.Relinquish(ctx, c, path)
 		return err
 	}
 	c.mu.Lock()
 	c.cache[path] = append([]byte(nil), data...)
 	c.valid[path] = true
 	c.mu.Unlock()
-	return c.mgr.Relinquish(c, path)
+	return c.mgr.Relinquish(ctx, c, path)
 }
 
 // FetchStatus returns size and version drive-direct.
-func (c *Client) FetchStatus(path string) (size uint64, err error) {
-	h, cap, err := c.mgr.AcquireRead(c, c.id, path)
+func (c *Client) FetchStatus(ctx context.Context, path string) (size uint64, err error) {
+	h, cap, err := c.mgr.AcquireRead(ctx, c, c.id, path)
 	if err != nil {
 		return 0, err
 	}
-	a, err := c.drives[h.Drive].GetAttr(&cap, h.Partition, h.Object)
+	a, err := c.drives[h.Drive].GetAttr(ctx, &cap, h.Partition, h.Object)
 	if err != nil {
 		return 0, err
 	}
@@ -419,6 +420,6 @@ func (c *Client) FetchStatus(path string) (size uint64, err error) {
 }
 
 // Create makes a file through the file manager.
-func (c *Client) Create(path string, mode uint32) error {
-	return c.mgr.CreateFile(c.id, path, mode)
+func (c *Client) Create(ctx context.Context, path string, mode uint32) error {
+	return c.mgr.CreateFile(ctx, c.id, path, mode)
 }

@@ -2,6 +2,7 @@ package nasdafs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -16,6 +17,8 @@ import (
 )
 
 var clientIDs atomic.Uint64
+
+var testCtx = context.Background()
 
 func newEnv(t *testing.T, quota uint64) (*Manager, []*client.Drive, func() []*client.Drive) {
 	t.Helper()
@@ -33,11 +36,11 @@ func newEnv(t *testing.T, quota uint64) (*Manager, []*client.Drive, func() []*cl
 		if err != nil {
 			t.Fatal(err)
 		}
-		c := client.New(conn, 1, 7000+clientIDs.Add(1), true)
+		c := client.New(conn, 1, 7000+clientIDs.Add(1))
 		t.Cleanup(func() { c.Close() })
 		return []*client.Drive{c}
 	}
-	fm, err := filemgr.Format(filemgr.Config{
+	fm, err := filemgr.Format(testCtx, filemgr.Config{
 		Drives: []filemgr.DriveTarget{{Client: mk()[0], DriveID: 1, Master: master}},
 	})
 	if err != nil {
@@ -52,17 +55,17 @@ var bob = filemgr.Identity{UID: 20}
 func TestFetchStoreRoundTrip(t *testing.T) {
 	mgr, drives, _ := newEnv(t, 0)
 	c := NewClient(mgr, drives, alice)
-	if err := c.Create("/vol/..", 0); err == nil {
+	if err := c.Create(testCtx, "/vol/..", 0); err == nil {
 		t.Fatal("bad path accepted")
 	}
-	if err := c.Create("/f", 0o644); err != nil {
+	if err := c.Create(testCtx, "/f", 0o644); err != nil {
 		t.Fatal(err)
 	}
 	data := bytes.Repeat([]byte("afs"), 5000)
-	if err := c.StoreData("/f", data); err != nil {
+	if err := c.StoreData(testCtx, "/f", data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.FetchData("/f")
+	got, err := c.FetchData(testCtx, "/f")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("fetch: %v", err)
 	}
@@ -71,10 +74,10 @@ func TestFetchStoreRoundTrip(t *testing.T) {
 func TestWholeFileCachingServesLocally(t *testing.T) {
 	mgr, drives, _ := newEnv(t, 0)
 	c := NewClient(mgr, drives, alice)
-	if err := c.Create("/f", 0o644); err != nil {
+	if err := c.Create(testCtx, "/f", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.StoreData("/f", []byte("cached")); err != nil {
+	if err := c.StoreData(testCtx, "/f", []byte("cached")); err != nil {
 		t.Fatal(err)
 	}
 	if !c.Cached("/f") {
@@ -82,7 +85,7 @@ func TestWholeFileCachingServesLocally(t *testing.T) {
 	}
 	// Fetch is served from cache: no new callback registration needed.
 	before := mgr.CallbackHolders("/f")
-	if _, err := c.FetchData("/f"); err != nil {
+	if _, err := c.FetchData(testCtx, "/f"); err != nil {
 		t.Fatal(err)
 	}
 	if mgr.CallbackHolders("/f") != before {
@@ -94,13 +97,13 @@ func TestCallbackBreakOnWriteCapability(t *testing.T) {
 	mgr, drives, mk := newEnv(t, 0)
 	writer := NewClient(mgr, drives, alice)
 	reader := NewClient(mgr, mk(), bob)
-	if err := writer.Create("/shared", 0o666); err != nil {
+	if err := writer.Create(testCtx, "/shared", 0o666); err != nil {
 		t.Fatal(err)
 	}
-	if err := writer.StoreData("/shared", []byte("v1")); err != nil {
+	if err := writer.StoreData(testCtx, "/shared", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reader.FetchData("/shared"); err != nil {
+	if _, err := reader.FetchData(testCtx, "/shared"); err != nil {
 		t.Fatal(err)
 	}
 	if !reader.Cached("/shared") {
@@ -108,7 +111,7 @@ func TestCallbackBreakOnWriteCapability(t *testing.T) {
 	}
 	// Writer stores again: the *issuance* of the write capability must
 	// break the reader's callback, before any data actually moves.
-	if err := writer.StoreData("/shared", []byte("v2")); err != nil {
+	if err := writer.StoreData(testCtx, "/shared", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
 	if reader.Cached("/shared") {
@@ -118,7 +121,7 @@ func TestCallbackBreakOnWriteCapability(t *testing.T) {
 		t.Fatal("no callback break delivered")
 	}
 	// Reader refetches and sees v2 (sequential consistency).
-	got, err := reader.FetchData("/shared")
+	got, err := reader.FetchData(testCtx, "/shared")
 	if err != nil || string(got) != "v2" {
 		t.Fatalf("refetch = %q, %v", got, err)
 	}
@@ -128,24 +131,24 @@ func TestNewCallbacksBlockedDuringOutstandingWrite(t *testing.T) {
 	mgr, drives, mk := newEnv(t, 0)
 	writer := NewClient(mgr, drives, alice)
 	reader := NewClient(mgr, mk(), bob)
-	if err := writer.Create("/busy", 0o666); err != nil {
+	if err := writer.Create(testCtx, "/busy", 0o666); err != nil {
 		t.Fatal(err)
 	}
-	if err := writer.StoreData("/busy", []byte("x")); err != nil {
+	if err := writer.StoreData(testCtx, "/busy", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	// Acquire a write capability and hold it.
-	if _, _, err := mgr.AcquireWrite(writer, alice, "/busy", 100); err != nil {
+	if _, _, err := mgr.AcquireWrite(testCtx, writer, alice, "/busy", 100); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := mgr.TryAcquireRead(reader, bob, "/busy"); !errors.Is(err, ErrWriteLocked) {
+	if _, _, err := mgr.TryAcquireRead(testCtx, reader, bob, "/busy"); !errors.Is(err, ErrWriteLocked) {
 		t.Fatalf("read callback issued during outstanding write: %v", err)
 	}
 	// Relinquish unblocks.
-	if err := mgr.Relinquish(writer, "/busy"); err != nil {
+	if err := mgr.Relinquish(testCtx, writer, "/busy"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := mgr.TryAcquireRead(reader, bob, "/busy"); err != nil {
+	if _, _, err := mgr.TryAcquireRead(testCtx, reader, bob, "/busy"); err != nil {
 		t.Fatalf("read after relinquish: %v", err)
 	}
 }
@@ -153,21 +156,21 @@ func TestNewCallbacksBlockedDuringOutstandingWrite(t *testing.T) {
 func TestQuotaEscrowSettledOnRelinquish(t *testing.T) {
 	mgr, drives, _ := newEnv(t, 100_000)
 	c := NewClient(mgr, drives, alice)
-	if err := c.Create("/q", 0o644); err != nil {
+	if err := c.Create(testCtx, "/q", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.StoreData("/q", make([]byte, 40_000)); err != nil {
+	if err := c.StoreData(testCtx, "/q", make([]byte, 40_000)); err != nil {
 		t.Fatal(err)
 	}
 	if used := mgr.VolumeUsed(); used != 40_000 {
 		t.Fatalf("settled usage = %d, want 40000", used)
 	}
 	// Escrow beyond remaining quota is refused up front.
-	if _, _, err := mgr.AcquireWrite(c, alice, "/q", 200_000); !errors.Is(err, ErrQuota) {
+	if _, _, err := mgr.AcquireWrite(testCtx, c, alice, "/q", 200_000); !errors.Is(err, ErrQuota) {
 		t.Fatalf("oversized escrow: %v", err)
 	}
 	// Shrinking settles downward.
-	if err := c.StoreData("/q", make([]byte, 10_000)); err != nil {
+	if err := c.StoreData(testCtx, "/q", make([]byte, 10_000)); err != nil {
 		t.Fatal(err)
 	}
 	if used := mgr.VolumeUsed(); used != 10_000 {
@@ -178,23 +181,23 @@ func TestQuotaEscrowSettledOnRelinquish(t *testing.T) {
 func TestEscrowRangeEnforcedByDrive(t *testing.T) {
 	mgr, drives, _ := newEnv(t, 0)
 	c := NewClient(mgr, drives, alice)
-	if err := c.Create("/r", 0o644); err != nil {
+	if err := c.Create(testCtx, "/r", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	h, cap, err := mgr.AcquireWrite(c, alice, "/r", 8192)
+	h, cap, err := mgr.AcquireWrite(testCtx, c, alice, "/r", 8192)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Within escrow: fine.
-	if err := drives[h.Drive].Write(&cap, h.Partition, h.Object, 0, make([]byte, 8192)); err != nil {
+	if err := drives[h.Drive].Write(testCtx, &cap, h.Partition, h.Object, 0, make([]byte, 8192)); err != nil {
 		t.Fatal(err)
 	}
 	// Beyond escrow: the drive itself rejects (quota enforced without
 	// the file manager seeing the write).
-	if err := drives[h.Drive].Write(&cap, h.Partition, h.Object, 8192, []byte("x")); !errors.Is(err, client.ErrAuth) {
+	if err := drives[h.Drive].Write(testCtx, &cap, h.Partition, h.Object, 8192, []byte("x")); !errors.Is(err, client.ErrAuth) {
 		t.Fatalf("write beyond escrow: %v", err)
 	}
-	if err := mgr.Relinquish(c, "/r"); err != nil {
+	if err := mgr.Relinquish(testCtx, c, "/r"); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -204,13 +207,13 @@ func TestExpiredWriteCapabilityUnblocksReaders(t *testing.T) {
 	mgr.clock = func() time.Time { return time.Now() }
 	writer := NewClient(mgr, drives, alice)
 	reader := NewClient(mgr, mk(), bob)
-	if err := writer.Create("/exp", 0o666); err != nil {
+	if err := writer.Create(testCtx, "/exp", 0o666); err != nil {
 		t.Fatal(err)
 	}
-	if err := writer.StoreData("/exp", []byte("x")); err != nil {
+	if err := writer.StoreData(testCtx, "/exp", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := mgr.AcquireWrite(writer, alice, "/exp", 100); err != nil {
+	if _, _, err := mgr.AcquireWrite(testCtx, writer, alice, "/exp", 100); err != nil {
 		t.Fatal(err)
 	}
 	// Force the outstanding capability to look expired.
@@ -218,7 +221,7 @@ func TestExpiredWriteCapabilityUnblocksReaders(t *testing.T) {
 	mgr.writes["/exp"].expiry = time.Now().Add(-time.Second)
 	mgr.mu.Unlock()
 	// The reader is admitted because the expiry bounds the wait.
-	if _, _, err := mgr.TryAcquireRead(reader, bob, "/exp"); err != nil {
+	if _, _, err := mgr.TryAcquireRead(testCtx, reader, bob, "/exp"); err != nil {
 		t.Fatalf("read blocked by expired write capability: %v", err)
 	}
 }
@@ -226,21 +229,21 @@ func TestExpiredWriteCapabilityUnblocksReaders(t *testing.T) {
 func TestStoreDataShrinksFile(t *testing.T) {
 	mgr, drives, _ := newEnv(t, 0)
 	c := NewClient(mgr, drives, alice)
-	if err := c.Create("/shrink", 0o644); err != nil {
+	if err := c.Create(testCtx, "/shrink", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.StoreData("/shrink", bytes.Repeat([]byte{1}, 10_000)); err != nil {
+	if err := c.StoreData(testCtx, "/shrink", bytes.Repeat([]byte{1}, 10_000)); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.StoreData("/shrink", []byte("tiny")); err != nil {
+	if err := c.StoreData(testCtx, "/shrink", []byte("tiny")); err != nil {
 		t.Fatal(err)
 	}
-	size, err := c.FetchStatus("/shrink")
+	size, err := c.FetchStatus(testCtx, "/shrink")
 	if err != nil || size != 4 {
 		t.Fatalf("size = %d, %v", size, err)
 	}
 	// A cold client sees exactly the new content.
-	mgrView, err := c.FetchData("/shrink")
+	mgrView, err := c.FetchData(testCtx, "/shrink")
 	if err != nil || string(mgrView) != "tiny" {
 		t.Fatalf("content = %q, %v", mgrView, err)
 	}

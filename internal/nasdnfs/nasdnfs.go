@@ -12,6 +12,7 @@
 package nasdnfs
 
 import (
+	"context"
 	"errors"
 	"sync"
 
@@ -25,13 +26,13 @@ import (
 // satisfied by *filemgr.FM directly (co-located file manager) and by
 // fmrpc.Client (file manager across the network).
 type FileManager interface {
-	Lookup(id filemgr.Identity, path string, want capability.Rights) (filemgr.Handle, filemgr.FileInfo, capability.Capability, error)
-	Create(id filemgr.Identity, path string, mode uint32) (filemgr.Handle, capability.Capability, error)
-	Mkdir(id filemgr.Identity, path string, mode uint32) (filemgr.Handle, error)
-	Remove(id filemgr.Identity, path string) error
-	Rename(id filemgr.Identity, oldPath, newPath string) error
-	ReadDir(id filemgr.Identity, path string) ([]filemgr.DirEntry, error)
-	Stat(id filemgr.Identity, path string) (filemgr.FileInfo, error)
+	Lookup(ctx context.Context, id filemgr.Identity, path string, want capability.Rights) (filemgr.Handle, filemgr.FileInfo, capability.Capability, error)
+	Create(ctx context.Context, id filemgr.Identity, path string, mode uint32) (filemgr.Handle, capability.Capability, error)
+	Mkdir(ctx context.Context, id filemgr.Identity, path string, mode uint32) (filemgr.Handle, error)
+	Remove(ctx context.Context, id filemgr.Identity, path string) error
+	Rename(ctx context.Context, id filemgr.Identity, oldPath, newPath string) error
+	ReadDir(ctx context.Context, id filemgr.Identity, path string) ([]filemgr.DirEntry, error)
+	Stat(ctx context.Context, id filemgr.Identity, path string) (filemgr.FileInfo, error)
 }
 
 // Client is an NFS-style client of a NASD filesystem.
@@ -62,8 +63,8 @@ func New(fm FileManager, drives []*client.Drive, id filemgr.Identity) *Client {
 
 // lookup resolves a path at the file manager and caches the piggybacked
 // capability.
-func (c *Client) lookup(path string, rights capability.Rights) (entry, error) {
-	h, _, cap, err := c.fm.Lookup(c.id, path, rights)
+func (c *Client) lookup(ctx context.Context, path string, rights capability.Rights) (entry, error) {
+	h, _, cap, err := c.fm.Lookup(ctx, c.id, path, rights)
 	if err != nil {
 		return entry{}, err
 	}
@@ -98,11 +99,11 @@ func (c *Client) CachedCapabilities() int {
 // withCap runs op with a capability for (path, rights): cached when
 // available (the common case — the file manager is off the data path),
 // fetched on miss, and re-fetched once when the drive rejects it.
-func (c *Client) withCap(path string, rights capability.Rights, op func(h filemgr.Handle, cap capability.Capability) error) error {
+func (c *Client) withCap(ctx context.Context, path string, rights capability.Rights, op func(h filemgr.Handle, cap capability.Capability) error) error {
 	e, ok := c.cached(path, rights)
 	if !ok {
 		var err error
-		e, err = c.lookup(path, rights)
+		e, err = c.lookup(ctx, path, rights)
 		if err != nil {
 			return err
 		}
@@ -112,7 +113,7 @@ func (c *Client) withCap(path string, rights capability.Rights, op func(h filemg
 		// Stale capability (expired, revoked, or the file was replaced):
 		// revisit the file manager once, as Section 4.1 prescribes.
 		c.invalidate(path, rights)
-		e, err = c.lookup(path, rights)
+		e, err = c.lookup(ctx, path, rights)
 		if err != nil {
 			return err
 		}
@@ -122,10 +123,10 @@ func (c *Client) withCap(path string, rights capability.Rights, op func(h filemg
 }
 
 // Read returns up to n bytes at off, moving data drive-direct.
-func (c *Client) Read(path string, off uint64, n int) ([]byte, error) {
+func (c *Client) Read(ctx context.Context, path string, off uint64, n int) ([]byte, error) {
 	var out []byte
-	err := c.withCap(path, capability.Read, func(h filemgr.Handle, cap capability.Capability) error {
-		data, err := c.drives[h.Drive].Read(&cap, h.Partition, h.Object, off, n)
+	err := c.withCap(ctx, path, capability.Read, func(h filemgr.Handle, cap capability.Capability) error {
+		data, err := c.drives[h.Drive].ReadPipelined(ctx, &cap, h.Partition, h.Object, off, n)
 		out = data
 		return err
 	})
@@ -133,18 +134,18 @@ func (c *Client) Read(path string, off uint64, n int) ([]byte, error) {
 }
 
 // Write stores data at off, drive-direct.
-func (c *Client) Write(path string, off uint64, data []byte) error {
-	return c.withCap(path, capability.Write, func(h filemgr.Handle, cap capability.Capability) error {
-		return c.drives[h.Drive].Write(&cap, h.Partition, h.Object, off, data)
+func (c *Client) Write(ctx context.Context, path string, off uint64, data []byte) error {
+	return c.withCap(ctx, path, capability.Write, func(h filemgr.Handle, cap capability.Capability) error {
+		return c.drives[h.Drive].WritePipelined(ctx, &cap, h.Partition, h.Object, off, data)
 	})
 }
 
 // GetAttr fetches attributes drive-direct (Section 5.1 sends getattr to
 // the drive; policy attributes come from the uninterpreted block).
-func (c *Client) GetAttr(path string) (object.Attributes, error) {
+func (c *Client) GetAttr(ctx context.Context, path string) (object.Attributes, error) {
 	var out object.Attributes
-	err := c.withCap(path, capability.GetAttr, func(h filemgr.Handle, cap capability.Capability) error {
-		a, err := c.drives[h.Drive].GetAttr(&cap, h.Partition, h.Object)
+	err := c.withCap(ctx, path, capability.GetAttr, func(h filemgr.Handle, cap capability.Capability) error {
+		a, err := c.drives[h.Drive].GetAttr(ctx, &cap, h.Partition, h.Object)
 		out = a
 		return err
 	})
@@ -152,15 +153,15 @@ func (c *Client) GetAttr(path string) (object.Attributes, error) {
 }
 
 // Stat goes through the file manager (policy attributes included).
-func (c *Client) Stat(path string) (filemgr.FileInfo, error) {
-	return c.fm.Stat(c.id, path)
+func (c *Client) Stat(ctx context.Context, path string) (filemgr.FileInfo, error) {
+	return c.fm.Stat(ctx, c.id, path)
 }
 
 // Create, Remove, Mkdir, Rename, ReadDir are file manager operations.
 
 // Create makes a file.
-func (c *Client) Create(path string, mode uint32) error {
-	h, cap, err := c.fm.Create(c.id, path, mode)
+func (c *Client) Create(ctx context.Context, path string, mode uint32) error {
+	h, cap, err := c.fm.Create(ctx, c.id, path, mode)
 	if err != nil {
 		return err
 	}
@@ -176,20 +177,20 @@ func (c *Client) Create(path string, mode uint32) error {
 }
 
 // Remove unlinks a file or empty directory.
-func (c *Client) Remove(path string) error { return c.fm.Remove(c.id, path) }
+func (c *Client) Remove(ctx context.Context, path string) error { return c.fm.Remove(ctx, c.id, path) }
 
 // Mkdir makes a directory.
-func (c *Client) Mkdir(path string, mode uint32) error {
-	_, err := c.fm.Mkdir(c.id, path, mode)
+func (c *Client) Mkdir(ctx context.Context, path string, mode uint32) error {
+	_, err := c.fm.Mkdir(ctx, c.id, path, mode)
 	return err
 }
 
 // Rename moves a file.
-func (c *Client) Rename(oldPath, newPath string) error {
-	return c.fm.Rename(c.id, oldPath, newPath)
+func (c *Client) Rename(ctx context.Context, oldPath, newPath string) error {
+	return c.fm.Rename(ctx, c.id, oldPath, newPath)
 }
 
 // ReadDir lists a directory.
-func (c *Client) ReadDir(path string) ([]filemgr.DirEntry, error) {
-	return c.fm.ReadDir(c.id, path)
+func (c *Client) ReadDir(ctx context.Context, path string) ([]filemgr.DirEntry, error) {
+	return c.fm.ReadDir(ctx, c.id, path)
 }

@@ -2,6 +2,7 @@ package nasdnfs
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -36,14 +37,14 @@ func newEnv(t *testing.T, nDrives int, expiry time.Duration) (*filemgr.FM, []*cl
 			// counters are per client, so sharing an ID across
 			// connections would look like replays to the drive.
 			nextClientID++
-			c := client.New(conn, uint64(1+i), nextClientID, true)
+			c := client.New(conn, uint64(1+i), nextClientID)
 			t.Cleanup(func() { c.Close() })
 			return c
 		}
 		targets = append(targets, filemgr.DriveTarget{Client: mk(), DriveID: uint64(1 + i), Master: master})
 		clis = append(clis, mk())
 	}
-	fm, err := filemgr.Format(filemgr.Config{Drives: targets, CapExpiry: expiry})
+	fm, err := filemgr.Format(testCtx, filemgr.Config{Drives: targets, CapExpiry: expiry})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,24 +53,26 @@ func newEnv(t *testing.T, nDrives int, expiry time.Duration) (*filemgr.FM, []*cl
 
 var alice = filemgr.Identity{UID: 10, GIDs: []uint32{100}}
 
+var testCtx = context.Background()
+
 var nextClientID uint64 = 5000
 
 func TestReadWriteRoundTrip(t *testing.T) {
 	fm, drives := newEnv(t, 2, 0)
 	c := New(fm, drives, alice)
-	if err := c.Create("/data.bin", 0o644); err != nil {
+	if err := c.Create(testCtx, "/data.bin", 0o644); err != nil {
 		t.Fatal(err)
 	}
 	payload := bytes.Repeat([]byte("nfs"), 10000)
-	if err := c.Write("/data.bin", 0, payload); err != nil {
+	if err := c.Write(testCtx, "/data.bin", 0, payload); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Read("/data.bin", 0, len(payload))
+	got, err := c.Read(testCtx, "/data.bin", 0, len(payload))
 	if err != nil || !bytes.Equal(got, payload) {
 		t.Fatalf("round trip failed: %v", err)
 	}
 	// Partial read at offset.
-	got, err = c.Read("/data.bin", 3, 3)
+	got, err = c.Read(testCtx, "/data.bin", 3, 3)
 	if err != nil || string(got) != "nfs" {
 		t.Fatalf("offset read = %q, %v", got, err)
 	}
@@ -78,13 +81,13 @@ func TestReadWriteRoundTrip(t *testing.T) {
 func TestGetAttrGoesDriveDirect(t *testing.T) {
 	fm, drives := newEnv(t, 1, 0)
 	c := New(fm, drives, alice)
-	if err := c.Create("/f", 0o644); err != nil {
+	if err := c.Create(testCtx, "/f", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Write("/f", 0, []byte("12345")); err != nil {
+	if err := c.Write(testCtx, "/f", 0, []byte("12345")); err != nil {
 		t.Fatal(err)
 	}
-	a, err := c.GetAttr("/f")
+	a, err := c.GetAttr(testCtx, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,14 +99,14 @@ func TestGetAttrGoesDriveDirect(t *testing.T) {
 func TestCapabilityCachingAvoidsFileManager(t *testing.T) {
 	fm, drives := newEnv(t, 1, 0)
 	c := New(fm, drives, alice)
-	if err := c.Create("/hot", 0o644); err != nil {
+	if err := c.Create(testCtx, "/hot", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Write("/hot", 0, make([]byte, 4096)); err != nil {
+	if err := c.Write(testCtx, "/hot", 0, make([]byte, 4096)); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		if _, err := c.Read("/hot", 0, 4096); err != nil {
+		if _, err := c.Read(testCtx, "/hot", 0, 4096); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -120,17 +123,17 @@ func TestExpiredCapabilityTransparentlyRefreshed(t *testing.T) {
 	// an error.
 	fm, drives := newEnv(t, 1, 30*time.Millisecond)
 	c := New(fm, drives, alice)
-	if err := c.Create("/flaky", 0o644); err != nil {
+	if err := c.Create(testCtx, "/flaky", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Write("/flaky", 0, []byte("x")); err != nil {
+	if err := c.Write(testCtx, "/flaky", 0, []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	time.Sleep(60 * time.Millisecond) // let the cached capability expire
-	if err := c.Write("/flaky", 0, []byte("y")); err != nil {
+	if err := c.Write(testCtx, "/flaky", 0, []byte("y")); err != nil {
 		t.Fatalf("write after expiry not refreshed: %v", err)
 	}
-	got, err := c.Read("/flaky", 0, 1)
+	got, err := c.Read(testCtx, "/flaky", 0, 1)
 	if err != nil || string(got) != "y" {
 		t.Fatalf("read = %q, %v", got, err)
 	}
@@ -139,22 +142,22 @@ func TestExpiredCapabilityTransparentlyRefreshed(t *testing.T) {
 func TestRevocationRefresh(t *testing.T) {
 	fm, drives := newEnv(t, 1, 0)
 	c := New(fm, drives, alice)
-	if err := c.Create("/doc", 0o644); err != nil {
+	if err := c.Create(testCtx, "/doc", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Write("/doc", 0, []byte("v1")); err != nil {
+	if err := c.Write(testCtx, "/doc", 0, []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Read("/doc", 0, 2); err != nil {
+	if _, err := c.Read(testCtx, "/doc", 0, 2); err != nil {
 		t.Fatal(err)
 	}
 	// The file manager revokes all capabilities (version bump); the
 	// client's cached capability is now dead but the next read
 	// re-acquires transparently.
-	if err := fm.Revoke(alice, "/doc"); err != nil {
+	if err := fm.Revoke(testCtx, alice, "/doc"); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Read("/doc", 0, 2)
+	got, err := c.Read(testCtx, "/doc", 0, 2)
 	if err != nil || string(got) != "v1" {
 		t.Fatalf("read after revocation = %q, %v", got, err)
 	}
@@ -163,26 +166,26 @@ func TestRevocationRefresh(t *testing.T) {
 func TestNamespaceOperations(t *testing.T) {
 	fm, drives := newEnv(t, 2, 0)
 	c := New(fm, drives, alice)
-	if err := c.Mkdir("/proj", 0o755); err != nil {
+	if err := c.Mkdir(testCtx, "/proj", 0o755); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Create("/proj/a", 0o644); err != nil {
+	if err := c.Create(testCtx, "/proj/a", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Rename("/proj/a", "/proj/b"); err != nil {
+	if err := c.Rename(testCtx, "/proj/a", "/proj/b"); err != nil {
 		t.Fatal(err)
 	}
-	ents, err := c.ReadDir("/proj")
+	ents, err := c.ReadDir(testCtx, "/proj")
 	if err != nil || len(ents) != 1 || ents[0].Name != "b" {
 		t.Fatalf("readdir = %+v, %v", ents, err)
 	}
-	if err := c.Remove("/proj/b"); err != nil {
+	if err := c.Remove(testCtx, "/proj/b"); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Remove("/proj"); err != nil {
+	if err := c.Remove(testCtx, "/proj"); err != nil {
 		t.Fatal(err)
 	}
-	info, err := c.Stat("/")
+	info, err := c.Stat(testCtx, "/")
 	if err != nil || info.Mode&filemgr.ModeDir == 0 {
 		t.Fatalf("stat / = %+v, %v", info, err)
 	}
@@ -192,13 +195,13 @@ func TestTwoClientsShareData(t *testing.T) {
 	fm, drives := newEnv(t, 2, 0)
 	writer := New(fm, drives, alice)
 	reader := New(fm, drives, filemgr.Identity{UID: 11})
-	if err := writer.Create("/shared", 0o644); err != nil {
+	if err := writer.Create(testCtx, "/shared", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := writer.Write("/shared", 0, []byte("broadcast")); err != nil {
+	if err := writer.Write(testCtx, "/shared", 0, []byte("broadcast")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := reader.Read("/shared", 0, 9)
+	got, err := reader.Read(testCtx, "/shared", 0, 9)
 	if err != nil || string(got) != "broadcast" {
 		t.Fatalf("second client read = %q, %v", got, err)
 	}

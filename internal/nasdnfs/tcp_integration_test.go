@@ -45,11 +45,11 @@ func TestFullStackOverTCP(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fmCli := client.New(conn, uint64(1+i), clientID.Add(1), true)
+		fmCli := client.New(conn, uint64(1+i), clientID.Add(1))
 		t.Cleanup(func() { fmCli.Close() })
 		targets = append(targets, filemgr.DriveTarget{Client: fmCli, DriveID: uint64(1 + i), Master: master})
 	}
-	fm, err := filemgr.Format(filemgr.Config{Drives: targets})
+	fm, err := filemgr.Format(testCtx, filemgr.Config{Drives: targets})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +71,7 @@ func TestFullStackOverTCP(t *testing.T) {
 				t.Error(err)
 				return nil
 			}
-			c := client.New(conn, uint64(1+i), clientID.Add(1), true)
+			c := client.New(conn, uint64(1+i), clientID.Add(1))
 			cleanupMu.Lock()
 			conns = append(conns, c)
 			cleanupMu.Unlock()
@@ -91,19 +91,19 @@ func TestFullStackOverTCP(t *testing.T) {
 				id := filemgr.Identity{UID: uint32(100 + c)}
 				cli := New(fm, dialAll(), id)
 				root := fmt.Sprintf("/user%d", c)
-				if err := cli.Mkdir(root, 0o755); err != nil {
+				if err := cli.Mkdir(testCtx, root, 0o755); err != nil {
 					return err
 				}
 				payload := bytes.Repeat([]byte{byte(c)}, 100_000)
 				for f := 0; f < 5; f++ {
 					path := fmt.Sprintf("%s/file%d", root, f)
-					if err := cli.Create(path, 0o644); err != nil {
+					if err := cli.Create(testCtx, path, 0o644); err != nil {
 						return err
 					}
-					if err := cli.Write(path, 0, payload); err != nil {
+					if err := cli.Write(testCtx, path, 0, payload); err != nil {
 						return err
 					}
-					got, err := cli.Read(path, 0, len(payload))
+					got, err := cli.Read(testCtx, path, 0, len(payload))
 					if err != nil {
 						return err
 					}
@@ -111,7 +111,7 @@ func TestFullStackOverTCP(t *testing.T) {
 						return fmt.Errorf("client %d: file %d corrupted", c, f)
 					}
 				}
-				ents, err := cli.ReadDir(root)
+				ents, err := cli.ReadDir(testCtx, root)
 				if err != nil {
 					return err
 				}
@@ -132,10 +132,10 @@ func TestFullStackOverTCP(t *testing.T) {
 	// Cross-client isolation: a 0644 file is readable but not writable
 	// by another identity.
 	intruder := New(fm, dialAll(), filemgr.Identity{UID: 999})
-	if _, err := intruder.Read("/user0/file0", 0, 10); err != nil {
+	if _, err := intruder.Read(testCtx, "/user0/file0", 0, 10); err != nil {
 		t.Errorf("world-readable file not readable: %v", err)
 	}
-	if err := intruder.Write("/user0/file0", 0, []byte("defaced")); err == nil {
+	if err := intruder.Write(testCtx, "/user0/file0", 0, []byte("defaced")); err == nil {
 		t.Error("foreign write to 0644 file succeeded")
 	}
 }
@@ -159,8 +159,8 @@ func TestDriveDeathSurfacesCleanly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fmCli := client.New(conn, 1, 50_001, true)
-	fm, err := filemgr.Format(filemgr.Config{
+	fmCli := client.New(conn, 1, 50_001)
+	fm, err := filemgr.Format(testCtx, filemgr.Config{
 		Drives: []filemgr.DriveTarget{{Client: fmCli, DriveID: 1, Master: master}},
 	})
 	if err != nil {
@@ -170,18 +170,18 @@ func TestDriveDeathSurfacesCleanly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dataCli := client.New(dataConn, 1, 50_002, true)
+	dataCli := client.New(dataConn, 1, 50_002)
 	cli := New(fm, []*client.Drive{dataCli}, filemgr.Identity{UID: 7})
-	if err := cli.Create("/f", 0o644); err != nil {
+	if err := cli.Create(testCtx, "/f", 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := cli.Write("/f", 0, []byte("alive")); err != nil {
+	if err := cli.Write(testCtx, "/f", 0, []byte("alive")); err != nil {
 		t.Fatal(err)
 	}
 
 	// Kill the drive.
 	srv.Close()
-	if _, err := cli.Read("/f", 0, 5); err == nil {
+	if _, err := cli.Read(testCtx, "/f", 0, 5); err == nil {
 		t.Fatal("read from dead drive succeeded")
 	}
 }

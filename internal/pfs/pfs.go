@@ -7,6 +7,7 @@
 package pfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -57,7 +58,7 @@ func NewFS(mgr *cheops.Manager, cfg Config) *FS {
 }
 
 // Create makes a new file with the filesystem's default layout.
-func (fs *FS) Create(name string, width int) error {
+func (fs *FS) Create(ctx context.Context, name string, width int) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if _, ok := fs.names[name]; ok {
@@ -66,7 +67,7 @@ func (fs *FS) Create(name string, width int) error {
 	if width <= 0 {
 		width = fs.width
 	}
-	id, err := fs.mgr.Create(fs.pattern, fs.unit, width, fs.nextPl)
+	id, err := fs.mgr.Create(ctx, fs.pattern, fs.unit, width, fs.nextPl)
 	if err != nil {
 		return err
 	}
@@ -76,7 +77,7 @@ func (fs *FS) Create(name string, width int) error {
 }
 
 // Remove deletes a file.
-func (fs *FS) Remove(name string) error {
+func (fs *FS) Remove(ctx context.Context, name string) error {
 	fs.mu.Lock()
 	id, ok := fs.names[name]
 	if ok {
@@ -86,7 +87,7 @@ func (fs *FS) Remove(name string) error {
 	if !ok {
 		return ErrNotFound
 	}
-	return fs.mgr.Remove(id)
+	return fs.mgr.Remove(ctx, id)
 }
 
 // List returns the file names.
@@ -148,19 +149,19 @@ func (f *File) Stat() (uint64, error) {
 
 // ReadAt reads n bytes at offset off (SIO-style explicit-offset read;
 // no shared file pointer, so parallel clients never contend on one).
-func (f *File) ReadAt(off uint64, n int) ([]byte, error) {
-	return f.obj.ReadAt(off, n)
+func (f *File) ReadAt(ctx context.Context, off uint64, n int) ([]byte, error) {
+	return f.obj.ReadAt(ctx, off, n)
 }
 
 // WriteAt writes data at offset off.
-func (f *File) WriteAt(off uint64, data []byte) error {
-	return f.obj.WriteAt(off, data)
+func (f *File) WriteAt(ctx context.Context, off uint64, data []byte) error {
+	return f.obj.WriteAt(ctx, off, data)
 }
 
 // ListIO issues a batch of reads concurrently and returns the results
 // in order (the SIO low-level interface's list-of-requests entry
 // point).
-func (f *File) ListIO(offs []uint64, sizes []int) ([][]byte, error) {
+func (f *File) ListIO(ctx context.Context, offs []uint64, sizes []int) ([][]byte, error) {
 	if len(offs) != len(sizes) {
 		return nil, errors.New("pfs: ListIO length mismatch")
 	}
@@ -171,7 +172,7 @@ func (f *File) ListIO(offs []uint64, sizes []int) ([][]byte, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			out[i], errs[i] = f.obj.ReadAt(offs[i], sizes[i])
+			out[i], errs[i] = f.obj.ReadAt(ctx, offs[i], sizes[i])
 		}(i)
 	}
 	wg.Wait()

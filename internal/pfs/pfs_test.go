@@ -2,6 +2,7 @@ package pfs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"reflect"
 	"sync/atomic"
@@ -18,6 +19,8 @@ import (
 )
 
 var clientSeq atomic.Uint64
+
+var testCtx = context.Background()
 
 type cluster struct {
 	mgr  *cheops.Manager
@@ -43,11 +46,11 @@ func newCluster(t *testing.T, n int) *cluster {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c := client.New(conn, uint64(1+i), clientSeq.Add(1)+500, true)
+		c := client.New(conn, uint64(1+i), clientSeq.Add(1)+500)
 		t.Cleanup(func() { c.Close() })
 		refs = append(refs, cheops.DriveRef{Client: c, DriveID: uint64(1 + i), Master: master})
 	}
-	mgr, err := cheops.NewManager(cheops.ManagerConfig{Drives: refs}, true)
+	mgr, err := cheops.NewManager(testCtx, cheops.ManagerConfig{Drives: refs}, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +61,7 @@ func newCluster(t *testing.T, n int) *cluster {
 			if err != nil {
 				t.Fatal(err)
 			}
-			c := client.New(conn, uint64(1+i), clientSeq.Add(1)+500, true)
+			c := client.New(conn, uint64(1+i), clientSeq.Add(1)+500)
 			t.Cleanup(func() { c.Close() })
 			out = append(out, c)
 		}
@@ -70,10 +73,10 @@ func newCluster(t *testing.T, n int) *cluster {
 func TestCreateOpenReadWrite(t *testing.T) {
 	cl := newCluster(t, 4)
 	fs := NewFS(cl.mgr, Config{StripeUnit: 64 << 10, Width: 4})
-	if err := fs.Create("/data", 0); err != nil {
+	if err := fs.Create(testCtx, "/data", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Create("/data", 0); !errors.Is(err, ErrExists) {
+	if err := fs.Create(testCtx, "/data", 0); !errors.Is(err, ErrExists) {
 		t.Fatalf("duplicate create: %v", err)
 	}
 	f, err := fs.Open("/data", cl.dial(), capability.Read|capability.Write)
@@ -81,10 +84,10 @@ func TestCreateOpenReadWrite(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := bytes.Repeat([]byte("pfs!"), 100_000) // 400 KB across stripes
-	if err := f.WriteAt(0, data); err != nil {
+	if err := f.WriteAt(testCtx, 0, data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := f.ReadAt(0, len(data))
+	got, err := f.ReadAt(testCtx, 0, len(data))
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("round trip: %v", err)
 	}
@@ -97,7 +100,7 @@ func TestCreateOpenReadWrite(t *testing.T) {
 func TestParallelClientsShareFile(t *testing.T) {
 	cl := newCluster(t, 4)
 	fs := NewFS(cl.mgr, Config{StripeUnit: 32 << 10, Width: 4})
-	if err := fs.Create("/shared", 0); err != nil {
+	if err := fs.Create(testCtx, "/shared", 0); err != nil {
 		t.Fatal(err)
 	}
 	writer, err := fs.Open("/shared", cl.dial(), capability.Read|capability.Write)
@@ -105,7 +108,7 @@ func TestParallelClientsShareFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := bytes.Repeat([]byte{0xAB}, 256<<10)
-	if err := writer.WriteAt(0, data); err != nil {
+	if err := writer.WriteAt(testCtx, 0, data); err != nil {
 		t.Fatal(err)
 	}
 	// Four independent clients each read a quarter in parallel.
@@ -121,7 +124,7 @@ func TestParallelClientsShareFile(t *testing.T) {
 				done <- i
 				return
 			}
-			results[i], errs[i] = f.ReadAt(uint64(i*quarter), quarter)
+			results[i], errs[i] = f.ReadAt(testCtx, uint64(i*quarter), quarter)
 			done <- i
 		}(i)
 	}
@@ -141,7 +144,7 @@ func TestParallelClientsShareFile(t *testing.T) {
 func TestListIO(t *testing.T) {
 	cl := newCluster(t, 2)
 	fs := NewFS(cl.mgr, Config{StripeUnit: 16 << 10, Width: 2})
-	if err := fs.Create("/batch", 0); err != nil {
+	if err := fs.Create(testCtx, "/batch", 0); err != nil {
 		t.Fatal(err)
 	}
 	f, err := fs.Open("/batch", cl.dial(), capability.Read|capability.Write)
@@ -149,10 +152,10 @@ func TestListIO(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := bytes.Repeat([]byte("0123456789"), 10_000)
-	if err := f.WriteAt(0, data); err != nil {
+	if err := f.WriteAt(testCtx, 0, data); err != nil {
 		t.Fatal(err)
 	}
-	outs, err := f.ListIO([]uint64{0, 50_000, 99_990}, []int{10, 10, 10})
+	outs, err := f.ListIO(testCtx, []uint64{0, 50_000, 99_990}, []int{10, 10, 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +164,7 @@ func TestListIO(t *testing.T) {
 			t.Fatalf("listio[%d] = %q want %q", i, outs[i], want)
 		}
 	}
-	if _, err := f.ListIO([]uint64{0}, []int{1, 2}); err == nil {
+	if _, err := f.ListIO(testCtx, []uint64{0}, []int{1, 2}); err == nil {
 		t.Fatal("mismatched ListIO accepted")
 	}
 }
@@ -169,19 +172,19 @@ func TestListIO(t *testing.T) {
 func TestRemoveAndList(t *testing.T) {
 	cl := newCluster(t, 2)
 	fs := NewFS(cl.mgr, Config{Width: 2})
-	if err := fs.Create("/a", 0); err != nil {
+	if err := fs.Create(testCtx, "/a", 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Create("/b", 0); err != nil {
+	if err := fs.Create(testCtx, "/b", 0); err != nil {
 		t.Fatal(err)
 	}
 	if got := fs.List(); len(got) != 2 {
 		t.Fatalf("list = %v", got)
 	}
-	if err := fs.Remove("/a"); err != nil {
+	if err := fs.Remove(testCtx, "/a"); err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.Remove("/a"); !errors.Is(err, ErrNotFound) {
+	if err := fs.Remove(testCtx, "/a"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("double remove: %v", err)
 	}
 	if _, err := fs.Open("/a", cl.dial(), capability.Read); !errors.Is(err, ErrNotFound) {
@@ -195,7 +198,7 @@ func TestMiningOverPFS(t *testing.T) {
 	cl := newCluster(t, 4)
 	fs := NewFS(cl.mgr, Config{StripeUnit: 512 << 10, Width: 4})
 	data := mining.Generate(mining.GenConfig{CatalogSize: 300, TotalBytes: 4 * mining.ChunkSize, Seed: 11})
-	if err := fs.Create("/sales", 0); err != nil {
+	if err := fs.Create(testCtx, "/sales", 0); err != nil {
 		t.Fatal(err)
 	}
 	loader, err := fs.Open("/sales", cl.dial(), capability.Read|capability.Write)
@@ -208,7 +211,7 @@ func TestMiningOverPFS(t *testing.T) {
 		if end > len(data) {
 			end = len(data)
 		}
-		if err := loader.WriteAt(uint64(off), data[off:end]); err != nil {
+		if err := loader.WriteAt(testCtx, uint64(off), data[off:end]); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -225,7 +228,7 @@ func TestMiningOverPFS(t *testing.T) {
 		}
 		sources = append(sources, f)
 	}
-	got, err := mining.ParallelCount(sources, uint64(len(data)), mining.ParallelConfig{Catalog: 300})
+	got, err := mining.ParallelCount(testCtx, sources, uint64(len(data)), mining.ParallelConfig{Catalog: 300})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,210 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWorkerPoolDispatchesConcurrently proves the tentpole property of
+// the server side: requests arriving on ONE connection execute in
+// parallel. Every handler invocation blocks until `want` of them are in
+// flight simultaneously; with serial dispatch this would deadlock.
+func TestWorkerPoolDispatchesConcurrently(t *testing.T) {
+	const want = 4
+	var inFlight atomic.Int64
+	release := make(chan struct{})
+	srv := NewServer(HandlerFunc(func(req *Request) *Reply {
+		if inFlight.Add(1) == want {
+			close(release)
+		}
+		defer inFlight.Add(-1)
+		select {
+		case <-release:
+		case <-time.After(5 * time.Second):
+			return &Reply{Status: StatusError, Msg: "never reached concurrency"}
+		}
+		return &Reply{Status: StatusOK}
+	}), WithWorkers(want))
+	l := NewInProcListener("s")
+	go srv.Serve(l)
+	defer srv.Close()
+
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn)
+	defer cli.Close()
+
+	var wg sync.WaitGroup
+	errs := make([]error, want)
+	for i := 0; i < want; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := cli.Call(context.Background(), &Request{Proc: 1})
+			if err != nil {
+				errs[i] = err
+			} else if rep.Status != StatusOK {
+				errs[i] = errors.New(rep.Msg)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestWorkerPoolBounded: with a single worker, requests on one
+// connection never overlap, no matter how many the client pipelines.
+func TestWorkerPoolBounded(t *testing.T) {
+	var inFlight, maxSeen atomic.Int64
+	srv := NewServer(HandlerFunc(func(req *Request) *Reply {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			m := maxSeen.Load()
+			if n <= m || maxSeen.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return &Reply{Status: StatusOK}
+	}), WithWorkers(1))
+	l := NewInProcListener("s")
+	go srv.Serve(l)
+	defer srv.Close()
+
+	conn, _ := l.Dial()
+	cli := NewClient(conn)
+	defer cli.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cli.Call(context.Background(), &Request{Proc: 1})
+		}()
+	}
+	wg.Wait()
+	if maxSeen.Load() != 1 {
+		t.Fatalf("single-worker server ran %d handlers concurrently", maxSeen.Load())
+	}
+}
+
+// TestCallCancellation: a canceled context fails the pending call
+// promptly even though the server never replies, and the connection
+// remains usable for later calls.
+func TestCallCancellation(t *testing.T) {
+	block := make(chan struct{})
+	srv := NewServer(HandlerFunc(func(req *Request) *Reply {
+		if req.Proc == 99 {
+			<-block // wedge this request until the test ends
+		}
+		return &Reply{Status: StatusOK}
+	}))
+	l := NewInProcListener("s")
+	go srv.Serve(l)
+	defer srv.Close()
+	defer close(block) // LIFO: unwedge handlers before srv.Close waits on them
+
+	conn, _ := l.Dial()
+	cli := NewClient(conn)
+	defer cli.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(ctx, &Request{Proc: 99})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled call returned %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("canceled call never returned")
+	}
+	// The mux forgot the abandoned call and the connection still works.
+	if n := cli.Stats().InFlight; n != 0 {
+		t.Fatalf("in-flight after cancellation = %d", n)
+	}
+	if _, err := cli.Call(context.Background(), &Request{Proc: 1}); err != nil {
+		t.Fatalf("call after cancellation: %v", err)
+	}
+}
+
+// TestCallDeadline: an already-expired deadline fails before any bytes
+// move; a short deadline fails a wedged call with DeadlineExceeded.
+func TestCallDeadline(t *testing.T) {
+	block := make(chan struct{})
+	srv := NewServer(HandlerFunc(func(req *Request) *Reply {
+		<-block
+		return &Reply{Status: StatusOK}
+	}))
+	l := NewInProcListener("s")
+	go srv.Serve(l)
+	defer srv.Close()
+	defer close(block) // LIFO: unwedge handlers before srv.Close waits on them
+
+	conn, _ := l.Dial()
+	cli := NewClient(conn)
+	defer cli.Close()
+
+	expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := cli.Call(expired, &Request{Proc: 1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: %v", err)
+	}
+
+	short, cancel2 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel2()
+	if _, err := cli.Call(short, &Request{Proc: 1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("short deadline: %v", err)
+	}
+}
+
+// TestStatsCounters: the per-connection counters the pipelining layer
+// surfaces move as traffic flows.
+func TestStatsCounters(t *testing.T) {
+	srv := NewServer(echoServer(t))
+	l := NewInProcListener("s")
+	go srv.Serve(l)
+	defer srv.Close()
+
+	conn, _ := l.Dial()
+	cli := NewClient(conn)
+	defer cli.Close()
+
+	const calls = 10
+	for i := 0; i < calls; i++ {
+		if _, err := cli.Call(context.Background(), &Request{Proc: 1, Data: make([]byte, 1024)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := cli.Stats()
+	if cs.Calls != calls || cs.InFlight != 0 {
+		t.Fatalf("client stats = %+v", cs)
+	}
+	if cs.BytesSent == 0 || cs.BytesRecv == 0 {
+		t.Fatalf("client byte counters never moved: %+v", cs)
+	}
+	ss := srv.Stats()
+	if ss.Requests != calls || ss.InFlight != 0 || ss.Conns != 1 {
+		t.Fatalf("server stats = %+v", ss)
+	}
+	if ss.BytesIn < calls*1024 {
+		t.Fatalf("server BytesIn = %d", ss.BytesIn)
+	}
+}

@@ -1,13 +1,18 @@
 package rpc
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Handler processes one request and returns a reply. Implementations
-// must set the reply's MsgID from the request.
+// must set the reply's MsgID from the request. A Handler must be safe
+// for concurrent use: the server dispatches requests from one
+// connection to a pool of workers, so two requests from the same client
+// can execute simultaneously.
 type Handler interface {
 	Handle(req *Request) *Reply
 }
@@ -18,19 +23,74 @@ type HandlerFunc func(req *Request) *Reply
 // Handle calls f(req).
 func (f HandlerFunc) Handle(req *Request) *Reply { return f(req) }
 
-// Server serves NASD RPC requests from any number of connections.
+// DefaultWorkers is the per-connection worker pool size when
+// WithWorkers is not given: enough that a large read in flight does not
+// head-of-line-block small control operations on the same connection,
+// small enough that one connection cannot monopolize the drive.
+const DefaultWorkers = 4
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithWorkers sets the per-connection worker pool size. n = 1 restores
+// strictly serial per-connection dispatch (replies in request order);
+// larger n lets requests on one connection execute concurrently, with
+// replies matched by message ID.
+func WithWorkers(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// ServerStats is a snapshot of a server's counters, aggregated over all
+// connections.
+type ServerStats struct {
+	Conns    int64  // currently open connections
+	InFlight int64  // requests currently executing in handlers
+	Requests uint64 // total requests dispatched
+	BytesIn  uint64 // wire bytes received
+	BytesOut uint64 // wire bytes sent
+}
+
+// Server serves NASD RPC requests from any number of connections. Each
+// connection gets a bounded worker pool so a slow bulk transfer does
+// not stall small requests multiplexed on the same connection.
 type Server struct {
 	handler Handler
+	workers int
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	lns     []Listener
 	conns   map[Conn]bool
 	closed  bool
+
+	statConns    atomic.Int64
+	statInFlight atomic.Int64
+	statRequests atomic.Uint64
+	statBytesIn  atomic.Uint64
+	statBytesOut atomic.Uint64
 }
 
 // NewServer returns a server dispatching to handler.
-func NewServer(handler Handler) *Server {
-	return &Server{handler: handler, conns: make(map[Conn]bool)}
+func NewServer(handler Handler, opts ...ServerOption) *Server {
+	s := &Server{handler: handler, workers: DefaultWorkers, conns: make(map[Conn]bool)}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Conns:    s.statConns.Load(),
+		InFlight: s.statInFlight.Load(),
+		Requests: s.statRequests.Load(),
+		BytesIn:  s.statBytesIn.Load(),
+		BytesOut: s.statBytesOut.Load(),
+	}
 }
 
 // Serve accepts connections from l until the listener is closed. It
@@ -56,8 +116,10 @@ func (s *Server) Serve(l Listener) {
 			return
 		}
 		s.conns[conn] = true
-		s.mu.Unlock()
+		// Add under the lock that guards closed: Close sets closed and
+		// then waits, so it can never observe the group mid-Add.
 		s.wg.Add(1)
+		s.mu.Unlock()
 		go func() {
 			defer s.wg.Done()
 			s.serveConn(conn)
@@ -65,9 +127,40 @@ func (s *Server) Serve(l Listener) {
 	}
 }
 
+// serveConn decodes requests and feeds them to a bounded worker pool.
+// The queue is as deep as the pool, so a flooding client is
+// backpressured by the transport rather than buffering unboundedly.
 func (s *Server) serveConn(conn Conn) {
+	s.statConns.Add(1)
+	reqs := make(chan *Request, s.workers)
+	var workers sync.WaitGroup
+	for i := 0; i < s.workers; i++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for req := range reqs {
+				s.statInFlight.Add(1)
+				reply := s.handler.Handle(req)
+				s.statInFlight.Add(-1)
+				if reply == nil {
+					reply = Errorf(req.MsgID, StatusError, "handler returned no reply")
+				}
+				reply.MsgID = req.MsgID
+				wire := EncodeReply(reply)
+				if err := conn.Send(wire); err != nil {
+					// The reader notices closure and drains the queue.
+					conn.Close()
+					continue
+				}
+				s.statBytesOut.Add(uint64(len(wire)))
+			}
+		}()
+	}
 	defer func() {
+		close(reqs)
+		workers.Wait()
 		conn.Close()
+		s.statConns.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -77,6 +170,7 @@ func (s *Server) serveConn(conn Conn) {
 		if err != nil {
 			return
 		}
+		s.statBytesIn.Add(uint64(len(raw)))
 		msg, err := DecodeMessage(raw)
 		if err != nil {
 			// Malformed traffic: drop the connection.
@@ -86,14 +180,8 @@ func (s *Server) serveConn(conn Conn) {
 		if !ok {
 			return
 		}
-		reply := s.handler.Handle(req)
-		if reply == nil {
-			reply = Errorf(req.MsgID, StatusError, "handler returned no reply")
-		}
-		reply.MsgID = req.MsgID
-		if err := conn.Send(EncodeReply(reply)); err != nil {
-			return
-		}
+		s.statRequests.Add(1)
+		reqs <- req
 	}
 }
 
@@ -118,6 +206,16 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// ClientStats is a snapshot of one client connection's counters.
+type ClientStats struct {
+	InFlight  int64  // calls awaiting replies
+	Calls     uint64 // calls issued
+	Canceled  uint64 // calls abandoned by context cancellation/deadline
+	Failures  uint64 // calls failed by transport or decode errors
+	BytesSent uint64 // wire bytes sent
+	BytesRecv uint64 // wire bytes received
+}
+
 // Client multiplexes concurrent calls over one connection.
 type Client struct {
 	conn    Conn
@@ -126,6 +224,13 @@ type Client struct {
 	pending map[uint64]chan *Reply
 	closed  bool
 	readErr error
+
+	statInFlight  atomic.Int64
+	statCalls     atomic.Uint64
+	statCanceled  atomic.Uint64
+	statFailures  atomic.Uint64
+	statBytesSent atomic.Uint64
+	statBytesRecv atomic.Uint64
 }
 
 // NewClient wraps conn and starts the demultiplexing loop.
@@ -135,6 +240,18 @@ func NewClient(conn Conn) *Client {
 	return c
 }
 
+// Stats returns a snapshot of the connection's counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		InFlight:  c.statInFlight.Load(),
+		Calls:     c.statCalls.Load(),
+		Canceled:  c.statCanceled.Load(),
+		Failures:  c.statFailures.Load(),
+		BytesSent: c.statBytesSent.Load(),
+		BytesRecv: c.statBytesRecv.Load(),
+	}
+}
+
 func (c *Client) recvLoop() {
 	for {
 		raw, err := c.conn.Recv()
@@ -142,6 +259,7 @@ func (c *Client) recvLoop() {
 			c.failAll(err)
 			return
 		}
+		c.statBytesRecv.Add(uint64(len(raw)))
 		msg, err := DecodeMessage(raw)
 		if err != nil {
 			c.failAll(err)
@@ -175,9 +293,16 @@ func (c *Client) failAll(err error) {
 	}
 }
 
-// Call sends req and blocks for its reply. Concurrent calls are
-// multiplexed by message ID.
-func (c *Client) Call(req *Request) (*Reply, error) {
+// Call sends req and blocks for its reply or ctx's end, whichever comes
+// first. Concurrent calls are multiplexed by message ID. When ctx is
+// canceled or its deadline passes, the pending call fails with ctx's
+// error and a late reply is discarded by the receive loop; on
+// transports that support it (TCP) the deadline also bounds the send.
+func (c *Client) Call(ctx context.Context, req *Request) (*Reply, error) {
+	if err := ctx.Err(); err != nil {
+		c.statCanceled.Add(1)
+		return nil, err
+	}
 	req.MsgID = c.nextID.Add(1)
 	ch := make(chan *Reply, 1)
 	c.mu.Lock()
@@ -187,28 +312,59 @@ func (c *Client) Call(req *Request) (*Reply, error) {
 		if err == nil {
 			err = ErrClosed
 		}
+		c.statFailures.Add(1)
 		return nil, err
 	}
 	c.pending[req.MsgID] = ch
 	c.mu.Unlock()
 
-	if err := c.conn.Send(EncodeRequest(req)); err != nil {
+	c.statCalls.Add(1)
+	c.statInFlight.Add(1)
+	defer c.statInFlight.Add(-1)
+
+	if sd, ok := c.conn.(SendDeadliner); ok {
+		// Map the context deadline onto the transport; zero clears any
+		// deadline a previous call left behind. Concurrent calls with
+		// different deadlines share the socket, so the strictest recent
+		// deadline may bound another call's send — a cheap and safe
+		// approximation, since sends normally complete immediately.
+		var dl time.Time
+		if d, ok := ctx.Deadline(); ok {
+			dl = d
+		}
+		sd.SetSendDeadline(dl)
+	}
+
+	wire := EncodeRequest(req)
+	if err := c.conn.Send(wire); err != nil {
 		c.mu.Lock()
 		delete(c.pending, req.MsgID)
 		c.mu.Unlock()
+		c.statFailures.Add(1)
 		return nil, err
 	}
-	reply, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.readErr
-		c.mu.Unlock()
-		if err == nil {
-			err = ErrClosed
+	c.statBytesSent.Add(uint64(len(wire)))
+
+	select {
+	case reply, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			if err == nil {
+				err = ErrClosed
+			}
+			c.statFailures.Add(1)
+			return nil, err
 		}
-		return nil, err
+		return reply, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, req.MsgID)
+		c.mu.Unlock()
+		c.statCanceled.Add(1)
+		return nil, ctx.Err()
 	}
-	return reply, nil
 }
 
 // Close tears down the connection; in-flight calls fail.

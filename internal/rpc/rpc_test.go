@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"sync"
@@ -231,7 +232,7 @@ func TestClientServerInProc(t *testing.T) {
 	cli := NewClient(conn)
 	defer cli.Close()
 
-	rep, err := cli.Call(&Request{Proc: 1, Args: []byte("abc"), Data: []byte("xyz")})
+	rep, err := cli.Call(context.Background(), &Request{Proc: 1, Args: []byte("abc"), Data: []byte("xyz")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestClientServerTCP(t *testing.T) {
 	defer cli.Close()
 
 	big := bytes.Repeat([]byte{0x42}, 2<<20) // 2 MB payload
-	rep, err := cli.Call(&Request{Proc: 2, Data: big})
+	rep, err := cli.Call(context.Background(), &Request{Proc: 2, Data: big})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestConcurrentCallsMultiplexed(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			want := fmt.Sprintf("call-%d", i)
-			rep, err := cli.Call(&Request{Proc: 1, Args: []byte(want)})
+			rep, err := cli.Call(context.Background(), &Request{Proc: 1, Args: []byte(want)})
 			if err != nil {
 				errs <- err
 				return
@@ -309,12 +310,12 @@ func TestCallAfterServerGone(t *testing.T) {
 
 	conn, _ := l.Dial()
 	cli := NewClient(conn)
-	if _, err := cli.Call(&Request{Proc: 1}); err != nil {
+	if _, err := cli.Call(context.Background(), &Request{Proc: 1}); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
 	conn.Close()
-	if _, err := cli.Call(&Request{Proc: 1}); err == nil {
+	if _, err := cli.Call(context.Background(), &Request{Proc: 1}); err == nil {
 		t.Fatal("call after close succeeded")
 	}
 }

@@ -1,0 +1,77 @@
+package rpc
+
+import (
+	"time"
+
+	"nasd/internal/simtime"
+)
+
+// ThrottledConn wraps a Conn with a link-bandwidth model: every sent
+// message is charged its serialization delay on a shared link
+// (concurrent senders queue, as they would on one wire). Loopback and
+// in-process transports move data at memory speed; wrapping a rig's
+// connections in ThrottledConn reproduces the regime the paper
+// evaluates — 10 Mb/s to 155 Mb/s networks where transfer time, not
+// CPU, dominates — so that pipelining and striping effects are visible
+// in benchmarks.
+type ThrottledConn struct {
+	conn  Conn
+	pacer *simtime.Pacer
+}
+
+// NewThrottledConn models conn as a link carrying bytesPerSec.
+// bytesPerSec <= 0 means unlimited.
+func NewThrottledConn(conn Conn, bytesPerSec int64) *ThrottledConn {
+	return &ThrottledConn{conn: conn, pacer: simtime.NewPacer(bytesPerSec, 0)}
+}
+
+// Send implements Conn, charging serialization delay before the
+// underlying send.
+func (t *ThrottledConn) Send(msg []byte) error {
+	t.pacer.Charge(len(msg))
+	return t.conn.Send(msg)
+}
+
+// Recv implements Conn. The receive side is not charged: the sender on
+// the other end of the link pays for its own bytes.
+func (t *ThrottledConn) Recv() ([]byte, error) { return t.conn.Recv() }
+
+// Close implements Conn.
+func (t *ThrottledConn) Close() error { return t.conn.Close() }
+
+// SetSendDeadline forwards to the underlying transport when it supports
+// deadlines.
+func (t *ThrottledConn) SetSendDeadline(dl time.Time) error {
+	if d, ok := t.conn.(SendDeadliner); ok {
+		return d.SetSendDeadline(dl)
+	}
+	return nil
+}
+
+// ThrottledListener wraps every accepted connection in a ThrottledConn,
+// so a whole server rig runs behind modeled links.
+type ThrottledListener struct {
+	l           Listener
+	bytesPerSec int64
+}
+
+// NewThrottledListener models every connection accepted from l as a
+// bytesPerSec link.
+func NewThrottledListener(l Listener, bytesPerSec int64) *ThrottledListener {
+	return &ThrottledListener{l: l, bytesPerSec: bytesPerSec}
+}
+
+// Accept implements Listener.
+func (t *ThrottledListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewThrottledConn(c, t.bytesPerSec), nil
+}
+
+// Close implements Listener.
+func (t *ThrottledListener) Close() error { return t.l.Close() }
+
+// Addr implements Listener.
+func (t *ThrottledListener) Addr() string { return t.l.Addr() }

@@ -1,0 +1,55 @@
+package rpc
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestThrottledConnRoundTrip(t *testing.T) {
+	srv := NewServer(echoServer(t))
+	l := NewInProcListener("s")
+	go srv.Serve(NewThrottledListener(l, 0)) // unlimited: pure pass-through
+	defer srv.Close()
+
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(NewThrottledConn(conn, 0))
+	defer cli.Close()
+
+	rep, err := cli.Call(context.Background(), &Request{Proc: 1, Data: []byte("ping")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != StatusOK || string(rep.Data) != "ping" {
+		t.Fatalf("echo through throttled conn: %+v", rep)
+	}
+}
+
+func TestThrottledConnPacesSends(t *testing.T) {
+	srv := NewServer(echoServer(t))
+	l := NewInProcListener("s")
+	go srv.Serve(l)
+	defer srv.Close()
+
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 MB/s link: four 64 KB requests are 256 KB up, the model says
+	// at least 250 ms (replies come back over the unthrottled side).
+	cli := NewClient(NewThrottledConn(conn, 1<<20))
+	defer cli.Close()
+
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		if _, err := cli.Call(context.Background(), &Request{Proc: 1, Data: make([]byte, 64<<10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if el := time.Since(start); el < 200*time.Millisecond {
+		t.Fatalf("256 KB at 1 MB/s took only %v", el)
+	}
+}

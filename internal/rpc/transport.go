@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Conn is a reliable, message-oriented connection (the "SAN" of the
@@ -26,6 +27,13 @@ type Listener interface {
 	Accept() (Conn, error)
 	Close() error
 	Addr() string
+}
+
+// SendDeadliner is implemented by transports whose Send can be bounded
+// in time. Client.Call maps context deadlines onto it so a stalled peer
+// cannot hold a sender forever. The zero time clears the deadline.
+type SendDeadliner interface {
+	SetSendDeadline(t time.Time) error
 }
 
 // ErrClosed is returned by operations on closed connections/listeners.
@@ -213,6 +221,10 @@ func (t *tcpConn) Recv() ([]byte, error) {
 }
 
 func (t *tcpConn) Close() error { return t.c.Close() }
+
+// SetSendDeadline implements SendDeadliner over the socket's write
+// deadline.
+func (t *tcpConn) SetSendDeadline(dl time.Time) error { return t.c.SetWriteDeadline(dl) }
 
 type tcpListener struct {
 	l net.Listener

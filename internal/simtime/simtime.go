@@ -1,0 +1,70 @@
+// Package simtime paces callers to model a serial resource — a disk
+// spindle, a network link — that moves data at a fixed bandwidth with a
+// fixed per-operation overhead. In-memory rigs transfer at memory
+// speed, which hides exactly the latency structure the paper's design
+// exploits (overlap of media time with wire time); wrapping a rig's
+// device and transport in pacers restores that structure so striping
+// and pipelining effects are measurable without hardware.
+//
+// The model is a FIFO queue over an absolute virtual clock: each
+// operation reserves service time on the shared timeline and sleeps
+// until its own reservation completes. Reservations, not sleeps, carry
+// the model: when the OS overshoots a sleep (coarse-tick kernels miss
+// by about a millisecond), the timeline is already prepaid and
+// subsequent operations proceed without blocking until the clock
+// catches up, so overshoot does not accumulate. An idleCredit floor
+// bounds how far the timeline may lag real time, so genuinely idle
+// periods are not banked as free bandwidth.
+package simtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Pacer is a shared serial resource. A nil Pacer (or one built with no
+// bandwidth and no per-op cost) never blocks.
+type Pacer struct {
+	nsPerByte float64
+	perOp     time.Duration
+
+	mu      sync.Mutex
+	readyAt time.Time
+}
+
+// idleCredit bounds how much idle (or sleep-overshoot) time the
+// timeline may reclaim. It must exceed the kernel's worst sleep
+// overshoot, and stay small enough that real idle gaps cost bandwidth.
+const idleCredit = 2 * time.Millisecond
+
+// NewPacer models a resource moving bytesPerSec with perOp overhead per
+// operation. bytesPerSec <= 0 means bandwidth is unlimited.
+func NewPacer(bytesPerSec int64, perOp time.Duration) *Pacer {
+	p := &Pacer{perOp: perOp}
+	if bytesPerSec > 0 {
+		p.nsPerByte = float64(time.Second) / float64(bytesPerSec)
+	}
+	return p
+}
+
+// Charge reserves service time for an n-byte operation and sleeps until
+// the reservation completes. Concurrent callers queue in FIFO order, as
+// they would on one spindle or one wire; their waits are true sleeps,
+// so other goroutines (the rest of the pipeline) run meanwhile.
+func (p *Pacer) Charge(n int) {
+	if p == nil || (p.nsPerByte == 0 && p.perOp == 0) {
+		return
+	}
+	service := p.perOp + time.Duration(p.nsPerByte*float64(n))
+	p.mu.Lock()
+	now := time.Now()
+	if floor := now.Add(-idleCredit); p.readyAt.Before(floor) {
+		p.readyAt = floor
+	}
+	p.readyAt = p.readyAt.Add(service)
+	deadline := p.readyAt
+	p.mu.Unlock()
+	if wait := time.Until(deadline); wait > 0 {
+		time.Sleep(wait)
+	}
+}

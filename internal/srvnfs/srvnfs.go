@@ -11,6 +11,7 @@
 package srvnfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -392,7 +393,7 @@ func NewClient(conn rpc.Conn) *Client { return &Client{cli: rpc.NewClient(conn)}
 func (c *Client) Close() error { return c.cli.Close() }
 
 func (c *Client) call(proc uint16, args, data []byte) (*rpc.Reply, error) {
-	rep, err := c.cli.Call(&rpc.Request{Proc: proc, Args: args, Data: data})
+	rep, err := c.cli.Call(context.Background(), &rpc.Request{Proc: proc, Args: args, Data: data})
 	if err != nil {
 		return nil, err
 	}

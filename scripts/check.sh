@@ -1,0 +1,18 @@
+#!/bin/sh
+# The repository's test gate: static analysis plus the full test suite
+# under the race detector. CI and pre-commit hooks should run exactly
+# this script so local and automated checks never drift.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"
