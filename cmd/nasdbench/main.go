@@ -3,9 +3,16 @@
 // Usage:
 //
 //	nasdbench [-quick] [-experiment fig4,fig6,fig7,table1,fig9,andrew,active|all]
+//	nasdbench -stats [-stats-mb 8]
 //
 // Each experiment prints the paper's values beside the values produced
 // by this repository's models and simulations.
+//
+// With -stats, nasdbench instead runs a live write+read workload
+// against an in-process secure drive and prints the drive's measured
+// per-op telemetry: service time per NASD operation split into digest
+// verification, object system, and media — Table 1's decomposition,
+// measured rather than modelled.
 package main
 
 import (
@@ -20,7 +27,17 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run shorter simulations with fewer points")
 	which := flag.String("experiment", "all", "comma-separated experiment IDs, or 'all'")
+	stats := flag.Bool("stats", false, "run a live workload and print the drive's measured per-op cost breakdown")
+	statsMB := flag.Int("stats-mb", 8, "workload size in MB for -stats")
 	flag.Parse()
+
+	if *stats {
+		if err := runStats(os.Stdout, *statsMB); err != nil {
+			fmt.Fprintf(os.Stderr, "nasdbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ids := experiments.IDs()
 	if *which != "all" {

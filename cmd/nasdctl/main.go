@@ -22,6 +22,10 @@
 //	version PART OBJ                copy-on-write snapshot, print new ID
 //	revoke PART OBJ                 bump version (revoke capabilities)
 //	flush                           force write-behind data to media
+//	stats [TRACE_N]                 show the drive's telemetry: the
+//	                                per-op Table 1-style cost table,
+//	                                every raw metric, and (with TRACE_N)
+//	                                the last TRACE_N served requests
 package main
 
 import (
@@ -39,6 +43,7 @@ import (
 	"nasd/internal/client"
 	"nasd/internal/crypt"
 	"nasd/internal/rpc"
+	"nasd/internal/telemetry"
 )
 
 func main() {
@@ -293,6 +298,27 @@ func (c *ctl) run(args []string) error {
 		return nil
 	case "flush":
 		return c.cli.Flush(c.ctx)
+	case "stats":
+		traceN := 0
+		if len(rest) > 0 {
+			traceN = int(parseU(rest[0]))
+		}
+		sr, err := c.cli.ServerMetrics(c.ctx, traceN)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("drive %d per-op cost breakdown (measured; cf. paper Table 1):\n\n", sr.DriveID)
+		telemetry.WriteOpTable(os.Stdout, sr.Metrics, "drive.op")
+		fmt.Println()
+		telemetry.WriteText(os.Stdout, sr.Metrics)
+		if len(sr.Trace) > 0 {
+			fmt.Printf("\nlast %d requests:\n", len(sr.Trace))
+			for _, ev := range sr.Trace {
+				fmt.Printf("  req=%d %-10s %-12s %10s %8dB\n",
+					ev.RequestID, ev.Op, ev.Status, time.Duration(ev.DurNanos).Round(time.Microsecond), ev.Bytes)
+			}
+		}
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

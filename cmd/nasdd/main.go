@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	nasdd -listen 127.0.0.1:7070 -id 1 -master <hex key> [-blocks 65536] [-insecure]
+//	nasdd -listen 127.0.0.1:7070 -id 1 -master <hex key> [-blocks 65536] [-insecure] [-metrics 127.0.0.1:7071]
 //
 // The master key (64 hex characters) is the root of the drive's key
 // hierarchy; the file manager that manages this drive must hold the
@@ -12,6 +12,13 @@
 // With -path the store is backed by a file on disk and survives
 // restarts (the drive formats the file on first use and reopens it
 // thereafter); without it, the store lives in memory.
+//
+// With -metrics the daemon additionally serves plain-JSON
+// observability over HTTP: GET /metrics (the full telemetry snapshot:
+// per-op counters and latency histograms, cache hit rates, media
+// counters), GET /healthz (liveness + uptime), and GET /trace?n=N
+// (the last N served requests). The same data is available over the
+// NASD interface itself via `nasdctl stats`.
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -27,6 +35,7 @@ import (
 	"nasd/internal/crypt"
 	"nasd/internal/drive"
 	"nasd/internal/rpc"
+	"nasd/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +45,7 @@ func main() {
 	blocks := flag.Int64("blocks", 65536, "device size in 4 KB blocks")
 	path := flag.String("path", "", "backing file for durable storage (empty = in-memory)")
 	insecure := flag.Bool("insecure", false, "disable capability enforcement (the paper's measurement mode)")
+	metricsAddr := flag.String("metrics", "", "HTTP observability address for /metrics, /healthz, /trace (empty = disabled)")
 	flag.Parse()
 
 	var master crypt.Key
@@ -75,12 +85,19 @@ func main() {
 		dev = fd
 	}
 
+	// One registry spans the media, the object system, and the RPC
+	// plane, so a single snapshot carries the whole Table 1-style
+	// breakdown.
+	reg := telemetry.NewRegistry()
+	idev := blockdev.Instrument(dev, reg)
+	cfg := drive.Config{ID: *id, Master: master, Secure: !*insecure, Metrics: reg, Media: idev}
+
 	var drv *drive.Drive
 	var err error
 	if fresh {
-		drv, err = drive.NewFormat(dev, drive.Config{ID: *id, Master: master, Secure: !*insecure})
+		drv, err = drive.NewFormat(idev, cfg)
 	} else {
-		drv, err = drive.Open(dev, drive.Config{ID: *id, Master: master, Secure: !*insecure})
+		drv, err = drive.Open(idev, cfg)
 	}
 	if err != nil {
 		log.Fatalf("nasdd: attach: %v", err)
@@ -94,7 +111,19 @@ func main() {
 		mode = "INSECURE"
 	}
 	log.Printf("nasdd: drive %d serving %d x 4KB blocks on %s (%s)", *id, *blocks, l.Addr(), mode)
-	srv := rpc.NewServer(drv)
+	srv := rpc.NewServer(drv,
+		rpc.WithMetrics(reg),
+		rpc.WithProcNames(func(p uint16) string { return drive.Op(p).String() }))
+
+	if *metricsAddr != "" {
+		mux := telemetry.NewMux(reg.Snapshot, drv.Trace())
+		go func() {
+			log.Printf("nasdd: observability on http://%s/metrics", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("nasdd: metrics server: %v", err)
+			}
+		}()
+	}
 
 	// Flush write-behind data on SIGINT/SIGTERM before exiting.
 	sigs := make(chan os.Signal, 1)

@@ -1,7 +1,3 @@
-// Package blockdev defines the block-device abstraction the NASD object
-// system is built on, with an in-memory implementation, fault injection
-// for failure testing, and a striping driver mirroring the paper's
-// prototype (two Seagate Medallists behind a software striping driver).
 package blockdev
 
 import (

@@ -1,0 +1,12 @@
+// Package blockdev defines the block-device abstraction the NASD object
+// system is built on, with an in-memory implementation, fault injection
+// for failure testing, a throttled service-time model, and a striping
+// driver mirroring the paper's prototype (Section 4.2: two Seagate
+// Medallists behind a software striping driver).
+//
+// Instrument wraps any Device with telemetry: per-direction I/O and
+// latency counters, a queue-depth gauge, and cumulative busy time
+// (blockdev.* in DESIGN.md §5). The busy-time clock is what the drive
+// uses to attribute each request's media component when reproducing
+// the Table 1 cost split.
+package blockdev

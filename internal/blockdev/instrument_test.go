@@ -1,0 +1,52 @@
+package blockdev
+
+import (
+	"testing"
+
+	"nasd/internal/telemetry"
+)
+
+func TestInstrumentedDevice(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	dev := Instrument(NewMemDisk(4096, 64), reg)
+	if dev.BlockSize() != 4096 || dev.Blocks() != 64 {
+		t.Fatalf("geometry not forwarded: %d x %d", dev.BlockSize(), dev.Blocks())
+	}
+
+	buf := make([]byte, 4096)
+	if err := dev.WriteBlock(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.ReadBlock(3, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := reg.Snapshot()
+	if s.Counters["blockdev.reads"] != 1 || s.Counters["blockdev.writes"] != 1 {
+		t.Fatalf("reads/writes = %d/%d, want 1/1",
+			s.Counters["blockdev.reads"], s.Counters["blockdev.writes"])
+	}
+	if s.Histograms["blockdev.read_ns"].Count != 1 || s.Histograms["blockdev.write_ns"].Count != 1 {
+		t.Fatal("latency histograms missing observations")
+	}
+	if s.Gauges["blockdev.queue_depth"] != 0 {
+		t.Fatalf("queue depth at rest = %d", s.Gauges["blockdev.queue_depth"])
+	}
+	if dev.BusyNanos() <= 0 {
+		t.Fatalf("busy time = %d, want > 0", dev.BusyNanos())
+	}
+	if s.Gauges["blockdev.busy_ns"] > dev.BusyNanos() {
+		t.Fatal("pull gauge reports more busy time than the device")
+	}
+
+	// Failed operations don't count as completed I/Os.
+	if err := dev.ReadBlock(1000, buf); err == nil {
+		t.Fatal("out-of-range read should fail")
+	}
+	if got := reg.Snapshot().Counters["blockdev.reads"]; got != 1 {
+		t.Fatalf("failed read counted: %d", got)
+	}
+}

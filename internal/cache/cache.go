@@ -1,14 +1,3 @@
-// Package cache implements the NASD object system's buffer cache: an
-// LRU block cache with write-behind and prefetch support. The paper's
-// prototype object system implemented "its own internal object access,
-// cache, and disk space management modules"; this is the cache module.
-//
-// The cache stores copies of device blocks keyed by physical block
-// number. Reads hit the cache; misses fetch from the backing device.
-// Writes are write-behind by default (dirty blocks are flushed on
-// eviction or Flush), matching the prototype's "NASD has write-behind
-// (fully) enabled" configuration; write-through can be selected for
-// metadata.
 package cache
 
 import (

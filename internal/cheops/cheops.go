@@ -1,17 +1,3 @@
-// Package cheops implements the paper's storage manager (Section 5.2):
-// a second level of objects layered on the NASD interface. A Cheops
-// logical object maps onto component objects spread across NASD drives;
-// the manager "replaces the file manager's capability with a set of
-// capabilities for the objects that actually make up the high-level
-// striped object", and clients then access drives directly. Striping
-// and redundancy are computed over object offsets, never physical disk
-// addresses, so untrusted clients can only touch what their component
-// capabilities name.
-//
-// Cheops deliberately uses client processing power (the xor for parity,
-// the fan-out of striped transfers) rather than scaling a storage
-// controller, which is the difference from Swift/TickerTAIP/Petal the
-// paper calls out.
 package cheops
 
 import (
@@ -24,6 +10,7 @@ import (
 	"nasd/internal/capability"
 	"nasd/internal/client"
 	"nasd/internal/crypt"
+	"nasd/internal/telemetry"
 )
 
 // Pattern selects the redundancy scheme of a logical object.
@@ -114,6 +101,7 @@ type Manager struct {
 	dirObj  uint64 // directory object on drive 0 (persistence)
 	locks   map[stripeKey]bool
 	lockC   *sync.Cond
+	tel     *cheopsTel
 }
 
 type stripeKey struct {
@@ -130,6 +118,9 @@ type ManagerConfig struct {
 	// CapExpiry bounds component capability lifetime.
 	CapExpiry time.Duration
 	Clock     func() time.Time
+	// Metrics is the registry the manager (and objects opened through
+	// it) publish "cheops.*" telemetry into; nil gets a private one.
+	Metrics *telemetry.Registry
 }
 
 // NewManager builds a manager. With format true it creates its
@@ -158,6 +149,7 @@ func NewManager(ctx context.Context, cfg ManagerConfig, format bool) (*Manager, 
 		objects: make(map[uint64]*Descriptor),
 		next:    1,
 		locks:   make(map[stripeKey]bool),
+		tel:     newCheopsTel(cfg.Metrics),
 	}
 	m.lockC = sync.NewCond(&m.mu)
 	for _, d := range cfg.Drives {
@@ -400,6 +392,7 @@ func (m *Manager) ReplaceComponent(ctx context.Context, logical uint64, failedId
 	if d.Pattern == Stripe0 {
 		return fmt.Errorf("%w: stripe0 has no redundancy", ErrDegraded)
 	}
+	m.tel.reconstructions.Inc()
 
 	// Create the replacement object.
 	cc := m.mintWildcard(newDrive, capability.CreateObj)

@@ -184,8 +184,13 @@ func TestRAID5RoundTrip(t *testing.T) {
 	}
 	// Overwrite in the middle keeps parity consistent.
 	patch := bytes.Repeat([]byte{0xEE}, 40<<10)
+	rmwBefore := r.mgr.Metrics().Counter("cheops.rmw_writes").Load()
 	if err := obj.WriteAt(testCtx, 50<<10, patch); err != nil {
 		t.Fatal(err)
+	}
+	// Every stripe-unit chunk of a RAID-5 write is a read-modify-write.
+	if rmwAfter := r.mgr.Metrics().Counter("cheops.rmw_writes").Load(); rmwAfter <= rmwBefore {
+		t.Fatalf("cheops.rmw_writes did not increment: %d -> %d", rmwBefore, rmwAfter)
 	}
 	copy(data[50<<10:], patch)
 	got, err = obj.ReadAt(testCtx, 0, len(data))
@@ -207,12 +212,22 @@ func TestRAID5DegradedRead(t *testing.T) {
 	// Kill one component's drive connection.
 	dead := obj.Desc().Components[1].Drive
 	r.drives[dead].Close()
+	before := r.mgr.Metrics().Counter("cheops.degraded_reads").Load()
 	got, err := obj.ReadAt(testCtx, 0, len(data))
 	if err != nil {
 		t.Fatalf("degraded read failed: %v", err)
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("degraded read returned wrong data")
+	}
+	// Every span that touched the dead component reconstructed via xor
+	// and was counted.
+	if after := r.mgr.Metrics().Counter("cheops.degraded_reads").Load(); after <= before {
+		t.Fatalf("cheops.degraded_reads did not increment: %d -> %d", before, after)
+	}
+	// The fan-out histogram saw the striped read's width.
+	if h := r.mgr.Metrics().Snapshot().Histograms["cheops.read_fanout"]; h.Count == 0 || h.Max < 2 {
+		t.Fatalf("cheops.read_fanout: %+v", h)
 	}
 }
 
@@ -275,6 +290,9 @@ func TestReplaceComponentRAID5(t *testing.T) {
 	// Rebuild component 2 onto drive 4.
 	if err := r.mgr.ReplaceComponent(testCtx, id, 2, 4); err != nil {
 		t.Fatal(err)
+	}
+	if n := r.mgr.Metrics().Counter("cheops.reconstructions").Load(); n != 1 {
+		t.Fatalf("cheops.reconstructions = %d, want 1", n)
 	}
 	desc, _ := r.mgr.Stat(id)
 	if desc.Components[2].Drive != 4 {

@@ -102,6 +102,7 @@ func (o *Object) ReadAt(ctx context.Context, off uint64, n int) ([]byte, error) 
 		spans = append(spans, span{comp, compOff, done, chunk, stripe})
 		done += chunk
 	}
+	o.mgr.tel.readFanout.Observe(int64(len(spans)))
 	var wg sync.WaitGroup
 	errs := make([]error, len(spans))
 	for i, sp := range spans {
@@ -135,6 +136,9 @@ func (o *Object) readComponent(ctx context.Context, comp int, off uint64, n int,
 	}
 	if ctx.Err() != nil {
 		return nil, err // don't mask a canceled read as a drive failure
+	}
+	if o.desc.Pattern == Mirror1 || o.desc.Pattern == RAID5 {
+		o.mgr.tel.degradedReads.Inc()
 	}
 	switch o.desc.Pattern {
 	case Mirror1:
@@ -217,6 +221,7 @@ func (o *Object) WriteAt(ctx context.Context, off uint64, data []byte) error {
 }
 
 func (o *Object) writeMirror(ctx context.Context, off uint64, data []byte) error {
+	o.mgr.tel.writeFanout.Observe(int64(len(o.desc.Components)))
 	var wg sync.WaitGroup
 	errs := make([]error, len(o.desc.Components))
 	for i, c := range o.desc.Components {
@@ -259,6 +264,7 @@ func (o *Object) writeStripe0(ctx context.Context, off uint64, data []byte) erro
 		spans = append(spans, span{comp, compOff, done, chunk})
 		done += chunk
 	}
+	o.mgr.tel.writeFanout.Observe(int64(len(spans)))
 	var wg sync.WaitGroup
 	errs := make([]error, len(spans))
 	for i, sp := range spans {
@@ -298,6 +304,7 @@ func (o *Object) writeRAID5(ctx context.Context, off uint64, data []byte) error 
 }
 
 func (o *Object) rmwRAID5(ctx context.Context, comp int, compOff uint64, stripe int64, chunk []byte) error {
+	o.mgr.tel.rmwWrites.Inc()
 	o.mgr.LockStripe(o.desc.Logical, stripe)
 	defer o.mgr.UnlockStripe(o.desc.Logical, stripe)
 

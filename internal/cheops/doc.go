@@ -1,0 +1,20 @@
+// Package cheops implements the paper's storage manager (Section 5.2):
+// a second level of objects layered on the NASD interface. A Cheops
+// logical object maps onto component objects spread across NASD drives;
+// the manager "replaces the file manager's capability with a set of
+// capabilities for the objects that actually make up the high-level
+// striped object", and clients then access drives directly. Striping
+// and redundancy are computed over object offsets, never physical disk
+// addresses, so untrusted clients can only touch what their component
+// capabilities name.
+//
+// Cheops deliberately uses client processing power (the xor for parity,
+// the fan-out of striped transfers) rather than scaling a storage
+// controller, which is the difference from Swift/TickerTAIP/Petal the
+// paper calls out.
+//
+// The manager counts its RAID machinery in a telemetry.Registry — the
+// cheops.* family of DESIGN.md §5: read/write fan-out widths (the
+// Figure 7/9 scaling knob), degraded reads served by reconstruction,
+// RAID-5 small-write read-modify-writes, and component rebuilds.
+package cheops

@@ -1,0 +1,35 @@
+package cheops
+
+import "nasd/internal/telemetry"
+
+// cheopsTel carries the storage manager's metrics: how wide striped
+// transfers fan out (the parallelism behind Figure 9's scaling), and
+// how often the redundancy machinery — degraded reads, RAID-5
+// read-modify-write, component reconstruction — actually runs.
+type cheopsTel struct {
+	reg             *telemetry.Registry
+	degradedReads   *telemetry.Counter   // reads served by reconstruction around a failed component
+	rmwWrites       *telemetry.Counter   // RAID-5 small-write read-modify-write cycles
+	reconstructions *telemetry.Counter   // whole-component rebuilds (ReplaceComponent)
+	readFanout      *telemetry.Histogram // spans per ReadAt (drive-parallel fan-out width)
+	writeFanout     *telemetry.Histogram // spans per striped/mirrored WriteAt
+}
+
+func newCheopsTel(reg *telemetry.Registry) *cheopsTel {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	return &cheopsTel{
+		reg:             reg,
+		degradedReads:   reg.Counter("cheops.degraded_reads"),
+		rmwWrites:       reg.Counter("cheops.rmw_writes"),
+		reconstructions: reg.Counter("cheops.reconstructions"),
+		readFanout:      reg.Histogram("cheops.read_fanout"),
+		writeFanout:     reg.Histogram("cheops.write_fanout"),
+	}
+}
+
+// Metrics returns the manager's telemetry registry ("cheops.*" names).
+// Objects opened through this manager record into the same registry, so
+// one snapshot covers both the control plane and client-side data paths.
+func (m *Manager) Metrics() *telemetry.Registry { return m.tel.reg }

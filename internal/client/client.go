@@ -14,6 +14,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -23,6 +24,7 @@ import (
 	"nasd/internal/drive"
 	"nasd/internal/object"
 	"nasd/internal/rpc"
+	"nasd/internal/telemetry"
 )
 
 // Errors surfaced by drive calls. They are matched through errors.Is
@@ -106,6 +108,18 @@ func WithWindow(n int) Option {
 	}
 }
 
+// WithMetrics publishes this connection's telemetry ("client.retries"
+// plus the RPC client's "rpc.client.*" family) into reg instead of a
+// private registry. Share one registry across the connections of a
+// striped client to aggregate them.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(d *Drive) {
+		if reg != nil {
+			d.reg = reg
+		}
+	}
+}
+
 // Drive is a connection to one NASD drive.
 type Drive struct {
 	cli      *rpc.Client
@@ -115,16 +129,16 @@ type Drive struct {
 	secure   bool
 	fragSize int
 	window   int
-	retries  atomic.Uint64
+	reg      *telemetry.Registry
+	retries  *telemetry.Counter // pipelined fragments re-issued after transient failures
 }
 
 // New wraps an RPC connection to a drive. clientID identifies this
 // client in nonces. Connections default to secure with the default
-// pipelining parameters; see WithSecurity, WithFragmentSize, and
-// WithWindow.
+// pipelining parameters; see WithSecurity, WithFragmentSize,
+// WithWindow, and WithMetrics.
 func New(conn rpc.Conn, driveID, clientID uint64, opts ...Option) *Drive {
 	d := &Drive{
-		cli:      rpc.NewClient(conn),
 		driveID:  driveID,
 		clientID: clientID,
 		secure:   true,
@@ -134,6 +148,11 @@ func New(conn rpc.Conn, driveID, clientID uint64, opts ...Option) *Drive {
 	for _, o := range opts {
 		o(d)
 	}
+	if d.reg == nil {
+		d.reg = telemetry.NewRegistry()
+	}
+	d.retries = d.reg.Counter("client.retries")
+	d.cli = rpc.NewClient(conn, rpc.WithClientMetrics(d.reg))
 	return d
 }
 
@@ -143,7 +162,13 @@ func (d *Drive) Close() error { return d.cli.Close() }
 // DriveID returns the drive identity this client targets.
 func (d *Drive) DriveID() uint64 { return d.driveID }
 
+// Metrics returns the connection's telemetry registry.
+func (d *Drive) Metrics() *telemetry.Registry { return d.reg }
+
 // Stats is a snapshot of this connection's observability counters.
+//
+// Deprecated: the fields are now views over the telemetry registry;
+// use Metrics().Snapshot() for the full set.
 type Stats struct {
 	RPC     rpc.ClientStats
 	Retries uint64 // pipelined fragments re-issued after transient failures
@@ -152,6 +177,24 @@ type Stats struct {
 // Stats returns the connection counters.
 func (d *Drive) Stats() Stats {
 	return Stats{RPC: d.cli.Stats(), Retries: d.retries.Load()}
+}
+
+// ServerMetrics fetches the drive's own telemetry snapshot over the
+// stats RPC: per-op service times split into digest/object/media
+// components (the paper's Table 1 decomposition, measured), cache and
+// media counters, and — when traceN > 0 — the tail of the drive's
+// request trace log.
+func (d *Drive) ServerMetrics(ctx context.Context, traceN int) (drive.StatsReply, error) {
+	args := (&drive.StatsArgs{TraceN: uint32(traceN)}).Encode()
+	rep, err := d.call(ctx, drive.OpGetStats, nil, args, nil)
+	if err != nil {
+		return drive.StatsReply{}, err
+	}
+	var sr drive.StatsReply
+	if err := json.Unmarshal(rep.Data, &sr); err != nil {
+		return drive.StatsReply{}, fmt.Errorf("client: decoding stats reply: %v", err)
+	}
+	return sr, nil
 }
 
 // do assembles, signs (via sign, when secure), and issues one request.

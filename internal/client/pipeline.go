@@ -70,7 +70,7 @@ func (d *Drive) runWindowed(ctx context.Context, frags []fragPlan, window int, o
 			defer func() { <-sem }()
 			err := op(cctx, f)
 			if err != nil && transient(err) && cctx.Err() == nil {
-				d.retries.Add(1)
+				d.retries.Inc()
 				err = op(cctx, f)
 			}
 			if err != nil {

@@ -11,6 +11,7 @@ import (
 	"nasd/internal/crypt"
 	"nasd/internal/object"
 	"nasd/internal/rpc"
+	"nasd/internal/telemetry"
 )
 
 // Kernel is an Active Disk extension function (Section 6): it consumes
@@ -37,6 +38,15 @@ type Config struct {
 	Clock func() time.Time
 	// Store carries object-system tuning.
 	Store object.Config
+	// Metrics is the registry the drive publishes telemetry into; nil
+	// gets a private registry. Share one registry between the drive,
+	// its RPC server, and an instrumented device so /metrics and the
+	// stats RPC return the whole picture.
+	Metrics *telemetry.Registry
+	// Media, when set, supplies the media busy-time clock used to split
+	// per-request service time into object-system vs media components
+	// (pass the *blockdev.Instrumented wrapping the drive's device).
+	Media MediaClock
 }
 
 // Drive is a NASD drive: object store + keys + request handler.
@@ -49,6 +59,7 @@ type Drive struct {
 	secure bool
 	clock  func() time.Time
 	acct   *Accounting
+	tel    *driveTel
 
 	mu      sync.Mutex
 	kernels map[string]Kernel
@@ -84,7 +95,11 @@ func fromStore(st *object.Store, cfg Config) *Drive {
 	if clock == nil {
 		clock = time.Now
 	}
-	return &Drive{
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	d := &Drive{
 		id:      cfg.ID,
 		store:   st,
 		keys:    crypt.NewHierarchy(cfg.Master),
@@ -92,8 +107,17 @@ func fromStore(st *object.Store, cfg Config) *Drive {
 		secure:  cfg.Secure,
 		clock:   clock,
 		acct:    NewAccounting(),
+		tel:     newDriveTel(reg, cfg.Media),
 		kernels: make(map[string]Kernel),
 	}
+	// The buffer cache keeps its own counters; publish them as
+	// pull-style gauges so hit rates show up in every snapshot.
+	reg.Func("drive.cache.hits", func() int64 { return d.store.CacheStats().Hits })
+	reg.Func("drive.cache.misses", func() int64 { return d.store.CacheStats().Misses })
+	reg.Func("drive.cache.prefetches", func() int64 { return d.store.CacheStats().Prefetches })
+	reg.Func("drive.cache.evictions", func() int64 { return d.store.CacheStats().Evictions })
+	reg.Func("drive.cache.writebacks", func() int64 { return d.store.CacheStats().WriteBacks })
+	return d
 }
 
 // ID returns the drive identity.
@@ -123,11 +147,15 @@ func (d *Drive) RegisterKernel(name string, k Kernel) {
 // capability-bearing request: nonce freshness, then stateless
 // capability validation (Section 4.1). It returns a non-nil reply on
 // rejection. curVer is the object's current logical version (0 for
-// partition-scope operations).
-func (d *Drive) authorize(req *rpc.Request, part uint16, obj uint64, curVer uint64, op capability.Rights, off, length uint64) *rpc.Reply {
+// partition-scope operations). The time spent here is the "security"
+// component of the request's Table 1-style cost split, accumulated
+// into ph.
+func (d *Drive) authorize(req *rpc.Request, ph *phases, part uint16, obj uint64, curVer uint64, op capability.Rights, off, length uint64) *rpc.Reply {
 	if !d.secure {
 		return nil
 	}
+	start := time.Now()
+	defer func() { ph.digest += time.Since(start) }()
 	if err := d.nonces.Check(req.Nonce); err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusReplay, "%v", err)
 	}
@@ -147,10 +175,12 @@ func (d *Drive) authorize(req *rpc.Request, part uint16, obj uint64, curVer uint
 
 // authorizeAdmin checks a management request signed directly under a
 // named drive key (master or drive key) rather than a capability.
-func (d *Drive) authorizeAdmin(req *rpc.Request, ref KeyRef) *rpc.Reply {
+func (d *Drive) authorizeAdmin(req *rpc.Request, ph *phases, ref KeyRef) *rpc.Reply {
 	if !d.secure {
 		return nil
 	}
+	start := time.Now()
+	defer func() { ph.digest += time.Since(start) }()
 	if err := d.nonces.Check(req.Nonce); err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusReplay, "%v", err)
 	}
@@ -198,10 +228,17 @@ func errReply(id uint64, err error) *rpc.Reply {
 }
 
 // Handle implements rpc.Handler: it decodes, authorizes, executes, and
-// charges instruction accounting for one request.
+// charges both the modelled instruction accounting and the measured
+// telemetry (service time split into digest / object-system / media)
+// for one request.
 func (d *Drive) Handle(req *rpc.Request) *rpc.Reply {
 	op := Op(req.Proc)
-	rep := d.dispatch(op, req)
+	ph := &phases{}
+	start := time.Now()
+	mediaBefore := d.tel.mediaNanos()
+	rep := d.dispatch(op, req, ph)
+	total := time.Since(start)
+	d.tel.record(op, req, rep, total, ph, d.tel.mediaNanos()-mediaBefore)
 	nIn, nOut := len(req.Data), 0
 	if rep != nil {
 		nOut = len(rep.Data)
@@ -215,49 +252,51 @@ func (d *Drive) Handle(req *rpc.Request) *rpc.Reply {
 	return rep
 }
 
-func (d *Drive) dispatch(op Op, req *rpc.Request) *rpc.Reply {
+func (d *Drive) dispatch(op Op, req *rpc.Request, ph *phases) *rpc.Reply {
 	switch op {
 	case OpReadObject:
-		return d.handleRead(req)
+		return d.handleRead(req, ph)
 	case OpWriteObject:
-		return d.handleWrite(req)
+		return d.handleWrite(req, ph)
 	case OpGetAttr:
-		return d.handleGetAttr(req)
+		return d.handleGetAttr(req, ph)
 	case OpSetAttr:
-		return d.handleSetAttr(req)
+		return d.handleSetAttr(req, ph)
 	case OpCreateObject:
-		return d.handleCreate(req)
+		return d.handleCreate(req, ph)
 	case OpRemoveObject:
-		return d.handleRemove(req)
+		return d.handleRemove(req, ph)
 	case OpVersionObject:
-		return d.handleVersion(req)
+		return d.handleVersion(req, ph)
 	case OpCreatePartition:
-		return d.handleCreatePartition(req)
+		return d.handleCreatePartition(req, ph)
 	case OpResizePartition:
-		return d.handleResizePartition(req)
+		return d.handleResizePartition(req, ph)
 	case OpRemovePartition:
-		return d.handleRemovePartition(req)
+		return d.handleRemovePartition(req, ph)
 	case OpGetPartition:
-		return d.handleGetPartition(req)
+		return d.handleGetPartition(req, ph)
 	case OpListObjects:
-		return d.handleList(req)
+		return d.handleList(req, ph)
 	case OpSetKey:
-		return d.handleSetKey(req)
+		return d.handleSetKey(req, ph)
 	case OpBumpVersion:
-		return d.handleBumpVersion(req)
+		return d.handleBumpVersion(req, ph)
 	case OpFlush:
 		if err := d.store.Flush(); err != nil {
 			return errReply(req.MsgID, err)
 		}
 		return &rpc.Reply{Status: rpc.StatusOK}
 	case OpExecute:
-		return d.handleExecute(req)
+		return d.handleExecute(req, ph)
+	case OpGetStats:
+		return d.handleStats(req)
 	default:
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "unknown op %d", req.Proc)
 	}
 }
 
-func (d *Drive) handleRead(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleRead(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodeReadArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
@@ -266,7 +305,7 @@ func (d *Drive) handleRead(req *rpc.Request) *rpc.Reply {
 	if err != nil {
 		return errReply(req.MsgID, err)
 	}
-	if rep := d.authorize(req, a.Partition, a.Object, ver, capability.Read, a.Offset, a.Length); rep != nil {
+	if rep := d.authorize(req, ph, a.Partition, a.Object, ver, capability.Read, a.Offset, a.Length); rep != nil {
 		return rep
 	}
 	data, err := d.store.Read(a.Partition, a.Object, a.Offset, int(a.Length))
@@ -276,7 +315,7 @@ func (d *Drive) handleRead(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK, Data: data}
 }
 
-func (d *Drive) handleWrite(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleWrite(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodeWriteArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
@@ -285,7 +324,7 @@ func (d *Drive) handleWrite(req *rpc.Request) *rpc.Reply {
 	if err != nil {
 		return errReply(req.MsgID, err)
 	}
-	if rep := d.authorize(req, a.Partition, a.Object, ver, capability.Write, a.Offset, uint64(len(req.Data))); rep != nil {
+	if rep := d.authorize(req, ph, a.Partition, a.Object, ver, capability.Write, a.Offset, uint64(len(req.Data))); rep != nil {
 		return rep
 	}
 	if err := d.store.Write(a.Partition, a.Object, a.Offset, req.Data); err != nil {
@@ -294,7 +333,7 @@ func (d *Drive) handleWrite(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK}
 }
 
-func (d *Drive) handleGetAttr(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleGetAttr(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodeObjArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
@@ -303,13 +342,13 @@ func (d *Drive) handleGetAttr(req *rpc.Request) *rpc.Reply {
 	if err != nil {
 		return errReply(req.MsgID, err)
 	}
-	if rep := d.authorize(req, a.Partition, a.Object, at.Version, capability.GetAttr, 0, 0); rep != nil {
+	if rep := d.authorize(req, ph, a.Partition, a.Object, at.Version, capability.GetAttr, 0, 0); rep != nil {
 		return rep
 	}
 	return &rpc.Reply{Status: rpc.StatusOK, Args: EncodeAttrsReply(&at)}
 }
 
-func (d *Drive) handleSetAttr(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleSetAttr(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodeSetAttrArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
@@ -318,7 +357,7 @@ func (d *Drive) handleSetAttr(req *rpc.Request) *rpc.Reply {
 	if err != nil {
 		return errReply(req.MsgID, err)
 	}
-	if rep := d.authorize(req, a.Partition, a.Object, ver, capability.SetAttr, 0, 0); rep != nil {
+	if rep := d.authorize(req, ph, a.Partition, a.Object, ver, capability.SetAttr, 0, 0); rep != nil {
 		return rep
 	}
 	if err := d.store.SetAttr(a.Partition, a.Object, a.Attrs, object.SetAttrMask(a.Mask)); err != nil {
@@ -327,13 +366,13 @@ func (d *Drive) handleSetAttr(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK}
 }
 
-func (d *Drive) handleCreate(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleCreate(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodeObjArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
 	}
 	// Creation uses a partition-scope capability (Object 0, version 0).
-	if rep := d.authorize(req, a.Partition, 0, 0, capability.CreateObj, 0, 0); rep != nil {
+	if rep := d.authorize(req, ph, a.Partition, 0, 0, capability.CreateObj, 0, 0); rep != nil {
 		return rep
 	}
 	id, err := d.store.Create(a.Partition)
@@ -343,7 +382,7 @@ func (d *Drive) handleCreate(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK, Args: EncodeIDReply(id)}
 }
 
-func (d *Drive) handleRemove(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleRemove(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodeObjArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
@@ -352,7 +391,7 @@ func (d *Drive) handleRemove(req *rpc.Request) *rpc.Reply {
 	if err != nil {
 		return errReply(req.MsgID, err)
 	}
-	if rep := d.authorize(req, a.Partition, a.Object, ver, capability.Remove, 0, 0); rep != nil {
+	if rep := d.authorize(req, ph, a.Partition, a.Object, ver, capability.Remove, 0, 0); rep != nil {
 		return rep
 	}
 	if err := d.store.Remove(a.Partition, a.Object); err != nil {
@@ -361,7 +400,7 @@ func (d *Drive) handleRemove(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK}
 }
 
-func (d *Drive) handleVersion(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleVersion(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodeObjArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
@@ -370,7 +409,7 @@ func (d *Drive) handleVersion(req *rpc.Request) *rpc.Reply {
 	if err != nil {
 		return errReply(req.MsgID, err)
 	}
-	if rep := d.authorize(req, a.Partition, a.Object, ver, capability.Version, 0, 0); rep != nil {
+	if rep := d.authorize(req, ph, a.Partition, a.Object, ver, capability.Version, 0, 0); rep != nil {
 		return rep
 	}
 	id, err := d.store.VersionObject(a.Partition, a.Object)
@@ -380,12 +419,12 @@ func (d *Drive) handleVersion(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK, Args: EncodeIDReply(id)}
 }
 
-func (d *Drive) handleCreatePartition(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleCreatePartition(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodePartArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
 	}
-	if rep := d.authorizeAdmin(req, a.AuthKey); rep != nil {
+	if rep := d.authorizeAdmin(req, ph, a.AuthKey); rep != nil {
 		return rep
 	}
 	if err := d.store.CreatePartition(a.Partition, a.Quota); err != nil {
@@ -401,12 +440,12 @@ func (d *Drive) handleCreatePartition(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK}
 }
 
-func (d *Drive) handleResizePartition(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleResizePartition(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodePartArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
 	}
-	if rep := d.authorizeAdmin(req, a.AuthKey); rep != nil {
+	if rep := d.authorizeAdmin(req, ph, a.AuthKey); rep != nil {
 		return rep
 	}
 	if err := d.store.ResizePartition(a.Partition, a.Quota); err != nil {
@@ -415,12 +454,12 @@ func (d *Drive) handleResizePartition(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK}
 }
 
-func (d *Drive) handleRemovePartition(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleRemovePartition(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodePartArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
 	}
-	if rep := d.authorizeAdmin(req, a.AuthKey); rep != nil {
+	if rep := d.authorizeAdmin(req, ph, a.AuthKey); rep != nil {
 		return rep
 	}
 	if err := d.store.RemovePartition(a.Partition); err != nil {
@@ -433,12 +472,12 @@ func (d *Drive) handleRemovePartition(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK}
 }
 
-func (d *Drive) handleGetPartition(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleGetPartition(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodePartArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
 	}
-	if rep := d.authorizeAdmin(req, a.AuthKey); rep != nil {
+	if rep := d.authorizeAdmin(req, ph, a.AuthKey); rep != nil {
 		return rep
 	}
 	p, err := d.store.GetPartition(a.Partition)
@@ -448,13 +487,13 @@ func (d *Drive) handleGetPartition(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK, Args: EncodePartReply(p)}
 }
 
-func (d *Drive) handleList(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleList(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodeObjArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
 	}
 	// Listing is the well-known object-list object: partition-scope read.
-	if rep := d.authorize(req, a.Partition, 0, 0, capability.Read, 0, 0); rep != nil {
+	if rep := d.authorize(req, ph, a.Partition, 0, 0, capability.Read, 0, 0); rep != nil {
 		return rep
 	}
 	ids, err := d.store.List(a.Partition)
@@ -464,12 +503,12 @@ func (d *Drive) handleList(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK, Args: EncodeIDListReply(ids)}
 }
 
-func (d *Drive) handleSetKey(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleSetKey(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodeSetKeyArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
 	}
-	if rep := d.authorizeAdmin(req, a.AuthKey); rep != nil {
+	if rep := d.authorizeAdmin(req, ph, a.AuthKey); rep != nil {
 		return rep
 	}
 	key, err := crypt.KeyFromBytes(a.Key)
@@ -483,7 +522,7 @@ func (d *Drive) handleSetKey(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK}
 }
 
-func (d *Drive) handleBumpVersion(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleBumpVersion(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodeObjArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
@@ -493,7 +532,7 @@ func (d *Drive) handleBumpVersion(req *rpc.Request) *rpc.Reply {
 		return errReply(req.MsgID, err)
 	}
 	// Version bumps are the revocation path: they require SetAttr rights.
-	if rep := d.authorize(req, a.Partition, a.Object, ver, capability.SetAttr, 0, 0); rep != nil {
+	if rep := d.authorize(req, ph, a.Partition, a.Object, ver, capability.SetAttr, 0, 0); rep != nil {
 		return rep
 	}
 	v, err := d.store.BumpVersion(a.Partition, a.Object)
@@ -503,7 +542,7 @@ func (d *Drive) handleBumpVersion(req *rpc.Request) *rpc.Reply {
 	return &rpc.Reply{Status: rpc.StatusOK, Args: EncodeIDReply(v)}
 }
 
-func (d *Drive) handleExecute(req *rpc.Request) *rpc.Reply {
+func (d *Drive) handleExecute(req *rpc.Request, ph *phases) *rpc.Reply {
 	a, err := DecodeExecuteArgs(req.Args)
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "%v", err)
@@ -513,7 +552,7 @@ func (d *Drive) handleExecute(req *rpc.Request) *rpc.Reply {
 		return errReply(req.MsgID, err)
 	}
 	// Executing a kernel reads the object: Read rights required.
-	if rep := d.authorize(req, a.Partition, a.Object, at.Version, capability.Read, 0, 0); rep != nil {
+	if rep := d.authorize(req, ph, a.Partition, a.Object, at.Version, capability.Read, 0, 0); rep != nil {
 		return rep
 	}
 	d.mu.Lock()
@@ -534,7 +573,13 @@ func (d *Drive) handleExecute(req *rpc.Request) *rpc.Reply {
 // Serve is a convenience that wraps the drive in an RPC server on l.
 // It blocks; run on its own goroutine and close the returned server to
 // stop. Options (e.g. rpc.WithWorkers) tune per-connection dispatch.
+// The server shares the drive's telemetry registry, so one snapshot
+// covers both RPC-plane and drive-plane metrics with NASD op names.
 func (d *Drive) Serve(l rpc.Listener, opts ...rpc.ServerOption) *rpc.Server {
+	opts = append([]rpc.ServerOption{
+		rpc.WithMetrics(d.tel.reg),
+		rpc.WithProcNames(func(p uint16) string { return Op(p).String() }),
+	}, opts...)
 	srv := rpc.NewServer(d, opts...)
 	go srv.Serve(l)
 	return srv

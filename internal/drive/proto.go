@@ -1,9 +1,3 @@
-// Package drive implements a NASD drive: the object system plus
-// capability enforcement plus the RPC interface of Section 4.1 — fewer
-// than 20 requests covering object data and attributes, object and
-// partition lifecycle, copy-on-write versioning, and key management.
-// The package also carries the drive-side instruction-accounting model
-// calibrated against Table 1 of the paper.
 package drive
 
 import (
@@ -34,7 +28,8 @@ const (
 	OpSetKey
 	OpBumpVersion // revoke capabilities by changing the logical version
 	OpFlush
-	OpExecute // Active Disks extension (Section 6): run a registered kernel
+	OpExecute  // Active Disks extension (Section 6): run a registered kernel
+	OpGetStats // telemetry snapshot: per-op counters, histograms, trace tail
 )
 
 // String names the operation.
@@ -72,6 +67,8 @@ func (o Op) String() string {
 		return "flush"
 	case OpExecute:
 		return "execute"
+	case OpGetStats:
+		return "stats"
 	}
 	return fmt.Sprintf("op(%d)", uint16(o))
 }
@@ -306,6 +303,26 @@ func DecodeExecuteArgs(b []byte) (ExecuteArgs, error) {
 	a := ExecuteArgs{Partition: d.U16(), Object: d.U64()}
 	a.Kernel = d.String()
 	a.Params = d.Bytes32()
+	return a, d.Err()
+}
+
+// StatsArgs requests a telemetry snapshot. TraceN bounds how many
+// recent trace events ride along (0 = none).
+type StatsArgs struct {
+	TraceN uint32
+}
+
+// Encode serializes the arguments.
+func (a *StatsArgs) Encode() []byte {
+	var e rpc.Encoder
+	e.U32(a.TraceN)
+	return e.Bytes()
+}
+
+// DecodeStatsArgs parses StatsArgs.
+func DecodeStatsArgs(b []byte) (StatsArgs, error) {
+	d := rpc.NewDecoder(b)
+	a := StatsArgs{TraceN: d.U32()}
 	return a, d.Err()
 }
 

@@ -1,15 +1,3 @@
-// Package rpc implements the NASD prototype's communication layer: a
-// compact binary message codec following the packet layering of Figure 5
-// (network header, RPC header, security header, capability, request
-// args, nonce, request digest, overall digest), message framing, and two
-// transports — in-process channels and TCP.
-//
-// The paper used DCE RPC 1.0.3 over UDP/IP and found it dominated the
-// drive's instruction budget ("workstation-class implementations of
-// communications certainly are [too expensive]"). This hand-rolled
-// encoding is the kind of lean drive protocol the paper anticipates;
-// the performance experiments separately model the heavyweight DCE
-// stack's instruction costs to reproduce Table 1.
 package rpc
 
 import (

@@ -4,8 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"nasd/internal/telemetry"
 )
 
 // Handler processes one request and returns a reply. Implementations
@@ -44,8 +45,27 @@ func WithWorkers(n int) ServerOption {
 	}
 }
 
+// WithMetrics makes the server publish its counters into reg instead of
+// a private registry, so a daemon can expose one merged registry for
+// the RPC plane and the drive behind it.
+func WithMetrics(reg *telemetry.Registry) ServerOption {
+	return func(s *Server) { s.reg = reg }
+}
+
+// WithProcNames installs a naming function for procedure numbers, used
+// in per-opcode metric names ("rpc.server.op.<name>.*"). The default
+// names procedures "proc<N>"; a drive passes its Op names so metrics
+// read "rpc.server.op.read.calls".
+func WithProcNames(name func(proc uint16) string) ServerOption {
+	return func(s *Server) { s.procName = name }
+}
+
 // ServerStats is a snapshot of a server's counters, aggregated over all
 // connections.
+//
+// Deprecated: the same counters (and per-opcode latency histograms)
+// live in the telemetry registry returned by Metrics; Stats remains as
+// a convenience view over it.
 type ServerStats struct {
 	Conns    int64  // currently open connections
 	InFlight int64  // requests currently executing in handlers
@@ -54,23 +74,37 @@ type ServerStats struct {
 	BytesOut uint64 // wire bytes sent
 }
 
+// procMetrics are the per-opcode server metrics.
+type procMetrics struct {
+	calls    *telemetry.Counter
+	errors   *telemetry.Counter
+	bytesIn  *telemetry.Counter
+	bytesOut *telemetry.Counter
+	svc      *telemetry.Histogram // handler service time, ns
+}
+
 // Server serves NASD RPC requests from any number of connections. Each
 // connection gets a bounded worker pool so a slow bulk transfer does
 // not stall small requests multiplexed on the same connection.
 type Server struct {
-	handler Handler
-	workers int
-	wg      sync.WaitGroup
-	mu      sync.Mutex
-	lns     []Listener
-	conns   map[Conn]bool
-	closed  bool
+	handler  Handler
+	workers  int
+	reg      *telemetry.Registry
+	procName func(uint16) string
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	lns      []Listener
+	conns    map[Conn]bool
+	closed   bool
 
-	statConns    atomic.Int64
-	statInFlight atomic.Int64
-	statRequests atomic.Uint64
-	statBytesIn  atomic.Uint64
-	statBytesOut atomic.Uint64
+	statConns    *telemetry.Gauge
+	statInFlight *telemetry.Gauge
+	statRequests *telemetry.Counter
+	statBytesIn  *telemetry.Counter
+	statBytesOut *telemetry.Counter
+
+	procMu sync.RWMutex
+	procs  map[uint16]*procMetrics
 }
 
 // NewServer returns a server dispatching to handler.
@@ -79,10 +113,54 @@ func NewServer(handler Handler, opts ...ServerOption) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.reg == nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	if s.procName == nil {
+		s.procName = func(p uint16) string { return fmt.Sprintf("proc%d", p) }
+	}
+	s.statConns = s.reg.Gauge("rpc.server.conns")
+	s.statInFlight = s.reg.Gauge("rpc.server.inflight")
+	s.statRequests = s.reg.Counter("rpc.server.requests")
+	s.statBytesIn = s.reg.Counter("rpc.server.bytes_in")
+	s.statBytesOut = s.reg.Counter("rpc.server.bytes_out")
+	s.procs = make(map[uint16]*procMetrics)
 	return s
 }
 
+// Metrics returns the server's telemetry registry.
+func (s *Server) Metrics() *telemetry.Registry { return s.reg }
+
+// proc returns the per-opcode metrics for p, creating them on first
+// sight of the opcode.
+func (s *Server) proc(p uint16) *procMetrics {
+	s.procMu.RLock()
+	pm, ok := s.procs[p]
+	s.procMu.RUnlock()
+	if ok {
+		return pm
+	}
+	s.procMu.Lock()
+	defer s.procMu.Unlock()
+	if pm, ok = s.procs[p]; ok {
+		return pm
+	}
+	prefix := "rpc.server.op." + s.procName(p)
+	pm = &procMetrics{
+		calls:    s.reg.Counter(prefix + ".calls"),
+		errors:   s.reg.Counter(prefix + ".errors"),
+		bytesIn:  s.reg.Counter(prefix + ".bytes_in"),
+		bytesOut: s.reg.Counter(prefix + ".bytes_out"),
+		svc:      s.reg.Histogram(prefix + ".svc_ns"),
+	}
+	s.procs[p] = pm
+	return pm
+}
+
 // Stats returns a snapshot of the server's counters.
+//
+// Deprecated: use Metrics().Snapshot() for the full picture; Stats
+// remains as a cheap aggregate view.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
 		Conns:    s.statConns.Load(),
@@ -139,11 +217,18 @@ func (s *Server) serveConn(conn Conn) {
 		go func() {
 			defer workers.Done()
 			for req := range reqs {
+				pm := s.proc(req.Proc)
+				pm.calls.Inc()
 				s.statInFlight.Add(1)
+				start := time.Now()
 				reply := s.handler.Handle(req)
 				s.statInFlight.Add(-1)
+				pm.svc.ObserveSince(start)
 				if reply == nil {
 					reply = Errorf(req.MsgID, StatusError, "handler returned no reply")
+				}
+				if reply.Status != StatusOK {
+					pm.errors.Inc()
 				}
 				reply.MsgID = req.MsgID
 				wire := EncodeReply(reply)
@@ -153,6 +238,7 @@ func (s *Server) serveConn(conn Conn) {
 					continue
 				}
 				s.statBytesOut.Add(uint64(len(wire)))
+				pm.bytesOut.Add(uint64(len(wire)))
 			}
 		}()
 	}
@@ -180,7 +266,8 @@ func (s *Server) serveConn(conn Conn) {
 		if !ok {
 			return
 		}
-		s.statRequests.Add(1)
+		s.statRequests.Inc()
+		s.proc(req.Proc).bytesIn.Add(uint64(len(raw)))
 		reqs <- req
 	}
 }
@@ -207,6 +294,10 @@ func (s *Server) Close() {
 }
 
 // ClientStats is a snapshot of one client connection's counters.
+//
+// Deprecated: the same counters (plus a call-latency histogram) live in
+// the telemetry registry returned by Metrics; Stats remains as a
+// convenience view over it.
 type ClientStats struct {
 	InFlight  int64  // calls awaiting replies
 	Calls     uint64 // calls issued
@@ -216,31 +307,61 @@ type ClientStats struct {
 	BytesRecv uint64 // wire bytes received
 }
 
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithClientMetrics makes the client publish its counters into reg
+// instead of a private registry.
+func WithClientMetrics(reg *telemetry.Registry) ClientOption {
+	return func(c *Client) { c.reg = reg }
+}
+
 // Client multiplexes concurrent calls over one connection.
 type Client struct {
 	conn    Conn
-	nextID  atomic.Uint64
+	reg     *telemetry.Registry
+	nextID  uint64
 	mu      sync.Mutex
 	pending map[uint64]chan *Reply
 	closed  bool
 	readErr error
 
-	statInFlight  atomic.Int64
-	statCalls     atomic.Uint64
-	statCanceled  atomic.Uint64
-	statFailures  atomic.Uint64
-	statBytesSent atomic.Uint64
-	statBytesRecv atomic.Uint64
+	statInFlight  *telemetry.Gauge
+	statCalls     *telemetry.Counter
+	statCanceled  *telemetry.Counter
+	statFailures  *telemetry.Counter
+	statBytesSent *telemetry.Counter
+	statBytesRecv *telemetry.Counter
+	statLatency   *telemetry.Histogram
 }
 
 // NewClient wraps conn and starts the demultiplexing loop.
-func NewClient(conn Conn) *Client {
+func NewClient(conn Conn, opts ...ClientOption) *Client {
 	c := &Client{conn: conn, pending: make(map[uint64]chan *Reply)}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.reg == nil {
+		c.reg = telemetry.NewRegistry()
+	}
+	c.statInFlight = c.reg.Gauge("rpc.client.inflight")
+	c.statCalls = c.reg.Counter("rpc.client.calls")
+	c.statCanceled = c.reg.Counter("rpc.client.canceled")
+	c.statFailures = c.reg.Counter("rpc.client.failures")
+	c.statBytesSent = c.reg.Counter("rpc.client.bytes_sent")
+	c.statBytesRecv = c.reg.Counter("rpc.client.bytes_recv")
+	c.statLatency = c.reg.Histogram("rpc.client.call_ns")
 	go c.recvLoop()
 	return c
 }
 
+// Metrics returns the client's telemetry registry.
+func (c *Client) Metrics() *telemetry.Registry { return c.reg }
+
 // Stats returns a snapshot of the connection's counters.
+//
+// Deprecated: use Metrics().Snapshot() for the full picture; Stats
+// remains as a cheap aggregate view.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
 		InFlight:  c.statInFlight.Load(),
@@ -298,12 +419,19 @@ func (c *Client) failAll(err error) {
 // canceled or its deadline passes, the pending call fails with ctx's
 // error and a late reply is discarded by the receive loop; on
 // transports that support it (TCP) the deadline also bounds the send.
+// If ctx carries a telemetry request ID and req.Trace is unset, the ID
+// rides along in the request header so the server's trace log can link
+// the call back to the originating operation.
 func (c *Client) Call(ctx context.Context, req *Request) (*Reply, error) {
 	if err := ctx.Err(); err != nil {
-		c.statCanceled.Add(1)
+		c.statCanceled.Inc()
 		return nil, err
 	}
-	req.MsgID = c.nextID.Add(1)
+	if req.Trace == 0 {
+		if id, ok := telemetry.RequestIDFrom(ctx); ok {
+			req.Trace = id
+		}
+	}
 	ch := make(chan *Reply, 1)
 	c.mu.Lock()
 	if c.closed {
@@ -312,15 +440,18 @@ func (c *Client) Call(ctx context.Context, req *Request) (*Reply, error) {
 		if err == nil {
 			err = ErrClosed
 		}
-		c.statFailures.Add(1)
+		c.statFailures.Inc()
 		return nil, err
 	}
+	c.nextID++
+	req.MsgID = c.nextID
 	c.pending[req.MsgID] = ch
 	c.mu.Unlock()
 
-	c.statCalls.Add(1)
+	c.statCalls.Inc()
 	c.statInFlight.Add(1)
 	defer c.statInFlight.Add(-1)
+	start := time.Now()
 
 	if sd, ok := c.conn.(SendDeadliner); ok {
 		// Map the context deadline onto the transport; zero clears any
@@ -340,7 +471,7 @@ func (c *Client) Call(ctx context.Context, req *Request) (*Reply, error) {
 		c.mu.Lock()
 		delete(c.pending, req.MsgID)
 		c.mu.Unlock()
-		c.statFailures.Add(1)
+		c.statFailures.Inc()
 		return nil, err
 	}
 	c.statBytesSent.Add(uint64(len(wire)))
@@ -354,15 +485,16 @@ func (c *Client) Call(ctx context.Context, req *Request) (*Reply, error) {
 			if err == nil {
 				err = ErrClosed
 			}
-			c.statFailures.Add(1)
+			c.statFailures.Inc()
 			return nil, err
 		}
+		c.statLatency.ObserveSince(start)
 		return reply, nil
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, req.MsgID)
 		c.mu.Unlock()
-		c.statCanceled.Add(1)
+		c.statCanceled.Inc()
 		return nil, ctx.Err()
 	}
 }

@@ -68,6 +68,7 @@ func (s Status) String() string {
 // Request is one NASD RPC request, mirroring Figure 5's layering.
 type Request struct {
 	MsgID   uint64
+	Trace   uint64 // caller's request ID for cross-layer tracing (0 = untraced)
 	Proc    uint16
 	SecOpts uint8
 	Cap     []byte // encoded capability public portion (nil if none)
@@ -113,6 +114,7 @@ func EncodeRequest(r *Request) []byte {
 	e.U32(Magic)
 	e.U8(kindRequest)
 	e.U64(r.MsgID)
+	e.U64(r.Trace)
 	e.U16(r.Proc)
 	e.U8(r.SecOpts)
 	e.Bytes32(r.Cap)
@@ -157,6 +159,7 @@ func DecodeMessage(b []byte) (any, error) {
 	case kindRequest:
 		r := &Request{}
 		r.MsgID = d.U64()
+		r.Trace = d.U64()
 		r.Proc = d.U16()
 		r.SecOpts = d.U8()
 		r.Cap = d.Bytes32()

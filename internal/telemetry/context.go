@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Request IDs give every client-initiated operation an identity that
+// survives the trip across the RPC plane: the client stamps the ID into
+// the wire request (rpc.Request.Trace), the drive records it in its
+// trace log, and a multi-drive operation (a cheops striped read) shares
+// one ID across every component request it fans out. IDs are
+// process-local: a counter, not a UUID, because the tracing question
+// this answers is "which requests belonged to that operation", not
+// global uniqueness across restarts.
+
+type requestIDKey struct{}
+
+var lastRequestID atomic.Uint64
+
+// NextRequestID allocates a fresh process-unique request ID (never 0;
+// 0 on the wire means "untraced").
+func NextRequestID() uint64 { return lastRequestID.Add(1) }
+
+// WithRequestID returns ctx carrying a fresh request ID, and the ID.
+// If ctx already carries one it is kept, so the outermost caller wins
+// and fan-out layers inherit.
+func WithRequestID(ctx context.Context) (context.Context, uint64) {
+	if id, ok := RequestIDFrom(ctx); ok {
+		return ctx, id
+	}
+	id := NextRequestID()
+	return context.WithValue(ctx, requestIDKey{}, id), id
+}
+
+// WithExplicitRequestID returns ctx carrying the given ID, replacing
+// any existing one (used by servers resuming a trace from the wire).
+func WithExplicitRequestID(ctx context.Context, id uint64) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom extracts the request ID from ctx.
+func RequestIDFrom(ctx context.Context) (uint64, bool) {
+	id, ok := ctx.Value(requestIDKey{}).(uint64)
+	return id, ok && id != 0
+}

@@ -1,0 +1,25 @@
+// Package telemetry is the repository's observability core: a
+// dependency-free metrics library (atomic counters, gauges, and
+// fixed-bucket latency histograms with snapshot and merge), request-ID
+// propagation through context.Context, a bounded in-memory trace log,
+// and HTTP handlers that expose a registry as expvar-style JSON.
+//
+// The paper's evaluation is built on exactly this kind of per-operation
+// accounting: Table 1 decomposes each NASD request into marshaling,
+// digest, object-system, and media components, and Figures 5-7 measure
+// drive and striping throughput as load scales. The packages that
+// reproduce those results (internal/rpc, internal/drive,
+// internal/blockdev, internal/cache, internal/cheops) all publish their
+// counters and service-time histograms into telemetry registries so the
+// same quantities can be observed from a live system: `nasdd` serves a
+// registry at /metrics, `nasdctl stats` fetches a drive's snapshot over
+// RPC, and `nasdbench -stats` reproduces the Table 1 cost split from a
+// live workload.
+//
+// Everything here is built on sync/atomic and the standard library
+// only, so any package in the tree can depend on it without cycles.
+// Histograms bucket int64 values (usually nanoseconds) into
+// power-of-two buckets: bucket 0 holds values <= 1 and bucket i holds
+// (2^(i-1), 2^i], which keeps Observe lock-free and makes two
+// snapshots mergeable bucket-by-bucket.
+package telemetry

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// This file renders snapshots for humans. Two views matter: the flat
+// dump of every metric (nasdctl stats), and the per-operation cost
+// table keyed on the drive's "drive.op.<name>.<metric>" family, which
+// reproduces the shape of the paper's Table 1 — one row per NASD
+// operation, service time split into digest, object-system, and media
+// components.
+
+// WriteText dumps every metric in the snapshot, sorted by name.
+// Histograms print count/mean/p50/p95/max; "_ns" metrics render as
+// durations.
+func WriteText(w io.Writer, s Snapshot) {
+	for _, name := range s.Names() {
+		if v, ok := s.Counters[name]; ok {
+			fmt.Fprintf(w, "%-44s %s\n", name, formatValue(name, int64(v)))
+			continue
+		}
+		if v, ok := s.Gauges[name]; ok {
+			fmt.Fprintf(w, "%-44s %s\n", name, formatValue(name, v))
+			continue
+		}
+		if h, ok := s.Histograms[name]; ok {
+			fmt.Fprintf(w, "%-44s n=%d mean=%s p50=%s p95=%s max=%s\n",
+				name, h.Count,
+				formatValue(name, h.Mean()),
+				formatValue(name, h.Quantile(0.50)),
+				formatValue(name, h.Quantile(0.95)),
+				formatValue(name, h.Max))
+		}
+	}
+}
+
+// formatValue renders nanosecond-named metrics as durations and
+// everything else as plain integers.
+func formatValue(name string, v int64) string {
+	if strings.HasSuffix(name, "_ns") {
+		return time.Duration(v).Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// OpRow is one operation's aggregated cost, extracted from a snapshot's
+// "<prefix>.<op>.<metric>" family.
+type OpRow struct {
+	Op       string
+	Calls    uint64
+	Errors   uint64
+	BytesIn  uint64
+	BytesOut uint64
+	Svc      HistogramSnapshot // service-time histogram (ns)
+	DigestNS uint64            // cumulative phase time
+	ObjectNS uint64
+	MediaNS  uint64
+}
+
+// OpRows extracts the per-operation table from a snapshot. prefix is
+// the family root, e.g. "drive.op". Rows come back sorted by call
+// count, busiest first.
+func OpRows(s Snapshot, prefix string) []OpRow {
+	rows := make(map[string]*OpRow)
+	get := func(name string) (*OpRow, string, bool) {
+		rest, ok := strings.CutPrefix(name, prefix+".")
+		if !ok {
+			return nil, "", false
+		}
+		op, metric, ok := strings.Cut(rest, ".")
+		if !ok {
+			return nil, "", false
+		}
+		r := rows[op]
+		if r == nil {
+			r = &OpRow{Op: op}
+			rows[op] = r
+		}
+		return r, metric, true
+	}
+	for name, v := range s.Counters {
+		r, metric, ok := get(name)
+		if !ok {
+			continue
+		}
+		switch metric {
+		case "calls":
+			r.Calls = v
+		case "errors":
+			r.Errors = v
+		case "bytes_in":
+			r.BytesIn = v
+		case "bytes_out":
+			r.BytesOut = v
+		case "digest_ns":
+			r.DigestNS = v
+		case "object_ns":
+			r.ObjectNS = v
+		case "media_ns":
+			r.MediaNS = v
+		}
+	}
+	for name, h := range s.Histograms {
+		if r, metric, ok := get(name); ok && metric == "svc_ns" {
+			r.Svc = h
+		}
+	}
+	out := make([]OpRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Calls != out[j].Calls {
+			return out[i].Calls > out[j].Calls
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// WriteOpTable renders the per-operation cost breakdown: one row per
+// op with call count, mean and tail service time, and the share of
+// service time spent in each Table 1 component (digest verification,
+// object system, media).
+func WriteOpTable(w io.Writer, s Snapshot, prefix string) {
+	rows := OpRows(s, prefix)
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "(no %s.* metrics in snapshot)\n", prefix)
+		return
+	}
+	fmt.Fprintf(w, "%-10s %8s %7s %10s %10s %10s %8s %8s %8s %10s\n",
+		"op", "calls", "errors", "mean", "p95", "max", "digest%", "object%", "media%", "MB moved")
+	for _, r := range rows {
+		if r.Calls == 0 {
+			continue
+		}
+		total := float64(r.DigestNS + r.ObjectNS + r.MediaNS)
+		pct := func(v uint64) string {
+			if total == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%.1f", 100*float64(v)/total)
+		}
+		mb := float64(r.BytesIn+r.BytesOut) / (1 << 20)
+		fmt.Fprintf(w, "%-10s %8d %7d %10s %10s %10s %8s %8s %8s %10.2f\n",
+			r.Op, r.Calls, r.Errors,
+			time.Duration(r.Svc.Mean()).Round(time.Microsecond),
+			time.Duration(r.Svc.Quantile(0.95)).Round(time.Microsecond),
+			time.Duration(r.Svc.Max).Round(time.Microsecond),
+			pct(r.DigestNS), pct(r.ObjectNS), pct(r.MediaNS), mb)
+	}
+}

@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every histogram. Bucket 0
+// holds values <= 1; bucket i holds values in (2^(i-1), 2^i]; the last
+// bucket additionally absorbs everything larger. With nanosecond
+// observations the layout spans 1 ns to ~39 hours, which covers every
+// latency this system can produce, and the fixed shape is what makes
+// snapshots from different drives mergeable.
+const NumBuckets = 48
+
+// Histogram is a lock-free fixed-bucket histogram of int64 values
+// (by convention nanoseconds; cheops also uses one for stripe fan-out
+// widths). The zero value is ready to use.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64
+	min     atomic.Int64 // valid only when count > 0; 0 sentinel handled via CAS from minUnset
+	max     atomic.Int64
+	minInit atomic.Bool
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// bucketIndex returns the bucket for value v.
+func bucketIndex(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	// Smallest i with 2^i >= v, i.e. ceil(log2(v)).
+	i := bits.Len64(uint64(v - 1))
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBound returns the inclusive upper bound of bucket i.
+func BucketBound(i int) int64 {
+	if i <= 0 {
+		return 1
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1 << uint(i)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketIndex(v)].Add(1)
+	if h.minInit.CompareAndSwap(false, true) {
+		h.min.Store(v)
+		h.max.Store(v)
+	} else {
+		for {
+			cur := h.min.Load()
+			if v >= cur || h.min.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+		for {
+			cur := h.max.Load()
+			if v <= cur || h.max.CompareAndSwap(cur, v) {
+				break
+			}
+		}
+	}
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) { h.Observe(int64(time.Since(start))) }
+
+// Snapshot copies the histogram's state. The copy is not atomic across
+// fields: counts and sums observed concurrently may be off by the
+// in-flight observations, which is acceptable for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+	}
+	s.Buckets = make([]uint64, NumBuckets)
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is the serializable form of a Histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s *HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / int64(s.Count)
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) by locating the
+// bucket holding the q-th sample and interpolating linearly within it.
+// The true value is within a factor of two (one bucket) of the
+// estimate, bounded by the recorded min and max.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		next := cum + float64(n)
+		if rank <= next {
+			lo := int64(0)
+			if i > 0 {
+				lo = BucketBound(i - 1)
+			}
+			hi := BucketBound(i)
+			frac := (rank - cum) / float64(n)
+			v := lo + int64(frac*float64(hi-lo))
+			if v < s.Min {
+				v = s.Min
+			}
+			if v > s.Max {
+				v = s.Max
+			}
+			return v
+		}
+		cum = next
+	}
+	return s.Max
+}
+
+// Merge folds other into s bucket-by-bucket.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	if other.Count == 0 {
+		return
+	}
+	if s.Count == 0 {
+		s.Min = other.Min
+		s.Max = other.Max
+	} else {
+		if other.Min < s.Min {
+			s.Min = other.Min
+		}
+		if other.Max > s.Max {
+			s.Max = other.Max
+		}
+	}
+	s.Count += other.Count
+	s.Sum += other.Sum
+	if s.Buckets == nil {
+		s.Buckets = make([]uint64, NumBuckets)
+	}
+	for i := 0; i < len(other.Buckets) && i < len(s.Buckets); i++ {
+		s.Buckets[i] += other.Buckets[i]
+	}
+}

@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// MetricsHandler serves the snapshot produced by snap as JSON, the
+// expvar-style endpoint `curl` and dashboards read. snap is called per
+// request so the response is always current.
+func MetricsHandler(snap func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap())
+	})
+}
+
+// HealthHandler reports liveness and uptime as JSON.
+func HealthHandler(started time.Time) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"status":   "ok",
+			"uptime_s": int64(time.Since(started).Seconds()),
+		})
+	})
+}
+
+// TraceHandler serves the trace log tail as JSON (?n= bounds the count,
+// default 64).
+func TraceHandler(log *TraceLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 64
+		if s := r.URL.Query().Get("n"); s != "" {
+			if v, err := strconv.Atoi(s); err == nil && v > 0 {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(log.Recent(n))
+	})
+}
+
+// NewMux builds the daemon observability mux: /metrics, /healthz, and
+// (when log is non-nil) /trace.
+func NewMux(snap func() Snapshot, log *TraceLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(snap))
+	mux.Handle("/healthz", HealthHandler(time.Now()))
+	if log != nil {
+		mux.Handle("/trace", TraceHandler(log))
+	}
+	return mux
+}

@@ -1,10 +1,18 @@
 #!/bin/sh
-# The repository's test gate: static analysis plus the full test suite
-# under the race detector. CI and pre-commit hooks should run exactly
-# this script so local and automated checks never drift.
+# The repository's test gate: formatting, static analysis, and the full
+# test suite under the race detector. CI and pre-commit hooks should run
+# exactly this script so local and automated checks never drift.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> gofmt -l ."
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "==> go vet ./..."
 go vet ./...
