@@ -4,6 +4,7 @@
 //
 //	nasdbench [-quick] [-experiment fig4,fig6,fig7,table1,fig9,andrew,active|all]
 //	nasdbench -stats [-stats-mb 8]
+//	nasdbench -parallel 4 [-stats-mb 8]
 //
 // Each experiment prints the paper's values beside the values produced
 // by this repository's models and simulations.
@@ -13,6 +14,10 @@
 // per-op telemetry: service time per NASD operation split into digest
 // verification, object system, and media — Table 1's decomposition,
 // measured rather than modelled.
+//
+// With -parallel N, nasdbench drives one drive with N concurrent client
+// workers over distinct objects and prints aggregate throughput plus
+// the per-layer lock-contention telemetry (DESIGN.md §4).
 package main
 
 import (
@@ -28,8 +33,17 @@ func main() {
 	quick := flag.Bool("quick", false, "run shorter simulations with fewer points")
 	which := flag.String("experiment", "all", "comma-separated experiment IDs, or 'all'")
 	stats := flag.Bool("stats", false, "run a live workload and print the drive's measured per-op cost breakdown")
-	statsMB := flag.Int("stats-mb", 8, "workload size in MB for -stats")
+	statsMB := flag.Int("stats-mb", 8, "workload size in MB for -stats and per worker for -parallel")
+	parallel := flag.Int("parallel", 0, "run N concurrent client workers over distinct objects on one drive and print throughput plus lock-contention telemetry")
 	flag.Parse()
+
+	if *parallel > 0 {
+		if err := runParallel(os.Stdout, *parallel, *statsMB); err != nil {
+			fmt.Fprintf(os.Stderr, "nasdbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *stats {
 		if err := runStats(os.Stdout, *statsMB); err != nil {

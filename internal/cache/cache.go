@@ -4,8 +4,10 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nasd/internal/blockdev"
+	"nasd/internal/telemetry"
 )
 
 // Stats counts cache activity.
@@ -17,6 +19,14 @@ type Stats struct {
 	WriteBacks int64
 }
 
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Prefetches += o.Prefetches
+	s.Evictions += o.Evictions
+	s.WriteBacks += o.WriteBacks
+}
+
 type entry struct {
 	block int64
 	data  []byte
@@ -24,116 +34,202 @@ type entry struct {
 	elem  *list.Element
 }
 
-// BlockCache is an LRU cache over a block device.
+// DefaultShards is how many independently locked shards New creates
+// (clamped to the capacity, so tiny caches degenerate gracefully to a
+// single shard).
+const DefaultShards = 16
+
+// BlockCache is an LRU cache over a block device, sharded by block
+// number so lookups of blocks on different shards never serialize:
+// each shard has its own mutex, LRU list, and slice of the capacity.
+// Within a shard, a miss releases the shard lock while it fills from
+// the device, so a slow media read stalls only requests for the same
+// block's shard map — not the whole cache — and hits proceed while
+// other shards fill. Consecutive physical blocks land on consecutive
+// shards, which spreads a sequential scan across every lock.
+//
+// In the store's lock hierarchy the cache sits below the object and
+// partition locks and above the layout allocator (DESIGN.md §4): a
+// shard mutex may be taken while holding those, and never the reverse.
 type BlockCache struct {
-	mu       sync.Mutex
 	dev      blockdev.Device
+	shards   []*cacheShard
+	wthrough atomic.Bool
+	meter    *telemetry.LockMeter
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
 	capacity int
 	entries  map[int64]*entry
 	lru      *list.List // front = most recent
 	stats    Stats
-	wthrough bool
 }
 
-// New returns a cache holding up to capacity blocks of dev.
+// New returns a cache holding up to capacity blocks of dev, sharded
+// DefaultShards ways.
 func New(dev blockdev.Device, capacity int) *BlockCache {
+	return NewSharded(dev, capacity, DefaultShards)
+}
+
+// NewSharded returns a cache with an explicit shard count (clamped to
+// [1, capacity]). One shard gives the exact global-LRU behavior of the
+// unsharded design; more shards trade per-shard LRU approximation for
+// lock independence.
+func NewSharded(dev blockdev.Device, capacity, shards int) *BlockCache {
 	if capacity < 1 {
 		panic("cache: capacity must be >= 1")
 	}
-	return &BlockCache{
-		dev:      dev,
-		capacity: capacity,
-		entries:  make(map[int64]*entry),
-		lru:      list.New(),
+	if shards < 1 {
+		shards = 1
 	}
+	if shards > capacity {
+		shards = capacity
+	}
+	c := &BlockCache{dev: dev, shards: make([]*cacheShard, shards)}
+	for i := range c.shards {
+		// Distribute capacity as evenly as possible; early shards take
+		// the remainder.
+		per := capacity / shards
+		if i < capacity%shards {
+			per++
+		}
+		c.shards[i] = &cacheShard{
+			capacity: per,
+			entries:  make(map[int64]*entry),
+			lru:      list.New(),
+		}
+	}
+	return c
 }
+
+// SetLockMeter wires contention telemetry for every shard mutex (all
+// shards share the one meter). Call before concurrent use.
+func (c *BlockCache) SetLockMeter(m *telemetry.LockMeter) { c.meter = m }
+
+// shardOf maps a block to its shard. Plain modulo: physical blocks are
+// allocated in runs, so neighbors go to different shards.
+func (c *BlockCache) shardOf(block int64) *cacheShard {
+	if block < 0 {
+		block = -block
+	}
+	return c.shards[block%int64(len(c.shards))]
+}
+
+// Shards returns the shard count.
+func (c *BlockCache) Shards() int { return len(c.shards) }
 
 // SetWriteThrough switches the cache between write-behind (default) and
 // write-through.
-func (c *BlockCache) SetWriteThrough(on bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.wthrough = on
-}
+func (c *BlockCache) SetWriteThrough(on bool) { c.wthrough.Store(on) }
 
 // Capacity returns the capacity in blocks.
-func (c *BlockCache) Capacity() int { return c.capacity }
+func (c *BlockCache) Capacity() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += sh.capacity
+	}
+	return n
+}
 
 // Len returns the number of cached blocks.
 func (c *BlockCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for _, sh := range c.shards {
+		c.meter.Lock(&sh.mu)
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Stats returns a copy of the counters.
+// Stats returns the counters summed over every shard.
 func (c *BlockCache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var st Stats
+	for _, sh := range c.shards {
+		c.meter.Lock(&sh.mu)
+		st.add(sh.stats)
+		sh.mu.Unlock()
+	}
+	return st
 }
 
 // Contains reports whether block is currently cached (does not touch
 // recency).
 func (c *BlockCache) Contains(block int64) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.entries[block]
+	sh := c.shardOf(block)
+	c.meter.Lock(&sh.mu)
+	defer sh.mu.Unlock()
+	_, ok := sh.entries[block]
 	return ok
 }
 
-// touch must be called with mu held.
-func (c *BlockCache) touch(e *entry) { c.lru.MoveToFront(e.elem) }
+// touch must be called with the shard mutex held.
+func (sh *cacheShard) touch(e *entry) { sh.lru.MoveToFront(e.elem) }
 
-// insert adds a block, evicting as needed. Caller holds mu.
-func (c *BlockCache) insert(block int64, data []byte, dirty bool) (*entry, error) {
-	for len(c.entries) >= c.capacity {
-		if err := c.evictOldest(); err != nil {
+// insert adds a block, evicting as needed. Caller holds the shard
+// mutex.
+func (sh *cacheShard) insert(dev blockdev.Device, block int64, data []byte, dirty bool) (*entry, error) {
+	for len(sh.entries) >= sh.capacity {
+		if err := sh.evictOldest(dev); err != nil {
 			return nil, err
 		}
 	}
 	e := &entry{block: block, data: data, dirty: dirty}
-	e.elem = c.lru.PushFront(e)
-	c.entries[block] = e
+	e.elem = sh.lru.PushFront(e)
+	sh.entries[block] = e
 	return e, nil
 }
 
-// evictOldest removes the LRU entry, writing it back if dirty. Caller
-// holds mu.
-func (c *BlockCache) evictOldest() error {
-	back := c.lru.Back()
+// evictOldest removes the shard's LRU entry, writing it back if dirty.
+// Caller holds the shard mutex.
+func (sh *cacheShard) evictOldest(dev blockdev.Device) error {
+	back := sh.lru.Back()
 	if back == nil {
 		return fmt.Errorf("cache: eviction with empty LRU")
 	}
 	e := back.Value.(*entry)
 	if e.dirty {
-		if err := c.dev.WriteBlock(e.block, e.data); err != nil {
+		if err := dev.WriteBlock(e.block, e.data); err != nil {
 			return err
 		}
-		c.stats.WriteBacks++
+		sh.stats.WriteBacks++
 	}
-	c.lru.Remove(back)
-	delete(c.entries, e.block)
-	c.stats.Evictions++
+	sh.lru.Remove(back)
+	delete(sh.entries, e.block)
+	sh.stats.Evictions++
 	return nil
 }
 
-// ReadBlock reads block through the cache into buf.
+// ReadBlock reads block through the cache into buf. A miss fills from
+// the device with the shard unlocked; if a concurrent writer installed
+// the block meanwhile, the cached (newer) contents win.
 func (c *BlockCache) ReadBlock(block int64, buf []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[block]; ok {
-		c.touch(e)
-		c.stats.Hits++
+	sh := c.shardOf(block)
+	c.meter.Lock(&sh.mu)
+	if e, ok := sh.entries[block]; ok {
+		sh.touch(e)
+		sh.stats.Hits++
 		copy(buf, e.data)
+		sh.mu.Unlock()
 		return nil
 	}
-	c.stats.Misses++
+	sh.stats.Misses++
+	sh.mu.Unlock()
 	data := make([]byte, c.dev.BlockSize())
 	if err := c.dev.ReadBlock(block, data); err != nil {
 		return err
 	}
-	if _, err := c.insert(block, data, false); err != nil {
+	c.meter.Lock(&sh.mu)
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[block]; ok {
+		// Raced with another fill or a write; the resident entry is at
+		// least as new as what we read.
+		sh.touch(e)
+		copy(buf, e.data)
+		return nil
+	}
+	if _, err := sh.insert(c.dev, block, data, false); err != nil {
 		return err
 	}
 	copy(buf, data)
@@ -143,20 +239,22 @@ func (c *BlockCache) ReadBlock(block int64, buf []byte) error {
 // WriteBlock writes buf to block through the cache. In write-behind
 // mode the device is updated lazily; in write-through mode immediately.
 func (c *BlockCache) WriteBlock(block int64, buf []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	wthrough := c.wthrough.Load()
+	sh := c.shardOf(block)
+	c.meter.Lock(&sh.mu)
+	defer sh.mu.Unlock()
 	data := make([]byte, len(buf))
 	copy(data, buf)
-	if e, ok := c.entries[block]; ok {
+	if e, ok := sh.entries[block]; ok {
 		e.data = data
-		e.dirty = !c.wthrough
-		c.touch(e)
+		e.dirty = !wthrough
+		sh.touch(e)
 	} else {
-		if _, err := c.insert(block, data, !c.wthrough); err != nil {
+		if _, err := sh.insert(c.dev, block, data, !wthrough); err != nil {
 			return err
 		}
 	}
-	if c.wthrough {
+	if wthrough {
 		return c.dev.WriteBlock(block, buf)
 	}
 	return nil
@@ -165,24 +263,32 @@ func (c *BlockCache) WriteBlock(block int64, buf []byte) error {
 // Prefetch loads blocks into the cache if absent. It is the mechanism
 // the object layer uses for sequential readahead. Errors on individual
 // blocks are ignored (prefetch is advisory); the count of blocks
-// actually fetched is returned.
+// actually fetched is returned. Like ReadBlock, fills happen with the
+// shard unlocked.
 func (c *BlockCache) Prefetch(blocks []int64) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
 	for _, b := range blocks {
-		if _, ok := c.entries[b]; ok {
+		sh := c.shardOf(b)
+		c.meter.Lock(&sh.mu)
+		_, ok := sh.entries[b]
+		sh.mu.Unlock()
+		if ok {
 			continue
 		}
 		data := make([]byte, c.dev.BlockSize())
 		if err := c.dev.ReadBlock(b, data); err != nil {
 			continue
 		}
-		if _, err := c.insert(b, data, false); err != nil {
-			break
+		c.meter.Lock(&sh.mu)
+		if _, ok := sh.entries[b]; !ok {
+			if _, err := sh.insert(c.dev, b, data, false); err != nil {
+				sh.mu.Unlock()
+				break
+			}
+			sh.stats.Prefetches++
+			n++
 		}
-		c.stats.Prefetches++
-		n++
+		sh.mu.Unlock()
 	}
 	return n
 }
@@ -190,39 +296,45 @@ func (c *BlockCache) Prefetch(blocks []int64) int {
 // Invalidate drops a block from the cache without writing it back.
 // Use when the block has been freed.
 func (c *BlockCache) Invalidate(block int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if e, ok := c.entries[block]; ok {
-		c.lru.Remove(e.elem)
-		delete(c.entries, block)
+	sh := c.shardOf(block)
+	c.meter.Lock(&sh.mu)
+	defer sh.mu.Unlock()
+	if e, ok := sh.entries[block]; ok {
+		sh.lru.Remove(e.elem)
+		delete(sh.entries, block)
 	}
 }
 
 // Flush writes every dirty block back to the device and flushes it.
 func (c *BlockCache) Flush() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, e := range c.entries {
-		if e.dirty {
-			if err := c.dev.WriteBlock(e.block, e.data); err != nil {
-				return err
+	for _, sh := range c.shards {
+		c.meter.Lock(&sh.mu)
+		for _, e := range sh.entries {
+			if e.dirty {
+				if err := c.dev.WriteBlock(e.block, e.data); err != nil {
+					sh.mu.Unlock()
+					return err
+				}
+				e.dirty = false
+				sh.stats.WriteBacks++
 			}
-			e.dirty = false
-			c.stats.WriteBacks++
 		}
+		sh.mu.Unlock()
 	}
 	return c.dev.Flush()
 }
 
 // DirtyCount returns the number of dirty cached blocks.
 func (c *BlockCache) DirtyCount() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for _, e := range c.entries {
-		if e.dirty {
-			n++
+	for _, sh := range c.shards {
+		c.meter.Lock(&sh.mu)
+		for _, e := range sh.entries {
+			if e.dirty {
+				n++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return n
 }

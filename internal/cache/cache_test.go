@@ -89,7 +89,8 @@ func TestWriteThrough(t *testing.T) {
 
 func TestLRUEvictionOrder(t *testing.T) {
 	dev := blockdev.NewMemDisk(512, 64)
-	c := New(dev, 3)
+	// One shard: the test asserts exact global LRU order.
+	c := NewSharded(dev, 3, 1)
 	buf := make([]byte, 512)
 	for _, b := range []int64{1, 2, 3} {
 		if err := c.ReadBlock(b, buf); err != nil {
@@ -107,6 +108,48 @@ func TestLRUEvictionOrder(t *testing.T) {
 		t.Fatal("LRU block 2 not evicted")
 	}
 	for _, b := range []int64{1, 3, 4} {
+		if !c.Contains(b) {
+			t.Fatalf("block %d wrongly evicted", b)
+		}
+	}
+}
+
+func TestShardedCapacitySplit(t *testing.T) {
+	dev := blockdev.NewMemDisk(512, 64)
+	c := NewSharded(dev, 10, 4)
+	if c.Shards() != 4 {
+		t.Fatalf("shards = %d", c.Shards())
+	}
+	if c.Capacity() != 10 {
+		t.Fatalf("capacity = %d", c.Capacity())
+	}
+	// Shard count clamps to capacity so every shard can hold a block.
+	if c := NewSharded(dev, 2, 16); c.Shards() != 2 {
+		t.Fatalf("clamped shards = %d", c.Shards())
+	}
+	// Default constructor shards DefaultShards ways when capacity allows.
+	if c := New(dev, 64); c.Shards() != DefaultShards {
+		t.Fatalf("default shards = %d", c.Shards())
+	}
+}
+
+func TestShardedEvictionIsPerShard(t *testing.T) {
+	dev := blockdev.NewMemDisk(512, 64)
+	c := NewSharded(dev, 4, 4) // one block per shard
+	buf := make([]byte, 512)
+	for _, b := range []int64{0, 1, 2, 3} {
+		if err := c.ReadBlock(b, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Block 4 shares shard 0 with block 0: only block 0 may be evicted.
+	if err := c.ReadBlock(4, buf); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains(0) {
+		t.Fatal("same-shard LRU block 0 not evicted")
+	}
+	for _, b := range []int64{1, 2, 3, 4} {
 		if !c.Contains(b) {
 			t.Fatalf("block %d wrongly evicted", b)
 		}

@@ -237,6 +237,17 @@ func (m *Manager) Create(ctx context.Context, pattern Pattern, stripeUnit int64,
 	}
 	m.mu.Unlock()
 	if err := m.save(ctx); err != nil {
+		// Roll back: an unpersisted descriptor must not stay visible, or
+		// a manager restart would silently lose an object the caller was
+		// told exists. Component objects are removed best-effort; a
+		// failure there only leaves unreferenced objects on the drives.
+		m.mu.Lock()
+		delete(m.objects, id)
+		m.mu.Unlock()
+		_ = eachDrive(width, func(i int) error {
+			cap := m.mintWildcard(comps[i].Drive, capability.Remove)
+			return m.drives[comps[i].Drive].Client.Remove(ctx, &cap, m.part, comps[i].Object)
+		})
 		return 0, err
 	}
 	return id, nil
@@ -288,15 +299,20 @@ func (m *Manager) Remove(ctx context.Context, logical uint64) error {
 	}
 	delete(m.objects, logical)
 	m.mu.Unlock()
-	firstErr := m.save(ctx)
-	if err := eachDrive(len(desc.Components), func(i int) error {
+	if err := m.save(ctx); err != nil {
+		// Roll back: the persisted table still names the object, so keep
+		// the in-memory descriptor (and the components) consistent with
+		// it rather than destroying components the table references.
+		m.mu.Lock()
+		m.objects[logical] = desc
+		m.mu.Unlock()
+		return err
+	}
+	return eachDrive(len(desc.Components), func(i int) error {
 		comp := desc.Components[i]
 		cap := m.mintWildcard(comp.Drive, capability.Remove)
 		return m.drives[comp.Drive].Client.Remove(ctx, &cap, m.part, comp.Object)
-	}); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	return firstErr
+	})
 }
 
 // UpdateSize records a logical object's new size (a control message
@@ -462,9 +478,23 @@ func (m *Manager) ReplaceComponent(ctx context.Context, logical uint64, failedId
 		m.mu.Unlock()
 		return ErrNoObject
 	}
+	prev := desc.Components[failedIdx]
 	desc.Components[failedIdx] = repl
 	m.mu.Unlock()
-	return m.save(ctx)
+	if err := m.save(ctx); err != nil {
+		// Roll back the swap: the persisted table still points at the
+		// old component, so the in-memory descriptor must too. The
+		// reconstructed replacement is removed best-effort.
+		m.mu.Lock()
+		if desc, ok := m.objects[logical]; ok {
+			desc.Components[failedIdx] = prev
+		}
+		m.mu.Unlock()
+		rc := m.mintWildcard(newDrive, capability.Remove)
+		_ = m.drives[newDrive].Client.Remove(ctx, &rc, m.part, newObj)
+		return err
+	}
+	return nil
 }
 
 // componentLength computes how many bytes component idx must hold given

@@ -1,0 +1,105 @@
+package cheops
+
+import (
+	"testing"
+
+	"nasd/internal/capability"
+)
+
+// breakSave makes every subsequent m.save fail by destroying the
+// directory object on drive 0 behind the manager's back.
+func breakSave(t *testing.T, r *rig) {
+	t.Helper()
+	if err := r.raw[0].Store().Remove(r.mgr.Partition(), r.mgr.dirObj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func (r *rig) objectsOnDrive(t *testing.T, di int) []uint64 {
+	t.Helper()
+	ids, err := r.raw[di].Store().List(r.mgr.Partition())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ids
+}
+
+func TestCreateRollsBackOnSaveFailure(t *testing.T) {
+	r := newRig(t, 3)
+	breakSave(t, r)
+	if _, err := r.mgr.Create(testCtx, Mirror1, 32<<10, 2, 1); err == nil {
+		t.Fatal("create succeeded despite save failure")
+	}
+	// The manager must not keep a descriptor it could not persist — a
+	// restart would lose an object the caller was told exists.
+	r.mgr.mu.Lock()
+	n := len(r.mgr.objects)
+	r.mgr.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("descriptor table holds %d entries after failed create", n)
+	}
+	// Component objects were cleaned back off the drives (1 and 2 held
+	// them; drive 0 only ever held the now-destroyed directory).
+	for di := 1; di <= 2; di++ {
+		if ids := r.objectsOnDrive(t, di); len(ids) != 0 {
+			t.Fatalf("drive %d still holds orphaned components %v", di, ids)
+		}
+	}
+}
+
+func TestRemoveRollsBackOnSaveFailure(t *testing.T) {
+	r := newRig(t, 3)
+	id, err := r.mgr.Create(testCtx, Mirror1, 32<<10, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breakSave(t, r)
+	if err := r.mgr.Remove(testCtx, id); err == nil {
+		t.Fatal("remove succeeded despite save failure")
+	}
+	// The persisted table still names the object, so the in-memory view
+	// must too — and the components must not have been destroyed.
+	if _, err := r.mgr.Stat(id); err != nil {
+		t.Fatalf("descriptor gone after failed remove: %v", err)
+	}
+	for di := 1; di <= 2; di++ {
+		if ids := r.objectsOnDrive(t, di); len(ids) != 1 {
+			t.Fatalf("drive %d components = %v after failed remove", di, ids)
+		}
+	}
+}
+
+func TestReplaceComponentRollsBackOnSaveFailure(t *testing.T) {
+	r := newRig(t, 3)
+	id, err := r.mgr.Create(testCtx, Mirror1, 32<<10, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.WriteAt(testCtx, 0, []byte("replaceable payload")); err != nil {
+		t.Fatal(err)
+	}
+	before, err := r.mgr.Stat(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	breakSave(t, r)
+	if err := r.mgr.ReplaceComponent(testCtx, id, 0, 2); err == nil {
+		t.Fatal("replace succeeded despite save failure")
+	}
+	after, err := r.mgr.Stat(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Components[0] != before.Components[0] {
+		t.Fatalf("component swap not rolled back: %+v -> %+v",
+			before.Components[0], after.Components[0])
+	}
+	// The reconstructed replacement object was cleaned off drive 2.
+	if ids := r.objectsOnDrive(t, 2); len(ids) != 0 {
+		t.Fatalf("drive 2 still holds replacement object %v", ids)
+	}
+}

@@ -65,8 +65,22 @@ type Drive struct {
 	kernels map[string]Kernel
 }
 
+// resolveMetrics gives the drive and its object store one shared
+// registry (so lock-contention meters from the object/cache/layout
+// layers land next to the drive's op metrics), defaulting to a private
+// one.
+func resolveMetrics(cfg *Config) {
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	if cfg.Store.Metrics == nil {
+		cfg.Store.Metrics = cfg.Metrics
+	}
+}
+
 // NewFormat formats dev and returns a fresh drive.
 func NewFormat(dev blockdev.Device, cfg Config) (*Drive, error) {
+	resolveMetrics(&cfg)
 	st, err := object.Format(dev, cfg.Store)
 	if err != nil {
 		return nil, err
@@ -76,6 +90,7 @@ func NewFormat(dev blockdev.Device, cfg Config) (*Drive, error) {
 
 // Open attaches to an existing formatted device.
 func Open(dev blockdev.Device, cfg Config) (*Drive, error) {
+	resolveMetrics(&cfg)
 	st, err := object.Open(dev, cfg.Store)
 	if err != nil {
 		return nil, err

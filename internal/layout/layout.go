@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"nasd/internal/blockdev"
+	"nasd/internal/telemetry"
 )
 
 // Geometry constants.
@@ -91,9 +92,26 @@ type BlockIO interface {
 	WriteBlock(i int64, data []byte) error
 }
 
-// Store is an open volume. All methods are safe for concurrent use.
+// onodeStripes is the number of independently locked stripes of the
+// onode table. Onodes are packed several to a device block, so an
+// onode write is a read-modify-write of its block; the stripe lock
+// (indexed by device block) makes that atomic without serializing
+// writes to unrelated onode blocks.
+const onodeStripes = 16
+
+// Store is an open volume. All methods are safe for concurrent use:
+// allocator and index state is guarded by a single narrowly-scoped
+// mutex (mu) held only across in-memory bitmap/metadata mutations,
+// and onode-table device blocks by per-block stripe locks. Pointer
+// (indirect) blocks carry no lock here — exclusively-owned pointer
+// blocks are only ever written under their object's exclusive lock in
+// the layer above, and copy-on-write-shared pointer blocks are read-
+// only until unshared. In the object store's lock hierarchy this
+// package is the bottom layer (object → partition → cache → layout).
 type Store struct {
 	mu     sync.Mutex
+	meter  *telemetry.LockMeter
+	onmu   [onodeStripes]sync.Mutex
 	dev    blockdev.Device
 	dataIO BlockIO
 	sb     Superblock
@@ -251,6 +269,21 @@ func Open(dev blockdev.Device) (*Store, error) {
 	return s, nil
 }
 
+// lockAlloc acquires the allocator/index mutex through the contention
+// meter (a nil meter locks directly).
+func (s *Store) lockAlloc() { s.meter.Lock(&s.mu) }
+
+// SetLockMeter wires contention telemetry for the allocator lock. Call
+// before concurrent use.
+func (s *Store) SetLockMeter(m *telemetry.LockMeter) { s.meter = m }
+
+// onodeLock returns the stripe lock covering the onode-table device
+// block that holds onode idx.
+func (s *Store) onodeLock(idx int64) *sync.Mutex {
+	per := int64(s.sb.BlockSize) / OnodeSize
+	return &s.onmu[(idx/per)%onodeStripes]
+}
+
 // BlockSize returns the volume block size in bytes.
 func (s *Store) BlockSize() int64 { return int64(s.sb.BlockSize) }
 
@@ -259,7 +292,7 @@ func (s *Store) DataBlocks() int64 { return s.sb.TotalBlocks - s.sb.DataStart }
 
 // FreeBlocks returns the number of currently unreferenced data blocks.
 func (s *Store) FreeBlocks() int64 {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	return s.freeCount
 }
@@ -269,14 +302,14 @@ func (s *Store) FreeBlocks() int64 {
 // write-behind data. Pointer (indirect) blocks always use the raw device
 // because the block-map code reads them directly from it.
 func (s *Store) SetDataIO(io BlockIO) {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	s.dataIO = io
 }
 
 // Superblock returns a copy of the superblock.
 func (s *Store) Superblock() Superblock {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	return s.sb
 }
@@ -284,7 +317,7 @@ func (s *Store) Superblock() Superblock {
 // NextObjectID atomically returns and increments the volume's object ID
 // counter.
 func (s *Store) NextObjectID() uint64 {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	id := s.sb.NextObjectID
 	s.sb.NextObjectID++
@@ -295,7 +328,7 @@ func (s *Store) NextObjectID() uint64 {
 // ReserveObjectIDs raises the object ID counter to at least min so IDs
 // below min can be used as well-known objects.
 func (s *Store) ReserveObjectIDs(min uint64) {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	if s.sb.NextObjectID < min {
 		s.sb.NextObjectID = min
@@ -317,7 +350,7 @@ func (s *Store) MaxObjectSize() uint64 {
 // drive schedule efficient sequential transfers (the paper's NASD is
 // "better tuned for disk access" than FFS).
 func (s *Store) Alloc(n int, hint int64) ([]int64, error) {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	if n <= 0 {
 		return nil, nil
@@ -356,7 +389,7 @@ func (s *Store) Alloc(n int, hint int64) ([]int64, error) {
 
 // IncRef increments a block's reference count (copy-on-write sharing).
 func (s *Store) IncRef(blk int64) error {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	if blk < s.sb.DataStart || blk >= s.sb.TotalBlocks {
 		return fmt.Errorf("layout: IncRef(%d) outside data region", blk)
@@ -370,7 +403,7 @@ func (s *Store) IncRef(blk int64) error {
 
 // Free decrements a block's reference count, freeing it at zero.
 func (s *Store) Free(blk int64) error {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	if blk < s.sb.DataStart || blk >= s.sb.TotalBlocks {
 		return fmt.Errorf("layout: Free(%d) outside data region", blk)
@@ -384,7 +417,7 @@ func (s *Store) Free(blk int64) error {
 
 // RefCount returns a block's reference count.
 func (s *Store) RefCount(blk int64) uint16 {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	if blk < 0 || blk >= s.sb.TotalBlocks {
 		return 0
@@ -411,7 +444,7 @@ func (s *Store) setRef(blk int64, v uint16) {
 
 // AllocOnode claims a free onode slot and returns its index.
 func (s *Store) AllocOnode() (int64, error) {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	if len(s.freeOnodes) == 0 {
 		return 0, ErrNoOnodes
@@ -421,7 +454,9 @@ func (s *Store) AllocOnode() (int64, error) {
 	return idx, nil
 }
 
-// ReadOnode loads the onode at idx.
+// ReadOnode loads the onode at idx. The stripe lock excludes a
+// concurrent writer of the same onode block, so the read is never
+// torn.
 func (s *Store) ReadOnode(idx int64) (Onode, error) {
 	if idx < 0 || idx >= s.sb.OnodeCount {
 		return Onode{}, ErrBadOnode
@@ -429,7 +464,11 @@ func (s *Store) ReadOnode(idx int64) (Onode, error) {
 	bs := int64(s.sb.BlockSize)
 	per := bs / OnodeSize
 	buf := make([]byte, bs)
-	if err := s.dev.ReadBlock(s.sb.OnodeStart+idx/per, buf); err != nil {
+	l := s.onodeLock(idx)
+	l.Lock()
+	err := s.dev.ReadBlock(s.sb.OnodeStart+idx/per, buf)
+	l.Unlock()
+	if err != nil {
 		return Onode{}, err
 	}
 	off := (idx % per) * OnodeSize
@@ -437,7 +476,9 @@ func (s *Store) ReadOnode(idx int64) (Onode, error) {
 }
 
 // WriteOnode stores o at idx (write-through) and maintains the object ID
-// index. Writing a zero ObjectID releases the slot.
+// index. Writing a zero ObjectID releases the slot. The stripe lock
+// makes the read-modify-write of the shared onode block atomic against
+// writers of neighboring onodes.
 func (s *Store) WriteOnode(idx int64, o *Onode) error {
 	if idx < 0 || idx >= s.sb.OnodeCount {
 		return ErrBadOnode
@@ -446,16 +487,21 @@ func (s *Store) WriteOnode(idx int64, o *Onode) error {
 	per := bs / OnodeSize
 	blk := s.sb.OnodeStart + idx/per
 	buf := make([]byte, bs)
+	l := s.onodeLock(idx)
+	l.Lock()
 	if err := s.dev.ReadBlock(blk, buf); err != nil {
+		l.Unlock()
 		return err
 	}
 	off := (idx % per) * OnodeSize
 	prev := decodeOnode(buf[off : off+OnodeSize])
 	encodeOnode(buf[off:off+OnodeSize], o)
 	if err := s.dev.WriteBlock(blk, buf); err != nil {
+		l.Unlock()
 		return err
 	}
-	s.mu.Lock()
+	l.Unlock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	if prev.Allocated() && (prev.ObjectID != o.ObjectID) {
 		delete(s.onodeIndex, prev.ObjectID)
@@ -470,7 +516,7 @@ func (s *Store) WriteOnode(idx int64, o *Onode) error {
 
 // FindOnode returns the onode slot holding objectID.
 func (s *Store) FindOnode(objectID uint64) (int64, bool) {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	idx, ok := s.onodeIndex[objectID]
 	return idx, ok
@@ -479,7 +525,7 @@ func (s *Store) FindOnode(objectID uint64) (int64, bool) {
 // ObjectIDs returns the IDs of all allocated objects, optionally
 // filtered by partition (0 = all). Order is unspecified.
 func (s *Store) ObjectIDs(partition uint16) []uint64 {
-	s.mu.Lock()
+	s.lockAlloc()
 	idxs := make([]int64, 0, len(s.onodeIndex))
 	ids := make([]uint64, 0, len(s.onodeIndex))
 	for id, idx := range s.onodeIndex {
@@ -850,7 +896,7 @@ func (s *Store) WriteDataBlock(blk int64, buf []byte) error {
 
 // Sync flushes dirty refcount regions and the superblock to the device.
 func (s *Store) Sync() error {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	bs := int64(s.sb.BlockSize)
 	refPerBlock := bs / 2
@@ -882,7 +928,7 @@ func (s *Store) Sync() error {
 
 // MarkSuperblockDirty schedules the superblock for rewrite on next Sync.
 func (s *Store) MarkSuperblockDirty() {
-	s.mu.Lock()
+	s.lockAlloc()
 	defer s.mu.Unlock()
 	s.sbDirty = true
 }

@@ -53,7 +53,8 @@ func decodePartitions(b []byte) (map[uint16]*Partition, error) {
 }
 
 // savePartitionsLocked persists the partition table to the control
-// object. Caller holds mu.
+// object. Caller holds pmu (which also covers the control object's
+// onode and blocks — no user object maps onto them).
 func (s *Store) savePartitionsLocked() error {
 	data := encodePartitions(s.parts)
 	idx, ok := s.lay.FindOnode(ControlObject)
@@ -80,8 +81,8 @@ func (s *Store) savePartitionsLocked() error {
 
 // loadPartitions reads the partition table from the control object.
 func (s *Store) loadPartitions() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockParts()
+	defer s.pmu.Unlock()
 	idx, ok := s.lay.FindOnode(ControlObject)
 	if !ok {
 		return fmt.Errorf("object: control object missing; not an object store")

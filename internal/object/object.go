@@ -9,6 +9,29 @@
 // (disk space management), the buffer cache (with write-behind and
 // sequential readahead), and partition/attribute logic. The drive layer
 // (internal/drive) adds capability enforcement and RPC on top.
+//
+// # Concurrency
+//
+// The store admits concurrent requests the way the paper's scaling
+// argument requires a drive to (Figures 6-7: drives scale because each
+// serves clients independently): instead of one global mutex, locking
+// is layered.
+//
+//   - Per-object reader/writer locks (lockmgr.go): reads of one object
+//     share its lock, so they overlap; operations on distinct objects
+//     take distinct locks, so they never contend at this layer.
+//   - A partition lock (pmu) guards the partition table, quota
+//     accounting, and the control object.
+//   - The buffer cache locks per shard, the layout allocator holds its
+//     mutex only across bitmap/metadata mutations, and the onode table
+//     uses per-block stripe locks.
+//
+// The lock hierarchy is object → partition → cache → layout: a level
+// may acquire locks of lower levels (skipping is fine) and never the
+// reverse, which keeps the scheme deadlock-free. Every layer's lock
+// reports contention telemetry (object.lock.*, object.partlock.*,
+// cache.lock.*, layout.lock.*) into the registry passed via
+// Config.Metrics. See DESIGN.md §4 for the full write-up.
 package object
 
 import (
@@ -20,6 +43,7 @@ import (
 	"nasd/internal/blockdev"
 	"nasd/internal/cache"
 	"nasd/internal/layout"
+	"nasd/internal/telemetry"
 )
 
 // Well-known object identifiers (Section 4.1: "objects with well-known
@@ -42,6 +66,13 @@ var (
 	ErrQuota           = errors.New("object: partition quota exceeded")
 	ErrBadRange        = errors.New("object: invalid byte range")
 )
+
+// notFound reports whether err means the named object or partition does
+// not exist — the errors after which a speculative lock entry should
+// not be kept.
+func notFound(err error) bool {
+	return errors.Is(err, ErrNoObject) || errors.Is(err, ErrNoPartition)
+}
 
 // Attributes are the externally visible per-object attributes
 // (timestamps, size, logical version, preallocation/clustering hints and
@@ -92,6 +123,10 @@ type Config struct {
 	Clock func() time.Time
 	// WriteThrough disables write-behind in the data cache.
 	WriteThrough bool
+	// Metrics receives lock-contention telemetry for every layer of the
+	// store (object.lock.*, object.partlock.*, cache.lock.*,
+	// layout.lock.*). Nil disables lock metering.
+	Metrics *telemetry.Registry
 }
 
 func (c *Config) fill() {
@@ -108,19 +143,30 @@ func (c *Config) fill() {
 	}
 }
 
+// seqTracker is one object's sequential-read detector. It lives in the
+// object's lock-manager entry, guarded by that entry's seqMu.
 type seqTracker struct {
 	nextOff uint64 // offset one past the previous read
 	streak  int    // consecutive sequential reads observed
 }
 
-// Store is a NASD object store on a block device.
+// Store is a NASD object store on a block device. All methods are safe
+// for concurrent use; see the package comment for the locking scheme.
 type Store struct {
-	mu    sync.Mutex
 	lay   *layout.Store
 	cache *cache.BlockCache
 	cfg   Config
-	parts map[uint16]*Partition
-	seq   map[uint64]*seqTracker
+
+	// locks is the per-(partition,object) lock manager — the top of the
+	// lock hierarchy.
+	locks *lockManager
+
+	// pmu guards parts (the partition table), all quota/usage
+	// accounting, and control-object persistence. It sits between the
+	// object locks and the cache in the hierarchy.
+	pmu    sync.Mutex
+	pmeter *telemetry.LockMeter
+	parts  map[uint16]*Partition
 }
 
 // Format initializes dev as an empty object store.
@@ -132,9 +178,9 @@ func Format(dev blockdev.Device, cfg Config) (*Store, error) {
 	}
 	s := newStore(lay, dev, cfg)
 	lay.ReserveObjectIDs(FirstUserObject)
-	s.mu.Lock()
+	s.lockParts()
 	err = s.savePartitionsLocked()
-	s.mu.Unlock()
+	s.pmu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -158,15 +204,21 @@ func Open(dev blockdev.Device, cfg Config) (*Store, error) {
 func newStore(lay *layout.Store, dev blockdev.Device, cfg Config) *Store {
 	c := cache.New(dev, cfg.CacheBlocks)
 	c.SetWriteThrough(cfg.WriteThrough)
+	c.SetLockMeter(telemetry.NewLockMeter(cfg.Metrics, "cache.lock"))
 	lay.SetDataIO(c)
+	lay.SetLockMeter(telemetry.NewLockMeter(cfg.Metrics, "layout.lock"))
 	return &Store{
-		lay:   lay,
-		cache: c,
-		cfg:   cfg,
-		parts: make(map[uint16]*Partition),
-		seq:   make(map[uint64]*seqTracker),
+		lay:    lay,
+		cache:  c,
+		cfg:    cfg,
+		locks:  newLockManager(telemetry.NewLockMeter(cfg.Metrics, "object.lock")),
+		pmeter: telemetry.NewLockMeter(cfg.Metrics, "object.partlock"),
+		parts:  make(map[uint16]*Partition),
 	}
 }
+
+// lockParts acquires the partition lock through its contention meter.
+func (s *Store) lockParts() { s.pmeter.Lock(&s.pmu) }
 
 // BlockSize returns the store's block size in bytes.
 func (s *Store) BlockSize() int64 { return s.lay.BlockSize() }
@@ -180,6 +232,10 @@ func (s *Store) FreeBlocks() int64 { return s.lay.FreeBlocks() }
 // CacheStats exposes buffer cache counters (hits, misses, prefetches).
 func (s *Store) CacheStats() cache.Stats { return s.cache.Stats() }
 
+// LockEntries returns the number of live per-object lock entries
+// (introspection and tests).
+func (s *Store) LockEntries() int { return s.locks.entries() }
+
 // --- Partition management ----------------------------------------------
 
 // CreatePartition creates partition id with a quota of quotaBlocks
@@ -188,20 +244,24 @@ func (s *Store) CreatePartition(id uint16, quotaBlocks int64) error {
 	if id == 0 {
 		return fmt.Errorf("object: partition 0 is reserved")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockParts()
+	defer s.pmu.Unlock()
 	if _, ok := s.parts[id]; ok {
 		return ErrPartitionExists
 	}
 	s.parts[id] = &Partition{ID: id, QuotaBlocks: quotaBlocks}
-	return s.savePartitionsLocked()
+	if err := s.savePartitionsLocked(); err != nil {
+		delete(s.parts, id)
+		return err
+	}
+	return nil
 }
 
 // ResizePartition changes a partition's quota. Shrinking below current
 // usage fails.
 func (s *Store) ResizePartition(id uint16, quotaBlocks int64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockParts()
+	defer s.pmu.Unlock()
 	p, ok := s.parts[id]
 	if !ok {
 		return ErrNoPartition
@@ -209,14 +269,19 @@ func (s *Store) ResizePartition(id uint16, quotaBlocks int64) error {
 	if quotaBlocks != 0 && quotaBlocks < p.UsedBlocks {
 		return fmt.Errorf("%w: quota %d below usage %d", ErrQuota, quotaBlocks, p.UsedBlocks)
 	}
+	prev := p.QuotaBlocks
 	p.QuotaBlocks = quotaBlocks
-	return s.savePartitionsLocked()
+	if err := s.savePartitionsLocked(); err != nil {
+		p.QuotaBlocks = prev
+		return err
+	}
+	return nil
 }
 
 // RemovePartition deletes an empty partition.
 func (s *Store) RemovePartition(id uint16) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockParts()
+	defer s.pmu.Unlock()
 	p, ok := s.parts[id]
 	if !ok {
 		return ErrNoPartition
@@ -225,13 +290,17 @@ func (s *Store) RemovePartition(id uint16) error {
 		return ErrPartitionBusy
 	}
 	delete(s.parts, id)
-	return s.savePartitionsLocked()
+	if err := s.savePartitionsLocked(); err != nil {
+		s.parts[id] = p
+		return err
+	}
+	return nil
 }
 
 // GetPartition returns a snapshot of partition id.
 func (s *Store) GetPartition(id uint16) (Partition, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockParts()
+	defer s.pmu.Unlock()
 	p, ok := s.parts[id]
 	if !ok {
 		return Partition{}, ErrNoPartition
@@ -241,8 +310,8 @@ func (s *Store) GetPartition(id uint16) (Partition, error) {
 
 // Partitions returns snapshots of every partition, unordered.
 func (s *Store) Partitions() []Partition {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.lockParts()
+	defer s.pmu.Unlock()
 	out := make([]Partition, 0, len(s.parts))
 	for _, p := range s.parts {
 		out = append(out, *p)
@@ -250,14 +319,21 @@ func (s *Store) Partitions() []Partition {
 	return out
 }
 
+// partExists reports whether partition part is present.
+func (s *Store) partExists(part uint16) bool {
+	s.lockParts()
+	defer s.pmu.Unlock()
+	_, ok := s.parts[part]
+	return ok
+}
+
 // --- Object lifecycle ---------------------------------------------------
 
 // Create allocates a new object in partition part and returns its ID.
+// The new object is invisible until its onode is written, so no object
+// lock is needed.
 func (s *Store) Create(part uint16) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.parts[part]
-	if !ok {
+	if !s.partExists(part) {
 		return 0, ErrNoPartition
 	}
 	idx, err := s.lay.AllocOnode()
@@ -277,18 +353,38 @@ func (s *Store) Create(part uint16) (uint64, error) {
 	if err := s.lay.WriteOnode(idx, &o); err != nil {
 		return 0, err
 	}
+	s.lockParts()
+	p := s.parts[part]
+	if p == nil {
+		// The partition was removed while we were allocating; undo.
+		s.pmu.Unlock()
+		_ = s.lay.WriteOnode(idx, &layout.Onode{})
+		return 0, ErrNoPartition
+	}
 	p.ObjectCount++
 	if err := s.savePartitionsLocked(); err != nil {
+		p.ObjectCount--
+		s.pmu.Unlock()
+		_ = s.lay.WriteOnode(idx, &layout.Onode{})
 		return 0, err
 	}
+	s.pmu.Unlock()
 	return id, nil
 }
 
 // Remove deletes an object and releases its blocks.
 func (s *Store) Remove(part uint16, obj uint64) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	idx, o, err := s.lookupLocked(part, obj)
+	k := objKey{part, obj}
+	l := s.locks.acquire(k, true)
+	err := s.removeLocked(part, obj)
+	// Purge the lock entry (and its readahead state) on success or when
+	// the object never existed.
+	s.locks.release(k, l, true, err == nil || notFound(err))
+	return err
+}
+
+func (s *Store) removeLocked(part uint16, obj uint64) error {
+	idx, o, err := s.lookup(part, obj)
 	if err != nil {
 		return err
 	}
@@ -309,28 +405,29 @@ func (s *Store) Remove(part uint16, obj uint64) error {
 	if err := s.lay.WriteOnode(idx, &layout.Onode{}); err != nil {
 		return err
 	}
-	p := s.parts[part]
-	p.ObjectCount--
-	p.UsedBlocks -= charge
-	delete(s.seq, obj)
+	s.lockParts()
+	defer s.pmu.Unlock()
+	if p := s.parts[part]; p != nil {
+		p.ObjectCount--
+		p.UsedBlocks -= charge
+	}
 	return s.savePartitionsLocked()
 }
 
 // List returns the IDs of all objects in a partition — the contents of
 // the partition's well-known object-list object.
 func (s *Store) List(part uint16) ([]uint64, error) {
-	s.mu.Lock()
-	if _, ok := s.parts[part]; !ok {
-		s.mu.Unlock()
+	if !s.partExists(part) {
 		return nil, ErrNoPartition
 	}
-	s.mu.Unlock()
 	return s.lay.ObjectIDs(part), nil
 }
 
-// lookupLocked resolves (part, obj) to its onode. Caller holds mu.
-func (s *Store) lookupLocked(part uint16, obj uint64) (int64, layout.Onode, error) {
-	if _, ok := s.parts[part]; !ok && part != 0 {
+// lookup resolves (part, obj) to its onode. The caller holds the
+// object's lock (either mode), which is what keeps the onode stable
+// until the operation completes.
+func (s *Store) lookup(part uint16, obj uint64) (int64, layout.Onode, error) {
+	if part != 0 && !s.partExists(part) {
 		return 0, layout.Onode{}, ErrNoPartition
 	}
 	idx, ok := s.lay.FindOnode(obj)
@@ -368,15 +465,18 @@ func (s *Store) chargeOf(o *layout.Onode) int64 {
 	return fp
 }
 
-// reserveLocked updates an object's capacity reservation, charging or
-// refunding the partition. Caller holds mu and persists the onode.
-func (s *Store) reserveLocked(o *layout.Onode, prealloc uint64) error {
-	p := s.parts[o.Partition]
+// reserve updates an object's capacity reservation, charging or
+// refunding the partition. Caller holds the object's exclusive lock and
+// persists the onode.
+func (s *Store) reserve(o *layout.Onode, prealloc uint64) error {
 	before := s.chargeOf(o)
 	old := o.Prealloc
 	o.Prealloc = prealloc
 	after := s.chargeOf(o)
 	delta := after - before
+	s.lockParts()
+	defer s.pmu.Unlock()
+	p := s.parts[o.Partition]
 	if p != nil {
 		if p.QuotaBlocks != 0 && delta > 0 && p.UsedBlocks+delta > p.QuotaBlocks {
 			o.Prealloc = old
@@ -389,7 +489,9 @@ func (s *Store) reserveLocked(o *layout.Onode, prealloc uint64) error {
 }
 
 // clusterHint returns an allocation hint near the object this one is
-// linked to (the clustering attribute of Section 4.1), or 0.
+// linked to (the clustering attribute of Section 4.1), or 0. The target
+// object is read without its lock — the hint is advisory, and a
+// concurrently mutating target only yields a stale hint.
 func (s *Store) clusterHint(o *layout.Onode) int64 {
 	if o.Cluster == 0 {
 		return 0
@@ -416,9 +518,10 @@ func (s *Store) clusterHint(o *layout.Onode) int64 {
 
 // GetAttr returns an object's attributes.
 func (s *Store) GetAttr(part uint16, obj uint64) (Attributes, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, o, err := s.lookupLocked(part, obj)
+	k := objKey{part, obj}
+	l := s.locks.acquire(k, false)
+	_, o, err := s.lookup(part, obj)
+	s.locks.release(k, l, false, notFound(err))
 	if err != nil {
 		return Attributes{}, err
 	}
@@ -443,14 +546,20 @@ func attrsFromOnode(o *layout.Onode) Attributes {
 // minted against the old version (Section 4.1). Setting SetSize
 // truncates or extends the object.
 func (s *Store) SetAttr(part uint16, obj uint64, a Attributes, mask SetAttrMask) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	idx, o, err := s.lookupLocked(part, obj)
+	k := objKey{part, obj}
+	l := s.locks.acquire(k, true)
+	err := s.setAttrLocked(part, obj, a, mask)
+	s.locks.release(k, l, true, notFound(err))
+	return err
+}
+
+func (s *Store) setAttrLocked(part uint16, obj uint64, a Attributes, mask SetAttrMask) error {
+	idx, o, err := s.lookup(part, obj)
 	if err != nil {
 		return err
 	}
 	if mask&SetSize != 0 && a.Size != o.Size {
-		if err := s.truncateLocked(&o, a.Size); err != nil {
+		if err := s.truncate(&o, a.Size); err != nil {
 			return err
 		}
 		o.ModSec = s.cfg.Clock().Unix()
@@ -463,7 +572,7 @@ func (s *Store) SetAttr(part uint16, obj uint64, a Attributes, mask SetAttrMask)
 		// reserved"): charge the partition for the reserved blocks now
 		// so later writes cannot fail on quota, and refuse reservations
 		// the quota cannot cover.
-		if err := s.reserveLocked(&o, a.Prealloc); err != nil {
+		if err := s.reserve(&o, a.Prealloc); err != nil {
 			return err
 		}
 	}
@@ -480,14 +589,13 @@ func (s *Store) SetAttr(part uint16, obj uint64, a Attributes, mask SetAttrMask)
 	return s.lay.WriteOnode(idx, &o)
 }
 
-// truncateLocked resizes o in place, freeing or leaving holes. Caller
-// holds mu and persists the onode afterwards.
-func (s *Store) truncateLocked(o *layout.Onode, newSize uint64) error {
+// truncate resizes o in place, freeing or leaving holes. Caller holds
+// the object's exclusive lock and persists the onode afterwards.
+func (s *Store) truncate(o *layout.Onode, newSize uint64) error {
 	bs := uint64(s.lay.BlockSize())
 	if newSize > s.lay.MaxObjectSize() {
 		return layout.ErrTooBig
 	}
-	part := s.parts[o.Partition]
 	before := s.chargeOf(o)
 	if newSize < o.Size {
 		first := (newSize + bs - 1) / bs // first block to drop
@@ -530,9 +638,12 @@ func (s *Store) truncateLocked(o *layout.Onode, newSize uint64) error {
 		}
 	}
 	o.Size = newSize
-	if part != nil {
-		part.UsedBlocks += s.chargeOf(o) - before
+	delta := s.chargeOf(o) - before
+	s.lockParts()
+	if p := s.parts[o.Partition]; p != nil {
+		p.UsedBlocks += delta
 	}
+	s.pmu.Unlock()
 	return nil
 }
 
@@ -540,9 +651,15 @@ func (s *Store) truncateLocked(o *layout.Onode, newSize uint64) error {
 // the new value. This is the capability-revocation primitive: all
 // capabilities minted against the old version stop validating.
 func (s *Store) BumpVersion(part uint16, obj uint64) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	idx, o, err := s.lookupLocked(part, obj)
+	k := objKey{part, obj}
+	l := s.locks.acquire(k, true)
+	v, err := s.bumpLocked(part, obj)
+	s.locks.release(k, l, true, notFound(err))
+	return v, err
+}
+
+func (s *Store) bumpLocked(part uint16, obj uint64) (uint64, error) {
+	idx, o, err := s.lookup(part, obj)
 	if err != nil {
 		return 0, err
 	}
@@ -558,13 +675,21 @@ func (s *Store) BumpVersion(part uint16, obj uint64) (uint64, error) {
 
 // Read returns up to n bytes of object data starting at off, clipped to
 // the object size. Sequential access triggers readahead into the cache.
+// Readers of the same object share its lock, so concurrent reads
+// overlap; reads of distinct objects proceed fully independently.
 func (s *Store) Read(part uint16, obj uint64, off uint64, n int) ([]byte, error) {
 	if n < 0 {
 		return nil, ErrBadRange
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, o, err := s.lookupLocked(part, obj)
+	k := objKey{part, obj}
+	l := s.locks.acquire(k, false)
+	data, err := s.readLocked(l, part, obj, off, n)
+	s.locks.release(k, l, false, notFound(err))
+	return data, err
+}
+
+func (s *Store) readLocked(l *objLock, part uint16, obj uint64, off uint64, n int) ([]byte, error) {
+	_, o, err := s.lookup(part, obj)
 	if err != nil {
 		return nil, err
 	}
@@ -601,27 +726,29 @@ func (s *Store) Read(part uint16, obj uint64, off uint64, n int) ([]byte, error)
 		}
 		done += chunk
 	}
-	s.readaheadLocked(&o, obj, off, uint64(n))
+	s.readahead(l, &o, off, uint64(n))
 	return out, nil
 }
 
-// readaheadLocked detects sequential access and prefetches ahead.
-func (s *Store) readaheadLocked(o *layout.Onode, obj uint64, off, n uint64) {
+// readahead detects sequential access and prefetches ahead. The
+// sequential tracker lives in the object's lock entry; the caller holds
+// at least the read side of that entry, and the tracker's own mutex
+// orders concurrent readers' updates.
+func (s *Store) readahead(l *objLock, o *layout.Onode, off, n uint64) {
 	if s.cfg.ReadaheadBlocks == 0 {
 		return
 	}
-	st := s.seq[obj]
-	if st == nil {
-		st = &seqTracker{}
-		s.seq[obj] = st
-	}
+	l.seqMu.Lock()
+	st := &l.seq
 	if off == st.nextOff && off != 0 {
 		st.streak++
 	} else if off != 0 {
 		st.streak = 0
 	}
 	st.nextOff = off + n
-	if off != 0 && st.streak == 0 {
+	fire := off == 0 || st.streak > 0
+	l.seqMu.Unlock()
+	if !fire {
 		return
 	}
 	bs := uint64(s.lay.BlockSize())
@@ -643,11 +770,19 @@ func (s *Store) readaheadLocked(o *layout.Onode, obj uint64, off, n uint64) {
 
 // Write stores data at off, extending the object as needed and charging
 // the partition quota. Writes are write-behind unless the store was
-// configured write-through.
+// configured write-through. Writers of distinct objects proceed in
+// parallel; quota admission reserves worst-case blocks up front so
+// concurrent writers cannot jointly overshoot a partition quota.
 func (s *Store) Write(part uint16, obj uint64, off uint64, data []byte) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	idx, o, err := s.lookupLocked(part, obj)
+	k := objKey{part, obj}
+	l := s.locks.acquire(k, true)
+	err := s.writeLocked(part, obj, off, data)
+	s.locks.release(k, l, true, notFound(err))
+	return err
+}
+
+func (s *Store) writeLocked(part uint16, obj uint64, off uint64, data []byte) error {
+	idx, o, err := s.lookup(part, obj)
 	if err != nil {
 		return err
 	}
@@ -655,14 +790,20 @@ func (s *Store) Write(part uint16, obj uint64, off uint64, data []byte) error {
 	if end < off || end > s.lay.MaxObjectSize() {
 		return ErrBadRange
 	}
-	p := s.parts[part]
 	bs := uint64(s.lay.BlockSize())
-
-	// Quota pre-check: count file blocks in the range that are holes,
-	// net of the object's capacity reservation (reserved space was
-	// charged up front, so preallocated writes always pass).
 	chargeBefore := s.chargeOf(&o)
-	if p != nil && p.QuotaBlocks != 0 {
+
+	// Quota admission: estimate the worst-case new blocks (holes in the
+	// written range plus up to three indirect blocks), net of the
+	// object's capacity reservation, and reserve them against the
+	// partition before writing. The reservation is settled against the
+	// actual footprint afterwards.
+	var reserved int64
+	s.lockParts()
+	p := s.parts[part]
+	quotaed := p != nil && p.QuotaBlocks != 0
+	s.pmu.Unlock()
+	if quotaed {
 		var holes int64 = 3 // worst-case new indirect blocks
 		for fb := off / bs; fb*bs < end; fb++ {
 			phys, err := s.lay.BMap(&o, int64(fb))
@@ -673,21 +814,56 @@ func (s *Store) Write(part uint16, obj uint64, off uint64, data []byte) error {
 				holes++
 			}
 		}
-		estFootAfter := s.footprint(&o) + holes
-		estChargeAfter := estFootAfter
+		estChargeAfter := s.footprint(&o) + holes
 		if res := int64((o.Prealloc + bs - 1) / bs); res > estChargeAfter {
 			estChargeAfter = res
 		}
-		if need := estChargeAfter - chargeBefore; need > 0 && p.UsedBlocks+need > p.QuotaBlocks {
-			return ErrQuota
+		if need := estChargeAfter - chargeBefore; need > 0 {
+			s.lockParts()
+			if p := s.parts[part]; p != nil && p.QuotaBlocks != 0 {
+				if p.UsedBlocks+need > p.QuotaBlocks {
+					s.pmu.Unlock()
+					return ErrQuota
+				}
+				p.UsedBlocks += need
+				reserved = need
+			}
+			s.pmu.Unlock()
 		}
 	}
 
+	werr := s.writeRange(&o, off, data)
+	if werr == nil {
+		if end > o.Size {
+			o.Size = end
+		}
+		o.ModSec = s.cfg.Clock().Unix()
+	}
+	// Settle the reservation against what the object actually grew by —
+	// also on error, since partially written blocks stay allocated.
+	delta := s.chargeOf(&o) - chargeBefore
+	s.lockParts()
+	if p := s.parts[part]; p != nil {
+		p.UsedBlocks += delta - reserved
+	}
+	s.pmu.Unlock()
+	// Persist the onode even after a partial failure so blocks mapped
+	// before the error are not orphaned.
+	if perr := s.lay.WriteOnode(idx, &o); werr == nil {
+		werr = perr
+	}
+	return werr
+}
+
+// writeRange maps and writes the block range of one write. Caller holds
+// the object's exclusive lock and persists the onode.
+func (s *Store) writeRange(o *layout.Onode, off uint64, data []byte) error {
+	bs := uint64(s.lay.BlockSize())
 	// Clustering: when this object has no blocks yet and is linked to
 	// another object, allocate near it.
 	clusterHint := int64(0)
 	if o.Cluster != 0 {
-		clusterHint = s.clusterHint(&o)
+		clusterHint = s.clusterHint(o)
 	}
 	buf := make([]byte, bs)
 	for done := 0; done < len(data); {
@@ -700,15 +876,15 @@ func (s *Store) Write(part uint16, obj uint64, off uint64, data []byte) error {
 		}
 		hint := clusterHint
 		if fb > 0 {
-			if prev, err := s.lay.BMap(&o, fb-1); err == nil && prev != 0 {
+			if prev, err := s.lay.BMap(o, fb-1); err == nil && prev != 0 {
 				hint = prev + 1
 			}
 		}
-		prevPhys, err := s.lay.BMap(&o, fb)
+		prevPhys, err := s.lay.BMap(o, fb)
 		if err != nil {
 			return err
 		}
-		phys, err := s.lay.BMapAlloc(&o, fb, hint)
+		phys, err := s.lay.BMapAlloc(o, fb, hint)
 		if err != nil {
 			return err
 		}
@@ -732,37 +908,56 @@ func (s *Store) Write(part uint16, obj uint64, off uint64, data []byte) error {
 		}
 		done += chunk
 	}
-	if end > o.Size {
-		o.Size = end
-	}
-	o.ModSec = s.cfg.Clock().Unix()
-	if p != nil {
-		p.UsedBlocks += s.chargeOf(&o) - chargeBefore
-	}
-	return s.lay.WriteOnode(idx, &o)
+	return nil
 }
 
 // VersionObject creates a copy-on-write version (snapshot) of an object
 // and returns the new object's ID (the NASD interface's "construct a
 // copy-on-write object version" request). The snapshot shares all data
-// blocks with the original until either side writes.
+// blocks with the original until either side writes. The source is held
+// exclusively while its block references are cloned.
 func (s *Store) VersionObject(part uint16, obj uint64) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, o, err := s.lookupLocked(part, obj)
+	k := objKey{part, obj}
+	l := s.locks.acquire(k, true)
+	id, err := s.versionLocked(part, obj)
+	s.locks.release(k, l, true, notFound(err))
+	return id, err
+}
+
+func (s *Store) versionLocked(part uint16, obj uint64) (uint64, error) {
+	_, o, err := s.lookup(part, obj)
 	if err != nil {
 		return 0, err
 	}
-	p := s.parts[part]
 	fp := s.chargeOf(&o)
-	if p != nil && p.QuotaBlocks != 0 && p.UsedBlocks+fp > p.QuotaBlocks {
-		return 0, ErrQuota
+	// Reserve the clone's charge and count it up front (quota admission
+	// must be atomic with the usage update).
+	s.lockParts()
+	p := s.parts[part]
+	if p != nil {
+		if p.QuotaBlocks != 0 && p.UsedBlocks+fp > p.QuotaBlocks {
+			s.pmu.Unlock()
+			return 0, ErrQuota
+		}
+		p.UsedBlocks += fp
+		p.ObjectCount++
+	}
+	s.pmu.Unlock()
+	rollback := func() {
+		s.lockParts()
+		if p := s.parts[part]; p != nil {
+			p.UsedBlocks -= fp
+			p.ObjectCount--
+		}
+		s.pmu.Unlock()
 	}
 	idx, err := s.lay.AllocOnode()
 	if err != nil {
+		rollback()
 		return 0, err
 	}
 	if err := s.lay.CloneOnodeBlocks(&o); err != nil {
+		rollback()
 		return 0, err
 	}
 	clone := o
@@ -770,11 +965,13 @@ func (s *Store) VersionObject(part uint16, obj uint64) (uint64, error) {
 	clone.Version = 1
 	clone.CreateSec = s.cfg.Clock().Unix()
 	if err := s.lay.WriteOnode(idx, &clone); err != nil {
+		rollback()
 		return 0, err
 	}
-	p.ObjectCount++
-	p.UsedBlocks += fp
-	if err := s.savePartitionsLocked(); err != nil {
+	s.lockParts()
+	err = s.savePartitionsLocked()
+	s.pmu.Unlock()
+	if err != nil {
 		return 0, err
 	}
 	return clone.ObjectID, nil
@@ -783,9 +980,9 @@ func (s *Store) VersionObject(part uint16, obj uint64) (uint64, error) {
 // Flush forces write-behind data and metadata — including the partition
 // table with its usage accounting — to the device.
 func (s *Store) Flush() error {
-	s.mu.Lock()
+	s.lockParts()
 	err := s.savePartitionsLocked()
-	s.mu.Unlock()
+	s.pmu.Unlock()
 	if err != nil {
 		return err
 	}

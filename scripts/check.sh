@@ -23,4 +23,10 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Benchmark smoke: every benchmark must still run (one iteration each);
+# regressions in benchmark-only code paths surface here, not in CI
+# archaeology.
+echo "==> go test -run '^$' -bench . -benchtime 1x ./..."
+go test -run '^$' -bench . -benchtime 1x ./...
+
 echo "OK"
