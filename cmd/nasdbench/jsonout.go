@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nasd/internal/telemetry"
+)
+
+// This file implements -json: a machine-readable BENCH_<name>.json
+// result per bench run, so successive runs (and CI artifacts) form a
+// comparable performance trajectory. The schema is documented in
+// EXPERIMENTS.md ("Machine-readable bench results").
+
+// benchResult is the serialized outcome of one bench run.
+type benchResult struct {
+	Name       string                    `json:"name"`
+	UnixNS     int64                     `json:"unix_ns"`
+	Config     benchConfig               `json:"config"`
+	Throughput map[string]float64        `json:"throughput_mbps"`
+	Latency    map[string]latencySummary `json:"latency_ns"`
+}
+
+// benchConfig records the knobs that shaped the run.
+type benchConfig struct {
+	SizeMB  int  `json:"size_mb"`
+	Workers int  `json:"workers"`
+	Secure  bool `json:"secure"`
+}
+
+// latencySummary condenses one telemetry histogram (nanoseconds).
+type latencySummary struct {
+	Count uint64 `json:"count"`
+	Mean  int64  `json:"mean"`
+	P50   int64  `json:"p50"`
+	P95   int64  `json:"p95"`
+	P99   int64  `json:"p99"`
+	Max   int64  `json:"max"`
+}
+
+// latencyFromSnapshot summarizes every latency histogram in snap worth
+// tracking across runs: the per-op drive service times and the client's
+// RPC round-trip time. Empty series are dropped.
+func latencyFromSnapshot(snap telemetry.Snapshot) map[string]latencySummary {
+	out := make(map[string]latencySummary)
+	for name, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		if !strings.HasSuffix(name, ".svc_ns") && name != "rpc.client.call_ns" {
+			continue
+		}
+		out[name] = latencySummary{
+			Count: h.Count,
+			Mean:  h.Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max,
+		}
+	}
+	return out
+}
+
+// writeBenchJSON writes res to path. A path ending in .json names the
+// exact output file; anything else is treated as a directory receiving
+// BENCH_<name>.json.
+func writeBenchJSON(path string, res benchResult) error {
+	res.UnixNS = time.Now().UnixNano()
+	if !strings.HasSuffix(path, ".json") {
+		path = filepath.Join(path, "BENCH_"+res.Name+".json")
+	}
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing bench json: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "nasdbench: wrote %s\n", path)
+	return nil
+}

@@ -18,6 +18,11 @@
 // With -parallel N, nasdbench drives one drive with N concurrent client
 // workers over distinct objects and prints aggregate throughput plus
 // the per-layer lock-contention telemetry (DESIGN.md §4).
+//
+// With -json PATH, -stats and -parallel additionally write a
+// machine-readable BENCH_<name>.json result (throughput, latency
+// percentiles, config; schema in EXPERIMENTS.md) so runs can be
+// compared over time.
 package main
 
 import (
@@ -35,10 +40,11 @@ func main() {
 	stats := flag.Bool("stats", false, "run a live workload and print the drive's measured per-op cost breakdown")
 	statsMB := flag.Int("stats-mb", 8, "workload size in MB for -stats and per worker for -parallel")
 	parallel := flag.Int("parallel", 0, "run N concurrent client workers over distinct objects on one drive and print throughput plus lock-contention telemetry")
+	jsonOut := flag.String("json", "", "also write a machine-readable BENCH_<name>.json result: a .json path names the file, anything else the directory (-stats and -parallel only)")
 	flag.Parse()
 
 	if *parallel > 0 {
-		if err := runParallel(os.Stdout, *parallel, *statsMB); err != nil {
+		if err := runParallel(os.Stdout, *parallel, *statsMB, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "nasdbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -46,7 +52,7 @@ func main() {
 	}
 
 	if *stats {
-		if err := runStats(os.Stdout, *statsMB); err != nil {
+		if err := runStats(os.Stdout, *statsMB, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "nasdbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -25,7 +25,7 @@ import (
 // exists for. It reports per-phase aggregate throughput and the
 // per-layer lock contention counters, so the effect of adding workers
 // is visible both as bandwidth and as lock-wait telemetry.
-func runParallel(w io.Writer, workers, sizeMB int) error {
+func runParallel(w io.Writer, workers, sizeMB int, jsonOut string) error {
 	if workers < 1 {
 		return fmt.Errorf("-parallel needs at least 1 worker")
 	}
@@ -158,6 +158,17 @@ func runParallel(w io.Writer, workers, sizeMB int) error {
 	fmt.Fprintf(w, "  read:  %8.1f MB/s aggregate (%v)\n", total/readDur.Seconds(), readDur.Round(time.Millisecond))
 	fmt.Fprintln(w)
 	writeLockTable(w, reg.Snapshot())
+	if jsonOut != "" {
+		return writeBenchJSON(jsonOut, benchResult{
+			Name:   "parallel",
+			Config: benchConfig{SizeMB: sizeMB, Workers: workers, Secure: true},
+			Throughput: map[string]float64{
+				"write": total / writeDur.Seconds(),
+				"read":  total / readDur.Seconds(),
+			},
+			Latency: latencyFromSnapshot(reg.Snapshot()),
+		})
+	}
 	return nil
 }
 

@@ -22,7 +22,7 @@ import (
 // shape as the paper's Table 1, but measured from this implementation
 // rather than modelled. The reads are issued serially so the media
 // busy-time delta attributes exactly to each request.
-func runStats(w io.Writer, sizeMB int) error {
+func runStats(w io.Writer, sizeMB int, jsonOut string) error {
 	master := crypt.NewRandomKey()
 	reg := telemetry.NewRegistry()
 	// ~200 MB/s media with a 5 us per-op overhead: fast enough to
@@ -86,9 +86,11 @@ func runStats(w io.Writer, sizeMB int) error {
 		return err
 	}
 	wctx, _ := telemetry.WithRequestID(context.Background())
+	writeStart := time.Now()
 	if err := cli.WritePipelined(wctx, &wc, part, obj, 0, data); err != nil {
 		return err
 	}
+	writeDur := time.Since(writeStart)
 	if err := cli.Flush(ctx); err != nil {
 		return err
 	}
@@ -98,6 +100,7 @@ func runStats(w io.Writer, sizeMB int) error {
 	}
 	const frag = 64 << 10
 	got := make([]byte, 0, len(data))
+	readStart := time.Now()
 	for off := 0; off < len(data); off += frag {
 		rctx, _ := telemetry.WithRequestID(context.Background())
 		b, err := cli.Read(rctx, &rc, part, obj, uint64(off), frag)
@@ -106,6 +109,7 @@ func runStats(w io.Writer, sizeMB int) error {
 		}
 		got = append(got, b...)
 	}
+	readDur := time.Since(readStart)
 	if !bytes.Equal(got, data) {
 		return fmt.Errorf("stats workload: read-back mismatch")
 	}
@@ -126,6 +130,17 @@ func runStats(w io.Writer, sizeMB int) error {
 			fmt.Fprintf(w, "  req=%d %-10s %-12s %10s %8dB\n",
 				ev.RequestID, ev.Op, ev.Status, time.Duration(ev.DurNanos).Round(time.Microsecond), ev.Bytes)
 		}
+	}
+	if jsonOut != "" {
+		return writeBenchJSON(jsonOut, benchResult{
+			Name:   "stats",
+			Config: benchConfig{SizeMB: sizeMB, Workers: 1, Secure: true},
+			Throughput: map[string]float64{
+				"write": float64(sizeMB) / writeDur.Seconds(),
+				"read":  float64(sizeMB) / readDur.Seconds(),
+			},
+			Latency: latencyFromSnapshot(sr.Metrics),
+		})
 	}
 	return nil
 }

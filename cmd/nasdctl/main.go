@@ -26,6 +26,12 @@
 //	                                per-op Table 1-style cost table,
 //	                                every raw metric, and (with TRACE_N)
 //	                                the last TRACE_N served requests
+//	trace TRACEID                   pull the spans of one trace from
+//	                                every drive named by -addr (comma-
+//	                                separated), merge them with this
+//	                                process's own client spans, and
+//	                                print an indented timeline with
+//	                                stragglers flagged
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"strings"
 	"time"
 
 	"nasd/internal/capability"
@@ -47,7 +54,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "drive address")
+	addr := flag.String("addr", "127.0.0.1:7070", "drive address (trace accepts a comma-separated list)")
 	driveID := flag.Uint64("id", 1, "drive identity")
 	masterHex := flag.String("master", "", "master key (64 hex chars)")
 	insecure := flag.Bool("insecure", false, "talk to an insecure drive")
@@ -75,7 +82,8 @@ func main() {
 			log.Fatalf("nasdctl: bad -master: %v", err)
 		}
 	}
-	conn, err := rpc.DialTCP(*addr)
+	addrs := strings.Split(*addr, ",")
+	conn, err := rpc.DialTCP(addrs[0])
 	if err != nil {
 		log.Fatalf("nasdctl: dial: %v", err)
 	}
@@ -89,7 +97,7 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	c := ctl{ctx: ctx, cli: cli, driveID: *driveID, master: master, keys: crypt.NewHierarchy(master), secure: !*insecure}
+	c := ctl{ctx: ctx, cli: cli, addrs: addrs, driveID: *driveID, master: master, keys: crypt.NewHierarchy(master), secure: !*insecure}
 	if err := c.run(args); err != nil {
 		log.Fatalf("nasdctl: %v", err)
 	}
@@ -98,6 +106,7 @@ func main() {
 type ctl struct {
 	ctx     context.Context
 	cli     *client.Drive
+	addrs   []string // every -addr entry; cli is connected to addrs[0]
 	driveID uint64
 	master  crypt.Key
 	keys    *crypt.Hierarchy
@@ -319,7 +328,37 @@ func (c *ctl) run(args []string) error {
 			}
 		}
 		return nil
+	case "trace":
+		need(1)
+		return c.trace(parseU(rest[0]))
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// trace pulls every span recorded for one trace ID from each drive in
+// c.addrs, merges them with the spans this process recorded itself
+// (relevant when the traced operation ran in-process, e.g. through
+// nasdbench), and prints the combined timeline.
+func (c *ctl) trace(traceID uint64) error {
+	sets := [][]telemetry.SpanRecord{telemetry.ProcessSpans.ByTrace(traceID)}
+	for i, addr := range c.addrs {
+		cli := c.cli
+		if i > 0 {
+			conn, err := rpc.DialTCP(addr)
+			if err != nil {
+				return fmt.Errorf("dial %s: %v", addr, err)
+			}
+			cli = client.New(conn, c.driveID, uint64(os.Getpid())<<32|uint64(i),
+				client.WithSecurity(c.secure))
+			defer cli.Close()
+		}
+		spans, err := cli.ServerSpans(c.ctx, traceID)
+		if err != nil {
+			return fmt.Errorf("spans from %s: %v", addr, err)
+		}
+		sets = append(sets, spans)
+	}
+	telemetry.WriteTimeline(os.Stdout, traceID, telemetry.MergeSpans(sets...))
+	return nil
 }

@@ -16,9 +16,16 @@
 // With -metrics the daemon additionally serves plain-JSON
 // observability over HTTP: GET /metrics (the full telemetry snapshot:
 // per-op counters and latency histograms, cache hit rates, media
-// counters), GET /healthz (liveness + uptime), and GET /trace?n=N
-// (the last N served requests). The same data is available over the
-// NASD interface itself via `nasdctl stats`.
+// counters), GET /healthz (liveness + uptime), GET /trace?n=N
+// (the last N served requests), and GET /trace?trace=ID (every span of
+// one trace). Adding -pprof exposes the standard net/http/pprof
+// profiling handlers under /debug/pprof/ on the same server. The same
+// data is available over the NASD interface itself via `nasdctl stats`
+// and `nasdctl trace`.
+//
+// -trace-slow sets the slow-op threshold: a request whose root span
+// runs at least that long has its whole span tree retained past ring
+// wraparound, so `nasdctl trace` can still reconstruct it later.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -46,6 +54,8 @@ func main() {
 	path := flag.String("path", "", "backing file for durable storage (empty = in-memory)")
 	insecure := flag.Bool("insecure", false, "disable capability enforcement (the paper's measurement mode)")
 	metricsAddr := flag.String("metrics", "", "HTTP observability address for /metrics, /healthz, /trace (empty = disabled)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof handlers on the -metrics server")
+	traceSlow := flag.Duration("trace-slow", 0, "retain full span trees for requests at least this slow (0 = disabled)")
 	flag.Parse()
 
 	var master crypt.Key
@@ -89,8 +99,12 @@ func main() {
 	// plane, so a single snapshot carries the whole Table 1-style
 	// breakdown.
 	reg := telemetry.NewRegistry()
-	idev := blockdev.Instrument(dev, reg)
-	cfg := drive.Config{ID: *id, Master: master, Secure: !*insecure, Metrics: reg, Media: idev}
+	spans := telemetry.NewSpanLog(telemetry.DefaultSpanLogSize)
+	if *traceSlow > 0 {
+		spans.SetSlowThreshold(*traceSlow)
+	}
+	idev := blockdev.Instrument(dev, reg).WithSpanLog(spans)
+	cfg := drive.Config{ID: *id, Master: master, Secure: !*insecure, Metrics: reg, Media: idev, Spans: spans}
 
 	var drv *drive.Drive
 	var err error
@@ -116,7 +130,14 @@ func main() {
 		rpc.WithProcNames(func(p uint16) string { return drive.Op(p).String() }))
 
 	if *metricsAddr != "" {
-		mux := telemetry.NewMux(reg.Snapshot, drv.Trace())
+		mux := telemetry.NewMux(reg.Snapshot, drv.Trace(), drv.Spans())
+		if *pprofOn {
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		}
 		go func() {
 			log.Printf("nasdd: observability on http://%s/metrics", *metricsAddr)
 			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {

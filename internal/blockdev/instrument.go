@@ -1,6 +1,7 @@
 package blockdev
 
 import (
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -23,6 +24,9 @@ type Instrumented struct {
 	writes  *telemetry.Counter
 	readNS  *telemetry.Histogram
 	writeNS *telemetry.Histogram
+
+	spans *telemetry.SpanLog
+	cur   atomic.Pointer[telemetry.SpanContext]
 }
 
 // Instrument wraps dev, publishing metrics into reg under the
@@ -40,6 +44,50 @@ func Instrument(dev Device, reg *telemetry.Registry) *Instrumented {
 	reg.Func("blockdev.queue_depth", i.QueueDepth)
 	reg.Func("blockdev.busy_ns", i.BusyNanos)
 	return i
+}
+
+// WithSpanLog makes the device record one span per block I/O into l
+// whenever a trace context is set (see SetTraceContext). Returns i for
+// chaining.
+func (i *Instrumented) WithSpanLog(l *telemetry.SpanLog) *Instrumented {
+	i.spans = l
+	return i
+}
+
+// SetTraceContext sets the ambient span context that per-I/O spans
+// attach to; a zero context clears it. The object store has no
+// per-request plumbing down to the device, so the drive sets this
+// around request dispatch instead. Like the busy-time delta used for
+// the media split, attribution is exact when requests are serialized at
+// the media and approximate when they interleave.
+func (i *Instrumented) SetTraceContext(sc telemetry.SpanContext) {
+	if sc.TraceID == 0 {
+		i.cur.Store(nil)
+		return
+	}
+	i.cur.Store(&sc)
+}
+
+// emitSpan records one completed block-I/O span when tracing is active.
+func (i *Instrumented) emitSpan(name string, block int64, start time.Time, d time.Duration) {
+	if i.spans == nil {
+		return
+	}
+	sc := i.cur.Load()
+	if sc == nil {
+		return
+	}
+	i.spans.Emit(telemetry.SpanRecord{
+		TraceID: sc.TraceID,
+		SpanID:  telemetry.NextSpanID(),
+		Parent:  sc.SpanID,
+		Name:    name,
+		StartNS: start.UnixNano(),
+		EndNS:   start.UnixNano() + int64(d),
+		Annotations: []telemetry.Annotation{
+			{Key: "block", Value: strconv.FormatInt(block, 10)},
+		},
+	})
 }
 
 // BusyNanos returns cumulative nanoseconds spent inside the wrapped
@@ -68,6 +116,7 @@ func (i *Instrumented) ReadBlock(b int64, buf []byte) error {
 	i.busy.Add(int64(d))
 	i.depth.Add(-1)
 	i.readNS.ObserveDuration(d)
+	i.emitSpan("blockdev.read", b, start, d)
 	if err == nil {
 		i.reads.Inc()
 	}
@@ -83,6 +132,7 @@ func (i *Instrumented) WriteBlock(b int64, data []byte) error {
 	i.busy.Add(int64(d))
 	i.depth.Add(-1)
 	i.writeNS.ObserveDuration(d)
+	i.emitSpan("blockdev.write", b, start, d)
 	if err == nil {
 		i.writes.Inc()
 	}

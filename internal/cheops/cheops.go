@@ -102,6 +102,7 @@ type Manager struct {
 	locks   map[stripeKey]bool
 	lockC   *sync.Cond
 	tel     *cheopsTel
+	spans   *telemetry.SpanLog
 }
 
 type stripeKey struct {
@@ -121,6 +122,11 @@ type ManagerConfig struct {
 	// Metrics is the registry the manager (and objects opened through
 	// it) publish "cheops.*" telemetry into; nil gets a private one.
 	Metrics *telemetry.Registry
+	// Spans is where objects opened through this manager record their
+	// fan-out spans; nil uses the process-wide telemetry.ProcessSpans,
+	// which keeps cheops legs in the same log as the client spans they
+	// parent.
+	Spans *telemetry.SpanLog
 }
 
 // NewManager builds a manager. With format true it creates its
@@ -150,6 +156,10 @@ func NewManager(ctx context.Context, cfg ManagerConfig, format bool) (*Manager, 
 		next:    1,
 		locks:   make(map[stripeKey]bool),
 		tel:     newCheopsTel(cfg.Metrics),
+		spans:   cfg.Spans,
+	}
+	if m.spans == nil {
+		m.spans = telemetry.ProcessSpans
 	}
 	m.lockC = sync.NewCond(&m.mu)
 	for _, d := range cfg.Drives {

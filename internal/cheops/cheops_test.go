@@ -14,6 +14,7 @@ import (
 	"nasd/internal/crypt"
 	"nasd/internal/drive"
 	"nasd/internal/rpc"
+	"nasd/internal/telemetry"
 )
 
 var clientSeq atomic.Uint64
@@ -26,6 +27,7 @@ type rig struct {
 	srvs   []*rpc.Server
 	lns    []*rpc.InProcListener
 	raw    []*drive.Drive
+	spans  *telemetry.SpanLog
 }
 
 func newRig(t *testing.T, n int) *rig {
@@ -57,7 +59,8 @@ func newRig(t *testing.T, n int) *rig {
 		refs = append(refs, DriveRef{Client: dial(), DriveID: uint64(1 + i), Master: master})
 		r.drives = append(r.drives, dial())
 	}
-	mgr, err := NewManager(testCtx, ManagerConfig{Drives: refs}, true)
+	r.spans = telemetry.NewSpanLog(512)
+	mgr, err := NewManager(testCtx, ManagerConfig{Drives: refs, Spans: r.spans}, true)
 	if err != nil {
 		t.Fatal(err)
 	}

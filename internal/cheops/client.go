@@ -3,10 +3,12 @@ package cheops
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 
 	"nasd/internal/capability"
 	"nasd/internal/client"
+	"nasd/internal/telemetry"
 )
 
 // Object is a client-side handle on an open Cheops logical object: the
@@ -103,14 +105,26 @@ func (o *Object) ReadAt(ctx context.Context, off uint64, n int) ([]byte, error) 
 		done += chunk
 	}
 	o.mgr.tel.readFanout.Observe(int64(len(spans)))
+	ctx, rsp := o.mgr.spans.StartSpan(ctx, "cheops.read")
+	rsp.Annotate("fanout", strconv.Itoa(len(spans)))
+	rsp.Annotate("bytes", strconv.Itoa(n))
+	defer rsp.End()
 	var wg sync.WaitGroup
 	errs := make([]error, len(spans))
 	for i, sp := range spans {
 		wg.Add(1)
 		go func(i int, sp span) {
 			defer wg.Done()
-			data, err := o.readComponent(ctx, sp.comp, uint64(sp.compOff), sp.n, sp.stripe)
+			// One child span per fan-out leg: parallel legs render as
+			// overlapping bars, making the stripe's straggler visible.
+			lctx, lsp := o.mgr.spans.StartSpan(ctx, "cheops.read.leg")
+			lsp.Annotate("drive", strconv.Itoa(o.desc.Components[sp.comp].Drive))
+			lsp.Annotate("off", strconv.FormatInt(sp.compOff, 10))
+			lsp.Annotate("len", strconv.Itoa(sp.n))
+			defer lsp.End()
+			data, err := o.readComponent(lctx, sp.comp, uint64(sp.compOff), sp.n, sp.stripe)
 			if err != nil {
+				lsp.Annotate("error", err.Error())
 				errs[i] = err
 				return
 			}
@@ -139,6 +153,11 @@ func (o *Object) readComponent(ctx context.Context, comp int, off uint64, n int,
 	}
 	if o.desc.Pattern == Mirror1 || o.desc.Pattern == RAID5 {
 		o.mgr.tel.degradedReads.Inc()
+		var dsp *telemetry.Span
+		ctx, dsp = o.mgr.spans.StartSpan(ctx, "cheops.degraded_read")
+		dsp.Annotate("failed_comp", strconv.Itoa(comp))
+		dsp.Annotate("cause", err.Error())
+		defer dsp.End()
 	}
 	switch o.desc.Pattern {
 	case Mirror1:
@@ -198,6 +217,9 @@ func (o *Object) WriteAt(ctx context.Context, off uint64, data []byte) error {
 	if len(data) == 0 {
 		return nil
 	}
+	ctx, wsp := o.mgr.spans.StartSpan(ctx, "cheops.write")
+	wsp.Annotate("bytes", strconv.Itoa(len(data)))
+	defer wsp.End()
 	var err error
 	switch o.desc.Pattern {
 	case Mirror1:
@@ -228,7 +250,10 @@ func (o *Object) writeMirror(ctx context.Context, off uint64, data []byte) error
 		wg.Add(1)
 		go func(i int, c Component) {
 			defer wg.Done()
-			errs[i] = o.drives[c.Drive].WritePipelined(ctx, &o.caps[i], o.mgr.part, c.Object, off, data)
+			lctx, lsp := o.mgr.spans.StartSpan(ctx, "cheops.write.leg")
+			lsp.Annotate("drive", strconv.Itoa(c.Drive))
+			defer lsp.End()
+			errs[i] = o.drives[c.Drive].WritePipelined(lctx, &o.caps[i], o.mgr.part, c.Object, off, data)
 		}(i, c)
 	}
 	wg.Wait()
@@ -272,7 +297,12 @@ func (o *Object) writeStripe0(ctx context.Context, off uint64, data []byte) erro
 		go func(i int, sp span) {
 			defer wg.Done()
 			c := o.desc.Components[sp.comp]
-			errs[i] = o.drives[c.Drive].WritePipelined(ctx, &o.caps[sp.comp], o.mgr.part, c.Object,
+			lctx, lsp := o.mgr.spans.StartSpan(ctx, "cheops.write.leg")
+			lsp.Annotate("drive", strconv.Itoa(c.Drive))
+			lsp.Annotate("off", strconv.FormatInt(sp.compOff, 10))
+			lsp.Annotate("len", strconv.Itoa(sp.n))
+			defer lsp.End()
+			errs[i] = o.drives[c.Drive].WritePipelined(lctx, &o.caps[sp.comp], o.mgr.part, c.Object,
 				uint64(sp.compOff), data[sp.start:sp.start+sp.n])
 		}(i, sp)
 	}
@@ -305,6 +335,9 @@ func (o *Object) writeRAID5(ctx context.Context, off uint64, data []byte) error 
 
 func (o *Object) rmwRAID5(ctx context.Context, comp int, compOff uint64, stripe int64, chunk []byte) error {
 	o.mgr.tel.rmwWrites.Inc()
+	ctx, rsp := o.mgr.spans.StartSpan(ctx, "cheops.rmw")
+	rsp.Annotate("stripe", strconv.FormatInt(stripe, 10))
+	defer rsp.End()
 	o.mgr.LockStripe(o.desc.Logical, stripe)
 	defer o.mgr.UnlockStripe(o.desc.Logical, stripe)
 

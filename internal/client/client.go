@@ -120,6 +120,16 @@ func WithMetrics(reg *telemetry.Registry) Option {
 	}
 }
 
+// WithSpans records this connection's client-side spans into log
+// instead of the process-wide telemetry.ProcessSpans.
+func WithSpans(log *telemetry.SpanLog) Option {
+	return func(d *Drive) {
+		if log != nil {
+			d.spans = log
+		}
+	}
+}
+
 // Drive is a connection to one NASD drive.
 type Drive struct {
 	cli      *rpc.Client
@@ -130,6 +140,7 @@ type Drive struct {
 	fragSize int
 	window   int
 	reg      *telemetry.Registry
+	spans    *telemetry.SpanLog
 	retries  *telemetry.Counter // pipelined fragments re-issued after transient failures
 }
 
@@ -150,6 +161,9 @@ func New(conn rpc.Conn, driveID, clientID uint64, opts ...Option) *Drive {
 	}
 	if d.reg == nil {
 		d.reg = telemetry.NewRegistry()
+	}
+	if d.spans == nil {
+		d.spans = telemetry.ProcessSpans
 	}
 	d.retries = d.reg.Counter("client.retries")
 	d.cli = rpc.NewClient(conn, rpc.WithClientMetrics(d.reg))
@@ -198,7 +212,12 @@ func (d *Drive) ServerMetrics(ctx context.Context, traceN int) (drive.StatsReply
 }
 
 // do assembles, signs (via sign, when secure), and issues one request.
+// Every call opens a client-side span (a child of ctx's active span, or
+// a new root); the RPC layer stamps its context into the request header
+// so the drive-side span links under it.
 func (d *Drive) do(ctx context.Context, op drive.Op, sign func(*rpc.Request), args, data []byte) (*rpc.Reply, error) {
+	ctx, sp := d.spans.StartSpan(ctx, "client."+op.String())
+	defer sp.End()
 	req := &rpc.Request{
 		Proc: uint16(op),
 		Args: args,
@@ -214,12 +233,30 @@ func (d *Drive) do(ctx context.Context, op drive.Op, sign func(*rpc.Request), ar
 	}
 	rep, err := d.cli.Call(ctx, req)
 	if err != nil {
+		sp.Annotate("error", err.Error())
 		return nil, err
 	}
 	if rep.Status != rpc.StatusOK {
+		sp.Annotate("status", rep.Status.String())
 		return nil, &RemoteError{Status: rep.Status, Msg: rep.Msg}
 	}
 	return rep, nil
+}
+
+// ServerSpans fetches every span the drive recorded for traceID over
+// the stats RPC. nasdctl merges these from several drives (plus the
+// local process's own spans) into one timeline.
+func (d *Drive) ServerSpans(ctx context.Context, traceID uint64) ([]telemetry.SpanRecord, error) {
+	args := (&drive.StatsArgs{SpanTrace: traceID}).Encode()
+	rep, err := d.call(ctx, drive.OpGetStats, nil, args, nil)
+	if err != nil {
+		return nil, err
+	}
+	var sr drive.StatsReply
+	if err := json.Unmarshal(rep.Data, &sr); err != nil {
+		return nil, fmt.Errorf("client: decoding stats reply: %v", err)
+	}
+	return sr.Spans, nil
 }
 
 // call issues a capability-authorized request.

@@ -3,6 +3,7 @@ package client
 import (
 	"context"
 	"errors"
+	"strconv"
 	"sync"
 
 	"nasd/internal/capability"
@@ -109,6 +110,13 @@ func (d *Drive) ReadPipelined(ctx context.Context, cap *capability.Capability, p
 	}
 	out := make([]byte, n)
 	frags := planFragments(off, n, d.fragSize)
+	// The window gets a parent span; each fragment's Read opens a child
+	// via ctx, so the timeline shows the fragments overlapping in flight.
+	ctx, sp := d.spans.StartSpan(ctx, "client.read_pipelined")
+	sp.Annotate("frags", strconv.Itoa(len(frags)))
+	sp.Annotate("window", strconv.Itoa(d.window))
+	sp.Annotate("bytes", strconv.Itoa(n))
+	defer sp.End()
 	got := make([]int, len(frags))
 	err := d.runWindowed(ctx, frags, d.window, func(cctx context.Context, f fragPlan) error {
 		data, err := d.Read(cctx, cap, part, obj, f.off, f.n)
@@ -140,6 +148,11 @@ func (d *Drive) WritePipelined(ctx context.Context, cap *capability.Capability, 
 		return d.Write(ctx, cap, part, obj, off, data)
 	}
 	frags := planFragments(off, len(data), d.fragSize)
+	ctx, sp := d.spans.StartSpan(ctx, "client.write_pipelined")
+	sp.Annotate("frags", strconv.Itoa(len(frags)))
+	sp.Annotate("window", strconv.Itoa(d.window))
+	sp.Annotate("bytes", strconv.Itoa(len(data)))
+	defer sp.End()
 	return d.runWindowed(ctx, frags, d.window, func(cctx context.Context, f fragPlan) error {
 		return d.Write(cctx, cap, part, obj, f.off, data[f.start:f.start+f.n])
 	})

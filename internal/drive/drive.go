@@ -47,6 +47,10 @@ type Config struct {
 	// per-request service time into object-system vs media components
 	// (pass the *blockdev.Instrumented wrapping the drive's device).
 	Media MediaClock
+	// Spans is the log the drive records request span trees into; nil
+	// gets a private log. Pass the same log to the device's WithSpanLog
+	// so per-I/O media spans land in the same place.
+	Spans *telemetry.SpanLog
 }
 
 // Drive is a NASD drive: object store + keys + request handler.
@@ -114,6 +118,10 @@ func fromStore(st *object.Store, cfg Config) *Drive {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	spans := cfg.Spans
+	if spans == nil {
+		spans = telemetry.NewSpanLog(telemetry.DefaultSpanLogSize)
+	}
 	d := &Drive{
 		id:      cfg.ID,
 		store:   st,
@@ -122,7 +130,7 @@ func fromStore(st *object.Store, cfg Config) *Drive {
 		secure:  cfg.Secure,
 		clock:   clock,
 		acct:    NewAccounting(),
-		tel:     newDriveTel(reg, cfg.Media),
+		tel:     newDriveTel(reg, cfg.Media, spans),
 		kernels: make(map[string]Kernel),
 	}
 	// The buffer cache keeps its own counters; publish them as
@@ -249,11 +257,22 @@ func errReply(id uint64, err error) *rpc.Reply {
 func (d *Drive) Handle(req *rpc.Request) *rpc.Reply {
 	op := Op(req.Proc)
 	ph := &phases{}
+	// Resume the caller's trace: the drive-side handler span becomes a
+	// child of the client span whose context rode in the request header.
+	sp := d.tel.spans.StartRemote(req.Trace.TraceID, req.Trace.Parent, "drive."+op.String())
+	if mt, ok := d.tel.media.(mediaTracer); ok && sp != nil {
+		// Ambient trace context for per-I/O media spans; approximate
+		// under concurrent requests, exact when serialized (the same
+		// caveat as the media busy-time delta).
+		mt.SetTraceContext(sp.Context())
+		defer mt.SetTraceContext(telemetry.SpanContext{})
+	}
 	start := time.Now()
 	mediaBefore := d.tel.mediaNanos()
+	lockBefore := d.tel.lockWaitNanos()
 	rep := d.dispatch(op, req, ph)
 	total := time.Since(start)
-	d.tel.record(op, req, rep, total, ph, d.tel.mediaNanos()-mediaBefore)
+	d.tel.record(op, req, rep, total, ph, d.tel.mediaNanos()-mediaBefore, sp, d.tel.lockWaitNanos()-lockBefore)
 	nIn, nOut := len(req.Data), 0
 	if rep != nil {
 		nOut = len(rep.Data)

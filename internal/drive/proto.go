@@ -307,22 +307,28 @@ func DecodeExecuteArgs(b []byte) (ExecuteArgs, error) {
 }
 
 // StatsArgs requests a telemetry snapshot. TraceN bounds how many
-// recent trace events ride along (0 = none).
+// recent trace events ride along (0 = none). SpanTrace, when non-zero,
+// asks for every span of that trace ID; otherwise SpanN bounds how many
+// recent spans ride along.
 type StatsArgs struct {
-	TraceN uint32
+	TraceN    uint32
+	SpanTrace uint64
+	SpanN     uint32
 }
 
 // Encode serializes the arguments.
 func (a *StatsArgs) Encode() []byte {
 	var e rpc.Encoder
 	e.U32(a.TraceN)
+	e.U64(a.SpanTrace)
+	e.U32(a.SpanN)
 	return e.Bytes()
 }
 
 // DecodeStatsArgs parses StatsArgs.
 func DecodeStatsArgs(b []byte) (StatsArgs, error) {
 	d := rpc.NewDecoder(b)
-	a := StatsArgs{TraceN: d.U32()}
+	a := StatsArgs{TraceN: d.U32(), SpanTrace: d.U64(), SpanN: d.U32()}
 	return a, d.Err()
 }
 

@@ -2,6 +2,7 @@ package drive
 
 import (
 	"encoding/json"
+	"strconv"
 	"time"
 
 	"nasd/internal/rpc"
@@ -31,6 +32,14 @@ type MediaClock interface {
 	BusyNanos() int64
 }
 
+// mediaTracer is the optional extension of MediaClock that accepts an
+// ambient span context for per-I/O media spans (implemented by
+// *blockdev.Instrumented). Checked dynamically so MediaClock stays a
+// one-method interface for tests and fakes.
+type mediaTracer interface {
+	SetTraceContext(telemetry.SpanContext)
+}
+
 // opMax bounds the per-op metrics table (ops are small consecutive
 // constants).
 const opMax = 32
@@ -47,17 +56,33 @@ type opTel struct {
 	media    *telemetry.Counter   // cumulative ns of media busy time
 }
 
+// lockWaitFamilies are the data-path lock meters (PR 3) whose wait
+// histograms the drive samples around each request to annotate its span
+// with the lock-wait delta. Registry histograms are get-or-create, so
+// listing a family the store never registers just yields a zero series.
+var lockWaitFamilies = []string{
+	"object.lock.wait_ns",
+	"object.partlock.wait_ns",
+	"cache.lock.wait_ns",
+	"layout.lock.wait_ns",
+}
+
 // driveTel is the drive's telemetry state.
 type driveTel struct {
-	reg   *telemetry.Registry
-	ops   [opMax]*opTel
-	trace *telemetry.TraceLog
-	media MediaClock
+	reg      *telemetry.Registry
+	ops      [opMax]*opTel
+	trace    *telemetry.TraceLog
+	media    MediaClock
+	spans    *telemetry.SpanLog
+	lockWait []*telemetry.Histogram
 }
 
 // newDriveTel builds the per-op metric table inside reg.
-func newDriveTel(reg *telemetry.Registry, media MediaClock) *driveTel {
-	t := &driveTel{reg: reg, trace: telemetry.NewTraceLog(512), media: media}
+func newDriveTel(reg *telemetry.Registry, media MediaClock, spans *telemetry.SpanLog) *driveTel {
+	t := &driveTel{reg: reg, trace: telemetry.NewTraceLog(512), media: media, spans: spans}
+	for _, name := range lockWaitFamilies {
+		t.lockWait = append(t.lockWait, reg.Histogram(name))
+	}
 	for op := Op(1); op < opMax; op++ {
 		name := op.String()
 		if len(name) > 3 && name[:3] == "op(" {
@@ -86,6 +111,18 @@ func (t *driveTel) mediaNanos() int64 {
 	return t.media.BusyNanos()
 }
 
+// lockWaitNanos sums the cumulative wait time of every data-path lock
+// family; Handle takes the delta across a request. Like the media
+// delta, the attribution is exact for serialized requests and
+// approximate when concurrent requests wait simultaneously.
+func (t *driveTel) lockWaitNanos() int64 {
+	var sum int64
+	for _, h := range t.lockWait {
+		sum += h.Sum()
+	}
+	return sum
+}
+
 // phases accumulates one request's per-component time. It is created
 // by Handle and threaded through dispatch into the handlers, which is
 // how authorize attributes digest-verification time to the request that
@@ -94,10 +131,13 @@ type phases struct {
 	digest time.Duration
 }
 
-// record publishes one completed request into the per-op metrics and
-// the trace log.
-func (t *driveTel) record(op Op, req *rpc.Request, rep *rpc.Reply, total time.Duration, ph *phases, mediaDelta int64) {
+// record publishes one completed request into the per-op metrics, the
+// trace log, and — when the request carried a trace context — the span
+// log. sp is the drive-side handler span (nil when untraced); lockWait
+// is the request's lock-wait delta in nanoseconds.
+func (t *driveTel) record(op Op, req *rpc.Request, rep *rpc.Reply, total time.Duration, ph *phases, mediaDelta int64, sp *telemetry.Span, lockWait int64) {
 	if int(op) >= opMax || t.ops[op] == nil {
+		sp.End()
 		return
 	}
 	m := t.ops[op]
@@ -125,13 +165,49 @@ func (t *driveTel) record(op Op, req *rpc.Request, rep *rpc.Reply, total time.Du
 	}
 	m.object.Add(uint64(obj))
 	t.trace.Add(telemetry.TraceEvent{
-		RequestID: req.Trace,
+		RequestID: req.Trace.TraceID,
 		Op:        op.String(),
 		Status:    status.String(),
 		DurNanos:  int64(total),
 		Bytes:     nIn + nOut,
 		UnixNano:  time.Now().UnixNano(),
 	})
+	if sp != nil {
+		sp.Annotate("status", status.String())
+		sp.Annotate("bytes_in", strconv.Itoa(nIn))
+		sp.Annotate("bytes_out", strconv.Itoa(nOut))
+		if lockWait > 0 {
+			sp.Annotate("lock_wait_ns", strconv.FormatInt(lockWait, 10))
+		}
+		sp.End()
+		t.emitPhases(sp, ph.digest, mediaDelta, obj)
+	}
+}
+
+// emitPhases records the Table 1 cost split as three child spans of the
+// completed handler span. The durations are the measured per-component
+// times (they sum to the handler's total); their placement is
+// synthesized as digest → object-system → media from the handler start,
+// since the components are deltas, not instrumented intervals.
+func (t *driveTel) emitPhases(sp *telemetry.Span, digest time.Duration, media, obj int64) {
+	sc := sp.Context()
+	start := sp.StartNanos()
+	emit := func(name string, from, dur int64) {
+		if dur <= 0 {
+			return
+		}
+		t.spans.Emit(telemetry.SpanRecord{
+			TraceID: sc.TraceID,
+			SpanID:  telemetry.NextSpanID(),
+			Parent:  sc.SpanID,
+			Name:    name,
+			StartNS: start + from,
+			EndNS:   start + from + dur,
+		})
+	}
+	emit("digest", 0, int64(digest))
+	emit("object-system", int64(digest), obj)
+	emit("media", int64(digest)+obj, media)
 }
 
 // Metrics returns the drive's telemetry registry (per-op counters and
@@ -142,12 +218,18 @@ func (d *Drive) Metrics() *telemetry.Registry { return d.tel.reg }
 // Trace returns the drive's bounded log of recently served requests.
 func (d *Drive) Trace() *telemetry.TraceLog { return d.tel.trace }
 
+// Spans returns the drive's span log (per-request hierarchical
+// timelines; DESIGN.md §5 "Tracing").
+func (d *Drive) Spans() *telemetry.SpanLog { return d.tel.spans }
+
 // StatsReply is the payload of the OpStats request: the drive's full
-// metric snapshot plus the tail of its trace log.
+// metric snapshot plus, on request, the tail of its trace log and spans
+// from its span log.
 type StatsReply struct {
 	DriveID uint64                 `json:"drive_id"`
 	Metrics telemetry.Snapshot     `json:"metrics"`
 	Trace   []telemetry.TraceEvent `json:"trace,omitempty"`
+	Spans   []telemetry.SpanRecord `json:"spans,omitempty"`
 }
 
 // handleStats serves the drive's telemetry snapshot. Like OpFlush it
@@ -162,6 +244,11 @@ func (d *Drive) handleStats(req *rpc.Request) *rpc.Reply {
 	sr := StatsReply{DriveID: d.id, Metrics: d.tel.reg.Snapshot()}
 	if a.TraceN > 0 {
 		sr.Trace = d.tel.trace.Recent(int(a.TraceN))
+	}
+	if a.SpanTrace != 0 {
+		sr.Spans = d.tel.spans.ByTrace(a.SpanTrace)
+	} else if a.SpanN > 0 {
+		sr.Spans = d.tel.spans.Recent(int(a.SpanN))
 	}
 	body, err := json.Marshal(&sr)
 	if err != nil {

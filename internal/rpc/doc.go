@@ -19,6 +19,7 @@
 // call, byte, and latency metrics plus connection/in-flight gauges
 // into a telemetry.Registry (the rpc.server.* and rpc.client.*
 // families described in DESIGN.md §5); the Request.Trace field carries
-// the caller's telemetry request ID across the wire, outside the
-// signed message body.
+// the caller's span context — {trace ID, parent span ID} — across the
+// wire, outside the signed message body, so drive-side spans link into
+// the client's trace (DESIGN.md §5 "Tracing").
 package rpc

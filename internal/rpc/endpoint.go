@@ -419,17 +419,20 @@ func (c *Client) failAll(err error) {
 // canceled or its deadline passes, the pending call fails with ctx's
 // error and a late reply is discarded by the receive loop; on
 // transports that support it (TCP) the deadline also bounds the send.
-// If ctx carries a telemetry request ID and req.Trace is unset, the ID
-// rides along in the request header so the server's trace log can link
-// the call back to the originating operation.
+// If ctx carries an active telemetry span and req.Trace is unset, the
+// span's {trace ID, span ID} ride along in the request header (outside
+// the signed body) so the server-side span becomes a child of the
+// caller's; a bare telemetry request ID stamps the trace ID alone.
 func (c *Client) Call(ctx context.Context, req *Request) (*Reply, error) {
 	if err := ctx.Err(); err != nil {
 		c.statCanceled.Inc()
 		return nil, err
 	}
-	if req.Trace == 0 {
-		if id, ok := telemetry.RequestIDFrom(ctx); ok {
-			req.Trace = id
+	if req.Trace == (TraceContext{}) {
+		if sc, ok := telemetry.SpanContextFrom(ctx); ok {
+			req.Trace = TraceContext{TraceID: sc.TraceID, Parent: sc.SpanID}
+		} else if id, ok := telemetry.RequestIDFrom(ctx); ok {
+			req.Trace.TraceID = id
 		}
 	}
 	ch := make(chan *Reply, 1)

@@ -65,10 +65,22 @@ func (s Status) String() string {
 	return fmt.Sprintf("status(%d)", uint16(s))
 }
 
+// TraceContext is the span context a request carries for cross-layer
+// tracing: the trace ID naming the end-to-end operation and the
+// caller's span ID, which becomes the parent of the server-side span.
+// It travels outside the signed body (see Request.SigningBody) — it is
+// observability metadata, not an authorization input, and keeping it
+// unsigned lets middleboxes or future proxies restamp it without
+// holding capability keys.
+type TraceContext struct {
+	TraceID uint64 // 0 = untraced
+	Parent  uint64 // caller's span ID (0 = root)
+}
+
 // Request is one NASD RPC request, mirroring Figure 5's layering.
 type Request struct {
 	MsgID   uint64
-	Trace   uint64 // caller's request ID for cross-layer tracing (0 = untraced)
+	Trace   TraceContext // span context for cross-layer tracing
 	Proc    uint16
 	SecOpts uint8
 	Cap     []byte // encoded capability public portion (nil if none)
@@ -114,7 +126,8 @@ func EncodeRequest(r *Request) []byte {
 	e.U32(Magic)
 	e.U8(kindRequest)
 	e.U64(r.MsgID)
-	e.U64(r.Trace)
+	e.U64(r.Trace.TraceID)
+	e.U64(r.Trace.Parent)
 	e.U16(r.Proc)
 	e.U8(r.SecOpts)
 	e.Bytes32(r.Cap)
@@ -159,7 +172,8 @@ func DecodeMessage(b []byte) (any, error) {
 	case kindRequest:
 		r := &Request{}
 		r.MsgID = d.U64()
-		r.Trace = d.U64()
+		r.Trace.TraceID = d.U64()
+		r.Trace.Parent = d.U64()
 		r.Proc = d.U16()
 		r.SecOpts = d.U8()
 		r.Cap = d.Bytes32()

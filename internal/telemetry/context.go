@@ -2,6 +2,8 @@ package telemetry
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/binary"
 	"sync/atomic"
 )
 
@@ -9,18 +11,28 @@ import (
 // survives the trip across the RPC plane: the client stamps the ID into
 // the wire request (rpc.Request.Trace), the drive records it in its
 // trace log, and a multi-drive operation (a cheops striped read) shares
-// one ID across every component request it fans out. IDs are
-// process-local: a counter, not a UUID, because the tracing question
-// this answers is "which requests belonged to that operation", not
-// global uniqueness across restarts.
+// one ID across every component request it fans out. Like span IDs,
+// they are a counter salted with a random per-process high word: a
+// drive outlives many short-lived clients (think repeated nasdctl
+// invocations), and since request IDs double as trace IDs, two clients
+// both counting from 1 would interleave unrelated operations into one
+// trace on the drive.
 
 type requestIDKey struct{}
 
+var requestIDSalt = func() uint64 {
+	var b [4]byte
+	_, _ = rand.Read(b[:])
+	return uint64(binary.LittleEndian.Uint32(b[:])) << 32
+}()
+
 var lastRequestID atomic.Uint64
 
-// NextRequestID allocates a fresh process-unique request ID (never 0;
-// 0 on the wire means "untraced").
-func NextRequestID() uint64 { return lastRequestID.Add(1) }
+// NextRequestID allocates a fresh request ID, disjoint across processes
+// (never 0; 0 on the wire means "untraced").
+func NextRequestID() uint64 {
+	return requestIDSalt | (lastRequestID.Add(1) & 0xffffffff)
+}
 
 // WithRequestID returns ctx carrying a fresh request ID, and the ID.
 // If ctx already carries one it is kept, so the outermost caller wins

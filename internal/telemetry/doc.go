@@ -16,6 +16,22 @@
 // RPC, and `nasdbench -stats` reproduces the Table 1 cost split from a
 // live workload.
 //
+// Beyond aggregates, the package carries a span plane for per-request
+// timelines: a Span is a timed interval with a trace ID, span ID,
+// parent span ID, and annotations, recorded into a bounded SpanLog
+// ring (plus a small retained table pinning traces whose root exceeded
+// a slow threshold). Span context propagates in-process on the
+// context.Context (WithSpanContext / SpanLog.StartSpan) and across the
+// wire in the rpc request header (SpanLog.StartRemote on the serving
+// side), so one trace ID links a client op, the Cheops fan-out legs it
+// spawned, and the drive-side handler spans with their Table 1 phase
+// children (digest / object-system / media). Span IDs are salted with
+// a per-process random high word so records minted by different
+// processes merge without collision (MergeSpans), and WriteTimeline
+// renders a merged trace as one indented timeline, flagging straggler
+// legs among parallel siblings. See DESIGN.md §5 for the full model
+// and an example timeline.
+//
 // Everything here is built on sync/atomic and the standard library
 // only, so any package in the tree can depend on it without cycles.
 // Histograms bucket int64 values (usually nanoseconds) into

@@ -74,6 +74,11 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// Sum returns the cumulative sum of observed values (one atomic read).
+// The drive reads lock-meter wait histograms this way to annotate a
+// request's span with the lock-wait delta it observed.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
 

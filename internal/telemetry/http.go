@@ -30,29 +30,71 @@ func HealthHandler(started time.Time) http.Handler {
 	})
 }
 
-// TraceHandler serves the trace log tail as JSON (?n= bounds the count,
-// default 64).
-func TraceHandler(log *TraceLog) http.Handler {
+// MaxTraceResponse bounds how many entries a single /trace response may
+// carry, regardless of the ?n= the caller asked for: the handler
+// re-marshals the tail on every request, so an unbounded n would let
+// one curl pin the daemon serializing the entire ring.
+const MaxTraceResponse = 1024
+
+// TraceHandler serves request tracing as JSON. Two modes:
+//
+//	/trace?n=N          the last N flat trace events (default 64)
+//	/trace?trace=ID     every span recorded for trace ID (hierarchical)
+//	/trace?spans=N      the last N raw spans
+//
+// Responses are capped at MaxTraceResponse entries. spans may be nil
+// (span modes then return an empty list).
+func TraceHandler(log *TraceLog, spans *SpanLog) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		n := 64
-		if s := r.URL.Query().Get("n"); s != "" {
-			if v, err := strconv.Atoi(s); err == nil && v > 0 {
-				n = v
-			}
-		}
 		w.Header().Set("Content-Type", "application/json")
+		if s := r.URL.Query().Get("trace"); s != "" {
+			var recs []SpanRecord
+			if id, err := strconv.ParseUint(s, 10, 64); err == nil && spans != nil {
+				recs = spans.ByTrace(id)
+			}
+			if len(recs) > MaxTraceResponse {
+				recs = recs[:MaxTraceResponse]
+			}
+			_ = json.NewEncoder(w).Encode(recs)
+			return
+		}
+		if s := r.URL.Query().Get("spans"); s != "" {
+			n := clampTraceN(s, 64)
+			var recs []SpanRecord
+			if spans != nil {
+				recs = spans.Recent(n)
+			}
+			_ = json.NewEncoder(w).Encode(recs)
+			return
+		}
+		n := clampTraceN(r.URL.Query().Get("n"), 64)
 		_ = json.NewEncoder(w).Encode(log.Recent(n))
 	})
 }
 
+// clampTraceN parses a count query parameter, applying the default and
+// the MaxTraceResponse cap.
+func clampTraceN(s string, def int) int {
+	n := def
+	if s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			n = v
+		}
+	}
+	if n > MaxTraceResponse {
+		n = MaxTraceResponse
+	}
+	return n
+}
+
 // NewMux builds the daemon observability mux: /metrics, /healthz, and
-// (when log is non-nil) /trace.
-func NewMux(snap func() Snapshot, log *TraceLog) *http.ServeMux {
+// (when log is non-nil) /trace serving both flat events and spans.
+func NewMux(snap func() Snapshot, log *TraceLog, spans *SpanLog) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(snap))
 	mux.Handle("/healthz", HealthHandler(time.Now()))
 	if log != nil {
-		mux.Handle("/trace", TraceHandler(log))
+		mux.Handle("/trace", TraceHandler(log, spans))
 	}
 	return mux
 }

@@ -1,0 +1,304 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchy(t *testing.T) {
+	l := NewSpanLog(64)
+	ctx, root := l.StartSpan(context.Background(), "root")
+	if root == nil {
+		t.Fatal("root span is nil")
+	}
+	rc := root.Context()
+	if rc.TraceID == 0 || rc.SpanID == 0 {
+		t.Fatalf("root context has zero IDs: %+v", rc)
+	}
+	_, child := l.StartSpan(ctx, "child")
+	cc := child.Context()
+	if cc.TraceID != rc.TraceID {
+		t.Fatalf("child trace %d != root trace %d", cc.TraceID, rc.TraceID)
+	}
+	child.Annotate("k", "v")
+	child.End()
+	root.End()
+
+	spans := l.ByTrace(rc.TraceID)
+	if len(spans) != 2 {
+		t.Fatalf("ByTrace returned %d spans, want 2", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, r := range spans {
+		byName[r.Name] = r
+	}
+	if byName["root"].Parent != 0 {
+		t.Fatalf("root has parent %d", byName["root"].Parent)
+	}
+	if byName["child"].Parent != byName["root"].SpanID {
+		t.Fatalf("child parent %d != root span %d", byName["child"].Parent, byName["root"].SpanID)
+	}
+	if got := byName["child"].Annotations; len(got) != 1 || got[0].Key != "k" || got[0].Value != "v" {
+		t.Fatalf("child annotations = %+v", got)
+	}
+}
+
+func TestSpanRootReusesRequestID(t *testing.T) {
+	l := NewSpanLog(8)
+	ctx, reqID := WithRequestID(context.Background())
+	_, sp := l.StartSpan(ctx, "op")
+	if sc := sp.Context(); sc.TraceID != reqID {
+		t.Fatalf("trace ID %d != request ID %d", sc.TraceID, reqID)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var l *SpanLog
+	ctx, sp := l.StartSpan(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("nil log returned non-nil span")
+	}
+	if _, ok := SpanContextFrom(ctx); ok {
+		t.Fatal("nil log attached a span context")
+	}
+	sp.Annotate("a", "b") // must not panic
+	sp.End()
+	if s := l.StartRemote(1, 2, "y"); s != nil {
+		t.Fatal("nil log StartRemote returned non-nil span")
+	}
+}
+
+func TestStartRemoteUntraced(t *testing.T) {
+	l := NewSpanLog(8)
+	if sp := l.StartRemote(0, 7, "drive.read"); sp != nil {
+		t.Fatal("zero trace ID must yield a nil span")
+	}
+	sp := l.StartRemote(42, 7, "drive.read")
+	sp.End()
+	spans := l.ByTrace(42)
+	if len(spans) != 1 || spans[0].Parent != 7 {
+		t.Fatalf("remote span = %+v", spans)
+	}
+}
+
+func TestSpanLogRingBounds(t *testing.T) {
+	l := NewSpanLog(4)
+	for i := 0; i < 10; i++ {
+		l.Emit(SpanRecord{TraceID: uint64(i + 1), SpanID: NextSpanID(), Name: "s"})
+	}
+	recent := l.Recent(100)
+	if len(recent) != 4 {
+		t.Fatalf("ring kept %d spans, want 4", len(recent))
+	}
+	// Oldest first: traces 7..10 survive.
+	for i, r := range recent {
+		if want := uint64(7 + i); r.TraceID != want {
+			t.Fatalf("recent[%d].TraceID = %d, want %d", i, r.TraceID, want)
+		}
+	}
+}
+
+func TestSlowOpRetention(t *testing.T) {
+	l := NewSpanLog(4)
+	l.SetSlowThreshold(time.Millisecond)
+	// A slow trace: root span over the threshold plus one child.
+	l.Emit(SpanRecord{TraceID: 9, SpanID: 100, Parent: 1, Name: "child", StartNS: 0, EndNS: 10})
+	l.Emit(SpanRecord{TraceID: 9, SpanID: 1, Name: "root", StartNS: 0, EndNS: int64(2 * time.Millisecond)})
+	// Wrap the ring with unrelated traffic.
+	for i := 0; i < 16; i++ {
+		l.Emit(SpanRecord{TraceID: 1000 + uint64(i), SpanID: NextSpanID(), Name: "noise"})
+	}
+	spans := l.ByTrace(9)
+	if len(spans) != 2 {
+		t.Fatalf("retained %d spans for slow trace, want 2 (ring wrapped)", len(spans))
+	}
+	// A fast root span must not be retained once the ring wraps.
+	l2 := NewSpanLog(4)
+	l2.SetSlowThreshold(time.Millisecond)
+	l2.Emit(SpanRecord{TraceID: 5, SpanID: 2, Name: "root", StartNS: 0, EndNS: 10})
+	for i := 0; i < 16; i++ {
+		l2.Emit(SpanRecord{TraceID: 2000 + uint64(i), SpanID: NextSpanID(), Name: "noise"})
+	}
+	if got := l2.ByTrace(5); len(got) != 0 {
+		t.Fatalf("fast trace survived ring wrap: %+v", got)
+	}
+}
+
+func TestSlowRetentionEviction(t *testing.T) {
+	l := NewSpanLog(8)
+	l.SetSlowThreshold(time.Nanosecond)
+	for i := 0; i < retainedTraces+5; i++ {
+		l.Emit(SpanRecord{TraceID: uint64(i + 1), SpanID: NextSpanID(), Name: "root", StartNS: 0, EndNS: 100})
+	}
+	l.mu.Lock()
+	n := len(l.retained)
+	l.mu.Unlock()
+	if n > retainedTraces {
+		t.Fatalf("retained table grew to %d, cap %d", n, retainedTraces)
+	}
+}
+
+func TestNextSpanIDUnique(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		id := NextSpanID()
+		if id == 0 {
+			t.Fatal("zero span ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate span ID %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSpanLogConcurrency(t *testing.T) {
+	l := NewSpanLog(64)
+	l.SetSlowThreshold(time.Nanosecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, sp := l.StartSpan(context.Background(), "op")
+				_, c := l.StartSpan(ctx, "child")
+				c.End()
+				sp.End()
+				l.Recent(16)
+				l.ByTrace(sp.Context().TraceID)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestMergeSpansDedup(t *testing.T) {
+	a := []SpanRecord{{TraceID: 1, SpanID: 10}, {TraceID: 1, SpanID: 11}}
+	b := []SpanRecord{{TraceID: 1, SpanID: 11}, {TraceID: 1, SpanID: 12}}
+	got := MergeSpans(a, b)
+	if len(got) != 3 {
+		t.Fatalf("merged %d spans, want 3", len(got))
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	spans := []SpanRecord{
+		{TraceID: 7, SpanID: 1, Name: "client.read", StartNS: 0, EndNS: 1000000},
+		{TraceID: 7, SpanID: 2, Parent: 1, Name: "cheops.read.leg", StartNS: 100000, EndNS: 200000},
+		{TraceID: 7, SpanID: 3, Parent: 1, Name: "cheops.read.leg", StartNS: 100000, EndNS: 210000},
+		{TraceID: 7, SpanID: 4, Parent: 1, Name: "cheops.read.leg", StartNS: 100000, EndNS: 900000},
+		// A long sibling of a different name: never compared to the legs.
+		{TraceID: 7, SpanID: 6, Parent: 1, Name: "digest", StartNS: 0, EndNS: 950000},
+		{TraceID: 8, SpanID: 5, Name: "other-trace", StartNS: 0, EndNS: 1},
+	}
+	var sb strings.Builder
+	WriteTimeline(&sb, 7, spans)
+	out := sb.String()
+	if !strings.Contains(out, "trace 7: 5 spans") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	if strings.Contains(out, "other-trace") {
+		t.Fatalf("timeline leaked another trace:\n%s", out)
+	}
+	if !strings.Contains(out, "straggler") {
+		t.Fatalf("slow sibling not flagged:\n%s", out)
+	}
+	// The straggler flag must be on the 900us leg line only: not the
+	// fast legs, and not the long digest span (a different name, so a
+	// group of one — nothing to compare against).
+	flagged := 0
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "straggler") {
+			continue
+		}
+		flagged++
+		if !strings.Contains(line, "800µs") {
+			t.Fatalf("straggler flagged on wrong line: %q", line)
+		}
+	}
+	if flagged != 1 {
+		t.Fatalf("%d straggler flags, want exactly 1:\n%s", flagged, out)
+	}
+}
+
+func TestWriteTimelineOrphanPromotion(t *testing.T) {
+	spans := []SpanRecord{
+		// Parent 99 is missing from the set (wrapped ring): still renders.
+		{TraceID: 3, SpanID: 2, Parent: 99, Name: "drive.read", StartNS: 5, EndNS: 10},
+	}
+	var sb strings.Builder
+	WriteTimeline(&sb, 3, spans)
+	if !strings.Contains(sb.String(), "drive.read") {
+		t.Fatalf("orphan span not rendered:\n%s", sb.String())
+	}
+}
+
+func TestTraceLogConcurrentAddRecent(t *testing.T) {
+	log := NewTraceLog(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				log.Add(TraceEvent{RequestID: uint64(g*1000 + i), Op: "read"})
+				log.Recent(8)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestTraceHandlerBoundsResponse(t *testing.T) {
+	log := NewTraceLog(4096)
+	for i := 0; i < 4096; i++ {
+		log.Add(TraceEvent{RequestID: uint64(i)})
+	}
+	spans := NewSpanLog(8)
+	srv := httptest.NewServer(TraceHandler(log, spans))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/trace?n=1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var evs []TraceEvent
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) > MaxTraceResponse {
+		t.Fatalf("handler returned %d events, cap is %d", len(evs), MaxTraceResponse)
+	}
+}
+
+func TestTraceHandlerSpanMode(t *testing.T) {
+	log := NewTraceLog(4)
+	spans := NewSpanLog(8)
+	_, sp := spans.StartSpan(context.Background(), "op")
+	tid := sp.Context().TraceID
+	sp.End()
+	srv := httptest.NewServer(TraceHandler(log, spans))
+	defer srv.Close()
+
+	resp, err := http.Get(fmt.Sprintf("%s/trace?trace=%d", srv.URL, tid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var recs []SpanRecord
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Name != "op" {
+		t.Fatalf("span mode returned %+v", recs)
+	}
+}

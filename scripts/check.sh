@@ -29,4 +29,11 @@ go test -race ./...
 echo "==> go test -run '^$' -bench . -benchtime 1x ./..."
 go test -run '^$' -bench . -benchtime 1x ./...
 
+# End-to-end bench smoke: a small live -stats run must complete and
+# emit a machine-readable result (schema in EXPERIMENTS.md). CI uploads
+# the BENCH_*.json as an artifact for run-over-run comparison.
+echo "==> go run ./cmd/nasdbench -stats -stats-mb 2 -json ."
+go run ./cmd/nasdbench -stats -stats-mb 2 -json . > /dev/null
+test -s BENCH_stats.json
+
 echo "OK"
