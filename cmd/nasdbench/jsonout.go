@@ -23,6 +23,9 @@ type benchResult struct {
 	Config     benchConfig               `json:"config"`
 	Throughput map[string]float64        `json:"throughput_mbps"`
 	Latency    map[string]latencySummary `json:"latency_ns"`
+	// Counters carries resilience counters for runs (like -chaos) whose
+	// point is fault handling rather than bandwidth. Omitted otherwise.
+	Counters map[string]uint64 `json:"counters,omitempty"`
 }
 
 // benchConfig records the knobs that shaped the run.

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"nasd/internal/experiments"
 )
@@ -40,8 +41,19 @@ func main() {
 	stats := flag.Bool("stats", false, "run a live workload and print the drive's measured per-op cost breakdown")
 	statsMB := flag.Int("stats-mb", 8, "workload size in MB for -stats and per worker for -parallel")
 	parallel := flag.Int("parallel", 0, "run N concurrent client workers over distinct objects on one drive and print throughput plus lock-contention telemetry")
-	jsonOut := flag.String("json", "", "also write a machine-readable BENCH_<name>.json result: a .json path names the file, anything else the directory (-stats and -parallel only)")
+	chaos := flag.Bool("chaos", false, "run the fault-tolerance soak: four drives, one severed mid-run and revived, every operation verified")
+	chaosDur := flag.Duration("chaos-duration", 3*time.Second, "total soak length for -chaos (split across healthy/degraded/recovered phases)")
+	chaosSeed := flag.Int64("seed", 1, "deterministic seed for the -chaos fault schedule and workload")
+	jsonOut := flag.String("json", "", "also write a machine-readable BENCH_<name>.json result: a .json path names the file, anything else the directory (-stats, -parallel and -chaos only)")
 	flag.Parse()
+
+	if *chaos {
+		if err := runChaos(os.Stdout, *chaosDur, *chaosSeed, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "nasdbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *parallel > 0 {
 		if err := runParallel(os.Stdout, *parallel, *statsMB, *jsonOut); err != nil {

@@ -59,6 +59,7 @@ func main() {
 	masterHex := flag.String("master", "", "master key (64 hex chars)")
 	insecure := flag.Bool("insecure", false, "talk to an insecure drive")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-command deadline (0 = none)")
+	retries := flag.Int("retries", 3, "retries per request after the first attempt (0 = fail fast); idempotent requests reconnect and reissue on transport errors")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -87,8 +88,23 @@ func main() {
 	if err != nil {
 		log.Fatalf("nasdctl: dial: %v", err)
 	}
-	cli := client.New(conn, *driveID, uint64(os.Getpid())<<32|uint64(time.Now().UnixNano()&0xffffffff),
-		client.WithSecurity(!*insecure))
+	opts := []client.Option{client.WithSecurity(!*insecure)}
+	if *retries > 0 {
+		// Transient daemon hiccups (restart, dropped TCP connection)
+		// are retried with backoff over a fresh dial instead of
+		// failing the command. The per-attempt timeout divides the
+		// command deadline across the attempts so a silently dropped
+		// message is reissued while the deadline still has room,
+		// rather than stalling the first attempt until it expires.
+		p := client.RetryPolicy{MaxAttempts: *retries + 1}
+		if *timeout > 0 {
+			p.AttemptTimeout = *timeout / time.Duration(p.MaxAttempts)
+		}
+		opts = append(opts,
+			client.WithRetry(p),
+			client.WithDialer(func() (rpc.Conn, error) { return rpc.DialTCP(addrs[0]) }))
+	}
+	cli := client.New(conn, *driveID, uint64(os.Getpid())<<32|uint64(time.Now().UnixNano()&0xffffffff), opts...)
 	defer cli.Close()
 
 	ctx := context.Background()
@@ -345,12 +361,15 @@ func (c *ctl) trace(traceID uint64) error {
 	for i, addr := range c.addrs {
 		cli := c.cli
 		if i > 0 {
+			addr := addr
 			conn, err := rpc.DialTCP(addr)
 			if err != nil {
 				return fmt.Errorf("dial %s: %v", addr, err)
 			}
 			cli = client.New(conn, c.driveID, uint64(os.Getpid())<<32|uint64(i),
-				client.WithSecurity(c.secure))
+				client.WithSecurity(c.secure),
+				client.WithRetry(client.RetryPolicy{}),
+				client.WithDialer(func() (rpc.Conn, error) { return rpc.DialTCP(addr) }))
 			defer cli.Close()
 		}
 		spans, err := cli.ServerSpans(c.ctx, traceID)

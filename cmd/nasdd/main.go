@@ -56,6 +56,10 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "HTTP observability address for /metrics, /healthz, /trace (empty = disabled)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof handlers on the -metrics server")
 	traceSlow := flag.Duration("trace-slow", 0, "retain full span trees for requests at least this slow (0 = disabled)")
+	faultDrop := flag.Float64("fault-drop", 0, "fault injection: drop each sent message with this probability (0 = off)")
+	faultDup := flag.Float64("fault-dup", 0, "fault injection: duplicate each sent message with this probability (0 = off)")
+	faultDelay := flag.Duration("fault-delay", 0, "fault injection: delay every sent message by this much (0 = off)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injection: seed for the deterministic fault schedule")
 	flag.Parse()
 
 	var master crypt.Key
@@ -124,6 +128,19 @@ func main() {
 	if *insecure {
 		mode = "INSECURE"
 	}
+	var lis rpc.Listener = l
+	if *faultDrop > 0 || *faultDup > 0 || *faultDelay > 0 {
+		// Chaos mode: every accepted connection's sends run under a
+		// deterministic fault schedule, so client retry/reconnect
+		// behavior can be exercised against a real TCP daemon.
+		faults := rpc.NewFaults(*faultSeed)
+		faults.DropRate(*faultDrop)
+		faults.DuplicateRate(*faultDup)
+		faults.Delay(*faultDelay)
+		lis = faults.WrapListener(l)
+		log.Printf("nasdd: FAULT INJECTION armed: drop=%.3f dup=%.3f delay=%v seed=%d",
+			*faultDrop, *faultDup, *faultDelay, *faultSeed)
+	}
 	log.Printf("nasdd: drive %d serving %d x 4KB blocks on %s (%s)", *id, *blocks, l.Addr(), mode)
 	srv := rpc.NewServer(drv,
 		rpc.WithMetrics(reg),
@@ -158,5 +175,5 @@ func main() {
 		srv.Close()
 		os.Exit(0)
 	}()
-	srv.Serve(l)
+	srv.Serve(lis)
 }

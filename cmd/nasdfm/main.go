@@ -80,11 +80,17 @@ func main() {
 	}
 	var targets []filemgr.DriveTarget
 	for i, d := range drives {
+		d := d
 		conn, err := rpc.DialTCP(d.addr)
 		if err != nil {
 			log.Fatalf("nasdfm: dialing drive %d at %s: %v", d.id, d.addr, err)
 		}
-		cli := client.New(conn, d.id, uint64(os.Getpid())<<16|uint64(i))
+		// The file manager is long-lived: a drive restart must not
+		// wedge it, so idempotent requests retry with backoff over a
+		// fresh dial when the connection dies.
+		cli := client.New(conn, d.id, uint64(os.Getpid())<<16|uint64(i),
+			client.WithRetry(client.RetryPolicy{}),
+			client.WithDialer(func() (rpc.Conn, error) { return rpc.DialTCP(d.addr) }))
 		targets = append(targets, filemgr.DriveTarget{Client: cli, DriveID: d.id, Master: d.master})
 	}
 

@@ -31,13 +31,15 @@ var (
 
 // MemDisk is an in-memory block device. Unwritten blocks read as zeros.
 // It supports fault injection for failure-path tests: whole-device
-// failure, per-block corruption, and transient per-block errors.
+// crash (Fail/Heal), whole-device hang (Hang/Resume), per-block
+// corruption, and transient per-block errors.
 type MemDisk struct {
 	mu        sync.RWMutex
 	blockSize int
 	blocks    int64
 	data      map[int64][]byte
 	failed    bool
+	hung      chan struct{} // non-nil while hung; closed by Resume
 	corrupt   map[int64]bool
 	errOnce   map[int64]error
 
@@ -77,8 +79,21 @@ func (d *MemDisk) check(i int64, n int) error {
 	return nil
 }
 
+// gate blocks while the device is hung. It runs before the data lock
+// is taken so a wedged drive stalls new requests without deadlocking
+// the fault-control methods.
+func (d *MemDisk) gate() {
+	d.mu.RLock()
+	ch := d.hung
+	d.mu.RUnlock()
+	if ch != nil {
+		<-ch
+	}
+}
+
 // ReadBlock implements Device.
 func (d *MemDisk) ReadBlock(i int64, buf []byte) error {
+	d.gate()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.check(i, len(buf)); err != nil {
@@ -104,6 +119,7 @@ func (d *MemDisk) ReadBlock(i int64, buf []byte) error {
 
 // WriteBlock implements Device.
 func (d *MemDisk) WriteBlock(i int64, data []byte) error {
+	d.gate()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.check(i, len(data)); err != nil {
@@ -126,6 +142,7 @@ func (d *MemDisk) WriteBlock(i int64, data []byte) error {
 
 // Flush implements Device (a no-op for memory).
 func (d *MemDisk) Flush() error {
+	d.gate()
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	if d.failed {
@@ -134,18 +151,41 @@ func (d *MemDisk) Flush() error {
 	return nil
 }
 
-// Fail makes every subsequent operation return ErrFailed (a dead drive).
+// Fail crashes the device: every subsequent operation returns
+// ErrFailed (fail-stop, immediately detectable).
 func (d *MemDisk) Fail() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.failed = true
 }
 
-// Heal reverses Fail.
+// Heal revives a Failed device.
 func (d *MemDisk) Heal() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.failed = false
+}
+
+// Hang wedges the device: subsequent operations block — neither
+// failing nor completing — until Resume. This models a drive that
+// stops answering, the failure mode only timeouts can detect, as
+// opposed to Fail's fail-stop errors.
+func (d *MemDisk) Hang() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.hung == nil {
+		d.hung = make(chan struct{})
+	}
+}
+
+// Resume releases every operation blocked by Hang.
+func (d *MemDisk) Resume() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.hung != nil {
+		close(d.hung)
+		d.hung = nil
+	}
 }
 
 // CorruptBlock marks block i corrupt: reads fail until it is rewritten.

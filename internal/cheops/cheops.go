@@ -77,6 +77,10 @@ var (
 	ErrBadLayout = errors.New("cheops: invalid layout")
 	ErrDegraded  = errors.New("cheops: too many failed components")
 	ErrLockHeld  = errors.New("cheops: stripe lock held")
+	// ErrStaleLayout means the manager changed a logical object's
+	// component layout (a repair) after this handle opened; the caller
+	// must re-open the object to get the new layout and capabilities.
+	ErrStaleLayout = errors.New("cheops: layout changed; re-open the logical object")
 )
 
 // DriveRef is one drive under Cheops management.
@@ -103,6 +107,10 @@ type Manager struct {
 	lockC   *sync.Cond
 	tel     *cheopsTel
 	spans   *telemetry.SpanLog
+
+	health     []*breaker // per-drive circuit breakers, indexed like drives
+	repairs    map[repairKey]PendingRepair
+	legTimeout time.Duration
 }
 
 type stripeKey struct {
@@ -127,6 +135,16 @@ type ManagerConfig struct {
 	// which keeps cheops legs in the same log as the client spans they
 	// parent.
 	Spans *telemetry.SpanLog
+	// FailThreshold is how many consecutive leg failures trip a drive's
+	// circuit breaker (default 3).
+	FailThreshold int
+	// BreakerCooldown is how long an open breaker refuses traffic
+	// before admitting a half-open probe (default 1s).
+	BreakerCooldown time.Duration
+	// LegTimeout, when > 0, bounds each fan-out leg so a hung drive is
+	// detected (and failed over) while the caller's overall deadline
+	// still has room for reconstruction. 0 leaves legs unbounded.
+	LegTimeout time.Duration
 }
 
 // NewManager builds a manager. With format true it creates its
@@ -147,21 +165,41 @@ func NewManager(ctx context.Context, cfg ManagerConfig, format bool) (*Manager, 
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = time.Second
+	}
 	m := &Manager{
-		drives:  cfg.Drives,
-		part:    cfg.Partition,
-		expiry:  cfg.CapExpiry,
-		clock:   cfg.Clock,
-		objects: make(map[uint64]*Descriptor),
-		next:    1,
-		locks:   make(map[stripeKey]bool),
-		tel:     newCheopsTel(cfg.Metrics),
-		spans:   cfg.Spans,
+		drives:     cfg.Drives,
+		part:       cfg.Partition,
+		expiry:     cfg.CapExpiry,
+		clock:      cfg.Clock,
+		objects:    make(map[uint64]*Descriptor),
+		next:       1,
+		locks:      make(map[stripeKey]bool),
+		tel:        newCheopsTel(cfg.Metrics),
+		spans:      cfg.Spans,
+		repairs:    make(map[repairKey]PendingRepair),
+		legTimeout: cfg.LegTimeout,
 	}
 	if m.spans == nil {
 		m.spans = telemetry.ProcessSpans
 	}
 	m.lockC = sync.NewCond(&m.mu)
+	for i := range cfg.Drives {
+		m.health = append(m.health, newBreaker(cfg.FailThreshold, cfg.BreakerCooldown, m.clock, m.tel))
+		i := i
+		m.tel.reg.Func(fmt.Sprintf("cheops.drive.%d.breaker", i), func() int64 {
+			return int64(m.health[i].State())
+		})
+	}
+	m.tel.reg.Func("cheops.pending_repairs", func() int64 {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return int64(len(m.repairs))
+	})
 	for _, d := range cfg.Drives {
 		keys := crypt.NewHierarchy(d.Master)
 		if err := keys.AddPartition(m.part); err != nil {
@@ -443,7 +481,18 @@ func (m *Manager) ReplaceComponent(ctx context.Context, logical uint64, failedId
 		var data []byte
 		switch d.Pattern {
 		case Mirror1:
-			src := (failedIdx + 1) % len(d.Components)
+			// Source from a clean replica: a suspect mirror holds
+			// stale data a degraded write skipped.
+			src := -1
+			for i := range d.Components {
+				if i != failedIdx && !m.componentSuspect(logical, i) {
+					src = i
+					break
+				}
+			}
+			if src < 0 {
+				return fmt.Errorf("%w: no clean mirror to rebuild from", ErrDegraded)
+			}
 			rc := m.mintWildcard(d.Components[src].Drive, capability.Read)
 			data, err = m.drives[d.Components[src].Drive].Client.ReadPipelined(ctx, &rc, m.part, d.Components[src].Object, off, n)
 			if err != nil {
@@ -455,6 +504,10 @@ func (m *Manager) ReplaceComponent(ctx context.Context, logical uint64, failedId
 			if err := eachDrive(len(d.Components), func(i int) error {
 				if i == failedIdx {
 					return nil
+				}
+				if m.componentSuspect(logical, i) {
+					// Two stale lanes cannot be disentangled by xor.
+					return fmt.Errorf("%w: survivor %d also awaits repair", ErrDegraded, i)
 				}
 				comp := d.Components[i]
 				rc := m.mintWildcard(comp.Drive, capability.Read)
@@ -504,6 +557,8 @@ func (m *Manager) ReplaceComponent(ctx context.Context, logical uint64, failedId
 		_ = m.drives[newDrive].Client.Remove(ctx, &rc, m.part, newObj)
 		return err
 	}
+	// The lane is fully redundant again: reads may go direct.
+	m.clearRepair(logical, failedIdx)
 	return nil
 }
 

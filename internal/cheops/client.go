@@ -2,6 +2,7 @@ package cheops
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -13,11 +14,16 @@ import (
 
 // Object is a client-side handle on an open Cheops logical object: the
 // descriptor plus the component capability set. All data movement
-// happens here, on the client, drive-direct.
+// happens here, on the client, drive-direct. The handle is
+// self-healing in two ways: expired capabilities are renewed from the
+// manager transparently, and legs that fail (or are refused by a
+// drive's breaker) fall over to the layout's redundancy mid-operation.
 type Object struct {
 	mgr    *Manager
 	drives []*client.Drive // indexed like the manager's drive table
 	desc   Descriptor
+	rights capability.Rights
+	capMu  sync.RWMutex
 	caps   []capability.Capability
 }
 
@@ -28,7 +34,84 @@ func OpenObject(mgr *Manager, drives []*client.Drive, logical uint64, rights cap
 	if err != nil {
 		return nil, err
 	}
-	return &Object{mgr: mgr, drives: drives, desc: desc, caps: caps}, nil
+	return &Object{mgr: mgr, drives: drives, desc: desc, rights: rights, caps: caps}, nil
+}
+
+// cap returns a copy of component i's capability.
+func (o *Object) cap(i int) capability.Capability {
+	o.capMu.RLock()
+	defer o.capMu.RUnlock()
+	return o.caps[i]
+}
+
+// renewCaps trades the manager a fresh capability set for this object.
+// If the layout changed since the handle opened (a repair moved a
+// component), the new capabilities would name objects this handle does
+// not address, so the caller gets ErrStaleLayout and must re-open.
+func (o *Object) renewCaps() error {
+	desc, caps, err := o.mgr.Open(o.desc.Logical, o.rights)
+	if err != nil {
+		return err
+	}
+	for i, c := range desc.Components {
+		if o.desc.Components[i] != c {
+			return ErrStaleLayout
+		}
+	}
+	o.capMu.Lock()
+	o.caps = caps
+	o.capMu.Unlock()
+	o.mgr.tel.capRenewals.Inc()
+	return nil
+}
+
+// withCap runs fn under component i's capability, renewing the set
+// once when the drive reports expiry (capabilities are minted with a
+// bounded lifetime; a long-lived handle outlives them by design).
+func (o *Object) withCap(i int, fn func(cp *capability.Capability) error) error {
+	cp := o.cap(i)
+	err := fn(&cp)
+	if err != nil && errors.Is(err, client.ErrCapabilityExpired) {
+		if rerr := o.renewCaps(); rerr != nil {
+			return rerr
+		}
+		cp = o.cap(i)
+		err = fn(&cp)
+	}
+	return err
+}
+
+// readDirect reads one component byte range on its own drive.
+func (o *Object) readDirect(ctx context.Context, comp int, off uint64, n int) ([]byte, error) {
+	c := o.desc.Components[comp]
+	var data []byte
+	err := o.withCap(comp, func(cp *capability.Capability) error {
+		var e error
+		data, e = o.drives[c.Drive].ReadPipelined(ctx, cp, o.mgr.part, c.Object, off, n)
+		return e
+	})
+	return data, err
+}
+
+// writeLeg writes one component range, honoring the lane's health
+// state: a lane awaiting repair (or a stale handle's repaired lane) is
+// refused locally, a drive with an open breaker is refused without
+// traffic, and the outcome of a real attempt feeds the breaker.
+func (o *Object) writeLeg(ctx context.Context, comp int, off uint64, data []byte) error {
+	c := o.desc.Components[comp]
+	if o.mgr.laneUnserviceable(o.desc.Logical, comp, c.Object) {
+		return errPendingRepair
+	}
+	if !o.mgr.allowDrive(c.Drive) {
+		return errBreakerOpen
+	}
+	lctx, cancel := o.mgr.legCtx(ctx)
+	defer cancel()
+	err := o.withCap(comp, func(cp *capability.Capability) error {
+		return o.drives[c.Drive].WritePipelined(lctx, cp, o.mgr.part, c.Object, off, data)
+	})
+	o.mgr.reportDrive(c.Drive, err)
+	return err
 }
 
 // Desc returns the layout descriptor.
@@ -142,17 +225,37 @@ func (o *Object) ReadAt(ctx context.Context, off uint64, n int) ([]byte, error) 
 
 // readComponent reads from one component, falling back to
 // reconstruction when the component fails and the layout is redundant.
+// The fall-over happens mid-operation: a lane that times out, errors,
+// is refused by its drive's breaker, or holds stale data (awaiting
+// repair) is served from the surviving redundancy without failing the
+// caller's read.
 func (o *Object) readComponent(ctx context.Context, comp int, off uint64, n int, stripe int64) ([]byte, error) {
-	data, err := o.drives[o.desc.Components[comp].Drive].ReadPipelined(
-		ctx, &o.caps[comp], o.mgr.part, o.desc.Components[comp].Object, off, n)
-	if err == nil {
-		return pad(data, n), nil
+	c := o.desc.Components[comp]
+	var err error
+	switch {
+	case o.mgr.laneUnserviceable(o.desc.Logical, comp, c.Object):
+		// A degraded write skipped this lane (or the manager already
+		// rebuilt it elsewhere): its contents are stale even if the
+		// drive answers, so the read must come from reconstruction.
+		err = errPendingRepair
+	case !o.mgr.allowDrive(c.Drive):
+		err = errBreakerOpen
+	default:
+		lctx, cancel := o.mgr.legCtx(ctx)
+		var data []byte
+		data, err = o.readDirect(lctx, comp, off, n)
+		cancel()
+		o.mgr.reportDrive(c.Drive, err)
+		if err == nil {
+			return pad(data, n), nil
+		}
 	}
 	if ctx.Err() != nil {
 		return nil, err // don't mask a canceled read as a drive failure
 	}
 	if o.desc.Pattern == Mirror1 || o.desc.Pattern == RAID5 {
 		o.mgr.tel.degradedReads.Inc()
+		o.mgr.tel.failovers.Inc()
 		var dsp *telemetry.Span
 		ctx, dsp = o.mgr.spans.StartSpan(ctx, "cheops.degraded_read")
 		dsp.Annotate("failed_comp", strconv.Itoa(comp))
@@ -165,8 +268,12 @@ func (o *Object) readComponent(ctx context.Context, comp int, off uint64, n int,
 			if alt == comp {
 				continue
 			}
-			data, aerr := o.drives[o.desc.Components[alt].Drive].ReadPipelined(
-				ctx, &o.caps[alt], o.mgr.part, o.desc.Components[alt].Object, off, n)
+			ac := o.desc.Components[alt]
+			if o.mgr.laneUnserviceable(o.desc.Logical, alt, ac.Object) || !o.mgr.allowDrive(ac.Drive) {
+				continue
+			}
+			data, aerr := o.readDirect(ctx, alt, off, n)
+			o.mgr.reportDrive(ac.Drive, aerr)
 			if aerr == nil {
 				return pad(data, n), nil
 			}
@@ -174,14 +281,21 @@ func (o *Object) readComponent(ctx context.Context, comp int, off uint64, n int,
 		return nil, fmt.Errorf("%w: all mirrors failed: %v", ErrDegraded, err)
 	case RAID5:
 		// Reconstruct: xor of every other component at the same offsets,
-		// reading all survivors in parallel.
+		// reading all survivors in parallel. Survivors bypass the
+		// breaker — reconstruction is the last resort, so the drives
+		// are tried even when suspect — but a stale lane is a hard
+		// stop: xor cannot disentangle two inconsistent lanes.
 		parts := make([][]byte, len(o.desc.Components))
 		if rerr := eachDrive(len(o.desc.Components), func(i int) error {
 			if i == comp {
 				return nil
 			}
-			c := o.desc.Components[i]
-			p, e := o.drives[c.Drive].ReadPipelined(ctx, &o.caps[i], o.mgr.part, c.Object, off, n)
+			ci := o.desc.Components[i]
+			if o.mgr.laneUnserviceable(o.desc.Logical, i, ci.Object) {
+				return fmt.Errorf("%w: survivor %d also awaits repair", ErrDegraded, i)
+			}
+			p, e := o.readDirect(ctx, i, off, n)
+			o.mgr.reportDrive(ci.Drive, e)
 			if e != nil {
 				return e
 			}
@@ -242,6 +356,11 @@ func (o *Object) WriteAt(ctx context.Context, off uint64, data []byte) error {
 	return nil
 }
 
+// writeMirror writes all replicas in parallel. A replica that fails
+// (or is refused by its breaker) degrades the write rather than
+// failing it: the data is durable on the surviving replicas and the
+// skipped one enters the repair ledger so ReplaceComponent can rebuild
+// it later.
 func (o *Object) writeMirror(ctx context.Context, off uint64, data []byte) error {
 	o.mgr.tel.writeFanout.Observe(int64(len(o.desc.Components)))
 	var wg sync.WaitGroup
@@ -253,10 +372,16 @@ func (o *Object) writeMirror(ctx context.Context, off uint64, data []byte) error
 			lctx, lsp := o.mgr.spans.StartSpan(ctx, "cheops.write.leg")
 			lsp.Annotate("drive", strconv.Itoa(c.Drive))
 			defer lsp.End()
-			errs[i] = o.drives[c.Drive].WritePipelined(lctx, &o.caps[i], o.mgr.part, c.Object, off, data)
+			errs[i] = o.writeLeg(lctx, i, off, data)
+			if errs[i] != nil {
+				lsp.Annotate("error", errs[i].Error())
+			}
 		}(i, c)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err // the caller's cancellation, not drive failures
+	}
 	ok := 0
 	var firstErr error
 	for _, e := range errs {
@@ -268,6 +393,11 @@ func (o *Object) writeMirror(ctx context.Context, off uint64, data []byte) error
 	}
 	if ok == 0 {
 		return fmt.Errorf("%w: every mirror write failed: %v", ErrDegraded, firstErr)
+	}
+	for i, e := range errs {
+		if e != nil {
+			o.mgr.noteDegradedWrite(o.desc.Logical, i, e)
+		}
 	}
 	return nil
 }
@@ -302,8 +432,9 @@ func (o *Object) writeStripe0(ctx context.Context, off uint64, data []byte) erro
 			lsp.Annotate("off", strconv.FormatInt(sp.compOff, 10))
 			lsp.Annotate("len", strconv.Itoa(sp.n))
 			defer lsp.End()
-			errs[i] = o.drives[c.Drive].WritePipelined(lctx, &o.caps[sp.comp], o.mgr.part, c.Object,
-				uint64(sp.compOff), data[sp.start:sp.start+sp.n])
+			// Stripe0 has no redundancy to degrade into: a failed leg
+			// fails the write, but still feeds the drive's breaker.
+			errs[i] = o.writeLeg(lctx, sp.comp, uint64(sp.compOff), data[sp.start:sp.start+sp.n])
 		}(i, sp)
 	}
 	wg.Wait()
@@ -342,28 +473,29 @@ func (o *Object) rmwRAID5(ctx context.Context, comp int, compOff uint64, stripe 
 	defer o.mgr.UnlockStripe(o.desc.Logical, stripe)
 
 	parity := o.parityIndex(stripe)
-	dataComp := o.desc.Components[comp]
-	parComp := o.desc.Components[parity]
 	n := len(chunk)
 
 	// Read old data and old parity in parallel (missing regions read as
 	// zeros) — the two drives seek concurrently, halving the small-write
-	// pre-read latency.
+	// pre-read latency. The pre-reads go through readComponent, so a
+	// failed or stale lane is served by reconstruction: xor of the
+	// other lanes recovers a data lane and parity alike, which is what
+	// keeps RMW possible with one bad component.
 	var oldData, oldPar []byte
 	if err := eachDrive(2, func(i int) error {
 		if i == 0 {
-			d, err := o.drives[dataComp.Drive].Read(ctx, &o.caps[comp], o.mgr.part, dataComp.Object, compOff, n)
+			d, err := o.readComponent(ctx, comp, compOff, n, stripe)
 			if err != nil {
 				return err
 			}
-			oldData = pad(d, n)
+			oldData = d
 			return nil
 		}
-		p, err := o.drives[parComp.Drive].Read(ctx, &o.caps[parity], o.mgr.part, parComp.Object, compOff, n)
+		p, err := o.readComponent(ctx, parity, compOff, n, stripe)
 		if err != nil {
 			return err
 		}
-		oldPar = pad(p, n)
+		oldPar = p
 		return nil
 	}); err != nil {
 		return err
@@ -374,11 +506,35 @@ func (o *Object) rmwRAID5(ctx context.Context, comp int, compOff uint64, stripe 
 		newPar[i] = oldPar[i] ^ oldData[i] ^ chunk[i]
 	}
 	// Data and parity land in parallel too; the stripe lock keeps the
-	// pair atomic with respect to other writers of this stripe.
-	return eachDrive(2, func(i int) error {
+	// pair atomic with respect to other writers of this stripe. One
+	// failed leg degrades the write instead of failing it: with
+	// newPar = oldPar ^ oldData ^ chunk, reconstruction of a skipped
+	// data lane from the surviving lanes yields exactly chunk, so the
+	// stripe stays logically consistent while the skipped component
+	// waits in the repair ledger. Both legs failing loses the update.
+	werrs := make([]error, 2)
+	_ = eachDrive(2, func(i int) error {
 		if i == 0 {
-			return o.drives[dataComp.Drive].Write(ctx, &o.caps[comp], o.mgr.part, dataComp.Object, compOff, chunk)
+			werrs[0] = o.writeLeg(ctx, comp, compOff, chunk)
+		} else {
+			werrs[1] = o.writeLeg(ctx, parity, compOff, newPar)
 		}
-		return o.drives[parComp.Drive].Write(ctx, &o.caps[parity], o.mgr.part, parComp.Object, compOff, newPar)
+		return nil
 	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if werrs[0] != nil && werrs[1] != nil {
+		return fmt.Errorf("%w: stripe %d data and parity writes both failed: %v", ErrDegraded, stripe, werrs[0])
+	}
+	for i, e := range werrs {
+		if e != nil {
+			idx := comp
+			if i == 1 {
+				idx = parity
+			}
+			o.mgr.noteDegradedWrite(o.desc.Logical, idx, e)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,106 @@
+package cheops
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced time source for breaker tests.
+type fakeClock struct{ now time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.now }
+func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
+func newTestBreaker(threshold int, cooldown time.Duration, clk *fakeClock) *breaker {
+	return newBreaker(threshold, cooldown, clk.Now, newCheopsTel(nil))
+}
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	b := newTestBreaker(3, time.Second, clk)
+	if b.State() != BreakerClosed {
+		t.Fatal("new breaker not closed")
+	}
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("tripped before threshold")
+	}
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("did not trip at threshold")
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted traffic before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	b := newTestBreaker(3, time.Second, clk)
+	b.Failure()
+	b.Failure()
+	b.Success() // consecutive, not cumulative
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed {
+		t.Fatal("interleaved successes still tripped the breaker")
+	}
+}
+
+func TestBreakerHalfOpenAdmitsExactlyOneProbe(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	b := newTestBreaker(1, time.Second, clk)
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("threshold-1 breaker did not trip")
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second probe admitted while first is in flight")
+	}
+}
+
+func TestBreakerProbeOutcomeDecides(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	b := newTestBreaker(1, time.Second, clk)
+
+	b.Failure()
+	clk.Advance(time.Second)
+	b.Allow() // probe
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	// The failed probe restarts the cooldown from its failure time.
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted traffic immediately")
+	}
+
+	clk.Advance(time.Second)
+	b.Allow() // next probe
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refused traffic")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for st, want := range map[BreakerState]string{
+		BreakerClosed:   "closed",
+		BreakerOpen:     "open",
+		BreakerHalfOpen: "half-open",
+	} {
+		if got := st.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", st, got, want)
+		}
+	}
+}

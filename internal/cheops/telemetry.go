@@ -9,6 +9,11 @@ import "nasd/internal/telemetry"
 type cheopsTel struct {
 	reg             *telemetry.Registry
 	degradedReads   *telemetry.Counter   // reads served by reconstruction around a failed component
+	degradedWrites  *telemetry.Counter   // redundant writes that skipped a failed component (repair logged)
+	failovers       *telemetry.Counter   // legs that fell over to a degraded path mid-operation
+	capRenewals     *telemetry.Counter   // expired component capabilities renewed transparently
+	breakerOpens    *telemetry.Counter   // circuit breakers tripped open
+	breakerProbes   *telemetry.Counter   // half-open probes admitted
 	rmwWrites       *telemetry.Counter   // RAID-5 small-write read-modify-write cycles
 	reconstructions *telemetry.Counter   // whole-component rebuilds (ReplaceComponent)
 	readFanout      *telemetry.Histogram // spans per ReadAt (drive-parallel fan-out width)
@@ -22,6 +27,11 @@ func newCheopsTel(reg *telemetry.Registry) *cheopsTel {
 	return &cheopsTel{
 		reg:             reg,
 		degradedReads:   reg.Counter("cheops.degraded_reads"),
+		degradedWrites:  reg.Counter("cheops.degraded_writes"),
+		failovers:       reg.Counter("cheops.failovers"),
+		capRenewals:     reg.Counter("cheops.cap_renewals"),
+		breakerOpens:    reg.Counter("cheops.breaker_opens"),
+		breakerProbes:   reg.Counter("cheops.breaker_probes"),
 		rmwWrites:       reg.Counter("cheops.rmw_writes"),
 		reconstructions: reg.Counter("cheops.reconstructions"),
 		readFanout:      reg.Histogram("cheops.read_fanout"),

@@ -17,6 +17,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"nasd/internal/capability"
@@ -36,6 +38,12 @@ var (
 	ErrAuth = errors.New("client: authorization rejected; revisit file manager")
 	// ErrReplay means the drive saw a stale nonce.
 	ErrReplay = errors.New("client: request rejected as replay")
+	// ErrCapabilityExpired means the drive rejected the capability
+	// specifically because it is past its expiry time. Unlike the
+	// general ErrAuth (which it also matches), this condition is
+	// renewable: the caller can fetch a fresh capability from the file
+	// manager or storage manager and reissue the same request.
+	ErrCapabilityExpired = errors.New("client: capability expired; renew and retry")
 )
 
 // RemoteError carries a drive- or manager-reported failure. It is the
@@ -63,7 +71,11 @@ func (e *RemoteError) Unwrap() error { return e.Err }
 func (e *RemoteError) Is(target error) bool {
 	switch target {
 	case ErrAuth:
-		return e.Status == rpc.StatusAuthFailure
+		// Expiry is an authorization failure too: code that funnels
+		// all auth rejections back to the file manager keeps working.
+		return e.Status == rpc.StatusAuthFailure || e.Status == rpc.StatusCapExpired
+	case ErrCapabilityExpired:
+		return e.Status == rpc.StatusCapExpired
 	case ErrReplay:
 		return e.Status == rpc.StatusReplay
 	}
@@ -130,18 +142,31 @@ func WithSpans(log *telemetry.SpanLog) Option {
 	}
 }
 
-// Drive is a connection to one NASD drive.
+// Drive is a connection to one NASD drive. With WithRetry and
+// WithDialer it is a self-healing handle: requests that fail
+// transiently are reissued (with fresh nonces) under deadline-scoped
+// backoff, over a replacement connection when the old one died.
 type Drive struct {
+	connMu   sync.Mutex
 	cli      *rpc.Client
+	gen      uint64 // bumped per reconnect; names a connection incarnation
+	dial     func() (rpc.Conn, error)
 	driveID  uint64
 	clientID uint64
 	counter  atomic.Uint64
 	secure   bool
 	fragSize int
 	window   int
+	retry    RetryPolicy
+	budget   *retryBudget
+	rngMu    sync.Mutex
+	rng      *rand.Rand // backoff jitter; seeded per handle for determinism
 	reg      *telemetry.Registry
 	spans    *telemetry.SpanLog
-	retries  *telemetry.Counter // pipelined fragments re-issued after transient failures
+
+	retries    *telemetry.Counter // requests or fragments re-issued after transient failures
+	reconnects *telemetry.Counter // replacement connections dialed
+	exhausted  *telemetry.Counter // retries abandoned: budget empty
 }
 
 // New wraps an RPC connection to a drive. clientID identifies this
@@ -165,13 +190,20 @@ func New(conn rpc.Conn, driveID, clientID uint64, opts ...Option) *Drive {
 	if d.spans == nil {
 		d.spans = telemetry.ProcessSpans
 	}
+	d.budget = newRetryBudget(d.retry.Budget)
+	d.rng = seedRNG(driveID, clientID)
 	d.retries = d.reg.Counter("client.retries")
+	d.reconnects = d.reg.Counter("client.reconnects")
+	d.exhausted = d.reg.Counter("client.retries_exhausted")
 	d.cli = rpc.NewClient(conn, rpc.WithClientMetrics(d.reg))
 	return d
 }
 
 // Close releases the connection.
-func (d *Drive) Close() error { return d.cli.Close() }
+func (d *Drive) Close() error {
+	cli, _ := d.client()
+	return cli.Close()
+}
 
 // DriveID returns the drive identity this client targets.
 func (d *Drive) DriveID() uint64 { return d.driveID }
@@ -190,7 +222,8 @@ type Stats struct {
 
 // Stats returns the connection counters.
 func (d *Drive) Stats() Stats {
-	return Stats{RPC: d.cli.Stats(), Retries: d.retries.Load()}
+	cli, _ := d.client()
+	return Stats{RPC: cli.Stats(), Retries: d.retries.Load()}
 }
 
 // ServerMetrics fetches the drive's own telemetry snapshot over the
@@ -211,13 +244,74 @@ func (d *Drive) ServerMetrics(ctx context.Context, traceN int) (drive.StatsReply
 	return sr, nil
 }
 
-// do assembles, signs (via sign, when secure), and issues one request.
-// Every call opens a client-side span (a child of ctx's active span, or
-// a new root); the RPC layer stamps its context into the request header
-// so the drive-side span links under it.
+// do issues one logical request under the retry policy. Every call
+// opens a client-side span (a child of ctx's active span, or a new
+// root); the RPC layer stamps its context into the request header so
+// the drive-side span links under it. Each attempt is assembled and
+// signed from scratch — drives reject replayed nonce counters, so a
+// retried request must carry a fresh nonce and digest.
 func (d *Drive) do(ctx context.Context, op drive.Op, sign func(*rpc.Request), args, data []byte) (*rpc.Reply, error) {
 	ctx, sp := d.spans.StartSpan(ctx, "client."+op.String())
 	defer sp.End()
+	var lastErr error
+	var lastGen uint64
+	for attempt := 0; ; attempt++ {
+		rep, gen, err := d.attempt(ctx, op, sign, args, data)
+		lastGen = gen
+		if err == nil {
+			d.budget.refund()
+			if attempt > 0 {
+				sp.Annotate("retries", fmt.Sprint(attempt))
+			}
+			return rep, nil
+		}
+		lastErr = err
+		mode := d.retryMode(ctx, op, err)
+		if mode == retryNo || attempt+1 >= d.retry.MaxAttempts {
+			break
+		}
+		if !d.budget.take() {
+			d.exhausted.Inc()
+			break
+		}
+		if mode == retryReconnect {
+			if rerr := d.reconnect(gen); rerr != nil {
+				// Unreachable right now; keep the dial error, back
+				// off, and let the next attempt trigger another dial.
+				lastErr = rerr
+			}
+		}
+		d.retries.Inc()
+		sp.Annotate("retry", fmt.Sprintf("%d: %v", attempt+1, err))
+		if serr := d.backoff(ctx, attempt); serr != nil {
+			lastErr = fmt.Errorf("%w; last error: %v", serr, lastErr)
+			break
+		}
+	}
+	var re *RemoteError
+	if errors.As(lastErr, &re) {
+		sp.Annotate("status", re.Status.String())
+	} else {
+		sp.Annotate("error", lastErr.Error())
+		// A transport failure leaves the handle holding a dead
+		// connection. Even when this request cannot be reissued (the op
+		// is non-idempotent, or attempts ran out), repair the
+		// connection now so later requests don't inherit the corpse —
+		// without this, a severed connection would poison every
+		// subsequent create/remove on the handle forever.
+		if d.dial != nil && !errors.Is(lastErr, context.Canceled) &&
+			!errors.Is(lastErr, context.DeadlineExceeded) {
+			_ = d.reconnect(lastGen)
+		}
+	}
+	return nil, lastErr
+}
+
+// attempt issues one wire request on the current connection, returning
+// the connection generation it used so a retry can name it to
+// reconnect().
+func (d *Drive) attempt(ctx context.Context, op drive.Op, sign func(*rpc.Request), args, data []byte) (*rpc.Reply, uint64, error) {
+	cli, gen := d.client()
 	req := &rpc.Request{
 		Proc: uint16(op),
 		Args: args,
@@ -231,16 +325,19 @@ func (d *Drive) do(ctx context.Context, op drive.Op, sign func(*rpc.Request), ar
 		req.SecOpts = rpc.SecIntegrity
 		sign(req)
 	}
-	rep, err := d.cli.Call(ctx, req)
+	if d.retry.AttemptTimeout > 0 {
+		actx, cancel := context.WithTimeout(ctx, d.retry.AttemptTimeout)
+		defer cancel()
+		ctx = actx
+	}
+	rep, err := cli.Call(ctx, req)
 	if err != nil {
-		sp.Annotate("error", err.Error())
-		return nil, err
+		return nil, gen, err
 	}
 	if rep.Status != rpc.StatusOK {
-		sp.Annotate("status", rep.Status.String())
-		return nil, &RemoteError{Status: rep.Status, Msg: rep.Msg}
+		return nil, gen, &RemoteError{Status: rep.Status, Msg: rep.Msg}
 	}
-	return rep, nil
+	return rep, gen, nil
 }
 
 // ServerSpans fetches every span the drive recorded for traceID over

@@ -21,13 +21,20 @@ import (
 // transient reports whether a fragment failure is worth one retry:
 // generic drive errors may be momentary (cache pressure, write-behind
 // stalls), while auth failures, replays, missing objects, and quota
-// rejections name permanent conditions.
-func transient(err error) bool {
+// rejections name permanent conditions. Transport errors are
+// retryable when the handle has a dialer: fragments are idempotent
+// byte-range ops, and do() reconnects before reissuing — so a link
+// severed mid-window resumes from the unacked fragments instead of
+// killing the whole transfer.
+func (d *Drive) transient(err error) bool {
 	var re *RemoteError
-	if !errors.As(err, &re) {
-		return false // transport errors kill the connection; no retry
+	if errors.As(err, &re) {
+		return re.Status == rpc.StatusError
 	}
-	return re.Status == rpc.StatusError
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false // the caller's context, not the link
+	}
+	return d.dial != nil
 }
 
 // fragPlan describes one fragment of a pipelined transfer.
@@ -70,7 +77,7 @@ func (d *Drive) runWindowed(ctx context.Context, frags []fragPlan, window int, o
 			defer wg.Done()
 			defer func() { <-sem }()
 			err := op(cctx, f)
-			if err != nil && transient(err) && cctx.Err() == nil {
+			if err != nil && d.transient(err) && cctx.Err() == nil {
 				d.retries.Inc()
 				err = op(cctx, f)
 			}

@@ -1,0 +1,259 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"nasd/internal/drive"
+	"nasd/internal/rpc"
+)
+
+// ErrNoDialer is returned when a retry needs a fresh connection but the
+// handle was built without WithDialer.
+var ErrNoDialer = errors.New("client: connection lost and no dialer configured")
+
+// RetryPolicy bounds how a Drive handle reissues failed requests. The
+// policy is deadline-scoped: backoff never sleeps past the caller's
+// context deadline, and a canceled context stops retrying immediately.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per request, including the first
+	// (1 = never retry).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry; it doubles per
+	// attempt (with jitter in [d/2, d)) up to MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the per-retry delay.
+	MaxBackoff time.Duration
+	// Budget is the per-connection retry token pool. Each retry spends
+	// one token; each success refunds a tenth. A drive that fails
+	// persistently exhausts the budget and errors surface fast instead
+	// of amplifying load (the retry-budget idea from production RPC
+	// systems, scaled to one client-drive pair).
+	Budget int
+	// AttemptTimeout, when > 0, bounds each individual attempt so a
+	// lost request on a blackholed link is detected and reissued while
+	// the caller's overall deadline still has room. 0 disables
+	// per-attempt deadlines.
+	AttemptTimeout time.Duration
+}
+
+// DefaultRetryPolicy returns the values WithRetry substitutes for zero
+// fields (AttemptTimeout excepted: it defaults off).
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 4,
+		BaseBackoff: 2 * time.Millisecond,
+		MaxBackoff:  250 * time.Millisecond,
+		Budget:      64,
+	}
+}
+
+// WithRetry arms the handle with a retry policy. Zero-valued fields
+// take DefaultRetryPolicy values. Without this option a Drive never
+// retries at the request level (fragment-level pipelining retries
+// still apply).
+func WithRetry(p RetryPolicy) Option {
+	return func(d *Drive) {
+		def := DefaultRetryPolicy()
+		if p.MaxAttempts <= 0 {
+			p.MaxAttempts = def.MaxAttempts
+		}
+		if p.BaseBackoff <= 0 {
+			p.BaseBackoff = def.BaseBackoff
+		}
+		if p.MaxBackoff <= 0 {
+			p.MaxBackoff = def.MaxBackoff
+		}
+		if p.Budget <= 0 {
+			p.Budget = def.Budget
+		}
+		d.retry = p
+	}
+}
+
+// WithDialer supplies the reconnect path: when a retryable request
+// fails on a dead connection, the handle dials a replacement and
+// reissues over it (with a fresh nonce — drives reject replayed
+// counters). Concurrent fragments that observe the same dead
+// connection share one reconnect.
+func WithDialer(dial func() (rpc.Conn, error)) Option {
+	return func(d *Drive) { d.dial = dial }
+}
+
+// retryBudget is a token bucket in tenths: a retry costs 10 tenths, a
+// success refunds 1, so sustained retries are capped near 10% of
+// successful traffic once the initial pool drains.
+type retryBudget struct {
+	mu     sync.Mutex
+	tenths int
+	max    int
+}
+
+func newRetryBudget(tokens int) *retryBudget {
+	if tokens < 1 {
+		tokens = 1
+	}
+	return &retryBudget{tenths: tokens * 10, max: tokens * 10}
+}
+
+func (b *retryBudget) take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tenths >= 10 {
+		b.tenths -= 10
+		return true
+	}
+	return false
+}
+
+func (b *retryBudget) refund() {
+	b.mu.Lock()
+	if b.tenths < b.max {
+		b.tenths++
+	}
+	b.mu.Unlock()
+}
+
+// retryMode classifies one failure.
+type retryMode int
+
+const (
+	retryNo        retryMode = iota // surface the error
+	retrySame                       // reissue on the current connection
+	retryReconnect                  // dial a fresh connection, then reissue
+)
+
+// idempotent reports whether op may be safely re-executed when the
+// first attempt's fate is unknown (transport died or the attempt timed
+// out after the request may have reached the drive). NASD reads and
+// writes address absolute byte ranges under a capability, so repeating
+// one is a no-op; allocation ops (create, version, bump) and removes
+// change outcome on re-execution and must not be blind-retried.
+func idempotent(op drive.Op) bool {
+	switch op {
+	case drive.OpReadObject, drive.OpWriteObject, drive.OpGetAttr, drive.OpSetAttr,
+		drive.OpListObjects, drive.OpGetPartition, drive.OpFlush, drive.OpGetStats,
+		drive.OpExecute, drive.OpSetKey:
+		return true
+	}
+	return false
+}
+
+// retryMode classifies err from an attempt of op. ctx is the caller's
+// context (not the per-attempt one).
+func (d *Drive) retryMode(ctx context.Context, op drive.Op, err error) retryMode {
+	if d.retry.MaxAttempts <= 1 {
+		return retryNo
+	}
+	if ctx.Err() != nil {
+		// The caller's deadline or cancellation: never retry past it.
+		return retryNo
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		// The drive answered, so the connection is healthy and the
+		// request demonstrably executed exactly once. Only generic
+		// drive errors (momentary media or resource conditions) are
+		// worth retrying; auth, replay, expiry, not-found, and quota
+		// rejections are deterministic.
+		if re.Status == rpc.StatusError {
+			return retrySame
+		}
+		return retryNo
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		// The per-attempt timeout fired (the caller's context is
+		// still live, checked above): the request or its reply was
+		// lost. Reissuing is safe only for idempotent ops.
+		if idempotent(op) {
+			return retrySame
+		}
+		return retryNo
+	}
+	if errors.Is(err, context.Canceled) {
+		return retryNo
+	}
+	// Transport failure. When the failure happened before the request
+	// left the client (rpc.ErrNotSent), the drive demonstrably never
+	// saw it and any op may be reissued; otherwise the attempt's fate
+	// is unknown and only idempotent ops are safe.
+	if d.dial != nil && (idempotent(op) || errors.Is(err, rpc.ErrNotSent)) {
+		return retryReconnect
+	}
+	return retryNo
+}
+
+// backoff sleeps the jittered exponential delay for the given retry
+// attempt, scoped to ctx: it returns ctx.Err() instead of sleeping
+// past the caller's deadline.
+func (d *Drive) backoff(ctx context.Context, attempt int) error {
+	delay := d.retry.BaseBackoff << uint(attempt)
+	if delay <= 0 || delay > d.retry.MaxBackoff {
+		delay = d.retry.MaxBackoff
+	}
+	// Full jitter over the upper half: [delay/2, delay).
+	d.rngMu.Lock()
+	delay = delay/2 + time.Duration(d.rng.Int63n(int64(delay/2)+1))
+	d.rngMu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		if remain := time.Until(dl); remain < delay {
+			delay = remain // the deadline fires first; let it
+		}
+	}
+	if delay <= 0 {
+		return context.DeadlineExceeded
+	}
+	t := time.NewTimer(delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+// client returns the current RPC client and its generation. The
+// generation lets a failed attempt name the connection it saw die, so
+// reconnect() is idempotent across concurrent fragments.
+func (d *Drive) client() (*rpc.Client, uint64) {
+	d.connMu.Lock()
+	defer d.connMu.Unlock()
+	return d.cli, d.gen
+}
+
+// reconnect replaces the connection if gen still names the one the
+// caller observed failing; when another fragment already reconnected,
+// it returns immediately so a window's worth of failures costs one
+// dial, not window dials.
+func (d *Drive) reconnect(gen uint64) error {
+	d.connMu.Lock()
+	defer d.connMu.Unlock()
+	if d.gen != gen {
+		return nil
+	}
+	if d.dial == nil {
+		return ErrNoDialer
+	}
+	conn, err := d.dial()
+	if err != nil {
+		return fmt.Errorf("client: reconnect: %w", err)
+	}
+	d.cli.Close()
+	d.cli = rpc.NewClient(conn, rpc.WithClientMetrics(d.reg))
+	d.gen++
+	d.reconnects.Inc()
+	return nil
+}
+
+// seedRNG builds the deterministic jitter source for a handle.
+func seedRNG(driveID, clientID uint64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(clientID*0x9E3779B9 ^ driveID)))
+}

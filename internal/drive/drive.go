@@ -191,7 +191,14 @@ func (d *Drive) authorize(req *rpc.Request, ph *phases, part uint16, obj uint64,
 		Op: op, Offset: off, Length: length, Now: d.clock(),
 	}
 	if err := capability.Validate(pub, req.SigningBody(), req.ReqDig, chk, d.keys); err != nil {
-		return rpc.Errorf(req.MsgID, rpc.StatusAuthFailure, "%v", err)
+		st := rpc.StatusAuthFailure
+		if errors.Is(err, capability.ErrExpired) {
+			// Expiry is the one renewable rejection: the wire status
+			// tells clients to fetch a fresh capability and reissue
+			// instead of treating the drive as hostile.
+			st = rpc.StatusCapExpired
+		}
+		return rpc.Errorf(req.MsgID, st, "%v", err)
 	}
 	return nil
 }

@@ -444,7 +444,7 @@ func (c *Client) Call(ctx context.Context, req *Request) (*Reply, error) {
 			err = ErrClosed
 		}
 		c.statFailures.Inc()
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrNotSent, err)
 	}
 	c.nextID++
 	req.MsgID = c.nextID
@@ -475,7 +475,7 @@ func (c *Client) Call(ctx context.Context, req *Request) (*Reply, error) {
 		delete(c.pending, req.MsgID)
 		c.mu.Unlock()
 		c.statFailures.Inc()
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrNotSent, err)
 	}
 	c.statBytesSent.Add(uint64(len(wire)))
 

@@ -1,0 +1,248 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// drain receives until the pipe goes quiet, returning the messages that
+// actually arrived.
+func drain(t *testing.T, c Conn, want int) [][]byte {
+	t.Helper()
+	var got [][]byte
+	for len(got) < want {
+		msg, err := c.Recv()
+		if err != nil {
+			t.Fatalf("recv after %d messages: %v", len(got), err)
+		}
+		got = append(got, msg)
+	}
+	return got
+}
+
+func TestFaultsDropEvery(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	f := NewFaults(1)
+	f.DropEvery(3)
+	fa := f.Wrap(a)
+	defer fa.Close()
+
+	for i := byte(0); i < 9; i++ {
+		if err := fa.Send([]byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sends 3, 6, 9 vanish: six messages arrive.
+	got := drain(t, b, 6)
+	want := []byte{0, 1, 3, 4, 6, 7}
+	for i, m := range got {
+		if m[0] != want[i] {
+			t.Fatalf("message %d = %d, want %d", i, m[0], want[i])
+		}
+	}
+	if st := f.Stats(); st.Dropped != 3 || st.Sent != 9 {
+		t.Fatalf("stats = %+v, want 3 dropped of 9", st)
+	}
+}
+
+func TestFaultsDuplicateEvery(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	f := NewFaults(1)
+	f.DuplicateEvery(2)
+	fa := f.Wrap(a)
+	defer fa.Close()
+
+	for i := byte(0); i < 4; i++ {
+		if err := fa.Send([]byte{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Sends 2 and 4 arrive twice.
+	got := drain(t, b, 6)
+	want := []byte{0, 1, 1, 2, 3, 3}
+	for i, m := range got {
+		if m[0] != want[i] {
+			t.Fatalf("message %d = %d, want %d", i, m[0], want[i])
+		}
+	}
+	if st := f.Stats(); st.Duplicated != 2 {
+		t.Fatalf("stats = %+v, want 2 duplicated", st)
+	}
+}
+
+func TestFaultsDelay(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	f := NewFaults(1)
+	f.Delay(20 * time.Millisecond)
+	fa := f.Wrap(a)
+	defer fa.Close()
+
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if err := fa.Send([]byte{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain(t, b, 3)
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("three 20ms-delayed sends took only %v", el)
+	}
+}
+
+func TestFaultsDownSeversRefusesAndRevives(t *testing.T) {
+	l := NewInProcListener("faults")
+	srv := NewServer(echoServer(t))
+	go srv.Serve(l)
+	defer srv.Close()
+
+	f := NewFaults(1)
+	conn, err := f.Dial(l.Dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send([]byte("up")); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Down()
+	// The live connection was severed: its reads unblock with an error.
+	if _, err := conn.Recv(); err == nil {
+		t.Fatal("recv on a severed connection succeeded")
+	}
+	if err := conn.Send([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("send while down = %v, want ErrInjected", err)
+	}
+	if _, err := f.Dial(l.Dial); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial while down = %v, want ErrInjected", err)
+	}
+
+	f.Revive()
+	conn2, err := f.Dial(l.Dial)
+	if err != nil {
+		t.Fatalf("dial after revive: %v", err)
+	}
+	defer conn2.Close()
+	if err := conn2.Send([]byte("back")); err != nil {
+		t.Fatalf("send after revive: %v", err)
+	}
+	st := f.Stats()
+	if st.Severed == 0 || st.FailedSends == 0 || st.RefusedDials == 0 {
+		t.Fatalf("stats = %+v, want severed/failed/refused all counted", st)
+	}
+}
+
+func TestFaultsSeverAfter(t *testing.T) {
+	a, b := Pipe()
+	defer b.Close()
+	f := NewFaults(1)
+	f.SeverAfter(3)
+	fa := f.Wrap(a)
+
+	for i := 0; i < 2; i++ {
+		if err := fa.Send([]byte{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fa.Send([]byte{0}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third send = %v, want ErrInjected sever", err)
+	}
+	if err := fa.Send([]byte{0}); err == nil {
+		t.Fatal("send on severed connection succeeded")
+	}
+}
+
+func TestFaultsPartitionIsSilent(t *testing.T) {
+	srv := NewServer(echoServer(t))
+	l := NewInProcListener("part")
+	go srv.Serve(l)
+	defer srv.Close()
+
+	f := NewFaults(1)
+	conn, err := f.Dial(l.Dial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn)
+	defer cli.Close()
+
+	// Healthy first, so the failure below is the partition's doing.
+	if _, err := cli.Call(context.Background(), &Request{Proc: 1, Data: []byte("ok")}); err != nil {
+		t.Fatal(err)
+	}
+
+	f.Partition(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	// The request vanishes without an error: only the deadline notices.
+	if _, err := cli.Call(ctx, &Request{Proc: 1, Data: []byte("lost")}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("call through partition = %v, want DeadlineExceeded", err)
+	}
+
+	f.Partition(false)
+	if _, err := cli.Call(context.Background(), &Request{Proc: 1, Data: []byte("healed")}); err != nil {
+		t.Fatalf("call after partition healed: %v", err)
+	}
+}
+
+func TestFaultsDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) FaultStats {
+		a, b := Pipe()
+		defer b.Close()
+		go func() {
+			for {
+				if _, err := b.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+		f := NewFaults(seed)
+		f.DropRate(0.3)
+		f.DuplicateRate(0.2)
+		fa := f.Wrap(a)
+		defer fa.Close()
+		for i := 0; i < 200; i++ {
+			if err := fa.Send([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f.Stats()
+	}
+	if a, b := run(7), run(7); a != b {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if a, b := run(7), run(8); a == b {
+		t.Fatalf("different seeds produced identical schedules: %+v", a)
+	}
+}
+
+func TestFaultsWrapListenerFaultsReplies(t *testing.T) {
+	srv := NewServer(echoServer(t))
+	l := NewInProcListener("wl")
+	f := NewFaults(1)
+	go srv.Serve(f.WrapListener(l))
+	defer srv.Close()
+
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(conn)
+	defer cli.Close()
+
+	if _, err := cli.Call(context.Background(), &Request{Proc: 1, Data: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the server's next reply: the request arrives and executes,
+	// but the answer never comes back.
+	f.DropEvery(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := cli.Call(ctx, &Request{Proc: 1, Data: []byte("b")}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("call with dropped reply = %v, want DeadlineExceeded", err)
+	}
+}

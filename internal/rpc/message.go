@@ -40,6 +40,7 @@ const (
 	StatusNoPartition
 	StatusQuota
 	StatusBadRequest
+	StatusCapExpired // capability past its expiry: renew at the file manager and retry
 )
 
 // String names the status.
@@ -61,6 +62,8 @@ func (s Status) String() string {
 		return "quota"
 	case StatusBadRequest:
 		return "bad-request"
+	case StatusCapExpired:
+		return "cap-expired"
 	}
 	return fmt.Sprintf("status(%d)", uint16(s))
 }

@@ -1,6 +1,10 @@
 package rpc
 
 import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
 	"time"
 
 	"nasd/internal/simtime"
@@ -75,3 +79,283 @@ func (t *ThrottledListener) Close() error { return t.l.Close() }
 
 // Addr implements Listener.
 func (t *ThrottledListener) Addr() string { return t.l.Addr() }
+
+// ErrInjected marks an error produced by the fault-injection layer
+// rather than a real transport. Tests can distinguish scheduled faults
+// from genuine bugs with errors.Is.
+var ErrInjected = errors.New("rpc: injected fault")
+
+// FaultStats counts what the schedule actually did, for asserting that
+// a test exercised the path it meant to.
+type FaultStats struct {
+	Sent         uint64 // messages offered to faulted conns
+	Dropped      uint64 // silently discarded
+	Duplicated   uint64 // sent twice
+	Severed      uint64 // connections forcibly closed
+	FailedSends  uint64 // sends failed fast (drive down)
+	RefusedDials uint64 // dials refused (drive down)
+}
+
+// Faults is a deterministic fault schedule for one simulated link or
+// drive. All connections wrapped by (or dialed through) one Faults
+// value share the schedule, so "partition drive 2" is one call that
+// governs every client of that drive. Faults are applied on the send
+// side, consistent with ThrottledConn's link model; a listener wrapped
+// with WrapListener extends the schedule to the server's replies.
+//
+// Probabilistic faults draw from a seeded source: the same seed and
+// the same (single-threaded) send sequence produce the same schedule.
+type Faults struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	conns map[*FaultConn]struct{}
+
+	down        bool // crashed: live conns severed, dials refused, sends fail fast
+	partitioned bool // blackholed: sends vanish silently, detection is by deadline
+
+	dropEvery  uint64  // drop every Nth send (0 = off)
+	dupEvery   uint64  // duplicate every Nth send (0 = off)
+	dropProb   float64 // drop each send with probability p
+	dupProb    float64 // duplicate each send with probability p
+	delay      time.Duration
+	severAfter int64 // sever all conns after this many more sends (<=0 = off)
+
+	stats FaultStats
+}
+
+// NewFaults builds an empty (pass-through) schedule; faults are armed
+// by the control methods below, before or during traffic.
+func NewFaults(seed int64) *Faults {
+	return &Faults{
+		rng:   rand.New(rand.NewSource(seed)),
+		conns: make(map[*FaultConn]struct{}),
+	}
+}
+
+// Wrap subjects conn to the schedule.
+func (f *Faults) Wrap(conn Conn) *FaultConn {
+	fc := &FaultConn{f: f, conn: conn}
+	f.mu.Lock()
+	down := f.down
+	f.conns[fc] = struct{}{}
+	f.mu.Unlock()
+	if down {
+		fc.Close()
+	}
+	return fc
+}
+
+// WrapListener subjects every accepted connection to the schedule.
+func (f *Faults) WrapListener(l Listener) Listener { return &faultListener{f: f, l: l} }
+
+// Dial runs dial under the schedule: refused while the drive is down,
+// and the resulting connection is wrapped. This is the hook a client's
+// reconnect path goes through, so a crashed drive stays unreachable
+// until Revive.
+func (f *Faults) Dial(dial func() (Conn, error)) (Conn, error) {
+	f.mu.Lock()
+	if f.down {
+		f.stats.RefusedDials++
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w: dial refused, drive down", ErrInjected)
+	}
+	f.mu.Unlock()
+	c, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	return f.Wrap(c), nil
+}
+
+// Down crashes the drive: every live connection is severed, new sends
+// fail fast, and dials are refused until Revive. This is the fail-stop
+// model the paper's "drives fail independently" assumption describes.
+func (f *Faults) Down() {
+	f.mu.Lock()
+	f.down = true
+	conns := make([]*FaultConn, 0, len(f.conns))
+	for c := range f.conns {
+		conns = append(conns, c)
+	}
+	f.stats.Severed += uint64(len(conns))
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Revive brings a Down drive back. Existing connections stay dead
+// (they were severed); clients must reconnect.
+func (f *Faults) Revive() {
+	f.mu.Lock()
+	f.down = false
+	f.mu.Unlock()
+}
+
+// Partition toggles a silent blackhole: sends are accepted and
+// discarded, so failure is only detectable by timeout. Unlike Down,
+// connections stay ostensibly alive.
+func (f *Faults) Partition(on bool) {
+	f.mu.Lock()
+	f.partitioned = on
+	f.mu.Unlock()
+}
+
+// DropEvery drops every nth send (0 disables).
+func (f *Faults) DropEvery(n uint64) { f.mu.Lock(); f.dropEvery = n; f.mu.Unlock() }
+
+// DuplicateEvery duplicates every nth send (0 disables).
+func (f *Faults) DuplicateEvery(n uint64) { f.mu.Lock(); f.dupEvery = n; f.mu.Unlock() }
+
+// DropRate drops each send with probability p, drawn from the seeded
+// source.
+func (f *Faults) DropRate(p float64) { f.mu.Lock(); f.dropProb = p; f.mu.Unlock() }
+
+// DuplicateRate duplicates each send with probability p.
+func (f *Faults) DuplicateRate(p float64) { f.mu.Lock(); f.dupProb = p; f.mu.Unlock() }
+
+// Delay adds a fixed latency before every send.
+func (f *Faults) Delay(d time.Duration) { f.mu.Lock(); f.delay = d; f.mu.Unlock() }
+
+// SeverAfter closes every connection under the schedule after n more
+// sends — the "link dies mid-window" case pipelined transfers must
+// survive. n <= 0 disarms.
+func (f *Faults) SeverAfter(n int64) {
+	f.mu.Lock()
+	f.severAfter = n
+	f.mu.Unlock()
+}
+
+// Stats returns a snapshot of what the schedule has done so far.
+func (f *Faults) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// sendAction is one decision of the schedule, computed under the lock.
+type sendAction struct {
+	fail  bool // fail the send fast (drive down)
+	drop  bool // discard silently
+	dup   bool // send twice
+	sever bool // close every conn, then fail this send
+	delay time.Duration
+}
+
+func (f *Faults) plan() (sendAction, []*FaultConn) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Sent++
+	var a sendAction
+	if f.down {
+		a.fail = true
+		f.stats.FailedSends++
+		return a, nil
+	}
+	if f.severAfter > 0 {
+		f.severAfter--
+		if f.severAfter == 0 {
+			a.sever = true
+			conns := make([]*FaultConn, 0, len(f.conns))
+			for c := range f.conns {
+				conns = append(conns, c)
+			}
+			f.stats.Severed += uint64(len(conns))
+			return a, conns
+		}
+	}
+	if f.partitioned ||
+		(f.dropEvery > 0 && f.stats.Sent%f.dropEvery == 0) ||
+		(f.dropProb > 0 && f.rng.Float64() < f.dropProb) {
+		a.drop = true
+		f.stats.Dropped++
+		return a, nil
+	}
+	if (f.dupEvery > 0 && f.stats.Sent%f.dupEvery == 0) ||
+		(f.dupProb > 0 && f.rng.Float64() < f.dupProb) {
+		a.dup = true
+		f.stats.Duplicated++
+	}
+	a.delay = f.delay
+	return a, nil
+}
+
+func (f *Faults) forget(fc *FaultConn) {
+	f.mu.Lock()
+	delete(f.conns, fc)
+	f.mu.Unlock()
+}
+
+// FaultConn applies a Faults schedule to one connection's sends.
+type FaultConn struct {
+	f    *Faults
+	conn Conn
+}
+
+// Send implements Conn, consulting the schedule first.
+func (c *FaultConn) Send(msg []byte) error {
+	act, sever := c.f.plan()
+	if act.fail {
+		return fmt.Errorf("%w: drive down", ErrInjected)
+	}
+	if act.sever {
+		for _, sc := range sever {
+			sc.Close()
+		}
+		return fmt.Errorf("%w: connection severed", ErrInjected)
+	}
+	if act.drop {
+		return nil
+	}
+	if act.delay > 0 {
+		time.Sleep(act.delay)
+	}
+	if err := c.conn.Send(msg); err != nil {
+		return err
+	}
+	if act.dup {
+		return c.conn.Send(msg)
+	}
+	return nil
+}
+
+// Recv implements Conn. Receives are not faulted directly: the peer's
+// send side (wrapped via WrapListener) owns its own faults, and Sever
+// or Down surface here as the underlying close.
+func (c *FaultConn) Recv() ([]byte, error) { return c.conn.Recv() }
+
+// Close implements Conn and removes the conn from the schedule.
+func (c *FaultConn) Close() error {
+	c.f.forget(c)
+	return c.conn.Close()
+}
+
+// SetSendDeadline forwards to the underlying transport when it supports
+// deadlines.
+func (c *FaultConn) SetSendDeadline(dl time.Time) error {
+	if d, ok := c.conn.(SendDeadliner); ok {
+		return d.SetSendDeadline(dl)
+	}
+	return nil
+}
+
+type faultListener struct {
+	f *Faults
+	l Listener
+}
+
+// Accept implements Listener, wrapping each accepted conn in the
+// schedule so server replies fault the same way client requests do.
+func (fl *faultListener) Accept() (Conn, error) {
+	c, err := fl.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return fl.f.Wrap(c), nil
+}
+
+// Close implements Listener.
+func (fl *faultListener) Close() error { return fl.l.Close() }
+
+// Addr implements Listener.
+func (fl *faultListener) Addr() string { return fl.l.Addr() }

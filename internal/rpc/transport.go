@@ -39,6 +39,11 @@ type SendDeadliner interface {
 // ErrClosed is returned by operations on closed connections/listeners.
 var ErrClosed = errors.New("rpc: connection closed")
 
+// ErrNotSent wraps a call failure that happened before the request left
+// the client: the remote demonstrably never saw the request, so
+// reissuing it is safe even for non-idempotent operations.
+var ErrNotSent = errors.New("rpc: request never sent")
+
 // --- In-process transport ------------------------------------------------
 
 type inprocConn struct {

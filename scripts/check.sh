@@ -23,6 +23,21 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Fault-tolerance focus: rerun the fault/retry/failover tests by name so
+# a resilience regression is called out explicitly instead of hiding in
+# the full-suite output above.
+echo "==> go test -race -run 'Faults|Retry|Reconnect|NeverSent|FateUnknown|Breaker|Chaos|Rollback|Hang|CapabilityRenewal' (fault-tolerance focus)"
+go test -race \
+    -run 'Faults|Retry|Reconnect|NeverSent|FateUnknown|Breaker|Chaos|Rollback|Hang|CapabilityRenewal' \
+    ./internal/rpc ./internal/client ./internal/cheops ./internal/blockdev
+
+# Chaos smoke: the sever/revive/repair soak from DESIGN.md §6 must pass
+# end to end — drive 2 crashes mid-run, every op still verifies, and the
+# run itself asserts the retry/failover/breaker counters advanced.
+echo "==> go run ./cmd/nasdbench -chaos -chaos-duration 2s -json ."
+go run ./cmd/nasdbench -chaos -chaos-duration 2s -json . > /dev/null
+test -s BENCH_chaos.json
+
 # Benchmark smoke: every benchmark must still run (one iteration each);
 # regressions in benchmark-only code paths surface here, not in CI
 # archaeology.
