@@ -3,23 +3,29 @@
 // Usage:
 //
 //	nasdbench [-quick] [-experiment fig4,fig6,fig7,table1,fig9,andrew,active|all]
-//	nasdbench -stats [-stats-mb 8]
-//	nasdbench -parallel 4 [-stats-mb 8]
+//	nasdbench -workload stats|parallel|chaos|smallobj [flags]
 //
 // Each experiment prints the paper's values beside the values produced
 // by this repository's models and simulations.
 //
-// With -stats, nasdbench instead runs a live write+read workload
-// against an in-process secure drive and prints the drive's measured
-// per-op telemetry: service time per NASD operation split into digest
-// verification, object system, and media — Table 1's decomposition,
-// measured rather than modelled.
+// With -workload, nasdbench instead runs a live workload against
+// in-process drives (the older -stats, -parallel N, and -chaos flags
+// remain as aliases):
 //
-// With -parallel N, nasdbench drives one drive with N concurrent client
-// workers over distinct objects and prints aggregate throughput plus
-// the per-layer lock-contention telemetry (DESIGN.md §4).
+//   - stats: a write+read workload against one secure drive, printing
+//     the measured per-op telemetry — service time per NASD operation
+//     split into digest verification, object system, and media;
+//     Table 1's decomposition, measured rather than modelled.
+//   - parallel: N concurrent client workers over distinct objects on
+//     one drive, printing aggregate throughput plus the per-layer
+//     lock-contention telemetry (DESIGN.md §4).
+//   - chaos: the sever/revive/repair soak from DESIGN.md §6 over four
+//     drives with verified RAID-5/mirrored traffic.
+//   - smallobj: the classic-vs-needle storage-engine comparison — a
+//     4 KiB object population written once then served with a Zipf
+//     stat+read mix, on one partition per backend (DESIGN.md §4).
 //
-// With -json PATH, -stats and -parallel additionally write a
+// With -json PATH, every live workload additionally writes a
 // machine-readable BENCH_<name>.json result (throughput, latency
 // percentiles, config; schema in EXPERIMENTS.md) so runs can be
 // compared over time.
@@ -38,33 +44,48 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "run shorter simulations with fewer points")
 	which := flag.String("experiment", "all", "comma-separated experiment IDs, or 'all'")
-	stats := flag.Bool("stats", false, "run a live workload and print the drive's measured per-op cost breakdown")
-	statsMB := flag.Int("stats-mb", 8, "workload size in MB for -stats and per worker for -parallel")
-	parallel := flag.Int("parallel", 0, "run N concurrent client workers over distinct objects on one drive and print throughput plus lock-contention telemetry")
-	chaos := flag.Bool("chaos", false, "run the fault-tolerance soak: four drives, one severed mid-run and revived, every operation verified")
-	chaosDur := flag.Duration("chaos-duration", 3*time.Second, "total soak length for -chaos (split across healthy/degraded/recovered phases)")
-	chaosSeed := flag.Int64("seed", 1, "deterministic seed for the -chaos fault schedule and workload")
-	jsonOut := flag.String("json", "", "also write a machine-readable BENCH_<name>.json result: a .json path names the file, anything else the directory (-stats, -parallel and -chaos only)")
+	workload := flag.String("workload", "", "live workload selector: stats, parallel, chaos, or smallobj (empty = run experiments)")
+	stats := flag.Bool("stats", false, "alias for -workload stats")
+	statsMB := flag.Int("stats-mb", 8, "workload size in MB for the stats workload and per worker for parallel")
+	parallel := flag.Int("parallel", 0, "worker count for the parallel workload; a nonzero value is also an alias for -workload parallel")
+	chaos := flag.Bool("chaos", false, "alias for -workload chaos")
+	chaosDur := flag.Duration("chaos-duration", 3*time.Second, "total soak length for the chaos workload (split across healthy/degraded/recovered phases)")
+	chaosSeed := flag.Int64("seed", 1, "deterministic seed for the chaos fault schedule and workload")
+	smallObjects := flag.Int("smallobj-objects", 20000, "object population for the smallobj workload (scaled stand-in for the Haystack million-object store)")
+	jsonOut := flag.String("json", "", "also write a machine-readable BENCH_<name>.json result: a .json path names the file, anything else the directory (live workloads only)")
 	flag.Parse()
 
-	if *chaos {
-		if err := runChaos(os.Stdout, *chaosDur, *chaosSeed, *jsonOut); err != nil {
-			fmt.Fprintf(os.Stderr, "nasdbench: %v\n", err)
-			os.Exit(1)
-		}
-		return
+	// The boolean/count flags predate -workload and remain as aliases.
+	wl := *workload
+	switch {
+	case wl != "":
+	case *chaos:
+		wl = "chaos"
+	case *parallel > 0:
+		wl = "parallel"
+	case *stats:
+		wl = "stats"
 	}
 
-	if *parallel > 0 {
-		if err := runParallel(os.Stdout, *parallel, *statsMB, *jsonOut); err != nil {
-			fmt.Fprintf(os.Stderr, "nasdbench: %v\n", err)
-			os.Exit(1)
+	if wl != "" {
+		var err error
+		switch wl {
+		case "stats":
+			err = runStats(os.Stdout, *statsMB, *jsonOut)
+		case "parallel":
+			workers := *parallel
+			if workers <= 0 {
+				workers = 4
+			}
+			err = runParallel(os.Stdout, workers, *statsMB, *jsonOut)
+		case "chaos":
+			err = runChaos(os.Stdout, *chaosDur, *chaosSeed, *jsonOut)
+		case "smallobj":
+			err = runSmallObj(os.Stdout, *smallObjects, *jsonOut)
+		default:
+			err = fmt.Errorf("unknown -workload %q (want stats, parallel, chaos, or smallobj)", wl)
 		}
-		return
-	}
-
-	if *stats {
-		if err := runStats(os.Stdout, *statsMB, *jsonOut); err != nil {
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "nasdbench: %v\n", err)
 			os.Exit(1)
 		}

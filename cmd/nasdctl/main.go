@@ -10,7 +10,10 @@
 //
 // Commands:
 //
-//	mkpart PART [QUOTA_BLOCKS]      create a partition
+//	mkpart PART [QUOTA_BLOCKS] [BACKEND]
+//	                                create a partition; BACKEND is
+//	                                classic or needle (default: the
+//	                                drive's -backend setting)
 //	rmpart PART                     remove an empty partition
 //	partinfo PART                   show partition usage
 //	create PART                     create an object, print its ID
@@ -49,6 +52,7 @@ import (
 	"nasd/internal/capability"
 	"nasd/internal/client"
 	"nasd/internal/crypt"
+	"nasd/internal/object"
 	"nasd/internal/rpc"
 	"nasd/internal/telemetry"
 )
@@ -192,6 +196,13 @@ func (c *ctl) run(args []string) error {
 		if len(rest) > 1 {
 			quota = int64(parseU(rest[1]))
 		}
+		if len(rest) > 2 {
+			kind, err := object.ParseBackendKind(rest[2])
+			if err != nil {
+				return err
+			}
+			return c.cli.CreatePartitionBackend(c.ctx, c.masterID(), c.master, uint16(parseU(rest[0])), quota, kind)
+		}
 		return c.cli.CreatePartition(c.ctx, c.masterID(), c.master, uint16(parseU(rest[0])), quota)
 	case "rmpart":
 		need(1)
@@ -202,8 +213,8 @@ func (c *ctl) run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("partition %d: quota %d blocks, used %d blocks, %d objects\n",
-			p.ID, p.QuotaBlocks, p.UsedBlocks, p.ObjectCount)
+		fmt.Printf("partition %d (%s): quota %d blocks, used %d blocks, %d objects\n",
+			p.ID, p.Backend, p.QuotaBlocks, p.UsedBlocks, p.ObjectCount)
 		return nil
 	case "create":
 		need(1)

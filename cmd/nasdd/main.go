@@ -42,6 +42,7 @@ import (
 	"nasd/internal/blockdev"
 	"nasd/internal/crypt"
 	"nasd/internal/drive"
+	"nasd/internal/object"
 	"nasd/internal/rpc"
 	"nasd/internal/telemetry"
 )
@@ -53,6 +54,7 @@ func main() {
 	blocks := flag.Int64("blocks", 65536, "device size in 4 KB blocks")
 	path := flag.String("path", "", "backing file for durable storage (empty = in-memory)")
 	insecure := flag.Bool("insecure", false, "disable capability enforcement (the paper's measurement mode)")
+	backend := flag.String("backend", "classic", "default storage engine for new partitions: classic or needle")
 	metricsAddr := flag.String("metrics", "", "HTTP observability address for /metrics, /healthz, /trace (empty = disabled)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof handlers on the -metrics server")
 	traceSlow := flag.Duration("trace-slow", 0, "retain full span trees for requests at least this slow (0 = disabled)")
@@ -108,10 +110,14 @@ func main() {
 		spans.SetSlowThreshold(*traceSlow)
 	}
 	idev := blockdev.Instrument(dev, reg).WithSpanLog(spans)
+	defBackend, err := object.ParseBackendKind(*backend)
+	if err != nil {
+		log.Fatalf("nasdd: %v", err)
+	}
 	cfg := drive.Config{ID: *id, Master: master, Secure: !*insecure, Metrics: reg, Media: idev, Spans: spans}
+	cfg.Store.DefaultBackend = defBackend
 
 	var drv *drive.Drive
-	var err error
 	if fresh {
 		drv, err = drive.NewFormat(idev, cfg)
 	} else {

@@ -480,10 +480,24 @@ func keyRef(id crypt.KeyID) drive.KeyRef {
 	return drive.KeyRef{Type: uint8(id.Type), Partition: id.Partition, Version: id.Version}
 }
 
-// CreatePartition creates a partition; authKey must be the master or
-// drive key named by authID.
+// CreatePartition creates a partition on the drive's default storage
+// engine; authKey must be the master or drive key named by authID.
 func (d *Drive) CreatePartition(ctx context.Context, authID crypt.KeyID, authKey crypt.Key, part uint16, quota int64) error {
 	args := (&drive.PartArgs{Partition: part, Quota: quota, AuthKey: keyRef(authID)}).Encode()
+	_, err := d.callAdmin(ctx, drive.OpCreatePartition, authKey, args, nil)
+	return err
+}
+
+// CreatePartitionBackend creates a partition served by the named
+// storage engine (classic layout or the needle small-object log). The
+// choice is persisted on the drive and fixed for the partition's
+// lifetime.
+func (d *Drive) CreatePartitionBackend(ctx context.Context, authID crypt.KeyID, authKey crypt.Key, part uint16, quota int64, backend object.BackendKind) error {
+	args := (&drive.PartArgs{
+		Partition: part, Quota: quota,
+		Backend: drive.WireBackend(backend),
+		AuthKey: keyRef(authID),
+	}).Encode()
 	_, err := d.callAdmin(ctx, drive.OpCreatePartition, authKey, args, nil)
 	return err
 }

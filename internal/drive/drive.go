@@ -237,26 +237,6 @@ func (d *Drive) objVersion(part uint16, obj uint64) (uint64, error) {
 	return a.Version, nil
 }
 
-// statusFor maps object-store errors to RPC statuses.
-func statusFor(err error) rpc.Status {
-	switch {
-	case errors.Is(err, object.ErrNoObject):
-		return rpc.StatusNoObject
-	case errors.Is(err, object.ErrNoPartition):
-		return rpc.StatusNoPartition
-	case errors.Is(err, object.ErrQuota):
-		return rpc.StatusQuota
-	case errors.Is(err, object.ErrBadRange):
-		return rpc.StatusBadRequest
-	default:
-		return rpc.StatusError
-	}
-}
-
-func errReply(id uint64, err error) *rpc.Reply {
-	return rpc.Errorf(id, statusFor(err), "%v", err)
-}
-
 // Handle implements rpc.Handler: it decodes, authorizes, executes, and
 // charges both the modelled instruction accounting and the measured
 // telemetry (service time split into digest / object-system / media)
@@ -468,8 +448,19 @@ func (d *Drive) handleCreatePartition(req *rpc.Request, ph *phases) *rpc.Reply {
 	if rep := d.authorizeAdmin(req, ph, a.AuthKey); rep != nil {
 		return rep
 	}
-	if err := d.store.CreatePartition(a.Partition, a.Quota); err != nil {
-		return errReply(req.MsgID, err)
+	var cerr error
+	switch a.Backend {
+	case WireBackendDefault:
+		cerr = d.store.CreatePartition(a.Partition, a.Quota)
+	case WireBackendClassic:
+		cerr = d.store.CreatePartitionBackend(a.Partition, a.Quota, object.BackendClassic)
+	case WireBackendNeedle:
+		cerr = d.store.CreatePartitionBackend(a.Partition, a.Quota, object.BackendNeedle)
+	default:
+		return rpc.Errorf(req.MsgID, rpc.StatusBadRequest, "unknown backend %d", a.Backend)
+	}
+	if cerr != nil {
+		return errReply(req.MsgID, cerr)
 	}
 	if err := d.keys.AddPartition(a.Partition); err != nil {
 		return errReply(req.MsgID, err)

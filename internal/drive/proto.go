@@ -212,10 +212,29 @@ func DecodeAttrsReply(b []byte) (object.Attributes, error) {
 	return at, d.Err()
 }
 
+// Wire values for PartArgs.Backend. Zero (the default for callers that
+// do not care) defers to the drive's configured default engine.
+const (
+	WireBackendDefault uint8 = 0
+	WireBackendClassic uint8 = 1
+	WireBackendNeedle  uint8 = 2
+)
+
+// WireBackend converts an object-layer backend kind to its wire value.
+func WireBackend(k object.BackendKind) uint8 {
+	if k == object.BackendNeedle {
+		return WireBackendNeedle
+	}
+	return WireBackendClassic
+}
+
 // PartArgs names a partition with an optional quota (create/resize).
 type PartArgs struct {
 	Partition uint16
 	Quota     int64
+	// Backend selects the partition's storage engine on create
+	// (WireBackend* values); ignored by the other partition requests.
+	Backend uint8
 	// AuthKey names the key whose MAC authorizes this management
 	// request (drive or partition key; Figure 5's security header).
 	AuthKey KeyRef
@@ -243,6 +262,7 @@ func (a *PartArgs) Encode() []byte {
 	var e rpc.Encoder
 	e.U16(a.Partition)
 	e.I64(a.Quota)
+	e.U8(a.Backend)
 	encodeKeyRef(&e, a.AuthKey)
 	return e.Bytes()
 }
@@ -250,7 +270,7 @@ func (a *PartArgs) Encode() []byte {
 // DecodePartArgs parses PartArgs.
 func DecodePartArgs(b []byte) (PartArgs, error) {
 	d := rpc.NewDecoder(b)
-	a := PartArgs{Partition: d.U16(), Quota: d.I64(), AuthKey: decodeKeyRef(d)}
+	a := PartArgs{Partition: d.U16(), Quota: d.I64(), Backend: d.U8(), AuthKey: decodeKeyRef(d)}
 	return a, d.Err()
 }
 
@@ -377,12 +397,14 @@ func EncodePartReply(p object.Partition) []byte {
 	e.I64(p.QuotaBlocks)
 	e.I64(p.UsedBlocks)
 	e.I64(p.ObjectCount)
+	e.U8(uint8(p.Backend))
 	return e.Bytes()
 }
 
 // DecodePartReply parses partition info.
 func DecodePartReply(b []byte) (object.Partition, error) {
 	d := rpc.NewDecoder(b)
-	p := object.Partition{ID: d.U16(), QuotaBlocks: d.I64(), UsedBlocks: d.I64(), ObjectCount: d.I64()}
+	p := object.Partition{ID: d.U16(), QuotaBlocks: d.I64(), UsedBlocks: d.I64(), ObjectCount: d.I64(),
+		Backend: object.BackendKind(d.U8())}
 	return p, d.Err()
 }

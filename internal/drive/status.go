@@ -1,0 +1,40 @@
+package drive
+
+import (
+	"errors"
+
+	"nasd/internal/object"
+	"nasd/internal/rpc"
+)
+
+// statusTable is the single place object-store errors become RPC
+// statuses. Handlers never map errors ad hoc: errReply walks this
+// table in order (first errors.Is match wins) and anything unlisted is
+// a generic StatusError.
+var statusTable = []struct {
+	err    error
+	status rpc.Status
+}{
+	{object.ErrNoObject, rpc.StatusNoObject},
+	{object.ErrNoPartition, rpc.StatusNoPartition},
+	{object.ErrQuota, rpc.StatusQuota},
+	{object.ErrBadRange, rpc.StatusBadRequest},
+	// An operation the partition's storage engine does not support
+	// (e.g. copy-on-write versions on a needle partition) is a typed,
+	// non-retryable client error.
+	{object.ErrBackendMismatch, rpc.StatusBadRequest},
+}
+
+// statusFor maps object-store errors to RPC statuses via statusTable.
+func statusFor(err error) rpc.Status {
+	for _, m := range statusTable {
+		if errors.Is(err, m.err) {
+			return m.status
+		}
+	}
+	return rpc.StatusError
+}
+
+func errReply(id uint64, err error) *rpc.Reply {
+	return rpc.Errorf(id, statusFor(err), "%v", err)
+}

@@ -1,0 +1,31 @@
+package drive
+
+import (
+	"fmt"
+	"testing"
+
+	"nasd/internal/object"
+	"nasd/internal/rpc"
+)
+
+// TestStatusMapping pins the object-error → wire-status table,
+// including wrapped errors (the usual shape after fmt.Errorf("%w")).
+func TestStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want rpc.Status
+	}{
+		{object.ErrNoObject, rpc.StatusNoObject},
+		{object.ErrNoPartition, rpc.StatusNoPartition},
+		{object.ErrQuota, rpc.StatusQuota},
+		{object.ErrBadRange, rpc.StatusBadRequest},
+		{object.ErrBackendMismatch, rpc.StatusBadRequest},
+		{fmt.Errorf("op: %w", object.ErrQuota), rpc.StatusQuota},
+		{fmt.Errorf("unmapped"), rpc.StatusError},
+	}
+	for _, c := range cases {
+		if got := statusFor(c.err); got != c.want {
+			t.Errorf("statusFor(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"nasd/internal/blockdev"
 	"nasd/internal/telemetry"
@@ -126,6 +127,11 @@ type Store struct {
 	allocHint  int64
 
 	ptrsPerBlock int64
+
+	// devReads counts device reads issued for layout metadata (onodes
+	// and pointer blocks), which bypass the object layer's cache. The
+	// object layer folds it into its media-I/O-per-read gauge.
+	devReads atomic.Int64
 }
 
 // FormatOptions controls Format.
@@ -466,6 +472,7 @@ func (s *Store) ReadOnode(idx int64) (Onode, error) {
 	buf := make([]byte, bs)
 	l := s.onodeLock(idx)
 	l.Lock()
+	s.devReads.Add(1)
 	err := s.dev.ReadBlock(s.sb.OnodeStart+idx/per, buf)
 	l.Unlock()
 	if err != nil {
@@ -782,11 +789,16 @@ func (s *Store) UnmapBlock(o *Onode, fileBlock int64) (int64, error) {
 
 func (s *Store) readPtr(blk int64, idx int64) (int64, error) {
 	buf := make([]byte, s.sb.BlockSize)
+	s.devReads.Add(1)
 	if err := s.dev.ReadBlock(blk, buf); err != nil {
 		return 0, err
 	}
 	return int64(binary.LittleEndian.Uint64(buf[idx*8:])), nil
 }
+
+// DevReads returns the number of device reads issued for layout
+// metadata (onode and pointer blocks) since the store was opened.
+func (s *Store) DevReads() int64 { return s.devReads.Load() }
 
 func (s *Store) writePtr(blk int64, idx int64, v int64) error {
 	buf := make([]byte, s.sb.BlockSize)

@@ -145,16 +145,16 @@ func blockGap(t *testing.T, s *Store, a, b uint64) int64 {
 
 func maxBlock(t *testing.T, s *Store, id uint64) int64 {
 	t.Helper()
-	idx, ok := s.lay.FindOnode(id)
+	idx, ok := s.classic.lay.FindOnode(id)
 	if !ok {
 		t.Fatal("object missing")
 	}
-	o, err := s.lay.ReadOnode(idx)
+	o, err := s.classic.lay.ReadOnode(idx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var max int64
-	_ = s.lay.ForEachBlock(&o, func(phys int64, isPtr bool) error {
+	_ = s.classic.lay.ForEachBlock(&o, func(phys int64, isPtr bool) error {
 		if phys > max {
 			max = phys
 		}
@@ -165,16 +165,16 @@ func maxBlock(t *testing.T, s *Store, id uint64) int64 {
 
 func minBlock(t *testing.T, s *Store, id uint64) int64 {
 	t.Helper()
-	idx, ok := s.lay.FindOnode(id)
+	idx, ok := s.classic.lay.FindOnode(id)
 	if !ok {
 		t.Fatal("object missing")
 	}
-	o, err := s.lay.ReadOnode(idx)
+	o, err := s.classic.lay.ReadOnode(idx)
 	if err != nil {
 		t.Fatal(err)
 	}
 	min := int64(1 << 62)
-	_ = s.lay.ForEachBlock(&o, func(phys int64, isPtr bool) error {
+	_ = s.classic.lay.ForEachBlock(&o, func(phys int64, isPtr bool) error {
 		if phys < min {
 			min = phys
 		}

@@ -303,11 +303,11 @@ func TestQuotaUnderConcurrentWriters(t *testing.T) {
 	// Settled accounting must match reality: re-add the charges by hand.
 	var want int64
 	for _, id := range ids {
-		_, o, err := s.lookup(1, id)
+		_, o, err := s.classic.lookup(1, id)
 		if err != nil {
 			t.Fatal(err)
 		}
-		want += s.chargeOf(&o)
+		want += s.classic.chargeOf(&o)
 	}
 	if p.UsedBlocks != want {
 		t.Fatalf("used blocks = %d, recomputed charge = %d", p.UsedBlocks, want)

@@ -2,6 +2,7 @@ package object
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"nasd/internal/layout"
@@ -10,20 +11,40 @@ import (
 // The partition table is persisted in the drive's well-known control
 // object (ControlObject, partition 0), so a reopened drive recovers its
 // partitions, quotas, and usage accounting without rescanning.
+//
+// Two encodings exist. The legacy (v1) table is a bare u32 count
+// followed by 26-byte records and knows nothing of backends; it is
+// still decoded so pre-backend volumes open cleanly, and every such
+// partition is classic by construction. The current (v2) table starts
+// with a sentinel count no v1 writer can produce, then carries the
+// backend kind and the needle metadata object IDs per record.
 
-const partitionRecordSize = 2 + 8 + 8 + 8
+const (
+	partitionRecordSizeV1 = 2 + 8 + 8 + 8
+	partitionRecordSizeV2 = 2 + 8 + 8 + 8 + 1 + 8 + 8
+
+	// partTableSentinel marks a versioned table; a v1 count of ~4
+	// billion partitions is impossible (the ID space is 16-bit).
+	partTableSentinel = 0xFFFFFFFF
+	partTableVersion  = 2
+)
 
 func encodePartitions(parts map[uint16]*Partition) []byte {
-	b := make([]byte, 4+len(parts)*partitionRecordSize)
+	b := make([]byte, 4+4+4+len(parts)*partitionRecordSizeV2)
 	le := binary.LittleEndian
-	le.PutUint32(b, uint32(len(parts)))
-	off := 4
+	le.PutUint32(b, partTableSentinel)
+	le.PutUint32(b[4:], partTableVersion)
+	le.PutUint32(b[8:], uint32(len(parts)))
+	off := 12
 	for _, p := range parts {
 		le.PutUint16(b[off:], p.ID)
 		le.PutUint64(b[off+2:], uint64(p.QuotaBlocks))
 		le.PutUint64(b[off+10:], uint64(p.UsedBlocks))
 		le.PutUint64(b[off+18:], uint64(p.ObjectCount))
-		off += partitionRecordSize
+		b[off+26] = byte(p.Backend)
+		le.PutUint64(b[off+27:], p.metaSegs)
+		le.PutUint64(b[off+35:], p.metaIdx)
+		off += partitionRecordSizeV2
 	}
 	return b
 }
@@ -33,8 +54,41 @@ func decodePartitions(b []byte) (map[uint16]*Partition, error) {
 		return nil, fmt.Errorf("object: control object too short (%d bytes)", len(b))
 	}
 	le := binary.LittleEndian
+	if le.Uint32(b) != partTableSentinel {
+		return decodePartitionsV1(b)
+	}
+	if len(b) < 12 {
+		return nil, fmt.Errorf("object: control object too short (%d bytes)", len(b))
+	}
+	if v := le.Uint32(b[4:]); v != partTableVersion {
+		return nil, fmt.Errorf("object: unsupported partition table version %d", v)
+	}
+	n := int(le.Uint32(b[8:]))
+	if len(b) < 12+n*partitionRecordSizeV2 {
+		return nil, fmt.Errorf("object: control object truncated (%d partitions, %d bytes)", n, len(b))
+	}
+	parts := make(map[uint16]*Partition, n)
+	off := 12
+	for i := 0; i < n; i++ {
+		p := &Partition{
+			ID:          le.Uint16(b[off:]),
+			QuotaBlocks: int64(le.Uint64(b[off+2:])),
+			UsedBlocks:  int64(le.Uint64(b[off+10:])),
+			ObjectCount: int64(le.Uint64(b[off+18:])),
+			Backend:     BackendKind(b[off+26]),
+			metaSegs:    le.Uint64(b[off+27:]),
+			metaIdx:     le.Uint64(b[off+35:]),
+		}
+		parts[p.ID] = p
+		off += partitionRecordSizeV2
+	}
+	return parts, nil
+}
+
+func decodePartitionsV1(b []byte) (map[uint16]*Partition, error) {
+	le := binary.LittleEndian
 	n := int(le.Uint32(b))
-	if len(b) < 4+n*partitionRecordSize {
+	if len(b) < 4+n*partitionRecordSizeV1 {
 		return nil, fmt.Errorf("object: control object truncated (%d partitions, %d bytes)", n, len(b))
 	}
 	parts := make(map[uint16]*Partition, n)
@@ -47,7 +101,7 @@ func decodePartitions(b []byte) (map[uint16]*Partition, error) {
 			ObjectCount: int64(le.Uint64(b[off+18:])),
 		}
 		parts[p.ID] = p
-		off += partitionRecordSize
+		off += partitionRecordSizeV1
 	}
 	return parts, nil
 }
@@ -57,42 +111,38 @@ func decodePartitions(b []byte) (map[uint16]*Partition, error) {
 // onode and blocks — no user object maps onto them).
 func (s *Store) savePartitionsLocked() error {
 	data := encodePartitions(s.parts)
-	idx, ok := s.lay.FindOnode(ControlObject)
+	lay := s.classic.lay
+	idx, ok := lay.FindOnode(ControlObject)
 	var o layout.Onode
 	if ok {
 		var err error
-		o, err = s.lay.ReadOnode(idx)
+		o, err = lay.ReadOnode(idx)
 		if err != nil {
 			return err
 		}
 	} else {
 		var err error
-		idx, err = s.lay.AllocOnode()
+		idx, err = lay.AllocOnode()
 		if err != nil {
 			return err
 		}
 		o = layout.Onode{ObjectID: ControlObject, Partition: 0, Version: 1}
 	}
-	if err := s.writeRawLocked(&o, data); err != nil {
+	if err := s.classic.writeRaw(&o, data); err != nil {
 		return err
 	}
-	return s.lay.WriteOnode(idx, &o)
+	return lay.WriteOnode(idx, &o)
 }
 
 // loadPartitions reads the partition table from the control object.
 func (s *Store) loadPartitions() error {
 	s.lockParts()
 	defer s.pmu.Unlock()
-	idx, ok := s.lay.FindOnode(ControlObject)
-	if !ok {
-		return fmt.Errorf("object: control object missing; not an object store")
-	}
-	o, err := s.lay.ReadOnode(idx)
+	data, err := s.classic.loadRaw(ControlObject)
 	if err != nil {
-		return err
-	}
-	data, err := s.readRawLocked(&o)
-	if err != nil {
+		if errors.Is(err, ErrNoObject) {
+			return fmt.Errorf("object: control object missing; not an object store")
+		}
 		return err
 	}
 	parts, err := decodePartitions(data)
@@ -103,47 +153,17 @@ func (s *Store) loadPartitions() error {
 	return nil
 }
 
-// writeRawLocked replaces an onode's data with data, bypassing
-// partition/quota logic (used only for the control object).
-func (s *Store) writeRawLocked(o *layout.Onode, data []byte) error {
-	bs := int(s.lay.BlockSize())
-	buf := make([]byte, bs)
-	for done := 0; done < len(data); done += bs {
-		fb := int64(done / bs)
-		phys, err := s.lay.BMapAlloc(o, fb, 0)
-		if err != nil {
-			return err
-		}
-		n := copy(buf, data[done:])
-		for i := n; i < bs; i++ {
-			buf[i] = 0
-		}
-		if err := s.cache.WriteBlock(phys, buf); err != nil {
-			return err
-		}
+// metaIDs returns the partition-0 object IDs holding a needle
+// partition's segment table and index snapshot.
+func (s *Store) metaIDs(part uint16) (segs, idx uint64, err error) {
+	s.lockParts()
+	defer s.pmu.Unlock()
+	p := s.parts[part]
+	if p == nil {
+		return 0, 0, ErrNoPartition
 	}
-	o.Size = uint64(len(data))
-	return nil
-}
-
-// readRawLocked reads an onode's full contents.
-func (s *Store) readRawLocked(o *layout.Onode) ([]byte, error) {
-	bs := int(s.lay.BlockSize())
-	out := make([]byte, o.Size)
-	buf := make([]byte, bs)
-	for done := 0; done < len(out); done += bs {
-		fb := int64(done / bs)
-		phys, err := s.lay.BMap(o, fb)
-		if err != nil {
-			return nil, err
-		}
-		if phys == 0 {
-			continue
-		}
-		if err := s.cache.ReadBlock(phys, buf); err != nil {
-			return nil, err
-		}
-		copy(out[done:], buf)
+	if p.Backend != BackendNeedle {
+		return 0, 0, ErrBackendMismatch
 	}
-	return out, nil
+	return p.metaSegs, p.metaIdx, nil
 }

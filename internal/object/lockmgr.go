@@ -36,11 +36,11 @@ type objLock struct {
 	// mutex. An entry is only deleted when refs is zero.
 	refs int
 
-	// seqMu guards seq. Readers hold only the read side of mu, so the
-	// readahead tracker needs its own (uncontended in the common case)
-	// mutex.
-	seqMu sync.Mutex
-	seq   seqTracker
+	// seq is the object's sequential-read tracker, passed down to the
+	// partition's backend on reads (backends with readahead advance it).
+	// It carries its own mutex because readers hold only the read side
+	// of mu.
+	seq SeqTracker
 }
 
 type lockShard struct {

@@ -5,10 +5,30 @@
 //
 // This is the paper's core storage abstraction: "drives export variable
 // length objects instead of fixed-size blocks", moving data layout
-// management into the device. The package composes the layout engine
-// (disk space management), the buffer cache (with write-behind and
-// sequential readahead), and partition/attribute logic. The drive layer
-// (internal/drive) adds capability enforcement and RPC on top.
+// management into the device. The drive layer (internal/drive) adds
+// capability enforcement and RPC on top.
+//
+// # Backends
+//
+// The Store itself owns what every storage engine shares — the
+// per-object lock manager, the partition table with quota and
+// object-count accounting, and control-object persistence — and
+// dispatches data-path operations to a per-partition StoreBackend
+// (backend.go). Two engines are registered:
+//
+//   - classic (classic.go): the paper's layout engine — superblock,
+//     refcounted allocator, onode table, direct/indirect block maps
+//     (internal/layout) — fronted by the sharded buffer cache with
+//     write-behind and sequential readahead. The default; always
+//     present (the control object lives in it).
+//   - needle (needle_backend.go wrapping internal/needle): a
+//     Haystack-style append-only needle log with a fully in-memory
+//     index, built for small-object workloads — one or two media I/Os
+//     per read, no per-object metadata I/O on the write path.
+//
+// The backend is chosen per partition at CreatePartition time and
+// persisted in the control object's partition table; the layers above
+// never see the concrete engine.
 //
 // # Concurrency
 //
@@ -20,18 +40,20 @@
 //   - Per-object reader/writer locks (lockmgr.go): reads of one object
 //     share its lock, so they overlap; operations on distinct objects
 //     take distinct locks, so they never contend at this layer.
+//   - The needle engine locks per partition log, below the object
+//     locks.
 //   - A partition lock (pmu) guards the partition table, quota
 //     accounting, and the control object.
 //   - The buffer cache locks per shard, the layout allocator holds its
 //     mutex only across bitmap/metadata mutations, and the onode table
 //     uses per-block stripe locks.
 //
-// The lock hierarchy is object → partition → cache → layout: a level
-// may acquire locks of lower levels (skipping is fine) and never the
-// reverse, which keeps the scheme deadlock-free. Every layer's lock
-// reports contention telemetry (object.lock.*, object.partlock.*,
-// cache.lock.*, layout.lock.*) into the registry passed via
-// Config.Metrics. See DESIGN.md §4 for the full write-up.
+// The lock hierarchy is object → needle log → partition → cache →
+// layout: a level may acquire locks of lower levels (skipping is fine)
+// and never the reverse, which keeps the scheme deadlock-free. Every
+// layer's lock reports contention telemetry (object.lock.*,
+// object.partlock.*, cache.lock.*, layout.lock.*) into the registry
+// passed via Config.Metrics. See DESIGN.md §4 for the full write-up.
 package object
 
 import (
@@ -109,12 +131,23 @@ type Partition struct {
 	QuotaBlocks int64 // 0 = unlimited
 	UsedBlocks  int64 // block references charged to this partition
 	ObjectCount int64
+	// Backend is the storage engine serving this partition's objects.
+	Backend BackendKind
+
+	// Needle partitions keep two partition-0 classic raw objects: the
+	// segment table and the index snapshot. Zero for classic partitions.
+	metaSegs uint64
+	metaIdx  uint64
 }
 
-// Config controls store creation.
+// Config controls store creation. Prefer building it through the
+// functional options accepted by FormatStore/OpenStore.
 type Config struct {
 	// CacheBlocks is the buffer cache capacity in blocks (default 1024).
 	CacheBlocks int
+	// CacheShards is how many independently locked shards the buffer
+	// cache uses (default cache.DefaultShards).
+	CacheShards int
 	// ReadaheadBlocks is how many blocks are prefetched past a detected
 	// sequential read (default 16; 0 disables readahead).
 	ReadaheadBlocks int
@@ -125,13 +158,25 @@ type Config struct {
 	WriteThrough bool
 	// Metrics receives lock-contention telemetry for every layer of the
 	// store (object.lock.*, object.partlock.*, cache.lock.*,
-	// layout.lock.*). Nil disables lock metering.
+	// layout.lock.*) plus per-backend counters (object.classic.*,
+	// needle.*). Nil disables metering.
 	Metrics *telemetry.Registry
+	// DefaultBackend is the engine CreatePartition uses when the caller
+	// does not name one (default BackendClassic).
+	DefaultBackend BackendKind
+	// OnodeCount overrides the format-time onode table size (0 = layout
+	// default: one slot per 64 data blocks). Needle-heavy drives need
+	// only a handful of classic onodes, while classic million-object
+	// workloads need it raised.
+	OnodeCount int64
 }
 
 func (c *Config) fill() {
 	if c.CacheBlocks <= 0 {
 		c.CacheBlocks = 1024
+	}
+	if c.CacheShards <= 0 {
+		c.CacheShards = cache.DefaultShards
 	}
 	if c.ReadaheadBlocks < 0 {
 		c.ReadaheadBlocks = 0
@@ -143,19 +188,19 @@ func (c *Config) fill() {
 	}
 }
 
-// seqTracker is one object's sequential-read detector. It lives in the
-// object's lock-manager entry, guarded by that entry's seqMu.
-type seqTracker struct {
-	nextOff uint64 // offset one past the previous read
-	streak  int    // consecutive sequential reads observed
-}
-
 // Store is a NASD object store on a block device. All methods are safe
 // for concurrent use; see the package comment for the locking scheme.
+// Data-path operations dispatch to the partition's StoreBackend.
 type Store struct {
-	lay   *layout.Store
-	cache *cache.BlockCache
-	cfg   Config
+	cfg Config
+
+	// classic is the default engine and the substrate for everything
+	// shared: the control object, needle metadata objects, and the
+	// volume-wide object ID counter live in its layout.
+	classic *classicBackend
+	// needle is the append-only log engine, inert until a needle
+	// partition exists.
+	needle *needleBackend
 
 	// locks is the per-(partition,object) lock manager — the top of the
 	// lock hierarchy.
@@ -163,16 +208,18 @@ type Store struct {
 
 	// pmu guards parts (the partition table), all quota/usage
 	// accounting, and control-object persistence. It sits between the
-	// object locks and the cache in the hierarchy.
+	// needle log locks and the cache in the hierarchy.
 	pmu    sync.Mutex
 	pmeter *telemetry.LockMeter
 	parts  map[uint16]*Partition
 }
 
 // Format initializes dev as an empty object store.
+//
+// Deprecated: use FormatStore with functional options.
 func Format(dev blockdev.Device, cfg Config) (*Store, error) {
 	cfg.fill()
-	lay, err := layout.Format(dev, layout.FormatOptions{})
+	lay, err := layout.Format(dev, layout.FormatOptions{OnodeCount: cfg.OnodeCount})
 	if err != nil {
 		return nil, err
 	}
@@ -188,6 +235,8 @@ func Format(dev blockdev.Device, cfg Config) (*Store, error) {
 }
 
 // Open loads an existing object store from dev.
+//
+// Deprecated: use OpenStore with functional options.
 func Open(dev blockdev.Device, cfg Config) (*Store, error) {
 	cfg.fill()
 	lay, err := layout.Open(dev)
@@ -198,60 +247,213 @@ func Open(dev blockdev.Device, cfg Config) (*Store, error) {
 	if err := s.loadPartitions(); err != nil {
 		return nil, err
 	}
+	// Recover every needle partition's log: rebuild the in-memory index
+	// (from its snapshot when possible, a full log scan otherwise) and
+	// re-derive the partition's accounting from log state — needle
+	// creates and removes deliberately skip control-object writes, so
+	// the persisted counts are only as fresh as the last Flush.
+	var maxID uint64
+	for _, p := range s.parts {
+		if p.Backend != BackendNeedle {
+			continue
+		}
+		st, err := s.needle.openLog(p.ID)
+		if err != nil {
+			return nil, fmt.Errorf("object: recovering needle partition %d: %w", p.ID, err)
+		}
+		p.ObjectCount = int64(st.Objects)
+		p.UsedBlocks = int64(st.Blocks)
+		if st.MaxObjectID > maxID {
+			maxID = st.MaxObjectID
+		}
+	}
+	// Needle object IDs come from the classic superblock counter, which
+	// is only persisted at Sync; never re-issue an ID the log has seen.
+	if maxID != 0 {
+		lay.ReserveObjectIDs(maxID + 1)
+	}
 	return s, nil
 }
 
 func newStore(lay *layout.Store, dev blockdev.Device, cfg Config) *Store {
-	c := cache.New(dev, cfg.CacheBlocks)
+	c := cache.NewSharded(dev, cfg.CacheBlocks, cfg.CacheShards)
 	c.SetWriteThrough(cfg.WriteThrough)
 	c.SetLockMeter(telemetry.NewLockMeter(cfg.Metrics, "cache.lock"))
 	lay.SetDataIO(c)
 	lay.SetLockMeter(telemetry.NewLockMeter(cfg.Metrics, "layout.lock"))
-	return &Store{
-		lay:    lay,
-		cache:  c,
+	s := &Store{
 		cfg:    cfg,
 		locks:  newLockManager(telemetry.NewLockMeter(cfg.Metrics, "object.lock")),
 		pmeter: telemetry.NewLockMeter(cfg.Metrics, "object.partlock"),
 		parts:  make(map[uint16]*Partition),
 	}
+	s.classic = newClassicBackend(lay, c, &s.cfg, s)
+	s.needle = newNeedleBackend(s, dev)
+	return s
 }
 
 // lockParts acquires the partition lock through its contention meter.
 func (s *Store) lockParts() { s.pmeter.Lock(&s.pmu) }
 
 // BlockSize returns the store's block size in bytes.
-func (s *Store) BlockSize() int64 { return s.lay.BlockSize() }
+func (s *Store) BlockSize() int64 { return s.classic.lay.BlockSize() }
 
 // MaxObjectSize returns the largest supported object size.
-func (s *Store) MaxObjectSize() uint64 { return s.lay.MaxObjectSize() }
+func (s *Store) MaxObjectSize() uint64 { return s.classic.lay.MaxObjectSize() }
 
 // FreeBlocks returns the number of free data blocks.
-func (s *Store) FreeBlocks() int64 { return s.lay.FreeBlocks() }
+func (s *Store) FreeBlocks() int64 { return s.classic.lay.FreeBlocks() }
 
 // CacheStats exposes buffer cache counters (hits, misses, prefetches).
-func (s *Store) CacheStats() cache.Stats { return s.cache.Stats() }
+func (s *Store) CacheStats() cache.Stats { return s.classic.cache.Stats() }
 
 // LockEntries returns the number of live per-object lock entries
 // (introspection and tests).
 func (s *Store) LockEntries() int { return s.locks.entries() }
 
-// --- Partition management ----------------------------------------------
+// backendFor resolves the engine serving part. Partition 0 (the drive's
+// own) is always classic.
+func (s *Store) backendFor(part uint16) (StoreBackend, error) {
+	if part == 0 {
+		return s.classic, nil
+	}
+	s.lockParts()
+	p := s.parts[part]
+	var kind BackendKind
+	if p != nil {
+		kind = p.Backend
+	}
+	s.pmu.Unlock()
+	if p == nil {
+		return nil, ErrNoPartition
+	}
+	if kind == BackendNeedle {
+		return s.needle, nil
+	}
+	return s.classic, nil
+}
 
-// CreatePartition creates partition id with a quota of quotaBlocks
-// blocks (0 = unlimited). Partition 0 is reserved for the drive.
-func (s *Store) CreatePartition(id uint16, quotaBlocks int64) error {
-	if id == 0 {
-		return fmt.Errorf("object: partition 0 is reserved")
+// --- Quota account (quotaAccount, used by backends) ----------------------
+
+// chargeBlocks admits delta blocks against part's quota; negative
+// deltas always succeed and just reduce usage. Partition 0 and removed
+// partitions are uncharged.
+func (s *Store) chargeBlocks(part uint16, delta int64) error {
+	if part == 0 {
+		return nil
 	}
 	s.lockParts()
 	defer s.pmu.Unlock()
+	p := s.parts[part]
+	if p == nil {
+		return nil
+	}
+	if delta > 0 && p.QuotaBlocks != 0 && p.UsedBlocks+delta > p.QuotaBlocks {
+		return fmt.Errorf("%w: need %d blocks, %d of %d used",
+			ErrQuota, delta, p.UsedBlocks, p.QuotaBlocks)
+	}
+	p.UsedBlocks += delta
+	return nil
+}
+
+// settleBlocks adjusts part's usage with no admission check.
+func (s *Store) settleBlocks(part uint16, delta int64) {
+	if part == 0 {
+		return
+	}
+	s.lockParts()
+	defer s.pmu.Unlock()
+	if p := s.parts[part]; p != nil {
+		p.UsedBlocks += delta
+	}
+}
+
+// quotaed reports whether part currently enforces a quota.
+func (s *Store) quotaed(part uint16) bool {
+	s.lockParts()
+	defer s.pmu.Unlock()
+	p := s.parts[part]
+	return p != nil && p.QuotaBlocks != 0
+}
+
+// --- Partition management ----------------------------------------------
+
+// CreatePartition creates partition id with a quota of quotaBlocks
+// blocks (0 = unlimited) on the store's default backend. Partition 0 is
+// reserved for the drive.
+func (s *Store) CreatePartition(id uint16, quotaBlocks int64) error {
+	return s.CreatePartitionBackend(id, quotaBlocks, s.cfg.DefaultBackend)
+}
+
+// CreatePartitionBackend creates partition id served by the named
+// storage engine. The choice is persisted in the control object's
+// partition table and is fixed for the partition's lifetime.
+func (s *Store) CreatePartitionBackend(id uint16, quotaBlocks int64, kind BackendKind) error {
+	if id == 0 {
+		return fmt.Errorf("object: partition 0 is reserved")
+	}
+	switch kind {
+	case BackendClassic:
+		s.lockParts()
+		defer s.pmu.Unlock()
+		if _, ok := s.parts[id]; ok {
+			return ErrPartitionExists
+		}
+		s.parts[id] = &Partition{ID: id, QuotaBlocks: quotaBlocks}
+		if err := s.savePartitionsLocked(); err != nil {
+			delete(s.parts, id)
+			return err
+		}
+		return nil
+	case BackendNeedle:
+		return s.createNeedlePartition(id, quotaBlocks)
+	default:
+		return fmt.Errorf("object: unknown backend %v", kind)
+	}
+}
+
+func (s *Store) createNeedlePartition(id uint16, quotaBlocks int64) error {
+	// The log's metadata (segment table, index snapshot) lives in two
+	// classic partition-0 raw objects; allocate them before taking pmu.
+	segsID, err := s.classic.createRaw()
+	if err != nil {
+		return err
+	}
+	idxID, err := s.classic.createRaw()
+	if err != nil {
+		_ = s.classic.removeRaw(segsID)
+		return err
+	}
+	dropMeta := func() {
+		_ = s.classic.removeRaw(segsID)
+		_ = s.classic.removeRaw(idxID)
+	}
+	s.lockParts()
 	if _, ok := s.parts[id]; ok {
+		s.pmu.Unlock()
+		dropMeta()
 		return ErrPartitionExists
 	}
-	s.parts[id] = &Partition{ID: id, QuotaBlocks: quotaBlocks}
+	p := &Partition{
+		ID: id, QuotaBlocks: quotaBlocks,
+		Backend: BackendNeedle, metaSegs: segsID, metaIdx: idxID,
+	}
+	s.parts[id] = p
 	if err := s.savePartitionsLocked(); err != nil {
 		delete(s.parts, id)
+		s.pmu.Unlock()
+		dropMeta()
+		return err
+	}
+	s.pmu.Unlock()
+	// Initialize the log last: it persists its (empty) segment table
+	// through the partition entry just created.
+	if err := s.needle.createLog(id); err != nil {
+		s.lockParts()
+		delete(s.parts, id)
+		_ = s.savePartitionsLocked()
+		s.pmu.Unlock()
+		dropMeta()
 		return err
 	}
 	return nil
@@ -278,21 +480,38 @@ func (s *Store) ResizePartition(id uint16, quotaBlocks int64) error {
 	return nil
 }
 
-// RemovePartition deletes an empty partition.
+// RemovePartition deletes an empty partition. For needle partitions the
+// log's segments and metadata objects are released.
 func (s *Store) RemovePartition(id uint16) error {
 	s.lockParts()
-	defer s.pmu.Unlock()
 	p, ok := s.parts[id]
 	if !ok {
+		s.pmu.Unlock()
 		return ErrNoPartition
 	}
 	if p.ObjectCount > 0 {
+		s.pmu.Unlock()
 		return ErrPartitionBusy
 	}
 	delete(s.parts, id)
 	if err := s.savePartitionsLocked(); err != nil {
 		s.parts[id] = p
+		s.pmu.Unlock()
 		return err
+	}
+	s.pmu.Unlock()
+	if p.Backend == BackendNeedle {
+		// The entry is already gone, so new operations fail with
+		// ErrNoPartition while the log's space is reclaimed.
+		if err := s.needle.dropLog(id); err != nil {
+			return err
+		}
+		if err := s.classic.removeRaw(p.metaSegs); err != nil {
+			return err
+		}
+		if err := s.classic.removeRaw(p.metaIdx); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -330,27 +549,15 @@ func (s *Store) partExists(part uint16) bool {
 // --- Object lifecycle ---------------------------------------------------
 
 // Create allocates a new object in partition part and returns its ID.
-// The new object is invisible until its onode is written, so no object
-// lock is needed.
+// IDs come from the volume-wide counter in the classic superblock, so
+// they are unique across partitions and backends.
 func (s *Store) Create(part uint16) (uint64, error) {
-	if !s.partExists(part) {
-		return 0, ErrNoPartition
-	}
-	idx, err := s.lay.AllocOnode()
+	be, err := s.backendFor(part)
 	if err != nil {
 		return 0, err
 	}
-	id := s.lay.NextObjectID()
-	now := s.cfg.Clock().Unix()
-	o := layout.Onode{
-		ObjectID:   id,
-		Partition:  part,
-		Version:    1,
-		CreateSec:  now,
-		ModSec:     now,
-		AttrModSec: now,
-	}
-	if err := s.lay.WriteOnode(idx, &o); err != nil {
+	id := s.classic.lay.NextObjectID()
+	if err := be.Create(part, id); err != nil {
 		return 0, err
 	}
 	s.lockParts()
@@ -358,15 +565,21 @@ func (s *Store) Create(part uint16) (uint64, error) {
 	if p == nil {
 		// The partition was removed while we were allocating; undo.
 		s.pmu.Unlock()
-		_ = s.lay.WriteOnode(idx, &layout.Onode{})
+		_, _ = be.Remove(part, id)
 		return 0, ErrNoPartition
 	}
 	p.ObjectCount++
-	if err := s.savePartitionsLocked(); err != nil {
-		p.ObjectCount--
-		s.pmu.Unlock()
-		_ = s.lay.WriteOnode(idx, &layout.Onode{})
-		return 0, err
+	// Classic partitions persist their accounting eagerly. Needle
+	// partitions skip it — the log itself is the durable record and the
+	// counts are re-derived at Open — which is what keeps a needle
+	// create at zero metadata I/Os.
+	if p.Backend == BackendClassic {
+		if err := s.savePartitionsLocked(); err != nil {
+			p.ObjectCount--
+			s.pmu.Unlock()
+			_, _ = be.Remove(part, id)
+			return 0, err
+		}
 	}
 	s.pmu.Unlock()
 	return id, nil
@@ -374,171 +587,53 @@ func (s *Store) Create(part uint16) (uint64, error) {
 
 // Remove deletes an object and releases its blocks.
 func (s *Store) Remove(part uint16, obj uint64) error {
+	be, err := s.backendFor(part)
+	if err != nil {
+		return err
+	}
 	k := objKey{part, obj}
 	l := s.locks.acquire(k, true)
-	err := s.removeLocked(part, obj)
+	freed, err := be.Remove(part, obj)
+	if err == nil {
+		s.lockParts()
+		if p := s.parts[part]; p != nil {
+			p.ObjectCount--
+			p.UsedBlocks -= freed
+			if p.Backend == BackendClassic {
+				err = s.savePartitionsLocked()
+			}
+		}
+		s.pmu.Unlock()
+	}
 	// Purge the lock entry (and its readahead state) on success or when
 	// the object never existed.
 	s.locks.release(k, l, true, err == nil || notFound(err))
 	return err
 }
 
-func (s *Store) removeLocked(part uint16, obj uint64) error {
-	idx, o, err := s.lookup(part, obj)
-	if err != nil {
-		return err
-	}
-	charge := s.chargeOf(&o)
-	// Invalidate cache entries for blocks about to become free so a
-	// later reallocation cannot observe stale contents.
-	if err := s.lay.ForEachBlock(&o, func(phys int64, isPtr bool) error {
-		if !isPtr && s.lay.RefCount(phys) == 1 {
-			s.cache.Invalidate(phys)
-		}
-		return nil
-	}); err != nil {
-		return err
-	}
-	if err := s.lay.FreeObjectBlocks(&o); err != nil {
-		return err
-	}
-	if err := s.lay.WriteOnode(idx, &layout.Onode{}); err != nil {
-		return err
-	}
-	s.lockParts()
-	defer s.pmu.Unlock()
-	if p := s.parts[part]; p != nil {
-		p.ObjectCount--
-		p.UsedBlocks -= charge
-	}
-	return s.savePartitionsLocked()
-}
-
 // List returns the IDs of all objects in a partition — the contents of
 // the partition's well-known object-list object.
 func (s *Store) List(part uint16) ([]uint64, error) {
-	if !s.partExists(part) {
-		return nil, ErrNoPartition
-	}
-	return s.lay.ObjectIDs(part), nil
-}
-
-// lookup resolves (part, obj) to its onode. The caller holds the
-// object's lock (either mode), which is what keeps the onode stable
-// until the operation completes.
-func (s *Store) lookup(part uint16, obj uint64) (int64, layout.Onode, error) {
-	if part != 0 && !s.partExists(part) {
-		return 0, layout.Onode{}, ErrNoPartition
-	}
-	idx, ok := s.lay.FindOnode(obj)
-	if !ok {
-		return 0, layout.Onode{}, ErrNoObject
-	}
-	o, err := s.lay.ReadOnode(idx)
+	be, err := s.backendFor(part)
 	if err != nil {
-		return 0, layout.Onode{}, err
+		return nil, err
 	}
-	if o.Partition != part {
-		return 0, layout.Onode{}, ErrNoObject
-	}
-	return idx, o, nil
-}
-
-// footprint counts the block references owned by an object (data plus
-// indirect blocks).
-func (s *Store) footprint(o *layout.Onode) int64 {
-	var n int64
-	_ = s.lay.ForEachBlock(o, func(int64, bool) error { n++; return nil })
-	return n
-}
-
-// chargeOf is what quotas charge for an object: its footprint or its
-// capacity reservation (Prealloc), whichever is larger. Reserved space
-// is charged up front so preallocated writes can never fail on quota.
-func (s *Store) chargeOf(o *layout.Onode) int64 {
-	fp := s.footprint(o)
-	bs := uint64(s.lay.BlockSize())
-	res := int64((o.Prealloc + bs - 1) / bs)
-	if res > fp {
-		return res
-	}
-	return fp
-}
-
-// reserve updates an object's capacity reservation, charging or
-// refunding the partition. Caller holds the object's exclusive lock and
-// persists the onode.
-func (s *Store) reserve(o *layout.Onode, prealloc uint64) error {
-	before := s.chargeOf(o)
-	old := o.Prealloc
-	o.Prealloc = prealloc
-	after := s.chargeOf(o)
-	delta := after - before
-	s.lockParts()
-	defer s.pmu.Unlock()
-	p := s.parts[o.Partition]
-	if p != nil {
-		if p.QuotaBlocks != 0 && delta > 0 && p.UsedBlocks+delta > p.QuotaBlocks {
-			o.Prealloc = old
-			return fmt.Errorf("%w: reservation needs %d blocks, %d of %d used",
-				ErrQuota, delta, p.UsedBlocks, p.QuotaBlocks)
-		}
-		p.UsedBlocks += delta
-	}
-	return nil
-}
-
-// clusterHint returns an allocation hint near the object this one is
-// linked to (the clustering attribute of Section 4.1), or 0. The target
-// object is read without its lock — the hint is advisory, and a
-// concurrently mutating target only yields a stale hint.
-func (s *Store) clusterHint(o *layout.Onode) int64 {
-	if o.Cluster == 0 {
-		return 0
-	}
-	idx, ok := s.lay.FindOnode(o.Cluster)
-	if !ok {
-		return 0
-	}
-	t, err := s.lay.ReadOnode(idx)
-	if err != nil {
-		return 0
-	}
-	var hint int64
-	_ = s.lay.ForEachBlock(&t, func(phys int64, isPtr bool) error {
-		if !isPtr && phys+1 > hint {
-			hint = phys + 1
-		}
-		return nil
-	})
-	return hint
+	return be.List(part)
 }
 
 // --- Attributes ----------------------------------------------------------
 
 // GetAttr returns an object's attributes.
 func (s *Store) GetAttr(part uint16, obj uint64) (Attributes, error) {
-	k := objKey{part, obj}
-	l := s.locks.acquire(k, false)
-	_, o, err := s.lookup(part, obj)
-	s.locks.release(k, l, false, notFound(err))
+	be, err := s.backendFor(part)
 	if err != nil {
 		return Attributes{}, err
 	}
-	return attrsFromOnode(&o), nil
-}
-
-func attrsFromOnode(o *layout.Onode) Attributes {
-	return Attributes{
-		Size:        o.Size,
-		Version:     o.Version,
-		CreateTime:  time.Unix(o.CreateSec, 0).UTC(),
-		ModTime:     time.Unix(o.ModSec, 0).UTC(),
-		AttrModTime: time.Unix(o.AttrModSec, 0).UTC(),
-		Prealloc:    o.Prealloc,
-		Cluster:     o.Cluster,
-		Uninterp:    o.Uninterp,
-	}
+	k := objKey{part, obj}
+	l := s.locks.acquire(k, false)
+	a, err := be.GetAttr(part, obj)
+	s.locks.release(k, l, false, notFound(err))
+	return a, err
 }
 
 // SetAttr updates the attributes selected by mask. Setting SetVersion
@@ -546,390 +641,97 @@ func attrsFromOnode(o *layout.Onode) Attributes {
 // minted against the old version (Section 4.1). Setting SetSize
 // truncates or extends the object.
 func (s *Store) SetAttr(part uint16, obj uint64, a Attributes, mask SetAttrMask) error {
-	k := objKey{part, obj}
-	l := s.locks.acquire(k, true)
-	err := s.setAttrLocked(part, obj, a, mask)
-	s.locks.release(k, l, true, notFound(err))
-	return err
-}
-
-func (s *Store) setAttrLocked(part uint16, obj uint64, a Attributes, mask SetAttrMask) error {
-	idx, o, err := s.lookup(part, obj)
+	be, err := s.backendFor(part)
 	if err != nil {
 		return err
 	}
-	if mask&SetSize != 0 && a.Size != o.Size {
-		if err := s.truncate(&o, a.Size); err != nil {
-			return err
-		}
-		o.ModSec = s.cfg.Clock().Unix()
-	}
-	if mask&SetVersion != 0 {
-		o.Version = a.Version
-	}
-	if mask&SetPrealloc != 0 {
-		// Capacity reservation (Section 4.1: "allow capacity to be
-		// reserved"): charge the partition for the reserved blocks now
-		// so later writes cannot fail on quota, and refuse reservations
-		// the quota cannot cover.
-		if err := s.reserve(&o, a.Prealloc); err != nil {
-			return err
-		}
-	}
-	if mask&SetCluster != 0 {
-		o.Cluster = a.Cluster
-	}
-	if mask&SetUninterp != 0 {
-		o.Uninterp = a.Uninterp
-	}
-	if mask&SetModTime != 0 {
-		o.ModSec = a.ModTime.Unix()
-	}
-	o.AttrModSec = s.cfg.Clock().Unix()
-	return s.lay.WriteOnode(idx, &o)
-}
-
-// truncate resizes o in place, freeing or leaving holes. Caller holds
-// the object's exclusive lock and persists the onode afterwards.
-func (s *Store) truncate(o *layout.Onode, newSize uint64) error {
-	bs := uint64(s.lay.BlockSize())
-	if newSize > s.lay.MaxObjectSize() {
-		return layout.ErrTooBig
-	}
-	before := s.chargeOf(o)
-	if newSize < o.Size {
-		first := (newSize + bs - 1) / bs // first block to drop
-		last := (o.Size + bs - 1) / bs
-		for fb := first; fb < last; fb++ {
-			phys, err := s.lay.BMap(o, int64(fb))
-			if err != nil {
-				return err
-			}
-			if phys != 0 && s.lay.RefCount(phys) == 1 {
-				s.cache.Invalidate(phys)
-			}
-			if _, err := s.lay.UnmapBlock(o, int64(fb)); err != nil {
-				return err
-			}
-		}
-		// Zero the tail of the new last block so growth re-reads zeros.
-		if newSize%bs != 0 {
-			phys, err := s.lay.BMap(o, int64(newSize/bs))
-			if err != nil {
-				return err
-			}
-			if phys != 0 {
-				buf := make([]byte, bs)
-				if err := s.cache.ReadBlock(phys, buf); err != nil {
-					return err
-				}
-				for i := newSize % bs; i < bs; i++ {
-					buf[i] = 0
-				}
-				// Shared blocks must be unshared before zeroing.
-				np, err := s.lay.BMapAlloc(o, int64(newSize/bs), phys)
-				if err != nil {
-					return err
-				}
-				if err := s.cache.WriteBlock(np, buf); err != nil {
-					return err
-				}
-			}
-		}
-	}
-	o.Size = newSize
-	delta := s.chargeOf(o) - before
-	s.lockParts()
-	if p := s.parts[o.Partition]; p != nil {
-		p.UsedBlocks += delta
-	}
-	s.pmu.Unlock()
-	return nil
+	k := objKey{part, obj}
+	l := s.locks.acquire(k, true)
+	err = be.SetAttr(part, obj, a, mask)
+	s.locks.release(k, l, true, notFound(err))
+	return err
 }
 
 // BumpVersion increments an object's logical version number and returns
 // the new value. This is the capability-revocation primitive: all
 // capabilities minted against the old version stop validating.
 func (s *Store) BumpVersion(part uint16, obj uint64) (uint64, error) {
-	k := objKey{part, obj}
-	l := s.locks.acquire(k, true)
-	v, err := s.bumpLocked(part, obj)
-	s.locks.release(k, l, true, notFound(err))
-	return v, err
-}
-
-func (s *Store) bumpLocked(part uint16, obj uint64) (uint64, error) {
-	idx, o, err := s.lookup(part, obj)
+	be, err := s.backendFor(part)
 	if err != nil {
 		return 0, err
 	}
-	o.Version++
-	o.AttrModSec = s.cfg.Clock().Unix()
-	if err := s.lay.WriteOnode(idx, &o); err != nil {
+	k := objKey{part, obj}
+	l := s.locks.acquire(k, true)
+	var v uint64
+	a, err := be.GetAttr(part, obj)
+	if err == nil {
+		a.Version++
+		v = a.Version
+		err = be.SetAttr(part, obj, a, SetVersion)
+	}
+	s.locks.release(k, l, true, notFound(err))
+	if err != nil {
 		return 0, err
 	}
-	return o.Version, nil
+	return v, nil
 }
 
 // --- Data access ---------------------------------------------------------
 
 // Read returns up to n bytes of object data starting at off, clipped to
-// the object size. Sequential access triggers readahead into the cache.
-// Readers of the same object share its lock, so concurrent reads
-// overlap; reads of distinct objects proceed fully independently.
+// the object size. Readers of the same object share its lock, so
+// concurrent reads overlap; reads of distinct objects proceed fully
+// independently.
 func (s *Store) Read(part uint16, obj uint64, off uint64, n int) ([]byte, error) {
 	if n < 0 {
 		return nil, ErrBadRange
 	}
+	be, err := s.backendFor(part)
+	if err != nil {
+		return nil, err
+	}
 	k := objKey{part, obj}
 	l := s.locks.acquire(k, false)
-	data, err := s.readLocked(l, part, obj, off, n)
+	data, err := be.Read(part, obj, off, n, &l.seq)
 	s.locks.release(k, l, false, notFound(err))
 	return data, err
 }
 
-func (s *Store) readLocked(l *objLock, part uint16, obj uint64, off uint64, n int) ([]byte, error) {
-	_, o, err := s.lookup(part, obj)
-	if err != nil {
-		return nil, err
-	}
-	if off >= o.Size {
-		return nil, nil
-	}
-	if max := o.Size - off; uint64(n) > max {
-		n = int(max)
-	}
-	bs := uint64(s.lay.BlockSize())
-	out := make([]byte, n)
-	buf := make([]byte, bs)
-	for done := 0; done < n; {
-		cur := off + uint64(done)
-		fb := int64(cur / bs)
-		within := cur % bs
-		chunk := int(bs - within)
-		if chunk > n-done {
-			chunk = n - done
-		}
-		phys, err := s.lay.BMap(&o, fb)
-		if err != nil {
-			return nil, err
-		}
-		if phys == 0 {
-			for i := 0; i < chunk; i++ {
-				out[done+i] = 0
-			}
-		} else {
-			if err := s.cache.ReadBlock(phys, buf); err != nil {
-				return nil, err
-			}
-			copy(out[done:done+chunk], buf[within:])
-		}
-		done += chunk
-	}
-	s.readahead(l, &o, off, uint64(n))
-	return out, nil
-}
-
-// readahead detects sequential access and prefetches ahead. The
-// sequential tracker lives in the object's lock entry; the caller holds
-// at least the read side of that entry, and the tracker's own mutex
-// orders concurrent readers' updates.
-func (s *Store) readahead(l *objLock, o *layout.Onode, off, n uint64) {
-	if s.cfg.ReadaheadBlocks == 0 {
-		return
-	}
-	l.seqMu.Lock()
-	st := &l.seq
-	if off == st.nextOff && off != 0 {
-		st.streak++
-	} else if off != 0 {
-		st.streak = 0
-	}
-	st.nextOff = off + n
-	fire := off == 0 || st.streak > 0
-	l.seqMu.Unlock()
-	if !fire {
-		return
-	}
-	bs := uint64(s.lay.BlockSize())
-	startFB := int64((off + n + bs - 1) / bs)
-	var blocks []int64
-	for i := 0; i < s.cfg.ReadaheadBlocks; i++ {
-		fb := startFB + int64(i)
-		if uint64(fb)*bs >= o.Size {
-			break
-		}
-		phys, err := s.lay.BMap(o, fb)
-		if err != nil || phys == 0 {
-			continue
-		}
-		blocks = append(blocks, phys)
-	}
-	s.cache.Prefetch(blocks)
-}
-
 // Write stores data at off, extending the object as needed and charging
-// the partition quota. Writes are write-behind unless the store was
-// configured write-through. Writers of distinct objects proceed in
-// parallel; quota admission reserves worst-case blocks up front so
-// concurrent writers cannot jointly overshoot a partition quota.
+// the partition quota. Writers of distinct objects proceed in parallel.
 func (s *Store) Write(part uint16, obj uint64, off uint64, data []byte) error {
+	be, err := s.backendFor(part)
+	if err != nil {
+		return err
+	}
 	k := objKey{part, obj}
 	l := s.locks.acquire(k, true)
-	err := s.writeLocked(part, obj, off, data)
+	err = be.Write(part, obj, off, data)
 	s.locks.release(k, l, true, notFound(err))
 	return err
 }
 
-func (s *Store) writeLocked(part uint16, obj uint64, off uint64, data []byte) error {
-	idx, o, err := s.lookup(part, obj)
-	if err != nil {
-		return err
-	}
-	end := off + uint64(len(data))
-	if end < off || end > s.lay.MaxObjectSize() {
-		return ErrBadRange
-	}
-	bs := uint64(s.lay.BlockSize())
-	chargeBefore := s.chargeOf(&o)
-
-	// Quota admission: estimate the worst-case new blocks (holes in the
-	// written range plus up to three indirect blocks), net of the
-	// object's capacity reservation, and reserve them against the
-	// partition before writing. The reservation is settled against the
-	// actual footprint afterwards.
-	var reserved int64
-	s.lockParts()
-	p := s.parts[part]
-	quotaed := p != nil && p.QuotaBlocks != 0
-	s.pmu.Unlock()
-	if quotaed {
-		var holes int64 = 3 // worst-case new indirect blocks
-		for fb := off / bs; fb*bs < end; fb++ {
-			phys, err := s.lay.BMap(&o, int64(fb))
-			if err != nil {
-				return err
-			}
-			if phys == 0 {
-				holes++
-			}
-		}
-		estChargeAfter := s.footprint(&o) + holes
-		if res := int64((o.Prealloc + bs - 1) / bs); res > estChargeAfter {
-			estChargeAfter = res
-		}
-		if need := estChargeAfter - chargeBefore; need > 0 {
-			s.lockParts()
-			if p := s.parts[part]; p != nil && p.QuotaBlocks != 0 {
-				if p.UsedBlocks+need > p.QuotaBlocks {
-					s.pmu.Unlock()
-					return ErrQuota
-				}
-				p.UsedBlocks += need
-				reserved = need
-			}
-			s.pmu.Unlock()
-		}
-	}
-
-	werr := s.writeRange(&o, off, data)
-	if werr == nil {
-		if end > o.Size {
-			o.Size = end
-		}
-		o.ModSec = s.cfg.Clock().Unix()
-	}
-	// Settle the reservation against what the object actually grew by —
-	// also on error, since partially written blocks stay allocated.
-	delta := s.chargeOf(&o) - chargeBefore
-	s.lockParts()
-	if p := s.parts[part]; p != nil {
-		p.UsedBlocks += delta - reserved
-	}
-	s.pmu.Unlock()
-	// Persist the onode even after a partial failure so blocks mapped
-	// before the error are not orphaned.
-	if perr := s.lay.WriteOnode(idx, &o); werr == nil {
-		werr = perr
-	}
-	return werr
-}
-
-// writeRange maps and writes the block range of one write. Caller holds
-// the object's exclusive lock and persists the onode.
-func (s *Store) writeRange(o *layout.Onode, off uint64, data []byte) error {
-	bs := uint64(s.lay.BlockSize())
-	// Clustering: when this object has no blocks yet and is linked to
-	// another object, allocate near it.
-	clusterHint := int64(0)
-	if o.Cluster != 0 {
-		clusterHint = s.clusterHint(o)
-	}
-	buf := make([]byte, bs)
-	for done := 0; done < len(data); {
-		cur := off + uint64(done)
-		fb := int64(cur / bs)
-		within := cur % bs
-		chunk := int(bs - within)
-		if chunk > len(data)-done {
-			chunk = len(data) - done
-		}
-		hint := clusterHint
-		if fb > 0 {
-			if prev, err := s.lay.BMap(o, fb-1); err == nil && prev != 0 {
-				hint = prev + 1
-			}
-		}
-		prevPhys, err := s.lay.BMap(o, fb)
-		if err != nil {
-			return err
-		}
-		phys, err := s.lay.BMapAlloc(o, fb, hint)
-		if err != nil {
-			return err
-		}
-		if within == 0 && chunk == int(bs) {
-			copy(buf, data[done:done+chunk])
-		} else {
-			// Partial block: read-modify-write. A block that was a hole
-			// before this write contains whatever a previous owner left
-			// there, so zero-fill it instead of reading.
-			if prevPhys == 0 {
-				for i := range buf {
-					buf[i] = 0
-				}
-			} else if err := s.cache.ReadBlock(phys, buf); err != nil {
-				return err
-			}
-			copy(buf[within:], data[done:done+chunk])
-		}
-		if err := s.cache.WriteBlock(phys, buf); err != nil {
-			return err
-		}
-		done += chunk
-	}
-	return nil
-}
-
 // VersionObject creates a copy-on-write version (snapshot) of an object
 // and returns the new object's ID (the NASD interface's "construct a
-// copy-on-write object version" request). The snapshot shares all data
-// blocks with the original until either side writes. The source is held
-// exclusively while its block references are cloned.
+// copy-on-write object version" request). Only the classic backend
+// supports versions; needle partitions return ErrBackendMismatch.
 func (s *Store) VersionObject(part uint16, obj uint64) (uint64, error) {
+	be, err := s.backendFor(part)
+	if err != nil {
+		return 0, err
+	}
 	k := objKey{part, obj}
 	l := s.locks.acquire(k, true)
-	id, err := s.versionLocked(part, obj)
+	id, err := s.versionLocked(be, part, obj)
 	s.locks.release(k, l, true, notFound(err))
 	return id, err
 }
 
-func (s *Store) versionLocked(part uint16, obj uint64) (uint64, error) {
-	_, o, err := s.lookup(part, obj)
+func (s *Store) versionLocked(be StoreBackend, part uint16, obj uint64) (uint64, error) {
+	fp, err := be.Charge(part, obj)
 	if err != nil {
 		return 0, err
 	}
-	fp := s.chargeOf(&o)
 	// Reserve the clone's charge and count it up front (quota admission
 	// must be atomic with the usage update).
 	s.lockParts()
@@ -943,51 +745,43 @@ func (s *Store) versionLocked(part uint16, obj uint64) (uint64, error) {
 		p.ObjectCount++
 	}
 	s.pmu.Unlock()
-	rollback := func() {
+	id, err := be.VersionObject(part, obj)
+	if err != nil {
 		s.lockParts()
 		if p := s.parts[part]; p != nil {
 			p.UsedBlocks -= fp
 			p.ObjectCount--
 		}
 		s.pmu.Unlock()
-	}
-	idx, err := s.lay.AllocOnode()
-	if err != nil {
-		rollback()
 		return 0, err
 	}
-	if err := s.lay.CloneOnodeBlocks(&o); err != nil {
-		rollback()
-		return 0, err
+	if be.Kind() == BackendClassic {
+		s.lockParts()
+		err = s.savePartitionsLocked()
+		s.pmu.Unlock()
+		if err != nil {
+			return 0, err
+		}
 	}
-	clone := o
-	clone.ObjectID = s.lay.NextObjectID()
-	clone.Version = 1
-	clone.CreateSec = s.cfg.Clock().Unix()
-	if err := s.lay.WriteOnode(idx, &clone); err != nil {
-		rollback()
-		return 0, err
-	}
-	s.lockParts()
-	err = s.savePartitionsLocked()
-	s.pmu.Unlock()
-	if err != nil {
-		return 0, err
-	}
-	return clone.ObjectID, nil
+	return id, nil
 }
 
 // Flush forces write-behind data and metadata — including the partition
-// table with its usage accounting — to the device.
+// table with its usage accounting and the needle engine's log tails and
+// index snapshots — to the device. The needle engine flushes first: its
+// metadata writes land in the classic cache, which is flushed after.
 func (s *Store) Flush() error {
+	if err := s.needle.Flush(); err != nil {
+		return err
+	}
 	s.lockParts()
 	err := s.savePartitionsLocked()
 	s.pmu.Unlock()
 	if err != nil {
 		return err
 	}
-	if err := s.cache.Flush(); err != nil {
+	if err := s.classic.Flush(); err != nil {
 		return err
 	}
-	return s.lay.Sync()
+	return s.classic.lay.Sync()
 }

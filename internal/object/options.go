@@ -1,0 +1,81 @@
+package object
+
+import (
+	"time"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/telemetry"
+)
+
+// Option configures a Store built by FormatStore or OpenStore. Options
+// replace the old positional-Config constructors: callers name only
+// what they change and pick up maintained defaults for the rest.
+type Option func(*Config)
+
+// WithBackend sets the default storage engine for partitions created
+// without an explicit backend (see CreatePartitionBackend).
+func WithBackend(kind BackendKind) Option {
+	return func(c *Config) { c.DefaultBackend = kind }
+}
+
+// WithCacheBlocks sets the buffer cache capacity in blocks.
+func WithCacheBlocks(n int) Option {
+	return func(c *Config) { c.CacheBlocks = n }
+}
+
+// WithCacheShards sets how many independently locked shards the buffer
+// cache uses.
+func WithCacheShards(n int) Option {
+	return func(c *Config) { c.CacheShards = n }
+}
+
+// WithMetrics wires the store's telemetry (lock contention, per-backend
+// counters and media-I/O gauges) into reg.
+func WithMetrics(reg *telemetry.Registry) Option {
+	return func(c *Config) { c.Metrics = reg }
+}
+
+// WithReadahead sets how many blocks are prefetched past a detected
+// sequential read; pass a negative value to disable readahead.
+func WithReadahead(blocks int) Option {
+	return func(c *Config) {
+		if blocks <= 0 {
+			blocks = -1
+		}
+		c.ReadaheadBlocks = blocks
+	}
+}
+
+// WithClock injects the timestamp source (experiments use simulated
+// clocks).
+func WithClock(clock func() time.Time) Option {
+	return func(c *Config) { c.Clock = clock }
+}
+
+// WithWriteThrough disables write-behind in the data cache.
+func WithWriteThrough(on bool) Option {
+	return func(c *Config) { c.WriteThrough = on }
+}
+
+// WithOnodeCount overrides the format-time onode table size.
+func WithOnodeCount(n int64) Option {
+	return func(c *Config) { c.OnodeCount = n }
+}
+
+func buildConfig(opts []Option) Config {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// FormatStore initializes dev as an empty object store.
+func FormatStore(dev blockdev.Device, opts ...Option) (*Store, error) {
+	return Format(dev, buildConfig(opts))
+}
+
+// OpenStore loads an existing object store from dev.
+func OpenStore(dev blockdev.Device, opts ...Option) (*Store, error) {
+	return Open(dev, buildConfig(opts))
+}

@@ -51,4 +51,11 @@ echo "==> go run ./cmd/nasdbench -stats -stats-mb 2 -json ."
 go run ./cmd/nasdbench -stats -stats-mb 2 -json . > /dev/null
 test -s BENCH_stats.json
 
+# Backend comparison smoke: the classic-vs-needle small-object run must
+# complete on both engines and emit its side-by-side result (recipe and
+# measured numbers in EXPERIMENTS.md).
+echo "==> go run ./cmd/nasdbench -workload smallobj -smallobj-objects 2000 -json ."
+go run ./cmd/nasdbench -workload smallobj -smallobj-objects 2000 -json . > /dev/null
+test -s BENCH_smallobj.json
+
 echo "OK"
