@@ -149,6 +149,51 @@ func BenchmarkObjectRead64K(b *testing.B) {
 	}
 }
 
+// benchSeqWrite streams 64 KB writes into one object, wrapping every
+// 4 MB with a Flush — the metadata journal's worst sequential-write
+// case, since every write journals (and group-commits) an onode image
+// and every flush journals the refcount batch. The On/Off pair prices
+// the write-ahead journal (DESIGN.md §7); EXPERIMENTS.md records the
+// measured delta against its ≤15 % acceptance bound.
+func benchSeqWrite(b *testing.B, journaled bool) {
+	dev := blockdev.NewMemDisk(4096, 32768)
+	opts := []object.Option{object.WithCacheBlocks(4096)}
+	if !journaled {
+		opts = append(opts, object.WithJournalBlocks(-1))
+	}
+	st, err := object.FormatStore(dev, opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.CreatePartition(1, 0); err != nil {
+		b.Fatal(err)
+	}
+	id, err := st.Create(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const chunk = 64 << 10
+	const passChunks = (4 << 20) / chunk
+	data := make([]byte, chunk)
+	b.SetBytes(chunk)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		off := uint64(i%passChunks) * chunk
+		if err := st.Write(1, id, off, data); err != nil {
+			b.Fatal(err)
+		}
+		if i%passChunks == passChunks-1 {
+			if err := st.Flush(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSeqWriteJournalOn(b *testing.B)  { benchSeqWrite(b, true) }
+func BenchmarkSeqWriteJournalOff(b *testing.B) { benchSeqWrite(b, false) }
+
 func BenchmarkObjectSnapshot(b *testing.B) {
 	st := newBenchStore(b)
 	id, _ := st.Create(1)

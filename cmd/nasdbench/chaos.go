@@ -25,11 +25,16 @@ import (
 // behind per-drive fault injectors, a Cheops manager striping a RAID 5
 // and a mirrored object across them, and workers writing and verifying
 // deterministic data the whole time. A third of the way in, drive 2 is
-// failed hard (connections severed, dials refused); two thirds in it
-// is revived, the repair ledger is drained, and handles are reopened.
-// The run fails unless every operation during the outage completes
-// with correct data via degraded reads/writes, the breaker trips and
-// then recloses, and the retry/failover counters actually advanced.
+// killed outright — connections severed, its server shut down, and its
+// volatile write cache dropped, the storage model of a power cut. Two
+// thirds in, the drive is restarted over the surviving media (the
+// write-ahead journal replays its metadata at mount), every lane it
+// carries is marked stale in the manager's repair ledger, the ledger
+// is drained by reconstruction, and handles are reopened. The run
+// fails unless every operation during the outage completes with
+// correct data via degraded reads/writes, the breaker trips and then
+// recloses, journal recovery actually replayed records, and the
+// retry/failover counters advanced.
 //
 // Drive 2 — not drive 0 — takes the fault: the manager persists its
 // directory through drive 0, so killing drive 0 would test manager
@@ -47,29 +52,54 @@ func runChaos(w io.Writer, dur time.Duration, seed int64, jsonOut string) error 
 	ctx := context.Background()
 
 	var (
-		refs   []cheops.DriveRef
-		drives []*client.Drive
-		faults []*rpc.Faults
-		seq    uint64 = 100
+		refs        []cheops.DriveRef
+		drives      []*client.Drive
+		faults      []*rpc.Faults
+		seq         uint64            = 100
+		victimInner *blockdev.MemDisk // durable media under the crash disk
+		victimCrash *blockdev.CrashDisk
+		victimSlot  *lnSlot
+		victimKey   crypt.Key
 	)
+	srvs := make([]*rpc.Server, nDrives)
+	defer func() {
+		for _, s := range srvs {
+			if s != nil {
+				s.Close()
+			}
+		}
+	}()
 	policy := client.RetryPolicy{MaxAttempts: 5, AttemptTimeout: 250 * time.Millisecond}
 	for i := 0; i < nDrives; i++ {
 		master := crypt.NewRandomKey()
-		dev := blockdev.NewMemDisk(4096, 16384)
+		inner := blockdev.NewMemDisk(4096, 16384)
+		var dev blockdev.Device = inner
+		if i == victim {
+			// The victim sits behind a crash disk: a volatile write cache
+			// whose contents vanish at the kill, leaving only what the
+			// store explicitly flushed (journal commits included).
+			victimInner, victimKey = inner, master
+			victimCrash = blockdev.NewCrashDisk(inner, seed+1000)
+			dev = victimCrash
+		}
 		drv, err := drive.NewFormat(dev, drive.Config{ID: uint64(1 + i), Master: master, Secure: true})
 		if err != nil {
 			return err
 		}
-		l := rpc.NewInProcListener(fmt.Sprintf("chaos%d", i))
-		srv := drv.Serve(l)
-		defer srv.Close()
+		slot := &lnSlot{l: rpc.NewInProcListener(fmt.Sprintf("chaos%d", i))}
+		srvs[i] = drv.Serve(slot.l)
 		f := rpc.NewFaults(seed + int64(i))
 		faults = append(faults, f)
 		// Every connection to this drive — manager control traffic and
 		// data-path legs alike — runs through its fault injector, and
-		// every client can re-dial through it, so a severed connection
-		// heals only once the drive is revived.
-		dial := func() (rpc.Conn, error) { return f.Dial(l.Dial) }
+		// every client can re-dial through it. The listener slot is one
+		// more indirection: a restarted drive serves on a fresh listener,
+		// and swapping it into the slot points every later redial at the
+		// new server.
+		if i == victim {
+			victimSlot = slot
+		}
+		dial := func() (rpc.Conn, error) { return f.Dial(slot.dial) }
 		mk := func() (*client.Drive, error) {
 			conn, err := dial()
 			if err != nil {
@@ -153,8 +183,14 @@ func runChaos(w io.Writer, dur time.Duration, seed int64, jsonOut string) error 
 		return err
 	}
 
-	fmt.Fprintf(w, "  t=%-8v drive %d DOWN (connections severed, dials refused)\n", time.Since(start).Round(time.Millisecond), victim)
+	fmt.Fprintf(w, "  t=%-8v drive %d KILLED (connections severed, server down, volatile write cache lost)\n", time.Since(start).Round(time.Millisecond), victim)
+	// Order matters: sever the network first so no request is in flight
+	// when the server drains, then drop the write cache. The crash
+	// leaves only what the store explicitly made durable — superblock,
+	// journal commits, flushed data — exactly a power cut's residue.
 	faults[victim].Down()
+	srvs[victim].Close()
+	victimCrash.Crash()
 	if err := phase("degraded", dur/3); err != nil {
 		return err
 	}
@@ -162,7 +198,33 @@ func runChaos(w io.Writer, dur time.Duration, seed int64, jsonOut string) error 
 		return fmt.Errorf("chaos: drive %d breaker still closed after outage traffic", victim)
 	}
 
-	fmt.Fprintf(w, "  t=%-8v drive %d revived; draining repair ledger\n", time.Since(start).Round(time.Millisecond), victim)
+	// Restart the drive over the surviving media. object.Open replays
+	// the metadata journal, repairs reference counts, and reports what
+	// it did; the drive then serves on a fresh listener swapped into the
+	// victim's dial slot. The shared registry picks up the journal.*
+	// counters and the recovery_ms gauge from the reopened store.
+	reborn, err := drive.Open(victimInner, drive.Config{
+		ID: uint64(1 + victim), Master: victimKey, Secure: true, Metrics: reg,
+	})
+	if err != nil {
+		return fmt.Errorf("chaos: restarting crashed drive %d: %w", victim, err)
+	}
+	ri := reborn.Store().RecoveryInfo()
+	fmt.Fprintf(w, "  t=%-8v drive %d restarted: journal replayed %d records (%d torn tails discarded), %d ref repairs, recovery took %v\n",
+		time.Since(start).Round(time.Millisecond), victim, ri.Replayed, ri.TornTails, ri.RefRepairs, ri.Duration.Round(time.Microsecond))
+	if ri.Replayed == 0 && ri.TornTails == 0 {
+		return fmt.Errorf("chaos: drive %d recovery replayed nothing — the kill lost no state, so the crash path went unexercised", victim)
+	}
+	relisten := rpc.NewInProcListener(fmt.Sprintf("chaos%d-reborn", victim))
+	srvs[victim] = reborn.Serve(relisten)
+	victimSlot.set(relisten)
+
+	// The journal restored the drive's metadata, but data writes it
+	// acknowledged from volatile cache are gone: every lane it carries
+	// is stale until rebuilt. Tell the manager so reads reconstruct
+	// around the drive while RepairAll re-creates its components.
+	stale := mgr.MarkDriveStale(victim, "restarted after crash: volatile cache contents lost")
+	fmt.Fprintf(w, "  t=%-8v drive %d revived; %d lanes marked stale; draining repair ledger\n", time.Since(start).Round(time.Millisecond), victim, stale)
 	faults[victim].Revive()
 	repairDeadline := time.Now().Add(10 * time.Second)
 	for len(mgr.PendingRepairs()) > 0 {
@@ -219,6 +281,9 @@ func runChaos(w io.Writer, dur time.Duration, seed int64, jsonOut string) error 
 	if snap.Counters["cheops.breaker_opens"] == 0 {
 		return fmt.Errorf("chaos: breaker never opened during the outage")
 	}
+	if snap.Counters["journal.replays"] == 0 {
+		return fmt.Errorf("chaos: journal.replays did not advance — restart recovery went unexercised")
+	}
 
 	if jsonOut != "" {
 		return writeBenchJSON(jsonOut, benchResult{
@@ -233,6 +298,9 @@ func runChaos(w io.Writer, dur time.Duration, seed int64, jsonOut string) error 
 }
 
 // chaosCounterNames are the resilience counters the chaos run reports.
+// The journal.* pair comes from the victim's post-restart mount: how
+// many committed intent records recovery replayed and how many torn
+// record batches the scan discarded.
 var chaosCounterNames = []string{
 	"client.retries",
 	"client.reconnects",
@@ -243,6 +311,8 @@ var chaosCounterNames = []string{
 	"cheops.breaker_opens",
 	"cheops.breaker_probes",
 	"cheops.cap_renewals",
+	"journal.replays",
+	"journal.torn_tails",
 }
 
 func chaosCounters(snap telemetry.Snapshot) map[string]uint64 {
@@ -250,6 +320,9 @@ func chaosCounters(snap telemetry.Snapshot) map[string]uint64 {
 	for _, n := range chaosCounterNames {
 		out[n] = snap.Counters[n]
 	}
+	// recovery_ms is a gauge (one value per restart); report it beside
+	// the counters so BENCH_chaos.json carries the whole crash story.
+	out["recovery_ms"] = uint64(snap.Gauges["recovery_ms"])
 	return out
 }
 
@@ -266,7 +339,31 @@ func printChaosCounters(w io.Writer, snap telemetry.Snapshot) {
 	}
 	sort.Strings(breakers)
 	fmt.Fprintf(w, "%-28s %10d\n", "cheops.pending_repairs", snap.Gauges["cheops.pending_repairs"])
+	fmt.Fprintf(w, "%-28s %10d\n", "recovery_ms", snap.Gauges["recovery_ms"])
 	fmt.Fprintf(w, "breakers: %s\n", strings.Join(breakers, " "))
+}
+
+// lnSlot holds a drive's current listener behind a lock. The dial path
+// captured by long-lived clients goes through the slot, so a restarted
+// drive — serving on a fresh listener after its old one closed with
+// its server — swaps the new listener in and every later redial lands
+// on the new incarnation.
+type lnSlot struct {
+	mu sync.Mutex
+	l  *rpc.InProcListener
+}
+
+func (s *lnSlot) set(l *rpc.InProcListener) {
+	s.mu.Lock()
+	s.l = l
+	s.mu.Unlock()
+}
+
+func (s *lnSlot) dial() (rpc.Conn, error) {
+	s.mu.Lock()
+	l := s.l
+	s.mu.Unlock()
+	return l.Dial()
 }
 
 // chaosWorker soaks one logical object: random-offset writes of

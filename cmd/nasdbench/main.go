@@ -19,8 +19,10 @@
 //   - parallel: N concurrent client workers over distinct objects on
 //     one drive, printing aggregate throughput plus the per-layer
 //     lock-contention telemetry (DESIGN.md §4).
-//   - chaos: the sever/revive/repair soak from DESIGN.md §6 over four
-//     drives with verified RAID-5/mirrored traffic.
+//   - chaos: the kill/restart soak from DESIGN.md §6-§7 over four
+//     drives with verified RAID-5/mirrored traffic — the victim drive
+//     is killed mid-run (volatile cache dropped), restarted through
+//     journal recovery, marked stale, and rebuilt.
 //   - smallobj: the classic-vs-needle storage-engine comparison — a
 //     4 KiB object population written once then served with a Zipf
 //     stat+read mix, on one partition per backend (DESIGN.md §4).

@@ -11,7 +11,11 @@
 //
 // With -path the store is backed by a file on disk and survives
 // restarts (the drive formats the file on first use and reopens it
-// thereafter); without it, the store lives in memory.
+// thereafter); without it, the store lives in memory. Reopening runs
+// mount-time journal recovery (DESIGN.md §7) — committed metadata
+// survives a crash or power cut — and logs a one-line recovery
+// summary when the volume did not open clean. See OPERATIONS.md for
+// the operator runbook.
 //
 // With -metrics the daemon additionally serves plain-JSON
 // observability over HTTP: GET /metrics (the full telemetry snapshot:
@@ -125,6 +129,10 @@ func main() {
 	}
 	if err != nil {
 		log.Fatalf("nasdd: attach: %v", err)
+	}
+	if ri := drv.Store().RecoveryInfo(); ri != (object.RecoveryInfo{}) {
+		log.Printf("nasdd: recovery: replayed %d journal records, discarded %d torn tails, repaired %d refcounts in %v",
+			ri.Replayed, ri.TornTails, ri.RefRepairs, ri.Duration)
 	}
 	l, err := rpc.ListenTCP(*listen)
 	if err != nil {

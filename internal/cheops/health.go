@@ -241,6 +241,36 @@ func (m *Manager) PendingRepairs() []PendingRepair {
 	return out
 }
 
+// MarkDriveStale enters every component resident on drive i into the
+// repair ledger. Callers use it when a drive returns from a crash or
+// power cut: the hardware answers again and mount-time journal recovery
+// restored its metadata, but data writes it acknowledged from volatile
+// cache may be gone, so every lane it carries must be treated as stale
+// — served by reconstruction — until RepairAll rebuilds it. Lanes
+// already in the ledger (from degraded writes during the outage) are
+// left as they are. Returns the number of lanes newly marked.
+func (m *Manager) MarkDriveStale(drive int, cause string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	marked := 0
+	for logical, d := range m.objects {
+		for comp := range d.Components {
+			if d.Components[comp].Drive != drive {
+				continue
+			}
+			k := repairKey{logical, comp}
+			if _, dup := m.repairs[k]; dup {
+				continue
+			}
+			m.repairs[k] = PendingRepair{
+				Logical: logical, Component: comp, Drive: drive, Cause: cause,
+			}
+			marked++
+		}
+	}
+	return marked
+}
+
 // noteDegradedWrite is the accounting for one skipped write leg: the
 // degraded-write and failover counters advance and the lane enters the
 // repair ledger.

@@ -1,0 +1,35 @@
+// Package journal is the drive's write-ahead metadata log (DESIGN.md
+// §7). Layout mutations — allocator refcount changes, onode images,
+// the partition table, needle segment tables — are appended as CRC-32C
+// framed intent records with a monotonic LSN and made durable by a
+// group-committed device flush BEFORE the corresponding in-place
+// metadata write is issued. After a crash, mount-time recovery replays
+// the committed records (replay is idempotent: every record carries
+// the full new value, not a delta), discards torn tails, and the store
+// verifies its invariants before serving.
+//
+// On disk the journal owns a reserved region of the drive's block
+// device: one header block (magic, version, generation, CRC) followed
+// by two equal halves. The generation's parity selects the active
+// half. Records are written in block-aligned batches — a batch never
+// rewrites a block used by an earlier batch — so a torn batch can
+// never damage previously committed records. Records from an earlier
+// pass over the same half carry a stale generation and terminate the
+// recovery scan cleanly, which is how the scanner tells "clean
+// shutdown" from a torn tail (current generation, bad CRC).
+//
+// Checkpointing is compaction, not truncation: records whose in-place
+// effects have been issued are marked Applied; Checkpoint rewrites the
+// still-unapplied remainder (original LSNs preserved) into the
+// inactive half under the next generation and then flips the header.
+// The old half stays intact until the new header is durable, so a
+// crash during checkpoint loses nothing — and because the unapplied
+// set is bounded (Append refuses records that could not be
+// re-homed by a checkpoint), Checkpoint always succeeds, which is what
+// lets the layout recover from a full journal by syncing and
+// compacting instead of failing writes.
+//
+// The journal takes no locks other than its own and never calls back
+// into the store, so it sits at the leaf of the lock hierarchy
+// (DESIGN.md §4) and may be invoked from under any store lock.
+package journal

@@ -1,0 +1,286 @@
+package journal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"nasd/internal/blockdev"
+)
+
+func newJournal(t *testing.T, blocks int64) (*blockdev.MemDisk, *Journal) {
+	t.Helper()
+	dev := blockdev.NewMemDisk(512, blocks+10)
+	if err := Format(dev, 3, blocks); err != nil {
+		t.Fatalf("Format: %v", err)
+	}
+	j, recs, _, err := Open(dev, 3, blocks, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal recovered %d records", len(recs))
+	}
+	return dev, j
+}
+
+func TestAppendCommitRecover(t *testing.T) {
+	dev, j := newJournal(t, 64)
+	var lsns []uint64
+	for i := 0; i < 5; i++ {
+		lsn, err := j.Append(KindOnode, EncodeOnode(uint32(i), bytes.Repeat([]byte{byte(i)}, 100)))
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	if err := j.Commit(lsns[len(lsns)-1]); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+
+	j2, recs, st, err := Open(dev, 3, 64, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if st.TornTails != 0 {
+		t.Fatalf("torn tails on clean journal: %d", st.TornTails)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("recovered %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.Kind != KindOnode || r.LSN != lsns[i] {
+			t.Fatalf("record %d = {%d %d}, want {%d %d}", i, r.Kind, r.LSN, KindOnode, lsns[i])
+		}
+		idx, img, err := DecodeOnode(r.Payload)
+		if err != nil || idx != uint32(i) || len(img) != 100 || img[0] != byte(i) {
+			t.Fatalf("record %d payload mismatch (err=%v idx=%d)", i, err, idx)
+		}
+	}
+	if j2.Outstanding() != 5 {
+		t.Fatalf("outstanding = %d, want 5", j2.Outstanding())
+	}
+}
+
+func TestUncommittedNotRecovered(t *testing.T) {
+	dev, j := newJournal(t, 64)
+	if _, err := j.Append(KindPartTable, []byte("never committed")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	_, recs, _, err := Open(dev, 3, 64, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("recovered %d uncommitted records", len(recs))
+	}
+}
+
+func TestGroupCommit(t *testing.T) {
+	_, j := newJournal(t, 64)
+	a, _ := j.Append(KindPartTable, []byte("a"))
+	b, _ := j.Append(KindPartTable, []byte("b"))
+	if err := j.Commit(b); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// a was covered by b's commit: this must be a no-op fast path.
+	if err := j.Commit(a); err != nil {
+		t.Fatalf("Commit(a): %v", err)
+	}
+}
+
+func TestCheckpointKeepsUnapplied(t *testing.T) {
+	dev, j := newJournal(t, 64)
+	applied, _ := j.Append(KindPartTable, []byte("applied"))
+	kept, _ := j.Append(KindNeedleSeg, EncodeNeedleSeg(7, []byte("kept")))
+	if err := j.Commit(kept); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	j.Applied(applied)
+	if err := j.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	_, recs, _, err := Open(dev, 3, 64, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records after checkpoint, want 1", len(recs))
+	}
+	if recs[0].LSN != kept {
+		t.Fatalf("kept LSN %d, want %d (original LSN must survive checkpoint)", recs[0].LSN, kept)
+	}
+	part, data, err := DecodeNeedleSeg(recs[0].Payload)
+	if err != nil || part != 7 || string(data) != "kept" {
+		t.Fatalf("kept payload mismatch: part=%d data=%q err=%v", part, data, err)
+	}
+}
+
+func TestLSNsSurviveCheckpointAndGrow(t *testing.T) {
+	_, j := newJournal(t, 64)
+	a, _ := j.Append(KindPartTable, []byte("a"))
+	j.Commit(a)
+	if err := j.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	b, _ := j.Append(KindPartTable, []byte("b"))
+	if b <= a {
+		t.Fatalf("LSN went backwards after checkpoint: %d <= %d", b, a)
+	}
+}
+
+func TestFullThenCheckpointFrees(t *testing.T) {
+	_, j := newJournal(t, 16) // tiny: half = 7 blocks of 512 B
+	payload := bytes.Repeat([]byte{0xAA}, 400)
+	var last uint64
+	filled := 0
+	for i := 0; i < 100; i++ {
+		lsn, err := j.Append(KindOnode, payload)
+		if err == ErrFull {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		last = lsn
+		filled++
+	}
+	if filled == 0 || filled == 100 {
+		t.Fatalf("expected to fill the journal, appended %d", filled)
+	}
+	if err := j.Commit(last); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// Apply everything, checkpoint, and the journal must accept again.
+	for lsn := uint64(1); lsn <= last; lsn++ {
+		j.Applied(lsn)
+	}
+	if err := j.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if _, err := j.Append(KindOnode, payload); err != nil {
+		t.Fatalf("Append after checkpoint: %v", err)
+	}
+}
+
+func TestTornTailDetected(t *testing.T) {
+	dev, j := newJournal(t, 64)
+	lsn, _ := j.Append(KindOnode, bytes.Repeat([]byte{1}, 64))
+	if err := j.Commit(lsn); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	lsn2, _ := j.Append(KindOnode, bytes.Repeat([]byte{2}, 64))
+	if err := j.Commit(lsn2); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// Corrupt a byte inside the second batch's payload: current
+	// generation, bad CRC — the signature of a torn commit.
+	buf := make([]byte, 512)
+	if err := dev.ReadBlock(3+1+1, buf); err != nil { // header at 3, half base +1, batch 2 at +1
+		t.Fatalf("read: %v", err)
+	}
+	buf[40] ^= 0xFF
+	if err := dev.WriteBlock(3+1+1, buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+
+	_, recs, st, err := Open(dev, 3, 64, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != 1 || recs[0].LSN != lsn {
+		t.Fatalf("recovered %d records (want just the first batch)", len(recs))
+	}
+	if st.TornTails != 1 {
+		t.Fatalf("torn tails = %d, want 1", st.TornTails)
+	}
+}
+
+func TestResetDiscardsEverything(t *testing.T) {
+	dev, j := newJournal(t, 64)
+	lsn, _ := j.Append(KindPartTable, []byte("x"))
+	j.Commit(lsn)
+	if err := j.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	_, recs, _, err := Open(dev, 3, 64, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("recovered %d records after Reset", len(recs))
+	}
+}
+
+func TestLargeRecordSpansBlocks(t *testing.T) {
+	dev, j := newJournal(t, 64)
+	big := make([]byte, 3*512+17)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	lsn, err := j.Append(KindPartTable, big)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := j.Commit(lsn); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	_, recs, _, err := Open(dev, 3, 64, nil)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(recs) != 1 || !bytes.Equal(recs[0].Payload, big) {
+		t.Fatalf("multi-block record did not round-trip")
+	}
+}
+
+func TestRefUpdateCodec(t *testing.T) {
+	blocks := []int64{5, 99, 1 << 40}
+	refs := []uint16{1, 0, 7}
+	b2, r2, err := DecodeRefUpdate(EncodeRefUpdate(blocks, refs))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range blocks {
+		if b2[i] != blocks[i] || r2[i] != refs[i] {
+			t.Fatalf("pair %d: got {%d %d} want {%d %d}", i, b2[i], r2[i], blocks[i], refs[i])
+		}
+	}
+	if _, _, err := DecodeRefUpdate([]byte{1, 2}); err == nil {
+		t.Fatal("short payload must error")
+	}
+}
+
+func TestConcurrentAppendCommit(t *testing.T) {
+	_, j := newJournal(t, 1024)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				lsn, err := j.Append(KindOnode, []byte(fmt.Sprintf("g%d-%d", g, i)))
+				if err != nil {
+					done <- err
+					return
+				}
+				if err := j.Commit(lsn); err != nil {
+					done <- err
+					return
+				}
+				j.Applied(lsn)
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	if err := j.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if j.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after all applied", j.Outstanding())
+	}
+}

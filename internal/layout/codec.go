@@ -18,6 +18,8 @@ func encodeSuperblock(b []byte, sb *Superblock) {
 	le.PutUint64(b[52:], uint64(sb.DataStart))
 	le.PutUint64(b[60:], uint64(sb.OnodeCount))
 	le.PutUint64(b[68:], sb.NextObjectID)
+	le.PutUint64(b[76:], uint64(sb.JournalStart))
+	le.PutUint64(b[84:], uint64(sb.JournalBlocks))
 }
 
 func decodeSuperblock(b []byte) (Superblock, error) {
@@ -31,7 +33,9 @@ func decodeSuperblock(b []byte) (Superblock, error) {
 		return sb, ErrNotFormatted
 	}
 	sb.Version = le.Uint32(b[4:])
-	if sb.Version != FormatVersion {
+	// Version 1 volumes predate the metadata journal: they open fine,
+	// with journaling disabled (JournalStart/JournalBlocks stay zero).
+	if sb.Version != 1 && sb.Version != FormatVersion {
 		return sb, fmt.Errorf("layout: unsupported format version %d", sb.Version)
 	}
 	sb.BlockSize = le.Uint32(b[8:])
@@ -43,6 +47,10 @@ func decodeSuperblock(b []byte) (Superblock, error) {
 	sb.DataStart = int64(le.Uint64(b[52:]))
 	sb.OnodeCount = int64(le.Uint64(b[60:]))
 	sb.NextObjectID = le.Uint64(b[68:])
+	if sb.Version >= 2 && len(b) >= 92 {
+		sb.JournalStart = int64(le.Uint64(b[76:]))
+		sb.JournalBlocks = int64(le.Uint64(b[84:]))
+	}
 	return sb, nil
 }
 

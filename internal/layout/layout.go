@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"nasd/internal/blockdev"
+	"nasd/internal/journal"
 	"nasd/internal/telemetry"
 )
 
@@ -26,7 +27,9 @@ const (
 	// Magic identifies a formatted NASD volume.
 	Magic = 0x4E415344 // "NASD"
 	// FormatVersion is the layout version written by this package.
-	FormatVersion = 1
+	// Version 2 added the reserved metadata-journal region; version 1
+	// volumes still open, with journaling disabled.
+	FormatVersion = 2
 	// OnodeSize is the on-disk size of one onode.
 	OnodeSize = 512
 	// NumDirect is the number of direct block pointers per onode.
@@ -61,6 +64,10 @@ type Superblock struct {
 	DataStart    int64 // first data block
 	OnodeCount   int64
 	NextObjectID uint64
+	// JournalStart/JournalBlocks locate the reserved write-ahead
+	// journal region (version 2; zero on version-1 volumes).
+	JournalStart  int64
+	JournalBlocks int64
 }
 
 // Onode is an object node: per-object metadata plus the block map.
@@ -128,6 +135,17 @@ type Store struct {
 
 	ptrsPerBlock int64
 
+	// jnl is the write-ahead metadata journal (nil on version-1
+	// volumes or when formatted with journaling disabled). refPending
+	// accumulates refcount changes since the last Sync for the next
+	// KindRefUpdate intent record; recovered holds the non-layout
+	// records (partition table, needle segment tables) replayed at
+	// Open for the object layer to apply.
+	jnl        *journal.Journal
+	refPending map[int64]uint16
+	recovered  []journal.Record
+	recStats   journal.Stats
+
 	// devReads counts device reads issued for layout metadata (onodes
 	// and pointer blocks), which bypass the object layer's cache. The
 	// object layer folds it into its media-I/O-per-read gauge.
@@ -139,6 +157,32 @@ type FormatOptions struct {
 	// OnodeCount is the number of onode slots (default: one per 64
 	// data blocks, min 128).
 	OnodeCount int64
+	// JournalBlocks sizes the reserved write-ahead journal region.
+	// Zero picks a default (1/32 of the device, clamped to [16, 1024]
+	// blocks); a negative value disables journaling, which trades
+	// crash consistency for one less flush per metadata write (the
+	// journal-off benchmark configuration).
+	JournalBlocks int64
+	// Metrics receives the journal.* counters (optional).
+	Metrics *telemetry.Registry
+}
+
+// OpenOptions controls OpenWith.
+type OpenOptions struct {
+	// Metrics receives the journal.* counters (optional).
+	Metrics *telemetry.Registry
+}
+
+// defaultJournalBlocks sizes the journal region for a device.
+func defaultJournalBlocks(total int64) int64 {
+	jb := total / 32
+	if jb < 16 {
+		jb = 16
+	}
+	if jb > 1024 {
+		jb = 1024
+	}
+	return jb
 }
 
 // Format writes a fresh, empty layout to dev and returns the open store.
@@ -159,22 +203,39 @@ func Format(dev blockdev.Device, opts FormatOptions) (*Store, error) {
 	}
 	onodesPerBlock := bs / OnodeSize
 	onodeBlocks := (onodeCount + onodesPerBlock - 1) / onodesPerBlock
-	dataStart := 1 + refBlocks + onodeBlocks
+	jb := opts.JournalBlocks
+	switch {
+	case jb < 0:
+		jb = 0
+	case jb == 0:
+		jb = defaultJournalBlocks(total)
+	case jb < 16:
+		jb = 16
+	}
+	journalStart := int64(0)
+	refStart := int64(1)
+	if jb > 0 {
+		journalStart = 1
+		refStart = 1 + jb
+	}
+	dataStart := refStart + refBlocks + onodeBlocks
 	if dataStart >= total {
 		return nil, fmt.Errorf("layout: device too small (%d blocks, %d needed for metadata)", total, dataStart)
 	}
 	sb := Superblock{
-		Magic:        Magic,
-		Version:      FormatVersion,
-		BlockSize:    uint32(bs),
-		TotalBlocks:  total,
-		RefStart:     1,
-		RefBlocks:    refBlocks,
-		OnodeStart:   1 + refBlocks,
-		OnodeBlocks:  onodeBlocks,
-		DataStart:    dataStart,
-		OnodeCount:   onodeCount,
-		NextObjectID: 1,
+		Magic:         Magic,
+		Version:       FormatVersion,
+		BlockSize:     uint32(bs),
+		TotalBlocks:   total,
+		RefStart:      refStart,
+		RefBlocks:     refBlocks,
+		OnodeStart:    refStart + refBlocks,
+		OnodeBlocks:   onodeBlocks,
+		DataStart:     dataStart,
+		OnodeCount:    onodeCount,
+		NextObjectID:  1,
+		JournalStart:  journalStart,
+		JournalBlocks: jb,
 	}
 	s := &Store{
 		dev:          dev,
@@ -186,6 +247,17 @@ func Format(dev blockdev.Device, opts FormatOptions) (*Store, error) {
 		onodeIndex:   make(map[uint64]int64),
 		ptrsPerBlock: bs / 8,
 		allocHint:    dataStart,
+	}
+	if jb > 0 {
+		if err := journal.Format(dev, journalStart, jb); err != nil {
+			return nil, err
+		}
+		j, _, _, err := journal.Open(dev, journalStart, jb, opts.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.jnl = j
+		s.refPending = make(map[int64]uint16)
 	}
 	// Metadata blocks are permanently referenced.
 	for i := int64(0); i < dataStart; i++ {
@@ -211,6 +283,17 @@ func Format(dev blockdev.Device, opts FormatOptions) (*Store, error) {
 
 // Open reads an existing layout from dev.
 func Open(dev blockdev.Device) (*Store, error) {
+	return OpenWith(dev, OpenOptions{})
+}
+
+// OpenWith reads an existing layout from dev. On a journaled (version
+// 2) volume it first recovers the write-ahead journal: committed onode
+// records are patched onto the device before the onode scan, committed
+// refcount updates are replayed over the loaded allocator state, and
+// object-layer records (partition table, needle segment tables) are
+// retained for RecoveredRecords. The caller finishes recovery by
+// making the replayed state durable (Sync) and calling JournalReset.
+func OpenWith(dev blockdev.Device, opts OpenOptions) (*Store, error) {
 	bs := int64(dev.BlockSize())
 	buf := make([]byte, bs)
 	if err := dev.ReadBlock(0, buf); err != nil {
@@ -233,6 +316,31 @@ func Open(dev blockdev.Device) (*Store, error) {
 		ptrsPerBlock: bs / 8,
 		allocHint:    sb.DataStart,
 	}
+	var refRecs []journal.Record
+	if sb.JournalBlocks > 0 {
+		j, recs, st, jerr := journal.Open(dev, sb.JournalStart, sb.JournalBlocks, opts.Metrics)
+		if jerr != nil {
+			return nil, jerr
+		}
+		s.jnl = j
+		s.refPending = make(map[int64]uint16)
+		s.recStats = st
+		for _, r := range recs {
+			switch r.Kind {
+			case journal.KindOnode:
+				// Patch the image onto the device now, before the
+				// onode scan below builds the index from it.
+				if err := s.replayOnode(r); err != nil {
+					return nil, err
+				}
+				j.Applied(r.LSN)
+			case journal.KindRefUpdate:
+				refRecs = append(refRecs, r)
+			default:
+				s.recovered = append(s.recovered, r)
+			}
+		}
+	}
 	// Load refcounts.
 	refPerBlock := bs / 2
 	for i := int64(0); i < sb.RefBlocks; i++ {
@@ -243,6 +351,21 @@ func Open(dev blockdev.Device) (*Store, error) {
 		for j := int64(0); j < refPerBlock && base+j < sb.TotalBlocks; j++ {
 			s.ref[base+j] = binary.LittleEndian.Uint16(buf[j*2:])
 		}
+	}
+	// Replay committed refcount intents over the loaded table; the
+	// dirty marks route them back to the device on the next Sync.
+	for _, r := range refRecs {
+		blocks, refs, derr := journal.DecodeRefUpdate(r.Payload)
+		if derr != nil {
+			return nil, derr
+		}
+		for i, b := range blocks {
+			if b >= 0 && b < sb.TotalBlocks && s.ref[b] != refs[i] {
+				s.ref[b] = refs[i]
+				s.refDirty[b/refPerBlock] = true
+			}
+		}
+		s.jnl.Applied(r.LSN)
 	}
 	for i := sb.DataStart; i < sb.TotalBlocks; i++ {
 		if s.ref[i] == 0 {
@@ -273,6 +396,94 @@ func Open(dev blockdev.Device) (*Store, error) {
 		s.freeOnodes[i], s.freeOnodes[j] = s.freeOnodes[j], s.freeOnodes[i]
 	}
 	return s, nil
+}
+
+// replayOnode writes a recovered onode image back to its slot on the
+// device (the committed intent whose in-place write may have been
+// lost or torn by the crash).
+func (s *Store) replayOnode(r journal.Record) error {
+	idx32, image, err := journal.DecodeOnode(r.Payload)
+	if err != nil {
+		return err
+	}
+	idx := int64(idx32)
+	if idx < 0 || idx >= s.sb.OnodeCount || len(image) != OnodeSize {
+		return fmt.Errorf("layout: journal onode record out of range (idx %d)", idx)
+	}
+	bs := int64(s.sb.BlockSize)
+	per := bs / OnodeSize
+	blk := s.sb.OnodeStart + idx/per
+	buf := make([]byte, bs)
+	if err := s.dev.ReadBlock(blk, buf); err != nil {
+		return err
+	}
+	off := (idx % per) * OnodeSize
+	copy(buf[off:off+OnodeSize], image)
+	return s.dev.WriteBlock(blk, buf)
+}
+
+// --- Journal ----------------------------------------------------------
+
+// JournalEnabled reports whether the volume has a write-ahead journal.
+func (s *Store) JournalEnabled() bool { return s.jnl != nil }
+
+// journalAppend appends an intent record, recovering from a full
+// journal by flushing the device (which makes every issued in-place
+// effect durable) and compacting applied records away, then retrying.
+func (s *Store) journalAppend(kind journal.Kind, payload []byte) (uint64, error) {
+	lsn, err := s.jnl.Append(kind, payload)
+	if errors.Is(err, journal.ErrFull) {
+		if ferr := s.dev.Flush(); ferr != nil {
+			return 0, ferr
+		}
+		if cerr := s.jnl.Checkpoint(); cerr != nil {
+			return 0, cerr
+		}
+		lsn, err = s.jnl.Append(kind, payload)
+	}
+	return lsn, err
+}
+
+// JournalAppend durably appends one intent record on behalf of the
+// object layer (partition table, needle segment tables): the record is
+// committed — group-flushed — before return. journal.ErrFull means the
+// record cannot fit even after compaction; the caller should fall back
+// to its direct durable write path.
+func (s *Store) JournalAppend(kind journal.Kind, payload []byte) (uint64, error) {
+	if s.jnl == nil {
+		return 0, errors.New("layout: journaling disabled")
+	}
+	lsn, err := s.journalAppend(kind, payload)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.jnl.Commit(lsn); err != nil {
+		return 0, err
+	}
+	return lsn, nil
+}
+
+// JournalApplied marks an object-layer record's in-place effect as
+// issued (see journal.Journal.Applied).
+func (s *Store) JournalApplied(lsn uint64) {
+	if s.jnl != nil {
+		s.jnl.Applied(lsn)
+	}
+}
+
+// JournalReset discards the journal at the end of mount-time recovery.
+// Every replayed effect must already be durable (Sync first).
+func (s *Store) JournalReset() error {
+	if s.jnl == nil {
+		return nil
+	}
+	return s.jnl.Reset()
+}
+
+// RecoveredRecords returns the object-layer journal records (partition
+// table, needle segment tables) replayed at Open, plus the scan stats.
+func (s *Store) RecoveredRecords() ([]journal.Record, journal.Stats) {
+	return s.recovered, s.recStats
 }
 
 // lockAlloc acquires the allocator/index mutex through the contention
@@ -444,6 +655,11 @@ func (s *Store) setRef(blk int64, v uint16) {
 	s.ref[blk] = v
 	refPerBlock := int64(s.sb.BlockSize) / 2
 	s.refDirty[blk/refPerBlock] = true
+	if s.jnl != nil {
+		// Accumulate for the KindRefUpdate intent record that Sync
+		// commits before rewriting the refcount region in place.
+		s.refPending[blk] = v
+	}
 }
 
 // --- Onode management -------------------------------------------------
@@ -485,7 +701,10 @@ func (s *Store) ReadOnode(idx int64) (Onode, error) {
 // WriteOnode stores o at idx (write-through) and maintains the object ID
 // index. Writing a zero ObjectID releases the slot. The stripe lock
 // makes the read-modify-write of the shared onode block atomic against
-// writers of neighboring onodes.
+// writers of neighboring onodes. On a journaled volume the new onode
+// image is committed to the write-ahead journal before the in-place
+// write is issued, so a crash that loses or tears the onode block is
+// repaired by replay at the next mount.
 func (s *Store) WriteOnode(idx int64, o *Onode) error {
 	if idx < 0 || idx >= s.sb.OnodeCount {
 		return ErrBadOnode
@@ -503,11 +722,26 @@ func (s *Store) WriteOnode(idx int64, o *Onode) error {
 	off := (idx % per) * OnodeSize
 	prev := decodeOnode(buf[off : off+OnodeSize])
 	encodeOnode(buf[off:off+OnodeSize], o)
+	var lsn uint64
+	if s.jnl != nil {
+		var err error
+		lsn, err = s.journalAppend(journal.KindOnode, journal.EncodeOnode(uint32(idx), buf[off:off+OnodeSize]))
+		if err == nil {
+			err = s.jnl.Commit(lsn)
+		}
+		if err != nil {
+			l.Unlock()
+			return err
+		}
+	}
 	if err := s.dev.WriteBlock(blk, buf); err != nil {
 		l.Unlock()
 		return err
 	}
 	l.Unlock()
+	if s.jnl != nil {
+		s.jnl.Applied(lsn)
+	}
 	s.lockAlloc()
 	defer s.mu.Unlock()
 	if prev.Allocated() && (prev.ObjectID != o.ObjectID) {
@@ -793,7 +1027,17 @@ func (s *Store) readPtr(blk int64, idx int64) (int64, error) {
 	if err := s.dev.ReadBlock(blk, buf); err != nil {
 		return 0, err
 	}
-	return int64(binary.LittleEndian.Uint64(buf[idx*8:])), nil
+	v := int64(binary.LittleEndian.Uint64(buf[idx*8:]))
+	// A legitimate pointer is zero (hole) or a data-region block. Pointer
+	// blocks are not write-ahead journaled, so after a crash one can hold
+	// stale or torn content; clamping wild values to holes here keeps
+	// every traversal (BMap, ForEachBlock, recovery verification) from
+	// wandering out of the volume. Affected objects were dirty at the
+	// crash and read zeros, which the durability contract allows.
+	if v != 0 && (v < s.sb.DataStart || v >= s.sb.TotalBlocks) {
+		return 0, nil
+	}
+	return v, nil
 }
 
 // DevReads returns the number of device reads issued for layout
@@ -906,12 +1150,44 @@ func (s *Store) WriteDataBlock(blk int64, buf []byte) error {
 
 // --- Persistence ------------------------------------------------------
 
-// Sync flushes dirty refcount regions and the superblock to the device.
+// Sync flushes dirty refcount regions and the superblock to the
+// device. On a journaled volume the accumulated refcount changes are
+// first committed as one KindRefUpdate intent record — write-ahead of
+// the in-place region rewrite — and after the flush the journal is
+// compacted (applied records discarded, unapplied ones carried
+// forward).
 func (s *Store) Sync() error {
 	s.lockAlloc()
 	defer s.mu.Unlock()
 	bs := int64(s.sb.BlockSize)
 	refPerBlock := bs / 2
+
+	var refLSN uint64
+	if s.jnl != nil && len(s.refPending) > 0 {
+		blocks := make([]int64, 0, len(s.refPending))
+		refs := make([]uint16, 0, len(s.refPending))
+		for b, v := range s.refPending {
+			blocks = append(blocks, b)
+			refs = append(refs, v)
+		}
+		lsn, err := s.journalAppend(journal.KindRefUpdate, journal.EncodeRefUpdate(blocks, refs))
+		switch {
+		case errors.Is(err, journal.ErrFull):
+			// The batch cannot fit even after compaction. Proceed
+			// without the intent record: mount-time verification
+			// re-derives refcounts from the object reachability walk,
+			// so a torn region write is still repaired.
+		case err != nil:
+			return err
+		default:
+			if err := s.jnl.Commit(lsn); err != nil {
+				return err
+			}
+			refLSN = lsn
+		}
+		s.refPending = make(map[int64]uint16)
+	}
+
 	buf := make([]byte, bs)
 	for rb := range s.refDirty {
 		base := rb * refPerBlock
@@ -935,7 +1211,30 @@ func (s *Store) Sync() error {
 		}
 		s.sbDirty = false
 	}
-	return s.dev.Flush()
+	if err := s.dev.Flush(); err != nil {
+		return err
+	}
+	if s.jnl != nil {
+		// Every effect issued before the flush above is now durable,
+		// so applied records can be compacted away.
+		if refLSN != 0 {
+			s.jnl.Applied(refLSN)
+		}
+		return s.jnl.Checkpoint()
+	}
+	return nil
+}
+
+// RepairRef forces a block's reference count to v. Mount-time
+// verification uses it to reconcile the allocator with the refcounts
+// re-derived from object reachability after a crash.
+func (s *Store) RepairRef(blk int64, v uint16) {
+	s.lockAlloc()
+	defer s.mu.Unlock()
+	if blk < 0 || blk >= s.sb.TotalBlocks || s.ref[blk] == v {
+		return
+	}
+	s.setRef(blk, v)
 }
 
 // MarkSuperblockDirty schedules the superblock for rewrite on next Sync.

@@ -637,9 +637,10 @@ func (e *Engine) List(part uint16) ([]uint64, error) {
 }
 
 // Flush makes every log durable: the active segment's partial tail
-// block goes to the device and a fresh index snapshot is written
-// through the Meta store. Segment tables are already durable (saved at
-// every roll and compaction).
+// block goes to the device, a fresh index snapshot is written through
+// the Meta store, and the device's volatile write cache is drained.
+// Segment tables are already durable (saved at every roll and
+// compaction).
 func (e *Engine) Flush() error {
 	e.mu.Lock()
 	logs := make([]*Log, 0, len(e.logs))
@@ -659,21 +660,45 @@ func (e *Engine) Flush() error {
 			return err
 		}
 	}
-	return nil
+	// Tail blocks went to the device with WriteBlock only; without a
+	// device flush they could still sit in a volatile write cache.
+	return e.cfg.Dev.Flush()
 }
 
 // Sync makes one log's appended records durable by writing its partial
-// tail block to the device, without the index-snapshot work Flush does.
-// Callers use it after appends that must survive a crash on their own —
-// version bumps, whose loss would un-revoke capabilities.
+// tail block to the device and flushing the device's write cache,
+// without the index-snapshot work Flush does. Callers use it after
+// appends that must survive a crash on their own — version bumps, whose
+// loss would un-revoke capabilities.
 func (e *Engine) Sync(part uint16) error {
 	l, err := e.getLog(part)
 	if err != nil {
 		return err
 	}
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.syncTailLocked()
+	err = l.syncTailLocked()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return e.cfg.Dev.Flush()
+}
+
+// LogBlocks returns every device block owned by part's log segments.
+// Mount-time verification uses it to recompute the block reference
+// counts the segments should hold.
+func (e *Engine) LogBlocks(part uint16) ([]int64, error) {
+	l, err := e.getLog(part)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var blocks []int64
+	for _, s := range l.segs {
+		blocks = append(blocks, s.blocks...)
+	}
+	return blocks, nil
 }
 
 // --- Compaction ----------------------------------------------------------

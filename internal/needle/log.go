@@ -291,6 +291,22 @@ func (l *Log) saveSegmentsLocked() error {
 	return l.e.cfg.Meta.SaveSegments(l.part, l.encodeSegTable())
 }
 
+// SegTableBlocks decodes an encoded segment table and returns every
+// device block it claims. Mount-time recovery uses it to pin the blocks
+// named by a journaled segment table before any replay allocation could
+// hand them out again.
+func SegTableBlocks(data []byte) ([]int64, error) {
+	t, err := decodeSegTable(data)
+	if err != nil {
+		return nil, err
+	}
+	var blocks []int64
+	for _, s := range t.segs {
+		blocks = append(blocks, s.blocks...)
+	}
+	return blocks, nil
+}
+
 // --- Index snapshot ------------------------------------------------------
 //
 // The snapshot is pure restart acceleration: the full index plus the

@@ -30,6 +30,21 @@
 // persisted in the control object's partition table; the layers above
 // never see the concrete engine.
 //
+// # Durability
+//
+// Structural metadata mutations — onodes, block reference counts, the
+// partition table, needle segment tables — are journaled ahead of
+// their in-place writes (internal/journal), so a crash or power cut
+// mid-update never leaves them torn. Open scans the journal, replays
+// the committed tail over the on-media state, verifies and repairs
+// block reference counts, and reports what it did through
+// RecoveryInfo. WithJournalBlocks(-1) formats a volume without a
+// journal; such volumes keep the pre-journal semantics — metadata is
+// written in place and is crash-safe only up to the last Flush.
+// DESIGN.md §7 specifies the commit protocol and the recovery
+// invariants; crash_test.go's TestCrashSweep asserts those invariants
+// at every scheduled persist step under blockdev.CrashDisk.
+//
 // # Concurrency
 //
 // The store admits concurrent requests the way the paper's scaling
@@ -169,6 +184,10 @@ type Config struct {
 	// only a handful of classic onodes, while classic million-object
 	// workloads need it raised.
 	OnodeCount int64
+	// JournalBlocks sizes the format-time metadata journal region (0 =
+	// layout default: 1/32 of the volume, clamped; negative disables
+	// journaling — benchmark baselines only, crash consistency is lost).
+	JournalBlocks int64
 }
 
 func (c *Config) fill() {
@@ -212,6 +231,18 @@ type Store struct {
 	pmu    sync.Mutex
 	pmeter *telemetry.LockMeter
 	parts  map[uint16]*Partition
+
+	// partsLSN / segLSNs (guarded by pmu) track the newest journaled
+	// partition-table and per-partition segment-table intent records
+	// whose in-place writes are still buffered in the cache. Flush marks
+	// them applied once the cache has drained, letting the journal
+	// checkpoint discard them.
+	partsLSN uint64
+	segLSNs  map[uint16]uint64
+
+	// recovery summarizes the last mount-time recovery (zero value when
+	// the volume opened clean or journaling is disabled).
+	recovery RecoveryInfo
 }
 
 // Format initializes dev as an empty object store.
@@ -219,7 +250,11 @@ type Store struct {
 // Deprecated: use FormatStore with functional options.
 func Format(dev blockdev.Device, cfg Config) (*Store, error) {
 	cfg.fill()
-	lay, err := layout.Format(dev, layout.FormatOptions{OnodeCount: cfg.OnodeCount})
+	lay, err := layout.Format(dev, layout.FormatOptions{
+		OnodeCount:    cfg.OnodeCount,
+		JournalBlocks: cfg.JournalBlocks,
+		Metrics:       cfg.Metrics,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -231,20 +266,30 @@ func Format(dev blockdev.Device, cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Push the freshly written control object and superblock to the
+	// device so a crash right after Format still finds an object store.
+	if err := s.Flush(); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
-// Open loads an existing object store from dev.
+// Open loads an existing object store from dev. On journaled volumes
+// this is also mount-time recovery: committed intent records are
+// replayed, torn journal tails discarded, and the block reference
+// counts re-derived from reachability before the store accepts traffic
+// (see recover.go).
 //
 // Deprecated: use OpenStore with functional options.
 func Open(dev blockdev.Device, cfg Config) (*Store, error) {
 	cfg.fill()
-	lay, err := layout.Open(dev)
+	start := time.Now()
+	lay, err := layout.OpenWith(dev, layout.OpenOptions{Metrics: cfg.Metrics})
 	if err != nil {
 		return nil, err
 	}
 	s := newStore(lay, dev, cfg)
-	if err := s.loadPartitions(); err != nil {
+	if err := s.recoverObjectRecords(); err != nil {
 		return nil, err
 	}
 	// Recover every needle partition's log: rebuild the in-memory index
@@ -272,6 +317,9 @@ func Open(dev blockdev.Device, cfg Config) (*Store, error) {
 	if maxID != 0 {
 		lay.ReserveObjectIDs(maxID + 1)
 	}
+	if err := s.finishRecovery(start); err != nil {
+		return nil, err
+	}
 	return s, nil
 }
 
@@ -282,10 +330,11 @@ func newStore(lay *layout.Store, dev blockdev.Device, cfg Config) *Store {
 	lay.SetDataIO(c)
 	lay.SetLockMeter(telemetry.NewLockMeter(cfg.Metrics, "layout.lock"))
 	s := &Store{
-		cfg:    cfg,
-		locks:  newLockManager(telemetry.NewLockMeter(cfg.Metrics, "object.lock")),
-		pmeter: telemetry.NewLockMeter(cfg.Metrics, "object.partlock"),
-		parts:  make(map[uint16]*Partition),
+		cfg:     cfg,
+		locks:   newLockManager(telemetry.NewLockMeter(cfg.Metrics, "object.lock")),
+		pmeter:  telemetry.NewLockMeter(cfg.Metrics, "object.partlock"),
+		parts:   make(map[uint16]*Partition),
+		segLSNs: make(map[uint16]uint64),
 	}
 	s.classic = newClassicBackend(lay, c, &s.cfg, s)
 	s.needle = newNeedleBackend(s, dev)
@@ -770,6 +819,9 @@ func (s *Store) versionLocked(be StoreBackend, part uint16, obj uint64) (uint64,
 // table with its usage accounting and the needle engine's log tails and
 // index snapshots — to the device. The needle engine flushes first: its
 // metadata writes land in the classic cache, which is flushed after.
+// With the cache drained, the object-layer intent records (partition
+// table, segment tables) are marked applied so the journal checkpoint
+// inside layout.Sync can discard them.
 func (s *Store) Flush() error {
 	if err := s.needle.Flush(); err != nil {
 		return err
@@ -783,5 +835,16 @@ func (s *Store) Flush() error {
 	if err := s.classic.Flush(); err != nil {
 		return err
 	}
-	return s.classic.lay.Sync()
+	lay := s.classic.lay
+	s.lockParts()
+	if s.partsLSN != 0 {
+		lay.JournalApplied(s.partsLSN)
+		s.partsLSN = 0
+	}
+	for part, lsn := range s.segLSNs {
+		lay.JournalApplied(lsn)
+		delete(s.segLSNs, part)
+	}
+	s.pmu.Unlock()
+	return lay.Sync()
 }

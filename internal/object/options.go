@@ -62,6 +62,14 @@ func WithOnodeCount(n int64) Option {
 	return func(c *Config) { c.OnodeCount = n }
 }
 
+// WithJournalBlocks sizes the format-time metadata journal region in
+// blocks (0 = the layout default of 1/32 of the volume, clamped). Pass
+// a negative value to format without a journal — for benchmark
+// baselines only, since it forfeits crash consistency.
+func WithJournalBlocks(n int64) Option {
+	return func(c *Config) { c.JournalBlocks = n }
+}
+
 func buildConfig(opts []Option) Config {
 	var cfg Config
 	for _, o := range opts {

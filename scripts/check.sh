@@ -31,9 +31,21 @@ go test -race \
     -run 'Faults|Retry|Reconnect|NeverSent|FateUnknown|Breaker|Chaos|Rollback|Hang|CapabilityRenewal' \
     ./internal/rpc ./internal/client ./internal/cheops ./internal/blockdev
 
-# Chaos smoke: the sever/revive/repair soak from DESIGN.md §6 must pass
-# end to end — drive 2 crashes mid-run, every op still verifies, and the
-# run itself asserts the retry/failover/breaker counters advanced.
+# Crash-consistency focus: re-run the DESIGN.md §7 durability tests by
+# name — journal framing/commit/replay, CrashDisk semantics, and a
+# short-mode crash sweep — so a recovery regression is called out
+# explicitly. The full 1000+-point sweep runs in the suite above and,
+# with -v, in CI's dedicated crash-sweep job.
+echo "==> go test -race -short -run 'Crash|Journal|Torn|Recover|Checkpoint|Commit' (crash-consistency focus)"
+go test -race -short \
+    -run 'Crash|Journal|Torn|Recover|Checkpoint|Commit' \
+    ./internal/journal ./internal/blockdev ./internal/object
+
+# Chaos smoke: the kill/restart soak from DESIGN.md §6-§7 must pass end
+# to end — the victim drive is killed mid-run (server down, volatile
+# cache dropped), restarted through journal recovery, marked stale, and
+# rebuilt; every op still verifies, and the run asserts the
+# retry/failover/breaker counters AND journal.replays advanced.
 echo "==> go run ./cmd/nasdbench -chaos -chaos-duration 2s -json ."
 go run ./cmd/nasdbench -chaos -chaos-duration 2s -json . > /dev/null
 test -s BENCH_chaos.json
