@@ -217,7 +217,7 @@ func BenchmarkObjectSnapshot(b *testing.B) {
 
 // driveRig serves a drive over the in-process transport for end-to-end
 // RPC benchmarks.
-func driveRig(b *testing.B, secure bool) (*client.Drive, capability.Capability, uint64) {
+func driveRig(b testing.TB, secure bool) (*client.Drive, capability.Capability, uint64) {
 	b.Helper()
 	master := crypt.NewRandomKey()
 	dev := blockdev.NewMemDisk(4096, 1<<16)
@@ -258,12 +258,15 @@ func driveRig(b *testing.B, secure bool) (*client.Drive, capability.Capability, 
 
 func benchDriveRead(b *testing.B, secure bool, size int) {
 	cli, cap, obj := driveRig(b, secure)
+	// ReadInto is the steady-state client read path: reply frames are
+	// recycled into the buffer pool instead of falling to the GC.
+	dst := make([]byte, size)
 	b.SetBytes(int64(size))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		off := uint64(i%32) * uint64(size)
-		if _, err := cli.Read(context.Background(), &cap, 1, obj, off, size); err != nil {
+		if _, err := cli.ReadInto(context.Background(), &cap, 1, obj, off, dst); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -292,8 +295,8 @@ func tcpDriveRig(b *testing.B, opts ...client.Option) (*client.Drive, capability
 	// payload terms — a balanced media/wire regime like the paper's
 	// (fast-SCSI drives behind OC-3-class links), which is where
 	// pipelining pays.
-	const mediaBps = 128 << 20
-	const linkBps = 32 << 20
+	const mediaBps = 512 << 20
+	const linkBps = 256 << 20
 	master := crypt.NewRandomKey()
 	dev := blockdev.NewThrottle(blockdev.NewMemDisk(4096, 1<<16), mediaBps, 0)
 	// A 1 MB cache under a 4 MB working set: metadata stays hot, data

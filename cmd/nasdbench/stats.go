@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"nasd/internal/blockdev"
@@ -86,11 +87,18 @@ func runStats(w io.Writer, sizeMB int, jsonOut string) error {
 		return err
 	}
 	wctx, _ := telemetry.WithRequestID(context.Background())
+	var msBefore, msAfter runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
 	writeStart := time.Now()
 	if err := cli.WritePipelined(wctx, &wc, part, obj, 0, data); err != nil {
 		return err
 	}
 	writeDur := time.Since(writeStart)
+	runtime.ReadMemStats(&msAfter)
+	writeFrags := float64((len(data) + client.DefaultFragmentSize - 1) / client.DefaultFragmentSize)
+	writeAllocs := float64(msAfter.Mallocs-msBefore.Mallocs) / writeFrags
+	writeBytes := float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / writeFrags
 	if err := cli.Flush(ctx); err != nil {
 		return err
 	}
@@ -99,17 +107,21 @@ func runStats(w io.Writer, sizeMB int, jsonOut string) error {
 		return err
 	}
 	const frag = 64 << 10
-	got := make([]byte, 0, len(data))
+	got := make([]byte, len(data))
+	runtime.GC()
+	runtime.ReadMemStats(&msBefore)
 	readStart := time.Now()
 	for off := 0; off < len(data); off += frag {
 		rctx, _ := telemetry.WithRequestID(context.Background())
-		b, err := cli.Read(rctx, &rc, part, obj, uint64(off), frag)
-		if err != nil {
+		if _, err := cli.ReadInto(rctx, &rc, part, obj, uint64(off), got[off:off+frag]); err != nil {
 			return err
 		}
-		got = append(got, b...)
 	}
 	readDur := time.Since(readStart)
+	runtime.ReadMemStats(&msAfter)
+	readOps := float64(len(data) / frag)
+	readAllocs := float64(msAfter.Mallocs-msBefore.Mallocs) / readOps
+	readBytes := float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / readOps
 	if !bytes.Equal(got, data) {
 		return fmt.Errorf("stats workload: read-back mismatch")
 	}
@@ -120,6 +132,8 @@ func runStats(w io.Writer, sizeMB int, jsonOut string) error {
 	}
 	fmt.Fprintf(w, "nasdbench -stats: %d MB written (pipelined) + %d MB read (serial %d KB requests)\n",
 		sizeMB, sizeMB, frag>>10)
+	fmt.Fprintf(w, "allocation cost: %.0f allocs/%.0f B per read, %.0f allocs/%.0f B per write fragment\n",
+		readAllocs, readBytes, writeAllocs, writeBytes)
 	fmt.Fprintf(w, "drive %d per-op cost breakdown (measured; cf. paper Table 1):\n\n", sr.DriveID)
 	telemetry.WriteOpTable(w, sr.Metrics, "drive.op")
 	fmt.Fprintln(w)
@@ -140,6 +154,14 @@ func runStats(w io.Writer, sizeMB int, jsonOut string) error {
 				"read":  float64(sizeMB) / readDur.Seconds(),
 			},
 			Latency: latencyFromSnapshot(sr.Metrics),
+			AllocsPerOp: map[string]float64{
+				"write_frag": writeAllocs,
+				"read":       readAllocs,
+			},
+			BytesPerOp: map[string]float64{
+				"write_frag": writeBytes,
+				"read":       readBytes,
+			},
 		})
 	}
 	return nil

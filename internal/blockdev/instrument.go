@@ -148,3 +148,38 @@ func (i *Instrumented) Flush() error {
 	i.depth.Add(-1)
 	return err
 }
+
+// ReadBlocks implements BlockRanger: one queue-depth excursion and one
+// span for the whole extent, counted as its block count of reads.
+func (i *Instrumented) ReadBlocks(start64 int64, buf []byte) error {
+	i.depth.Add(1)
+	start := time.Now()
+	err := ReadBlocks(i.dev, start64, buf)
+	d := time.Since(start)
+	i.busy.Add(int64(d))
+	i.depth.Add(-1)
+	i.readNS.ObserveDuration(d)
+	i.emitSpan("blockdev.readv", start64, start, d)
+	if err == nil {
+		i.reads.Add(uint64(len(buf) / i.dev.BlockSize()))
+	}
+	return err
+}
+
+// WriteBlocks implements BlockRanger.
+func (i *Instrumented) WriteBlocks(start64 int64, data []byte) error {
+	i.depth.Add(1)
+	start := time.Now()
+	err := WriteBlocks(i.dev, start64, data)
+	d := time.Since(start)
+	i.busy.Add(int64(d))
+	i.depth.Add(-1)
+	i.writeNS.ObserveDuration(d)
+	i.emitSpan("blockdev.writev", start64, start, d)
+	if err == nil {
+		i.writes.Add(uint64(len(data) / i.dev.BlockSize()))
+	}
+	return err
+}
+
+var _ BlockRanger = (*Instrumented)(nil)

@@ -1,0 +1,145 @@
+// Package bufpool provides size-classed, telemetry-instrumented byte
+// buffer pooling for the data path.
+//
+// Every layer of the read/write path — transport frames, codec encode
+// buffers, cache blocks, object read results — draws from one shared
+// pool, so a buffer freed by the RPC layer is immediately reusable as a
+// cache block and vice versa. Buffers are grouped in power-of-two size
+// classes from 512 B to the 16 MB frame cap; a request is rounded up to
+// the next class and the returned slice is re-sliced to the requested
+// length, so callers never see the rounding.
+//
+// Ownership discipline (see DESIGN.md "Buffer lifecycle"): a buffer has
+// exactly one owner at a time. Get transfers ownership to the caller;
+// Put transfers it back to the pool and the caller must not touch the
+// slice (or any alias of it) afterwards. Put is always optional —
+// a buffer that is merely dropped is collected by the GC and the pool
+// sees a miss on some future Get. That makes pooling safe to adopt
+// incrementally: paths that cannot prove exclusive ownership simply
+// never Put.
+package bufpool
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"nasd/internal/telemetry"
+)
+
+const (
+	// minClassBits is the smallest pooled size (512 B): below that the
+	// allocator is effectively free and pooling is bookkeeping overhead.
+	minClassBits = 9
+	// maxClassBits is the largest pooled size (16 MB), matching the RPC
+	// frame cap: nothing on the data path is bigger than one frame.
+	maxClassBits = 24
+	numClasses   = maxClassBits - minClassBits + 1
+
+	// MaxPooled is the largest request the pool serves from a class;
+	// larger buffers are plain allocations.
+	MaxPooled = 1 << maxClassBits
+)
+
+var (
+	classes [numClasses]sync.Pool
+
+	gets     atomic.Uint64 // Get calls served (pooled classes only)
+	puts     atomic.Uint64 // Put calls accepted back into a class
+	misses   atomic.Uint64 // Gets that had to allocate (empty class)
+	oversize atomic.Uint64 // Gets above MaxPooled (never pooled)
+)
+
+// classFor returns the class index for a request of n bytes, or -1 if n
+// is not pooled.
+func classFor(n int) int {
+	if n <= 0 || n > MaxPooled {
+		return -1
+	}
+	b := bits.Len(uint(n - 1)) // ceil(log2(n))
+	if b < minClassBits {
+		b = minClassBits
+	}
+	return b - minClassBits
+}
+
+// Get returns a buffer of length n. Its capacity is the size class
+// (callers may append up to cap without reallocating). The buffer is
+// NOT zeroed beyond what the previous owner wrote: callers must treat
+// it as uninitialized memory and fully overwrite the region they use.
+func Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		if n <= 0 {
+			return nil
+		}
+		oversize.Add(1)
+		return make([]byte, n)
+	}
+	gets.Add(1)
+	if v := classes[c].Get(); v != nil {
+		w := v.(*poolBuf)
+		b := w.b
+		w.b = nil
+		wrapPool.Put(w)
+		return b[:n]
+	}
+	misses.Add(1)
+	return make([]byte, n, 1<<(c+minClassBits))
+}
+
+// poolBuf wraps the backing array so sync.Pool stores a pointer
+// (storing []byte directly allocates a header per Put).
+type poolBuf struct{ b []byte }
+
+var wrapPool = sync.Pool{New: func() any { return new(poolBuf) }}
+
+// Put returns b to its size class. Only buffers whose capacity is
+// exactly a class size are pooled; anything else (subslices, oversize
+// or foreign allocations) is ignored, so Put is safe to call on any
+// slice the caller owns. Put(nil) is a no-op.
+func Put(b []byte) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 || c < 1<<minClassBits || c > MaxPooled {
+		return
+	}
+	puts.Add(1)
+	w := wrapPool.Get().(*poolBuf)
+	w.b = b[:c]
+	classes[bits.Len(uint(c-1))-minClassBits].Put(w)
+}
+
+// Stats is a point-in-time view of the pool counters.
+type Stats struct {
+	Gets, Puts, Misses, Oversize uint64
+}
+
+// Snapshot returns the current counters.
+func Snapshot() Stats {
+	return Stats{
+		Gets:     gets.Load(),
+		Puts:     puts.Load(),
+		Misses:   misses.Load(),
+		Oversize: oversize.Load(),
+	}
+}
+
+// Outstanding estimates buffers currently owned by callers: gets minus
+// puts. Buffers dropped to the GC instead of Put stay counted — the
+// gauge is an upper bound on live pooled memory holders, and a steadily
+// climbing value flags a path that leaks Gets.
+func Outstanding() int64 {
+	return int64(gets.Load()) - int64(puts.Load())
+}
+
+// Publish registers the pool's counters as pull gauges in reg under
+// bufpool.*. The pool is process-wide; publishing into several
+// registries (one per drive in a multi-drive process) reports the same
+// shared numbers in each.
+func Publish(reg *telemetry.Registry) {
+	reg.Func("bufpool.gets", func() int64 { return int64(gets.Load()) })
+	reg.Func("bufpool.puts", func() int64 { return int64(puts.Load()) })
+	reg.Func("bufpool.misses", func() int64 { return int64(misses.Load()) })
+	reg.Func("bufpool.oversize", func() int64 { return int64(oversize.Load()) })
+	reg.Func("bufpool.outstanding", Outstanding)
+}

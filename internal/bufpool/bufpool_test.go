@@ -1,0 +1,145 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+
+	"nasd/internal/telemetry"
+)
+
+func TestClassRounding(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 512},
+		{512, 512},
+		{513, 1024},
+		{4096, 4096},
+		{64 << 10, 64 << 10},
+		{(64 << 10) + 1, 128 << 10},
+		{MaxPooled, MaxPooled},
+	}
+	for _, c := range cases {
+		b := Get(c.n)
+		if len(b) != c.n {
+			t.Errorf("Get(%d): len = %d", c.n, len(b))
+		}
+		if cap(b) != c.wantCap {
+			t.Errorf("Get(%d): cap = %d, want %d", c.n, cap(b), c.wantCap)
+		}
+		Put(b)
+	}
+}
+
+func TestGetZeroAndOversize(t *testing.T) {
+	if b := Get(0); b != nil {
+		t.Errorf("Get(0) = %v, want nil", b)
+	}
+	if b := Get(-1); b != nil {
+		t.Errorf("Get(-1) = %v, want nil", b)
+	}
+	before := Snapshot().Oversize
+	b := Get(MaxPooled + 1)
+	if len(b) != MaxPooled+1 {
+		t.Fatalf("oversize len = %d", len(b))
+	}
+	if got := Snapshot().Oversize; got != before+1 {
+		t.Errorf("oversize counter = %d, want %d", got, before+1)
+	}
+	Put(b) // must be ignored: cap is not a class size
+}
+
+func TestReuse(t *testing.T) {
+	// sync.Pool may drop entries under GC pressure, so reuse cannot be
+	// asserted deterministically; instead verify the returned buffer is
+	// well-formed and that Put/Get round-trips preserve class capacity.
+	b := Get(4096)
+	for i := range b {
+		b[i] = 0xAB
+	}
+	Put(b)
+	c := Get(4096)
+	if len(c) != 4096 || cap(c) != 4096 {
+		t.Fatalf("round-trip: len=%d cap=%d", len(c), cap(c))
+	}
+	Put(c)
+}
+
+func TestPutForeignBufferIgnored(t *testing.T) {
+	before := Snapshot().Puts
+	Put(nil)
+	Put(make([]byte, 100))    // cap 100: not a class
+	Put(make([]byte, 0, 768)) // not power of two
+	Put(make([]byte, 0, 256)) // below min class
+	if got := Snapshot().Puts; got != before {
+		t.Errorf("puts advanced by %d on foreign buffers", got-before)
+	}
+}
+
+func TestSubsliceNotPooled(t *testing.T) {
+	b := Get(8192)
+	sub := b[100:200] // cap(sub) = 8092, not a class size
+	before := Snapshot().Puts
+	Put(sub)
+	if got := Snapshot().Puts; got != before {
+		t.Error("subslice with non-class cap was pooled")
+	}
+	Put(b)
+}
+
+func TestOutstandingTracksGets(t *testing.T) {
+	base := Outstanding()
+	b := Get(1024)
+	if d := Outstanding() - base; d != 1 {
+		t.Errorf("outstanding delta after Get = %d, want 1", d)
+	}
+	Put(b)
+	if d := Outstanding() - base; d != 0 {
+		t.Errorf("outstanding delta after Put = %d, want 0", d)
+	}
+}
+
+func TestPublish(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	Publish(reg)
+	Put(Get(2048))
+	snap := reg.Snapshot()
+	for _, name := range []string{"bufpool.gets", "bufpool.puts", "bufpool.misses", "bufpool.outstanding"} {
+		if _, ok := snap.Counters[name]; !ok {
+			if _, ok := snap.Gauges[name]; !ok {
+				t.Errorf("metric %s not published", name)
+			}
+		}
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sizes := []int{512, 4096, 64 << 10, 1 << 20}
+			for i := 0; i < 2000; i++ {
+				n := sizes[(g+i)%len(sizes)]
+				b := Get(n)
+				b[0] = byte(g)
+				b[n-1] = byte(i)
+				Put(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSteadyStateAllocFree(t *testing.T) {
+	// Warm the class so the pool has an entry, then verify a Get/Put
+	// cycle does not allocate. sync.Pool can still be drained by a
+	// concurrent GC, so tolerate a tiny average.
+	Put(Get(4096))
+	avg := testing.AllocsPerRun(200, func() {
+		b := Get(4096)
+		Put(b)
+	})
+	if avg > 0.1 {
+		t.Errorf("steady-state Get/Put allocates %.2f allocs/op, want ~0", avg)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"nasd/internal/blockdev"
+	"nasd/internal/bufpool"
 	"nasd/internal/telemetry"
 )
 
@@ -181,8 +182,8 @@ func (sh *cacheShard) insert(dev blockdev.Device, block int64, data []byte, dirt
 	return e, nil
 }
 
-// evictOldest removes the shard's LRU entry, writing it back if dirty.
-// Caller holds the shard mutex.
+// evictOldest removes the shard's LRU entry, writing it back if dirty,
+// and returns its pooled buffer. Caller holds the shard mutex.
 func (sh *cacheShard) evictOldest(dev blockdev.Device) error {
 	back := sh.lru.Back()
 	if back == nil {
@@ -198,6 +199,10 @@ func (sh *cacheShard) evictOldest(dev blockdev.Device) error {
 	sh.lru.Remove(back)
 	delete(sh.entries, e.block)
 	sh.stats.Evictions++
+	// The device has its own copy (write-back above, or the block was
+	// clean); nothing references entry memory outside the shard lock.
+	bufpool.Put(e.data)
+	e.data = nil
 	return nil
 }
 
@@ -205,19 +210,29 @@ func (sh *cacheShard) evictOldest(dev blockdev.Device) error {
 // the device with the shard unlocked; if a concurrent writer installed
 // the block meanwhile, the cached (newer) contents win.
 func (c *BlockCache) ReadBlock(block int64, buf []byte) error {
+	return c.ReadRange(block, 0, buf)
+}
+
+// ReadRange reads len(dst) bytes starting at byte offset off within
+// block, copying directly from the cached block to dst under the shard
+// lock — the single copy on the cached-read path. A miss fills a
+// pooled block from the device with the shard unlocked, exactly like
+// ReadBlock.
+func (c *BlockCache) ReadRange(block int64, off int, dst []byte) error {
 	sh := c.shardOf(block)
 	c.meter.Lock(&sh.mu)
 	if e, ok := sh.entries[block]; ok {
 		sh.touch(e)
 		sh.stats.Hits++
-		copy(buf, e.data)
+		copy(dst, e.data[off:])
 		sh.mu.Unlock()
 		return nil
 	}
 	sh.stats.Misses++
 	sh.mu.Unlock()
-	data := make([]byte, c.dev.BlockSize())
+	data := bufpool.Get(c.dev.BlockSize())
 	if err := c.dev.ReadBlock(block, data); err != nil {
+		bufpool.Put(data)
 		return err
 	}
 	c.meter.Lock(&sh.mu)
@@ -226,31 +241,42 @@ func (c *BlockCache) ReadBlock(block int64, buf []byte) error {
 		// Raced with another fill or a write; the resident entry is at
 		// least as new as what we read.
 		sh.touch(e)
-		copy(buf, e.data)
+		copy(dst, e.data[off:])
+		bufpool.Put(data)
 		return nil
 	}
 	if _, err := sh.insert(c.dev, block, data, false); err != nil {
+		bufpool.Put(data)
 		return err
 	}
-	copy(buf, data)
+	copy(dst, data[off:])
 	return nil
 }
 
 // WriteBlock writes buf to block through the cache. In write-behind
 // mode the device is updated lazily; in write-through mode immediately.
+// The cached copy lives in pooled memory owned by the cache; buf is
+// never retained.
 func (c *BlockCache) WriteBlock(block int64, buf []byte) error {
 	wthrough := c.wthrough.Load()
 	sh := c.shardOf(block)
 	c.meter.Lock(&sh.mu)
 	defer sh.mu.Unlock()
-	data := make([]byte, len(buf))
-	copy(data, buf)
 	if e, ok := sh.entries[block]; ok {
-		e.data = data
+		if len(e.data) == len(buf) {
+			copy(e.data, buf)
+		} else {
+			bufpool.Put(e.data)
+			e.data = bufpool.Get(len(buf))
+			copy(e.data, buf)
+		}
 		e.dirty = !wthrough
 		sh.touch(e)
 	} else {
+		data := bufpool.Get(len(buf))
+		copy(data, buf)
 		if _, err := sh.insert(c.dev, block, data, !wthrough); err != nil {
+			bufpool.Put(data)
 			return err
 		}
 	}
@@ -275,18 +301,22 @@ func (c *BlockCache) Prefetch(blocks []int64) int {
 		if ok {
 			continue
 		}
-		data := make([]byte, c.dev.BlockSize())
+		data := bufpool.Get(c.dev.BlockSize())
 		if err := c.dev.ReadBlock(b, data); err != nil {
+			bufpool.Put(data)
 			continue
 		}
 		c.meter.Lock(&sh.mu)
 		if _, ok := sh.entries[b]; !ok {
 			if _, err := sh.insert(c.dev, b, data, false); err != nil {
 				sh.mu.Unlock()
+				bufpool.Put(data)
 				break
 			}
 			sh.stats.Prefetches++
 			n++
+		} else {
+			bufpool.Put(data)
 		}
 		sh.mu.Unlock()
 	}
@@ -302,6 +332,8 @@ func (c *BlockCache) Invalidate(block int64) {
 	if e, ok := sh.entries[block]; ok {
 		sh.lru.Remove(e.elem)
 		delete(sh.entries, block)
+		bufpool.Put(e.data)
+		e.data = nil
 	}
 }
 

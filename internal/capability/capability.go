@@ -191,32 +191,8 @@ type Check struct {
 // capability's private portion. keys resolves the drive's secret keys.
 // It is the complete drive-side admission check and keeps no state.
 func Validate(pub Public, body []byte, digest crypt.Digest, chk Check, keys *crypt.Hierarchy) error {
-	if pub.DriveID != chk.DriveID {
-		return ErrWrongDrive
-	}
-	if pub.Partition != chk.Part || (pub.Object != 0 && pub.Object != chk.Object) {
-		return ErrWrongObject
-	}
-	// Partition-scope capabilities (Object 0) are not bound to one
-	// object's logical version; revocation for them is expiry or key
-	// rotation. Object capabilities die when the version changes.
-	if pub.Object != 0 && pub.ObjVer != chk.ObjVer {
-		return ErrStaleVersion
-	}
-	if !pub.Rights.Has(chk.Op) {
-		return ErrRights
-	}
-	if pub.Expiry != 0 && chk.Now.UnixNano() > pub.Expiry {
-		return ErrExpired
-	}
-	if chk.Length > 0 && pub.Length != 0 {
-		end := chk.Offset + chk.Length
-		capEnd := pub.Offset + pub.Length
-		if chk.Offset < pub.Offset || end > capEnd || end < chk.Offset {
-			return ErrRegion
-		}
-	} else if chk.Length > 0 && pub.Offset > chk.Offset {
-		return ErrRegion
+	if err := checkPolicy(pub, chk); err != nil {
+		return err
 	}
 	key, err := keys.Lookup(pub.Key)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"nasd/internal/bufpool"
 	"nasd/internal/capability"
 	"nasd/internal/crypt"
 	"nasd/internal/drive"
@@ -163,6 +164,7 @@ type Drive struct {
 	rng      *rand.Rand // backoff jitter; seeded per handle for determinism
 	reg      *telemetry.Registry
 	spans    *telemetry.SpanLog
+	signers  *crypt.DigestCache[crypt.Key, *crypt.Signer]
 
 	retries    *telemetry.Counter // requests or fragments re-issued after transient failures
 	reconnects *telemetry.Counter // replacement connections dialed
@@ -180,6 +182,7 @@ func New(conn rpc.Conn, driveID, clientID uint64, opts ...Option) *Drive {
 		secure:   true,
 		fragSize: DefaultFragmentSize,
 		window:   DefaultWindow,
+		signers:  crypt.NewDigestCache[crypt.Key, *crypt.Signer](64),
 	}
 	for _, o := range opts {
 		o(d)
@@ -241,6 +244,7 @@ func (d *Drive) ServerMetrics(ctx context.Context, traceN int) (drive.StatsReply
 	if err := json.Unmarshal(rep.Data, &sr); err != nil {
 		return drive.StatsReply{}, fmt.Errorf("client: decoding stats reply: %v", err)
 	}
+	rep.Release()
 	return sr, nil
 }
 
@@ -353,7 +357,20 @@ func (d *Drive) ServerSpans(ctx context.Context, traceID uint64) ([]telemetry.Sp
 	if err := json.Unmarshal(rep.Data, &sr); err != nil {
 		return nil, fmt.Errorf("client: decoding stats reply: %v", err)
 	}
+	rep.Release()
 	return sr.Spans, nil
+}
+
+// signer returns the reusable HMAC state for key, creating and caching
+// it on first use. Steady-state signing then costs one Reset+digest
+// instead of a fresh HMAC key schedule per request.
+func (d *Drive) signer(key crypt.Key) *crypt.Signer {
+	if s, ok := d.signers.Get(key); ok {
+		return s
+	}
+	s := crypt.NewSigner(key)
+	d.signers.Put(key, s)
+	return s
 }
 
 // call issues a capability-authorized request.
@@ -361,7 +378,9 @@ func (d *Drive) call(ctx context.Context, op drive.Op, cap *capability.Capabilit
 	return d.do(ctx, op, func(req *rpc.Request) {
 		if cap != nil {
 			req.Cap = cap.Public.Encode()
-			req.ReqDig = cap.SignRequest(req.SigningBody())
+			body := req.AppendSigningBody(bufpool.Get(96 + len(req.Cap) + len(req.Args)))
+			req.ReqDig = d.signer(cap.Private).MAC(body)
+			bufpool.Put(body)
 		}
 	}, args, data)
 }
@@ -370,7 +389,9 @@ func (d *Drive) call(ctx context.Context, op drive.Op, cap *capability.Capabilit
 // drive key held by an administrator or file manager).
 func (d *Drive) callAdmin(ctx context.Context, op drive.Op, key crypt.Key, args, data []byte) (*rpc.Reply, error) {
 	return d.do(ctx, op, func(req *rpc.Request) {
-		req.ReqDig = crypt.MAC(key, req.SigningBody())
+		body := req.AppendSigningBody(bufpool.Get(96 + len(req.Args)))
+		req.ReqDig = d.signer(key).MAC(body)
+		bufpool.Put(body)
 	}, args, data)
 }
 
@@ -384,11 +405,32 @@ func (d *Drive) Read(ctx context.Context, cap *capability.Capability, part uint1
 	return rep.Data, nil
 }
 
+// ReadInto fetches object bytes [off, off+len(dst)) into dst, returning
+// the number of bytes read (short at end-of-object, like Read). Unlike
+// Read — whose result aliases the reply frame, leaving it to the
+// garbage collector — ReadInto copies into the caller's buffer and
+// recycles the frame immediately, so a streaming reader holds pool
+// turnover to its window size.
+func (d *Drive) ReadInto(ctx context.Context, cap *capability.Capability, part uint16, obj, off uint64, dst []byte) (int, error) {
+	args := (&drive.ReadArgs{Partition: part, Object: obj, Offset: off, Length: uint64(len(dst))}).Encode()
+	rep, err := d.call(ctx, drive.OpReadObject, cap, args, nil)
+	if err != nil {
+		return 0, err
+	}
+	n := copy(dst, rep.Data)
+	rep.Release()
+	return n, nil
+}
+
 // Write stores data at off.
 func (d *Drive) Write(ctx context.Context, cap *capability.Capability, part uint16, obj, off uint64, data []byte) error {
 	args := (&drive.WriteArgs{Partition: part, Object: obj, Offset: off}).Encode()
-	_, err := d.call(ctx, drive.OpWriteObject, cap, args, data)
-	return err
+	rep, err := d.call(ctx, drive.OpWriteObject, cap, args, data)
+	if err != nil {
+		return err
+	}
+	rep.Release()
+	return nil
 }
 
 // GetAttr fetches object attributes.
@@ -398,7 +440,9 @@ func (d *Drive) GetAttr(ctx context.Context, cap *capability.Capability, part ui
 	if err != nil {
 		return object.Attributes{}, err
 	}
-	return drive.DecodeAttrsReply(rep.Args)
+	at, derr := drive.DecodeAttrsReply(rep.Args)
+	rep.Release()
+	return at, derr
 }
 
 // SetAttr updates attributes selected by mask.
@@ -416,7 +460,9 @@ func (d *Drive) Create(ctx context.Context, cap *capability.Capability, part uin
 	if err != nil {
 		return 0, err
 	}
-	return drive.DecodeIDReply(rep.Args)
+	id, derr := drive.DecodeIDReply(rep.Args)
+	rep.Release()
+	return id, derr
 }
 
 // Remove deletes an object.
@@ -433,7 +479,9 @@ func (d *Drive) VersionObject(ctx context.Context, cap *capability.Capability, p
 	if err != nil {
 		return 0, err
 	}
-	return drive.DecodeIDReply(rep.Args)
+	id, derr := drive.DecodeIDReply(rep.Args)
+	rep.Release()
+	return id, derr
 }
 
 // BumpVersion increments an object's logical version (revoking extant
@@ -444,7 +492,9 @@ func (d *Drive) BumpVersion(ctx context.Context, cap *capability.Capability, par
 	if err != nil {
 		return 0, err
 	}
-	return drive.DecodeIDReply(rep.Args)
+	id, derr := drive.DecodeIDReply(rep.Args)
+	rep.Release()
+	return id, derr
 }
 
 // List returns the IDs of the objects in a partition.
@@ -454,7 +504,9 @@ func (d *Drive) List(ctx context.Context, cap *capability.Capability, part uint1
 	if err != nil {
 		return nil, err
 	}
-	return drive.DecodeIDListReply(rep.Args)
+	ids, derr := drive.DecodeIDListReply(rep.Args)
+	rep.Release()
+	return ids, derr
 }
 
 // Execute runs a registered Active Disk kernel against an object and
@@ -523,7 +575,9 @@ func (d *Drive) GetPartition(ctx context.Context, authID crypt.KeyID, authKey cr
 	if err != nil {
 		return object.Partition{}, err
 	}
-	return drive.DecodePartReply(rep.Args)
+	pr, derr := drive.DecodePartReply(rep.Args)
+	rep.Release()
+	return pr, derr
 }
 
 // SetKey installs a key on the drive (the set-security-key request).

@@ -126,11 +126,14 @@ func (d *Drive) ReadPipelined(ctx context.Context, cap *capability.Capability, p
 	defer sp.End()
 	got := make([]int, len(frags))
 	err := d.runWindowed(ctx, frags, d.window, func(cctx context.Context, f fragPlan) error {
-		data, err := d.Read(cctx, cap, part, obj, f.off, f.n)
+		// ReadInto recycles each fragment's reply frame as soon as its
+		// bytes are copied out, so a deep window cycles a fixed set of
+		// pooled buffers instead of allocating one frame per fragment.
+		n, err := d.ReadInto(cctx, cap, part, obj, f.off, out[f.start:f.start+f.n])
 		if err != nil {
 			return err
 		}
-		got[f.index] = copy(out[f.start:f.start+f.n], data)
+		got[f.index] = n
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,162 @@
+package crypt
+
+import (
+	"container/list"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"hash"
+	"sync"
+	"sync/atomic"
+
+	"nasd/internal/telemetry"
+)
+
+// Signer holds reusable HMAC state for one key. hmac.New hashes the key
+// into inner/outer pads; Signer pays that once and then serves every
+// subsequent digest with a Reset + Write + Sum, which is the dominant
+// saving on the drive's per-request digest path (the paper's Table 1
+// "security" cost component). Safe for concurrent use; concurrent
+// digests under one Signer serialize on its mutex, so share one Signer
+// per session/capability, not one per drive.
+type Signer struct {
+	mu sync.Mutex
+	h  hash.Hash
+}
+
+// NewSigner returns a reusable HMAC-SHA256 signer for k.
+func NewSigner(k Key) *Signer {
+	return &Signer{h: hmac.New(sha256.New, k[:])}
+}
+
+// MAC computes the keyed digest of the concatenation of parts.
+func (s *Signer) MAC(parts ...[]byte) Digest {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.h.Reset()
+	for _, p := range parts {
+		s.h.Write(p)
+	}
+	var d Digest
+	s.h.Sum(d[:0])
+	return d
+}
+
+// Verify reports whether d is the keyed digest of msg under the
+// signer's key, in constant time.
+func (s *Signer) Verify(msg []byte, d Digest) bool {
+	got := s.MAC(msg)
+	return subtle.ConstantTimeCompare(got[:], d[:]) == 1
+}
+
+// DigestCache is a small fixed-capacity LRU memoizing the results of
+// keyed-digest derivations on hot validation paths — canonically the
+// capability private portion, which is a pure function of the public
+// fields and the minting key. It deliberately caches derived secrets,
+// not authorization decisions: users must still perform every
+// non-digest check (key lookup, expiry, rights, region) per request, so
+// key rotation and expiry revoke exactly as they do on the cold path.
+//
+// K is the memo key (must be comparable; e.g. a capability Public
+// struct) and V the derived value. Safe for concurrent use.
+type DigestCache[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[K]*list.Element
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type cacheEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewDigestCache returns a cache holding at most capacity entries
+// (minimum 1).
+func NewDigestCache[K comparable, V any](capacity int) *DigestCache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &DigestCache[K, V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[K]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached value for k, marking it most recently used.
+func (c *DigestCache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry[K, V]).val, true
+	}
+	c.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes k → v, evicting the least recently used
+// entry when full.
+func (c *DigestCache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*cacheEntry[K, V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&cacheEntry[K, V]{key: k, val: v})
+	if c.ll.Len() > c.cap {
+		old := c.ll.Back()
+		c.ll.Remove(old)
+		delete(c.items, old.Value.(*cacheEntry[K, V]).key)
+		c.evictions.Add(1)
+	}
+}
+
+// Purge drops every entry (e.g. on explicit key installation, as a
+// belt-and-braces measure beyond the per-request key lookup).
+func (c *DigestCache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+// Len returns the current number of cached entries.
+func (c *DigestCache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a point-in-time snapshot of DigestCache counters.
+type CacheStats struct {
+	Hits, Misses, Evictions, Size int64
+}
+
+// Stats snapshots the cache counters.
+func (c *DigestCache[K, V]) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Size:      int64(c.Len()),
+	}
+}
+
+// Publish registers the cache's counters as pull gauges in reg under
+// the "crypt.digest_cache." prefix.
+func (c *DigestCache[K, V]) Publish(reg *telemetry.Registry) {
+	reg.Func("crypt.digest_cache.hits", c.hits.Load)
+	reg.Func("crypt.digest_cache.misses", c.misses.Load)
+	reg.Func("crypt.digest_cache.evictions", c.evictions.Load)
+	reg.Func("crypt.digest_cache.size", func() int64 { return int64(c.Len()) })
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nasd/internal/blockdev"
+	"nasd/internal/bufpool"
 	"nasd/internal/capability"
 	"nasd/internal/crypt"
 	"nasd/internal/object"
@@ -56,14 +57,15 @@ type Config struct {
 // Drive is a NASD drive: object store + keys + request handler.
 // It implements rpc.Handler, so it can be served over any transport.
 type Drive struct {
-	id     uint64
-	store  *object.Store
-	keys   *crypt.Hierarchy
-	nonces *crypt.NonceWindow
-	secure bool
-	clock  func() time.Time
-	acct   *Accounting
-	tel    *driveTel
+	id       uint64
+	store    *object.Store
+	keys     *crypt.Hierarchy
+	verifier *capability.Verifier
+	nonces   *crypt.NonceWindow
+	secure   bool
+	clock    func() time.Time
+	acct     *Accounting
+	tel      *driveTel
 
 	mu      sync.Mutex
 	kernels map[string]Kernel
@@ -122,17 +124,23 @@ func fromStore(st *object.Store, cfg Config) *Drive {
 	if spans == nil {
 		spans = telemetry.NewSpanLog(telemetry.DefaultSpanLogSize)
 	}
+	keys := crypt.NewHierarchy(cfg.Master)
 	d := &Drive{
-		id:      cfg.ID,
-		store:   st,
-		keys:    crypt.NewHierarchy(cfg.Master),
-		nonces:  crypt.NewNonceWindow(256, 4096),
-		secure:  cfg.Secure,
-		clock:   clock,
-		acct:    NewAccounting(),
-		tel:     newDriveTel(reg, cfg.Media, spans),
-		kernels: make(map[string]Kernel),
+		id:       cfg.ID,
+		store:    st,
+		keys:     keys,
+		verifier: capability.NewVerifier(keys, 0),
+		nonces:   crypt.NewNonceWindow(256, 4096),
+		secure:   cfg.Secure,
+		clock:    clock,
+		acct:     NewAccounting(),
+		tel:      newDriveTel(reg, cfg.Media, spans),
+		kernels:  make(map[string]Kernel),
 	}
+	// Hot-path caches publish alongside the drive's op metrics: the
+	// capability digest cache and the shared byte-buffer pool.
+	d.verifier.Cache().Publish(reg)
+	bufpool.Publish(reg)
 	// The buffer cache keeps its own counters; publish them as
 	// pull-style gauges so hit rates show up in every snapshot.
 	reg.Func("drive.cache.hits", func() int64 { return d.store.CacheStats().Hits })
@@ -190,7 +198,10 @@ func (d *Drive) authorize(req *rpc.Request, ph *phases, part uint16, obj uint64,
 		DriveID: d.id, Part: part, Object: obj, ObjVer: curVer,
 		Op: op, Offset: off, Length: length, Now: d.clock(),
 	}
-	if err := capability.Validate(pub, req.SigningBody(), req.ReqDig, chk, d.keys); err != nil {
+	body := req.AppendSigningBody(bufpool.Get(96 + len(req.Cap) + len(req.Args)))
+	err = d.verifier.Validate(pub, body, req.ReqDig, chk)
+	bufpool.Put(body)
+	if err != nil {
 		st := rpc.StatusAuthFailure
 		if errors.Is(err, capability.ErrExpired) {
 			// Expiry is the one renewable rejection: the wire status
@@ -222,7 +233,10 @@ func (d *Drive) authorizeAdmin(req *rpc.Request, ph *phases, ref KeyRef) *rpc.Re
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusAuthFailure, "unknown key %v", id)
 	}
-	if !crypt.Verify(key, req.SigningBody(), req.ReqDig) {
+	body := req.AppendSigningBody(bufpool.Get(96 + len(req.Cap) + len(req.Args)))
+	ok := crypt.Verify(key, body, req.ReqDig)
+	bufpool.Put(body)
+	if !ok {
 		return rpc.Errorf(req.MsgID, rpc.StatusAuthFailure, "bad management digest")
 	}
 	return nil
@@ -333,7 +347,15 @@ func (d *Drive) handleRead(req *rpc.Request, ph *phases) *rpc.Reply {
 	if err != nil {
 		return errReply(req.MsgID, err)
 	}
-	return &rpc.Reply{Status: rpc.StatusOK, Data: data}
+	rep := &rpc.Reply{Status: rpc.StatusOK, Data: data}
+	if len(data) > 0 {
+		// The store lends read results out of the buffer pool; hand the
+		// buffer back once the transport has serialized the reply. When
+		// the drive is called in-process (no transport), OnSent never
+		// fires and the buffer simply falls to the GC — Put is optional.
+		rep.OnSent = func() { bufpool.Put(data) }
+	}
+	return rep
 }
 
 func (d *Drive) handleWrite(req *rpc.Request, ph *phases) *rpc.Reply {

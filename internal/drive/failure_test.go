@@ -52,20 +52,15 @@ func TestCorruptBlockSurfacesAsError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt a swath of the data region.
-	sb := int64(64) // past metadata for a 4096-block volume
-	for b := sb; b < sb+64; b++ {
+	// Corrupt the whole device while d2's block and metadata caches are
+	// still cold: the read must touch the media somewhere (onode walk or
+	// data fill) and surface the failure as an error reply. No probe
+	// read first — a probe would warm the caches, and cache hits
+	// legitimately never see the media again.
+	for b := int64(0); b < 4096; b++ {
 		dev.CorruptBlock(b)
 	}
 	rep := d2.Handle(readReq(obj, 0, 64<<10))
-	if rep.Status == rpc.StatusOK {
-		// The corrupted range may have missed the object's blocks —
-		// corrupt everything to be sure.
-		for b := int64(0); b < 4096; b++ {
-			dev.CorruptBlock(b)
-		}
-		rep = d2.Handle(readReq(obj, 0, 64<<10))
-	}
 	if rep.Status != rpc.StatusError {
 		t.Fatalf("corrupt media read status = %v", rep.Status)
 	}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"nasd/internal/blockdev"
+	"nasd/internal/bufpool"
 	"nasd/internal/journal"
 	"nasd/internal/telemetry"
 )
@@ -150,6 +151,11 @@ type Store struct {
 	// and pointer blocks), which bypass the object layer's cache. The
 	// object layer folds it into its media-I/O-per-read gauge.
 	devReads atomic.Int64
+
+	// meta caches recently read onode and pointer blocks so the
+	// block-map walk does not pay one media read per data block
+	// (metacache.go documents the coherence rules).
+	meta *metaCache
 }
 
 // FormatOptions controls Format.
@@ -247,6 +253,7 @@ func Format(dev blockdev.Device, opts FormatOptions) (*Store, error) {
 		onodeIndex:   make(map[uint64]int64),
 		ptrsPerBlock: bs / 8,
 		allocHint:    dataStart,
+		meta:         newMetaCache(),
 	}
 	if jb > 0 {
 		if err := journal.Format(dev, journalStart, jb); err != nil {
@@ -315,6 +322,7 @@ func OpenWith(dev blockdev.Device, opts OpenOptions) (*Store, error) {
 		onodeIndex:   make(map[uint64]int64),
 		ptrsPerBlock: bs / 8,
 		allocHint:    sb.DataStart,
+		meta:         newMetaCache(),
 	}
 	var refRecs []journal.Record
 	if sb.JournalBlocks > 0 {
@@ -419,6 +427,7 @@ func (s *Store) replayOnode(r journal.Record) error {
 	}
 	off := (idx % per) * OnodeSize
 	copy(buf[off:off+OnodeSize], image)
+	s.meta.invalidate(blk)
 	return s.dev.WriteBlock(blk, buf)
 }
 
@@ -629,6 +638,11 @@ func (s *Store) Free(blk int64) error {
 		return fmt.Errorf("layout: double free of block %d", blk)
 	}
 	s.setRef(blk, s.ref[blk]-1)
+	if s.ref[blk] == 0 {
+		// A fully freed block may be reallocated for anything (data or
+		// metadata); a cached metadata copy must not outlive it.
+		s.meta.invalidate(blk)
+	}
 	return nil
 }
 
@@ -685,16 +699,24 @@ func (s *Store) ReadOnode(idx int64) (Onode, error) {
 	}
 	bs := int64(s.sb.BlockSize)
 	per := bs / OnodeSize
-	buf := make([]byte, bs)
+	blk := s.sb.OnodeStart + idx/per
+	off := (idx % per) * OnodeSize
 	l := s.onodeLock(idx)
 	l.Lock()
+	defer l.Unlock()
+	var o Onode
+	if s.meta.view(blk, func(b []byte) { o = decodeOnode(b[off : off+OnodeSize]) }) {
+		return o, nil
+	}
+	buf := bufpool.Get(int(bs))
+	defer bufpool.Put(buf)
 	s.devReads.Add(1)
-	err := s.dev.ReadBlock(s.sb.OnodeStart+idx/per, buf)
-	l.Unlock()
-	if err != nil {
+	if err := s.dev.ReadBlock(blk, buf); err != nil {
 		return Onode{}, err
 	}
-	off := (idx % per) * OnodeSize
+	// Fill under the stripe lock: a concurrent WriteOnode of this block
+	// serializes behind us, so the entry cannot go stale mid-install.
+	s.meta.fill(blk, buf)
 	return decodeOnode(buf[off : off+OnodeSize]), nil
 }
 
@@ -715,9 +737,12 @@ func (s *Store) WriteOnode(idx int64, o *Onode) error {
 	buf := make([]byte, bs)
 	l := s.onodeLock(idx)
 	l.Lock()
-	if err := s.dev.ReadBlock(blk, buf); err != nil {
-		l.Unlock()
-		return err
+	if !s.meta.view(blk, func(b []byte) { copy(buf, b) }) {
+		s.devReads.Add(1)
+		if err := s.dev.ReadBlock(blk, buf); err != nil {
+			l.Unlock()
+			return err
+		}
 	}
 	off := (idx % per) * OnodeSize
 	prev := decodeOnode(buf[off : off+OnodeSize])
@@ -735,9 +760,11 @@ func (s *Store) WriteOnode(idx int64, o *Onode) error {
 		}
 	}
 	if err := s.dev.WriteBlock(blk, buf); err != nil {
+		s.meta.invalidate(blk)
 		l.Unlock()
 		return err
 	}
+	s.meta.fill(blk, buf)
 	l.Unlock()
 	if s.jnl != nil {
 		s.jnl.Applied(lsn)
@@ -902,6 +929,10 @@ func (s *Store) ensurePtrBlock(slot *int64, hint int64) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// nb's device content just changed outside the usual write paths
+	// (zeroed below, or the unshare copy inside allocOrUnshare); drop
+	// any entry a prior life of this block left behind.
+	s.meta.invalidate(nb)
 	if cur == 0 {
 		// Fresh pointer block must start zeroed.
 		if err := s.dev.WriteBlock(nb, make([]byte, s.sb.BlockSize)); err != nil {
@@ -1022,12 +1053,21 @@ func (s *Store) UnmapBlock(o *Onode, fileBlock int64) (int64, error) {
 }
 
 func (s *Store) readPtr(blk int64, idx int64) (int64, error) {
-	buf := make([]byte, s.sb.BlockSize)
+	var v int64
+	if s.meta.view(blk, func(b []byte) { v = int64(binary.LittleEndian.Uint64(b[idx*8:])) }) {
+		if v != 0 && (v < s.sb.DataStart || v >= s.sb.TotalBlocks) {
+			return 0, nil
+		}
+		return v, nil
+	}
+	buf := bufpool.Get(int(s.sb.BlockSize))
+	defer bufpool.Put(buf)
 	s.devReads.Add(1)
 	if err := s.dev.ReadBlock(blk, buf); err != nil {
 		return 0, err
 	}
-	v := int64(binary.LittleEndian.Uint64(buf[idx*8:]))
+	s.meta.fill(blk, buf)
+	v = int64(binary.LittleEndian.Uint64(buf[idx*8:]))
 	// A legitimate pointer is zero (hole) or a data-region block. Pointer
 	// blocks are not write-ahead journaled, so after a crash one can hold
 	// stale or torn content; clamping wild values to holes here keeps
@@ -1045,12 +1085,22 @@ func (s *Store) readPtr(blk int64, idx int64) (int64, error) {
 func (s *Store) DevReads() int64 { return s.devReads.Load() }
 
 func (s *Store) writePtr(blk int64, idx int64, v int64) error {
-	buf := make([]byte, s.sb.BlockSize)
-	if err := s.dev.ReadBlock(blk, buf); err != nil {
-		return err
+	buf := bufpool.Get(int(s.sb.BlockSize))
+	defer bufpool.Put(buf)
+	if !s.meta.view(blk, func(b []byte) { copy(buf, b) }) {
+		s.devReads.Add(1)
+		if err := s.dev.ReadBlock(blk, buf); err != nil {
+			return err
+		}
 	}
 	binary.LittleEndian.PutUint64(buf[idx*8:], uint64(v))
-	return s.dev.WriteBlock(blk, buf)
+	if err := s.dev.WriteBlock(blk, buf); err != nil {
+		// The write may have partially applied; drop any cached copy.
+		s.meta.invalidate(blk)
+		return err
+	}
+	s.meta.fill(blk, buf)
+	return nil
 }
 
 // ForEachBlock calls fn for every physical block reachable from o,

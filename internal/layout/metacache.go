@@ -1,0 +1,87 @@
+package layout
+
+import (
+	"sync"
+
+	"nasd/internal/bufpool"
+)
+
+// metaCacheBlocks bounds the metadata cache (per Store). Metadata
+// working sets are tiny — one onode block plus a handful of pointer
+// blocks per hot object — so a small FIFO over pooled block buffers
+// captures nearly all of the re-read traffic.
+const metaCacheBlocks = 128
+
+// metaCache holds recently read metadata blocks (onode table blocks
+// and indirect pointer blocks), which move through the raw device and
+// would otherwise pay a media read on every block-map walk. The object
+// layer's block cache cannot serve them: it sits *above* the layout
+// allocator in the lock hierarchy (DESIGN.md §4), so layout may never
+// call up into it.
+//
+// Coherence is by update-on-write: every in-place metadata write in
+// this package refreshes or invalidates the written block's entry
+// before the writer releases the lock that serializes it against
+// readers (the onode stripe lock for onode blocks; the exclusive
+// object lock above for pointer blocks — in-place pointer writes only
+// ever target refcount-1 blocks, which belong to exactly one object).
+// Freed blocks are invalidated so a later reallocation can never
+// surface stale bytes. The cache is private to one Store and dies
+// with it, so mount-time recovery always reads the real device.
+type metaCache struct {
+	mu     sync.Mutex
+	blocks map[int64][]byte
+	order  []int64 // FIFO eviction queue
+}
+
+func newMetaCache() *metaCache {
+	return &metaCache{blocks: make(map[int64][]byte)}
+}
+
+// view runs fn on the cached copy of blk under the cache lock and
+// reports whether blk was resident. fn must copy out what it needs and
+// must not retain the slice.
+func (c *metaCache) view(blk int64, fn func(b []byte)) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.blocks[blk]
+	if ok {
+		fn(b)
+	}
+	return ok
+}
+
+// fill installs a copy of data as blk's cached content, evicting the
+// oldest entry when full. Also used to refresh an entry after an
+// in-place write.
+func (c *metaCache) fill(blk int64, data []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.blocks[blk]; ok {
+		copy(b, data)
+		return
+	}
+	for len(c.order) >= metaCacheBlocks {
+		old := c.order[0]
+		c.order = c.order[1:]
+		if b, ok := c.blocks[old]; ok {
+			delete(c.blocks, old)
+			bufpool.Put(b)
+		}
+	}
+	b := bufpool.Get(len(data))
+	copy(b, data)
+	c.blocks[blk] = b
+	c.order = append(c.order, blk)
+}
+
+// invalidate drops blk's entry, if any. The stale FIFO slot is left to
+// age out; it is skipped at eviction time.
+func (c *metaCache) invalidate(blk int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.blocks[blk]; ok {
+		delete(c.blocks, blk)
+		bufpool.Put(b)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nasd/internal/blockdev"
+	"nasd/internal/bufpool"
 	"nasd/internal/telemetry"
 )
 
@@ -256,11 +257,19 @@ func (e *Engine) OpenLog(part uint16) (Stats, error) {
 // compaction (whose sources are sealed, fully flushed segments) use it.
 func (l *Log) readSegDeviceLocked(s *segment, limit int64) ([]byte, error) {
 	nb := (limit + l.e.bs - 1) / l.e.bs
+	// Not pooled: recovery retains views into the result (uninterpreted
+	// attributes decoded from records) beyond this call.
 	raw := make([]byte, nb*l.e.bs)
-	for i := int64(0); i < nb; i++ {
-		if err := l.e.cfg.Dev.ReadBlock(s.blocks[i], raw[i*l.e.bs:(i+1)*l.e.bs]); err != nil {
+	for i := int64(0); i < nb; {
+		// One device call per physically contiguous run.
+		run := int64(1)
+		for i+run < nb && s.blocks[i+run] == s.blocks[i]+run {
+			run++
+		}
+		if err := blockdev.ReadBlocks(l.e.cfg.Dev, s.blocks[i], raw[i*l.e.bs:(i+run)*l.e.bs]); err != nil {
 			return nil, err
 		}
+		i += run
 	}
 	return raw[:limit], nil
 }
@@ -510,6 +519,7 @@ func (e *Engine) Write(part uint16, obj, off uint64, data []byte, now int64) err
 	}
 	end := off + uint64(len(data))
 	var payload []byte
+	var scratch []byte // pooled RMW buffer, recycled after the append copies it
 	if off == 0 && end >= ent.info.Size {
 		payload = data
 	} else {
@@ -519,17 +529,23 @@ func (e *Engine) Write(part uint16, obj, off uint64, data []byte, now int64) err
 			return rerr
 		}
 		if end > uint64(len(old)) {
-			grown := make([]byte, end)
-			copy(grown, old)
+			grown := bufpool.Get(int(end))
+			n := copy(grown, old)
+			for i := n; i < len(grown); i++ {
+				grown[i] = 0
+			}
+			bufpool.Put(old)
 			old = grown
 		}
 		copy(old[off:], data)
 		payload = old
+		scratch = old
 	}
 	info := ent.info
 	info.Size = uint64(len(payload))
 	info.ModSec = now
 	rerr := l.rewriteLocked(ent, obj, info, payload)
+	bufpool.Put(scratch)
 	l.mu.Unlock()
 	if rerr != nil {
 		return rerr
@@ -580,11 +596,16 @@ func (e *Engine) Update(part uint16, obj uint64, fn func(*Info) error) error {
 		return rerr
 	}
 	if uint64(len(payload)) != info.Size {
-		resized := make([]byte, info.Size)
-		copy(resized, payload)
+		resized := bufpool.Get(int(info.Size))
+		n := copy(resized, payload)
+		for i := n; i < len(resized); i++ {
+			resized[i] = 0
+		}
+		bufpool.Put(payload)
 		payload = resized
 	}
 	rerr = l.rewriteLocked(ent, obj, info, payload)
+	bufpool.Put(payload)
 	l.mu.Unlock()
 	if rerr != nil {
 		return rerr

@@ -6,6 +6,9 @@ import (
 	"hash/crc32"
 	"sync"
 	"sync/atomic"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/bufpool"
 )
 
 // segment is one fixed-size run of blocks in a partition's log.
@@ -163,13 +166,19 @@ func (l *Log) syncTailLocked() error {
 // not-yet-flushed active-segment bytes from the pending buffer. It
 // returns the number of device block reads issued (the media-I/O cost
 // of the access). Caller holds mu in either mode.
+//
+// The returned buffer is pooled (bufpool) and owned by the caller;
+// block-aligned spans whose physical blocks are contiguous on the
+// device are read straight into it with one vectored device call, so a
+// sequential needle read costs a single copy (device to result).
 func (l *Log) readRangeLocked(seg *segment, off, n int64) ([]byte, int64, error) {
 	if n < 0 || off < 0 || off+n > seg.written {
 		return nil, 0, fmt.Errorf("needle: read [%d,%d) beyond segment end %d", off, off+n, seg.written)
 	}
-	out := make([]byte, n)
+	out := bufpool.Get(int(n))
 	blockSize := l.e.bs
-	buf := make([]byte, blockSize)
+	var buf []byte // bounce buffer for partial blocks, allocated lazily
+	defer func() { bufpool.Put(buf) }()
 	var ios int64
 	for done := int64(0); done < n; {
 		cur := off + done
@@ -180,11 +189,36 @@ func (l *Log) readRangeLocked(seg *segment, off, n int64) ([]byte, int64, error)
 		}
 		idx := cur / blockSize
 		within := cur % blockSize
+		if within == 0 && n-done >= blockSize {
+			// Aligned full-block span: extend across physically
+			// contiguous blocks (allocators hand out runs, so this is
+			// the common case) and read directly into the result. For
+			// the active segment the run must stop at the flush
+			// horizon; flushed is always a whole number of blocks.
+			limit := (n - done) / blockSize
+			run := int64(1)
+			for run < limit &&
+				seg.blocks[idx+run] == seg.blocks[idx]+run &&
+				(seg != l.act || cur+(run+1)*blockSize <= l.flushed) {
+				run++
+			}
+			if err := blockdev.ReadBlocks(l.e.cfg.Dev, seg.blocks[idx], out[done:done+run*blockSize]); err != nil {
+				bufpool.Put(out)
+				return nil, ios, err
+			}
+			ios += run
+			done += run * blockSize
+			continue
+		}
 		chunk := blockSize - within
 		if chunk > n-done {
 			chunk = n - done
 		}
+		if buf == nil {
+			buf = bufpool.Get(int(blockSize))
+		}
 		if err := l.e.cfg.Dev.ReadBlock(seg.blocks[idx], buf); err != nil {
+			bufpool.Put(out)
 			return nil, ios, err
 		}
 		ios++

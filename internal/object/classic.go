@@ -3,6 +3,7 @@ package object
 import (
 	"time"
 
+	"nasd/internal/bufpool"
 	"nasd/internal/cache"
 	"nasd/internal/layout"
 	"nasd/internal/telemetry"
@@ -326,8 +327,12 @@ func (c *classicBackend) Read(part uint16, obj uint64, off uint64, n int, seq *S
 		n = int(max)
 	}
 	bs := uint64(c.lay.BlockSize())
-	out := make([]byte, n)
-	buf := make([]byte, bs)
+	// Pooled result, filled straight from cached blocks under the shard
+	// lock (cache.ReadRange): one copy from cache memory to the reply
+	// buffer, no per-block bounce buffer. Ownership passes to the
+	// caller; the drive returns it to the pool once the reply is on the
+	// wire.
+	out := bufpool.Get(n)
 	for done := 0; done < n; {
 		cur := off + uint64(done)
 		fb := int64(cur / bs)
@@ -338,6 +343,7 @@ func (c *classicBackend) Read(part uint16, obj uint64, off uint64, n int, seq *S
 		}
 		phys, err := c.lay.BMap(&o, fb)
 		if err != nil {
+			bufpool.Put(out)
 			return nil, err
 		}
 		if phys == 0 {
@@ -345,10 +351,10 @@ func (c *classicBackend) Read(part uint16, obj uint64, off uint64, n int, seq *S
 				out[done+i] = 0
 			}
 		} else {
-			if err := c.cache.ReadBlock(phys, buf); err != nil {
+			if err := c.cache.ReadRange(phys, int(within), out[done:done+chunk]); err != nil {
+				bufpool.Put(out)
 				return nil, err
 			}
-			copy(out[done:done+chunk], buf[within:])
 		}
 		done += chunk
 	}
@@ -457,7 +463,8 @@ func (c *classicBackend) writeRange(o *layout.Onode, off uint64, data []byte) er
 	if o.Cluster != 0 {
 		clusterHint = c.clusterHint(o)
 	}
-	buf := make([]byte, bs)
+	var buf []byte // pooled RMW bounce buffer for partial blocks only
+	defer func() { bufpool.Put(buf) }()
 	for done := 0; done < len(data); {
 		cur := off + uint64(done)
 		fb := int64(cur / bs)
@@ -481,20 +488,28 @@ func (c *classicBackend) writeRange(o *layout.Onode, off uint64, data []byte) er
 			return err
 		}
 		if within == 0 && chunk == int(bs) {
-			copy(buf, data[done:done+chunk])
-		} else {
-			// Partial block: read-modify-write. A block that was a hole
-			// before this write contains whatever a previous owner left
-			// there, so zero-fill it instead of reading.
-			if prevPhys == 0 {
-				for i := range buf {
-					buf[i] = 0
-				}
-			} else if err := c.cache.ReadBlock(phys, buf); err != nil {
+			// Full block: hand the caller's bytes straight to the cache
+			// (which copies into its own pooled entry) — no bounce copy.
+			if err := c.cache.WriteBlock(phys, data[done:done+chunk]); err != nil {
 				return err
 			}
-			copy(buf[within:], data[done:done+chunk])
+			done += chunk
+			continue
 		}
+		// Partial block: read-modify-write. A block that was a hole
+		// before this write contains whatever a previous owner left
+		// there, so zero-fill it instead of reading.
+		if buf == nil {
+			buf = bufpool.Get(int(bs))
+		}
+		if prevPhys == 0 {
+			for i := range buf {
+				buf[i] = 0
+			}
+		} else if err := c.cache.ReadBlock(phys, buf); err != nil {
+			return err
+		}
+		copy(buf[within:], data[done:done+chunk])
 		if err := c.cache.WriteBlock(phys, buf); err != nil {
 			return err
 		}

@@ -17,6 +17,12 @@ type Encoder struct {
 // Bytes returns the encoded message.
 func (e *Encoder) Bytes() []byte { return e.buf }
 
+// Reset makes the encoder append into buf (from length zero, keeping
+// buf's capacity). Passing a pooled buffer lets hot paths encode
+// without growing a fresh allocation per message; the encoded bytes
+// alias buf until it outgrows the capacity.
+func (e *Encoder) Reset(buf []byte) { e.buf = buf[:0] }
+
 // Len returns the current encoded length.
 func (e *Encoder) Len() int { return len(e.buf) }
 

@@ -3,9 +3,11 @@ package rpc
 import (
 	"context"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
+	"nasd/internal/bufpool"
 	"nasd/internal/telemetry"
 )
 
@@ -14,6 +16,14 @@ import (
 // for concurrent use: the server dispatches requests from one
 // connection to a pool of workers, so two requests from the same client
 // can execute simultaneously.
+//
+// Buffer contract: req.Cap, req.Args, and req.Data alias a pooled
+// receive frame that the server recycles after the reply is sent.
+// They are valid for the duration of Handle plus reply serialization;
+// a handler that wants any of those bytes longer must copy them. The
+// reply may reference request memory (it is serialized before the
+// frame is recycled), and a handler lending pooled or otherwise
+// releasable memory as reply Data can set Reply.OnSent to get it back.
 type Handler interface {
 	Handle(req *Request) *Reply
 }
@@ -205,18 +215,33 @@ func (s *Server) Serve(l Listener) {
 	}
 }
 
+// inbound is one decoded request plus the pooled receive frame its
+// Cap/Args/Data views alias; the worker recycles the frame once the
+// reply is on the wire.
+type inbound struct {
+	req   *Request
+	frame []byte
+}
+
 // serveConn decodes requests and feeds them to a bounded worker pool.
 // The queue is as deep as the pool, so a flooding client is
 // backpressured by the transport rather than buffering unboundedly.
+//
+// Frame lifecycle: the request's Cap/Args/Data alias the pooled
+// receive frame, which stays valid until the handler returns and its
+// reply is sent; then the frame goes back to the pool. Handlers (and
+// anything they call) must therefore copy whatever request bytes they
+// want to keep past Handle's return — see the Handler contract.
 func (s *Server) serveConn(conn Conn) {
 	s.statConns.Add(1)
-	reqs := make(chan *Request, s.workers)
+	reqs := make(chan inbound, s.workers)
 	var workers sync.WaitGroup
 	for i := 0; i < s.workers; i++ {
 		workers.Add(1)
 		go func() {
 			defer workers.Done()
-			for req := range reqs {
+			for in := range reqs {
+				req := in.req
 				pm := s.proc(req.Proc)
 				pm.calls.Inc()
 				s.statInFlight.Add(1)
@@ -231,14 +256,30 @@ func (s *Server) serveConn(conn Conn) {
 					pm.errors.Inc()
 				}
 				reply.MsgID = req.MsgID
-				wire := EncodeReply(reply)
-				if err := conn.Send(wire); err != nil {
+				// Encode the header into a pooled buffer and writev
+				// {header, payload}: the bulk Data — cache block, needle
+				// extent, or pooled read buffer — is never copied into
+				// the message.
+				hdr := AppendReplyHeader(bufpool.Get(64+len(reply.Msg)+len(reply.Args)), reply)
+				var err error
+				if len(reply.Data) > 0 {
+					err = SendVectored(conn, net.Buffers{hdr, reply.Data})
+				} else {
+					err = conn.Send(hdr)
+				}
+				wireLen := uint64(len(hdr) + len(reply.Data))
+				bufpool.Put(hdr)
+				if reply.OnSent != nil {
+					reply.OnSent()
+				}
+				bufpool.Put(in.frame)
+				if err != nil {
 					// The reader notices closure and drains the queue.
 					conn.Close()
 					continue
 				}
-				s.statBytesOut.Add(uint64(len(wire)))
-				pm.bytesOut.Add(uint64(len(wire)))
+				s.statBytesOut.Add(wireLen)
+				pm.bytesOut.Add(wireLen)
 			}
 		}()
 	}
@@ -260,15 +301,17 @@ func (s *Server) serveConn(conn Conn) {
 		msg, err := DecodeMessage(raw)
 		if err != nil {
 			// Malformed traffic: drop the connection.
+			bufpool.Put(raw)
 			return
 		}
 		req, ok := msg.(*Request)
 		if !ok {
+			bufpool.Put(raw)
 			return
 		}
 		s.statRequests.Inc()
 		s.proc(req.Proc).bytesIn.Add(uint64(len(raw)))
-		reqs <- req
+		reqs <- inbound{req: req, frame: raw}
 	}
 }
 
@@ -383,14 +426,19 @@ func (c *Client) recvLoop() {
 		c.statBytesRecv.Add(uint64(len(raw)))
 		msg, err := DecodeMessage(raw)
 		if err != nil {
+			bufpool.Put(raw)
 			c.failAll(err)
 			return
 		}
 		reply, ok := msg.(*Reply)
 		if !ok {
+			bufpool.Put(raw)
 			c.failAll(fmt.Errorf("rpc: server sent a request"))
 			return
 		}
+		// The reply's Args/Data alias the pooled frame; ownership moves
+		// to whoever collects the reply (Reply.Release recycles it).
+		reply.frame = raw
 		c.mu.Lock()
 		ch, ok := c.pending[reply.MsgID]
 		if ok {
@@ -399,6 +447,9 @@ func (c *Client) recvLoop() {
 		c.mu.Unlock()
 		if ok {
 			ch <- reply
+		} else {
+			// Late reply for a canceled call: nobody will read it.
+			reply.Release()
 		}
 	}
 }
@@ -469,15 +520,26 @@ func (c *Client) Call(ctx context.Context, req *Request) (*Reply, error) {
 		sd.SetSendDeadline(dl)
 	}
 
-	wire := EncodeRequest(req)
-	if err := c.conn.Send(wire); err != nil {
+	// Vectored send: header from the pool, bulk payload straight from
+	// the caller's buffer — a write's data crosses the client with zero
+	// copies in user space.
+	hdr := AppendRequestHeader(bufpool.Get(160+len(req.Cap)+len(req.Args)), req)
+	var err error
+	if len(req.Data) > 0 {
+		err = SendVectored(c.conn, net.Buffers{hdr, req.Data})
+	} else {
+		err = c.conn.Send(hdr)
+	}
+	wireLen := uint64(len(hdr) + len(req.Data))
+	bufpool.Put(hdr)
+	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, req.MsgID)
 		c.mu.Unlock()
 		c.statFailures.Inc()
 		return nil, fmt.Errorf("%w: %w", ErrNotSent, err)
 	}
-	c.statBytesSent.Add(uint64(len(wire)))
+	c.statBytesSent.Add(wireLen)
 
 	select {
 	case reply, ok := <-ch:

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"nasd/internal/bufpool"
 	"nasd/internal/crypt"
 )
 
@@ -98,7 +99,16 @@ type Request struct {
 // procedure, capability, args, nonce, and a hash of the bulk data (so
 // data tampering is caught without digesting the data twice).
 func (r *Request) SigningBody() []byte {
+	return r.AppendSigningBody(nil)
+}
+
+// AppendSigningBody appends the signing body to buf (which may be a
+// pooled buffer; nil allocates) and returns the extended slice. Hot
+// paths sign and verify per request, so reusing buf keeps the digest
+// phase allocation-free.
+func (r *Request) AppendSigningBody(buf []byte) []byte {
 	var e Encoder
+	e.Reset(buf)
 	e.U16(r.Proc)
 	e.Bytes32(r.Cap)
 	e.Bytes32(r.Args)
@@ -116,6 +126,34 @@ type Reply struct {
 	Msg    string // human-readable error detail (empty on success)
 	Args   []byte
 	Data   []byte // bulk payload (read data)
+
+	// OnSent, when set by a server-side handler, runs once after the
+	// reply has been handed to the transport (which never retains the
+	// buffers past Send). It is the release point for pooled memory the
+	// handler lent to Data — the handler must not touch Data after
+	// returning if it sets OnSent.
+	OnSent func()
+
+	// frame is the pooled receive buffer backing Args/Data on the
+	// client side; Release returns it.
+	frame []byte
+}
+
+// Release returns the pooled receive frame backing this reply's
+// Args/Data views, if any. Callers that fully consumed the reply —
+// copied Data out, decoded Args into values — may call it to recycle
+// the frame; afterwards Args and Data must not be touched. Calling
+// Release is always optional (an unreleased frame is simply collected
+// by the GC) and safe to call more than once.
+func (r *Reply) Release() {
+	f := r.frame
+	if f == nil {
+		return
+	}
+	r.frame = nil
+	r.Args = nil
+	r.Data = nil
+	bufpool.Put(f)
 }
 
 // Errorf builds an error reply.
@@ -123,9 +161,21 @@ func Errorf(id uint64, st Status, format string, args ...any) *Reply {
 	return &Reply{MsgID: id, Status: st, Msg: fmt.Sprintf(format, args...)}
 }
 
-// EncodeRequest serializes a request (without transport framing).
-func EncodeRequest(r *Request) []byte {
+// The wire layout puts the bulk payload LAST in both directions, after
+// its 32-bit length prefix: a message is then header bytes followed by
+// payload bytes, and the send path can writev {header, payload} without
+// ever joining them. AppendRequestHeader/AppendReplyHeader produce the
+// header (everything up to and including the payload length prefix);
+// EncodeRequest/EncodeReply produce the joined form for callers that
+// want one buffer.
+
+// AppendRequestHeader appends r's wire header — every field including
+// the Data length prefix but not the Data bytes — to buf and returns
+// the extended slice. Transmitting buf followed by r.Data yields
+// exactly EncodeRequest(r).
+func AppendRequestHeader(buf []byte, r *Request) []byte {
 	var e Encoder
+	e.Reset(buf)
 	e.U32(Magic)
 	e.U8(kindRequest)
 	e.U64(r.MsgID)
@@ -135,25 +185,39 @@ func EncodeRequest(r *Request) []byte {
 	e.U8(r.SecOpts)
 	e.Bytes32(r.Cap)
 	e.Bytes32(r.Args)
-	e.Bytes32(r.Data)
 	e.U64(r.Nonce.Client)
 	e.U64(r.Nonce.Counter)
 	e.Raw(r.ReqDig[:])
 	e.Raw(r.AllDig[:])
+	e.U32(uint32(len(r.Data)))
 	return e.Bytes()
 }
 
-// EncodeReply serializes a reply (without transport framing).
-func EncodeReply(r *Reply) []byte {
+// EncodeRequest serializes a request (without transport framing).
+func EncodeRequest(r *Request) []byte {
+	return append(AppendRequestHeader(nil, r), r.Data...)
+}
+
+// AppendReplyHeader appends r's wire header — every field including the
+// Data length prefix but not the Data bytes — to buf and returns the
+// extended slice. Transmitting buf followed by r.Data yields exactly
+// EncodeReply(r).
+func AppendReplyHeader(buf []byte, r *Reply) []byte {
 	var e Encoder
+	e.Reset(buf)
 	e.U32(Magic)
 	e.U8(kindReply)
 	e.U64(r.MsgID)
 	e.U16(uint16(r.Status))
 	e.String(r.Msg)
 	e.Bytes32(r.Args)
-	e.Bytes32(r.Data)
+	e.U32(uint32(len(r.Data)))
 	return e.Bytes()
+}
+
+// EncodeReply serializes a reply (without transport framing).
+func EncodeReply(r *Reply) []byte {
+	return append(AppendReplyHeader(nil, r), r.Data...)
 }
 
 // Decode errors.
@@ -181,11 +245,11 @@ func DecodeMessage(b []byte) (any, error) {
 		r.SecOpts = d.U8()
 		r.Cap = d.Bytes32()
 		r.Args = d.Bytes32()
-		r.Data = d.Bytes32()
 		r.Nonce.Client = d.U64()
 		r.Nonce.Counter = d.U64()
 		copy(r.ReqDig[:], d.Raw(crypt.DigestSize))
 		copy(r.AllDig[:], d.Raw(crypt.DigestSize))
+		r.Data = d.Bytes32()
 		if err := d.Err(); err != nil {
 			return nil, err
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"sync"
 	"time"
 
@@ -34,6 +35,18 @@ func NewThrottledConn(conn Conn, bytesPerSec int64) *ThrottledConn {
 func (t *ThrottledConn) Send(msg []byte) error {
 	t.pacer.Charge(len(msg))
 	return t.conn.Send(msg)
+}
+
+// SendVec implements VectorSender: the link charges total bytes exactly
+// as Send would, then forwards the gather list so a vectored underlying
+// transport stays vectored behind the throttle.
+func (t *ThrottledConn) SendVec(bufs net.Buffers) error {
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	t.pacer.Charge(n)
+	return SendVectored(t.conn, bufs)
 }
 
 // Recv implements Conn. The receive side is not charged: the sender on

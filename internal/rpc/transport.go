@@ -8,11 +8,20 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"nasd/internal/bufpool"
 )
 
 // Conn is a reliable, message-oriented connection (the "SAN" of the
 // paper: the same interface runs over in-process channels for tests and
 // simulations, or TCP for real deployments).
+//
+// Buffer ownership: Send must not retain msg after it returns — the
+// caller may immediately reuse or pool the slice. Recv transfers
+// ownership of the returned frame to the caller; built-in transports
+// draw frames from bufpool, so callers that fully consume a frame may
+// return it with bufpool.Put (and callers that keep references must
+// not).
 type Conn interface {
 	// Send transmits one message.
 	Send(msg []byte) error
@@ -20,6 +29,35 @@ type Conn interface {
 	Recv() ([]byte, error)
 	// Close tears down the connection; pending Recv calls fail.
 	Close() error
+}
+
+// VectorSender is implemented by transports that can transmit one
+// message from several non-contiguous buffers without joining them
+// (writev on TCP). Like Send, SendVec must not retain the buffers
+// after it returns. Use SendVectored to target any Conn.
+type VectorSender interface {
+	SendVec(bufs net.Buffers) error
+}
+
+// SendVectored transmits the concatenation of bufs as one message,
+// using vectored I/O when conn supports it and a single pooled join
+// otherwise. The caller keeps ownership of every buffer in bufs.
+func SendVectored(conn Conn, bufs net.Buffers) error {
+	if vs, ok := conn.(VectorSender); ok {
+		return vs.SendVec(bufs)
+	}
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	joined := bufpool.Get(n)
+	off := 0
+	for _, b := range bufs {
+		off += copy(joined[off:], b)
+	}
+	err := conn.Send(joined)
+	bufpool.Put(joined)
+	return err
 }
 
 // Listener accepts connections.
@@ -74,12 +112,46 @@ func (c *inprocConn) Send(msg []byte) error {
 		return ErrClosed
 	default:
 	}
-	cp := make([]byte, len(msg))
+	// Copy into a pooled frame: the receiver takes ownership, so the
+	// loopback path has the same frame lifecycle as TCP.
+	cp := bufpool.Get(len(msg))
 	copy(cp, msg)
 	select {
 	case <-c.done:
 		return ErrClosed
 	case <-c.peer.done:
+		return ErrClosed
+	case c.out <- cp:
+		return nil
+	}
+}
+
+// SendVec implements VectorSender: the loopback "writev" joins directly
+// into the receiver's pooled frame, skipping the intermediate copy a
+// flatten-then-Send would make.
+func (c *inprocConn) SendVec(bufs net.Buffers) error {
+	select {
+	case <-c.done:
+		return ErrClosed
+	case <-c.peer.done:
+		return ErrClosed
+	default:
+	}
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	cp := bufpool.Get(n)
+	off := 0
+	for _, b := range bufs {
+		off += copy(cp[off:], b)
+	}
+	select {
+	case <-c.done:
+		bufpool.Put(cp)
+		return ErrClosed
+	case <-c.peer.done:
+		bufpool.Put(cp)
 		return ErrClosed
 	case c.out <- cp:
 		return nil
@@ -180,6 +252,9 @@ type tcpConn struct {
 	recvMu  sync.Mutex
 	lenBuf  [4]byte
 	recvLen [4]byte
+	// vecs is reused across SendVec calls (guarded by sendMu) so the
+	// gather list itself does not allocate per message.
+	vecs net.Buffers
 }
 
 // NewTCPConn wraps a net.Conn with 4-byte length framing.
@@ -201,11 +276,44 @@ func (t *tcpConn) Send(msg []byte) error {
 	t.sendMu.Lock()
 	defer t.sendMu.Unlock()
 	binary.BigEndian.PutUint32(t.lenBuf[:], uint32(len(msg)))
-	if _, err := t.c.Write(t.lenBuf[:]); err != nil {
-		return err
-	}
-	_, err := t.c.Write(msg)
+	// One writev for prefix + body: a split Write pair costs an extra
+	// syscall and can emit the 4-byte prefix as its own TCP segment.
+	t.vecs = append(t.vecs[:0], t.lenBuf[:], msg)
+	v := t.vecs // WriteTo consumes the header it is called on
+	_, err := v.WriteTo(t.c)
+	clearVecs(t.vecs)
 	return err
+}
+
+// SendVec implements VectorSender: length prefix plus every buffer in
+// one writev, so a reply header and its bulk payload leave without ever
+// being joined.
+func (t *tcpConn) SendVec(bufs net.Buffers) error {
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	if n > maxFrame {
+		return fmt.Errorf("rpc: frame too large (%d bytes)", n)
+	}
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	binary.BigEndian.PutUint32(t.lenBuf[:], uint32(n))
+	t.vecs = append(t.vecs[:0], t.lenBuf[:])
+	t.vecs = append(t.vecs, bufs...)
+	v := t.vecs
+	_, err := v.WriteTo(t.c)
+	clearVecs(t.vecs)
+	return err
+}
+
+// clearVecs drops buffer references from the reusable gather list so
+// pooled buffers handed to a send are not pinned by the conn between
+// calls.
+func clearVecs(v net.Buffers) {
+	for i := range v {
+		v[i] = nil
+	}
 }
 
 func (t *tcpConn) Recv() ([]byte, error) {
@@ -218,8 +326,9 @@ func (t *tcpConn) Recv() ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("rpc: oversized frame (%d bytes)", n)
 	}
-	msg := make([]byte, n)
+	msg := bufpool.Get(int(n))
 	if _, err := io.ReadFull(t.c, msg); err != nil {
+		bufpool.Put(msg)
 		return nil, err
 	}
 	return msg, nil

@@ -52,9 +52,11 @@ test -s BENCH_chaos.json
 
 # Benchmark smoke: every benchmark must still run (one iteration each);
 # regressions in benchmark-only code paths surface here, not in CI
-# archaeology.
-echo "==> go test -run '^$' -bench . -benchtime 1x ./..."
-go test -run '^$' -bench . -benchtime 1x ./...
+# archaeology. -benchmem keeps allocs/op visible so the zero-copy data
+# path's allocation discipline is checked on every run, not just when
+# someone remembers to ask for it.
+echo "==> go test -run '^$' -bench . -benchtime 1x -benchmem ./..."
+go test -run '^$' -bench . -benchtime 1x -benchmem ./...
 
 # End-to-end bench smoke: a small live -stats run must complete and
 # emit a machine-readable result (schema in EXPERIMENTS.md). CI uploads
