@@ -272,6 +272,56 @@ func runChaos(w io.Writer, dur time.Duration, seed int64, jsonOut string) error 
 		"soak throughput", mbps, workers[0].ops+workers[1].ops, moved>>20)
 	printChaosCounters(w, snap)
 
+	// Per-tenant attribution: each drive keys its op counters by the
+	// capability's partition, in its own registry; pull every drive's
+	// snapshot over the stats RPC and merge the splits fleet-wide.
+	var driveMerged telemetry.Snapshot
+	for i, cli := range drives {
+		sr, serr := cli.ServerStats(ctx, drive.StatsArgs{})
+		if serr != nil {
+			return fmt.Errorf("chaos: stats from drive %d: %w", i, serr)
+		}
+		driveMerged.Merge(sr.Metrics)
+	}
+	tenants := tenantsFromSnapshot(driveMerged)
+	if len(tenants) == 0 {
+		return fmt.Errorf("chaos: no per-tenant counters on any drive — partition attribution went unexercised")
+	}
+	var tenantKeys []string
+	for k := range tenants {
+		tenantKeys = append(tenantKeys, k)
+	}
+	sort.Strings(tenantKeys)
+	fmt.Fprintf(w, "\nper-tenant op split (merged from %d drives):\n", len(drives))
+	for _, k := range tenantKeys {
+		ts := tenants[k]
+		fmt.Fprintf(w, "  %-10s %8d ops %6d errors %8.1f MiB in %8.1f MiB out  p99 %v\n",
+			k, ts.Calls, ts.Errors,
+			float64(ts.BytesIn)/(1<<20), float64(ts.BytesOut)/(1<<20),
+			time.Duration(ts.P99NS).Round(time.Microsecond))
+	}
+
+	// Every subsystem in this process (manager, stores, reborn drive)
+	// defaults its event log to the shared telemetry.Events ring; the
+	// outage must have narrated itself there.
+	events := telemetry.Events.Recent(0, telemetry.SevInfo)
+	evSummary := eventSummary(events)
+	var evKeys []string
+	for k := range evSummary {
+		evKeys = append(evKeys, k)
+	}
+	sort.Strings(evKeys)
+	fmt.Fprintf(w, "\nevent log (%d events):\n", len(events))
+	for _, k := range evKeys {
+		fmt.Fprintf(w, "  %-28s %6d\n", k, evSummary[k])
+	}
+	if evSummary["cheops.breaker_open"] == 0 {
+		return fmt.Errorf("chaos: no breaker_open event recorded for the outage")
+	}
+	if evSummary["cheops.breaker_close"] == 0 {
+		return fmt.Errorf("chaos: no breaker_close event recorded after repair")
+	}
+
 	if snap.Counters["client.retries"] == 0 {
 		return fmt.Errorf("chaos: client.retries did not advance — outage never exercised the retry path")
 	}
@@ -292,6 +342,8 @@ func runChaos(w io.Writer, dur time.Duration, seed int64, jsonOut string) error 
 			Throughput: map[string]float64{"soak": mbps},
 			Latency:    latencyFromSnapshot(snap),
 			Counters:   chaosCounters(snap),
+			Tenants:    tenants,
+			Events:     evSummary,
 		})
 	}
 	return nil

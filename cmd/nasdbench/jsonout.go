@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"nasd/internal/capability"
 	"nasd/internal/telemetry"
 )
 
@@ -33,6 +34,51 @@ type benchResult struct {
 	// Counters carries resilience counters for runs (like -chaos) whose
 	// point is fault handling rather than bandwidth. Omitted otherwise.
 	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Tenants splits the drive-side op totals by the capability's
+	// partition identity ("part.<P>"), merged across every drive in the
+	// run — the attribution a shared array needs to bill tenants.
+	Tenants map[string]tenantSummary `json:"tenants,omitempty"`
+	// Events counts the run's structured events keyed
+	// "subsystem.name" (e.g. "cheops.breaker_open"), so a result file
+	// records not just how the run performed but what happened to it.
+	Events map[string]int `json:"events,omitempty"`
+}
+
+// tenantSummary is one tenant's slice of the fleet's op traffic.
+type tenantSummary struct {
+	Calls    uint64 `json:"calls"`
+	Errors   uint64 `json:"errors"`
+	BytesIn  uint64 `json:"bytes_in"`
+	BytesOut uint64 `json:"bytes_out"`
+	P99NS    int64  `json:"p99_ns"`
+}
+
+// tenantsFromSnapshot extracts the per-tenant split from a (possibly
+// merged) drive snapshot.
+func tenantsFromSnapshot(snap telemetry.Snapshot) map[string]tenantSummary {
+	out := make(map[string]tenantSummary)
+	for _, p := range telemetry.TenantParts(snap) {
+		ts := telemetry.TenantSnapshot(snap, p)
+		calls, errs, bIn, bOut := telemetry.OpTotals(ts, "drive.op")
+		svc := telemetry.MergedSvc(ts, "drive.op")
+		out[capability.TenantKey(p)] = tenantSummary{
+			Calls: calls, Errors: errs, BytesIn: bIn, BytesOut: bOut,
+			P99NS: svc.Quantile(0.99),
+		}
+	}
+	return out
+}
+
+// eventSummary buckets an event tail by "subsystem.name".
+func eventSummary(events []telemetry.Event) map[string]int {
+	if len(events) == 0 {
+		return nil
+	}
+	out := make(map[string]int)
+	for _, e := range events {
+		out[e.Subsystem+"."+e.Name]++
+	}
+	return out
 }
 
 // benchConfig records the knobs that shaped the run.

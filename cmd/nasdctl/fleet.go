@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nasd/internal/client"
+	"nasd/internal/drive"
+	"nasd/internal/rpc"
+	"nasd/internal/telemetry"
+)
+
+// Fleet commands: fleet (one-shot snapshot), top (live refresh), and
+// events (merged event timeline). All of them poll every drive named
+// by -addr over the stats RPC and hand the per-drive replies to
+// internal/telemetry's fleet aggregation, which owns the merging and
+// rendering.
+
+// fleetClients returns one client per -addr entry. Index 0 reuses the
+// command's existing connection; the rest are dialed here. The returned
+// cleanup closes only the extra connections (main closes cli).
+func (c *ctl) fleetClients() ([]*client.Drive, func(), error) {
+	clis := []*client.Drive{c.cli}
+	var extra []*client.Drive
+	closeAll := func() {
+		for _, cli := range extra {
+			cli.Close()
+		}
+	}
+	for i, addr := range c.addrs[1:] {
+		addr := addr
+		conn, err := rpc.DialTCP(addr)
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("dial %s: %v", addr, err)
+		}
+		cli := client.New(conn, c.driveID, uint64(os.Getpid())<<32|uint64(i+1),
+			client.WithSecurity(c.secure),
+			client.WithRetry(client.RetryPolicy{}),
+			client.WithDialer(func() (rpc.Conn, error) { return rpc.DialTCP(addr) }))
+		extra = append(extra, cli)
+		clis = append(clis, cli)
+	}
+	return clis, closeAll, nil
+}
+
+// pollFleet takes one stats sample from every drive. A drive that
+// fails to answer is reported in its row's Err rather than failing the
+// whole poll — a fleet view that dies when one drive does would be
+// useless exactly when it matters.
+func (c *ctl) pollFleet(ctx context.Context, clis []*client.Drive, eventN int, eventMin telemetry.Severity) telemetry.FleetSnapshot {
+	drives := make([]telemetry.FleetDrive, len(clis))
+	for i, cli := range clis {
+		fd := telemetry.FleetDrive{Addr: c.addrs[i]}
+		sr, err := cli.ServerStats(ctx, drive.StatsArgs{EventN: uint32(eventN), EventMin: uint8(eventMin)})
+		if err != nil {
+			fd.Err = err.Error()
+		} else {
+			fd.DriveID = sr.DriveID
+			fd.Metrics = sr.Metrics
+			fd.Events = sr.Events
+		}
+		drives[i] = fd
+	}
+	return telemetry.BuildFleet(drives)
+}
+
+// fleet prints one aggregated snapshot of every -addr drive, as a
+// table or (with -json) as the raw FleetSnapshot for scripts and CI.
+func (c *ctl) fleet(rest []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit the raw fleet snapshot as JSON")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	clis, closeAll, err := c.fleetClients()
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+	snap := c.pollFleet(c.ctx, clis, 64, telemetry.SevInfo)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(snap)
+	}
+	telemetry.WriteFleetTable(os.Stdout, snap, nil)
+	return nil
+}
+
+// top renders the fleet table as a live display, recomputing op and
+// MB/s rates between consecutive polls. It ignores the command-level
+// -timeout (a watch command has no natural deadline); each individual
+// poll is still bounded.
+func (c *ctl) top(rest []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	interval := fs.Duration("interval", time.Second, "refresh interval")
+	samples := fs.Int("samples", 0, "stop after this many refreshes (0 = until interrupted)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	clis, closeAll, err := c.fleetClients()
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+
+	pollTimeout := 5 * time.Second
+	if *interval > pollTimeout {
+		pollTimeout = *interval
+	}
+	var prev *telemetry.FleetSnapshot
+	for n := 0; *samples <= 0 || n < *samples; n++ {
+		ctx, cancel := context.WithTimeout(context.Background(), pollTimeout)
+		snap := c.pollFleet(ctx, clis, 16, telemetry.SevWarn)
+		cancel()
+
+		// Render into a buffer and emit with one write after the ANSI
+		// home+clear, so each refresh appears atomically.
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "nasd top — %d drive(s), every %s — %s\n\n",
+			len(clis), interval, time.Now().Format("15:04:05"))
+		telemetry.WriteFleetTable(&buf, snap, prev)
+		var sets [][]telemetry.Event
+		var sources []string
+		for _, d := range snap.Drives {
+			if len(d.Events) > 0 {
+				sets = append(sets, d.Events)
+				sources = append(sources, d.Addr)
+			}
+		}
+		if merged := telemetry.MergeEvents(sets, sources); len(merged) > 0 {
+			fmt.Fprintf(&buf, "\nrecent events (warn and above):\n")
+			telemetry.WriteEvents(&buf, merged)
+		}
+		fmt.Print("\x1b[H\x1b[2J" + buf.String())
+
+		prev = &snap
+		if *samples <= 0 || n+1 < *samples {
+			time.Sleep(*interval)
+		}
+	}
+	return nil
+}
+
+// events prints the merged event timeline of every -addr drive:
+// `nasdctl events [N] [SEVERITY]` fetches up to N events per drive
+// (default 128) of at least SEVERITY (default info), stamps each with
+// the drive it came from, and interleaves them by timestamp.
+func (c *ctl) events(rest []string) error {
+	n := 128
+	minSev := telemetry.SevInfo
+	if len(rest) > 0 {
+		n = int(parseU(rest[0]))
+	}
+	if len(rest) > 1 {
+		sev, err := telemetry.ParseSeverity(rest[1])
+		if err != nil {
+			return err
+		}
+		minSev = sev
+	}
+	clis, closeAll, err := c.fleetClients()
+	if err != nil {
+		return err
+	}
+	defer closeAll()
+	sets := make([][]telemetry.Event, len(clis))
+	for i, cli := range clis {
+		sr, err := cli.ServerStats(c.ctx, drive.StatsArgs{EventN: uint32(n), EventMin: uint8(minSev)})
+		if err != nil {
+			return fmt.Errorf("events from %s: %v", c.addrs[i], err)
+		}
+		sets[i] = sr.Events
+	}
+	telemetry.WriteEvents(os.Stdout, telemetry.MergeEvents(sets, c.addrs))
+	return nil
+}

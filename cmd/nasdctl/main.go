@@ -35,6 +35,21 @@
 //	                                process's own client spans, and
 //	                                print an indented timeline with
 //	                                stragglers flagged
+//	fleet [-json]                   one aggregated snapshot of every
+//	                                -addr drive: per-drive and total
+//	                                throughput, per-tenant (partition)
+//	                                split, p99 exemplars; -json emits
+//	                                the raw snapshot for scripts
+//	top [-interval D] [-samples N]  live fleet view: the fleet table
+//	                                refreshed every interval with op/s
+//	                                and MB/s rates between polls, plus
+//	                                recent warn+ events
+//	events [N] [SEVERITY]           merge the structured event logs of
+//	                                every -addr drive (breaker trips,
+//	                                journal recovery, compactions, ...)
+//	                                into one timeline; N per drive
+//	                                (default 128), minimum SEVERITY
+//	                                info|warn|error (default info)
 package main
 
 import (
@@ -345,6 +360,7 @@ func (c *ctl) run(args []string) error {
 		}
 		fmt.Printf("drive %d per-op cost breakdown (measured; cf. paper Table 1):\n\n", sr.DriveID)
 		telemetry.WriteOpTable(os.Stdout, sr.Metrics, "drive.op")
+		telemetry.WriteExemplars(os.Stdout, sr.Metrics, "drive.op")
 		fmt.Println()
 		telemetry.WriteText(os.Stdout, sr.Metrics)
 		if len(sr.Trace) > 0 {
@@ -358,6 +374,12 @@ func (c *ctl) run(args []string) error {
 	case "trace":
 		need(1)
 		return c.trace(parseU(rest[0]))
+	case "fleet":
+		return c.fleet(rest)
+	case "top":
+		return c.top(rest)
+	case "events":
+		return c.events(rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

@@ -20,12 +20,15 @@
 // With -metrics the daemon additionally serves plain-JSON
 // observability over HTTP: GET /metrics (the full telemetry snapshot:
 // per-op counters and latency histograms, cache hit rates, media
-// counters), GET /healthz (liveness + uptime), GET /trace?n=N
-// (the last N served requests), and GET /trace?trace=ID (every span of
-// one trace). Adding -pprof exposes the standard net/http/pprof
-// profiling handlers under /debug/pprof/ on the same server. The same
-// data is available over the NASD interface itself via `nasdctl stats`
-// and `nasdctl trace`.
+// counters; add ?partition=P for one tenant's slice), GET /healthz
+// (liveness + uptime), GET /trace?n=N (the last N served requests),
+// GET /trace?trace=ID (every span of one trace), and GET
+// /events?n=N&min=SEV (the drive's structured event log: starts,
+// recoveries, compactions). Adding -pprof exposes the standard
+// net/http/pprof profiling handlers under /debug/pprof/ on the same
+// server. The same data is available over the NASD interface itself
+// via `nasdctl stats`, `nasdctl trace`, and `nasdctl events`; see
+// `nasdctl top` for a whole-fleet view.
 //
 // -trace-slow sets the slow-op threshold: a request whose root span
 // runs at least that long has its whole span tree retained past ring
@@ -161,7 +164,7 @@ func main() {
 		rpc.WithProcNames(func(p uint16) string { return drive.Op(p).String() }))
 
 	if *metricsAddr != "" {
-		mux := telemetry.NewMux(reg.Snapshot, drv.Trace(), drv.Spans())
+		mux := telemetry.NewMux(reg.Snapshot, drv.Trace(), drv.Spans(), drv.Events())
 		if *pprofOn {
 			mux.HandleFunc("/debug/pprof/", pprof.Index)
 			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -183,6 +186,7 @@ func main() {
 	go func() {
 		<-sigs
 		log.Printf("nasdd: flushing and shutting down")
+		drv.Events().Emitf(telemetry.SevInfo, "drive", "stop", "drive %d shutting down", *id)
 		if err := drv.Store().Flush(); err != nil {
 			log.Printf("nasdd: flush: %v", err)
 		}

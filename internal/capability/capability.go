@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"nasd/internal/crypt"
@@ -81,6 +82,21 @@ type Public struct {
 	Expiry    int64       // expiration, nanoseconds since epoch (0 = never)
 	Key       crypt.KeyID // which drive key mints/validates this capability
 }
+
+// TenantKey renders a partition as the canonical per-tenant metric
+// label ("part.<N>"). The capability's partition identity *is* the
+// tenant identity in this architecture — the file manager grants a
+// client access to a partition, and everything the drive attributes
+// per tenant (op counters, latency histograms, QoS budgets to come)
+// keys off it. Owning the label here keeps drive telemetry, the fleet
+// view, and the bench reports agreeing on one spelling.
+func TenantKey(part uint16) string {
+	return "part." + strconv.FormatUint(uint64(part), 10)
+}
+
+// TenantKey returns the capability's tenant label (see the package
+// function): the identity the drive splits per-tenant telemetry by.
+func (p *Public) TenantKey() string { return TenantKey(p.Partition) }
 
 // encodedSize is the fixed encoding size of Public.
 const encodedSize = 8 + 2 + 8 + 8 + 4 + 8 + 8 + 8 + 1 + 2 + 4

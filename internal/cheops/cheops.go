@@ -108,9 +108,14 @@ type Manager struct {
 	tel     *cheopsTel
 	spans   *telemetry.SpanLog
 
-	health     []*breaker // per-drive circuit breakers, indexed like drives
-	repairs    map[repairKey]PendingRepair
-	legTimeout time.Duration
+	health  []*breaker // per-drive circuit breakers, indexed like drives
+	repairs map[repairKey]PendingRepair
+	// degradedRead dedups degraded-read events per lane: the first
+	// reconstruction-served read of a lane is an incident-worthy
+	// transition, the thousands that follow are steady state the
+	// cheops.degraded_reads counter already rates.
+	degradedRead map[repairKey]bool
+	legTimeout   time.Duration
 }
 
 type stripeKey struct {
@@ -135,6 +140,10 @@ type ManagerConfig struct {
 	// which keeps cheops legs in the same log as the client spans they
 	// parent.
 	Spans *telemetry.SpanLog
+	// Events, when non-nil, receives the manager's structured events
+	// (breaker transitions, degraded operations, stale markings,
+	// repairs) instead of the process-wide telemetry.Events ring.
+	Events *telemetry.EventLog
 	// FailThreshold is how many consecutive leg failures trip a drive's
 	// circuit breaker (default 3).
 	FailThreshold int
@@ -172,24 +181,25 @@ func NewManager(ctx context.Context, cfg ManagerConfig, format bool) (*Manager, 
 		cfg.BreakerCooldown = time.Second
 	}
 	m := &Manager{
-		drives:     cfg.Drives,
-		part:       cfg.Partition,
-		expiry:     cfg.CapExpiry,
-		clock:      cfg.Clock,
-		objects:    make(map[uint64]*Descriptor),
-		next:       1,
-		locks:      make(map[stripeKey]bool),
-		tel:        newCheopsTel(cfg.Metrics),
-		spans:      cfg.Spans,
-		repairs:    make(map[repairKey]PendingRepair),
-		legTimeout: cfg.LegTimeout,
+		drives:       cfg.Drives,
+		part:         cfg.Partition,
+		expiry:       cfg.CapExpiry,
+		clock:        cfg.Clock,
+		objects:      make(map[uint64]*Descriptor),
+		next:         1,
+		locks:        make(map[stripeKey]bool),
+		tel:          newCheopsTel(cfg.Metrics, cfg.Events),
+		spans:        cfg.Spans,
+		repairs:      make(map[repairKey]PendingRepair),
+		degradedRead: make(map[repairKey]bool),
+		legTimeout:   cfg.LegTimeout,
 	}
 	if m.spans == nil {
 		m.spans = telemetry.ProcessSpans
 	}
 	m.lockC = sync.NewCond(&m.mu)
 	for i := range cfg.Drives {
-		m.health = append(m.health, newBreaker(cfg.FailThreshold, cfg.BreakerCooldown, m.clock, m.tel))
+		m.health = append(m.health, newBreaker(i, cfg.FailThreshold, cfg.BreakerCooldown, m.clock, m.tel))
 		i := i
 		m.tel.reg.Func(fmt.Sprintf("cheops.drive.%d.breaker", i), func() int64 {
 			return int64(m.health[i].State())
@@ -559,6 +569,8 @@ func (m *Manager) ReplaceComponent(ctx context.Context, logical uint64, failedId
 	}
 	// The lane is fully redundant again: reads may go direct.
 	m.clearRepair(logical, failedIdx)
+	m.tel.events.Emitf(telemetry.SevInfo, "cheops", "repair",
+		"logical=%d comp=%d rebuilt on drive %d", logical, failedIdx, newDrive)
 	return nil
 }
 

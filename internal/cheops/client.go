@@ -256,6 +256,10 @@ func (o *Object) readComponent(ctx context.Context, comp int, off uint64, n int,
 	if o.desc.Pattern == Mirror1 || o.desc.Pattern == RAID5 {
 		o.mgr.tel.degradedReads.Inc()
 		o.mgr.tel.failovers.Inc()
+		if o.mgr.noteDegradedRead(o.desc.Logical, comp) {
+			o.mgr.tel.events.Emitf(telemetry.SevWarn, "cheops", "degraded_read",
+				"logical=%d comp=%d now served by reconstruction: %v", o.desc.Logical, comp, err)
+		}
 		var dsp *telemetry.Span
 		ctx, dsp = o.mgr.spans.StartSpan(ctx, "cheops.degraded_read")
 		dsp.Annotate("failed_comp", strconv.Itoa(comp))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nasd/internal/client"
+	"nasd/internal/telemetry"
 )
 
 // This file is the manager's drive-health plane: a consecutive-failure
@@ -57,6 +58,7 @@ var (
 // breaker is one drive's consecutive-failure circuit breaker.
 type breaker struct {
 	mu        sync.Mutex
+	drive     int // manager drive index, labels this breaker's events
 	clock     func() time.Time
 	threshold int
 	cooldown  time.Duration
@@ -66,8 +68,8 @@ type breaker struct {
 	tel       *cheopsTel
 }
 
-func newBreaker(threshold int, cooldown time.Duration, clock func() time.Time, tel *cheopsTel) *breaker {
-	return &breaker{clock: clock, threshold: threshold, cooldown: cooldown, tel: tel}
+func newBreaker(drive, threshold int, cooldown time.Duration, clock func() time.Time, tel *cheopsTel) *breaker {
+	return &breaker{drive: drive, clock: clock, threshold: threshold, cooldown: cooldown, tel: tel}
 }
 
 // Allow reports whether a leg may be sent to the drive. In the open
@@ -81,6 +83,8 @@ func (b *breaker) Allow() bool {
 		if b.clock().Sub(b.openedAt) >= b.cooldown {
 			b.state = BreakerHalfOpen
 			b.tel.breakerProbes.Inc()
+			b.tel.events.Emitf(telemetry.SevInfo, "cheops", "breaker_probe",
+				"drive %d: cooldown elapsed, admitting half-open probe", b.drive)
 			return true
 		}
 		return false
@@ -93,9 +97,14 @@ func (b *breaker) Allow() bool {
 // Success records a completed leg; any success fully closes the breaker.
 func (b *breaker) Success() {
 	b.mu.Lock()
+	reopened := b.state != BreakerClosed
 	b.fails = 0
 	b.state = BreakerClosed
 	b.mu.Unlock()
+	if reopened {
+		b.tel.events.Emitf(telemetry.SevInfo, "cheops", "breaker_close",
+			"drive %d: probe succeeded, traffic restored", b.drive)
+	}
 }
 
 // Failure records a failed leg, tripping the breaker after threshold
@@ -108,6 +117,8 @@ func (b *breaker) Failure() {
 		b.state = BreakerOpen
 		b.openedAt = b.clock()
 		b.tel.breakerOpens.Inc()
+		b.tel.events.Emitf(telemetry.SevError, "cheops", "breaker_open",
+			"drive %d: opened after %d consecutive leg failures", b.drive, b.fails)
 	}
 }
 
@@ -172,31 +183,48 @@ func (m *Manager) reportDrive(i int, err error) {
 	m.health[i].Failure()
 }
 
-// noteRepair logs that component comp of logical is stale. The drive
-// index is resolved against the manager's current descriptor so stale
-// handles log the lane that actually needs rebuilding.
-func (m *Manager) noteRepair(logical uint64, comp int, cause error) {
+// noteRepair logs that component comp of logical is stale, reporting
+// whether this call created the ledger entry. The drive index is
+// resolved against the manager's current descriptor so stale handles
+// log the lane that actually needs rebuilding.
+func (m *Manager) noteRepair(logical uint64, comp int, cause error) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	d, ok := m.objects[logical]
 	if !ok || comp < 0 || comp >= len(d.Components) {
-		return
+		return false
 	}
 	k := repairKey{logical, comp}
 	if _, dup := m.repairs[k]; dup {
-		return
+		return false
 	}
 	m.repairs[k] = PendingRepair{
 		Logical: logical, Component: comp,
 		Drive: d.Components[comp].Drive, Cause: cause.Error(),
 	}
+	return true
 }
 
-// clearRepair drops the ledger entry after a successful rebuild.
+// clearRepair drops the ledger entry after a successful rebuild (and
+// re-arms the lane's degraded-read event).
 func (m *Manager) clearRepair(logical uint64, comp int) {
 	m.mu.Lock()
 	delete(m.repairs, repairKey{logical, comp})
+	delete(m.degradedRead, repairKey{logical, comp})
 	m.mu.Unlock()
+}
+
+// noteDegradedRead reports whether this is the lane's first
+// reconstruction-served read since it was last healthy.
+func (m *Manager) noteDegradedRead(logical uint64, comp int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := repairKey{logical, comp}
+	if m.degradedRead[k] {
+		return false
+	}
+	m.degradedRead[k] = true
+	return true
 }
 
 // componentSuspect reports whether comp of logical awaits repair.
@@ -268,6 +296,10 @@ func (m *Manager) MarkDriveStale(drive int, cause string) int {
 			marked++
 		}
 	}
+	if marked > 0 {
+		m.tel.events.Emitf(telemetry.SevWarn, "cheops", "drive_stale",
+			"drive %d: %d lanes marked stale (%s)", drive, marked, cause)
+	}
 	return marked
 }
 
@@ -277,7 +309,12 @@ func (m *Manager) MarkDriveStale(drive int, cause string) int {
 func (m *Manager) noteDegradedWrite(logical uint64, comp int, cause error) {
 	m.tel.degradedWrites.Inc()
 	m.tel.failovers.Inc()
-	m.noteRepair(logical, comp, cause)
+	// One event per lane transition, not per write: the counter carries
+	// the op rate; the event marks the moment the lane went stale.
+	if m.noteRepair(logical, comp, cause) {
+		m.tel.events.Emitf(telemetry.SevWarn, "cheops", "degraded_write",
+			"logical=%d comp=%d now written degraded: %v", logical, comp, cause)
+	}
 }
 
 // legCtx scopes one fan-out leg to the manager's per-leg timeout, so a

@@ -11,7 +11,7 @@ type fakeClock struct{ now time.Time }
 func (c *fakeClock) Now() time.Time          { return c.now }
 func (c *fakeClock) Advance(d time.Duration) { c.now = c.now.Add(d) }
 func newTestBreaker(threshold int, cooldown time.Duration, clk *fakeClock) *breaker {
-	return newBreaker(threshold, cooldown, clk.Now, newCheopsTel(nil))
+	return newBreaker(0, threshold, cooldown, clk.Now, newCheopsTel(nil, nil))
 }
 
 func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {

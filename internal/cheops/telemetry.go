@@ -8,6 +8,7 @@ import "nasd/internal/telemetry"
 // read-modify-write, component reconstruction — actually runs.
 type cheopsTel struct {
 	reg             *telemetry.Registry
+	events          *telemetry.EventLog  // structured events (breaker transitions, degraded ops, repairs)
 	degradedReads   *telemetry.Counter   // reads served by reconstruction around a failed component
 	degradedWrites  *telemetry.Counter   // redundant writes that skipped a failed component (repair logged)
 	failovers       *telemetry.Counter   // legs that fell over to a degraded path mid-operation
@@ -20,12 +21,16 @@ type cheopsTel struct {
 	writeFanout     *telemetry.Histogram // spans per striped/mirrored WriteAt
 }
 
-func newCheopsTel(reg *telemetry.Registry) *cheopsTel {
+func newCheopsTel(reg *telemetry.Registry, events *telemetry.EventLog) *cheopsTel {
 	if reg == nil {
 		reg = telemetry.NewRegistry()
 	}
+	if events == nil {
+		events = telemetry.Events
+	}
 	return &cheopsTel{
 		reg:             reg,
+		events:          events,
 		degradedReads:   reg.Counter("cheops.degraded_reads"),
 		degradedWrites:  reg.Counter("cheops.degraded_writes"),
 		failovers:       reg.Counter("cheops.failovers"),

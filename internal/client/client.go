@@ -235,8 +235,16 @@ func (d *Drive) Stats() Stats {
 // media counters, and — when traceN > 0 — the tail of the drive's
 // request trace log.
 func (d *Drive) ServerMetrics(ctx context.Context, traceN int) (drive.StatsReply, error) {
-	args := (&drive.StatsArgs{TraceN: uint32(traceN)}).Encode()
-	rep, err := d.call(ctx, drive.OpGetStats, nil, args, nil)
+	return d.ServerStats(ctx, drive.StatsArgs{TraceN: uint32(traceN)})
+}
+
+// ServerStats is the general form of the stats RPC: the caller picks
+// exactly which optional sections (trace tail, span lookup, event-log
+// tail) the drive should attach to its metrics snapshot. nasdctl's
+// fleet commands use it to pull metrics and events in one round trip
+// per drive.
+func (d *Drive) ServerStats(ctx context.Context, args drive.StatsArgs) (drive.StatsReply, error) {
+	rep, err := d.call(ctx, drive.OpGetStats, nil, args.Encode(), nil)
 	if err != nil {
 		return drive.StatsReply{}, err
 	}
@@ -348,16 +356,10 @@ func (d *Drive) attempt(ctx context.Context, op drive.Op, sign func(*rpc.Request
 // the stats RPC. nasdctl merges these from several drives (plus the
 // local process's own spans) into one timeline.
 func (d *Drive) ServerSpans(ctx context.Context, traceID uint64) ([]telemetry.SpanRecord, error) {
-	args := (&drive.StatsArgs{SpanTrace: traceID}).Encode()
-	rep, err := d.call(ctx, drive.OpGetStats, nil, args, nil)
+	sr, err := d.ServerStats(ctx, drive.StatsArgs{SpanTrace: traceID})
 	if err != nil {
 		return nil, err
 	}
-	var sr drive.StatsReply
-	if err := json.Unmarshal(rep.Data, &sr); err != nil {
-		return nil, fmt.Errorf("client: decoding stats reply: %v", err)
-	}
-	rep.Release()
 	return sr.Spans, nil
 }
 

@@ -52,6 +52,12 @@ type Config struct {
 	// gets a private log. Pass the same log to the device's WithSpanLog
 	// so per-I/O media spans land in the same place.
 	Spans *telemetry.SpanLog
+	// Events is the structured event ring the drive and its store emit
+	// state transitions into (start/stop, journal recovery, needle
+	// compactions); nil uses the process-wide telemetry.Events ring.
+	// Multi-drive processes that want per-drive /events separation pass
+	// each drive its own ring.
+	Events *telemetry.EventLog
 }
 
 // Drive is a NASD drive: object store + keys + request handler.
@@ -73,14 +79,21 @@ type Drive struct {
 
 // resolveMetrics gives the drive and its object store one shared
 // registry (so lock-contention meters from the object/cache/layout
-// layers land next to the drive's op metrics), defaulting to a private
-// one.
+// layers land next to the drive's op metrics) defaulting to a private
+// one, and one shared event ring defaulting to the process-wide
+// telemetry.Events.
 func resolveMetrics(cfg *Config) {
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.NewRegistry()
 	}
 	if cfg.Store.Metrics == nil {
 		cfg.Store.Metrics = cfg.Metrics
+	}
+	if cfg.Events == nil {
+		cfg.Events = telemetry.Events
+	}
+	if cfg.Store.Events == nil {
+		cfg.Store.Events = cfg.Events
 	}
 }
 
@@ -124,6 +137,10 @@ func fromStore(st *object.Store, cfg Config) *Drive {
 	if spans == nil {
 		spans = telemetry.NewSpanLog(telemetry.DefaultSpanLogSize)
 	}
+	events := cfg.Events
+	if events == nil {
+		events = telemetry.Events
+	}
 	keys := crypt.NewHierarchy(cfg.Master)
 	d := &Drive{
 		id:       cfg.ID,
@@ -134,9 +151,10 @@ func fromStore(st *object.Store, cfg Config) *Drive {
 		secure:   cfg.Secure,
 		clock:    clock,
 		acct:     NewAccounting(),
-		tel:      newDriveTel(reg, cfg.Media, spans),
+		tel:      newDriveTel(reg, cfg.Media, spans, events),
 		kernels:  make(map[string]Kernel),
 	}
+	events.Emitf(telemetry.SevInfo, "drive", "start", "drive %d attached (%d partitions)", cfg.ID, len(st.Partitions()))
 	// Hot-path caches publish alongside the drive's op metrics: the
 	// capability digest cache and the shared byte-buffer pool.
 	d.verifier.Cache().Publish(reg)
@@ -194,6 +212,11 @@ func (d *Drive) authorize(req *rpc.Request, ph *phases, part uint16, obj uint64,
 	if err != nil {
 		return rpc.Errorf(req.MsgID, rpc.StatusAuthFailure, "capability: %v", err)
 	}
+	// The capability's partition identity is the request's tenant for
+	// telemetry attribution (capability.TenantKey), recorded even when
+	// validation below rejects the request — a tenant's auth failures
+	// are part of its story.
+	ph.setTenant(pub.Partition)
 	chk := capability.Check{
 		DriveID: d.id, Part: part, Object: obj, ObjVer: curVer,
 		Op: op, Offset: off, Length: length, Now: d.clock(),
@@ -273,6 +296,14 @@ func (d *Drive) Handle(req *rpc.Request) *rpc.Reply {
 	lockBefore := d.tel.lockWaitNanos()
 	rep := d.dispatch(op, req, ph)
 	total := time.Since(start)
+	if !ph.hasTenant {
+		// No capability decoded (insecure mode, admin ops, early decode
+		// failures): fall back to the partition leading the argument
+		// record, which post-validation always matches the capability's.
+		if part, ok := reqPartition(op, req.Args); ok {
+			ph.setTenant(part)
+		}
+	}
 	d.tel.record(op, req, rep, total, ph, d.tel.mediaNanos()-mediaBefore, sp, d.tel.lockWaitNanos()-lockBefore)
 	nIn, nOut := len(req.Data), 0
 	if rep != nil {

@@ -79,6 +79,25 @@ func (o Op) String() string {
 // codec. Bulk data travels in the request/reply Data field, never in
 // Args.
 
+// reqPartition extracts the partition a request addresses without a
+// full decode: every partition-addressed op leads its argument record
+// with the partition (a deliberate wire-layout invariant this function
+// depends on). It feeds per-tenant telemetry attribution for requests
+// that never reach authorize (insecure mode, early decode failures).
+// Ops with no partition in their arguments (setkey, flush, stats)
+// report false.
+func reqPartition(op Op, args []byte) (uint16, bool) {
+	switch op {
+	case OpReadObject, OpWriteObject, OpGetAttr, OpSetAttr, OpCreateObject,
+		OpRemoveObject, OpVersionObject, OpListObjects, OpBumpVersion, OpExecute,
+		OpCreatePartition, OpResizePartition, OpRemovePartition, OpGetPartition:
+		if len(args) >= 2 {
+			return uint16(args[0]) | uint16(args[1])<<8, true
+		}
+	}
+	return 0, false
+}
+
 // ReadArgs requests object data.
 type ReadArgs struct {
 	Partition uint16
@@ -329,11 +348,14 @@ func DecodeExecuteArgs(b []byte) (ExecuteArgs, error) {
 // StatsArgs requests a telemetry snapshot. TraceN bounds how many
 // recent trace events ride along (0 = none). SpanTrace, when non-zero,
 // asks for every span of that trace ID; otherwise SpanN bounds how many
-// recent spans ride along.
+// recent spans ride along. EventN bounds how many structured events of
+// at least EventMin severity ride along (0 = none).
 type StatsArgs struct {
 	TraceN    uint32
 	SpanTrace uint64
 	SpanN     uint32
+	EventN    uint32
+	EventMin  uint8 // telemetry.Severity
 }
 
 // Encode serializes the arguments.
@@ -342,13 +364,23 @@ func (a *StatsArgs) Encode() []byte {
 	e.U32(a.TraceN)
 	e.U64(a.SpanTrace)
 	e.U32(a.SpanN)
+	e.U32(a.EventN)
+	e.U8(a.EventMin)
 	return e.Bytes()
 }
 
-// DecodeStatsArgs parses StatsArgs.
+// DecodeStatsArgs parses StatsArgs. The event fields are optional on
+// the wire so a pre-events client's shorter record still decodes.
 func DecodeStatsArgs(b []byte) (StatsArgs, error) {
 	d := rpc.NewDecoder(b)
 	a := StatsArgs{TraceN: d.U32(), SpanTrace: d.U64(), SpanN: d.U32()}
+	if err := d.Err(); err != nil {
+		return a, err
+	}
+	if len(b) > 16 {
+		a.EventN = d.U32()
+		a.EventMin = d.U8()
+	}
 	return a, d.Err()
 }
 

@@ -3,8 +3,10 @@ package drive
 import (
 	"encoding/json"
 	"strconv"
+	"sync"
 	"time"
 
+	"nasd/internal/capability"
 	"nasd/internal/rpc"
 	"nasd/internal/telemetry"
 )
@@ -67,6 +69,19 @@ var lockWaitFamilies = []string{
 	"layout.lock.wait_ns",
 }
 
+// tenantTel is one (partition, op) cell of the per-tenant attribution
+// table: the subset of the per-op family worth splitting by tenant.
+// The phase counters (digest/object/media ns) stay aggregate-only to
+// bound cardinality — the tenant split answers "who is driving load
+// and what latency do they see", not the Table 1 decomposition.
+type tenantTel struct {
+	calls    *telemetry.Counter
+	errors   *telemetry.Counter
+	bytesIn  *telemetry.Counter
+	bytesOut *telemetry.Counter
+	svc      *telemetry.Histogram
+}
+
 // driveTel is the drive's telemetry state.
 type driveTel struct {
 	reg      *telemetry.Registry
@@ -74,12 +89,22 @@ type driveTel struct {
 	trace    *telemetry.TraceLog
 	media    MediaClock
 	spans    *telemetry.SpanLog
+	events   *telemetry.EventLog
 	lockWait []*telemetry.Histogram
+
+	// tenants lazily maps part<<16|op to its per-tenant metric cell.
+	// Requests for a handful of partitions dominate, so the read path
+	// is an RLock + map hit.
+	tenantMu sync.RWMutex
+	tenants  map[uint32]*tenantTel
 }
 
 // newDriveTel builds the per-op metric table inside reg.
-func newDriveTel(reg *telemetry.Registry, media MediaClock, spans *telemetry.SpanLog) *driveTel {
-	t := &driveTel{reg: reg, trace: telemetry.NewTraceLog(512), media: media, spans: spans}
+func newDriveTel(reg *telemetry.Registry, media MediaClock, spans *telemetry.SpanLog, events *telemetry.EventLog) *driveTel {
+	t := &driveTel{
+		reg: reg, trace: telemetry.NewTraceLog(512), media: media,
+		spans: spans, events: events, tenants: make(map[uint32]*tenantTel),
+	}
 	for _, name := range lockWaitFamilies {
 		t.lockWait = append(t.lockWait, reg.Histogram(name))
 	}
@@ -103,6 +128,36 @@ func newDriveTel(reg *telemetry.Registry, media MediaClock, spans *telemetry.Spa
 	return t
 }
 
+// tenant returns the per-tenant metric cell for (part, op), creating
+// it — and its "drive.part.<P>.op.<name>.*" registry entries — on the
+// tenant's first request. The label comes from capability.TenantKey:
+// the partition identity in the request's capability is the tenant
+// identity.
+func (t *driveTel) tenant(part uint16, op Op) *tenantTel {
+	key := uint32(part)<<16 | uint32(op)
+	t.tenantMu.RLock()
+	cell := t.tenants[key]
+	t.tenantMu.RUnlock()
+	if cell != nil {
+		return cell
+	}
+	t.tenantMu.Lock()
+	defer t.tenantMu.Unlock()
+	if cell = t.tenants[key]; cell != nil {
+		return cell
+	}
+	prefix := "drive." + capability.TenantKey(part) + ".op." + op.String()
+	cell = &tenantTel{
+		calls:    t.reg.Counter(prefix + ".calls"),
+		errors:   t.reg.Counter(prefix + ".errors"),
+		bytesIn:  t.reg.Counter(prefix + ".bytes_in"),
+		bytesOut: t.reg.Counter(prefix + ".bytes_out"),
+		svc:      t.reg.Histogram(prefix + ".svc_ns"),
+	}
+	t.tenants[key] = cell
+	return cell
+}
+
 // mediaNanos reads the media clock (0 when the drive has none).
 func (t *driveTel) mediaNanos() int64 {
 	if t.media == nil {
@@ -123,12 +178,26 @@ func (t *driveTel) lockWaitNanos() int64 {
 	return sum
 }
 
-// phases accumulates one request's per-component time. It is created
-// by Handle and threaded through dispatch into the handlers, which is
-// how authorize attributes digest-verification time to the request that
-// paid it.
+// phases accumulates one request's per-component time and its tenant
+// attribution. It is created by Handle and threaded through dispatch
+// into the handlers, which is how authorize attributes
+// digest-verification time — and the capability's partition identity —
+// to the request that paid it.
 type phases struct {
 	digest time.Duration
+	// tenant is the partition identity decoded from the request's
+	// capability (authorize sets it); insecure-mode requests fall back
+	// to the partition in the argument record. hasTenant gates it.
+	tenant    uint16
+	hasTenant bool
+}
+
+// setTenant records the request's tenant identity (first writer wins:
+// the capability's word outranks the argument record's).
+func (ph *phases) setTenant(part uint16) {
+	if !ph.hasTenant {
+		ph.tenant, ph.hasTenant = part, true
+	}
 }
 
 // record publishes one completed request into the per-op metrics, the
@@ -153,7 +222,19 @@ func (t *driveTel) record(op Op, req *rpc.Request, rep *rpc.Reply, total time.Du
 	}
 	m.bytesIn.Add(uint64(nIn))
 	m.bytesOut.Add(uint64(nOut))
-	m.svc.ObserveDuration(total)
+	// Traced requests leave their (trace ID, duration) as the bucket's
+	// exemplar, the link from a tail percentile to its span timeline.
+	m.svc.ObserveTrace(int64(total), req.Trace.TraceID)
+	if ph.hasTenant {
+		tt := t.tenant(ph.tenant, op)
+		tt.calls.Inc()
+		if status != rpc.StatusOK {
+			tt.errors.Inc()
+		}
+		tt.bytesIn.Add(uint64(nIn))
+		tt.bytesOut.Add(uint64(nOut))
+		tt.svc.ObserveTrace(int64(total), req.Trace.TraceID)
+	}
 	m.digest.Add(uint64(ph.digest))
 	if mediaDelta < 0 {
 		mediaDelta = 0
@@ -222,14 +303,19 @@ func (d *Drive) Trace() *telemetry.TraceLog { return d.tel.trace }
 // timelines; DESIGN.md §5 "Tracing").
 func (d *Drive) Spans() *telemetry.SpanLog { return d.tel.spans }
 
+// Events returns the structured event ring the drive and its store
+// record into (DESIGN.md §5 "Events").
+func (d *Drive) Events() *telemetry.EventLog { return d.tel.events }
+
 // StatsReply is the payload of the OpStats request: the drive's full
-// metric snapshot plus, on request, the tail of its trace log and spans
-// from its span log.
+// metric snapshot plus, on request, the tail of its trace log, spans
+// from its span log, and the tail of its structured event ring.
 type StatsReply struct {
 	DriveID uint64                 `json:"drive_id"`
 	Metrics telemetry.Snapshot     `json:"metrics"`
 	Trace   []telemetry.TraceEvent `json:"trace,omitempty"`
 	Spans   []telemetry.SpanRecord `json:"spans,omitempty"`
+	Events  []telemetry.Event      `json:"events,omitempty"`
 }
 
 // handleStats serves the drive's telemetry snapshot. Like OpFlush it
@@ -249,6 +335,9 @@ func (d *Drive) handleStats(req *rpc.Request) *rpc.Reply {
 		sr.Spans = d.tel.spans.ByTrace(a.SpanTrace)
 	} else if a.SpanN > 0 {
 		sr.Spans = d.tel.spans.Recent(int(a.SpanN))
+	}
+	if a.EventN > 0 {
+		sr.Events = d.tel.events.Recent(int(a.EventN), telemetry.Severity(a.EventMin))
 	}
 	body, err := json.Marshal(&sr)
 	if err != nil {

@@ -63,6 +63,18 @@ type Config struct {
 	// that triggers background compaction. Zero means the 0.5 default;
 	// negative disables compaction entirely (tests).
 	CompactThreshold float64
+
+	// SyncCompact runs compaction inline in the mutating call that
+	// crossed the threshold instead of spawning a goroutine. The crash
+	// harness depends on it: an async compactor writes to the device at
+	// timing-dependent points, so a scheduled persist-step sweep only
+	// becomes deterministic when compaction happens at deterministic
+	// call sites.
+	SyncCompact bool
+
+	// Events, when non-nil, receives a structured event per segment
+	// compaction (how many blocks a partition's log returned).
+	Events *telemetry.EventLog
 }
 
 // Stats summarizes a recovered log.
@@ -739,6 +751,10 @@ func (e *Engine) maybeCompact(l *Log) {
 	if !l.compacting.CompareAndSwap(false, true) {
 		return
 	}
+	if e.cfg.SyncCompact {
+		e.compactLoop(l)
+		return
+	}
 	go e.compactLoop(l)
 }
 
@@ -764,14 +780,19 @@ func (e *Engine) compactLoop(l *Log) {
 			l.mu.Unlock()
 			return
 		}
+		seq, freed := s.seq, len(s.blocks)
 		err := l.compactSegmentLocked(s)
 		l.mu.Unlock()
 		if err != nil {
+			e.cfg.Events.Emitf(telemetry.SevWarn, "needle", "compaction_error",
+				"part=%d seg=%d: %v", l.part, seq, err)
 			return
 		}
 		if e.compactions != nil {
 			e.compactions.Inc()
 		}
+		e.cfg.Events.Emitf(telemetry.SevInfo, "needle", "compaction",
+			"part=%d seg=%d freed_blocks=%d", l.part, seq, freed)
 	}
 }
 

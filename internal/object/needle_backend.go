@@ -24,11 +24,13 @@ type needleBackend struct {
 func newNeedleBackend(s *Store, dev blockdev.Device) *needleBackend {
 	b := &needleBackend{s: s}
 	b.eng = needle.New(needle.Config{
-		Dev:     dev,
-		Space:   needleSpace{s},
-		Meta:    needleMeta{s},
-		Quota:   needleQuota{s},
-		Metrics: s.cfg.Metrics,
+		Dev:         dev,
+		Space:       needleSpace{s},
+		Meta:        needleMeta{s},
+		Quota:       needleQuota{s},
+		Metrics:     s.cfg.Metrics,
+		Events:      s.cfg.Events,
+		SyncCompact: s.cfg.SyncCompact,
 	})
 	return b
 }

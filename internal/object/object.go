@@ -188,6 +188,16 @@ type Config struct {
 	// layout default: 1/32 of the volume, clamped; negative disables
 	// journaling — benchmark baselines only, crash consistency is lost).
 	JournalBlocks int64
+	// Events is the structured event ring the store emits state
+	// transitions into (journal recovery, needle compactions). Nil uses
+	// the process-wide telemetry.Events ring.
+	Events *telemetry.EventLog
+	// SyncCompact runs needle-log compaction inline in the mutating
+	// call that crossed the dead-byte threshold instead of on a
+	// background goroutine. The crash harness needs it: with compaction
+	// asynchronous, device writes land at timing-dependent points in
+	// the persist-step schedule, making the sweep nondeterministic.
+	SyncCompact bool
 }
 
 func (c *Config) fill() {
@@ -204,6 +214,9 @@ func (c *Config) fill() {
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
+	}
+	if c.Events == nil {
+		c.Events = telemetry.Events
 	}
 }
 

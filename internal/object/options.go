@@ -70,6 +70,22 @@ func WithJournalBlocks(n int64) Option {
 	return func(c *Config) { c.JournalBlocks = n }
 }
 
+// WithEvents routes the store's structured events (journal recovery,
+// needle compactions) into log instead of the process-wide
+// telemetry.Events ring.
+func WithEvents(log *telemetry.EventLog) Option {
+	return func(c *Config) { c.Events = log }
+}
+
+// WithSyncCompaction makes needle-log compaction run inline in the
+// mutating call that triggered it rather than on a background
+// goroutine. Deterministic tests (the crash sweep) require it; servers
+// should not use it — an unlucky write would pay a whole segment
+// compaction in its latency.
+func WithSyncCompaction(on bool) Option {
+	return func(c *Config) { c.SyncCompact = on }
+}
+
 func buildConfig(opts []Option) Config {
 	var cfg Config
 	for _, o := range opts {

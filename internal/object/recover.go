@@ -6,6 +6,7 @@ import (
 
 	"nasd/internal/journal"
 	"nasd/internal/needle"
+	"nasd/internal/telemetry"
 )
 
 // Mount-time recovery (journaled volumes only).
@@ -305,5 +306,15 @@ func (s *Store) finishRecovery(start time.Time) error {
 	if s.cfg.Metrics != nil {
 		s.cfg.Metrics.Gauge("recovery_ms").Set(s.recovery.Duration.Milliseconds())
 	}
+	// Ref repairs mean durable metadata and the allocator disagreed —
+	// expected after a crash, but worth a warning severity so operators
+	// scanning the event log see which mounts did real repair work.
+	sev := telemetry.SevInfo
+	if s.recovery.RefRepairs > 0 {
+		sev = telemetry.SevWarn
+	}
+	s.cfg.Events.Emitf(sev, "journal", "recovery",
+		"replayed=%d torn_tails=%d ref_repairs=%d duration=%s",
+		s.recovery.Replayed, s.recovery.TornTails, s.recovery.RefRepairs, s.recovery.Duration)
 	return nil
 }

@@ -248,7 +248,10 @@ func (s *Server) serveConn(conn Conn) {
 				start := time.Now()
 				reply := s.handler.Handle(req)
 				s.statInFlight.Add(-1)
-				pm.svc.ObserveSince(start)
+				// Traced requests leave an exemplar in their service-time
+				// bucket, so rpc.server.op.*.svc_ns tails link back to a
+				// resolvable trace just like the drive-level histograms.
+				pm.svc.ObserveTrace(int64(time.Since(start)), req.Trace.TraceID)
 				if reply == nil {
 					reply = Errorf(req.MsgID, StatusError, "handler returned no reply")
 				}

@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestEventLogRingBounds fills a small ring past capacity and checks
+// that only the newest events survive, in order, with monotonic
+// sequence numbers.
+func TestEventLogRingBounds(t *testing.T) {
+	l := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		l.Emitf(SevInfo, "test", "tick", "event %d", i)
+	}
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	got := l.Recent(0, SevInfo)
+	if len(got) != 4 {
+		t.Fatalf("Recent returned %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		want := fmt.Sprintf("event %d", 6+i)
+		if e.Detail != want {
+			t.Fatalf("event %d detail = %q, want %q", i, e.Detail, want)
+		}
+		if i > 0 && e.Seq != got[i-1].Seq+1 {
+			t.Fatalf("sequence gap: %d then %d", got[i-1].Seq, e.Seq)
+		}
+	}
+	// A smaller n takes the tail.
+	tail := l.Recent(2, SevInfo)
+	if len(tail) != 2 || tail[1].Detail != "event 9" {
+		t.Fatalf("Recent(2) = %+v", tail)
+	}
+}
+
+// TestEventLogSeverityFilter checks the minimum-severity semantics:
+// the filter applies before the count cap, so asking for the last 2
+// errors skips interleaved info noise.
+func TestEventLogSeverityFilter(t *testing.T) {
+	l := NewEventLog(64)
+	for i := 0; i < 5; i++ {
+		l.Emitf(SevInfo, "test", "noise", "info %d", i)
+		l.Emitf(SevError, "test", "boom", "error %d", i)
+	}
+	l.Emit(SevWarn, "test", "wobble", "one warning")
+
+	if n := len(l.Recent(0, SevInfo)); n != 11 {
+		t.Fatalf("info+ events = %d, want 11", n)
+	}
+	if n := len(l.Recent(0, SevWarn)); n != 6 {
+		t.Fatalf("warn+ events = %d, want 6", n)
+	}
+	errs := l.Recent(2, SevError)
+	if len(errs) != 2 {
+		t.Fatalf("Recent(2, SevError) returned %d events", len(errs))
+	}
+	if errs[0].Detail != "error 3" || errs[1].Detail != "error 4" {
+		t.Fatalf("last two errors = %q, %q", errs[0].Detail, errs[1].Detail)
+	}
+}
+
+// TestEventLogNilSafe checks that a nil ring swallows emissions and
+// reads — call sites must not need nil checks.
+func TestEventLogNilSafe(t *testing.T) {
+	var l *EventLog
+	l.Emit(SevError, "test", "x", "into the void")
+	l.Emitf(SevError, "test", "x", "also %s", "fine")
+	if got := l.Recent(10, SevInfo); got != nil {
+		t.Fatalf("nil log Recent = %v", got)
+	}
+	if l.Len() != 0 {
+		t.Fatalf("nil log Len = %d", l.Len())
+	}
+}
+
+// TestMergeEventsOrdering interleaves two drives' tails and checks the
+// merge sorts by timestamp and stamps sources.
+func TestMergeEventsOrdering(t *testing.T) {
+	a := []Event{
+		{Seq: 1, UnixNano: 100, Subsystem: "drive", Name: "start"},
+		{Seq: 2, UnixNano: 300, Subsystem: "needle", Name: "compaction"},
+	}
+	b := []Event{
+		{Seq: 1, UnixNano: 200, Subsystem: "journal", Name: "recovery"},
+		{Seq: 2, UnixNano: 300, Subsystem: "drive", Name: "start"},
+	}
+	out := MergeEvents([][]Event{a, b}, []string{"d1:7070", "d2:7070"})
+	if len(out) != 4 {
+		t.Fatalf("merged %d events, want 4", len(out))
+	}
+	wantOrder := []int64{100, 200, 300, 300}
+	for i, e := range out {
+		if e.UnixNano != wantOrder[i] {
+			t.Fatalf("position %d has ts %d, want %d", i, e.UnixNano, wantOrder[i])
+		}
+		if e.Source == "" {
+			t.Fatalf("position %d missing source: %+v", i, e)
+		}
+	}
+	// Timestamp tie broken by source name: d1 before d2.
+	if out[2].Source != "d1:7070" || out[3].Source != "d2:7070" {
+		t.Fatalf("tie-break order wrong: %q then %q", out[2].Source, out[3].Source)
+	}
+}
+
+// TestSeverityJSONRoundTrip checks severities serialize as names and
+// deserialize from either form.
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	b, err := json.Marshal(SevWarn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"warn"` {
+		t.Fatalf("marshaled severity = %s", b)
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"error"`), &s); err != nil || s != SevError {
+		t.Fatalf("unmarshal name: %v, %v", s, err)
+	}
+	if err := json.Unmarshal([]byte(`1`), &s); err != nil || s != SevWarn {
+		t.Fatalf("unmarshal number: %v, %v", s, err)
+	}
+	if err := json.Unmarshal([]byte(`"catastrophic"`), &s); err == nil {
+		t.Fatal("unknown severity name did not error")
+	}
+}
+
+// TestEventsHandler drives the /events HTTP endpoint: count and
+// severity filters, JSON round-trip, and rejection of bad input.
+func TestEventsHandler(t *testing.T) {
+	l := NewEventLog(16)
+	l.Emit(SevInfo, "drive", "start", "drive 1 attached")
+	l.Emit(SevError, "cheops", "breaker_open", "drive 2 opened")
+
+	srv := httptest.NewServer(EventsHandler(l))
+	defer srv.Close()
+
+	get := func(path string) ([]Event, int) {
+		res, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		if res.StatusCode != 200 {
+			return nil, res.StatusCode
+		}
+		var events []Event
+		if err := json.NewDecoder(res.Body).Decode(&events); err != nil {
+			t.Fatal(err)
+		}
+		return events, res.StatusCode
+	}
+
+	all, _ := get("/events")
+	if len(all) != 2 || all[0].Name != "start" || all[1].Severity != SevError {
+		t.Fatalf("all events = %+v", all)
+	}
+	errsOnly, _ := get("/events?min=error")
+	if len(errsOnly) != 1 || errsOnly[0].Name != "breaker_open" {
+		t.Fatalf("error events = %+v", errsOnly)
+	}
+	if _, code := get("/events?min=nonsense"); code != 400 {
+		t.Fatalf("bad severity returned %d, want 400", code)
+	}
+	one, _ := get("/events?n=1")
+	if len(one) != 1 || one[0].Name != "breaker_open" {
+		t.Fatalf("n=1 tail = %+v", one)
+	}
+}
+
+// TestWriteEvents smoke-checks the text renderer.
+func TestWriteEvents(t *testing.T) {
+	var sb strings.Builder
+	WriteEvents(&sb, []Event{
+		{UnixNano: 1e9, Severity: SevWarn, Subsystem: "journal", Name: "recovery", Detail: "replayed=3", Source: "d1:7070"},
+	})
+	out := sb.String()
+	for _, want := range []string{"warn", "journal", "recovery", "replayed=3", "d1:7070"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered events missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	WriteEvents(&sb, nil)
+	if !strings.Contains(sb.String(), "no events") {
+		t.Fatalf("empty render = %q", sb.String())
+	}
+}

@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestObserveTraceExemplar checks that traced observations retain a
+// bucket-consistent exemplar and untraced ones never displace it.
+func TestObserveTraceExemplar(t *testing.T) {
+	var h Histogram
+	h.ObserveTrace(1000, 42)
+	h.Observe(900) // untraced, same bucket: must not displace
+	h.ObserveTrace(3, 0)
+
+	s := h.Snapshot()
+	if len(s.Exemplars) != 1 {
+		t.Fatalf("exemplars = %+v, want exactly one (traceID 0 must not retain)", s.Exemplars)
+	}
+	e := s.Exemplars[0]
+	if e.TraceID != 42 || e.Value != 1000 {
+		t.Fatalf("exemplar = %+v", e)
+	}
+	if e.Bucket != bucketIndex(1000) {
+		t.Fatalf("exemplar bucket = %d, want %d (bucketIndex of its value)", e.Bucket, bucketIndex(1000))
+	}
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3 (every observation counts)", s.Count)
+	}
+
+	// A newer traced observation in the same bucket displaces the old.
+	h.ObserveTrace(1001, 43)
+	s = h.Snapshot()
+	if len(s.Exemplars) != 1 || s.Exemplars[0].TraceID != 43 {
+		t.Fatalf("after displacement: %+v", s.Exemplars)
+	}
+}
+
+// TestExemplarMergeBucketConsistent merges two snapshots and checks
+// every surviving exemplar still sits in its own bucket, buckets stay
+// in ascending order, and per-bucket conflicts resolve to the newest.
+func TestExemplarMergeBucketConsistent(t *testing.T) {
+	var a, b Histogram
+	a.ObserveTrace(100, 1)   // bucket 7
+	a.ObserveTrace(5000, 2)  // bucket 13
+	b.ObserveTrace(120, 3)   // bucket 7, observed after a's -> must win
+	b.ObserveTrace(70000, 4) // bucket 17
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+
+	if sa.Count != 4 {
+		t.Fatalf("merged count = %d, want 4", sa.Count)
+	}
+	if len(sa.Exemplars) != 3 {
+		t.Fatalf("merged exemplars = %+v, want 3 (one per occupied bucket)", sa.Exemplars)
+	}
+	seen := make(map[int]bool)
+	prev := -1
+	for _, e := range sa.Exemplars {
+		if e.Bucket != bucketIndex(e.Value) {
+			t.Fatalf("exemplar %+v not in its value's bucket %d", e, bucketIndex(e.Value))
+		}
+		if sa.Buckets[e.Bucket] == 0 {
+			t.Fatalf("exemplar %+v points at an empty bucket", e)
+		}
+		if e.Bucket <= prev {
+			t.Fatalf("exemplar buckets not ascending: %+v", sa.Exemplars)
+		}
+		if seen[e.Bucket] {
+			t.Fatalf("bucket %d has two exemplars", e.Bucket)
+		}
+		seen[e.Bucket] = true
+		prev = e.Bucket
+	}
+	// b's bucket-7 exemplar carried the later timestamp.
+	if sa.Exemplars[0].TraceID != 3 {
+		t.Fatalf("bucket conflict kept trace %d, want the newer 3", sa.Exemplars[0].TraceID)
+	}
+}
+
+// TestExemplarNear checks the quantile-to-exemplar mapping prefers the
+// tail's evidence.
+func TestExemplarNear(t *testing.T) {
+	var empty HistogramSnapshot
+	if e := empty.ExemplarNear(0.99); e != nil {
+		t.Fatalf("empty histogram returned exemplar %+v", e)
+	}
+
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(100)
+	}
+	h.ObserveTrace(1<<20, 77) // the single tail observation, traced
+	s := h.Snapshot()
+	e := s.ExemplarNear(0.99)
+	if e == nil || e.TraceID != 77 {
+		t.Fatalf("p99 exemplar = %+v, want the traced tail observation", e)
+	}
+
+	// When only lower buckets hold exemplars, the nearest-from-below one
+	// is still returned rather than nothing.
+	var lo Histogram
+	lo.ObserveTrace(100, 5)
+	for i := 0; i < 99; i++ {
+		lo.Observe(1 << 20) // tail mass is untraced
+	}
+	ls := lo.Snapshot()
+	if e := ls.ExemplarNear(0.99); e == nil || e.TraceID != 5 {
+		t.Fatalf("fallback exemplar = %+v, want trace 5", e)
+	}
+}
+
+// TestWriteExemplars smoke-checks the renderer links ops to trace IDs.
+func TestWriteExemplars(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("drive.op.read.calls").Add(10)
+	r.Histogram("drive.op.read.svc_ns").ObserveTrace(12345, 987)
+	var sb strings.Builder
+	WriteExemplars(&sb, r.Snapshot(), "drive.op")
+	out := sb.String()
+	if !strings.Contains(out, "987") || !strings.Contains(out, "read") {
+		t.Fatalf("exemplar render missing op or trace ID:\n%s", out)
+	}
+}

@@ -1,0 +1,325 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the fleet view: pure aggregation and rendering over
+// many drives' snapshots. The paper's scaling argument (Figures 10-12)
+// is about aggregate bandwidth across drives; this is the plane that
+// lets an operator see that aggregate as one system. nasdctl owns the
+// dialing — everything here works on already-fetched data, so it is
+// unit-testable without a network.
+
+// FleetDrive is one drive's contribution to a fleet snapshot.
+type FleetDrive struct {
+	Addr    string   `json:"addr"`
+	DriveID uint64   `json:"drive_id"`
+	Err     string   `json:"err,omitempty"` // poll failure; Metrics/Events empty
+	Metrics Snapshot `json:"metrics"`
+	Events  []Event  `json:"events,omitempty"`
+}
+
+// FleetSnapshot is one poll of an entire fleet: the per-drive
+// snapshots plus their merge (counters/gauges summed, histograms —
+// and their exemplars — merged bucket-by-bucket).
+type FleetSnapshot struct {
+	UnixNano int64        `json:"unix_ns"`
+	Drives   []FleetDrive `json:"drives"`
+	Merged   Snapshot     `json:"merged"`
+}
+
+// BuildFleet assembles a FleetSnapshot from per-drive polls, computing
+// the merged aggregate. Failed polls (Err set) contribute nothing to
+// the merge but stay listed, so a down drive is visible rather than
+// silently absent.
+func BuildFleet(drives []FleetDrive) FleetSnapshot {
+	fs := FleetSnapshot{UnixNano: time.Now().UnixNano(), Drives: drives}
+	for _, d := range drives {
+		if d.Err != "" {
+			continue
+		}
+		fs.Merged.Merge(d.Metrics)
+	}
+	return fs
+}
+
+// --- Per-tenant attribution ----------------------------------------------
+
+// tenantFamily is the metric-name root under which the drive splits
+// its per-op family by partition: "drive.part.<P>.op.<op>.<metric>".
+const tenantFamily = "drive.part."
+
+// tenantOf parses a per-tenant metric name, returning the partition
+// and the name re-rooted under "drive." (e.g. "drive.part.5.op.read.calls"
+// -> 5, "drive.op.read.calls").
+func tenantOf(name string) (uint16, string, bool) {
+	rest, ok := strings.CutPrefix(name, tenantFamily)
+	if !ok {
+		return 0, "", false
+	}
+	ps, tail, ok := strings.Cut(rest, ".")
+	if !ok {
+		return 0, "", false
+	}
+	p, err := strconv.ParseUint(ps, 10, 16)
+	if err != nil {
+		return 0, "", false
+	}
+	return uint16(p), "drive." + tail, true
+}
+
+// TenantParts returns the sorted partitions that have per-tenant
+// metrics in s.
+func TenantParts(s Snapshot) []uint16 {
+	seen := make(map[uint16]bool)
+	collect := func(name string) {
+		if p, _, ok := tenantOf(name); ok {
+			seen[p] = true
+		}
+	}
+	for name := range s.Counters {
+		collect(name)
+	}
+	for name := range s.Histograms {
+		collect(name)
+	}
+	parts := make([]uint16, 0, len(seen))
+	for p := range seen {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	return parts
+}
+
+// TenantSnapshot extracts one partition's metrics from s, re-rooted
+// under "drive.op." so every existing formatter (WriteOpTable, OpRows)
+// renders a single tenant the same way it renders a whole drive.
+// /metrics?partition=P serves exactly this.
+func TenantSnapshot(s Snapshot, part uint16) Snapshot {
+	out := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for name, v := range s.Counters {
+		if p, rooted, ok := tenantOf(name); ok && p == part {
+			out.Counters[rooted] = v
+		}
+	}
+	for name, h := range s.Histograms {
+		if p, rooted, ok := tenantOf(name); ok && p == part {
+			out.Histograms[rooted] = h
+		}
+	}
+	return out
+}
+
+// --- Totals and rates ----------------------------------------------------
+
+// OpTotals sums a snapshot's per-op drive family into one line: calls,
+// errors, and bytes moved. Prefix is the family root ("drive.op" for
+// the whole drive, or a TenantSnapshot's re-rooted family).
+func OpTotals(s Snapshot, prefix string) (calls, errs, bytesIn, bytesOut uint64) {
+	for _, r := range OpRows(s, prefix) {
+		calls += r.Calls
+		errs += r.Errors
+		bytesIn += r.BytesIn
+		bytesOut += r.BytesOut
+	}
+	return
+}
+
+// MergedSvc merges every "<prefix>.<op>.svc_ns" histogram in s into
+// one service-time distribution (with merged exemplars).
+func MergedSvc(s Snapshot, prefix string) HistogramSnapshot {
+	var out HistogramSnapshot
+	for name, h := range s.Histograms {
+		if strings.HasPrefix(name, prefix+".") && strings.HasSuffix(name, ".svc_ns") {
+			out.Merge(h)
+		}
+	}
+	return out
+}
+
+// --- Rendering -----------------------------------------------------------
+
+// fmtRate renders a per-second rate with adaptive precision.
+func fmtRate(v float64) string {
+	switch {
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.1f", v)
+	case v == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// driveRow is one rendered fleet-table line.
+type driveRow struct {
+	label                  string
+	calls, errs, bIn, bOut uint64
+	svc                    HistogramSnapshot
+	events                 []Event
+	down                   string
+}
+
+// WriteFleetTable renders the fleet table: one row per drive plus the
+// aggregate, with op and MB/s rates computed against prev when a
+// previous poll is supplied (nasdctl top) and cumulative totals
+// otherwise (nasdctl fleet). It returns through w so tests can assert
+// on the output.
+func WriteFleetTable(w io.Writer, cur FleetSnapshot, prev *FleetSnapshot) {
+	secs := 0.0
+	if prev != nil && cur.UnixNano > prev.UnixNano {
+		secs = float64(cur.UnixNano-prev.UnixNano) / float64(time.Second)
+	}
+	prevDrive := func(addr string) *FleetDrive {
+		if prev == nil {
+			return nil
+		}
+		for i := range prev.Drives {
+			if prev.Drives[i].Addr == addr {
+				return &prev.Drives[i]
+			}
+		}
+		return nil
+	}
+
+	rows := make([]driveRow, 0, len(cur.Drives)+1)
+	for _, d := range cur.Drives {
+		r := driveRow{label: fmt.Sprintf("drive %d %s", d.DriveID, d.Addr), down: d.Err, events: d.Events}
+		if d.Err == "" {
+			r.calls, r.errs, r.bIn, r.bOut = OpTotals(d.Metrics, "drive.op")
+			r.svc = MergedSvc(d.Metrics, "drive.op")
+			if p := prevDrive(d.Addr); p != nil && p.Err == "" {
+				pc, pe, pi, po := OpTotals(p.Metrics, "drive.op")
+				r.calls -= min(r.calls, pc)
+				r.errs -= min(r.errs, pe)
+				r.bIn -= min(r.bIn, pi)
+				r.bOut -= min(r.bOut, po)
+			}
+		}
+		rows = append(rows, r)
+	}
+	agg := driveRow{label: "TOTAL"}
+	agg.calls, agg.errs, agg.bIn, agg.bOut = OpTotals(cur.Merged, "drive.op")
+	agg.svc = MergedSvc(cur.Merged, "drive.op")
+	if prev != nil {
+		pc, pe, pi, po := OpTotals(prev.Merged, "drive.op")
+		agg.calls -= min(agg.calls, pc)
+		agg.errs -= min(agg.errs, pe)
+		agg.bIn -= min(agg.bIn, pi)
+		agg.bOut -= min(agg.bOut, po)
+	}
+	rows = append(rows, agg)
+
+	unit, div := "ops", 1.0
+	if secs > 0 {
+		unit, div = "ops/s", secs
+	}
+	mbUnit := "MB"
+	if secs > 0 {
+		mbUnit = "MB/s"
+	}
+	fmt.Fprintf(w, "%-28s %10s %8s %10s %10s %10s %10s %7s\n",
+		"", unit, "errors", mbUnit+" in", mbUnit+" out", "p50", "p99", "events")
+	for _, r := range rows {
+		if r.down != "" {
+			fmt.Fprintf(w, "%-28s DOWN: %s\n", r.label, r.down)
+			continue
+		}
+		fmt.Fprintf(w, "%-28s %10s %8d %10s %10s %10s %10s %7d\n",
+			r.label,
+			fmtRate(float64(r.calls)/div), r.errs,
+			fmtRate(float64(r.bIn)/(1<<20)/div), fmtRate(float64(r.bOut)/(1<<20)/div),
+			time.Duration(r.svc.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(r.svc.Quantile(0.99)).Round(time.Microsecond),
+			len(r.events))
+	}
+
+	// Per-tenant split of the merged fleet, keyed by the capability's
+	// partition identity (the tenant key the ROADMAP QoS item needs).
+	if parts := TenantParts(cur.Merged); len(parts) > 0 {
+		fmt.Fprintf(w, "\nper-tenant (partition) split, fleet-wide cumulative:\n")
+		fmt.Fprintf(w, "%-12s %10s %8s %10s %10s %10s %10s\n",
+			"tenant", "ops", "errors", "MB in", "MB out", "p50", "p99")
+		for _, p := range parts {
+			ts := TenantSnapshot(cur.Merged, p)
+			calls, errs, bIn, bOut := OpTotals(ts, "drive.op")
+			svc := MergedSvc(ts, "drive.op")
+			fmt.Fprintf(w, "%-12s %10d %8d %10.2f %10.2f %10s %10s\n",
+				"part."+strconv.Itoa(int(p)), calls, errs,
+				float64(bIn)/(1<<20), float64(bOut)/(1<<20),
+				time.Duration(svc.Quantile(0.50)).Round(time.Microsecond),
+				time.Duration(svc.Quantile(0.99)).Round(time.Microsecond))
+		}
+	}
+
+	// Breaker / repair state only exists in a cheops manager's registry;
+	// show it when the polled snapshots carried it (in-process fleets).
+	var breakers []string
+	for name, v := range cur.Merged.Gauges {
+		if strings.HasPrefix(name, "cheops.drive.") && strings.HasSuffix(name, ".breaker") {
+			breakers = append(breakers, fmt.Sprintf("%s=%d", name, v))
+		}
+	}
+	if len(breakers) > 0 {
+		sort.Strings(breakers)
+		fmt.Fprintf(w, "\n%s  pending_repairs=%d\n", strings.Join(breakers, " "), cur.Merged.Gauges["cheops.pending_repairs"])
+	}
+
+	WriteExemplars(w, cur.Merged, "drive.op")
+}
+
+// WriteExemplars prints each busy op's p99 exemplar: the trace ID an
+// operator feeds to `nasdctl trace` to see where the tail latency
+// went. Ops without a traced observation are skipped.
+func WriteExemplars(w io.Writer, s Snapshot, prefix string) {
+	type exRow struct {
+		op string
+		ex Exemplar
+	}
+	var rows []exRow
+	for _, r := range OpRows(s, prefix) {
+		if r.Calls == 0 {
+			continue
+		}
+		if e := r.Svc.ExemplarNear(0.99); e != nil {
+			rows = append(rows, exRow{op: r.Op, ex: *e})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\np99 exemplars (drill down with `nasdctl trace <trace-id>`):\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %10s  trace %d\n",
+			r.op, time.Duration(r.ex.Value).Round(time.Microsecond), r.ex.TraceID)
+	}
+}
+
+// WriteEvents renders an event tail, one line per event, oldest first.
+func WriteEvents(w io.Writer, events []Event) {
+	if len(events) == 0 {
+		fmt.Fprintln(w, "(no events)")
+		return
+	}
+	for _, e := range events {
+		src := e.Source
+		if src == "" {
+			src = "-"
+		}
+		fmt.Fprintf(w, "%s %-5s %-20s %-10s %-14s %s\n",
+			e.Time().Format("15:04:05.000"), e.Severity, src,
+			e.Subsystem, e.Name, e.Detail)
+	}
+}

@@ -17,6 +17,11 @@ const NumBuckets = 48
 // Histogram is a lock-free fixed-bucket histogram of int64 values
 // (by convention nanoseconds; cheops also uses one for stripe fan-out
 // widths). The zero value is ready to use.
+//
+// Each bucket additionally retains an exemplar: the most recent traced
+// observation that landed in it. Exemplars are what link a histogram's
+// tail back to evidence — the p99 bucket's exemplar names a concrete
+// trace ID whose span timeline shows where that latency went.
 type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Int64
@@ -24,6 +29,15 @@ type Histogram struct {
 	max     atomic.Int64
 	minInit atomic.Bool
 	buckets [NumBuckets]atomic.Uint64
+	ex      [NumBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar is one concrete traced observation retained for a bucket.
+type Exemplar struct {
+	Bucket   int    `json:"bucket"`
+	Value    int64  `json:"value"`
+	TraceID  uint64 `json:"trace_id"`
+	UnixNano int64  `json:"unix_ns"`
 }
 
 // bucketIndex returns the bucket for value v.
@@ -74,6 +88,19 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// ObserveTrace records one value and, when the observation belongs to
+// a traced request (traceID != 0), retains it as its bucket's
+// exemplar. Untraced observations count normally but never displace an
+// exemplar.
+func (h *Histogram) ObserveTrace(v int64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	i := bucketIndex(v)
+	h.ex[i].Store(&Exemplar{Bucket: i, Value: v, TraceID: traceID, UnixNano: time.Now().UnixNano()})
+}
+
 // Sum returns the cumulative sum of observed values (one atomic read).
 // The drive reads lock-meter wait histograms this way to annotate a
 // request's span with the lock-wait delta it observed.
@@ -101,16 +128,24 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
 	}
+	for i := range h.ex {
+		if e := h.ex[i].Load(); e != nil {
+			s.Exemplars = append(s.Exemplars, *e)
+		}
+	}
 	return s
 }
 
-// HistogramSnapshot is the serializable form of a Histogram.
+// HistogramSnapshot is the serializable form of a Histogram. Exemplars
+// holds at most one entry per occupied bucket, in ascending bucket
+// order.
 type HistogramSnapshot struct {
-	Count   uint64   `json:"count"`
-	Sum     int64    `json:"sum"`
-	Min     int64    `json:"min"`
-	Max     int64    `json:"max"`
-	Buckets []uint64 `json:"buckets"`
+	Count     uint64     `json:"count"`
+	Sum       int64      `json:"sum"`
+	Min       int64      `json:"min"`
+	Max       int64      `json:"max"`
+	Buckets   []uint64   `json:"buckets"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Mean returns the average observed value (0 when empty).
@@ -163,7 +198,9 @@ func (s *HistogramSnapshot) Quantile(q float64) int64 {
 	return s.Max
 }
 
-// Merge folds other into s bucket-by-bucket.
+// Merge folds other into s bucket-by-bucket. Exemplars merge per
+// bucket, most recent observation winning, so a fleet-merged histogram
+// still names a live trace for each occupied bucket.
 func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
 	if other.Count == 0 {
 		return
@@ -187,4 +224,45 @@ func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
 	for i := 0; i < len(other.Buckets) && i < len(s.Buckets); i++ {
 		s.Buckets[i] += other.Buckets[i]
 	}
+	if len(other.Exemplars) == 0 {
+		return
+	}
+	byBucket := make(map[int]Exemplar, len(s.Exemplars)+len(other.Exemplars))
+	for _, e := range s.Exemplars {
+		byBucket[e.Bucket] = e
+	}
+	for _, e := range other.Exemplars {
+		if cur, ok := byBucket[e.Bucket]; !ok || e.UnixNano > cur.UnixNano {
+			byBucket[e.Bucket] = e
+		}
+	}
+	s.Exemplars = s.Exemplars[:0]
+	for i := 0; i < NumBuckets; i++ {
+		if e, ok := byBucket[i]; ok {
+			s.Exemplars = append(s.Exemplars, e)
+		}
+	}
+}
+
+// ExemplarNear returns the retained exemplar closest to the q-th
+// quantile, preferring the exemplar of the quantile's bucket or any
+// higher one (a tail quantile should surface the *slow* evidence).
+// Returns nil when the histogram has no exemplars.
+func (s *HistogramSnapshot) ExemplarNear(q float64) *Exemplar {
+	if len(s.Exemplars) == 0 {
+		return nil
+	}
+	target := bucketIndex(s.Quantile(q))
+	best := -1
+	for i, e := range s.Exemplars { // ascending bucket order
+		if e.Bucket >= target {
+			best = i
+			break
+		}
+	}
+	if best < 0 {
+		best = len(s.Exemplars) - 1 // all below target: nearest from below
+	}
+	e := s.Exemplars[best]
+	return &e
 }

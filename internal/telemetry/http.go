@@ -9,13 +9,51 @@ import (
 
 // MetricsHandler serves the snapshot produced by snap as JSON, the
 // expvar-style endpoint `curl` and dashboards read. snap is called per
-// request so the response is always current.
+// request so the response is always current. With ?partition=P the
+// response narrows to that tenant's per-partition metric family,
+// re-rooted under "drive.op." (see TenantSnapshot).
 func MetricsHandler(snap func() Snapshot) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s := snap()
+		if ps := r.URL.Query().Get("partition"); ps != "" {
+			p, err := strconv.ParseUint(ps, 10, 16)
+			if err != nil {
+				http.Error(w, "bad partition: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			s = TenantSnapshot(s, uint16(p))
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		_ = enc.Encode(snap())
+		_ = enc.Encode(s)
+	})
+}
+
+// EventsHandler serves the event ring as JSON:
+//
+//	/events?n=N        the last N events (default 128)
+//	/events?min=warn   only events of at least that severity
+//
+// Responses are capped at MaxTraceResponse entries for the same reason
+// /trace is.
+func EventsHandler(events *EventLog) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := clampTraceN(r.URL.Query().Get("n"), 128)
+		min := SevInfo
+		if ms := r.URL.Query().Get("min"); ms != "" {
+			var err error
+			if min, err = ParseSeverity(ms); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		out := events.Recent(n, min)
+		if out == nil {
+			out = []Event{}
+		}
+		_ = json.NewEncoder(w).Encode(out)
 	})
 }
 
@@ -87,14 +125,18 @@ func clampTraceN(s string, def int) int {
 	return n
 }
 
-// NewMux builds the daemon observability mux: /metrics, /healthz, and
-// (when log is non-nil) /trace serving both flat events and spans.
-func NewMux(snap func() Snapshot, log *TraceLog, spans *SpanLog) *http.ServeMux {
+// NewMux builds the daemon observability mux: /metrics, /healthz,
+// (when log is non-nil) /trace serving both flat events and spans, and
+// (when events is non-nil) the /events ring.
+func NewMux(snap func() Snapshot, log *TraceLog, spans *SpanLog, events *EventLog) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(snap))
 	mux.Handle("/healthz", HealthHandler(time.Now()))
 	if log != nil {
 		mux.Handle("/trace", TraceHandler(log, spans))
+	}
+	if events != nil {
+		mux.Handle("/events", EventsHandler(events))
 	}
 	return mux
 }

@@ -140,7 +140,7 @@ func TestMetricsHandlerRoundTrip(t *testing.T) {
 	r.Counter("rpc.server.requests").Add(17)
 	r.Histogram("drive.op.read.svc_ns").Observe(1234)
 
-	srv := httptest.NewServer(NewMux(r.Snapshot, NewTraceLog(4), NewSpanLog(4)))
+	srv := httptest.NewServer(NewMux(r.Snapshot, NewTraceLog(4), NewSpanLog(4), NewEventLog(4)))
 	defer srv.Close()
 
 	res, err := srv.Client().Get(srv.URL + "/metrics")

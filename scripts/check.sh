@@ -72,4 +72,31 @@ echo "==> go run ./cmd/nasdbench -workload smallobj -smallobj-objects 2000 -json
 go run ./cmd/nasdbench -workload smallobj -smallobj-objects 2000 -json . > /dev/null
 test -s BENCH_smallobj.json
 
+# Fleet observability smoke: two live daemons, one aggregated snapshot.
+# `nasdctl fleet -json` must poll both drives' stats ops and emit the
+# merged FleetSnapshot (per-drive rows + merged counters/histograms/
+# events); CI uploads FLEET_smoke.json alongside the bench artifacts.
+echo "==> nasdctl fleet -json against a 2-drive harness"
+go build -o /tmp/nasd-check-nasdd ./cmd/nasdd
+go build -o /tmp/nasd-check-nasdctl ./cmd/nasdctl
+/tmp/nasd-check-nasdd -listen 127.0.0.1:17071 -id 1 -insecure -blocks 4096 &
+d1=$!
+/tmp/nasd-check-nasdd -listen 127.0.0.1:17072 -id 2 -insecure -blocks 4096 &
+d2=$!
+trap 'kill $d1 $d2 2>/dev/null || true' EXIT
+fleet_ok=0
+for i in 1 2 3 4 5 6 7 8 9 10; do
+    if /tmp/nasd-check-nasdctl -insecure -addr 127.0.0.1:17071,127.0.0.1:17072 \
+        -timeout 5s fleet -json > FLEET_smoke.json 2>/dev/null; then
+        fleet_ok=1
+        break
+    fi
+    sleep 1
+done
+kill $d1 $d2 2>/dev/null || true
+trap - EXIT
+[ "$fleet_ok" = 1 ] || { echo "fleet smoke: nasdctl fleet never succeeded" >&2; exit 1; }
+test -s FLEET_smoke.json
+grep -q '"merged"' FLEET_smoke.json || { echo "fleet smoke: snapshot has no merged section" >&2; exit 1; }
+
 echo "OK"
