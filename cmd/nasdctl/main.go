@@ -360,6 +360,7 @@ func (c *ctl) run(args []string) error {
 		}
 		fmt.Printf("drive %d per-op cost breakdown (measured; cf. paper Table 1):\n\n", sr.DriveID)
 		telemetry.WriteOpTable(os.Stdout, sr.Metrics, "drive.op")
+		telemetry.WriteTenantTable(os.Stdout, sr.Metrics, "this drive, cumulative")
 		telemetry.WriteExemplars(os.Stdout, sr.Metrics, "drive.op")
 		fmt.Println()
 		telemetry.WriteText(os.Stdout, sr.Metrics)

@@ -33,6 +33,16 @@
 // -trace-slow sets the slow-op threshold: a request whose root span
 // runs at least that long has its whole span tree retained past ring
 // wraparound, so `nasdctl trace` can still reconstruct it later.
+//
+// -qos arms the per-tenant overload-control plane (DESIGN.md §10):
+// data requests pass a bounded admission queue, per-tenant token
+// buckets, and WDRR fair scheduling keyed by the capability's
+// partition before reaching media; -qos-queue, -qos-tenant-queue,
+// -qos-rate, -qos-burst, -qos-weights, and -qos-shed tune it, and
+// -rpc-queue bounds each connection's pending requests. Rejected work
+// leaves as a typed retry-later reply with a retry-after hint that
+// well-behaved clients pace against. See the OPERATIONS.md overload
+// runbook for tuning under incident.
 package main
 
 import (
@@ -46,13 +56,47 @@ import (
 	"os/signal"
 	"syscall"
 
+	"strconv"
+	"strings"
+
 	"nasd/internal/blockdev"
+	"nasd/internal/capability"
 	"nasd/internal/crypt"
 	"nasd/internal/drive"
 	"nasd/internal/object"
+	"nasd/internal/qos"
 	"nasd/internal/rpc"
 	"nasd/internal/telemetry"
 )
+
+// parseWeights turns "1=3,2=1" into WDRR weights keyed by the tenant
+// key the classifier assigns (capability.TenantKey of the partition).
+// Partitions may be written bare ("1=3") or in the "part.1" form the
+// stats/top tenant tables print, so the value an operator sees is the
+// value the flag takes.
+func parseWeights(s string) (map[string]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]int64)
+	for _, pair := range strings.Split(s, ",") {
+		ps, ws, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("%q is not PART=W", pair)
+		}
+		ps = strings.TrimPrefix(ps, "part.")
+		p, err := strconv.ParseUint(ps, 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("partition %q: %v", ps, err)
+		}
+		w, err := strconv.ParseInt(ws, 10, 64)
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("weight %q: must be a positive integer", ws)
+		}
+		out[capability.TenantKey(uint16(p))] = w
+	}
+	return out, nil
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7070", "TCP listen address")
@@ -65,6 +109,15 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "HTTP observability address for /metrics, /healthz, /trace (empty = disabled)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof handlers on the -metrics server")
 	traceSlow := flag.Duration("trace-slow", 0, "retain full span trees for requests at least this slow (0 = disabled)")
+	qosOn := flag.Bool("qos", false, "enable the per-tenant QoS plane: admission, fair queueing, deadline shedding")
+	qosConc := flag.Int("qos-concurrency", 0, "QoS executor width pulling from the fair queues (0 = default 4)")
+	qosQueue := flag.Int("qos-queue", 0, "QoS global admission queue bound (0 = default 256)")
+	qosTenantQueue := flag.Int("qos-tenant-queue", 0, "QoS per-tenant queue bound (0 = global/4)")
+	qosRate := flag.Float64("qos-rate", 0, "QoS per-tenant token refill rate, cost units/sec (0 = no rate limit)")
+	qosBurst := flag.Float64("qos-burst", 0, "QoS per-tenant token bucket depth (0 = 2x rate)")
+	qosWeights := flag.String("qos-weights", "", "QoS WDRR weights as PART=W pairs, e.g. 1=3,2=1 or part.1=3,part.2=1 (unlisted tenants weigh 1)")
+	qosShed := flag.Bool("qos-shed", true, "QoS deadline-aware shedding: drop requests whose deadline cannot be met before media time")
+	rpcQueue := flag.Int("rpc-queue", 0, "per-connection pending-request cap; beyond it requests are rejected with retry-later (0 = block)")
 	faultDrop := flag.Float64("fault-drop", 0, "fault injection: drop each sent message with this probability (0 = off)")
 	faultDup := flag.Float64("fault-dup", 0, "fault injection: duplicate each sent message with this probability (0 = off)")
 	faultDelay := flag.Duration("fault-delay", 0, "fault injection: delay every sent message by this much (0 = off)")
@@ -159,8 +212,37 @@ func main() {
 			*faultDrop, *faultDup, *faultDelay, *faultSeed)
 	}
 	log.Printf("nasdd: drive %d serving %d x 4KB blocks on %s (%s)", *id, *blocks, l.Addr(), mode)
-	srv := rpc.NewServer(drv,
+
+	// The QoS plane wraps the drive handler: rpc workers feed the
+	// admission queue, executors feed the drive. Shed traffic leaves as
+	// StatusRetryLater, never as transport errors.
+	var handler rpc.Handler = drv
+	if *qosOn {
+		weights, err := parseWeights(*qosWeights)
+		if err != nil {
+			log.Fatalf("nasdd: bad -qos-weights: %v", err)
+		}
+		qc := qos.Config{
+			Classify:    drive.QoSClassify,
+			Concurrency: *qosConc,
+			Queue:       *qosQueue,
+			TenantQueue: *qosTenantQueue,
+			Rate:        *qosRate,
+			Burst:       *qosBurst,
+			Weights:     weights,
+			Shed:        *qosShed,
+			Metrics:     reg,
+			Events:      drv.Events(),
+		}
+		ctl := qos.New(drv, qc)
+		defer ctl.Close()
+		handler = ctl
+		log.Printf("nasdd: qos armed: queue=%d tenant-queue=%d rate=%g burst=%g shed=%v weights=%q",
+			*qosQueue, *qosTenantQueue, *qosRate, *qosBurst, *qosShed, *qosWeights)
+	}
+	srv := rpc.NewServer(handler,
 		rpc.WithMetrics(reg),
+		rpc.WithQueue(*rpcQueue),
 		rpc.WithProcNames(func(p uint16) string { return drive.Op(p).String() }))
 
 	if *metricsAddr != "" {

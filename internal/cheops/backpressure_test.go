@@ -1,0 +1,256 @@
+package cheops
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/capability"
+	"nasd/internal/client"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/rpc"
+	"nasd/internal/telemetry"
+)
+
+// shedder sits between the rpc server and a real drive, answering a
+// controllable number of data requests with StatusRetryLater — the
+// wire-visible shape of the drive's qos plane rejecting under load.
+// Counters hold how many requests of that proc remain to be shed;
+// -1 sheds forever.
+type shedder struct {
+	inner      rpc.Handler
+	hint       time.Duration
+	shedReads  atomic.Int64
+	shedWrites atomic.Int64
+}
+
+func (s *shedder) take(ctr *atomic.Int64) bool {
+	for {
+		n := ctr.Load()
+		if n == 0 {
+			return false
+		}
+		if n < 0 || ctr.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+func (s *shedder) Handle(req *rpc.Request) *rpc.Reply {
+	var ctr *atomic.Int64
+	switch drive.Op(req.Proc) {
+	case drive.OpReadObject:
+		ctr = &s.shedReads
+	case drive.OpWriteObject:
+		ctr = &s.shedWrites
+	}
+	if ctr != nil && s.take(ctr) {
+		return rpc.RetryLater(req.MsgID, s.hint, "drive saturated")
+	}
+	return s.inner.Handle(req)
+}
+
+// shedRig is a manager over drives whose data path can be made to shed:
+// sheds[i] controls drive i. Client retries are disabled (MaxAttempts
+// 1) so every StatusRetryLater surfaces to the cheops layer — the
+// subject under test — instead of being absorbed by client backoff.
+type shedRig struct {
+	mgr    *Manager
+	drives []*client.Drive
+	sheds  []*shedder
+	reg    *telemetry.Registry
+}
+
+func (r *shedRig) open(t *testing.T, id uint64) *Object {
+	t.Helper()
+	obj, err := OpenObject(r.mgr, r.drives, id, capability.Read|capability.Write)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj
+}
+
+func newShedRig(t *testing.T, n int) *shedRig {
+	t.Helper()
+	r := &shedRig{reg: telemetry.NewRegistry()}
+	var refs []DriveRef
+	for i := 0; i < n; i++ {
+		master := crypt.NewRandomKey()
+		dev := blockdev.NewMemDisk(4096, 16384)
+		drv, err := drive.NewFormat(dev, drive.Config{ID: uint64(1 + i), Master: master, Secure: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := &shedder{inner: drv, hint: time.Millisecond}
+		r.sheds = append(r.sheds, sh)
+		l := rpc.NewInProcListener(fmt.Sprintf("shed%d", i))
+		srv := rpc.NewServer(sh)
+		t.Cleanup(srv.Close)
+		go srv.Serve(l)
+		mk := func() *client.Drive {
+			conn, err := l.Dial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := client.New(conn, uint64(1+i), clientSeq.Add(1)+900,
+				client.WithMetrics(r.reg), client.WithRetry(client.RetryPolicy{MaxAttempts: 1}))
+			t.Cleanup(func() { c.Close() })
+			return c
+		}
+		refs = append(refs, DriveRef{Client: mk(), DriveID: uint64(1 + i), Master: master})
+		r.drives = append(r.drives, mk())
+	}
+	mgr, err := NewManager(testCtx, ManagerConfig{
+		Drives: refs, Metrics: r.reg,
+		FailThreshold: 2, BreakerCooldown: time.Hour,
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mgr = mgr
+	return r
+}
+
+// TestShedNeverOpensBreaker: a drive answering StatusRetryLater is
+// alive and shedding by design. The paced write must absorb the sheds
+// and succeed, and the breaker must stay closed — FailThreshold is 2
+// and the drive sheds 3 times, so misclassifying shed as failure would
+// trip it.
+func TestShedNeverOpensBreaker(t *testing.T) {
+	r := newShedRig(t, 2)
+	id, err := r.mgr.Create(testCtx, Mirror1, 4096, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := r.open(t, id)
+
+	r.sheds[1].shedWrites.Store(3)
+	payload := bytes.Repeat([]byte{0xA5}, 1024)
+	if err := obj.WriteAt(testCtx, 0, payload); err != nil {
+		t.Fatalf("write through transient shedding: %v", err)
+	}
+	if st := r.mgr.DriveHealth(1); st != BreakerClosed {
+		t.Fatalf("drive 1 breaker = %v after shed replies, want closed", st)
+	}
+	snap := r.reg.Snapshot()
+	if got := snap.Counters["cheops.breaker_opens"]; got != 0 {
+		t.Fatalf("breaker_opens = %d: backpressure counted as drive failure", got)
+	}
+	if got := snap.Counters["cheops.backpressure"]; got != 3 {
+		t.Fatalf("cheops.backpressure = %d, want 3", got)
+	}
+	if got := snap.Counters["cheops.backpressure_waits"]; got != 3 {
+		t.Fatalf("cheops.backpressure_waits = %d, want 3", got)
+	}
+	if got := snap.Counters["cheops.degraded_writes"]; got != 0 {
+		t.Fatalf("degraded_writes = %d: pacing should have kept the write clean", got)
+	}
+	if reps := r.mgr.PendingRepairs(); len(reps) != 0 {
+		t.Fatalf("repair ledger = %v after paced write, want empty", reps)
+	}
+
+	// Read back through the healthy path to prove the data landed on
+	// the lane that was shedding.
+	got, err := obj.ReadAt(testCtx, 0, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("readback mismatch after paced mirror write")
+	}
+}
+
+// TestOverloadNeverTriggersDegradedRead: overload outlasting the pacing
+// loop must surface as the typed retryable error, not fall into
+// reconstruction — reconstructing around a saturated drive fans its
+// load out to healthy stripe-mates.
+func TestOverloadNeverTriggersDegradedRead(t *testing.T) {
+	r := newShedRig(t, 2)
+	id, err := r.mgr.Create(testCtx, Mirror1, 4096, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := r.open(t, id)
+	payload := bytes.Repeat([]byte{0x3C}, 512)
+	if err := obj.WriteAt(testCtx, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mirror reads always land on component 0; saturate it permanently.
+	r.sheds[0].shedReads.Store(-1)
+	_, err = obj.ReadAt(testCtx, 0, len(payload))
+	if err == nil {
+		t.Fatal("read succeeded against a permanently shedding lane")
+	}
+	if !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	snap := r.reg.Snapshot()
+	if got := snap.Counters["cheops.degraded_reads"]; got != 0 {
+		t.Fatalf("degraded_reads = %d: overload must not trigger reconstruction", got)
+	}
+	if st := r.mgr.DriveHealth(0); st != BreakerClosed {
+		t.Fatalf("drive 0 breaker = %v, want closed", st)
+	}
+
+	// Once the drive has room again the same handle reads clean — the
+	// lane was never marked stale or suspect.
+	r.sheds[0].shedReads.Store(0)
+	got, err := obj.ReadAt(testCtx, 0, len(payload))
+	if err != nil {
+		t.Fatalf("read after overload cleared: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("readback mismatch after overload cleared")
+	}
+}
+
+// TestAllMirrorsOverloadedSurfacesRetryable: when every replica sheds
+// past the pacing budget the write must come back as the typed
+// retryable error with nothing in the repair ledger — nothing was
+// written, the mirrors are still consistent, and ErrDegraded would
+// send the caller down the wrong recovery path.
+func TestAllMirrorsOverloadedSurfacesRetryable(t *testing.T) {
+	r := newShedRig(t, 2)
+	id, err := r.mgr.Create(testCtx, Mirror1, 4096, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := r.open(t, id)
+	r.sheds[0].shedWrites.Store(-1)
+	r.sheds[1].shedWrites.Store(-1)
+	err = obj.WriteAt(testCtx, 0, []byte("saturated"))
+	if err == nil {
+		t.Fatal("write succeeded against fully shedding mirrors")
+	}
+	if !errors.Is(err, client.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if errors.Is(err, ErrDegraded) {
+		t.Fatal("all-overloaded write reported as ErrDegraded")
+	}
+	if reps := r.mgr.PendingRepairs(); len(reps) != 0 {
+		t.Fatalf("repair ledger = %v, want empty: no replica diverged", reps)
+	}
+	snap := r.reg.Snapshot()
+	if got := snap.Counters["cheops.breaker_opens"]; got != 0 {
+		t.Fatalf("breaker_opens = %d, want 0", got)
+	}
+
+	// Partial overload is different: one replica committed, so the shed
+	// replica is stale and MUST enter the ledger or it would serve old
+	// bytes after the load passes.
+	r.sheds[0].shedWrites.Store(0)
+	if err := obj.WriteAt(testCtx, 0, []byte("half-land")); err != nil {
+		t.Fatalf("partial-overload write: %v", err)
+	}
+	reps := r.mgr.PendingRepairs()
+	if len(reps) != 1 || reps[0].Component != 1 {
+		t.Fatalf("repair ledger = %v, want exactly component 1", reps)
+	}
+}

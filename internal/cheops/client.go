@@ -6,11 +6,48 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"nasd/internal/capability"
 	"nasd/internal/client"
 	"nasd/internal/telemetry"
 )
+
+// maxBackpressureWaits bounds how many hinted waits one leg absorbs
+// before the overload is surfaced to the caller. Each wait is the
+// drive's own retry-after estimate, so a handful of rounds rides out a
+// burst; a drive still shedding after that is saturated, and the
+// caller's deadline — not more pacing — should decide what happens.
+const maxBackpressureWaits = 8
+
+// pacedLeg runs one fan-out leg with backpressure pacing: when the
+// drive sheds the request (client.ErrOverloaded, i.e. StatusRetryLater
+// — demonstrably never executed), the leg waits the drive's
+// retry-after hint and reissues, slowing this stripe lane instead of
+// erroring it. Any other outcome returns immediately. The wait is
+// scoped to the caller's ctx, so deadlines cut pacing short.
+func (o *Object) pacedLeg(ctx context.Context, attempt func() error) error {
+	for waits := 0; ; waits++ {
+		err := attempt()
+		if err == nil || !errors.Is(err, client.ErrOverloaded) ||
+			waits >= maxBackpressureWaits || ctx.Err() != nil {
+			return err
+		}
+		wait := 5 * time.Millisecond
+		var re *client.RemoteError
+		if errors.As(err, &re) && re.RetryAfter > 0 {
+			wait = re.RetryAfter
+		}
+		o.mgr.tel.backpressureWaits.Inc()
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+	}
+}
 
 // Object is a client-side handle on an open Cheops logical object: the
 // descriptor plus the component capability set. All data movement
@@ -105,12 +142,17 @@ func (o *Object) writeLeg(ctx context.Context, comp int, off uint64, data []byte
 	if !o.mgr.allowDrive(c.Drive) {
 		return errBreakerOpen
 	}
-	lctx, cancel := o.mgr.legCtx(ctx)
-	defer cancel()
-	err := o.withCap(comp, func(cp *capability.Capability) error {
-		return o.drives[c.Drive].WritePipelined(lctx, cp, o.mgr.part, c.Object, off, data)
+	// Each paced attempt gets a fresh per-leg timeout: the hinted waits
+	// between attempts run on the caller's budget, not the leg's.
+	err := o.pacedLeg(ctx, func() error {
+		lctx, cancel := o.mgr.legCtx(ctx)
+		defer cancel()
+		aerr := o.withCap(comp, func(cp *capability.Capability) error {
+			return o.drives[c.Drive].WritePipelined(lctx, cp, o.mgr.part, c.Object, off, data)
+		})
+		o.mgr.reportDrive(c.Drive, aerr)
+		return aerr
 	})
-	o.mgr.reportDrive(c.Drive, err)
 	return err
 }
 
@@ -241,14 +283,27 @@ func (o *Object) readComponent(ctx context.Context, comp int, off uint64, n int,
 	case !o.mgr.allowDrive(c.Drive):
 		err = errBreakerOpen
 	default:
-		lctx, cancel := o.mgr.legCtx(ctx)
 		var data []byte
-		data, err = o.readDirect(lctx, comp, off, n)
-		cancel()
-		o.mgr.reportDrive(c.Drive, err)
+		err = o.pacedLeg(ctx, func() error {
+			lctx, cancel := o.mgr.legCtx(ctx)
+			defer cancel()
+			var aerr error
+			data, aerr = o.readDirect(lctx, comp, off, n)
+			o.mgr.reportDrive(c.Drive, aerr)
+			return aerr
+		})
 		if err == nil {
 			return pad(data, n), nil
 		}
+	}
+	if errors.Is(err, client.ErrOverloaded) {
+		// Backpressure outlasting the pacing loop is saturation, not
+		// component failure: the data on the lane is intact and the
+		// drive is alive. Reconstructing around it would fan a single
+		// overloaded drive's load out to its healthy stripe-mates —
+		// overload begets more traffic — so surface the retryable
+		// error instead of going degraded.
+		return nil, err
 	}
 	if ctx.Err() != nil {
 		return nil, err // don't mask a canceled read as a drive failure
@@ -388,18 +443,37 @@ func (o *Object) writeMirror(ctx context.Context, off uint64, data []byte) error
 	}
 	ok := 0
 	var firstErr error
+	allOverload := true
 	for _, e := range errs {
 		if e == nil {
 			ok++
-		} else if firstErr == nil {
-			firstErr = e
+			allOverload = false
+		} else {
+			if firstErr == nil {
+				firstErr = e
+			}
+			if !errors.Is(e, client.ErrOverloaded) {
+				allOverload = false
+			}
 		}
 	}
 	if ok == 0 {
+		if allOverload {
+			// Every replica shed after pacing: nothing was written, the
+			// mirrors are still mutually consistent, and the rejection
+			// is typed retryable. Surfacing it (instead of ErrDegraded)
+			// keeps shed traffic out of the repair ledger entirely.
+			return firstErr
+		}
 		return fmt.Errorf("%w: every mirror write failed: %v", ErrDegraded, firstErr)
 	}
 	for i, e := range errs {
 		if e != nil {
+			// A lane skipped while its siblings committed is stale no
+			// matter why it was skipped — even residual overload after
+			// the pacing loop must enter the ledger, or the replica
+			// would serve old bytes later. The breaker still never sees
+			// it (reportDrive classified the reply as alive).
 			o.mgr.noteDegradedWrite(o.desc.Logical, i, e)
 		}
 	}
@@ -529,6 +603,13 @@ func (o *Object) rmwRAID5(ctx context.Context, comp int, compOff uint64, stripe 
 		return err
 	}
 	if werrs[0] != nil && werrs[1] != nil {
+		if errors.Is(werrs[0], client.ErrOverloaded) && errors.Is(werrs[1], client.ErrOverloaded) {
+			// Both legs shed after pacing: neither data nor parity was
+			// touched, so the stripe still holds its old, consistent
+			// contents. Surface the typed retryable error — no ledger
+			// entry, no lost-update ErrDegraded.
+			return werrs[0]
+		}
 		return fmt.Errorf("%w: stripe %d data and parity writes both failed: %v", ErrDegraded, stripe, werrs[0])
 	}
 	for i, e := range werrs {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"nasd/internal/client"
+	"nasd/internal/rpc"
 	"nasd/internal/telemetry"
 )
 
@@ -174,6 +175,14 @@ func (m *Manager) reportDrive(i int, err error) {
 	}
 	var re *client.RemoteError
 	if errors.As(err, &re) {
+		// Backpressure gets its own classification: a StatusRetryLater
+		// reply is the drive's overload plane working as designed, and
+		// counting it toward failure would open breakers under exactly
+		// the load spikes shedding exists to ride out — turning a busy
+		// drive into a "failed" one and dogpiling its stripe-mates.
+		if re.Status == rpc.StatusRetryLater {
+			m.tel.backpressure.Inc()
+		}
 		m.health[i].Success()
 		return
 	}

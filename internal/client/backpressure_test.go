@@ -1,0 +1,145 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nasd/internal/drive"
+	"nasd/internal/rpc"
+)
+
+// overloadedHandler answers the first `sheds` data requests with
+// StatusRetryLater (carrying hint), then succeeds, recording the
+// arrival time of every attempt.
+type overloadedHandler struct {
+	sheds int
+	hint  time.Duration
+
+	mu       sync.Mutex
+	arrivals []time.Time
+}
+
+func (h *overloadedHandler) Handle(req *rpc.Request) *rpc.Reply {
+	h.mu.Lock()
+	h.arrivals = append(h.arrivals, time.Now())
+	n := len(h.arrivals)
+	h.mu.Unlock()
+	if n <= h.sheds {
+		return rpc.RetryLater(req.MsgID, h.hint, "test overload")
+	}
+	return &rpc.Reply{MsgID: req.MsgID, Status: rpc.StatusOK, Args: drive.EncodeIDReply(42)}
+}
+
+func (h *overloadedHandler) times() []time.Time {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]time.Time(nil), h.arrivals...)
+}
+
+func newOverloadedClient(t *testing.T, h *overloadedHandler, p RetryPolicy) *Drive {
+	t.Helper()
+	srv := rpc.NewServer(h)
+	t.Cleanup(srv.Close)
+	l := rpc.NewInProcListener("overload-test")
+	go srv.Serve(l)
+	conn, err := l.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := New(conn, 7, 1, WithSecurity(false), WithRetry(p))
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+func TestRetryAfterHintHonored(t *testing.T) {
+	const hint = 25 * time.Millisecond
+	h := &overloadedHandler{sheds: 1, hint: hint}
+	cli := newOverloadedClient(t, h, RetryPolicy{MaxAttempts: 4})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	// Create is deliberately non-idempotent: StatusRetryLater means
+	// the drive never executed the request, so even allocation ops
+	// must reissue.
+	id, err := cli.Create(ctx, nil, 1)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if id != 42 {
+		t.Fatalf("id = %d, want 42", id)
+	}
+	times := h.times()
+	if len(times) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(times))
+	}
+	gap := times[1].Sub(times[0])
+	if gap < hint {
+		t.Fatalf("reissued after %v, before the %v retry-after hint", gap, hint)
+	}
+	if gap > 2*time.Second {
+		t.Fatalf("reissue waited %v: hint ignored in favor of something much longer", gap)
+	}
+	if got := cli.Metrics().Snapshot().Counters["client.backpressure_waits"]; got != 1 {
+		t.Fatalf("backpressure_waits = %d, want 1", got)
+	}
+}
+
+func TestBackpressureRetriesSkipBudget(t *testing.T) {
+	// Budget 1 = a single token: three backpressure rounds would
+	// exhaust it twice over if sheds spent tokens. They must not —
+	// budget guards failure amplification, and shed requests never
+	// executed.
+	h := &overloadedHandler{sheds: 3, hint: time.Millisecond}
+	cli := newOverloadedClient(t, h, RetryPolicy{MaxAttempts: 6, Budget: 1})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := cli.Create(ctx, nil, 1); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	snap := cli.Metrics().Snapshot()
+	if got := snap.Counters["client.retries_exhausted"]; got != 0 {
+		t.Fatalf("retries_exhausted = %d: backpressure consumed the retry budget", got)
+	}
+	if got := snap.Counters["client.retries"]; got != 3 {
+		t.Fatalf("retries = %d, want 3", got)
+	}
+}
+
+func TestBackpressureBoundedByCallerDeadline(t *testing.T) {
+	// A drive that sheds forever: the hinted waits must stop at the
+	// caller's deadline, not spin MaxAttempts out past it.
+	h := &overloadedHandler{sheds: 1 << 30, hint: 50 * time.Millisecond}
+	cli := newOverloadedClient(t, h, RetryPolicy{MaxAttempts: 100})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cli.Create(ctx, nil, 1)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("create succeeded against a permanently shedding drive")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want deadline or overload", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("returned after %v, far past the 120ms caller deadline", elapsed)
+	}
+}
+
+func TestErrOverloadedMapping(t *testing.T) {
+	err := &RemoteError{Status: rpc.StatusRetryLater, Msg: "x", RetryAfter: time.Second}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatal("StatusRetryLater does not match ErrOverloaded")
+	}
+	if errors.Is(err, ErrAuth) {
+		t.Fatal("overload must not read as an auth failure")
+	}
+	if errors.Is(&RemoteError{Status: rpc.StatusError}, ErrOverloaded) {
+		t.Fatal("generic error must not read as overload")
+	}
+}

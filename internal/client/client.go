@@ -20,6 +20,7 @@ import (
 	"math/rand"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nasd/internal/bufpool"
 	"nasd/internal/capability"
@@ -45,6 +46,13 @@ var (
 	// renewable: the caller can fetch a fresh capability from the file
 	// manager or storage manager and reissue the same request.
 	ErrCapabilityExpired = errors.New("client: capability expired; renew and retry")
+	// ErrOverloaded means the drive shed the request before executing
+	// it (admission queue full, tenant over rate, or deadline
+	// unmeetable). It is backpressure, not failure: the request
+	// demonstrably never ran, the RemoteError's RetryAfter carries the
+	// drive's pacing hint, and health accounting (cheops breakers)
+	// must not count it against the drive.
+	ErrOverloaded = errors.New("client: drive overloaded; retry later")
 )
 
 // RemoteError carries a drive- or manager-reported failure. It is the
@@ -56,6 +64,10 @@ type RemoteError struct {
 	Status rpc.Status
 	Msg    string
 	Err    error // optional domain error (e.g. filemgr.ErrPerm)
+	// RetryAfter is the drive's pacing hint on StatusRetryLater
+	// replies: how long it expects to need before it has room for
+	// this request again (0 when the reply carried none).
+	RetryAfter time.Duration
 }
 
 // Error implements error.
@@ -79,6 +91,8 @@ func (e *RemoteError) Is(target error) bool {
 		return e.Status == rpc.StatusCapExpired
 	case ErrReplay:
 		return e.Status == rpc.StatusReplay
+	case ErrOverloaded:
+		return e.Status == rpc.StatusRetryLater
 	}
 	return false
 }
@@ -166,9 +180,10 @@ type Drive struct {
 	spans    *telemetry.SpanLog
 	signers  *crypt.DigestCache[crypt.Key, *crypt.Signer]
 
-	retries    *telemetry.Counter // requests or fragments re-issued after transient failures
-	reconnects *telemetry.Counter // replacement connections dialed
-	exhausted  *telemetry.Counter // retries abandoned: budget empty
+	retries       *telemetry.Counter // requests or fragments re-issued after transient failures
+	reconnects    *telemetry.Counter // replacement connections dialed
+	exhausted     *telemetry.Counter // retries abandoned: budget empty
+	backpressured *telemetry.Counter // hinted waits after StatusRetryLater
 }
 
 // New wraps an RPC connection to a drive. clientID identifies this
@@ -198,6 +213,7 @@ func New(conn rpc.Conn, driveID, clientID uint64, opts ...Option) *Drive {
 	d.retries = d.reg.Counter("client.retries")
 	d.reconnects = d.reg.Counter("client.reconnects")
 	d.exhausted = d.reg.Counter("client.retries_exhausted")
+	d.backpressured = d.reg.Counter("client.backpressure_waits")
 	d.cli = rpc.NewClient(conn, rpc.WithClientMetrics(d.reg))
 	return d
 }
@@ -282,7 +298,17 @@ func (d *Drive) do(ctx context.Context, op drive.Op, sign func(*rpc.Request), ar
 		if mode == retryNo || attempt+1 >= d.retry.MaxAttempts {
 			break
 		}
-		if !d.budget.take() {
+		// Backpressure (StatusRetryLater) is pacing, not failure: the
+		// drive told this client when to come back, so honoring the
+		// hint does not spend retry-budget tokens — the budget guards
+		// against retry amplification toward a *failing* drive, and an
+		// overloaded drive sheds precisely so that retries stay cheap.
+		// MaxAttempts and the caller's deadline still bound the loop.
+		var hint time.Duration
+		if re := (*RemoteError)(nil); errors.As(err, &re) && re.Status == rpc.StatusRetryLater {
+			hint = re.RetryAfter
+			d.backpressured.Inc()
+		} else if !d.budget.take() {
 			d.exhausted.Inc()
 			break
 		}
@@ -295,7 +321,7 @@ func (d *Drive) do(ctx context.Context, op drive.Op, sign func(*rpc.Request), ar
 		}
 		d.retries.Inc()
 		sp.Annotate("retry", fmt.Sprintf("%d: %v", attempt+1, err))
-		if serr := d.backoff(ctx, attempt); serr != nil {
+		if serr := d.backoff(ctx, attempt, hint); serr != nil {
 			lastErr = fmt.Errorf("%w; last error: %v", serr, lastErr)
 			break
 		}
@@ -347,7 +373,11 @@ func (d *Drive) attempt(ctx context.Context, op drive.Op, sign func(*rpc.Request
 		return nil, gen, err
 	}
 	if rep.Status != rpc.StatusOK {
-		return nil, gen, &RemoteError{Status: rep.Status, Msg: rep.Msg}
+		rerr := &RemoteError{Status: rep.Status, Msg: rep.Msg}
+		if hint, ok := rpc.RetryAfterHint(rep); ok {
+			rerr.RetryAfter = hint
+		}
+		return nil, gen, rerr
 	}
 	return rep, gen, nil
 }

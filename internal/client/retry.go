@@ -163,6 +163,13 @@ func (d *Drive) retryMode(ctx context.Context, op drive.Op, err error) retryMode
 		if re.Status == rpc.StatusError {
 			return retrySame
 		}
+		// Backpressure: the drive shed the request before executing
+		// it, so even non-idempotent ops (create, remove, version)
+		// reissue safely — there is no first execution to collide
+		// with. do() paces the reissue by the reply's hint.
+		if re.Status == rpc.StatusRetryLater {
+			return retrySame
+		}
 		return retryNo
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
@@ -187,18 +194,29 @@ func (d *Drive) retryMode(ctx context.Context, op drive.Op, err error) retryMode
 	return retryNo
 }
 
-// backoff sleeps the jittered exponential delay for the given retry
-// attempt, scoped to ctx: it returns ctx.Err() instead of sleeping
-// past the caller's deadline.
-func (d *Drive) backoff(ctx context.Context, attempt int) error {
-	delay := d.retry.BaseBackoff << uint(attempt)
-	if delay <= 0 || delay > d.retry.MaxBackoff {
-		delay = d.retry.MaxBackoff
+// backoff sleeps before the given retry attempt, scoped to ctx: it
+// returns ctx.Err() instead of sleeping past the caller's deadline.
+// With hint > 0 (a drive retry-after hint) the sleep is the hint plus
+// up to 25% jitter — the drive knows when it will have room, and
+// synchronized client herds re-arriving exactly at the hint would
+// recreate the overload it shed to escape. With no hint the delay is
+// the jittered exponential schedule.
+func (d *Drive) backoff(ctx context.Context, attempt int, hint time.Duration) error {
+	var delay time.Duration
+	if hint > 0 {
+		d.rngMu.Lock()
+		delay = hint + time.Duration(d.rng.Int63n(int64(hint/4)+1))
+		d.rngMu.Unlock()
+	} else {
+		delay = d.retry.BaseBackoff << uint(attempt)
+		if delay <= 0 || delay > d.retry.MaxBackoff {
+			delay = d.retry.MaxBackoff
+		}
+		// Full jitter over the upper half: [delay/2, delay).
+		d.rngMu.Lock()
+		delay = delay/2 + time.Duration(d.rng.Int63n(int64(delay/2)+1))
+		d.rngMu.Unlock()
 	}
-	// Full jitter over the upper half: [delay/2, delay).
-	d.rngMu.Lock()
-	delay = delay/2 + time.Duration(d.rng.Int63n(int64(delay/2)+1))
-	d.rngMu.Unlock()
 	if dl, ok := ctx.Deadline(); ok {
 		if remain := time.Until(dl); remain < delay {
 			delay = remain // the deadline fires first; let it

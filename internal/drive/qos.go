@@ -1,0 +1,65 @@
+package drive
+
+import (
+	"nasd/internal/capability"
+	"nasd/internal/qos"
+	"nasd/internal/rpc"
+)
+
+// qosCostUnit is the byte span one scheduling cost unit represents: a
+// 32KiB transfer (a track-sized chunk in the paper's terms) costs one
+// unit, so a 1MiB write charges 32x a metadata op and WDRR fairness is
+// byte-fairness, not request-count fairness.
+const qosCostUnit = 32 << 10
+
+// QoSClassify is the drive-protocol qos.Classifier: it attributes a
+// request to the capability's partition tenant (the same identity
+// capability.TenantKey gives the telemetry plane) and prices it by
+// payload size. Management and observability ops — stats, flush, key
+// changes, partition admin — return ok=false to bypass admission: an
+// overloaded drive must still answer the operator asking why.
+//
+// Classification runs before authorization, so it trusts the encoded
+// partition without verifying the capability digest. That is safe for
+// scheduling: lying about your partition only changes whose queue you
+// wait in, and the real authorization check still runs after admission.
+func QoSClassify(req *rpc.Request) (qos.Class, bool) {
+	op := Op(req.Proc)
+	switch op {
+	case OpReadObject, OpWriteObject, OpGetAttr, OpSetAttr, OpCreateObject,
+		OpRemoveObject, OpVersionObject, OpListObjects, OpBumpVersion, OpExecute:
+	default:
+		return qos.Class{}, false
+	}
+	part, ok := qosPartition(req)
+	if !ok {
+		return qos.Class{}, false
+	}
+	bytes := len(req.Data)
+	if op == OpReadObject {
+		if a, err := DecodeReadArgs(req.Args); err == nil && int(a.Length) > bytes {
+			bytes = int(a.Length)
+		}
+	}
+	cost := int64((bytes + qosCostUnit - 1) / qosCostUnit)
+	if cost < 1 {
+		cost = 1
+	}
+	return qos.Class{
+		Tenant: capability.TenantKey(part),
+		Op:     op.String(),
+		Cost:   cost,
+	}, true
+}
+
+// qosPartition extracts the tenant partition: the capability's if one
+// rides the request (the authoritative identity once validated), else
+// the partition leading the argument record (insecure deployments).
+func qosPartition(req *rpc.Request) (uint16, bool) {
+	if len(req.Cap) > 0 {
+		if pub, err := capability.DecodePublic(req.Cap); err == nil {
+			return pub.Partition, true
+		}
+	}
+	return reqPartition(Op(req.Proc), req.Args)
+}

@@ -1,0 +1,51 @@
+package qos
+
+import "time"
+
+// bucket is a token bucket measured in scheduling cost units. It is
+// not safe for concurrent use on its own; the Controller serializes
+// access under its mutex.
+type bucket struct {
+	rate   float64 // units per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64) bucket {
+	return bucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// take refills by the elapsed time and tries to remove n tokens. It
+// returns 0 on success, or the wait until the deficit refills — the
+// retry-after hint. Failed takes consume nothing, so a throttled
+// tenant's retries do not dig it deeper.
+//
+// A request costing more than the whole bucket is charged the bucket's
+// full capacity instead: it waits until the bucket is brim-full, drains
+// it, and proceeds. Otherwise burst would be a silent hard cap on
+// transfer size — a single large write could never be admitted at any
+// rate.
+func (b *bucket) take(now time.Time, n float64) time.Duration {
+	if b.rate <= 0 {
+		return 0
+	}
+	if n > b.burst {
+		n = b.burst
+	}
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	}
+	b.last = now
+	if b.tokens >= n {
+		b.tokens -= n
+		return 0
+	}
+	need := n - b.tokens
+	return time.Duration(need / b.rate * float64(time.Second))
+}

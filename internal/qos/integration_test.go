@@ -1,0 +1,177 @@
+package qos_test
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nasd/internal/blockdev"
+	"nasd/internal/crypt"
+	"nasd/internal/drive"
+	"nasd/internal/object"
+	"nasd/internal/qos"
+	"nasd/internal/rpc"
+	"nasd/internal/telemetry"
+)
+
+// newQoSDrive builds an insecure drive over a throttled memory disk
+// (stable ms-scale media latencies) with partitions 1 (victim) and 2
+// (aggressor), one seeded object each, wrapped in a qos Controller.
+func newQoSDrive(t *testing.T, cfg qos.Config) (*qos.Controller, *drive.Drive, *telemetry.Registry, [2]uint64) {
+	t.Helper()
+	dev := blockdev.NewThrottle(blockdev.NewMemDisk(512, 32768), 64<<20, 100*time.Microsecond)
+	reg := telemetry.NewRegistry()
+	d, err := drive.NewFormat(dev, drive.Config{
+		ID: 1, Master: crypt.NewRandomKey(), Metrics: reg,
+		Store:  object.Config{CacheBlocks: 8}, // tiny cache: reads hit media
+		Events: telemetry.NewEventLog(64),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objs [2]uint64
+	for i, part := range []uint16{1, 2} {
+		rep := d.Handle(&rpc.Request{Proc: uint16(drive.OpCreatePartition),
+			Args: (&drive.PartArgs{Partition: part}).Encode()})
+		if rep.Status != rpc.StatusOK {
+			t.Fatalf("mkpart %d: %v", part, rep.Status)
+		}
+		rep = d.Handle(&rpc.Request{Proc: uint16(drive.OpCreateObject),
+			Args: (&drive.ObjArgs{Partition: part}).Encode()})
+		if rep.Status != rpc.StatusOK {
+			t.Fatalf("create: %v", rep.Status)
+		}
+		id, err := drive.DecodeIDReply(rep.Args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 64<<10)
+		rep = d.Handle(&rpc.Request{Proc: uint16(drive.OpWriteObject),
+			Args: (&drive.WriteArgs{Partition: part, Object: id}).Encode(), Data: data})
+		if rep.Status != rpc.StatusOK {
+			t.Fatalf("seed write: %v", rep.Status)
+		}
+		objs[i] = id
+	}
+	cfg.Classify = drive.QoSClassify
+	cfg.Metrics = reg
+	if cfg.Events == nil {
+		cfg.Events = telemetry.NewEventLog(64)
+	}
+	c := qos.New(d, cfg)
+	t.Cleanup(c.Close)
+	return c, d, reg, objs
+}
+
+func readReq(part uint16, obj uint64, off uint64, n uint64) *rpc.Request {
+	return &rpc.Request{Proc: uint16(drive.OpReadObject),
+		Args: (&drive.ReadArgs{Partition: part, Object: obj, Offset: off, Length: n}).Encode()}
+}
+
+// TestHotTenantCannotStarve drives a real drive through the qos plane:
+// an aggressor tenant floods from many goroutines while a victim
+// tenant issues closed-loop reads. Fair queueing plus the per-tenant
+// queue bound must keep every victim read succeeding with a sane p99,
+// while the aggressor — not the victim — absorbs the rejections.
+func TestHotTenantCannotStarve(t *testing.T) {
+	c, _, reg, objs := newQoSDrive(t, qos.Config{
+		Concurrency: 2, Queue: 64, TenantQueue: 8,
+	})
+
+	stop := make(chan struct{})
+	var aggressorRejects atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := uint64((g*31+i)%16) * 4096
+				rep := c.Handle(readReq(2, objs[1], off, 4096))
+				switch rep.Status {
+				case rpc.StatusOK:
+				case rpc.StatusRetryLater:
+					aggressorRejects.Add(1)
+					time.Sleep(time.Millisecond)
+				default:
+					t.Errorf("aggressor: %v", rep.Status)
+					return
+				}
+			}
+		}(g)
+	}
+
+	const victimOps = 60
+	lat := make([]time.Duration, 0, victimOps)
+	for i := 0; i < victimOps; i++ {
+		start := time.Now()
+		rep := c.Handle(readReq(1, objs[0], uint64(i%16)*4096, 4096))
+		if rep.Status != rpc.StatusOK {
+			t.Fatalf("victim read %d failed: %v %s", i, rep.Status, rep.Msg)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	close(stop)
+	wg.Wait()
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100]
+	// The victim queues at most TenantQueue deep behind WDRR service
+	// alternating with the aggressor; a generous absolute bound still
+	// catches starvation (unfair FIFO drain of a 64-deep aggressor
+	// backlog per op lands well above this under the throttled disk).
+	if p99 > 500*time.Millisecond {
+		t.Fatalf("victim p99 %v: starved despite fair queueing", p99)
+	}
+	if reg.Counter("drive.part.1.qos.rejected").Load() != 0 ||
+		reg.Counter("drive.part.1.qos.shed").Load() != 0 {
+		t.Fatal("victim tenant was rejected/shed; enforcement hit the wrong tenant")
+	}
+	if aggressorRejects.Load() == 0 && reg.Counter("drive.part.2.qos.admitted").Load() == 0 {
+		t.Fatal("aggressor never ran; test proved nothing")
+	}
+}
+
+// TestShedBeforeMediaIO pins the shed placement: a request whose wire
+// deadline is already unmeetable is answered StatusRetryLater without
+// the drive handler — and therefore the media — ever seeing it.
+func TestShedBeforeMediaIO(t *testing.T) {
+	c, _, reg, objs := newQoSDrive(t, qos.Config{
+		Concurrency: 2, Queue: 64, Shed: true,
+	})
+
+	// Warm the estimator with real reads so the forecast is live data,
+	// not just the cold-start prior.
+	for i := 0; i < 8; i++ {
+		if rep := c.Handle(readReq(1, objs[0], 0, 4096)); rep.Status != rpc.StatusOK {
+			t.Fatalf("warm read: %v", rep.Status)
+		}
+	}
+	callsBefore := reg.Counter("drive.op.read.calls").Load()
+	if callsBefore == 0 {
+		t.Fatal("warm reads did not advance drive.op.read.calls; counter name drifted")
+	}
+
+	req := readReq(1, objs[0], 0, 4096)
+	req.DeadlineNS = 1 // one nanosecond: unmeetable by any estimate
+	rep := c.Handle(req)
+	if rep.Status != rpc.StatusRetryLater {
+		t.Fatalf("status %v, want retry-later", rep.Status)
+	}
+	if hint, ok := rpc.RetryAfterHint(rep); !ok || hint <= 0 {
+		t.Fatalf("shed reply without usable hint: %v ok=%v", hint, ok)
+	}
+	if got := reg.Counter("drive.op.read.calls").Load(); got != callsBefore {
+		t.Fatalf("drive read calls advanced %d→%d: shed request reached the media path", callsBefore, got)
+	}
+	if got := reg.Counter("drive.part.1.qos.shed").Load(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nasd/internal/bufpool"
@@ -55,6 +56,25 @@ func WithWorkers(n int) ServerOption {
 	}
 }
 
+// WithQueue bounds the per-connection pending-request buffer: at most n
+// decoded requests may wait for a worker; a request arriving with the
+// buffer full is answered immediately with StatusRetryLater (and a
+// retry-after hint sized from the live service-time estimate) instead
+// of being buffered. n = 0 (the default) keeps the legacy behavior: the
+// pending buffer is as deep as the worker pool and a full buffer blocks
+// the connection's read loop, backpressuring through the transport.
+// Reject-on-full is the right edge behavior for a drive admitting
+// thousands of clients — a flooding tenant learns to back off from the
+// typed rejection instead of stalling frame decode for everyone
+// multiplexed on the connection.
+func WithQueue(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.queue = n
+		}
+	}
+}
+
 // WithMetrics makes the server publish its counters into reg instead of
 // a private registry, so a daemon can expose one merged registry for
 // the RPC plane and the drive behind it.
@@ -99,6 +119,7 @@ type procMetrics struct {
 type Server struct {
 	handler  Handler
 	workers  int
+	queue    int // pending-request cap per connection (0 = block at workers)
 	reg      *telemetry.Registry
 	procName func(uint16) string
 	wg       sync.WaitGroup
@@ -107,11 +128,19 @@ type Server struct {
 	conns    map[Conn]bool
 	closed   bool
 
+	// svcEWMA is a rough exponentially-weighted moving average of
+	// handler service time in nanoseconds, feeding the retry-after hint
+	// on queue-full rejections. Plain atomic load/store: concurrent
+	// updates may drop an observation, which a smoothing estimate
+	// tolerates by construction.
+	svcEWMA atomic.Int64
+
 	statConns    *telemetry.Gauge
 	statInFlight *telemetry.Gauge
 	statRequests *telemetry.Counter
 	statBytesIn  *telemetry.Counter
 	statBytesOut *telemetry.Counter
+	statRejected *telemetry.Counter
 
 	procMu sync.RWMutex
 	procs  map[uint16]*procMetrics
@@ -134,6 +163,7 @@ func NewServer(handler Handler, opts ...ServerOption) *Server {
 	s.statRequests = s.reg.Counter("rpc.server.requests")
 	s.statBytesIn = s.reg.Counter("rpc.server.bytes_in")
 	s.statBytesOut = s.reg.Counter("rpc.server.bytes_out")
+	s.statRejected = s.reg.Counter("rpc.server.rejected")
 	s.procs = make(map[uint16]*procMetrics)
 	return s
 }
@@ -234,7 +264,11 @@ type inbound struct {
 // want to keep past Handle's return — see the Handler contract.
 func (s *Server) serveConn(conn Conn) {
 	s.statConns.Add(1)
-	reqs := make(chan inbound, s.workers)
+	depth := s.workers
+	if s.queue > 0 {
+		depth = s.queue
+	}
+	reqs := make(chan inbound, depth)
 	var workers sync.WaitGroup
 	for i := 0; i < s.workers; i++ {
 		workers.Add(1)
@@ -251,7 +285,9 @@ func (s *Server) serveConn(conn Conn) {
 				// Traced requests leave an exemplar in their service-time
 				// bucket, so rpc.server.op.*.svc_ns tails link back to a
 				// resolvable trace just like the drive-level histograms.
-				pm.svc.ObserveTrace(int64(time.Since(start)), req.Trace.TraceID)
+				svcNS := int64(time.Since(start))
+				pm.svc.ObserveTrace(svcNS, req.Trace.TraceID)
+				s.svcEWMA.Store(s.svcEWMA.Load() + (svcNS-s.svcEWMA.Load())/8)
 				if reply == nil {
 					reply = Errorf(req.MsgID, StatusError, "handler returned no reply")
 				}
@@ -314,8 +350,54 @@ func (s *Server) serveConn(conn Conn) {
 		}
 		s.statRequests.Inc()
 		s.proc(req.Proc).bytesIn.Add(uint64(len(raw)))
-		reqs <- inbound{req: req, frame: raw}
+		in := inbound{req: req, frame: raw}
+		if s.queue <= 0 {
+			// Legacy flow control: a full pool stalls frame decode, and
+			// the transport backpressures the sender.
+			reqs <- in
+			continue
+		}
+		select {
+		case reqs <- in:
+		default:
+			// Pending cap hit: shed at the edge with a typed rejection
+			// instead of buffering without bound. The request never
+			// reached a handler, so any op can be safely reissued; the
+			// hint estimates when the backlog will have drained.
+			s.statRejected.Inc()
+			if err := s.sendReject(conn, req.MsgID, depth); err != nil {
+				bufpool.Put(raw)
+				return
+			}
+			bufpool.Put(raw)
+		}
 	}
+}
+
+// sendReject answers one over-cap request with StatusRetryLater. The
+// hint is the time a full pending buffer takes to drain through the
+// worker pool at the live service-time estimate, clamped to keep
+// pathological estimates from parking clients forever.
+func (s *Server) sendReject(conn Conn, msgID uint64, depth int) error {
+	svc := s.svcEWMA.Load()
+	hint := time.Duration(svc) * time.Duration(depth) / time.Duration(s.workers)
+	if hint < 500*time.Microsecond {
+		hint = 500 * time.Microsecond
+	}
+	if hint > 250*time.Millisecond {
+		hint = 250 * time.Millisecond
+	}
+	rep := RetryLater(msgID, hint, "server busy: %d requests pending on this connection", depth)
+	hdr := AppendReplyHeader(bufpool.Get(64+len(rep.Msg)+len(rep.Args)), rep)
+	err := conn.Send(hdr)
+	wireLen := uint64(len(hdr))
+	bufpool.Put(hdr)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	s.statBytesOut.Add(wireLen)
+	return nil
 }
 
 // Close closes all listeners and open connections, then waits for
@@ -487,6 +569,16 @@ func (c *Client) Call(ctx context.Context, req *Request) (*Reply, error) {
 			req.Trace = TraceContext{TraceID: sc.TraceID, Parent: sc.SpanID}
 		} else if id, ok := telemetry.RequestIDFrom(ctx); ok {
 			req.Trace.TraceID = id
+		}
+	}
+	if req.DeadlineNS == 0 {
+		// Stamp the caller's remaining budget so the drive's load
+		// shedder can drop the request — with a typed retry-later, not
+		// a silent timeout — once the deadline is unmeetable.
+		if dl, ok := ctx.Deadline(); ok {
+			if remain := time.Until(dl); remain > 0 {
+				req.DeadlineNS = uint64(remain)
+			}
 		}
 	}
 	ch := make(chan *Reply, 1)

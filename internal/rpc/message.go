@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"time"
 
 	"nasd/internal/bufpool"
 	"nasd/internal/crypt"
@@ -42,6 +43,15 @@ const (
 	StatusQuota
 	StatusBadRequest
 	StatusCapExpired // capability past its expiry: renew at the file manager and retry
+	// StatusRetryLater is the typed backpressure rejection: the drive
+	// refused to queue the request (admission queue full, tenant over
+	// its rate, or the deadline can no longer be met) and demonstrably
+	// did NOT execute it, so any op — idempotent or not — may be safely
+	// reissued. The reply's Args carry a retry-after hint
+	// (RetryAfterHint); clients pace their reissue by it. Shed traffic
+	// is flow control, not failure: it must not open circuit breakers
+	// or count against drive health.
+	StatusRetryLater
 )
 
 // String names the status.
@@ -65,6 +75,8 @@ func (s Status) String() string {
 		return "bad-request"
 	case StatusCapExpired:
 		return "cap-expired"
+	case StatusRetryLater:
+		return "retry-later"
 	}
 	return fmt.Sprintf("status(%d)", uint16(s))
 }
@@ -83,16 +95,24 @@ type TraceContext struct {
 
 // Request is one NASD RPC request, mirroring Figure 5's layering.
 type Request struct {
-	MsgID   uint64
-	Trace   TraceContext // span context for cross-layer tracing
-	Proc    uint16
-	SecOpts uint8
-	Cap     []byte // encoded capability public portion (nil if none)
-	Args    []byte
-	Data    []byte // bulk payload (write data)
-	Nonce   crypt.Nonce
-	ReqDig  crypt.Digest // keyed by the capability's private portion
-	AllDig  crypt.Digest // covers the bulk data too
+	MsgID uint64
+	Trace TraceContext // span context for cross-layer tracing
+	// DeadlineNS is the caller's remaining time budget in nanoseconds
+	// at send time (0 = no deadline). It is a relative budget, not an
+	// absolute timestamp, so client and drive clocks need not agree.
+	// Like Trace it travels outside the signed body: it is a QoS input
+	// the drive's load shedder uses to drop requests whose deadline can
+	// no longer be met before they consume media time — an adversary
+	// who tampers with it can only get their own request dropped.
+	DeadlineNS uint64
+	Proc       uint16
+	SecOpts    uint8
+	Cap        []byte // encoded capability public portion (nil if none)
+	Args       []byte
+	Data       []byte // bulk payload (write data)
+	Nonce      crypt.Nonce
+	ReqDig     crypt.Digest // keyed by the capability's private portion
+	AllDig     crypt.Digest // covers the bulk data too
 }
 
 // SigningBody returns the byte string the request digest covers: the
@@ -161,6 +181,39 @@ func Errorf(id uint64, st Status, format string, args ...any) *Reply {
 	return &Reply{MsgID: id, Status: st, Msg: fmt.Sprintf(format, args...)}
 }
 
+// RetryLater builds a typed backpressure rejection carrying a
+// retry-after hint: the server's estimate of when it will have room
+// for this request again. The hint rides in Args as a little-endian
+// uint64 of nanoseconds, so it survives every transport unchanged.
+func RetryLater(id uint64, after time.Duration, format string, args ...any) *Reply {
+	if after < 0 {
+		after = 0
+	}
+	var e Encoder
+	e.Reset(nil)
+	e.U64(uint64(after))
+	return &Reply{
+		MsgID:  id,
+		Status: StatusRetryLater,
+		Msg:    fmt.Sprintf(format, args...),
+		Args:   e.Bytes(),
+	}
+}
+
+// RetryAfterHint decodes the retry-after hint from a StatusRetryLater
+// reply. It returns (0, false) for other statuses or a malformed hint.
+func RetryAfterHint(r *Reply) (time.Duration, bool) {
+	if r == nil || r.Status != StatusRetryLater || len(r.Args) < 8 {
+		return 0, false
+	}
+	d := NewDecoder(r.Args)
+	ns := d.U64()
+	if d.Err() != nil {
+		return 0, false
+	}
+	return time.Duration(ns), true
+}
+
 // The wire layout puts the bulk payload LAST in both directions, after
 // its 32-bit length prefix: a message is then header bytes followed by
 // payload bytes, and the send path can writev {header, payload} without
@@ -181,6 +234,7 @@ func AppendRequestHeader(buf []byte, r *Request) []byte {
 	e.U64(r.MsgID)
 	e.U64(r.Trace.TraceID)
 	e.U64(r.Trace.Parent)
+	e.U64(r.DeadlineNS)
 	e.U16(r.Proc)
 	e.U8(r.SecOpts)
 	e.Bytes32(r.Cap)
@@ -241,6 +295,7 @@ func DecodeMessage(b []byte) (any, error) {
 		r.MsgID = d.U64()
 		r.Trace.TraceID = d.U64()
 		r.Trace.Parent = d.U64()
+		r.DeadlineNS = d.U64()
 		r.Proc = d.U16()
 		r.SecOpts = d.U8()
 		r.Cap = d.Bytes32()

@@ -112,6 +112,11 @@ func TenantSnapshot(s Snapshot, part uint16) Snapshot {
 			out.Counters[rooted] = v
 		}
 	}
+	for name, g := range s.Gauges {
+		if p, rooted, ok := tenantOf(name); ok && p == part {
+			out.Gauges[rooted] = g
+		}
+	}
 	for name, h := range s.Histograms {
 		if p, rooted, ok := tenantOf(name); ok && p == part {
 			out.Histograms[rooted] = h
@@ -248,21 +253,7 @@ func WriteFleetTable(w io.Writer, cur FleetSnapshot, prev *FleetSnapshot) {
 
 	// Per-tenant split of the merged fleet, keyed by the capability's
 	// partition identity (the tenant key the ROADMAP QoS item needs).
-	if parts := TenantParts(cur.Merged); len(parts) > 0 {
-		fmt.Fprintf(w, "\nper-tenant (partition) split, fleet-wide cumulative:\n")
-		fmt.Fprintf(w, "%-12s %10s %8s %10s %10s %10s %10s\n",
-			"tenant", "ops", "errors", "MB in", "MB out", "p50", "p99")
-		for _, p := range parts {
-			ts := TenantSnapshot(cur.Merged, p)
-			calls, errs, bIn, bOut := OpTotals(ts, "drive.op")
-			svc := MergedSvc(ts, "drive.op")
-			fmt.Fprintf(w, "%-12s %10d %8d %10.2f %10.2f %10s %10s\n",
-				"part."+strconv.Itoa(int(p)), calls, errs,
-				float64(bIn)/(1<<20), float64(bOut)/(1<<20),
-				time.Duration(svc.Quantile(0.50)).Round(time.Microsecond),
-				time.Duration(svc.Quantile(0.99)).Round(time.Microsecond))
-		}
-	}
+	WriteTenantTable(w, cur.Merged, "fleet-wide cumulative")
 
 	// Breaker / repair state only exists in a cheops manager's registry;
 	// show it when the polled snapshots carried it (in-process fleets).
@@ -278,6 +269,37 @@ func WriteFleetTable(w io.Writer, cur FleetSnapshot, prev *FleetSnapshot) {
 	}
 
 	WriteExemplars(w, cur.Merged, "drive.op")
+}
+
+// WriteTenantTable renders the per-tenant (partition) split of s: op
+// totals, service quantiles, and the drive QoS plane's verdict columns
+// — shed (deadline load-shed before media time), thrtl (token-bucket
+// rate rejections), rej (queue-full rejections), and the live queue
+// depth. A tenant whose shed/thrtl columns climb is being limited by
+// policy; a tenant whose p99 climbs with zero QoS activity is seeing
+// real device contention. Prints nothing when s carries no per-tenant
+// metrics, so callers can invoke it unconditionally.
+func WriteTenantTable(w io.Writer, s Snapshot, scope string) {
+	parts := TenantParts(s)
+	if len(parts) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nper-tenant (partition) split, %s:\n", scope)
+	fmt.Fprintf(w, "%-12s %10s %8s %10s %10s %10s %10s %8s %8s %8s %6s\n",
+		"tenant", "ops", "errors", "MB in", "MB out", "p50", "p99",
+		"shed", "thrtl", "rej", "queue")
+	for _, p := range parts {
+		ts := TenantSnapshot(s, p)
+		calls, errs, bIn, bOut := OpTotals(ts, "drive.op")
+		svc := MergedSvc(ts, "drive.op")
+		fmt.Fprintf(w, "%-12s %10d %8d %10.2f %10.2f %10s %10s %8d %8d %8d %6d\n",
+			"part."+strconv.Itoa(int(p)), calls, errs,
+			float64(bIn)/(1<<20), float64(bOut)/(1<<20),
+			time.Duration(svc.Quantile(0.50)).Round(time.Microsecond),
+			time.Duration(svc.Quantile(0.99)).Round(time.Microsecond),
+			ts.Counters["drive.qos.shed"], ts.Counters["drive.qos.throttled"],
+			ts.Counters["drive.qos.rejected"], ts.Gauges["drive.qos.queue_depth"])
+	}
 }
 
 // WriteExemplars prints each busy op's p99 exemplar: the trace ID an

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// qosSnapshot builds a snapshot with one tenant's op and QoS families,
+// the shape a drive running the qos plane exports.
+func qosSnapshot() Snapshot {
+	reg := NewRegistry()
+	reg.Counter("drive.part.7.op.read.calls").Add(120)
+	reg.Counter("drive.part.7.op.read.bytes_out").Add(1 << 20)
+	reg.Counter("drive.part.7.qos.shed").Add(5)
+	reg.Counter("drive.part.7.qos.throttled").Add(11)
+	reg.Counter("drive.part.7.qos.rejected").Add(2)
+	reg.Gauge("drive.part.7.qos.queue_depth").Set(3)
+	reg.Counter("drive.part.9.op.write.calls").Add(40)
+	return reg.Snapshot()
+}
+
+func TestTenantSnapshotCarriesGauges(t *testing.T) {
+	ts := TenantSnapshot(qosSnapshot(), 7)
+	if got := ts.Counters["drive.qos.shed"]; got != 5 {
+		t.Fatalf("drive.qos.shed = %d, want 5", got)
+	}
+	if got := ts.Gauges["drive.qos.queue_depth"]; got != 3 {
+		t.Fatalf("drive.qos.queue_depth = %d, want 3", got)
+	}
+	if _, leaked := ts.Counters["drive.op.write.calls"]; leaked {
+		t.Fatal("tenant 7 snapshot leaked tenant 9's write calls")
+	}
+}
+
+func TestWriteTenantTableQoSColumns(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTenantTable(&buf, qosSnapshot(), "test scope")
+	out := buf.String()
+	for _, col := range []string{"shed", "thrtl", "rej", "queue"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("tenant table missing %q column:\n%s", col, out)
+		}
+	}
+	var p7 string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "part.7") {
+			p7 = line
+		}
+	}
+	if p7 == "" {
+		t.Fatalf("no part.7 row:\n%s", out)
+	}
+	f := strings.Fields(p7)
+	// tenant ops errors MBin MBout p50 p99 shed thrtl rej queue
+	if len(f) != 11 {
+		t.Fatalf("part.7 row has %d fields, want 11: %q", len(f), p7)
+	}
+	if f[7] != "5" || f[8] != "11" || f[9] != "2" || f[10] != "3" {
+		t.Fatalf("qos columns = %v, want shed=5 thrtl=11 rej=2 queue=3", f[7:])
+	}
+
+	// A snapshot with no per-tenant family renders nothing at all.
+	buf.Reset()
+	WriteTenantTable(&buf, NewRegistry().Snapshot(), "empty")
+	if buf.Len() != 0 {
+		t.Fatalf("tenant table for empty snapshot rendered %q", buf.String())
+	}
+}

@@ -65,6 +65,19 @@ echo "==> go run ./cmd/nasdbench -stats -stats-mb 2 -json ."
 go run ./cmd/nasdbench -stats -stats-mb 2 -json . > /dev/null
 test -s BENCH_stats.json
 
+# QoS smoke: the multi-tenant overload scenario must hold its
+# starvation bound end to end — a ~10x open-loop aggressor flood
+# through the qos plane (admission queue, token buckets, WDRR,
+# deadline shedding) may not push the victim tenant's p99 past 3x its
+# solo baseline, the victim must see zero failures, and every
+# rejection must be the typed retry-later reply. The workload itself
+# asserts all of that and exits nonzero on breach; BENCH_qos.json
+# rides the same CI artifact upload as the other bench results.
+echo "==> go run ./cmd/nasdbench -workload qos -qos-duration 1s -qos-clients 300 -json ."
+go run ./cmd/nasdbench -workload qos -qos-duration 1s -qos-clients 300 -json . > /dev/null
+test -s BENCH_qos.json
+grep -q '"starvation_assert_ok": 1' BENCH_qos.json || { echo "qos smoke: starvation assertion not recorded as passing" >&2; exit 1; }
+
 # Backend comparison smoke: the classic-vs-needle small-object run must
 # complete on both engines and emit its side-by-side result (recipe and
 # measured numbers in EXPERIMENTS.md).
